@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ */
+
+#ifndef PTLSIM_BENCH_BENCH_UTIL_H_
+#define PTLSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/k8preset.h"
+
+namespace ptl {
+
+/** Benchmark scale, overridable from the command line / environment:
+ *  --files N --mean BYTES --seed S, or PTLSIM_BENCH_FILES etc. */
+struct BenchScale
+{
+    FileSetParams params;
+
+    static BenchScale
+    fromArgs(int argc, char **argv)
+    {
+        BenchScale s;
+        s.params.file_count = 150;
+        s.params.mean_file_bytes = 8192;
+        s.params.max_file_bytes = 40960;
+        s.params.seed = 42;
+        if (const char *env = std::getenv("PTLSIM_BENCH_FILES"))
+            s.params.file_count = std::atoi(env);
+        for (int i = 1; i + 1 < argc + 1 && i < argc; i++) {
+            auto is = [&](const char *flag) {
+                return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+            };
+            if (is("--files"))
+                s.params.file_count = std::atoi(argv[++i]);
+            else if (is("--mean"))
+                s.params.mean_file_bytes =
+                    (U64)std::atoll(argv[++i]);
+            else if (is("--seed"))
+                s.params.seed = (U64)std::atoll(argv[++i]);
+        }
+        return s;
+    }
+};
+
+inline void
+printRunBanner(const char *what, const BenchScale &scale)
+{
+    std::printf("== %s ==\n", what);
+    std::printf("file set: %d files, mean %llu bytes, seed %llu "
+                "(scaled from the paper's 6186 files / 48 MB)\n",
+                scale.params.file_count,
+                (unsigned long long)scale.params.mean_file_bytes,
+                (unsigned long long)scale.params.seed);
+}
+
+}  // namespace ptl
+
+#endif  // PTLSIM_BENCH_BENCH_UTIL_H_

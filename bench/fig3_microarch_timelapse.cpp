@@ -1,0 +1,98 @@
+/**
+ * Figure 3 regeneration: "Time lapse graph of key microarchitectural
+ * statistics" — per-snapshot branch mispredict rate (% of conditional
+ * branches), DTLB miss rate (% of loads+stores) and L1D miss rate
+ * (% of loads), as PTLstats renders from the snapshot deltas.
+ */
+
+#include <cinttypes>
+
+#include "bench_util.h"
+
+using namespace ptl;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = BenchScale::fromArgs(argc, argv);
+    printRunBanner("Figure 3: time lapse of microarchitectural rates",
+                   scale);
+
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.core = "ooo";
+    cfg.snapshot_interval = 500'000;
+    RsyncBench bench(cfg, scale.params);
+    RsyncBench::Result r = bench.run();
+    if (!r.shutdown || r.mismatches != 0) {
+        std::printf("FATAL: benchmark failed (mismatches=%" PRIu64 ")\n",
+                    r.mismatches);
+        return 1;
+    }
+
+    StatsTree &s = bench.machine().stats();
+    auto mispred = s.rateSeries("core0/branches/mispredicted",
+                                "core0/branches/cond");
+    auto dtlb = s.rateSeries("core0/dtlb/misses", "core0/dtlb/accesses");
+    auto l1d = s.rateSeries("core0/dcache/misses",
+                            "core0/dcache/accesses");
+
+    std::printf("\n%5s  %9s %9s %9s   (red=mispredict%%, "
+                "green=DTLB%%, blue=L1D%% in the paper)\n",
+                "snap", "mispred%", "dtlb%", "l1d%");
+    size_t n = std::min({mispred.size(), dtlb.size(), l1d.size()});
+    double peak_mispred = 0, peak_dtlb = 0, peak_l1d = 0;
+    double sum_mispred = 0, sum_dtlb = 0, sum_l1d = 0;
+    size_t active = 0;
+    for (size_t i = 0; i < n; i++) {
+        std::printf("%5zu  %8.2f%% %8.2f%% %8.2f%%   |", i, mispred[i],
+                    dtlb[i], l1d[i]);
+        int m = (int)(mispred[i] * 2);
+        int d = (int)(dtlb[i] * 2);
+        int l = (int)(l1d[i] * 2);
+        for (int j = 0; j < 30; j++) {
+            char c = ' ';
+            if (j == l) c = 'B';
+            if (j == d) c = 'G';
+            if (j == m) c = 'R';
+            std::putchar(c);
+        }
+        std::printf("|\n");
+        peak_mispred = std::max(peak_mispred, mispred[i]);
+        peak_dtlb = std::max(peak_dtlb, dtlb[i]);
+        peak_l1d = std::max(peak_l1d, l1d[i]);
+        if (mispred[i] + dtlb[i] + l1d[i] > 0) {
+            sum_mispred += mispred[i];
+            sum_dtlb += dtlb[i];
+            sum_l1d += l1d[i];
+            active++;
+        }
+    }
+    if (active == 0) {
+        std::printf("no active snapshots\n");
+        return 1;
+    }
+    std::printf("\naverages over active snapshots: mispredict %.2f%%  "
+                "dtlb %.2f%%  l1d %.2f%%\n",
+                sum_mispred / active, sum_dtlb / active,
+                sum_l1d / active);
+    std::printf("paper (whole-run): mispredict 3.97%%, dtlb 0.93%%, "
+                "l1d 1.57%%\n");
+
+    bool ok = true;
+    auto expect = [&](bool cond, const char *what) {
+        std::printf("shape check: %-52s %s\n", what,
+                    cond ? "PASS" : "FAIL");
+        ok &= cond;
+    };
+    expect(n >= 20, "enough snapshots for a time lapse");
+    expect(peak_mispred > sum_mispred / active * 1.5,
+           "mispredict rate varies across phases");
+    expect(sum_mispred / active > 0.5 && sum_mispred / active < 20,
+           "mispredict rate in a plausible band (paper ~4%)");
+    expect(sum_l1d / active < 25, "L1D miss rate plausible (paper ~1.6%)");
+    expect(sum_dtlb / active < sum_l1d / active * 10,
+           "DTLB misses rarer than cache misses");
+    std::printf("\n%s\n", ok ? "FIGURE 3 SHAPE: PASS"
+                             : "FIGURE 3 SHAPE: FAIL");
+    return ok ? 0 : 1;
+}

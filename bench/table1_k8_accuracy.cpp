@@ -1,0 +1,183 @@
+/**
+ * Table 1 regeneration: "Accuracy of PTLsim on multiple metrics
+ * compared to reference silicon (AMD Athlon 64 @ 2.2 GHz)".
+ *
+ * Two trials of the rsync-over-ssh full-system benchmark:
+ *   Native K8  — functional engine + real-K8-fidelity structures
+ *                (2-level TLB, PDE cache, prefetcher, macro-op counts,
+ *                first-order analytic timing)
+ *   PTLsim     — the K8-configured out-of-order pipeline
+ *
+ * Absolute counts are scaled (smaller file set than the paper); the
+ * reproduced quantity is the per-row %difference column: its sign and
+ * rough magnitude should match the paper's structural story.
+ */
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "stats/ptlstats.h"
+
+using namespace ptl;
+
+namespace {
+
+/**
+ * DTLB misses inside the compute-deltas phase (markers E..F), via
+ * PTLstats snapshot subtraction. The whole-run DTLB row is dominated
+ * by context-switch flush parity (both machines flush all TLB levels
+ * on CR3 reloads, as real x86 does); the *capacity* difference the
+ * paper attributes to K8's two-level TLB shows in the long
+ * switch-free delta phase.
+ */
+U64
+dtlbMissesInPhaseE(Machine &machine, const std::string &prefix)
+{
+    U64 e_cycle = 0, f_cycle = 0;
+    for (const PtlMarker &m : machine.hypervisor().markers()) {
+        if (m.id == PHASE_E_DELTAS)
+            e_cycle = m.cycle;
+        if (m.id == PHASE_F_TRANSMIT)
+            f_cycle = m.cycle;
+    }
+    StatsTree &s = machine.stats();
+    size_t ei = 0, fi = 0;
+    for (size_t i = 0; i < s.snapshotCount(); i++) {
+        if (s.snapshot(i).cycle <= e_cycle)
+            ei = i;
+        if (s.snapshot(i).cycle <= f_cycle)
+            fi = i;
+    }
+    if (fi <= ei)
+        return 0;
+    return subtractSnapshots(s, ei, fi).get(prefix + "dtlb/misses");
+}
+
+struct PaperRow
+{
+    const char *name;
+    double native_k;   // paper, thousands
+    double ptlsim_k;
+    const char *paper_diff;
+};
+
+const PaperRow kPaper[] = {
+    {"Cycles", 1482035, 1545810, "+4.30%"},
+    {"x86 Insns Committed", 990360, 1005795, "+1.55%"},
+    {"uops", 1097012, 1436979, "+30.99%"},
+    {"L1 D-cache Misses", 6118, 6564, "+7.28%"},
+    {"L1 D-cache Accesses", 414285, 418072, "+0.91%"},
+    {"Total Branches", 138062, 135857, "-1.60%"},
+    {"Mispredicted Branches", 5727, 5392, "-5.84%"},
+    {"DTLB Misses", 1593, 3895, "+144%"},
+};
+
+double
+pct(double native, double ptlsim)
+{
+    return native ? 100.0 * (ptlsim - native) / native : 0.0;
+}
+
+void
+row(const char *name, double native, double ptlsim, const char *paper)
+{
+    std::printf("%-24s %14.0f %14.0f %+9.2f%%   (paper: %s)\n", name,
+                native, ptlsim, pct(native, ptlsim), paper);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = BenchScale::fromArgs(argc, argv);
+    printRunBanner("Table 1: PTLsim vs reference-machine trial", scale);
+
+    std::printf("running the reference-machine (native K8) trial...\n");
+    auto native = makeNativeTrial(scale.params);
+    RsyncBench::Result nr = native->run();
+    if (!nr.shutdown || nr.mismatches != 0) {
+        std::printf("FATAL: native trial failed (mismatches=%" PRIu64
+                    ")\n", nr.mismatches);
+        return 1;
+    }
+    Table1Metrics nm = native->metrics();
+
+    std::printf("running the PTLsim (K8-configured OOO) trial...\n");
+    auto sim = makeSimTrial(scale.params);
+    RsyncBench::Result sr = sim->run();
+    if (!sr.shutdown || sr.mismatches != 0) {
+        std::printf("FATAL: sim trial failed (mismatches=%" PRIu64 ")\n",
+                    sr.mismatches);
+        return 1;
+    }
+    Table1Metrics sm = sim->metrics();
+
+    std::printf("\nTable 1. Accuracy of the PTLsim model vs the "
+                "reference machine (counts; %%diff vs paper's %%diff)\n");
+    std::printf("%-24s %14s %14s %10s\n", "Trial", "Native K8", "PTLsim",
+                "%Diff");
+    row("Cycles", (double)nm.cycles, (double)sm.cycles,
+        kPaper[0].paper_diff);
+    row("x86 Insns Committed", (double)nm.insns, (double)sm.insns,
+        kPaper[1].paper_diff);
+    row("uops", (double)nm.uops, (double)sm.uops, kPaper[2].paper_diff);
+    row("L1 D-cache Misses", (double)nm.l1d_misses, (double)sm.l1d_misses,
+        kPaper[3].paper_diff);
+    row("L1 D-cache Accesses", (double)nm.l1d_accesses,
+        (double)sm.l1d_accesses, kPaper[4].paper_diff);
+    std::printf("%-24s %13.2f%% %13.2f%% %+9.2f    (paper: 1.48%% vs "
+                "1.57%%)\n",
+                "L1 Misses as %", nm.l1dMissPct(), sm.l1dMissPct(),
+                sm.l1dMissPct() - nm.l1dMissPct());
+    row("Total Branches", (double)nm.branches, (double)sm.branches,
+        kPaper[5].paper_diff);
+    row("Mispredicted Branches", (double)nm.mispredicts,
+        (double)sm.mispredicts, kPaper[6].paper_diff);
+    std::printf("%-24s %13.2f%% %13.2f%% %+9.2f    (paper: 4.15%% vs "
+                "3.97%%)\n",
+                "Mispredicted %", nm.mispredictPct(), sm.mispredictPct(),
+                sm.mispredictPct() - nm.mispredictPct());
+    row("DTLB Misses", (double)nm.dtlb_misses, (double)sm.dtlb_misses,
+        kPaper[7].paper_diff);
+    std::printf("%-24s %13.2f%% %13.2f%%              (paper: 0.38%% vs "
+                "0.93%%)\n",
+                "DTLB Miss Rate %", nm.dtlbMissPct(), sm.dtlbMissPct());
+    U64 native_e = dtlbMissesInPhaseE(native->bench->machine(),
+                                      "native/vcpu0/");
+    U64 sim_e = dtlbMissesInPhaseE(sim->bench->machine(), "core0/");
+    std::printf("%-24s %14llu %14llu %+9.2f%%   (capacity effect: "
+                "switch-free delta phase)\n",
+                "DTLB Misses (phase e)", (unsigned long long)native_e,
+                (unsigned long long)sim_e,
+                pct((double)native_e, (double)sim_e));
+
+    std::printf("\npaper reference (counts in thousands):\n");
+    for (const PaperRow &p : kPaper)
+        std::printf("%-24s %12.0fK %12.0fK %10s\n", p.name, p.native_k,
+                    p.ptlsim_k, p.paper_diff);
+
+    // Shape checks (who wins, roughly by how much).
+    bool ok = true;
+    auto expect = [&](bool cond, const char *what) {
+        std::printf("shape check: %-46s %s\n", what,
+                    cond ? "PASS" : "FAIL");
+        ok &= cond;
+    };
+    expect(std::abs(pct((double)nm.insns, (double)sm.insns)) < 5.0,
+           "insn counts within a few % (paper +1.55%)");
+    expect(pct((double)nm.uops, (double)sm.uops) > 5.0,
+           "PTLsim uops above K8 macro-ops (paper +31%)");
+    expect(sim_e > native_e * 3 / 2,
+           "PTLsim DTLB misses exceed 2-level-TLB K8 (paper +144%)");
+    expect(sm.l1d_misses >= nm.l1d_misses,
+           "PTLsim L1D misses >= prefetching K8 (paper +7.3%)");
+    expect(std::abs(pct((double)nm.branches, (double)sm.branches)) < 5.0,
+           "branch counts near-identical (paper -1.6%)");
+    std::printf("note: the Cycles row compares the pipeline clock with "
+                "a first-order analytic model standing in for silicon's "
+                "cycle counter; it is indicative only (see "
+                "EXPERIMENTS.md).\n");
+    std::printf("\n%s\n", ok ? "TABLE 1 SHAPE: PASS" : "TABLE 1 SHAPE: FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+#include "branch/predictor.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+BranchPredictor::BranchPredictor(const SimConfig &config, StatsTree &stats,
+                                 const std::string &prefix)
+    : kind(config.predictor),
+      history_mask(lowMask((unsigned)config.gshare_history)),
+      bimodal((size_t)config.bimodal_entries, 1),
+      gshare((size_t)config.gshare_entries, 1),
+      meta((size_t)config.meta_entries, 2),
+      btb_sets(config.btb_entries / config.btb_ways),
+      btb_ways(config.btb_ways),
+      btb((size_t)config.btb_entries),
+      ras((size_t)config.ras_entries),
+      st_predictions(stats.counter(prefix + "branchpred/predictions")),
+      st_btb_hits(stats.counter(prefix + "branchpred/btb_hits")),
+      st_btb_misses(stats.counter(prefix + "branchpred/btb_misses")),
+      st_ras_pushes(stats.counter(prefix + "branchpred/ras_pushes")),
+      st_ras_pops(stats.counter(prefix + "branchpred/ras_pops"))
+{
+    ptl_assert(isPow2((U64)btb_sets));
+}
+
+unsigned
+BranchPredictor::bimodalIndex(U64 rip) const
+{
+    return (unsigned)((rip >> 2) & (bimodal.size() - 1));
+}
+
+unsigned
+BranchPredictor::gshareIndex(U64 rip, U64 history) const
+{
+    return (unsigned)(((rip >> 2) ^ (history & history_mask))
+                      & (gshare.size() - 1));
+}
+
+unsigned
+BranchPredictor::metaIndex(U64 rip) const
+{
+    return (unsigned)((rip >> 2) & (meta.size() - 1));
+}
+
+U8
+BranchPredictor::counterUpdate(U8 c, bool taken)
+{
+    if (taken)
+        return (U8)std::min<int>(c + 1, 3);
+    return (U8)std::max<int>(c - 1, 0);
+}
+
+BranchPrediction
+BranchPredictor::predict(U64 rip)
+{
+    st_predictions++;
+    BranchPrediction out;
+    out.history = global_history;
+    switch (kind) {
+      case PredictorKind::Taken:
+        out.taken = true;
+        break;
+      case PredictorKind::NotTaken:
+        out.taken = false;
+        break;
+      case PredictorKind::Bimodal:
+        out.taken = counterTaken(bimodal[bimodalIndex(rip)]);
+        break;
+      case PredictorKind::Gshare:
+        out.taken = counterTaken(gshare[gshareIndex(rip, global_history)]);
+        break;
+      case PredictorKind::Hybrid: {
+        bool g = counterTaken(gshare[gshareIndex(rip, global_history)]);
+        bool b = counterTaken(bimodal[bimodalIndex(rip)]);
+        out.taken = counterTaken(meta[metaIndex(rip)]) ? g : b;
+        break;
+      }
+    }
+    // Speculative history update with the predicted direction.
+    global_history = ((global_history << 1) | (out.taken ? 1 : 0));
+    return out;
+}
+
+void
+BranchPredictor::resolve(U64 rip, const BranchPrediction &pred, bool taken)
+{
+    bool g_said = counterTaken(gshare[gshareIndex(rip, pred.history)]);
+    bool b_said = counterTaken(bimodal[bimodalIndex(rip)]);
+    gshare[gshareIndex(rip, pred.history)] =
+        counterUpdate(gshare[gshareIndex(rip, pred.history)], taken);
+    bimodal[bimodalIndex(rip)] =
+        counterUpdate(bimodal[bimodalIndex(rip)], taken);
+    if (kind == PredictorKind::Hybrid && g_said != b_said) {
+        // Train the chooser toward whichever component was right.
+        meta[metaIndex(rip)] =
+            counterUpdate(meta[metaIndex(rip)], g_said == taken);
+    }
+    if (pred.taken != taken) {
+        // Repair speculative history: replace the mispredicted bit.
+        global_history = ((pred.history << 1) | (taken ? 1 : 0));
+    }
+}
+
+U64
+BranchPredictor::predictTarget(U64 rip)
+{
+    unsigned set = (unsigned)((rip >> 2) & (U64)(btb_sets - 1));
+    BtbEntry *base = &btb[(size_t)set * btb_ways];
+    for (int w = 0; w < btb_ways; w++) {
+        if (base[w].valid && base[w].tag == rip) {
+            base[w].lru = ++btb_tick;
+            st_btb_hits++;
+            return base[w].target;
+        }
+    }
+    st_btb_misses++;
+    return 0;
+}
+
+void
+BranchPredictor::updateTarget(U64 rip, U64 target)
+{
+    unsigned set = (unsigned)((rip >> 2) & (U64)(btb_sets - 1));
+    BtbEntry *base = &btb[(size_t)set * btb_ways];
+    int victim = 0;
+    for (int w = 0; w < btb_ways; w++) {
+        if (base[w].valid && base[w].tag == rip) {
+            base[w].target = target;
+            base[w].lru = ++btb_tick;
+            return;
+        }
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lru < base[victim].lru)
+            victim = w;
+    }
+    base[victim] = {rip, target, true, ++btb_tick};
+}
+
+void
+BranchPredictor::pushReturn(U64 return_rip)
+{
+    st_ras_pushes++;
+    ras[(size_t)(ras_top % (int)ras.size())] = return_rip;
+    ras_top++;
+}
+
+U64
+BranchPredictor::popReturn()
+{
+    if (ras_top == 0)
+        return 0;
+    ras_top--;
+    st_ras_pops++;
+    return ras[(size_t)(ras_top % (int)ras.size())];
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(bimodal.begin(), bimodal.end(), 1);
+    std::fill(gshare.begin(), gshare.end(), 1);
+    std::fill(meta.begin(), meta.end(), 2);
+    for (BtbEntry &e : btb)
+        e.valid = false;
+    global_history = 0;
+    ras_top = 0;
+}
+
+}  // namespace ptl

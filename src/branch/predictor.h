@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Branch prediction: bimodal, gshare, and hybrid (meta-chooser)
+ * direction predictors, a set-associative BTB for indirect targets,
+ * and a return address stack. All table geometries are configurable,
+ * matching the paper's "branch prediction is also fully configurable"
+ * (Section 2.2). The K8 preset uses the 16K-entry gshare-like global
+ * history predictor from Section 5.
+ */
+
+#ifndef PTLSIM_BRANCH_PREDICTOR_H_
+#define PTLSIM_BRANCH_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "lib/config.h"
+#include "stats/stats.h"
+
+namespace ptl {
+
+/** Opaque per-prediction state returned by predict() and consumed by
+ *  resolve(); lets the core repair speculative global history after a
+ *  misprediction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    U64 history = 0;      ///< global history *before* this prediction
+};
+
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const SimConfig &config, StatsTree &stats,
+                    const std::string &prefix);
+
+    /** Predict a conditional branch at `rip`; speculatively updates
+     *  global history with the predicted direction. */
+    BranchPrediction predict(U64 rip);
+
+    /**
+     * Resolve a conditional branch: train the tables with the actual
+     * outcome and, on a misprediction, repair the speculative global
+     * history from the prediction-time snapshot.
+     */
+    void resolve(U64 rip, const BranchPrediction &pred, bool taken);
+
+    /** Predicted target of an indirect branch / call at `rip`; 0 if
+     *  the BTB has no entry. */
+    U64 predictTarget(U64 rip);
+
+    /** Train the BTB with an observed indirect target. */
+    void updateTarget(U64 rip, U64 target);
+
+    // Return address stack.
+    void pushReturn(U64 return_rip);
+    U64 popReturn();                 ///< 0 if empty
+    int rasTop() const { return ras_top; }
+    void rasRestore(int top) { ras_top = top; }
+
+    /** Drop all predictor state (the paper's pre-run cache flush). */
+    void reset();
+
+  private:
+    unsigned bimodalIndex(U64 rip) const;
+    unsigned gshareIndex(U64 rip, U64 history) const;
+    unsigned metaIndex(U64 rip) const;
+    static bool counterTaken(U8 c) { return c >= 2; }
+    static U8 counterUpdate(U8 c, bool taken);
+
+    PredictorKind kind;
+    U64 history_mask;
+    U64 global_history = 0;
+    std::vector<U8> bimodal;   ///< 2-bit counters
+    std::vector<U8> gshare;
+    std::vector<U8> meta;      ///< 2-bit chooser: >=2 selects gshare
+
+    struct BtbEntry { U64 tag = 0; U64 target = 0; bool valid = false;
+                      U64 lru = 0; };
+    int btb_sets;
+    int btb_ways;
+    U64 btb_tick = 0;
+    std::vector<BtbEntry> btb;
+
+    std::vector<U64> ras;
+    int ras_top = 0;           ///< count of valid entries (wraps)
+
+    Counter &st_predictions;
+    Counter &st_btb_hits;
+    Counter &st_btb_misses;
+    Counter &st_ras_pushes;
+    Counter &st_ras_pops;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_BRANCH_PREDICTOR_H_

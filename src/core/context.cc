@@ -1,0 +1,384 @@
+#include "core/context.h"
+
+#include <bit>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+GuestAccess
+guestTranslate(AddressSpace &aspace, const Context &ctx, U64 va,
+               MemAccess kind)
+{
+    GuestAccess out;
+    PageWalk walk = aspace.walk(ctx.cr3, va);
+    out.fault = checkWalkAccess(walk, kind, !ctx.kernel_mode);
+    if (out.fault != GuestFault::None)
+        return out;
+    aspace.setAccessedDirty(walk, kind == MemAccess::Write);
+    out.paddr = walk.paddr(va);
+    return out;
+}
+
+GuestAccess
+guestRead(AddressSpace &aspace, const Context &ctx, U64 va, unsigned bytes,
+          U64 &value_out)
+{
+    value_out = 0;
+    U8 buf[8];
+    unsigned done = 0;
+    GuestAccess first;
+    while (done < bytes) {
+        GuestAccess a =
+            guestTranslate(aspace, ctx, va + done, MemAccess::Read);
+        if (!a.ok()) {
+            a.paddr = 0;
+            return a;
+        }
+        if (done == 0)
+            first = a;
+        unsigned chunk = (unsigned)std::min<U64>(
+            bytes - done, PAGE_SIZE - pageOffset(va + done));
+        aspace.physMem().readBytes(a.paddr, buf + done, chunk);
+        done += chunk;
+    }
+    for (unsigned i = 0; i < bytes; i++)
+        value_out |= (U64)buf[i] << (i * 8);
+    return first;
+}
+
+GuestAccess
+guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
+           unsigned bytes, U64 value)
+{
+    // Pre-check both pages so a cross-page store is all-or-nothing
+    // (x86 stores are atomic with respect to faults).
+    GuestAccess first =
+        guestTranslate(aspace, ctx, va, MemAccess::Write);
+    if (!first.ok())
+        return first;
+    if (pageOf(va) != pageOf(va + bytes - 1)) {
+        GuestAccess second =
+            guestTranslate(aspace, ctx, va + bytes - 1, MemAccess::Write);
+        if (!second.ok())
+            return second;
+    }
+    U8 buf[8];
+    for (unsigned i = 0; i < bytes; i++)
+        buf[i] = (U8)(value >> (i * 8));
+    unsigned done = 0;
+    while (done < bytes) {
+        GuestAccess a =
+            guestTranslate(aspace, ctx, va + done, MemAccess::Write);
+        ptl_assert(a.ok());
+        unsigned chunk = (unsigned)std::min<U64>(
+            bytes - done, PAGE_SIZE - pageOffset(va + done));
+        aspace.physMem().writeBytes(a.paddr, buf + done, chunk);
+        done += chunk;
+    }
+    return first;
+}
+
+namespace {
+
+/** Pack the saved-state word for event/fault/iret frames. */
+U64
+packFlagsWord(const Context &ctx)
+{
+    return (U64)ctx.flags | ((U64)ctx.kernel_mode << 16)
+           | ((U64)ctx.event_mask << 17);
+}
+
+/** Push an interrupt-style frame; returns new rsp or fault. */
+GuestAccess
+pushFrame(Context &ctx, AddressSpace &aspace, U64 fault_word, U64 &new_rsp)
+{
+    // Frame layout (descending):
+    //   [sp+24] saved rsp
+    //   [sp+16] saved flags | kernel_mode<<16 | event_mask<<17
+    //   [sp+8]  saved (interrupted) rip
+    //   [sp+0]  fault word: (kind << 48) | fault address
+    U64 target_sp = ctx.kernel_mode ? ctx.regs[REG_rsp] : ctx.kernel_sp;
+    U64 sp = target_sp - 32;
+    // The kernel stack is always mapped kernel-writable; translate in
+    // kernel mode (delivery itself runs in microcode at CPL0).
+    Context kctx = ctx;
+    kctx.kernel_mode = true;
+    GuestAccess a;
+    a = guestWrite(aspace, kctx, sp + 24, 8, ctx.regs[REG_rsp]);
+    if (!a.ok()) return a;
+    a = guestWrite(aspace, kctx, sp + 16, 8, packFlagsWord(ctx));
+    if (!a.ok()) return a;
+    a = guestWrite(aspace, kctx, sp + 8, 8, ctx.rip);
+    if (!a.ok()) return a;
+    a = guestWrite(aspace, kctx, sp + 0, 8, fault_word);
+    if (!a.ok()) return a;
+    new_rsp = sp;
+    return a;
+}
+
+}  // namespace
+
+AssistResult
+deliverEvent(Context &ctx, AddressSpace &aspace)
+{
+    AssistResult out;
+    ptl_assert(!ctx.event_mask);
+    ptl_assert(ctx.event_callback != 0);
+    U64 new_rsp = 0;
+    GuestAccess a = pushFrame(ctx, aspace, 0, new_rsp);
+    if (!a.ok()) {
+        out.fault = a.fault;
+        return out;
+    }
+    ctx.regs[REG_rsp] = new_rsp;
+    ctx.kernel_mode = true;
+    ctx.event_mask = true;
+    ctx.event_pending = false;
+    ctx.rip = ctx.event_callback;
+    out.next_rip = ctx.rip;
+    return out;
+}
+
+AssistResult
+deliverFault(Context &ctx, AddressSpace &aspace, GuestFault fault,
+             U64 fault_rip, U64 fault_addr)
+{
+    AssistResult out;
+    if (ctx.event_callback == 0) {
+        // No registered handler: the domain is dead (a real machine
+        // would triple-fault and reset). Halt the VCPU permanently;
+        // the simulator itself stays healthy.
+        warn("guest fault %s at rip %llx (addr %llx) with no handler: "
+             "halting VCPU %d",
+             guestFaultName(fault), (unsigned long long)fault_rip,
+             (unsigned long long)fault_addr, ctx.vcpu_id);
+        ctx.running = false;
+        ctx.event_pending = false;
+        out.fault = fault;
+        out.next_rip = fault_rip;
+        return out;
+    }
+    U64 saved_rip = ctx.rip;
+    ctx.rip = fault_rip;
+    U64 word = ((U64)fault << 48) | (fault_addr & lowMask(48));
+    U64 new_rsp = 0;
+    GuestAccess a = pushFrame(ctx, aspace, word, new_rsp);
+    if (!a.ok()) {
+        // Double fault: the kernel stack itself is bad; domain death.
+        warn("double fault delivering %s at rip %llx: halting VCPU %d",
+             guestFaultName(fault), (unsigned long long)fault_rip,
+             ctx.vcpu_id);
+        ctx.rip = saved_rip;
+        ctx.running = false;
+        ctx.event_pending = false;
+        out.fault = fault;
+        out.next_rip = fault_rip;
+        return out;
+    }
+    (void)saved_rip;
+    ctx.regs[REG_rsp] = new_rsp;
+    ctx.kernel_mode = true;
+    ctx.event_mask = true;
+    ctx.rip = ctx.event_callback;
+    out.next_rip = ctx.rip;
+    return out;
+}
+
+AssistResult
+executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
+              SystemInterface &sys, U64 ripseq)
+{
+    AssistResult out;
+    out.next_rip = ripseq;
+
+    switch (id) {
+      case AssistId::Syscall: {
+        if (ctx.kernel_mode || ctx.lstar == 0) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        // rcx <- return rip, r11 <- rflags (real x86-64 semantics);
+        // microcode then switches to the kernel stack registered via
+        // the stack_switch hypercall and pushes the user rsp.
+        ctx.regs[REG_rcx] = ripseq;
+        ctx.regs[REG_r11] = ctx.flags;
+        U64 user_rsp = ctx.regs[REG_rsp];
+        ctx.saved_user_rsp = user_rsp;
+        Context kctx = ctx;
+        kctx.kernel_mode = true;
+        GuestAccess a =
+            guestWrite(aspace, kctx, ctx.kernel_sp - 8, 8, user_rsp);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            return out;
+        }
+        ctx.regs[REG_rsp] = ctx.kernel_sp - 8;
+        ctx.kernel_mode = true;
+        ctx.event_mask = true;
+        out.next_rip = ctx.lstar;
+        return out;
+      }
+      case AssistId::Sysret: {
+        if (!ctx.kernel_mode) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        // rsp must point at the saved user-rsp slot; rip <- rcx,
+        // rflags <- r11, drop to user mode with events unmasked.
+        U64 user_rsp = 0;
+        GuestAccess a =
+            guestRead(aspace, ctx, ctx.regs[REG_rsp], 8, user_rsp);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            return out;
+        }
+        ctx.regs[REG_rsp] = user_rsp;
+        ctx.flags = (U16)(ctx.regs[REG_r11]
+                          & (FLAG_ZAPS_MASK | FLAG_CF | FLAG_OF | FLAG_DF));
+        ctx.kernel_mode = false;
+        ctx.event_mask = false;
+        out.next_rip = ctx.regs[REG_rcx];
+        return out;
+      }
+      case AssistId::Hypercall: {
+        if (!ctx.kernel_mode) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        ctx.regs[REG_rax] =
+            sys.hypercall(ctx, ctx.regs[REG_rax], ctx.regs[REG_rdi],
+                          ctx.regs[REG_rsi], ctx.regs[REG_rdx]);
+        return out;
+      }
+      case AssistId::Iret: {
+        if (!ctx.kernel_mode) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        U64 rip = 0, word = 0, rsp = 0;
+        U64 sp = ctx.regs[REG_rsp];
+        GuestAccess a = guestRead(aspace, ctx, sp, 8, rip);
+        if (a.ok()) a = guestRead(aspace, ctx, sp + 8, 8, word);
+        if (a.ok()) a = guestRead(aspace, ctx, sp + 16, 8, rsp);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            return out;
+        }
+        ctx.regs[REG_rsp] = rsp;
+        ctx.flags = (U16)(word
+                          & (FLAG_ZAPS_MASK | FLAG_CF | FLAG_OF | FLAG_DF));
+        ctx.kernel_mode = bit(word, 16);
+        ctx.event_mask = bit(word, 17);
+        out.next_rip = rip;
+        return out;
+      }
+      case AssistId::Hlt: {
+        if (!ctx.kernel_mode) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        sys.vcpuBlock(ctx);
+        out.blocked = true;
+        return out;
+      }
+      case AssistId::Ptlcall: {
+        ctx.regs[REG_rax] =
+            sys.ptlcall(ctx, ctx.regs[REG_rax], ctx.regs[REG_rdi],
+                        ctx.regs[REG_rsi]);
+        return out;
+      }
+      case AssistId::Rdtsc: {
+        U64 tsc = sys.readTsc(ctx);
+        ctx.regs[REG_rax] = (U32)tsc;
+        ctx.regs[REG_rdx] = tsc >> 32;
+        return out;
+      }
+      case AssistId::Cpuid: {
+        // Synthetic, deterministic CPUID: vendor "PTLsimVirtual".
+        switch ((U32)ctx.regs[REG_rax]) {
+          case 0:
+            ctx.regs[REG_rax] = 1;
+            ctx.regs[REG_rbx] = 0x4c545030;  // "0PTL"-ish tags
+            ctx.regs[REG_rcx] = 0x4d495334;
+            ctx.regs[REG_rdx] = 0x78383673;
+            break;
+          default:
+            ctx.regs[REG_rax] = 0x00100f00;  // K8-like family/model
+            ctx.regs[REG_rbx] = 0;
+            ctx.regs[REG_rcx] = 0;
+            ctx.regs[REG_rdx] = 1 << 25;     // sse-ish feature bit
+            break;
+        }
+        return out;
+      }
+      case AssistId::Cli:
+        if (!ctx.kernel_mode) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        ctx.event_mask = true;
+        return out;
+      case AssistId::Sti:
+        if (!ctx.kernel_mode) {
+            out.fault = GuestFault::GeneralProtection;
+            return out;
+        }
+        ctx.event_mask = false;
+        return out;
+      case AssistId::X87Fld: {
+        // ra carried the effective address in temp0 by convention.
+        U64 value = 0;
+        GuestAccess a =
+            guestRead(aspace, ctx, ctx.regs[REG_temp0], 8, value);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            return out;
+        }
+        if (ctx.x87_top >= 8) {
+            out.fault = GuestFault::InvalidOpcode;  // stack overflow
+            return out;
+        }
+        ctx.x87_stack[ctx.x87_top++] = value;
+        return out;
+      }
+      case AssistId::X87Fstp: {
+        if (ctx.x87_top == 0) {
+            out.fault = GuestFault::InvalidOpcode;
+            return out;
+        }
+        U64 value = ctx.x87_stack[--ctx.x87_top];
+        GuestAccess a =
+            guestWrite(aspace, ctx, ctx.regs[REG_temp0], 8, value);
+        if (!a.ok()) {
+            ctx.x87_top++;  // restore on fault
+            out.fault = a.fault;
+            return out;
+        }
+        return out;
+      }
+      case AssistId::X87Fadd: case AssistId::X87Fmul: {
+        if (ctx.x87_top < 2) {
+            out.fault = GuestFault::InvalidOpcode;
+            return out;
+        }
+        double b = std::bit_cast<double>(ctx.x87_stack[ctx.x87_top - 1]);
+        double a = std::bit_cast<double>(ctx.x87_stack[ctx.x87_top - 2]);
+        double r = (id == AssistId::X87Fadd) ? (a + b) : (a * b);
+        ctx.x87_top--;
+        ctx.x87_stack[ctx.x87_top - 1] = std::bit_cast<U64>(r);
+        return out;
+      }
+      case AssistId::InvalidOpcode:
+        out.fault = GuestFault::InvalidOpcode;
+        return out;
+      case AssistId::PageFaultAssist:
+        out.fault = GuestFault::PageFaultRead;
+        return out;
+      case AssistId::Pushf: case AssistId::Popf:
+        panic("pushf/popf are translated inline, not via assists");
+    }
+    panic("unhandled assist %d", (int)id);
+}
+
+}  // namespace ptl

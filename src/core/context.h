@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The per-VCPU Context structure.
+ *
+ * Section 4.4: "The Context structure in PTLsim is central to
+ * multi-processor support. Each VCPU has one Context structure
+ * encapsulating all information about that VCPU, including its
+ * architectural registers, x86 machine state registers (MSRs), page
+ * tables and internal PTLsim state." Cores update the architectural
+ * state here as they commit; microcode (assists) and every other
+ * subsystem read and write it.
+ */
+
+#ifndef PTLSIM_CORE_CONTEXT_H_
+#define PTLSIM_CORE_CONTEXT_H_
+
+#include "mem/pagetable.h"
+#include "uop/uop.h"
+#include "uop/uopexec.h"
+
+namespace ptl {
+
+/** Architectural state of one virtual CPU. */
+struct Context
+{
+    int vcpu_id = 0;
+
+    // ---- architectural registers ----
+    /** Values for the uop register space: GPRs, XMM low halves,
+     *  fs/gs bases. Temp slots are scratch (microcode-local). */
+    U64 regs[NUM_UOP_REGS] = {};
+    U64 rip = 0;
+    U16 flags = 0;             ///< ZAPS | CF | OF | DF image
+
+    // ---- system state ----
+    U64 cr3 = 0;               ///< page table root MFN
+    bool kernel_mode = false;
+    bool running = true;       ///< false while blocked in hlt
+
+    // MSR-equivalents and paravirtual registration state.
+    U64 lstar = 0;             ///< syscall entry point
+    U64 kernel_sp = 0;         ///< kernel stack top (stack_switch hypercall)
+    U64 event_callback = 0;    ///< registered event-channel upcall entry
+    U64 saved_user_rsp = 0;    ///< scratch used by syscall microcode
+
+    // Virtual interrupt (event channel) delivery state.
+    bool event_mask = true;    ///< true = events blocked (virtual IF=0)
+    bool event_pending = false;
+
+    // Minimal legacy x87 state (microcoded; reduced performance).
+    U64 x87_stack[8] = {};
+    int x87_top = 0;           ///< number of valid stack slots
+
+    // Time virtualization: offset subtracted from the virtual TSC so
+    // native<->simulation transitions are seamless (Section 4.1).
+    U64 tsc_offset = 0;
+
+    U64
+    reg(int r) const
+    {
+        return (r == REG_zero) ? 0 : regs[r];
+    }
+
+    void
+    setReg(int r, U64 value)
+    {
+        if (r != REG_zero && r != REG_none)
+            regs[r] = value;
+    }
+
+    /** Apply a uop's produced flag groups to the architectural flags. */
+    void
+    applyFlags(U16 produced, U8 setmask)
+    {
+        U16 keep = 0;
+        if (!(setmask & SETFLAG_ZAPS))
+            keep |= FLAG_ZAPS_MASK;
+        if (!(setmask & SETFLAG_CF))
+            keep |= FLAG_CF;
+        if (!(setmask & SETFLAG_OF))
+            keep |= FLAG_OF;
+        keep |= FLAG_DF;  // DF only changes via explicit transfers
+        flags = (U16)((flags & keep) | (produced & ~keep));
+    }
+};
+
+/** Functional guest-virtual memory access (page tables + PhysMem). */
+struct GuestAccess
+{
+    GuestFault fault = GuestFault::None;
+    U64 paddr = 0;
+    bool ok() const { return fault == GuestFault::None; }
+};
+
+/** Translate a guest VA under ctx's CR3/privilege; sets A/D bits. */
+GuestAccess guestTranslate(AddressSpace &aspace, const Context &ctx,
+                           U64 va, MemAccess kind);
+
+/** Read guest-virtual memory functionally (may cross pages). */
+GuestAccess guestRead(AddressSpace &aspace, const Context &ctx, U64 va,
+                      unsigned bytes, U64 &value_out);
+
+/** Write guest-virtual memory functionally (may cross pages). */
+GuestAccess guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
+                       unsigned bytes, U64 value);
+
+/**
+ * Hooks microcode (assists) uses to reach the rest of the machine:
+ * implemented by the hypervisor model in src/sys.
+ */
+class SystemInterface
+{
+  public:
+    virtual ~SystemInterface() = default;
+
+    /** Paravirtual hypercall (0f 34 gate): nr in rax, args rdi/rsi/rdx. */
+    virtual U64 hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3) = 0;
+
+    /** Current virtualized TSC value for rdtsc. */
+    virtual U64 readTsc(const Context &ctx) = 0;
+
+    /** VCPU executed hlt: block until the next event. */
+    virtual void vcpuBlock(Context &ctx) = 0;
+
+    /** ptlcall (0f 37) breakout: rax selects the operation. */
+    virtual U64 ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2) = 0;
+
+    /** A store hit a code page: invalidate translated code (SMC). */
+    virtual void notifyCodeWrite(U64 mfn) = 0;
+
+    /** True if `mfn` currently backs decoded basic blocks. */
+    virtual bool isCodeMfn(U64 mfn) const = 0;
+};
+
+/** Result of running an assist (microcode handler). */
+struct AssistResult
+{
+    U64 next_rip = 0;
+    GuestFault fault = GuestFault::None;
+    bool blocked = false;     ///< VCPU went to sleep (hlt)
+    bool exit_requested = false;  ///< ptlcall asked to stop simulation
+};
+
+/**
+ * Execute one microcode assist. `ripseq` is the RIP of the next
+ * sequential instruction (where execution resumes unless the assist
+ * redirects). The assist may read/modify ctx, guest memory, and the
+ * system interface.
+ */
+AssistResult executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
+                           SystemInterface &sys, U64 ripseq);
+
+/**
+ * Deliver a pending event (virtual interrupt) to the guest: builds the
+ * interrupt frame on the kernel stack and redirects to the registered
+ * event callback, exactly as PTLsim's microcode does for x86 exception
+ * delivery (Section 2.1). Returns the new RIP, or a fault if the frame
+ * cannot be pushed.
+ */
+AssistResult deliverEvent(Context &ctx, AddressSpace &aspace);
+
+/** Deliver a synchronous guest fault (#PF/#DE/#UD/#GP) to the kernel's
+ *  registered handler via the same frame format; the fault kind and
+ *  faulting address are passed in the frame. */
+AssistResult deliverFault(Context &ctx, AddressSpace &aspace,
+                          GuestFault fault, U64 fault_rip, U64 fault_addr);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_CORE_CONTEXT_H_

@@ -1,0 +1,55 @@
+#include "core/coreapi.h"
+
+#include <map>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+// Defined in seqcore.cc / ooo/ooocore.cc; referencing them here forces
+// the linker to pull the model objects out of the static library.
+void registerSeqCoreModel();
+void registerOooCoreModels();
+
+namespace {
+
+std::map<std::string, CoreFactory> &
+registry()
+{
+    static std::map<std::string, CoreFactory> r;
+    static bool builtins_registered = false;
+    if (!builtins_registered) {
+        builtins_registered = true;
+        registerSeqCoreModel();
+        registerOooCoreModels();
+    }
+    return r;
+}
+
+}  // namespace
+
+void
+registerCoreModel(const std::string &name, CoreFactory factory)
+{
+    registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<CoreModel>
+createCoreModel(const std::string &name, const CoreBuildParams &params)
+{
+    auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown core model '%s'", name.c_str());
+    return it->second(params);
+}
+
+std::vector<std::string>
+coreModelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : registry())
+        names.push_back(name);
+    return names;
+}
+
+}  // namespace ptl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The pluggable core-model interface.
+ *
+ * Section 2.2: "Models can be added as plug-ins by simply registering a
+ * C++ class with PTLsim and recompiling. ... multiple core instances
+ * can operate in parallel; the simulator control logic automatically
+ * advances each core by one cycle in round robin order." The machine
+ * (src/sys/machine.*) instantiates one CoreModel per physical core from
+ * this registry and ticks them round-robin.
+ */
+
+#ifndef PTLSIM_CORE_COREAPI_H_
+#define PTLSIM_CORE_COREAPI_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/interlock.h"
+#include "decode/bbcache.h"
+#include "lib/config.h"
+#include "mem/coherence.h"
+#include "stats/stats.h"
+
+namespace ptl {
+
+/** Everything a core model needs to build itself. */
+struct CoreBuildParams
+{
+    const SimConfig *config = nullptr;
+    std::vector<Context *> contexts;   ///< VCPUs mapped onto this core
+    AddressSpace *aspace = nullptr;
+    BasicBlockCache *bbcache = nullptr;
+    SystemInterface *sys = nullptr;
+    StatsTree *stats = nullptr;
+    std::string prefix;                ///< stats path prefix ("core0/")
+    CoherenceController *coherence = nullptr;  ///< nullptr if single core
+    InterlockController *interlocks = nullptr;
+};
+
+/** One simulated physical core (may host multiple SMT threads). */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /** Advance the core by one clock cycle. */
+    virtual void cycle(U64 now) = 0;
+
+    /** True when every hardware thread is blocked (hlt). */
+    virtual bool allIdle() const = 0;
+
+    /** Squash all in-flight state (SMC, external invalidation,
+     *  native-mode transitions). */
+    virtual void flushPipeline() = 0;
+
+    /** CR3 reload: drop cached translations (no ASIDs on this x86). */
+    virtual void flushTlbs() {}
+
+    virtual std::string name() const = 0;
+
+    /** Human-readable pipeline state (debugging aid, PTLsim-style). */
+    virtual std::string debugState() const { return ""; }
+};
+
+using CoreFactory =
+    std::function<std::unique_ptr<CoreModel>(const CoreBuildParams &)>;
+
+/** Register a core model under `name` (call at static-init time). */
+void registerCoreModel(const std::string &name, CoreFactory factory);
+
+/** Instantiate a registered core model; fatal() on unknown name. */
+std::unique_ptr<CoreModel> createCoreModel(const std::string &name,
+                                           const CoreBuildParams &params);
+
+/** Names of all registered models. */
+std::vector<std::string> coreModelNames();
+
+/** Helper object whose constructor registers a model. */
+struct CoreModelRegistration
+{
+    CoreModelRegistration(const std::string &name, CoreFactory factory)
+    {
+        registerCoreModel(name, std::move(factory));
+    }
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_CORE_COREAPI_H_

@@ -1,0 +1,50 @@
+#include "core/interlock.h"
+
+namespace ptl {
+
+InterlockController::InterlockController(StatsTree &stats)
+    : st_acquires(stats.counter("interlock/acquires")),
+      st_contention(stats.counter("interlock/contention"))
+{
+}
+
+bool
+InterlockController::acquire(U64 paddr, int owner)
+{
+    auto [it, inserted] = locks.try_emplace(keyOf(paddr), owner);
+    if (!inserted && it->second != owner) {
+        st_contention++;
+        return false;
+    }
+    if (inserted)
+        st_acquires++;
+    return true;
+}
+
+bool
+InterlockController::heldByOther(U64 paddr, int owner) const
+{
+    auto it = locks.find(keyOf(paddr));
+    return it != locks.end() && it->second != owner;
+}
+
+void
+InterlockController::release(U64 paddr, int owner)
+{
+    auto it = locks.find(keyOf(paddr));
+    if (it != locks.end() && it->second == owner)
+        locks.erase(it);
+}
+
+void
+InterlockController::releaseAll(int owner)
+{
+    for (auto it = locks.begin(); it != locks.end();) {
+        if (it->second == owner)
+            it = locks.erase(it);
+        else
+            ++it;
+    }
+}
+
+}  // namespace ptl

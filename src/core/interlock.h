@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The memory interlock controller.
+ *
+ * Section 4.4: interlocked x86 instructions (LOCK prefix, xchg, xadd,
+ * cmpxchg) acquire a lock on a physical memory location by sending the
+ * address to an interlock controller shared by all SMT threads within
+ * a core (and by all cores). Loads/stores from other threads that hit
+ * a locked address are replayed until the owning x86 instruction
+ * commits and releases the lock.
+ */
+
+#ifndef PTLSIM_CORE_INTERLOCK_H_
+#define PTLSIM_CORE_INTERLOCK_H_
+
+#include <unordered_map>
+#include <vector>
+#include <utility>
+
+#include "lib/bitops.h"
+#include "stats/stats.h"
+
+namespace ptl {
+
+class InterlockController
+{
+  public:
+    explicit InterlockController(StatsTree &stats);
+
+    /** Try to acquire the lock covering `paddr` for `owner` (a unique
+     *  thread/core id). Returns false if another owner holds it. */
+    bool acquire(U64 paddr, int owner);
+
+    /** True if a different owner holds the lock covering `paddr`. */
+    bool heldByOther(U64 paddr, int owner) const;
+
+    /** True if anyone (including `owner`) holds the lock. */
+    bool held(U64 paddr) const { return locks.count(keyOf(paddr)) != 0; }
+
+    /** Release one lock held by `owner`. */
+    void release(U64 paddr, int owner);
+
+    /** Release every lock held by `owner` (commit or flush). */
+    void releaseAll(int owner);
+
+    size_t heldCount() const { return locks.size(); }
+
+    /** Snapshot of held locks (diagnostics): (key << 3, owner). */
+    std::vector<std::pair<U64, int>>
+    heldLocks() const
+    {
+        std::vector<std::pair<U64, int>> out;
+        for (const auto &[key, owner] : locks)
+            out.push_back({key << 3, owner});
+        return out;
+    }
+
+  private:
+    /** Locks cover naturally aligned 8-byte regions. */
+    static U64 keyOf(U64 paddr) { return paddr >> 3; }
+
+    std::unordered_map<U64, int> locks;  ///< key -> owner
+    Counter &st_acquires;
+    Counter &st_contention;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_CORE_INTERLOCK_H_

@@ -1,0 +1,496 @@
+/**
+ * @file: see below — OOO core backend.
+ * OOO core backend: issue/execute (with broadcast wakeup via physical
+ * register ready times), branch resolution with checkpoint recovery,
+ * and the in-order commit unit with atomic x86 semantics, precise
+ * exceptions, assists, event delivery and the commit checker.
+ */
+
+#include <cstring>
+
+#include "core/ooo/ooocore.h"
+#include "lib/logging.h"
+
+namespace ptl {
+
+namespace {
+
+int
+classLatency(const SimConfig &cfg, UopClass cls)
+{
+    switch (cls) {
+      case UopClass::IntAlu: return cfg.lat_alu;
+      case UopClass::IntMul: return cfg.lat_mul;
+      case UopClass::IntDiv: return cfg.lat_div;
+      case UopClass::Fpu: return cfg.lat_fp;
+      case UopClass::FpDiv: return cfg.lat_div;
+      default: return 1;
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+void
+OooCore::stageIssue(U64 now)
+{
+    // Structural hazard: one integer multiplier, one divider per core.
+    bool mul_used = false, div_used = false;
+
+    for (IssueQueue &iq : queues) {
+        int issued = 0;
+        while (issued < cfg.issue_width_per_cluster) {
+            // Oldest-first (collapsing queue) selection.
+            int best = -1;
+            U64 best_seq = ~0ULL;
+            for (size_t i = 0; i < iq.slots.size(); i++) {
+                IqEntry &slot = iq.slots[i];
+                if (!slot.valid || slot.seq >= best_seq)
+                    continue;
+                Thread &t = threads[slot.thread];
+                RobEntry &e = t.rob[slot.rob];
+                if (e.retry_cycle > now)
+                    continue;
+                UopClass cls = e.uop.cls();
+                if ((cls == UopClass::IntMul && mul_used)
+                    || (cls == UopClass::IntDiv && div_used))
+                    continue;
+                bool ready = true;
+                for (int s = 0; s < 4; s++)
+                    ready &= physReadyFor(e.src[s], iq.cluster, now);
+                if (!ready)
+                    continue;
+                best = (int)i;
+                best_seq = slot.seq;
+            }
+            if (best < 0)
+                break;
+            UopClass cls =
+                threads[iq.slots[best].thread].rob[iq.slots[best].rob]
+                    .uop.cls();
+            bool ok = issueOne(now, iq, best);
+            if (cls == UopClass::IntMul)
+                mul_used = true;
+            if (cls == UopClass::IntDiv)
+                div_used = true;
+            issued++;  // the port is consumed even by a replayed op
+            (void)ok;
+        }
+    }
+}
+
+bool
+OooCore::issueOne(U64 now, IssueQueue &iq, int slot_idx)
+{
+    IqEntry &slot = iq.slots[slot_idx];
+    Thread &t = threads[slot.thread];
+    RobEntry &e = t.rob[slot.rob];
+    const Uop &u = e.uop;
+
+    if (u.isLoad() || u.isStore()) {
+        bool ok = u.isLoad() ? issueLoad(now, t, e) : issueStore(now, t, e);
+        if (!ok)
+            return false;  // replay: stays in the queue
+        slot.valid = false;
+        iq.used--;
+        if (&iq != &queues[fp_queue_index])
+            t.int_iq_inflight--;
+        return true;
+    }
+
+    auto value_of = [&](int phys) -> U64 {
+        return (phys >= 0) ? prf[phys].value : 0;
+    };
+    auto flags_of = [&](int phys) -> U16 {
+        return (phys >= 0) ? prf[phys].flags : 0;
+    };
+
+    UopOutcome out = executeUop(u, value_of(e.src[0]), value_of(e.src[1]),
+                                value_of(e.src[2]), flags_of(e.src[3]),
+                                flags_of(e.src[0]), flags_of(e.src[1]),
+                                flags_of(e.src[2]));
+    e.result = out.value;
+    e.outflags = out.flags;
+    if (out.fault != GuestFault::None) {
+        e.fault = out.fault;
+        e.fault_addr = u.rip;
+    }
+    if (e.phys >= 0) {
+        PhysReg &reg = prf[e.phys];
+        reg.value = out.value;
+        reg.flags = out.flags;
+        reg.ready = true;
+        reg.ready_cycle = now + (U64)classLatency(cfg, u.cls());
+        reg.cluster = iq.cluster;
+    }
+    e.state = RobState::Done;
+    slot.valid = false;
+    iq.used--;
+    if (&iq != &queues[fp_queue_index])
+        t.int_iq_inflight--;
+
+    if (u.isBranch())
+        resolveBranch(now, t, slot.rob, e);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Branch resolution
+// ---------------------------------------------------------------------
+
+void
+OooCore::resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e)
+{
+    const Uop &u = e.uop;
+    e.actual_next = e.result;  // executeUop yields the true next RIP
+    st_branches++;
+
+    if (u.op == UopOp::BrCC) {
+        st_cond_branches++;
+        bool taken =
+            (e.actual_next != (U64)u.imm2) || ((U64)u.imm == (U64)u.imm2);
+        predictor->resolve(u.rip, e.pred, taken);
+    } else if (u.op == UopOp::Jmp) {
+        st_indirect_branches++;
+        if (!u.hint_ret)
+            predictor->updateTarget(u.rip, e.actual_next);
+    }
+
+    if (e.actual_next == e.predicted_next)
+        return;
+
+    // Misprediction: squash younger work, restore the RAT checkpoint,
+    // repair the RAS, redirect fetch after the configured penalty.
+    if (u.op == UopOp::BrCC)
+        st_mispredicts++;
+    else
+        st_indirect_mispredicts++;
+
+    squashYounger(t, rob_idx, now);
+    if (e.checkpoint >= 0) {
+        RatCheckpoint &c = t.checkpoints[e.checkpoint];
+        std::memcpy(t.spec_rat, c.map, sizeof(t.spec_rat));
+        predictor->rasRestore(c.ras_top);
+        t.checkpoint_used[e.checkpoint] = false;
+        e.checkpoint = -1;
+    } else {
+        panic("mispredicted branch without checkpoint (%s at %llx)",
+              uopInfo(u.op).name, (unsigned long long)u.rip);
+    }
+    e.predicted_next = e.actual_next;  // now resolved correctly
+    redirectFetch(t, e.actual_next, now, (U64)cfg.mispredict_penalty);
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+OooCore::runChecker(Thread &t, const RobEntry &e)
+{
+    const Uop &u = e.uop;
+    Context &ctx = *t.ctx;
+    st_checker_commits++;
+    if (u.isAssist() || u.op == UopOp::Nop)
+        return;
+    U64 ra = ctx.reg(u.ra);
+    U64 rb = ctx.reg(u.rb);
+    U64 rc = ctx.reg(u.rc);
+    if (u.isMem()) {
+        U64 va = uopMemAddr(u, ra, rb);
+        const LsqEntry &l = u.isLoad() ? t.ldq[e.lsq] : t.stq[e.lsq];
+        if (va != l.va)
+            panic("checker: %s at rip %llx address mismatch "
+                  "(lsq %llx vs arch %llx)",
+                  uopInfo(u.op).name, (unsigned long long)u.rip,
+                  (unsigned long long)l.va, (unsigned long long)va);
+        if (u.isStore() && threads.size() == 1
+            && (l.data != (rc & byteMask(u.size))))
+            panic("checker: store data mismatch at rip %llx",
+                  (unsigned long long)u.rip);
+        return;
+    }
+    // Flags consumed in program order equal the committed flag image.
+    UopOutcome out = executeUop(u, ra, rb, rc, ctx.flags, ctx.flags,
+                                ctx.flags, ctx.flags);
+    if (u.isBranch()) {
+        if (out.value != e.actual_next)
+            panic("checker: branch at rip %llx resolved to %llx, "
+                  "arch replay gives %llx",
+                  (unsigned long long)u.rip,
+                  (unsigned long long)e.actual_next,
+                  (unsigned long long)out.value);
+        return;
+    }
+    if (u.writesRd() && out.value != prf[e.phys].value)
+        panic("checker: %s at rip %llx value mismatch "
+              "(pipeline %llx vs arch replay %llx)",
+              uopInfo(u.op).name, (unsigned long long)u.rip,
+              (unsigned long long)prf[e.phys].value,
+              (unsigned long long)out.value);
+    if (u.setflags) {
+        U16 mask = 0;
+        if (u.setflags & SETFLAG_ZAPS)
+            mask |= FLAG_ZAPS_MASK;
+        if (u.setflags & SETFLAG_CF)
+            mask |= FLAG_CF;
+        if (u.setflags & SETFLAG_OF)
+            mask |= FLAG_OF;
+        if ((out.flags & mask) != (e.outflags & mask))
+            panic("checker: %s at rip %llx flags mismatch",
+                  uopInfo(u.op).name, (unsigned long long)u.rip);
+    }
+}
+
+void
+OooCore::commitUopState(Thread &t, RobEntry &e)
+{
+    const Uop &u = e.uop;
+    Context &ctx = *t.ctx;
+
+    if (cfg.commit_checker)
+        runChecker(t, e);
+
+    if (u.isLoad())
+        st_loads++;
+    if (u.isStore()) {
+        st_stores++;
+        LsqEntry &s = t.stq[e.lsq];
+        GuestAccess a = guestWrite(*aspace, ctx, s.va, u.size, s.data);
+        ptl_assert(a.ok());  // faults were resolved at issue
+        hierarchy->dataAccess(s.paddr, true, now_cache, true);
+        // Self-modifying code detection on the touched frame(s).
+        U64 first = pageOf(s.paddr);
+        if (sys->isCodeMfn(first))
+            pending_smc.push_back(first);
+        if (pageOf(s.va) != pageOf(s.va + u.size - 1)) {
+            GuestAccess b = guestTranslate(*aspace, ctx,
+                                           s.va + u.size - 1,
+                                           MemAccess::Write);
+            if (b.ok() && sys->isCodeMfn(pageOf(b.paddr)))
+                pending_smc.push_back(pageOf(b.paddr));
+        }
+    }
+    if (u.writesRd()) {
+        ctx.setReg(u.rd, prf[e.phys].value);
+        int old = t.arch_rat[u.rd];
+        t.arch_rat[u.rd] = (S16)e.phys;
+        addRefPhys(e.phys);
+        dropRefPhys(old);
+    }
+    if (u.setflags) {
+        ctx.applyFlags(e.outflags, u.setflags);
+        for (int g = 0; g < NUM_FLAG_GROUPS; g++) {
+            if (!(u.setflags & (1 << g)))
+                continue;
+            int old = t.arch_rat[FLAG_RAT_BASE + g];
+            t.arch_rat[FLAG_RAT_BASE + g] = (S16)e.phys;
+            addRefPhys(e.phys);
+            dropRefPhys(old);
+        }
+    }
+    if (e.lsq >= 0) {
+        LsqEntry &l = u.isLoad() ? t.ldq[e.lsq] : t.stq[e.lsq];
+        if (l.lock_acquired)
+            interlocks->release(l.paddr, ownerId(t));
+        l.valid = false;
+        (u.isLoad() ? t.ldq_used : t.stq_used)--;
+        e.lsq = -1;
+    }
+    if (e.checkpoint >= 0) {
+        t.checkpoint_used[e.checkpoint] = false;
+        e.checkpoint = -1;
+    }
+    st_commit_uops++;
+}
+
+bool
+OooCore::commitThread(U64 now, Thread &t, int &budget)
+{
+    Context &ctx = *t.ctx;
+
+    // Event (virtual interrupt) delivery at instruction boundaries.
+    bool at_boundary =
+        (t.rob_used == 0) || t.rob[t.rob_head].uop.som;
+    if (at_boundary && ctx.running && ctx.event_pending && !ctx.event_mask
+        && ctx.event_callback != 0) {
+        deliverEvent(ctx, *aspace);
+        flushThread(t);  // after delivery: flush re-syncs PRF from ctx
+        st_events++;
+        redirectFetch(t, ctx.rip, now, 1);
+        t.last_commit_cycle = now;
+        return true;
+    }
+    if (t.rob_used == 0)
+        return false;
+
+    // Locate the head instruction group [head .. EOM].
+    int group[64];
+    int count = 0;
+    int idx = t.rob_head;
+    bool complete = false;
+    for (int n = 0; n < t.rob_used && count < 64; n++) {
+        group[count++] = idx;
+        if (t.rob[idx].uop.eom) {
+            complete = true;
+            break;
+        }
+        idx = robNext(t, idx);
+    }
+    if (!complete)
+        return false;  // instruction not fully renamed yet
+
+    // Readiness / fault scan in program order.
+    GuestFault fault = GuestFault::None;
+    U64 fault_addr = 0;
+    bool hoist_violation = false;
+    for (int n = 0; n < count; n++) {
+        RobEntry &e = t.rob[group[n]];
+        if (e.state != RobState::Done)
+            return false;
+        if (e.phys >= 0 && prf[e.phys].ready
+            && prf[e.phys].ready_cycle > now)
+            return false;  // writeback not complete yet
+        if (e.uop.isStore() && e.lsq >= 0
+            && e.fault == GuestFault::None) {
+            // Interlocks are checked at issue, but the write lands at
+            // commit: re-check so a plain store cannot slip inside
+            // another thread's locked read-modify-write window.
+            const LsqEntry &s = t.stq[e.lsq];
+            if (!s.lock_acquired
+                && interlocks->heldByOther(s.paddr, ownerId(t)))
+                return false;
+        }
+        if (e.hoist_violation) {
+            hoist_violation = true;
+            break;
+        }
+        if (e.fault != GuestFault::None) {
+            fault = e.fault;
+            fault_addr = e.fault_addr;
+            break;
+        }
+    }
+
+    U64 insn_rip = t.rob[t.rob_head].uop.rip;
+
+    if (hoist_violation) {
+        // Speculative load issued before a conflicting older store:
+        // flush and re-execute the instruction (replay storm model).
+        st_hoist_flushes++;
+        flushThread(t);
+        ctx.rip = insn_rip;
+        redirectFetch(t, insn_rip, now, 2);
+        t.last_commit_cycle = now;
+        budget = 0;
+        return true;
+    }
+
+    if (fault != GuestFault::None) {
+        st_faults++;
+        deliverFault(ctx, *aspace, fault, insn_rip, fault_addr);
+        flushThread(t);
+        redirectFetch(t, ctx.rip, now, 1);
+        t.last_commit_cycle = now;
+        budget = 0;
+        return true;
+    }
+
+    // Assist groups: commit the leading uops, run the microcode, then
+    // flush (assists are serializing).
+    bool has_assist = t.rob[group[count - 1]].uop.isAssist();
+
+    pending_smc.clear();
+    for (int n = 0; n < count; n++) {
+        RobEntry &e = t.rob[group[n]];
+        if (e.uop.isAssist())
+            break;  // executed below, after older effects apply
+        commitUopState(t, e);
+        if (has_assist) {
+            // Pop committed leading uops now so the post-assist flush
+            // cannot force-free their (architecturally live) registers.
+            t.rob_head = robNext(t, t.rob_head);
+            t.rob_used--;
+        }
+    }
+
+    if (has_assist) {
+        RobEntry &e = t.rob[group[count - 1]];
+        st_assists++;
+        st_commit_uops++;
+        AssistResult ar = executeAssist(e.uop.assist(), ctx, *aspace,
+                                        *sys, e.uop.ripseq);
+        if (ar.fault != GuestFault::None) {
+            st_faults++;
+            deliverFault(ctx, *aspace, ar.fault, insn_rip, insn_rip);
+            flushThread(t);
+            redirectFetch(t, ctx.rip, now, 1);
+            t.last_commit_cycle = now;
+            budget = 0;
+            return true;
+        }
+        ctx.rip = ar.next_rip;
+        st_commit_insns++;
+        flushThread(t);
+        redirectFetch(t, ctx.rip, now, 1);
+        t.last_commit_cycle = now;
+        budget = 0;
+        return true;
+    }
+
+    // Pop the group and update RIP.
+    RobEntry &last = t.rob[group[count - 1]];
+    ctx.rip = last.uop.isBranch() ? last.actual_next : last.uop.ripseq;
+    if (trace_commits) {
+        std::fprintf(stderr, "[%llu] T%d commit rip=%llx next=%llx %s\n",
+                     (unsigned long long)now,
+                     (int)(&t - threads.data()),
+                     (unsigned long long)insn_rip,
+                     (unsigned long long)ctx.rip,
+                     uopInfo(last.uop.op).name);
+    }
+    for (int n = 0; n < count; n++) {
+        t.rob_head = robNext(t, t.rob_head);
+        t.rob_used--;
+    }
+    st_commit_insns++;
+    budget -= count;
+    t.last_commit_cycle = now;
+
+    if (!pending_smc.empty()) {
+        // Committed stores hit translated code: invalidate and restart
+        // the front end (our own pipeline is flushed by the hook).
+        std::vector<U64> mfns = pending_smc;
+        pending_smc.clear();
+        U64 next = ctx.rip;
+        for (U64 mfn : mfns)
+            sys->notifyCodeWrite(mfn);
+        // Everything younger in flight may be stale translated code.
+        flushThread(t);
+        redirectFetch(t, next, now, 2);
+        budget = 0;
+        return true;
+    }
+    return true;
+}
+
+void
+OooCore::stageCommit(U64 now)
+{
+    int budget = cfg.commit_width;
+    int n = (int)threads.size();
+    for (int k = 0; k < n && budget > 0; k++) {
+        int tid = (next_commit_thread + k) % n;
+        // Keep committing groups from this thread while budget lasts.
+        while (budget > 0) {
+            if (!commitThread(now, threads[tid], budget))
+                break;
+        }
+    }
+    next_commit_thread++;
+}
+
+}  // namespace ptl

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * OOO core load/store queue behaviour (Section 2.2's replay machinery
+ * and Section 4.4's interlocks):
+ *
+ *  - loads translate through the DTLB (paying hardware-walk latency on
+ *    a miss), search the store queue for older stores by physical
+ *    address, forward fully-overlapping ready data, and replay on
+ *    partial overlaps or (with hoisting disabled) unresolved older
+ *    store addresses;
+ *  - with load hoisting enabled, loads speculate past unresolved
+ *    stores; a store that later resolves onto an overlapping younger
+ *    issued load marks it for a flush-and-refetch at commit;
+ *  - interlocked (LOCK) accesses acquire the physical-address lock in
+ *    the shared interlock controller; any other thread touching the
+ *    locked address replays until the owning instruction commits;
+ *  - L1D bank conflicts and MSHR exhaustion force 1-2 cycle replays.
+ */
+
+#include "core/ooo/ooocore.h"
+#include "lib/logging.h"
+
+namespace ptl {
+
+namespace {
+
+bool
+rangesOverlap(U64 a, unsigned alen, U64 b, unsigned blen)
+{
+    return a < b + blen && b < a + alen;
+}
+
+}  // namespace
+
+bool
+OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
+{
+    const Uop &u = e.uop;
+    LsqEntry &l = t.ldq[e.lsq];
+    Context &ctx = *t.ctx;
+
+    U64 ra = (e.src[0] >= 0) ? prf[e.src[0]].value : 0;
+    U64 rb = (u.rb_imm || e.src[1] < 0) ? 0 : prf[e.src[1]].value;
+    U64 va = uopMemAddr(u, ra, rb);
+
+    TranslateResult tr = hierarchy->translateData(
+        ctx.cr3, va, false, !ctx.kernel_mode, now);
+    l.va = va;
+    l.size = u.size;
+    if (tr.fault != GuestFault::None) {
+        e.fault = tr.fault;
+        e.fault_addr = va;
+        e.state = RobState::Done;
+        l.addr_known = true;
+        if (e.phys >= 0) {
+            prf[e.phys].ready = true;
+            prf[e.phys].ready_cycle = now + 1;
+        }
+        return true;
+    }
+    int latency = tr.latency;
+    U64 paddr = tr.paddr;
+    l.paddr = paddr;
+    l.addr_known = true;
+
+    // Interlock semantics (Section 4.4): replay while another thread
+    // holds the physical address; locked loads acquire the lock and
+    // hold it until their x86 instruction commits. A locked load also
+    // replays while *any* earlier locked instruction (even from this
+    // thread) holds the address, which serializes back-to-back RMWs
+    // and prevents a stale read under a lock about to be released.
+    int owner = ownerId(t);
+    if (interlocks->heldByOther(paddr, owner)) {
+        st_load_replays++;
+        e.retry_cycle = now + 2;
+        return false;
+    }
+    if (u.locked && !l.lock_acquired) {
+        // Program-order acquisition: a younger locked load grabbing
+        // the lock ahead of an older one would deadlock against
+        // in-order commit (priority inversion), so replay until every
+        // older locked access in this thread has issued and acquired.
+        for (const LsqEntry &older : t.ldq) {
+            if (older.valid && older.locked && older.seq < l.seq
+                && !older.lock_acquired) {
+                st_load_replays++;
+                e.retry_cycle = now + 2;
+                return false;
+            }
+        }
+        if (interlocks->held(paddr)) {
+            st_load_replays++;
+            e.retry_cycle = now + 2;
+            return false;
+        }
+        bool got = interlocks->acquire(paddr, owner);
+        ptl_assert(got);
+        l.lock_acquired = true;
+        t.holds_locks = true;
+    }
+
+    // Store queue search: youngest older store wins.
+    bool must_wait = false;
+    const LsqEntry *fwd = nullptr;
+    for (const LsqEntry &s : t.stq) {
+        if (!s.valid || s.seq >= l.seq)
+            continue;
+        if (!s.addr_known) {
+            if (!cfg.load_hoisting)
+                must_wait = true;  // conservative: wait for addresses
+            continue;
+        }
+        if (!rangesOverlap(s.va, s.size, va, u.size))
+            continue;
+        if (s.va == va && s.size >= u.size) {
+            if (!fwd || s.seq > fwd->seq)
+                fwd = &s;
+        } else {
+            // Partial overlap: wait until the store commits.
+            must_wait = true;
+        }
+    }
+    if (must_wait) {
+        st_load_replays++;
+        e.retry_cycle = now + 2;
+        return false;
+    }
+
+    U64 value = 0;
+    if (fwd) {
+        st_load_forwards++;
+        value = fwd->data & byteMask(u.size);
+        latency += cfg.lat_ld;
+    } else {
+        // Data cache access (physical address).
+        MemResult m = hierarchy->dataAccess(paddr, false, now);
+        if (m.mshr_full || m.bank_conflict) {
+            st_load_replays++;
+            e.retry_cycle = now + (m.bank_conflict ? 1 : 2);
+            return false;
+        }
+        latency += m.latency;
+        // Unaligned accesses crossing a line (or page) cost extra and
+        // may touch a second translation.
+        U64 last_byte = va + u.size - 1;
+        if ((va / 64) != (last_byte / 64))
+            latency += 1;
+        if (pageOf(va) != pageOf(last_byte)) {
+            TranslateResult tr2 = hierarchy->translateData(
+                ctx.cr3, last_byte, false, !ctx.kernel_mode, now);
+            if (tr2.fault != GuestFault::None) {
+                e.fault = tr2.fault;
+                e.fault_addr = last_byte;
+                e.state = RobState::Done;
+                if (e.phys >= 0) {
+                    prf[e.phys].ready = true;
+                    prf[e.phys].ready_cycle = now + 1;
+                }
+                return true;
+            }
+            latency += tr2.latency;
+            // Read the two fragments from their physical frames: the
+            // second fragment starts at the next page's origin.
+            unsigned first_len =
+                (unsigned)(PAGE_SIZE - pageOffset(va));
+            U64 lo = aspace->physMem().read(paddr, first_len);
+            U64 hi = aspace->physMem().read(
+                alignDown(tr2.paddr, PAGE_SIZE), u.size - first_len);
+            value = lo | (hi << (first_len * 8));
+        } else {
+            value = aspace->physMem().read(paddr, u.size);
+        }
+    }
+
+    if (u.op == UopOp::Lds)
+        value = signExtend(value, u.size);
+    e.result = value;
+    e.state = RobState::Done;
+    if (e.phys >= 0) {
+        PhysReg &reg = prf[e.phys];
+        reg.value = value;
+        reg.flags = 0;
+        reg.ready = true;
+        reg.ready_cycle = now + (U64)std::max(latency, cfg.lat_ld);
+        reg.cluster = e.cluster;
+    }
+    return true;
+}
+
+bool
+OooCore::issueStore(U64 now, Thread &t, RobEntry &e)
+{
+    const Uop &u = e.uop;
+    LsqEntry &s = t.stq[e.lsq];
+    Context &ctx = *t.ctx;
+
+    U64 ra = (e.src[0] >= 0) ? prf[e.src[0]].value : 0;
+    U64 rb = (u.rb_imm || e.src[1] < 0) ? 0 : prf[e.src[1]].value;
+    U64 va = uopMemAddr(u, ra, rb);
+
+    TranslateResult tr = hierarchy->translateData(
+        ctx.cr3, va, true, !ctx.kernel_mode, now);
+    s.va = va;
+    s.size = u.size;
+    if (tr.fault == GuestFault::None
+        && pageOf(va) != pageOf(va + u.size - 1)) {
+        TranslateResult tr2 = hierarchy->translateData(
+            ctx.cr3, va + u.size - 1, true, !ctx.kernel_mode, now);
+        if (tr2.fault != GuestFault::None)
+            tr.fault = tr2.fault;
+    }
+    if (tr.fault != GuestFault::None) {
+        e.fault = tr.fault;
+        e.fault_addr = va;
+        e.state = RobState::Done;
+        s.addr_known = true;
+        return true;
+    }
+    s.paddr = tr.paddr;
+
+    int owner = ownerId(t);
+    if (interlocks->heldByOther(tr.paddr, owner)) {
+        st_load_replays++;
+        e.retry_cycle = now + 2;
+        return false;
+    }
+    // A locked store runs under the lock its instruction's ld.acq
+    // already holds; nothing to acquire here.
+
+    s.data = ((e.src[2] >= 0) ? prf[e.src[2]].value : 0) & byteMask(u.size);
+    s.addr_known = true;
+    e.state = RobState::Done;
+
+    // Load hoisting violation scan (Section 2.2's replay support):
+    // younger loads that already executed against this address must be
+    // squashed and re-executed.
+    if (cfg.load_hoisting) {
+        for (const LsqEntry &l : t.ldq) {
+            if (!l.valid || l.seq <= s.seq || !l.addr_known)
+                continue;
+            if (rangesOverlap(l.va, l.size, s.va, s.size)) {
+                RobEntry &le = t.rob[l.rob];
+                if (le.state == RobState::Done
+                    && le.fault == GuestFault::None)
+                    le.hoist_violation = true;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace ptl

@@ -1,0 +1,450 @@
+#include "core/ooo/ooocore.h"
+
+#include <cstring>
+#include <cstdlib>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+int OooCore::next_core_id = 0;
+
+OooCore::OooCore(const CoreBuildParams &params, bool smt)
+    : cfg(*params.config), smt(smt), aspace(params.aspace),
+      bbcache(params.bbcache), sys(params.sys), stats(params.stats),
+      interlocks(params.interlocks),
+      st_commit_insns(stats->counter(params.prefix + "commit/insns")),
+      st_commit_uops(stats->counter(params.prefix + "commit/uops")),
+      st_cycles(stats->counter(params.prefix + "cycles")),
+      st_branches(stats->counter(params.prefix + "branches/total")),
+      st_cond_branches(stats->counter(params.prefix + "branches/cond")),
+      st_mispredicts(
+          stats->counter(params.prefix + "branches/mispredicted")),
+      st_indirect_branches(
+          stats->counter(params.prefix + "branches/indirect")),
+      st_indirect_mispredicts(
+          stats->counter(params.prefix + "branches/indirect_mispredicted")),
+      st_loads(stats->counter(params.prefix + "commit/loads")),
+      st_stores(stats->counter(params.prefix + "commit/stores")),
+      st_load_forwards(stats->counter(params.prefix + "lsq/forwards")),
+      st_load_replays(stats->counter(params.prefix + "lsq/replays")),
+      st_events(stats->counter(params.prefix + "commit/events_delivered")),
+      st_faults(stats->counter(params.prefix + "commit/faults_delivered")),
+      st_assists(stats->counter(params.prefix + "commit/assists")),
+      st_flushes(stats->counter(params.prefix + "pipeline/flushes")),
+      st_fetch_stall(stats->counter(params.prefix + "pipeline/fetch_stalls")),
+      st_rename_stall(
+          stats->counter(params.prefix + "pipeline/rename_stalls")),
+      st_hoist_flushes(stats->counter(params.prefix + "lsq/hoist_flushes")),
+      st_deadlock_rescues(
+          stats->counter(params.prefix + "smt/deadlock_rescues")),
+      st_checker_commits(stats->counter(params.prefix + "checker/commits"))
+{
+    core_id = next_core_id++;
+    trace_commits = std::getenv("PTLSIM_TRACE") != nullptr;
+    ptl_assert(!params.contexts.empty());
+    ptl_assert((int)params.contexts.size() <= 16);  // paper's SMT limit
+
+    hierarchy = std::make_unique<MemoryHierarchy>(
+        cfg, *aspace, *stats, params.prefix, params.coherence);
+    predictor = std::make_unique<BranchPredictor>(cfg, *stats,
+                                                  params.prefix);
+
+    // Physical register files: one pool, int partition then fp. The
+    // configured sizes are the *rename* pool; each hardware thread
+    // additionally pins one physical register per architectural slot,
+    // so reserve those on top (otherwise a 16-thread SMT core could
+    // not even hold its architectural state).
+    int nthreads = (int)params.contexts.size();
+    int int_arch = nthreads * (NUM_UOP_REGS - 16 + NUM_FLAG_GROUPS);
+    int fp_arch = nthreads * 16;
+    int int_total = cfg.int_prf_size + int_arch;
+    int fp_total = cfg.fp_prf_size + fp_arch;
+    prf.resize((size_t)int_total + (size_t)fp_total);
+    for (int i = 0; i < int_total; i++)
+        free_int.push_back(i);
+    for (int i = 0; i < fp_total; i++) {
+        prf[(size_t)int_total + i].is_fp = true;
+        free_fp.push_back(int_total + i);
+    }
+
+    // Clustered issue queues: N integer lanes + one FP queue.
+    for (int q = 0; q < cfg.int_iq_count; q++) {
+        IssueQueue iq;
+        iq.slots.resize((size_t)cfg.int_iq_size);
+        iq.cluster = q;
+        queues.push_back(std::move(iq));
+    }
+    {
+        IssueQueue fpq;
+        fpq.slots.resize((size_t)cfg.fp_iq_size);
+        fpq.cluster = cfg.int_iq_count;
+        fp_queue_index = (int)queues.size();
+        queues.push_back(std::move(fpq));
+    }
+
+    // Per-thread structures.
+    threads.resize(params.contexts.size());
+    for (size_t i = 0; i < params.contexts.size(); i++) {
+        Thread &t = threads[i];
+        t.ctx = params.contexts[i];
+        t.rob.resize((size_t)cfg.rob_size);
+        t.ldq.resize((size_t)cfg.ldq_size);
+        t.stq.resize((size_t)cfg.stq_size);
+        t.checkpoints.resize((size_t)cfg.rob_size);
+        t.checkpoint_used.assign((size_t)cfg.rob_size, false);
+        // Initialize the register maps: one phys per arch slot,
+        // preloaded from the context.
+        for (int r = 0; r < RAT_SIZE; r++) {
+            bool fp = (r < NUM_UOP_REGS) && isFpReg(r);
+            int p = allocPhys(fp);
+            ptl_assert(p >= 0);
+            prf[p].value = (r < NUM_UOP_REGS) ? t.ctx->reg(r) : 0;
+            prf[p].flags = t.ctx->flags;
+            prf[p].ready = true;
+            prf[p].ready_cycle = 0;
+            t.arch_rat[r] = (S16)p;
+            t.spec_rat[r] = (S16)p;
+            addRefPhys(p);
+        }
+        t.fetch_rip = t.ctx->rip;
+    }
+}
+
+int
+OooCore::allocPhys(bool fp)
+{
+    std::vector<int> &list = fp ? free_fp : free_int;
+    if (list.empty())
+        return -1;
+    int p = list.back();
+    list.pop_back();
+    PhysReg &reg = prf[p];
+    reg.ready = false;
+    reg.ready_cycle = ~0ULL;
+    reg.refcount = 0;
+    reg.in_free_list = false;
+    return p;
+}
+
+void
+OooCore::freePhys(int phys)
+{
+    if (phys < 0)
+        return;
+    PhysReg &reg = prf[phys];
+    ptl_assert(!reg.in_free_list);
+    ptl_assert(reg.refcount == 0);
+    reg.in_free_list = true;
+    (reg.is_fp ? free_fp : free_int).push_back(phys);
+}
+
+void
+OooCore::addRefPhys(int phys)
+{
+    if (phys >= 0)
+        prf[phys].refcount++;
+}
+
+void
+OooCore::dropRefPhys(int phys)
+{
+    if (phys < 0)
+        return;
+    PhysReg &reg = prf[phys];
+    ptl_assert(reg.refcount > 0);
+    if (--reg.refcount == 0 && !reg.in_free_list)
+        freePhys(phys);
+}
+
+bool
+OooCore::physReadyFor(int phys, int consumer_cluster, U64 now) const
+{
+    if (phys < 0)
+        return true;
+    const PhysReg &reg = prf[phys];
+    if (!reg.ready)
+        return false;
+    U64 effective = reg.ready_cycle;
+    // Inter-cluster bypass delay (e.g. K8's FP cluster 2 cycles away).
+    bool prod_fp = (reg.cluster == cfg.int_iq_count);
+    bool cons_fp = (consumer_cluster == cfg.int_iq_count);
+    if (prod_fp != cons_fp)
+        effective += (U64)cfg.fp_cluster_delay;
+    return effective <= now;
+}
+
+int
+OooCore::ownerId(const Thread &t) const
+{
+    return core_id * 16 + (int)(&t - threads.data());
+}
+
+void
+OooCore::redirectFetch(Thread &t, U64 rip, U64 now, U64 penalty)
+{
+    t.fetch_rip = rip;
+    t.fetch_bb = nullptr;
+    t.fetch_idx = 0;
+    t.fetch_queue.clear();
+    t.fetch_stall_until = now + penalty;
+    t.fetch_faulted = false;
+}
+
+void
+OooCore::squashYounger(Thread &t, int rob_idx, U64 now)
+{
+    // Walk from the tail back to (but excluding) rob_idx, undoing
+    // allocations in reverse order.
+    while (t.rob_used > 0) {
+        int last = (t.rob_tail + (int)t.rob.size() - 1) % (int)t.rob.size();
+        if (last == rob_idx)
+            break;
+        RobEntry &e = t.rob[last];
+        // Remove from any issue queue.
+        for (size_t q = 0; q < queues.size(); q++) {
+            for (IqEntry &slot : queues[q].slots) {
+                if (slot.valid && slot.thread == (int)(&t - threads.data())
+                    && slot.rob == last) {
+                    slot.valid = false;
+                    queues[q].used--;
+                    if ((int)q != fp_queue_index)
+                        t.int_iq_inflight--;
+                }
+            }
+        }
+        // Release LSQ slots (and any interlock a squashed load held).
+        if (e.lsq >= 0) {
+            LsqEntry &l =
+                e.uop.isLoad() ? t.ldq[e.lsq] : t.stq[e.lsq];
+            if (l.lock_acquired)
+                interlocks->release(l.paddr, ownerId(t));
+            l.valid = false;
+            (e.uop.isLoad() ? t.ldq_used : t.stq_used)--;
+        }
+        // Return the speculative physical register.
+        if (e.phys >= 0) {
+            prf[e.phys].refcount = 0;
+            freePhys(e.phys);
+        }
+        if (e.checkpoint >= 0)
+            t.checkpoint_used[e.checkpoint] = false;
+        t.rob_tail = last;
+        t.rob_used--;
+    }
+}
+
+void
+OooCore::flushThread(Thread &t)
+{
+    st_flushes++;
+    int tid = (int)(&t - threads.data());
+    // Drop everything in flight.
+    while (t.rob_used > 0) {
+        int last = (t.rob_tail + (int)t.rob.size() - 1) % (int)t.rob.size();
+        RobEntry &e = t.rob[last];
+        if (e.phys >= 0) {
+            prf[e.phys].refcount = 0;
+            freePhys(e.phys);
+        }
+        if (e.checkpoint >= 0)
+            t.checkpoint_used[e.checkpoint] = false;
+        t.rob_tail = last;
+        t.rob_used--;
+    }
+    t.rob_head = t.rob_tail = 0;
+    for (IssueQueue &iq : queues) {
+        for (IqEntry &slot : iq.slots) {
+            if (slot.valid && slot.thread == tid) {
+                slot.valid = false;
+                iq.used--;
+            }
+        }
+    }
+    t.int_iq_inflight = 0;
+    for (LsqEntry &e : t.ldq)
+        e.valid = false;
+    for (LsqEntry &e : t.stq)
+        e.valid = false;
+    t.ldq_used = t.stq_used = 0;
+    t.fetch_queue.clear();
+    std::memcpy(t.spec_rat, t.arch_rat, sizeof(t.spec_rat));
+    std::fill(t.checkpoint_used.begin(), t.checkpoint_used.end(), false);
+    interlocks->releaseAll(ownerId(t));
+    t.holds_locks = false;
+    t.fetch_bb = nullptr;
+    t.fetch_faulted = false;
+    t.fetch_rip = t.ctx->rip;
+    // Microcode (assists, event/fault delivery) mutates the Context
+    // directly; reload the architectural physical registers so the
+    // restarted pipeline reads the true committed state.
+    for (int r = 0; r < NUM_UOP_REGS; r++) {
+        PhysReg &reg = prf[t.arch_rat[r]];
+        reg.value = t.ctx->reg(r);
+        reg.ready = true;
+        reg.ready_cycle = 0;
+    }
+    for (int g = 0; g < NUM_FLAG_GROUPS; g++) {
+        PhysReg &reg = prf[t.arch_rat[FLAG_RAT_BASE + g]];
+        reg.flags = t.ctx->flags;
+        reg.ready = true;
+        reg.ready_cycle = 0;
+    }
+}
+
+void
+OooCore::flushPipeline()
+{
+    for (Thread &t : threads)
+        flushThread(t);
+}
+
+void
+OooCore::flushTlbs()
+{
+    hierarchy->flushTlbs();
+}
+
+bool
+OooCore::allIdle() const
+{
+    for (const Thread &t : threads) {
+        if (t.ctx->running)
+            return false;
+    }
+    return true;
+}
+
+int
+OooCore::pickFetchThread(U64 now)
+{
+    int n = (int)threads.size();
+    if (cfg.smt_policy == SmtPolicy::Icount && n > 1) {
+        // ICOUNT: fetch for the thread with the fewest uops in flight.
+        int best = -1;
+        int best_count = INT32_MAX;
+        for (int i = 0; i < n; i++) {
+            Thread &t = threads[i];
+            if (!t.ctx->running || t.fetch_stall_until > now
+                || t.fetch_faulted)
+                continue;
+            int inflight = t.rob_used + (int)t.fetch_queue.size();
+            if (inflight < best_count) {
+                best_count = inflight;
+                best = i;
+            }
+        }
+        return best;
+    }
+    for (int k = 0; k < n; k++) {
+        int i = (next_fetch_thread + k) % n;
+        Thread &t = threads[i];
+        if (!t.ctx->running || t.fetch_stall_until > now || t.fetch_faulted)
+            continue;
+        next_fetch_thread = i + 1;
+        return i;
+    }
+    return -1;
+}
+
+void
+OooCore::cycle(U64 now)
+{
+    now_cache = now;
+    st_cycles++;
+    stageCommit(now);
+    stageIssue(now);
+    stageRename(now);
+    stageFetch(now);
+
+    // SMT deadlock rescue (Section 2.2's deadlock prevention schemes):
+    // a thread that has not committed for a long time gets flushed and
+    // refetched, releasing any structural resources it wedged.
+    for (Thread &t : threads) {
+        if (!t.ctx->running) {
+            t.last_commit_cycle = now;
+            continue;
+        }
+        if (t.rob_used > 0
+            && now - t.last_commit_cycle
+                   > (U64)cfg.smt_deadlock_timeout) {
+            st_deadlock_rescues++;
+            flushThread(t);
+            t.last_commit_cycle = now;
+        }
+    }
+}
+
+void
+OooCore::validateInterlocks() const
+{
+    for (const auto &[paddr, owner] : interlocks->heldLocks()) {
+        if (owner / 16 != core_id)
+            continue;
+        int tid = owner % 16;
+        if (tid >= (int)threads.size())
+            panic("interlock owner %d has no thread", owner);
+        const Thread &t = threads[tid];
+        bool found = false;
+        for (const LsqEntry &l : t.ldq)
+            found |= (l.valid && l.lock_acquired
+                      && (l.paddr >> 3) == (paddr >> 3));
+        for (const LsqEntry &l : t.stq)
+            found |= (l.valid && l.lock_acquired
+                      && (l.paddr >> 3) == (paddr >> 3));
+        if (!found)
+            panic("orphaned interlock paddr=%llx owner=%d",
+                  (unsigned long long)paddr, owner);
+    }
+}
+
+std::string
+OooCore::debugState() const
+{
+    std::string out;
+    for (size_t i = 0; i < threads.size(); i++) {
+        const Thread &t = threads[i];
+        out += strprintf(
+            "thread %zu: rip=%llx running=%d rob=%d fq=%zu "
+            "fetch_rip=%llx stalled_until=%llu faulted=%d\n",
+            i, (unsigned long long)t.ctx->rip, (int)t.ctx->running,
+            t.rob_used, t.fetch_queue.size(),
+            (unsigned long long)t.fetch_rip,
+            (unsigned long long)t.fetch_stall_until,
+            (int)t.fetch_faulted);
+        int idx = t.rob_head;
+        for (int n = 0; n < std::min(t.rob_used, 8); n++) {
+            const RobEntry &e = t.rob[idx];
+            out += strprintf(
+                "  rob[%d] %s rip=%llx state=%d retry=%llu fault=%s "
+                "phys=%d ready=%d rdy_cyc=%llu srcs=%d,%d,%d,%d\n",
+                idx, uopInfo(e.uop.op).name,
+                (unsigned long long)e.uop.rip, (int)e.state,
+                (unsigned long long)e.retry_cycle,
+                guestFaultName(e.fault), e.phys,
+                e.phys >= 0 ? (int)prf[e.phys].ready : -1,
+                e.phys >= 0 ? (unsigned long long)prf[e.phys].ready_cycle
+                            : 0ULL,
+                e.src[0], e.src[1], e.src[2], e.src[3]);
+            idx = (idx + 1) % (int)t.rob.size();
+        }
+    }
+    for (size_t q = 0; q < queues.size(); q++)
+        out += strprintf("iq[%zu] used=%d\n", q, queues[q].used);
+    out += strprintf("free_int=%zu free_fp=%zu\n", free_int.size(),
+                     free_fp.size());
+    return out;
+}
+
+void
+registerOooCoreModels()
+{
+    registerCoreModel("ooo", [](const CoreBuildParams &p) {
+        return std::make_unique<OooCore>(p, false);
+    });
+    registerCoreModel("smt", [](const CoreBuildParams &p) {
+        return std::make_unique<OooCore>(p, true);
+    });
+}
+
+}  // namespace ptl

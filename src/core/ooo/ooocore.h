@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The out-of-order superscalar core model (Section 2.2).
+ *
+ * "The default core model is a modern superscalar out of order design,
+ * based on a combination of features from the Intel Pentium 4, AMD K8
+ * and Intel Core 2." The structures modeled here:
+ *
+ *  - fetch of pre-decoded uops from the basic block cache, with
+ *    I-TLB/I-cache timing charged per block and branch prediction at
+ *    fetch (direction predictor, BTB, return address stack);
+ *  - a frontend pipeline of configurable depth feeding rename;
+ *  - register renaming onto physical register files (configurable
+ *    count/size); each physical register carries its value *and* the
+ *    condition flags it produced, with the ZAPS/CF/OF groups renamed
+ *    independently (PTLsim's split-flags scheme);
+ *  - clustered issue queues (e.g. the K8's three 8-entry integer lanes
+ *    plus a 36-entry FP queue two cycles away) with oldest-first
+ *    select, per-cluster issue width, and inter-cluster bypass delay;
+ *  - a load/store queue with store-to-load forwarding by physical
+ *    address, replay on partial overlaps / unresolved older stores
+ *    (load hoisting configurable; the K8 preset disables it),
+ *    L1D bank-conflict replays, MSHR back-pressure, and hardware
+ *    page-walk latency injected on DTLB misses;
+ *  - an interlock controller for LOCK-prefixed instructions shared by
+ *    all threads and cores (Section 4.4);
+ *  - atomic commit of x86 instructions (SOM/EOM groups), precise
+ *    exceptions, microcode assists executed at the head of the ROB,
+ *    and event (virtual interrupt) delivery at instruction boundaries;
+ *  - misprediction recovery via per-branch RAT checkpoints;
+ *  - an SMT mode: up to 16 hardware threads with per-thread fetch
+ *    queues, ROBs, LDQ/STQ and rename state, sharing issue queues,
+ *    functional units and the cache hierarchy, with round-robin or
+ *    ICOUNT fetch policies and a deadlock-rescue flush (Section 2.2);
+ *  - an optional commit-time checker that runs every committed x86
+ *    instruction through the functional reference engine and compares
+ *    architectural state (the TFSim-style self-validation the paper
+ *    describes integrating).
+ */
+
+#ifndef PTLSIM_CORE_OOO_OOOCORE_H_
+#define PTLSIM_CORE_OOO_OOOCORE_H_
+
+#include <deque>
+#include <memory>
+
+#include "branch/predictor.h"
+#include "core/coreapi.h"
+#include "core/seqcore.h"
+#include "mem/hierarchy.h"
+
+namespace ptl {
+
+class OooCore : public CoreModel
+{
+  public:
+    OooCore(const CoreBuildParams &params, bool smt);
+
+    void cycle(U64 now) override;
+    bool allIdle() const override;
+    void flushPipeline() override;
+    void flushTlbs() override;
+    std::string name() const override { return smt ? "smt" : "ooo"; }
+    std::string debugState() const override;
+
+    /** Invariant check: every interlock owned by this core's threads
+     *  must be held by a live LSQ entry. panic()s on an orphan. */
+    void validateInterlocks() const;
+
+  private:
+    // ---- physical registers ----
+    struct PhysReg
+    {
+        U64 value = 0;
+        U16 flags = 0;
+        U64 ready_cycle = 0;   ///< cycle the value becomes readable
+        bool ready = false;
+        int cluster = 0;       ///< producing cluster (bypass delay)
+        int refcount = 0;      ///< references from architectural maps
+        bool in_free_list = true;
+        bool is_fp = false;
+    };
+
+    static constexpr int NUM_FLAG_GROUPS = 3;  // ZAPS, CF, OF
+    static constexpr int RAT_SIZE = NUM_UOP_REGS + NUM_FLAG_GROUPS;
+    static constexpr int FLAG_RAT_BASE = NUM_UOP_REGS;
+
+    struct RatCheckpoint
+    {
+        S16 map[RAT_SIZE];
+        int ras_top;
+        U64 history;
+    };
+
+    enum class RobState : U8 { Waiting, InQueue, Issued, Done };
+
+    struct RobEntry
+    {
+        Uop uop;
+        RobState state = RobState::Waiting;
+        int thread = 0;
+        int phys = -1;          ///< destination physical register
+        int src[4] = {-1, -1, -1, -1};  ///< ra, rb, rc, rf phys
+        int cluster = 0;
+        int lsq = -1;           ///< LDQ/STQ slot (by kind)
+        U64 retry_cycle = 0;    ///< earliest (re)issue attempt
+        GuestFault fault = GuestFault::None;
+        U64 fault_addr = 0;
+        // Branch resolution state.
+        BranchPrediction pred;
+        U64 predicted_next = 0;
+        U64 actual_next = 0;
+        bool mispredicted = false;
+        int checkpoint = -1;
+        // Memory replay bookkeeping.
+        bool hoist_violation = false;
+        U64 result = 0;
+        U16 outflags = 0;
+    };
+
+    struct LsqEntry
+    {
+        bool valid = false;
+        int rob = -1;
+        U64 va = 0;
+        U64 paddr = 0;
+        U8 size = 0;
+        bool addr_known = false;
+        bool locked = false;
+        bool lock_acquired = false;  ///< this entry owns the interlock
+        U64 data = 0;           ///< store data
+        U64 seq = 0;            ///< global program-order sequence
+    };
+
+    struct IqEntry
+    {
+        bool valid = false;
+        int thread = 0;
+        int rob = -1;
+        U64 seq = 0;
+    };
+
+    struct IssueQueue
+    {
+        std::vector<IqEntry> slots;
+        int cluster = 0;
+        int used = 0;
+    };
+
+    /** All per-hardware-thread state (Section 2.2's SMT split). */
+    struct Thread
+    {
+        Context *ctx = nullptr;
+        // Fetch state.
+        U64 fetch_rip = 0;
+        const BasicBlock *fetch_bb = nullptr;
+        size_t fetch_idx = 0;
+        U64 bb_generation = 0;
+        U64 fetch_stall_until = 0;
+        bool fetch_faulted = false;
+        GuestFault fetch_fault = GuestFault::None;
+        // Fetch queue: uops waiting for rename (with ready-at cycle).
+        struct FetchedUop
+        {
+            Uop uop;
+            U64 ready_at = 0;
+            BranchPrediction pred;
+            U64 predicted_next = 0;
+            int ras_top = 0;    ///< RAS state right after this uop fetched
+            GuestFault fetch_fault = GuestFault::None;
+        };
+        std::deque<FetchedUop> fetch_queue;
+        // Rename state.
+        S16 spec_rat[RAT_SIZE];
+        S16 arch_rat[RAT_SIZE];
+        // ROB (circular).
+        std::vector<RobEntry> rob;
+        int rob_head = 0, rob_tail = 0, rob_used = 0;
+        // LSQ.
+        std::vector<LsqEntry> ldq;
+        std::vector<LsqEntry> stq;
+        int ldq_used = 0, stq_used = 0;
+        // Checkpoints (parallel to ROB capacity).
+        std::vector<RatCheckpoint> checkpoints;
+        std::vector<bool> checkpoint_used;
+        U64 next_seq = 0;
+        U64 last_commit_cycle = 0;
+        bool holds_locks = false;
+        int int_iq_inflight = 0;  ///< integer IQ slots held (SMT cap)
+        // Commit checker.
+        std::unique_ptr<Context> shadow_ctx;
+        std::unique_ptr<FunctionalEngine> checker;
+    };
+
+    // ---- pipeline stages (called in reverse order each cycle) ----
+    void stageCommit(U64 now);
+    void stageIssue(U64 now);
+    void stageRename(U64 now);
+    void stageFetch(U64 now);
+
+    // ---- helpers ----
+    int allocPhys(bool fp);
+    void freePhys(int phys);
+    void addRefPhys(int phys);
+    void dropRefPhys(int phys);
+    bool physReadyFor(int phys, int consumer_cluster, U64 now) const;
+    RobEntry &robAt(Thread &t, int idx) { return t.rob[idx]; }
+    int robNext(const Thread &t, int idx) const
+    {
+        return (idx + 1) % (int)t.rob.size();
+    }
+    void flushThread(Thread &t);
+    void squashYounger(Thread &t, int rob_idx, U64 now);
+    void redirectFetch(Thread &t, U64 rip, U64 now, U64 penalty);
+    bool issueOne(U64 now, IssueQueue &iq, int slot);
+    bool issueLoad(U64 now, Thread &t, RobEntry &e);
+    bool issueStore(U64 now, Thread &t, RobEntry &e);
+    void resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e);
+    bool commitThread(U64 now, Thread &t, int &budget);
+    void commitUopState(Thread &t, RobEntry &e);
+    void runChecker(Thread &t, const RobEntry &eom_entry);
+    int pickFetchThread(U64 now);
+    int ownerId(const Thread &t) const;
+
+    // ---- members ----
+    SimConfig cfg;
+    bool smt;
+    AddressSpace *aspace;
+    BasicBlockCache *bbcache;
+    SystemInterface *sys;
+    StatsTree *stats;
+    InterlockController *interlocks;
+    int core_id = 0;
+    static int next_core_id;
+
+    std::unique_ptr<MemoryHierarchy> hierarchy;
+    std::unique_ptr<BranchPredictor> predictor;
+    std::vector<Thread> threads;
+    std::vector<PhysReg> prf;
+    std::vector<int> free_int, free_fp;
+    std::vector<IssueQueue> queues;   ///< int queues then FP queue
+    int fp_queue_index = 0;
+    int next_fetch_thread = 0;
+    int next_rename_thread = 0;
+    int next_commit_thread = 0;
+    U64 now_cache = 0;
+    std::vector<U64> pending_smc;   ///< code MFNs hit by committed stores
+    bool trace_commits = false;     ///< PTLSIM_TRACE=1 commit logging
+    bool renameOne(U64 now, Thread &t, int tid);
+
+    // Statistics.
+    Counter &st_commit_insns;
+    Counter &st_commit_uops;
+    Counter &st_cycles;
+    Counter &st_branches;
+    Counter &st_cond_branches;
+    Counter &st_mispredicts;
+    Counter &st_indirect_branches;
+    Counter &st_indirect_mispredicts;
+    Counter &st_loads;
+    Counter &st_stores;
+    Counter &st_load_forwards;
+    Counter &st_load_replays;
+    Counter &st_events;
+    Counter &st_faults;
+    Counter &st_assists;
+    Counter &st_flushes;
+    Counter &st_fetch_stall;
+    Counter &st_rename_stall;
+    Counter &st_hoist_flushes;
+    Counter &st_deadlock_rescues;
+    Counter &st_checker_commits;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_CORE_OOO_OOOCORE_H_

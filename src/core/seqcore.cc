@@ -1,0 +1,451 @@
+#include "core/seqcore.h"
+
+#include <cstring>
+
+#include "lib/logging.h"
+#include "uop/uopexec.h"
+
+namespace ptl {
+
+FunctionalEngine::FunctionalEngine(Context &ctx, AddressSpace &aspace,
+                                   BasicBlockCache &bbcache,
+                                   SystemInterface &sys, StatsTree &stats,
+                                   const std::string &prefix)
+    : ctx(&ctx), aspace(&aspace), bbcache(&bbcache), sys(&sys),
+      st_insns(stats.counter(prefix + "commit/insns")),
+      st_uops(stats.counter(prefix + "commit/uops")),
+      st_k8ops(stats.counter(prefix + "commit/k8ops")),
+      st_modeled_cycles(stats.counter(prefix + "profile/modeled_cycles")),
+      st_branches(stats.counter(prefix + "branches/total")),
+      st_cond_branches(stats.counter(prefix + "branches/cond")),
+      st_mispredicts(stats.counter(prefix + "branches/mispredicted")),
+      st_indirect_branches(stats.counter(prefix + "branches/indirect")),
+      st_indirect_mispredicts(
+          stats.counter(prefix + "branches/indirect_mispredicted")),
+      st_loads(stats.counter(prefix + "commit/loads")),
+      st_stores(stats.counter(prefix + "commit/stores")),
+      st_events(stats.counter(prefix + "commit/events_delivered")),
+      st_faults(stats.counter(prefix + "commit/faults_delivered")),
+      st_assists(stats.counter(prefix + "commit/assists"))
+{
+}
+
+void
+FunctionalEngine::attachProfiling(MemoryHierarchy *hierarchy,
+                                  BranchPredictor *predictor)
+{
+    hier = hierarchy;
+    bp = predictor;
+}
+
+void
+FunctionalEngine::reposition()
+{
+    cur_bb = nullptr;
+    uop_idx = 0;
+}
+
+U64
+FunctionalEngine::readReg(int reg) const
+{
+    if (reg == REG_zero || reg == REG_none)
+        return 0;
+    if (pending_valid[reg])
+        return pending_value[reg];
+    return ctx->regs[reg];
+}
+
+U16
+FunctionalEngine::readFlags(int reg) const
+{
+    if (reg == REG_none)
+        return 0;
+    if (pending_hasflags[reg])
+        return pending_flags[reg];
+    return regflags[reg];
+}
+
+FunctionalEngine::StepResult
+FunctionalEngine::stepInsn(U64 now)
+{
+    StepResult res;
+    if (!ctx->running) {
+        res.idle = true;
+        return res;
+    }
+
+    // Virtual interrupt delivery between instructions (Section 2.1).
+    if (ctx->event_pending && !ctx->event_mask
+        && ctx->event_callback != 0) {
+        deliverEvent(*ctx, *aspace);
+        st_events++;
+        reposition();
+        res.event_delivered = true;
+        return res;
+    }
+
+    // (Re)acquire the decode position.
+    if (!cur_bb || uop_idx >= cur_bb->uops.size()
+        || bb_generation != bbcache->generation()) {
+        GuestFault ff = GuestFault::None;
+        cur_bb = bbcache->get(*ctx, &ff);
+        uop_idx = 0;
+        bb_generation = bbcache->generation();
+        if (!cur_bb) {
+            st_faults++;
+            deliverFault(*ctx, *aspace, ff, ctx->rip, ctx->rip);
+            res.fault_delivered = ff;
+            reposition();
+            return res;
+        }
+        if (bp && hier) {
+            // Profile the instruction fetch path once per block.
+            TranslateResult t = hier->translateFetch(
+                ctx->cr3, ctx->rip, !ctx->kernel_mode, now);
+            if (t.fault == GuestFault::None)
+                hier->fetchAccess(t.paddr, now);
+        }
+    }
+
+    // The flag-group pseudo-registers always reflect current flags.
+    regflags[REG_zaps] = regflags[REG_cf] = regflags[REG_of] = ctx->flags;
+
+    std::memset(pending_valid, 0, sizeof(pending_valid));
+    std::memset(pending_hasflags, 0, sizeof(pending_hasflags));
+    int mem_uops_this_insn = 0;
+    std::vector<PendingWrite> stores;
+    std::vector<std::pair<U16, U8>> flag_updates;  ///< (flags, setmask)
+    U64 insn_rip = ctx->rip;
+    U64 next_rip = 0;
+    bool redirect = false;
+    GuestFault fault = GuestFault::None;
+    U64 fault_addr = 0;
+    int uops_done = 0;
+
+    size_t i = uop_idx;
+    for (; i < cur_bb->uops.size(); i++) {
+        const Uop &u = cur_bb->uops[i];
+        uops_done++;
+
+        if (u.isMem()) {
+            U64 va = uopMemAddr(u, readReg(u.ra), readReg(u.rb));
+            if (u.isLoad()) {
+                mem_uops_this_insn++;
+                st_loads++;
+                // Forward from this instruction's own pending stores.
+                U64 value = 0;
+                GuestAccess a = guestRead(*aspace, *ctx, va, u.size, value);
+                if (!a.ok()) {
+                    fault = a.fault;
+                    fault_addr = va;
+                    break;
+                }
+                for (const PendingWrite &w : stores) {
+                    if (w.va == va && w.size >= u.size)
+                        value = w.value & byteMask(u.size);
+                }
+                if (hier) {
+                    TranslateResult t = hier->translateData(
+                        ctx->cr3, va, false, !ctx->kernel_mode, now);
+                    if (t.fault == GuestFault::None) {
+                        MemResult m = hier->dataAccess(t.paddr, false, now,
+                                                       true);
+                        // Analytic stall: miss penalty with a 2x
+                        // memory-level-parallelism discount (the real
+                        // OOO K8 overlaps misses); hits are covered by
+                        // the pipelined base throughput.
+                        res.mem_stall +=
+                            t.latency + (m.l1_hit ? 0 : m.latency / 2);
+                    }
+                }
+                if (u.op == UopOp::Lds)
+                    value = signExtend(value, u.size);
+                pending_valid[u.rd] = true;
+                pending_value[u.rd] = value;
+                if (u.eom)
+                    break;
+            } else {
+                mem_uops_this_insn++;
+                st_stores++;
+                // Validate the translation now; apply at EOM.
+                GuestAccess a =
+                    guestTranslate(*aspace, *ctx, va, MemAccess::Write);
+                if (!a.ok()) {
+                    fault = a.fault;
+                    fault_addr = va;
+                    break;
+                }
+                if (pageOf(va) != pageOf(va + u.size - 1)) {
+                    GuestAccess b = guestTranslate(
+                        *aspace, *ctx, va + u.size - 1, MemAccess::Write);
+                    if (!b.ok()) {
+                        fault = b.fault;
+                        fault_addr = va + u.size - 1;
+                        break;
+                    }
+                }
+                if (hier) {
+                    TranslateResult t = hier->translateData(
+                        ctx->cr3, va, true, !ctx->kernel_mode, now);
+                    if (t.fault == GuestFault::None) {
+                        hier->dataAccess(t.paddr, true, now, true);
+                        // Stores retire off the critical path; only
+                        // the translation stall is architectural.
+                        res.mem_stall += t.latency;
+                    }
+                }
+                stores.push_back(
+                    {va, readReg(u.rc) & byteMask(u.size), u.size,
+                     u.locked});
+                if (u.eom)
+                    break;
+            }
+            continue;
+        }
+
+        if (u.isAssist()) {
+            // Assists are the final uop: commit earlier effects first.
+            for (int r = 0; r < NUM_UOP_REGS; r++) {
+                if (pending_valid[r])
+                    ctx->setReg(r, pending_value[r]);
+                if (pending_hasflags[r])
+                    regflags[r] = pending_flags[r];
+            }
+            for (const PendingWrite &w : stores)
+                guestWrite(*aspace, *ctx, w.va, w.size, w.value);
+            st_assists++;
+            AssistResult ar = executeAssist(u.assist(), *ctx, *aspace,
+                                            *sys, u.ripseq);
+            if (ar.fault != GuestFault::None) {
+                fault = ar.fault;
+                fault_addr = insn_rip;
+                stores.clear();
+                std::memset(pending_valid, 0, sizeof(pending_valid));
+                break;
+            }
+            next_rip = ar.next_rip;
+            redirect = true;
+            if (ar.blocked)
+                res.blocked_now = true;
+            stores.clear();
+            std::memset(pending_valid, 0, sizeof(pending_valid));
+            ptl_assert(u.eom);
+            break;
+        }
+
+        UopOutcome out = executeUop(u, readReg(u.ra), readReg(u.rb),
+                                    readReg(u.rc), readFlags(u.rf),
+                                    readFlags(u.ra), readFlags(u.rb),
+                                    readFlags(u.rc));
+        if (out.fault != GuestFault::None) {
+            fault = out.fault;
+            fault_addr = insn_rip;
+            break;
+        }
+
+        if (u.isBranch()) {
+            ptl_assert(u.eom);
+            st_branches++;
+            if (u.op == UopOp::BrCC) {
+                st_cond_branches++;
+                if (bp) {
+                    BranchPrediction p = bp->predict(u.rip);
+                    if (p.taken != out.taken) {
+                        st_mispredicts++;
+                        // Analytic timing: redirect bubble.
+                        res.mem_stall += 10;
+                    }
+                    bp->resolve(u.rip, p, out.taken);
+                }
+            } else if (u.op == UopOp::Jmp) {
+                st_indirect_branches++;
+                if (bp) {
+                    U64 predicted = u.hint_ret ? bp->popReturn()
+                                               : bp->predictTarget(u.rip);
+                    if (predicted != out.value)
+                        st_indirect_mispredicts++;
+                    if (!u.hint_ret)
+                        bp->updateTarget(u.rip, out.value);
+                }
+            }
+            if (bp && u.hint_call)
+                bp->pushReturn(u.ripseq);
+            if (out.taken || u.op == UopOp::Jmp) {
+                next_rip = out.value;
+                redirect = true;
+            } else {
+                next_rip = (U64)u.imm2;
+            }
+            break;  // branches always end their instruction
+        }
+
+        if (u.writesRd()) {
+            pending_valid[u.rd] = true;
+            pending_value[u.rd] = out.value;
+        }
+        if (u.setflags) {
+            flag_updates.emplace_back(out.flags, u.setflags);
+            if (u.rd != REG_none && u.rd != REG_zero) {
+                pending_hasflags[u.rd] = true;
+                pending_flags[u.rd] = out.flags;
+            }
+        }
+        if (u.eom)
+            break;
+    }
+
+    if (fault != GuestFault::None) {
+        st_faults++;
+        res.fault_delivered = fault;
+        deliverFault(*ctx, *aspace, fault, insn_rip, fault_addr);
+        reposition();
+        return res;
+    }
+
+    // ---- atomic commit of this x86 instruction ----
+    for (int r = 0; r < NUM_UOP_REGS; r++) {
+        if (pending_valid[r])
+            ctx->setReg(r, pending_value[r]);
+        if (pending_hasflags[r])
+            regflags[r] = pending_flags[r];
+    }
+    for (const auto &[flags_out, setmask] : flag_updates)
+        ctx->applyFlags(flags_out, setmask);
+
+    // Capture block-relative facts before store commit: an SMC store
+    // below may invalidate cur_bb (repositioning this engine), and an
+    // assist's hypercall hooks may already have done so.
+    U64 fall_rip = 0;
+    bool more_in_block = false;
+    if (cur_bb != nullptr) {
+        fall_rip = cur_bb->uops[std::min(i, cur_bb->uops.size() - 1)].ripseq;
+        more_in_block = (i + 1 < cur_bb->uops.size());
+    }
+
+    bool smc = false;
+    for (const PendingWrite &w : stores) {
+        guestWrite(*aspace, *ctx, w.va, w.size, w.value);
+        GuestAccess a = guestTranslate(*aspace, *ctx, w.va, MemAccess::Write);
+        if (a.ok() && sys->isCodeMfn(pageOf(a.paddr))) {
+            sys->notifyCodeWrite(pageOf(a.paddr));
+            smc = true;
+        }
+        if (w.size > 1) {
+            GuestAccess b = guestTranslate(*aspace, *ctx,
+                                           w.va + w.size - 1,
+                                           MemAccess::Write);
+            if (b.ok() && pageOf(b.paddr) != pageOf(a.paddr)
+                && sys->isCodeMfn(pageOf(b.paddr))) {
+                sys->notifyCodeWrite(pageOf(b.paddr));
+                smc = true;
+            }
+        }
+    }
+
+    st_insns++;
+    st_uops += (U64)uops_done;
+    // K8 "macro-op" accounting: the K8 front end fuses a memory access
+    // with its consuming/producing ALU operation into one macro-op
+    // ("uop triads"), so its op counters read lower than PTLsim's
+    // discrete uop counts (the paper's +31% uop row).
+    st_k8ops += (U64)std::max(1, uops_done - mem_uops_this_insn);
+    if (hier) {
+        // First-order analytic timing for the profiling/reference
+        // trials (stands in for silicon's measured cycle counter):
+        // macro-ops retire at a sustained ~1.5/cycle (midway between
+        // the K8's 3-wide peak and typical integer-code throughput),
+        // plus cache/TLB/mispredict stall cycles reported by the
+        // structure models. Indicative only — see EXPERIMENTS.md.
+        int ops = std::max(1, uops_done - mem_uops_this_insn);
+        U64 base = (U64)std::max(1, (ops * 2 + 2) / 3);
+        st_modeled_cycles += base + (U64)res.mem_stall;
+    }
+    res.insns = 1;
+    res.uops = uops_done;
+
+    if (redirect || next_rip) {
+        ctx->rip = next_rip;
+    } else {
+        // Non-branch EOM: fall through sequentially.
+        ctx->rip = fall_rip;
+    }
+
+    // Advance within the block or drop the position.
+    if (!redirect && more_in_block && !smc && cur_bb != nullptr) {
+        uop_idx = i + 1;
+    } else {
+        reposition();
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// SeqCore
+// ---------------------------------------------------------------------
+
+SeqCore::SeqCore(const CoreBuildParams &params)
+    : contexts(params.contexts)
+{
+    hierarchy = std::make_unique<MemoryHierarchy>(
+        *params.config, *params.aspace, *params.stats, params.prefix,
+        params.coherence);
+    predictor = std::make_unique<BranchPredictor>(*params.config,
+                                                  *params.stats,
+                                                  params.prefix);
+    for (Context *ctx : contexts) {
+        engines.push_back(std::make_unique<FunctionalEngine>(
+            *ctx, *params.aspace, *params.bbcache, *params.sys,
+            *params.stats, params.prefix));
+        engines.back()->attachProfiling(hierarchy.get(), predictor.get());
+        stall_until.push_back(0);
+    }
+}
+
+void
+SeqCore::cycle(U64 now)
+{
+    // Round-robin across hardware threads, one instruction at a time;
+    // memory stalls show up as per-thread stall windows.
+    for (size_t n = 0; n < engines.size(); n++) {
+        size_t t = (next_thread + n) % engines.size();
+        if (!contexts[t]->running || stall_until[t] > now)
+            continue;
+        FunctionalEngine::StepResult r = engines[t]->stepInsn(now);
+        stall_until[t] = now + (U64)std::max(1, r.uops) + (U64)r.mem_stall;
+        next_thread = t + 1;
+        return;
+    }
+}
+
+bool
+SeqCore::allIdle() const
+{
+    for (const Context *ctx : contexts) {
+        if (ctx->running)
+            return false;
+    }
+    return true;
+}
+
+void
+SeqCore::flushPipeline()
+{
+    for (auto &e : engines)
+        e->reposition();
+}
+
+void
+SeqCore::flushTlbs()
+{
+    hierarchy->flushTlbs();
+}
+
+void
+registerSeqCoreModel()
+{
+    registerCoreModel("seq", [](const CoreBuildParams &p) {
+        return std::make_unique<SeqCore>(p);
+    });
+}
+
+}  // namespace ptl

@@ -1,0 +1,183 @@
+#include "decode/bbcache.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+BasicBlockCache::BasicBlockCache(AddressSpace &aspace, StatsTree &stats)
+    : aspace(&aspace),
+      st_hits(stats.counter("bbcache/hits")),
+      st_misses(stats.counter("bbcache/misses")),
+      st_smc_invalidations(stats.counter("bbcache/smc_invalidations"))
+{
+}
+
+const BasicBlock *
+BasicBlockCache::get(const Context &ctx, GuestFault *fault)
+{
+    *fault = GuestFault::None;
+    // The key needs the starting MFN: translate the first byte.
+    GuestAccess first =
+        guestTranslate(*aspace, ctx, ctx.rip, MemAccess::Execute);
+    if (!first.ok()) {
+        *fault = first.fault;
+        return nullptr;
+    }
+    Key key{ctx.rip, pageOf(first.paddr), ctx.kernel_mode};
+    auto it = blocks.find(key);
+    if (it != blocks.end()) {
+        st_hits++;
+        return it->second.get();
+    }
+    st_misses++;
+    std::unique_ptr<BasicBlock> bb = decode(ctx, fault);
+    if (!bb)
+        return nullptr;
+    BasicBlock *raw = bb.get();
+    mfn_index[bb->mfn_lo].insert(raw);
+    code_mfns.insert(bb->mfn_lo);
+    if (bb->mfn_hi != bb->mfn_lo) {
+        mfn_index[bb->mfn_hi].insert(raw);
+        code_mfns.insert(bb->mfn_hi);
+    }
+    blocks.emplace(key, std::move(bb));
+    count++;
+    return raw;
+}
+
+std::unique_ptr<BasicBlock>
+BasicBlockCache::decode(const Context &ctx, GuestFault *fault)
+{
+    auto bb = std::make_unique<BasicBlock>();
+    bb->rip = ctx.rip;
+    bb->kernel = ctx.kernel_mode;
+
+    Translator translator(bb->uops);
+    U64 rip = ctx.rip;
+    for (int i = 0; i < MAX_BB_X86_INSNS; i++) {
+        // Gather up to 15 bytes, stopping at an unmapped page.
+        U8 bytes[MAX_X86_INSN_BYTES];
+        size_t avail = 0;
+        U64 mfn_first = 0;
+        while (avail < MAX_X86_INSN_BYTES) {
+            GuestAccess a = guestTranslate(*aspace, ctx, rip + avail,
+                                           MemAccess::Execute);
+            if (!a.ok()) {
+                if (avail == 0) {
+                    // Even the first byte is unfetchable.
+                    if (i == 0) {
+                        *fault = a.fault;
+                        return nullptr;
+                    }
+                    // Mid-block: close the block; the fault (if ever
+                    // reached) is taken when fetch gets here again.
+                    translator.sealWithJump(rip, rip);
+                    bb->end = BbEnd::SizeLimit;
+                    bb->bytes = (U32)(rip - bb->rip);
+                    bb->x86_count = (U32)i;
+                    bb->mfn_lo = mfn_first ? mfn_first
+                                           : pageOf(guestTranslate(
+                                                 *aspace, ctx, bb->rip,
+                                                 MemAccess::Execute).paddr);
+                    bb->mfn_hi = bb->mfn_lo;
+                    return bb;
+                }
+                break;
+            }
+            if (avail == 0)
+                mfn_first = pageOf(a.paddr);
+
+            // Copy the rest of this page in one go.
+            size_t chunk = std::min<size_t>(
+                MAX_X86_INSN_BYTES - avail,
+                PAGE_SIZE - pageOffset(rip + avail));
+            aspace->physMem().readBytes(a.paddr, bytes + avail, chunk);
+            avail += chunk;
+        }
+
+        X86Insn insn = decodeX86(bytes, avail, rip);
+        if (!insn.valid && insn.length == 0 && avail < MAX_X86_INSN_BYTES) {
+            // Truncated by an unmapped page: the instruction straddles
+            // into a fault. Raise #PF(fetch) at execution time via an
+            // assist placed at this RIP.
+            insn.valid = false;
+            insn.length = 1;
+        }
+        if (i == 0) {
+            bb->mfn_lo = pageOf(
+                guestTranslate(*aspace, ctx, rip, MemAccess::Execute)
+                    .paddr);
+        }
+
+        BbEnd end = translator.translate(insn);
+        U64 end_byte_rip = rip + (insn.length ? insn.length - 1 : 0);
+        GuestAccess last = guestTranslate(*aspace, ctx, end_byte_rip,
+                                          MemAccess::Execute);
+        if (last.ok())
+            bb->mfn_hi = pageOf(last.paddr);
+        rip = insn.nextRip();
+        bb->x86_count++;
+
+        if (end != BbEnd::None) {
+            bb->end = end;
+            break;
+        }
+        if (translator.uopCount() >= MAX_BB_UOPS
+            || bb->x86_count >= MAX_BB_X86_INSNS) {
+            translator.sealWithJump(rip, rip);
+            bb->end = BbEnd::SizeLimit;
+            break;
+        }
+    }
+    if (bb->mfn_hi == 0)
+        bb->mfn_hi = bb->mfn_lo;
+    bb->bytes = (U32)(rip - bb->rip);
+    ptl_assert(!bb->uops.empty());
+    ptl_assert(bb->uops.back().eom);
+    return bb;
+}
+
+int
+BasicBlockCache::invalidateMfn(U64 mfn)
+{
+    auto it = mfn_index.find(mfn);
+    if (it == mfn_index.end())
+        return 0;
+    gen++;
+    int n = 0;
+    // Collect the victim blocks, then erase them from the key map.
+    std::unordered_set<const BasicBlock *> victims = std::move(it->second);
+    mfn_index.erase(it);
+    code_mfns.erase(mfn);
+    for (auto bit = blocks.begin(); bit != blocks.end();) {
+        if (victims.count(bit->second.get())) {
+            // Also unhook from the other frame's index.
+            const BasicBlock *bb = bit->second.get();
+            U64 other = (bb->mfn_lo == mfn) ? bb->mfn_hi : bb->mfn_lo;
+            if (other != mfn) {
+                auto oit = mfn_index.find(other);
+                if (oit != mfn_index.end())
+                    oit->second.erase(bb);
+            }
+            bit = blocks.erase(bit);
+            n++;
+            count--;
+        } else {
+            ++bit;
+        }
+    }
+    st_smc_invalidations += (U64)n;
+    return n;
+}
+
+void
+BasicBlockCache::invalidateAll()
+{
+    blocks.clear();
+    mfn_index.clear();
+    code_mfns.clear();
+    count = 0;
+    gen++;
+}
+
+}  // namespace ptl

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The basic block cache.
+ *
+ * PTLsim does not re-decode x86 instructions every time they enter the
+ * pipeline: decoded uop sequences for whole basic blocks are cached.
+ * In full-system mode the cache key is much more than the RIP
+ * (Section 2.1): code is identified by its virtual address, the
+ * machine frame (MFN) it starts on, the MFN it ends on when an
+ * instruction crosses a page, and contextual bits (kernel vs. user
+ * mode). Self-modifying code is handled by tracking which MFNs back
+ * decoded blocks and invalidating them when stores touch those frames.
+ * The cache is transparent to the modeled microarchitecture — it only
+ * accelerates simulation.
+ */
+
+#ifndef PTLSIM_DECODE_BBCACHE_H_
+#define PTLSIM_DECODE_BBCACHE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/context.h"
+#include "decode/translate.h"
+#include "stats/stats.h"
+
+namespace ptl {
+
+/** Upper bounds on block size (PTLsim-like). */
+constexpr int MAX_BB_X86_INSNS = 16;
+constexpr size_t MAX_BB_UOPS = 48;
+
+/** A translated basic block. */
+struct BasicBlock
+{
+    U64 rip = 0;
+    U64 mfn_lo = 0;          ///< frame of the first instruction byte
+    U64 mfn_hi = 0;          ///< frame of the last byte (page crossing)
+    bool kernel = false;     ///< decoded-in-kernel-mode context bit
+    std::vector<Uop> uops;
+    BbEnd end = BbEnd::None;
+    U32 bytes = 0;
+    U32 x86_count = 0;
+};
+
+class BasicBlockCache
+{
+  public:
+    BasicBlockCache(AddressSpace &aspace, StatsTree &stats);
+
+    /**
+     * Find or decode the block starting at ctx.rip under ctx's
+     * translation context. Returns nullptr with *fault set if the
+     * first instruction byte cannot be fetched.
+     */
+    const BasicBlock *get(const Context &ctx, GuestFault *fault);
+
+    /** A store touched machine frame `mfn`: drop every block it backs
+     *  (self-modifying code). Returns the number invalidated. */
+    int invalidateMfn(U64 mfn);
+
+    /** True if decoded blocks currently live on `mfn`. */
+    bool isCodeMfn(U64 mfn) const { return code_mfns.count(mfn) != 0; }
+
+    /** Drop everything (native<->sim transitions, tests). */
+    void invalidateAll();
+
+    size_t size() const { return count; }
+
+    /** Bumped on every invalidation; lets engines detect that cached
+     *  BasicBlock pointers may have been freed. */
+    U64 generation() const { return gen; }
+
+  private:
+    struct Key
+    {
+        U64 rip;
+        U64 mfn_lo;
+        bool kernel;
+        bool operator==(const Key &o) const
+        {
+            return rip == o.rip && mfn_lo == o.mfn_lo && kernel == o.kernel;
+        }
+    };
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &k) const
+        {
+            return (size_t)(k.rip * 0x9e3779b97f4a7c15ULL
+                            ^ (k.mfn_lo << 17) ^ (U64)k.kernel);
+        }
+    };
+
+    std::unique_ptr<BasicBlock> decode(const Context &ctx,
+                                       GuestFault *fault);
+
+    AddressSpace *aspace;
+    std::unordered_map<Key, std::unique_ptr<BasicBlock>, KeyHash> blocks;
+    std::unordered_map<U64, std::unordered_set<const BasicBlock *>>
+        mfn_index;
+    std::unordered_set<U64> code_mfns;
+    size_t count = 0;
+    U64 gen = 0;
+
+    Counter &st_hits;
+    Counter &st_misses;
+    Counter &st_smc_invalidations;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_DECODE_BBCACHE_H_

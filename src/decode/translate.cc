@@ -1,0 +1,1409 @@
+#include "decode/translate.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+namespace {
+
+constexpr UopOp kAluOps[8] = {
+    UopOp::Add, UopOp::Or, UopOp::Adc, UopOp::Sbb,
+    UopOp::And, UopOp::Sub, UopOp::Xor, UopOp::Sub /* cmp */,
+};
+
+}  // namespace
+
+BbEnd
+translateOne(const X86Insn &insn, std::vector<Uop> &out)
+{
+    Translator t(out);
+    return t.translate(insn);
+}
+
+Uop &
+Translator::emit(const Uop &u)
+{
+    out->push_back(u);
+    return out->back();
+}
+
+Uop
+Translator::makeUop(UopOp op, unsigned size) const
+{
+    Uop u;
+    u.op = op;
+    u.size = (U8)size;
+    return u;
+}
+
+int
+Translator::temp()
+{
+    ptl_assert(next_temp < 8);
+    return REG_temp0 + next_temp++;
+}
+
+void
+Translator::beginInsn(const X86Insn &insn)
+{
+    cur = &insn;
+    insn_start = out->size();
+    next_temp = 0;
+}
+
+void
+Translator::endInsn()
+{
+    // Degenerate encodings (e.g. "lea rax, [rax]") translate to no
+    // work at all; an instruction still needs a committable uop.
+    if (out->size() == insn_start)
+        emit(makeUop(UopOp::Nop, 8));
+    (*out)[insn_start].som = true;
+    out->back().eom = true;
+    for (size_t i = insn_start; i < out->size(); i++) {
+        (*out)[i].rip = cur->rip;
+        (*out)[i].ripseq = cur->nextRip();
+    }
+}
+
+U8
+Translator::condNeeds(CondCode cc)
+{
+    return condFlagGroups(cc);
+}
+
+int
+Translator::flagSource(U8 groups)
+{
+    int first = REG_none;
+    bool uniform = true;
+    if (groups & SETFLAG_ZAPS)
+        first = zaps_src;
+    if (groups & SETFLAG_CF) {
+        if (first == REG_none)
+            first = cf_src;
+        else if (cf_src != first)
+            uniform = false;
+    }
+    if (groups & SETFLAG_OF) {
+        if (first == REG_none)
+            first = of_src;
+        else if (of_src != first)
+            uniform = false;
+    }
+    if (uniform)
+        return first;
+    // Flag groups live in different producers: merge with collcc.
+    int t = temp();
+    Uop u = makeUop(UopOp::CollCC, 8);
+    u.rd = (U8)t;
+    u.ra = (U8)zaps_src;
+    u.rb = (U8)cf_src;
+    u.rc = (U8)of_src;
+    u.setflags = SETFLAG_ALL;
+    emit(u);
+    setFlagProducer(SETFLAG_ALL, t);
+    return t;
+}
+
+void
+Translator::setFlagProducer(U8 groups, int reg)
+{
+    if (groups & SETFLAG_ZAPS)
+        zaps_src = reg;
+    if (groups & SETFLAG_CF)
+        cf_src = reg;
+    if (groups & SETFLAG_OF)
+        of_src = reg;
+}
+
+Translator::MemRef
+Translator::memRef(const X86Insn &insn) const
+{
+    MemRef m;
+    m.disp = insn.disp;
+    if (insn.has_sib) {
+        m.base = insn.sibBase();
+        int idx = insn.sibIndex();
+        if (idx != 4) {  // index 100b = none
+            m.index = idx;
+            m.scale_log = (U8)log2Exact((U64)insn.sibScale());
+        }
+    } else {
+        m.base = insn.rm();
+    }
+    return m;
+}
+
+Uop &
+Translator::emitLoad(const MemRef &m, int rd, unsigned size, bool sign,
+                     bool locked)
+{
+    Uop u = makeUop(sign ? UopOp::Lds : UopOp::Ld, size);
+    u.rd = (U8)rd;
+    u.ra = (U8)m.base;
+    if (m.index != REG_none) {
+        u.rb = (U8)m.index;
+        u.scale = m.scale_log;
+    } else {
+        u.rb = REG_zero;
+    }
+    u.imm = m.disp;
+    u.locked = locked;
+    u.unaligned = true;
+    return emit(u);
+}
+
+Uop &
+Translator::emitStore(const MemRef &m, int rc, unsigned size, bool locked)
+{
+    Uop u = makeUop(UopOp::St, size);
+    u.ra = (U8)m.base;
+    if (m.index != REG_none) {
+        u.rb = (U8)m.index;
+        u.scale = m.scale_log;
+    } else {
+        u.rb = REG_zero;
+    }
+    u.rc = (U8)rc;
+    u.imm = m.disp;
+    u.locked = locked;
+    u.unaligned = true;
+    return emit(u);
+}
+
+void
+Translator::emitLea(const MemRef &m, int rd)
+{
+    // rd = base + (index << scale) + disp, no flags.
+    int acc = m.base;
+    if (m.index != REG_none) {
+        int t = temp();
+        Uop sh = makeUop(UopOp::Shl, 8);
+        sh.rd = (U8)t;
+        sh.ra = (U8)m.index;
+        sh.rb_imm = true;
+        sh.imm = m.scale_log;
+        sh.rf = REG_none;
+        emit(sh);
+        int t2 = (m.disp == 0) ? rd : temp();
+        Uop add = makeUop(UopOp::Add, 8);
+        add.rd = (U8)t2;
+        add.ra = (U8)acc;
+        add.rb = (U8)t;
+        emit(add);
+        acc = t2;
+    }
+    if (m.disp != 0 || acc != rd) {
+        Uop u = makeUop(m.disp ? UopOp::Add : UopOp::Mov, 8);
+        u.rd = (U8)rd;
+        if (m.disp) {
+            u.ra = (U8)acc;
+            u.rb_imm = true;
+            u.imm = m.disp;
+        } else {
+            u.rb = (U8)acc;
+        }
+        emit(u);
+    }
+}
+
+void
+Translator::writeGpr(int reg, int src, unsigned size)
+{
+    if (size >= 4) {
+        Uop u = makeUop(UopOp::Mov, size == 4 ? 4 : 8);
+        u.rd = (U8)reg;
+        u.rb = (U8)src;
+        emit(u);
+    } else {
+        Uop u = makeUop(UopOp::MergeLo, size);
+        u.rd = (U8)reg;
+        u.ra = (U8)reg;
+        u.rb = (U8)src;
+        emit(u);
+    }
+}
+
+void
+Translator::emitAssist(AssistId id)
+{
+    Uop u = makeUop(UopOp::Assist, 8);
+    u.rd = REG_none;
+    u.imm = (S64)(U16)id;
+    u.imm2 = (S64)cur->nextRip();
+    emit(u);
+}
+
+void
+Translator::emitInvalid()
+{
+    emitAssist(AssistId::InvalidOpcode);
+}
+
+// ---------------------------------------------------------------------
+// Instruction families
+// ---------------------------------------------------------------------
+
+BbEnd
+Translator::doAluBlock(const X86Insn &d)
+{
+    int aluidx = (d.opcode >> 3) & 7;
+    UopOp op = kAluOps[aluidx];
+    bool is_cmp = (aluidx == 7);
+    bool byteop = !(d.opcode & 1);
+    bool rm_is_dest = !(d.opcode & 2);
+    unsigned size = byteop ? 1 : d.opSize();
+    bool needs_cf_in = (op == UopOp::Adc || op == UopOp::Sbb);
+    int rf = needs_cf_in ? flagSource(SETFLAG_CF) : REG_none;
+    bool locked = d.prefix_lock && d.rmIsMem();
+
+    auto alu = [&](int rd, int ra, int rb) {
+        Uop u = makeUop(op, size);
+        u.rd = (U8)rd;
+        u.ra = (U8)ra;
+        u.rb = (U8)rb;
+        u.rf = (U8)rf;
+        u.setflags = SETFLAG_ALL;
+        u.locked = locked;
+        emit(u);
+        setFlagProducer(SETFLAG_ALL, rd);
+    };
+
+    if (d.rmIsMem()) {
+        MemRef m = memRef(d);
+        if (rm_is_dest) {
+            int t0 = temp(), t1 = temp();
+            emitLoad(m, t0, size, false, locked);
+            alu(t1, t0, d.reg());
+            if (!is_cmp)
+                emitStore(m, t1, size, locked);
+        } else {
+            int t0 = temp();
+            emitLoad(m, t0, size, false);
+            if (is_cmp || size < 4) {
+                int t1 = temp();
+                alu(t1, d.reg(), t0);
+                if (!is_cmp)
+                    writeGpr(d.reg(), t1, size);
+            } else {
+                alu(d.reg(), d.reg(), t0);
+            }
+        }
+    } else {
+        int dest = rm_is_dest ? d.rm() : d.reg();
+        int src = rm_is_dest ? d.reg() : d.rm();
+        if (is_cmp || size < 4) {
+            int t1 = temp();
+            alu(t1, dest, src);
+            if (!is_cmp)
+                writeGpr(dest, t1, size);
+        } else {
+            alu(dest, dest, src);
+        }
+    }
+    return BbEnd::None;
+}
+
+BbEnd
+Translator::doGroup1(const X86Insn &d)
+{
+    int aluidx = (d.modrm >> 3) & 7;
+    UopOp op = kAluOps[aluidx];
+    bool is_cmp = (aluidx == 7);
+    unsigned size = (d.opcode == 0x80) ? 1 : d.opSize();
+    bool needs_cf_in = (op == UopOp::Adc || op == UopOp::Sbb);
+    int rf = needs_cf_in ? flagSource(SETFLAG_CF) : REG_none;
+    bool locked = d.prefix_lock && d.rmIsMem();
+
+    auto alu = [&](int rd, int ra) {
+        Uop u = makeUop(op, size);
+        u.rd = (U8)rd;
+        u.ra = (U8)ra;
+        u.rb_imm = true;
+        u.imm = (S64)d.imm;
+        u.rf = (U8)rf;
+        u.setflags = SETFLAG_ALL;
+        u.locked = locked;
+        emit(u);
+        setFlagProducer(SETFLAG_ALL, rd);
+    };
+
+    if (d.rmIsMem()) {
+        MemRef m = memRef(d);
+        int t0 = temp(), t1 = temp();
+        emitLoad(m, t0, size, false, locked);
+        alu(t1, t0);
+        if (!is_cmp)
+            emitStore(m, t1, size, locked);
+    } else {
+        int reg = d.rm();
+        if (is_cmp || size < 4) {
+            int t1 = temp();
+            alu(t1, reg);
+            if (!is_cmp)
+                writeGpr(reg, t1, size);
+        } else {
+            alu(reg, reg);
+        }
+    }
+    return BbEnd::None;
+}
+
+BbEnd
+Translator::doGroup2Shift(const X86Insn &d, int count_kind)
+{
+    int ext = (d.modrm >> 3) & 7;
+    UopOp op;
+    U8 setf;
+    switch (ext) {
+      case 0: op = UopOp::Rol; setf = SETFLAG_CF | SETFLAG_OF; break;
+      case 1: op = UopOp::Ror; setf = SETFLAG_CF | SETFLAG_OF; break;
+      case 4: op = UopOp::Shl; setf = SETFLAG_ALL; break;
+      case 5: op = UopOp::Shr; setf = SETFLAG_ALL; break;
+      case 7: op = UopOp::Sar; setf = SETFLAG_ALL; break;
+      default:
+        emitInvalid();
+        return BbEnd::Assist;
+    }
+    unsigned size = d.opSize();
+
+    U64 imm_count = (count_kind == 1) ? 1 : (d.imm & 63);
+    if (count_kind != 2 && imm_count == 0) {
+        emit(makeUop(UopOp::Nop, 8));  // shift by 0: architectural nop
+        return BbEnd::None;
+    }
+    // Variable counts may be zero, which passes flags through; collect
+    // the full current flag state as the pass-through source.
+    int rf = (count_kind == 2) ? flagSource(SETFLAG_ALL) : REG_none;
+
+    auto shift = [&](int rd, int ra) {
+        Uop u = makeUop(op, size);
+        u.rd = (U8)rd;
+        u.ra = (U8)ra;
+        if (count_kind == 2) {
+            u.rb = REG_rcx;
+        } else {
+            u.rb_imm = true;
+            u.imm = (S64)imm_count;
+        }
+        u.rf = (U8)rf;
+        u.setflags = setf;
+        emit(u);
+        setFlagProducer(setf, rd);
+    };
+
+    if (d.rmIsMem()) {
+        MemRef m = memRef(d);
+        int t0 = temp(), t1 = temp();
+        emitLoad(m, t0, size, false);
+        shift(t1, t0);
+        emitStore(m, t1, size);
+    } else {
+        int reg = d.rm();
+        if (size < 4) {
+            int t1 = temp();
+            shift(t1, reg);
+            writeGpr(reg, t1, size);
+        } else {
+            shift(reg, reg);
+        }
+    }
+    return BbEnd::None;
+}
+
+BbEnd
+Translator::doGroup3(const X86Insn &d)
+{
+    int ext = (d.modrm >> 3) & 7;
+    unsigned size = (d.opcode == 0xF6) ? 1 : d.opSize();
+    if (d.opcode == 0xF6 && ext >= 4) {
+        emitInvalid();  // 8-bit mul/div (AH results) unsupported
+        return BbEnd::Assist;
+    }
+
+    // Fetch the rm operand into a register.
+    int src;
+    MemRef m;
+    bool mem = d.rmIsMem();
+    if (mem) {
+        m = memRef(d);
+        src = temp();
+        emitLoad(m, src, size, false);
+    } else {
+        src = d.rm();
+    }
+
+    switch (ext) {
+      case 0: {  // test rm, imm
+        Uop u = makeUop(UopOp::And, size);
+        int t = temp();
+        u.rd = (U8)t;
+        u.ra = (U8)src;
+        u.rb_imm = true;
+        u.imm = (S64)d.imm;
+        u.setflags = SETFLAG_ALL;
+        emit(u);
+        setFlagProducer(SETFLAG_ALL, t);
+        return BbEnd::None;
+      }
+      case 2: {  // not (no flags)
+        int t = temp();
+        Uop u = makeUop(UopOp::Nand, size);
+        u.rd = (U8)t;
+        u.ra = (U8)src;
+        u.rb = (U8)src;
+        emit(u);
+        if (mem)
+            emitStore(m, t, size);
+        else if (size < 4)
+            writeGpr(src, t, size);
+        else
+            writeGpr(src, t, size);
+        return BbEnd::None;
+      }
+      case 3: {  // neg
+        int t = temp();
+        Uop u = makeUop(UopOp::Sub, size);
+        u.rd = (U8)t;
+        u.ra = REG_zero;
+        u.rb = (U8)src;
+        u.setflags = SETFLAG_ALL;
+        emit(u);
+        setFlagProducer(SETFLAG_ALL, t);
+        if (mem)
+            emitStore(m, t, size);
+        else
+            writeGpr(src, t, size);
+        return BbEnd::None;
+      }
+      case 4: case 5: {  // mul / imul: rdx:rax = rax * rm
+        int thi = temp(), tlo = temp();
+        Uop hi = makeUop(ext == 4 ? UopOp::Mulh : UopOp::Mulhs, size);
+        hi.rd = (U8)thi;
+        hi.ra = REG_rax;
+        hi.rb = (U8)src;
+        hi.setflags = SETFLAG_CF | SETFLAG_OF;
+        emit(hi);
+        setFlagProducer(SETFLAG_CF | SETFLAG_OF, thi);
+        Uop lo = makeUop(UopOp::Mull, size);
+        lo.rd = (U8)tlo;
+        lo.ra = REG_rax;
+        lo.rb = (U8)src;
+        emit(lo);
+        writeGpr(REG_rax, tlo, size);
+        writeGpr(REG_rdx, thi, size);
+        return BbEnd::None;
+      }
+      case 6: case 7: {  // div / idiv: rax, rdx = rdx:rax / rm
+        bool sign = (ext == 7);
+        int tq = temp(), tr = temp();
+        Uop q = makeUop(sign ? UopOp::DivQs : UopOp::DivQ, size);
+        q.rd = (U8)tq;
+        q.ra = REG_rax;
+        q.rb = (U8)src;
+        q.rc = REG_rdx;
+        emit(q);
+        Uop r = makeUop(sign ? UopOp::DivRs : UopOp::DivR, size);
+        r.rd = (U8)tr;
+        r.ra = REG_rax;
+        r.rb = (U8)src;
+        r.rc = REG_rdx;
+        emit(r);
+        writeGpr(REG_rax, tq, size);
+        writeGpr(REG_rdx, tr, size);
+        return BbEnd::None;
+      }
+      default:
+        emitInvalid();
+        return BbEnd::Assist;
+    }
+}
+
+BbEnd
+Translator::doGroup5(const X86Insn &d)
+{
+    int ext = (d.modrm >> 3) & 7;
+    unsigned size = d.opSize();
+    switch (ext) {
+      case 0: case 1: {  // inc / dec: CF is preserved
+        U8 setf = SETFLAG_ZAPS | SETFLAG_OF;
+        auto step = [&](int rd, int ra) {
+            Uop u = makeUop(ext == 0 ? UopOp::Add : UopOp::Sub, size);
+            u.rd = (U8)rd;
+            u.ra = (U8)ra;
+            u.rb_imm = true;
+            u.imm = 1;
+            u.setflags = setf;
+            u.locked = d.prefix_lock && d.rmIsMem();
+            emit(u);
+            setFlagProducer(setf, rd);
+        };
+        if (d.rmIsMem()) {
+            MemRef m = memRef(d);
+            bool locked = d.prefix_lock;
+            int t0 = temp(), t1 = temp();
+            emitLoad(m, t0, size, false, locked);
+            step(t1, t0);
+            emitStore(m, t1, size, locked);
+        } else if (size < 4) {
+            int t1 = temp();
+            step(t1, d.rm());
+            writeGpr(d.rm(), t1, size);
+        } else {
+            step(d.rm(), d.rm());
+        }
+        return BbEnd::None;
+      }
+      case 2: case 4: {  // call rm / jmp rm
+        int target;
+        if (d.rmIsMem()) {
+            target = temp();
+            emitLoad(memRef(d), target, 8, false);
+        } else {
+            target = d.rm();
+        }
+        if (ext == 2) {
+            int t = temp();
+            Uop mv = makeUop(UopOp::Mov, 8);
+            mv.rd = (U8)t;
+            mv.rb_imm = true;
+            mv.imm = (S64)d.nextRip();
+            emit(mv);
+            MemRef stk{REG_rsp, REG_none, 0, -8};
+            emitStore(stk, t, 8);
+            Uop dec = makeUop(UopOp::Add, 8);
+            dec.rd = REG_rsp;
+            dec.ra = REG_rsp;
+            dec.rb_imm = true;
+            dec.imm = -8;
+            emit(dec);
+        }
+        Uop j = makeUop(UopOp::Jmp, 8);
+        j.ra = (U8)target;
+        j.imm2 = (S64)d.nextRip();
+        j.hint_call = (ext == 2);
+        emit(j);
+        return (ext == 2) ? BbEnd::IndirectCall : BbEnd::IndirectBranch;
+      }
+      case 6: {  // push rm
+        int src;
+        if (d.rmIsMem()) {
+            src = temp();
+            emitLoad(memRef(d), src, 8, false);
+        } else {
+            src = d.rm();
+        }
+        MemRef stk{REG_rsp, REG_none, 0, -8};
+        emitStore(stk, src, 8);
+        Uop dec = makeUop(UopOp::Add, 8);
+        dec.rd = REG_rsp;
+        dec.ra = REG_rsp;
+        dec.rb_imm = true;
+        dec.imm = -8;
+        emit(dec);
+        return BbEnd::None;
+      }
+      default:
+        emitInvalid();
+        return BbEnd::Assist;
+    }
+}
+
+BbEnd
+Translator::doMov(const X86Insn &d)
+{
+    switch (d.opcode) {
+      case 0x88: case 0x89: {  // mov rm, reg
+        unsigned size = (d.opcode == 0x88) ? 1 : d.opSize();
+        if (d.rmIsMem()) {
+            emitStore(memRef(d), d.reg(), size);
+        } else if (size < 4) {
+            writeGpr(d.rm(), d.reg(), size);
+        } else {
+            Uop u = makeUop(UopOp::Mov, size);
+            u.rd = (U8)d.rm();
+            u.rb = (U8)d.reg();
+            emit(u);
+        }
+        return BbEnd::None;
+      }
+      case 0x8A: case 0x8B: {  // mov reg, rm
+        unsigned size = (d.opcode == 0x8A) ? 1 : d.opSize();
+        if (d.rmIsMem()) {
+            if (size < 4) {
+                int t = temp();
+                emitLoad(memRef(d), t, size, false);
+                writeGpr(d.reg(), t, size);
+            } else {
+                emitLoad(memRef(d), d.reg(), size, false);
+            }
+        } else if (size < 4) {
+            writeGpr(d.reg(), d.rm(), size);
+        } else {
+            Uop u = makeUop(UopOp::Mov, size);
+            u.rd = (U8)d.reg();
+            u.rb = (U8)d.rm();
+            emit(u);
+        }
+        return BbEnd::None;
+      }
+      case 0xC6: case 0xC7: {  // mov rm, imm
+        unsigned size = (d.opcode == 0xC6) ? 1 : d.opSize();
+        int t = temp();
+        Uop mv = makeUop(UopOp::Mov, 8);
+        mv.rd = (U8)t;
+        mv.rb_imm = true;
+        mv.imm = (S64)d.imm;
+        emit(mv);
+        if (d.rmIsMem())
+            emitStore(memRef(d), t, size);
+        else
+            writeGpr(d.rm(), t, size);
+        return BbEnd::None;
+      }
+      default: {  // B8+r mov reg, imm
+        int reg = (d.opcode & 7) | (d.rex_b ? 8 : 0);
+        unsigned size = d.rex_w ? 8 : (d.prefix_66 ? 2 : 4);
+        if (size < 4) {
+            int t = temp();
+            Uop mv = makeUop(UopOp::Mov, 8);
+            mv.rd = (U8)t;
+            mv.rb_imm = true;
+            mv.imm = (S64)d.imm;
+            emit(mv);
+            writeGpr(reg, t, size);
+        } else {
+            Uop mv = makeUop(UopOp::Mov, size);
+            mv.rd = (U8)reg;
+            mv.rb_imm = true;
+            mv.imm = (S64)d.imm;
+            emit(mv);
+        }
+        return BbEnd::None;
+      }
+    }
+}
+
+BbEnd
+Translator::doStringOp(const X86Insn &d)
+{
+    bool rep = d.prefix_f3;
+    if (d.opcode == 0xAC) {  // lodsb (no rep support needed)
+        int t = temp();
+        MemRef src{REG_rsi, REG_none, 0, 0};
+        emitLoad(src, t, 1, false);
+        writeGpr(REG_rax, t, 1);
+        Uop inc = makeUop(UopOp::Add, 8);
+        inc.rd = REG_rsi;
+        inc.ra = REG_rsi;
+        inc.rb_imm = true;
+        inc.imm = 1;
+        emit(inc);
+        return BbEnd::None;
+    }
+
+    auto emitBody = [&]() {
+        if (d.opcode == 0xA4) {  // movsb
+            int t = temp();
+            MemRef src{REG_rsi, REG_none, 0, 0};
+            MemRef dst{REG_rdi, REG_none, 0, 0};
+            emitLoad(src, t, 1, false);
+            emitStore(dst, t, 1);
+            for (int reg : {REG_rsi, REG_rdi}) {
+                Uop inc = makeUop(UopOp::Add, 8);
+                inc.rd = (U8)reg;
+                inc.ra = (U8)reg;
+                inc.rb_imm = true;
+                inc.imm = 1;
+                emit(inc);
+            }
+        } else {  // stosb
+            MemRef dst{REG_rdi, REG_none, 0, 0};
+            emitStore(dst, REG_rax, 1);
+            Uop inc = makeUop(UopOp::Add, 8);
+            inc.rd = REG_rdi;
+            inc.ra = REG_rdi;
+            inc.rb_imm = true;
+            inc.imm = 1;
+            emit(inc);
+        }
+    };
+
+    if (!rep) {
+        emitBody();
+        return BbEnd::None;
+    }
+
+    // rep: translated as a self-looping block of two pseudo-ops (the
+    // rcx==0 exit check, then one iteration + loop-back), making each
+    // iteration independently committable and interruptible.
+    int t7 = REG_temp7;
+    Uop tst = makeUop(UopOp::And, 8);
+    tst.rd = (U8)t7;
+    tst.ra = REG_rcx;
+    tst.rb = REG_rcx;
+    tst.setflags = SETFLAG_ZAPS;
+    emit(tst);
+    setFlagProducer(SETFLAG_ZAPS, t7);
+    Uop br = makeUop(UopOp::BrCC, 8);
+    br.cond = COND_e;
+    br.rf = (U8)t7;
+    br.imm = (S64)d.nextRip();   // exit when rcx == 0
+    br.imm2 = (S64)d.rip;        // fall through into the iteration
+    emit(br);
+    endInsn();                   // pseudo-op 1 complete
+
+    beginInsn(d);
+    emitBody();
+    Uop dec = makeUop(UopOp::Add, 8);
+    dec.rd = REG_rcx;
+    dec.ra = REG_rcx;
+    dec.rb_imm = true;
+    dec.imm = -1;
+    emit(dec);
+    Uop loop = makeUop(UopOp::Bru, 8);
+    loop.imm = (S64)d.rip;       // re-enter this same instruction
+    loop.imm2 = (S64)d.nextRip();
+    emit(loop);
+    return BbEnd::UncondBranch;
+}
+
+BbEnd
+Translator::doX87(const X86Insn &d)
+{
+    if (d.opcode == 0xDD && d.rmIsMem()) {
+        int ext = (d.modrm >> 3) & 7;
+        if (ext == 0 || ext == 3) {
+            // Address into temp0 (the x87 microcode convention), then
+            // the assist performs the slow stack operation.
+            emitLea(memRef(d), REG_temp0);
+            emitAssist(ext == 0 ? AssistId::X87Fld : AssistId::X87Fstp);
+            return BbEnd::Assist;
+        }
+    }
+    if (d.opcode == 0xDE && !d.rmIsMem()) {
+        if (d.modrm == 0xC1) {
+            emitAssist(AssistId::X87Fadd);
+            return BbEnd::Assist;
+        }
+        if (d.modrm == 0xC9) {
+            emitAssist(AssistId::X87Fmul);
+            return BbEnd::Assist;
+        }
+    }
+    emitInvalid();
+    return BbEnd::Assist;
+}
+
+BbEnd
+Translator::doTwoByte(const X86Insn &d)
+{
+    U8 op = d.opcode;
+
+    // jcc rel32
+    if (op >= 0x80 && op <= 0x8F) {
+        CondCode cc = (CondCode)(op - 0x80);
+        Uop u = makeUop(UopOp::BrCC, 8);
+        u.cond = cc;
+        u.rf = (U8)flagSource(condNeeds(cc));
+        u.imm = (S64)(d.nextRip() + (U64)(S64)d.imm);
+        u.imm2 = (S64)d.nextRip();
+        emit(u);
+        return BbEnd::CondBranch;
+    }
+    // cmovcc
+    if (op >= 0x40 && op <= 0x4F) {
+        CondCode cc = (CondCode)(op - 0x40);
+        unsigned size = d.opSize();
+        int src;
+        if (d.rmIsMem()) {
+            src = temp();
+            emitLoad(memRef(d), src, size, false);
+        } else {
+            src = d.rm();
+        }
+        Uop u = makeUop(UopOp::Sel, size);
+        u.cond = cc;
+        u.rf = (U8)flagSource(condNeeds(cc));
+        u.rd = (U8)d.reg();
+        u.ra = (U8)d.reg();
+        u.rb = (U8)src;
+        emit(u);
+        return BbEnd::None;
+    }
+    // setcc rm8
+    if (op >= 0x90 && op <= 0x9F) {
+        CondCode cc = (CondCode)(op - 0x90);
+        int t = temp();
+        Uop u = makeUop(UopOp::Set, 8);
+        u.cond = cc;
+        u.rf = (U8)flagSource(condNeeds(cc));
+        u.rd = (U8)t;
+        emit(u);
+        if (d.rmIsMem())
+            emitStore(memRef(d), t, 1);
+        else
+            writeGpr(d.rm(), t, 1);
+        return BbEnd::None;
+    }
+    // bswap
+    if (op >= 0xC8) {
+        int reg = (op & 7) | (d.rex_b ? 8 : 0);
+        Uop u = makeUop(UopOp::Bswap, d.rex_w ? 8 : 4);
+        u.rd = (U8)reg;
+        u.ra = (U8)reg;
+        emit(u);
+        return BbEnd::None;
+    }
+
+    switch (op) {
+      case 0x05: emitAssist(AssistId::Syscall); return BbEnd::Assist;
+      case 0x07: emitAssist(AssistId::Sysret); return BbEnd::Assist;
+      case 0x0B: emitInvalid(); return BbEnd::Assist;
+      case 0x31: emitAssist(AssistId::Rdtsc); return BbEnd::Assist;
+      case 0x34: emitAssist(AssistId::Hypercall); return BbEnd::Assist;
+      case 0x37: emitAssist(AssistId::Ptlcall); return BbEnd::Assist;
+      case 0xA2: emitAssist(AssistId::Cpuid); return BbEnd::Assist;
+
+      case 0x10: case 0x11: {  // movsd xmm,m / m,xmm (F2 required)
+        if (!d.prefix_f2) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        int xreg = REG_xmm0 + d.reg();
+        if (d.rmIsMem()) {
+            if (op == 0x10) {
+                emitLoad(memRef(d), xreg, 8, false);
+            } else {
+                emitStore(memRef(d), xreg, 8);
+            }
+        } else {
+            Uop u = makeUop(UopOp::Mov, 8);
+            int xrm = REG_xmm0 + d.rm();
+            u.rd = (U8)((op == 0x10) ? xreg : xrm);
+            u.rb = (U8)((op == 0x10) ? xrm : xreg);
+            emit(u);
+        }
+        return BbEnd::None;
+      }
+      case 0x2A: {  // cvtsi2sd xmm, r
+        if (!d.prefix_f2 || d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        int src = d.rm();
+        if (!d.rex_w) {
+            int t = temp();
+            Uop sx = makeUop(UopOp::Sext, 4);
+            sx.rd = (U8)t;
+            sx.rb = (U8)src;
+            emit(sx);
+            src = t;
+        }
+        Uop u = makeUop(UopOp::Cvtif, 8);
+        u.rd = (U8)(REG_xmm0 + d.reg());
+        u.ra = (U8)src;
+        emit(u);
+        return BbEnd::None;
+      }
+      case 0x2C: {  // cvttsd2si r, xmm
+        if (!d.prefix_f2 || d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        Uop u = makeUop(UopOp::Cvtfi, d.rex_w ? 8 : 4);
+        u.rd = (U8)d.reg();
+        u.ra = (U8)(REG_xmm0 + d.rm());
+        emit(u);
+        return BbEnd::None;
+      }
+      case 0x2F: {  // comisd xmm, xmm (66 required)
+        if (!d.prefix_66 || d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        int t = temp();
+        Uop u = makeUop(UopOp::Cmpf, 8);
+        u.rd = (U8)t;
+        u.ra = (U8)(REG_xmm0 + d.reg());
+        u.rb = (U8)(REG_xmm0 + d.rm());
+        u.setflags = SETFLAG_ALL;  // comisd zeroes OF/SF/AF
+        emit(u);
+        setFlagProducer(SETFLAG_ALL, t);
+        return BbEnd::None;
+      }
+      case 0x51: case 0x58: case 0x59: case 0x5C: case 0x5E: {
+        if (!d.prefix_f2) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        int src;
+        if (d.rmIsMem()) {
+            src = temp();
+            emitLoad(memRef(d), src, 8, false);
+        } else {
+            src = REG_xmm0 + d.rm();
+        }
+        UopOp fop;
+        switch (op) {
+          case 0x51: fop = UopOp::Sqrtf; break;
+          case 0x58: fop = UopOp::Addf; break;
+          case 0x59: fop = UopOp::Mulf; break;
+          case 0x5C: fop = UopOp::Subf; break;
+          default: fop = UopOp::Divf; break;
+        }
+        Uop u = makeUop(fop, 8);
+        int xd = REG_xmm0 + d.reg();
+        u.rd = (U8)xd;
+        u.ra = (U8)((op == 0x51) ? src : xd);
+        u.rb = (U8)src;
+        emit(u);
+        return BbEnd::None;
+      }
+      case 0x6E: case 0x7E: {  // movq xmm,r64 / r64,xmm (66 + W)
+        if (!d.prefix_66 || d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        Uop u = makeUop(UopOp::Mov, 8);
+        if (op == 0x6E) {
+            u.rd = (U8)(REG_xmm0 + d.reg());
+            u.rb = (U8)d.rm();
+        } else {
+            u.rd = (U8)d.rm();
+            u.rb = (U8)(REG_xmm0 + d.reg());
+        }
+        emit(u);
+        return BbEnd::None;
+      }
+      case 0xAE: {  // fences (register forms of group 15)
+        if (d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        Uop u = makeUop(UopOp::Fence, 8);
+        switch (d.modrm) {
+          case 0xE8: u.imm = 1; break;  // lfence
+          case 0xF8: u.imm = 2; break;  // sfence
+          case 0xF0: u.imm = 3; break;  // mfence
+          default:
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        emit(u);
+        return BbEnd::None;
+      }
+      case 0xAF: {  // imul r, rm
+        unsigned size = d.opSize();
+        int src;
+        if (d.rmIsMem()) {
+            src = temp();
+            emitLoad(memRef(d), src, size, false);
+        } else {
+            src = d.rm();
+        }
+        Uop u = makeUop(UopOp::Mull, size);
+        u.rd = (U8)d.reg();
+        u.ra = (U8)d.reg();
+        u.rb = (U8)src;
+        u.setflags = SETFLAG_ALL;
+        emit(u);
+        setFlagProducer(SETFLAG_ALL, d.reg());
+        return BbEnd::None;
+      }
+      case 0xB1: {  // cmpxchg rm, reg (memory form; LOCK honored)
+        if (!d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        unsigned size = d.opSize();
+        MemRef m = memRef(d);
+        int t0 = temp(), t1 = temp(), t2 = temp(), t3 = temp();
+        emitLoad(m, t0, size, false, true);
+        Uop cmp = makeUop(UopOp::Sub, size);
+        cmp.rd = (U8)t1;
+        cmp.ra = REG_rax;
+        cmp.rb = (U8)t0;
+        cmp.setflags = SETFLAG_ALL;
+        emit(cmp);
+        setFlagProducer(SETFLAG_ALL, t1);
+        Uop selst = makeUop(UopOp::Sel, size);
+        selst.cond = COND_e;
+        selst.rf = (U8)t1;
+        selst.rd = (U8)t2;
+        selst.ra = (U8)t0;
+        selst.rb = (U8)d.reg();
+        emit(selst);
+        emitStore(m, t2, size, true);
+        Uop selax = makeUop(UopOp::Sel, size);
+        selax.cond = COND_e;
+        selax.rf = (U8)t1;
+        selax.rd = (U8)t3;
+        selax.ra = (U8)t0;
+        selax.rb = REG_rax;
+        emit(selax);
+        writeGpr(REG_rax, t3, size);
+        return BbEnd::None;
+      }
+      case 0xC1: {  // xadd rm, reg
+        if (!d.rmIsMem()) {
+            emitInvalid();
+            return BbEnd::Assist;
+        }
+        unsigned size = d.opSize();
+        MemRef m = memRef(d);
+        int t0 = temp(), t1 = temp();
+        emitLoad(m, t0, size, false, true);
+        Uop add = makeUop(UopOp::Add, size);
+        add.rd = (U8)t1;
+        add.ra = (U8)t0;
+        add.rb = (U8)d.reg();
+        add.setflags = SETFLAG_ALL;
+        add.locked = true;
+        emit(add);
+        setFlagProducer(SETFLAG_ALL, t1);
+        emitStore(m, t1, size, true);
+        writeGpr(d.reg(), t0, size);
+        return BbEnd::None;
+      }
+      case 0xB6: case 0xB7: {  // movzx
+        unsigned src_size = (op == 0xB6) ? 1 : 2;
+        if (d.rmIsMem()) {
+            emitLoad(memRef(d), d.reg(), src_size, false);
+        } else {
+            Uop u = makeUop(UopOp::Mov, src_size);
+            u.rd = (U8)d.reg();
+            u.rb = (U8)d.rm();
+            emit(u);
+        }
+        return BbEnd::None;
+      }
+      case 0xBE: case 0xBF: {  // movsx
+        unsigned src_size = (op == 0xBE) ? 1 : 2;
+        int dst = d.reg();
+        int t = d.rex_w ? dst : temp();
+        if (d.rmIsMem()) {
+            emitLoad(memRef(d), t, src_size, true);
+        } else {
+            Uop u = makeUop(UopOp::Sext, src_size);
+            u.rd = (U8)t;
+            u.rb = (U8)d.rm();
+            emit(u);
+        }
+        if (!d.rex_w) {
+            Uop tr = makeUop(UopOp::Mov, 4);
+            tr.rd = (U8)dst;
+            tr.rb = (U8)t;
+            emit(tr);
+        }
+        return BbEnd::None;
+      }
+      case 0xBC: case 0xBD: {  // bsf / bsr
+        unsigned size = d.opSize();
+        int src;
+        if (d.rmIsMem()) {
+            src = temp();
+            emitLoad(memRef(d), src, size, false);
+        } else {
+            src = d.rm();
+        }
+        Uop u = makeUop(op == 0xBC ? UopOp::Bsf : UopOp::Bsr, size);
+        u.rd = (U8)d.reg();
+        u.ra = (U8)src;
+        u.setflags = SETFLAG_ZAPS;
+        emit(u);
+        setFlagProducer(SETFLAG_ZAPS, d.reg());
+        return BbEnd::None;
+      }
+      default:
+        emitInvalid();
+        return BbEnd::Assist;
+    }
+}
+
+BbEnd
+Translator::translate(const X86Insn &d)
+{
+    beginInsn(d);
+    BbEnd end = BbEnd::None;
+
+    if (!d.valid) {
+        emitInvalid();
+        end = BbEnd::Assist;
+        endInsn();
+        return end;
+    }
+
+    if (d.is_0f) {
+        end = doTwoByte(d);
+        endInsn();
+        return end;
+    }
+
+    U8 op = d.opcode;
+    if (op <= 0x3F) {
+        end = doAluBlock(d);
+    } else if (op >= 0x50 && op <= 0x57) {  // push reg
+        int reg = (op & 7) | (d.rex_b ? 8 : 0);
+        MemRef stk{REG_rsp, REG_none, 0, -8};
+        emitStore(stk, reg, 8);
+        Uop dec = makeUop(UopOp::Add, 8);
+        dec.rd = REG_rsp;
+        dec.ra = REG_rsp;
+        dec.rb_imm = true;
+        dec.imm = -8;
+        emit(dec);
+    } else if (op >= 0x58 && op <= 0x5F) {  // pop reg
+        int reg = (op & 7) | (d.rex_b ? 8 : 0);
+        int t = temp();
+        MemRef stk{REG_rsp, REG_none, 0, 0};
+        emitLoad(stk, t, 8, false);
+        Uop inc = makeUop(UopOp::Add, 8);
+        inc.rd = REG_rsp;
+        inc.ra = REG_rsp;
+        inc.rb_imm = true;
+        inc.imm = 8;
+        emit(inc);
+        Uop mv = makeUop(UopOp::Mov, 8);
+        mv.rd = (U8)reg;
+        mv.rb = (U8)t;
+        emit(mv);
+    } else {
+        switch (op) {
+          case 0x63: {  // movsxd
+            if (d.rmIsMem()) {
+                emitLoad(memRef(d), d.reg(), 4, true);
+            } else {
+                Uop u = makeUop(UopOp::Sext, 4);
+                u.rd = (U8)d.reg();
+                u.rb = (U8)d.rm();
+                emit(u);
+            }
+            break;
+          }
+          case 0x69: case 0x6B: {  // imul r, rm, imm
+            unsigned size = d.opSize();
+            int src;
+            if (d.rmIsMem()) {
+                src = temp();
+                emitLoad(memRef(d), src, size, false);
+            } else {
+                src = d.rm();
+            }
+            Uop u = makeUop(UopOp::Mull, size);
+            u.rd = (U8)d.reg();
+            u.ra = (U8)src;
+            u.rb_imm = true;
+            u.imm = (S64)d.imm;
+            u.setflags = SETFLAG_ALL;
+            emit(u);
+            setFlagProducer(SETFLAG_ALL, d.reg());
+            break;
+          }
+          case 0x80: case 0x81: case 0x83:
+            end = doGroup1(d);
+            break;
+          case 0x84: case 0x85: {  // test rm, reg
+            unsigned size = (op == 0x84) ? 1 : d.opSize();
+            int a;
+            if (d.rmIsMem()) {
+                a = temp();
+                emitLoad(memRef(d), a, size, false);
+            } else {
+                a = d.rm();
+            }
+            int t = temp();
+            Uop u = makeUop(UopOp::And, size);
+            u.rd = (U8)t;
+            u.ra = (U8)a;
+            u.rb = (U8)d.reg();
+            u.setflags = SETFLAG_ALL;
+            emit(u);
+            setFlagProducer(SETFLAG_ALL, t);
+            break;
+          }
+          case 0x86: case 0x87: {  // xchg
+            unsigned size = (op == 0x86) ? 1 : d.opSize();
+            if (d.rmIsMem()) {
+                MemRef m = memRef(d);
+                int t = temp();
+                emitLoad(m, t, size, false, true);  // always locked
+                emitStore(m, d.reg(), size, true);
+                writeGpr(d.reg(), t, size);
+            } else {
+                int t = temp();
+                Uop m1 = makeUop(UopOp::Mov, 8);
+                m1.rd = (U8)t;
+                m1.rb = (U8)d.rm();
+                emit(m1);
+                writeGpr(d.rm(), d.reg(), size);
+                writeGpr(d.reg(), t, size);
+            }
+            break;
+          }
+          case 0x88: case 0x89: case 0x8A: case 0x8B:
+          case 0xC6: case 0xC7:
+            end = doMov(d);
+            break;
+          case 0x8D:  // lea
+            emitLea(memRef(d), d.reg());
+            break;
+          case 0x90:  // nop / pause
+            emit(makeUop(UopOp::Nop, 8));
+            break;
+          case 0x9C: {  // pushfq
+            int c = flagSource(SETFLAG_ALL);
+            int t = temp();
+            Uop u = makeUop(UopOp::MovRcc, 8);
+            u.rd = (U8)t;
+            u.rf = (U8)c;
+            emit(u);
+            MemRef stk{REG_rsp, REG_none, 0, -8};
+            emitStore(stk, t, 8);
+            Uop dec = makeUop(UopOp::Add, 8);
+            dec.rd = REG_rsp;
+            dec.ra = REG_rsp;
+            dec.rb_imm = true;
+            dec.imm = -8;
+            emit(dec);
+            break;
+          }
+          case 0x9D: {  // popfq
+            int t = temp(), t2 = temp();
+            MemRef stk{REG_rsp, REG_none, 0, 0};
+            emitLoad(stk, t, 8, false);
+            Uop inc = makeUop(UopOp::Add, 8);
+            inc.rd = REG_rsp;
+            inc.ra = REG_rsp;
+            inc.rb_imm = true;
+            inc.imm = 8;
+            emit(inc);
+            Uop u = makeUop(UopOp::MovCcr, 8);
+            u.rd = (U8)t2;
+            u.rb = (U8)t;
+            u.setflags = SETFLAG_ALL;
+            emit(u);
+            setFlagProducer(SETFLAG_ALL, t2);
+            break;
+          }
+          case 0xA4: case 0xAA: case 0xAC:
+            end = doStringOp(d);
+            break;
+          case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+          case 0xBC: case 0xBD: case 0xBE: case 0xBF:
+            end = doMov(d);
+            break;
+          case 0xC1:
+            end = doGroup2Shift(d, 0);
+            break;
+          case 0xD1:
+            end = doGroup2Shift(d, 1);
+            break;
+          case 0xD3:
+            end = doGroup2Shift(d, 2);
+            break;
+          case 0xC3: {  // ret
+            int t = temp();
+            MemRef stk{REG_rsp, REG_none, 0, 0};
+            emitLoad(stk, t, 8, false);
+            Uop inc = makeUop(UopOp::Add, 8);
+            inc.rd = REG_rsp;
+            inc.ra = REG_rsp;
+            inc.rb_imm = true;
+            inc.imm = 8;
+            emit(inc);
+            Uop j = makeUop(UopOp::Jmp, 8);
+            j.ra = (U8)t;
+            j.imm2 = (S64)d.nextRip();
+            j.hint_ret = true;
+            emit(j);
+            end = BbEnd::Ret;
+            break;
+          }
+          case 0xCF:  // iretq
+            emitAssist(AssistId::Iret);
+            end = BbEnd::Assist;
+            break;
+          case 0xDD: case 0xDE:
+            end = doX87(d);
+            break;
+          case 0xE8: {  // call rel32
+            U64 target = d.nextRip() + (U64)(S64)d.imm;
+            int t = temp();
+            Uop mv = makeUop(UopOp::Mov, 8);
+            mv.rd = (U8)t;
+            mv.rb_imm = true;
+            mv.imm = (S64)d.nextRip();
+            emit(mv);
+            MemRef stk{REG_rsp, REG_none, 0, -8};
+            emitStore(stk, t, 8);
+            Uop dec = makeUop(UopOp::Add, 8);
+            dec.rd = REG_rsp;
+            dec.ra = REG_rsp;
+            dec.rb_imm = true;
+            dec.imm = -8;
+            emit(dec);
+            Uop j = makeUop(UopOp::Bru, 8);
+            j.imm = (S64)target;
+            j.imm2 = (S64)d.nextRip();
+            j.hint_call = true;
+            emit(j);
+            end = BbEnd::Call;
+            break;
+          }
+          case 0xE9: case 0xEB: {  // jmp rel
+            Uop j = makeUop(UopOp::Bru, 8);
+            j.imm = (S64)(d.nextRip() + (U64)(S64)d.imm);
+            j.imm2 = (S64)d.nextRip();
+            emit(j);
+            end = BbEnd::UncondBranch;
+            break;
+          }
+          case 0xF4:
+            emitAssist(AssistId::Hlt);
+            end = BbEnd::Assist;
+            break;
+          case 0xF6: case 0xF7:
+            end = doGroup3(d);
+            break;
+          case 0xFA:
+            emitAssist(AssistId::Cli);
+            end = BbEnd::Assist;
+            break;
+          case 0xFB:
+            emitAssist(AssistId::Sti);
+            end = BbEnd::Assist;
+            break;
+          case 0xFC:
+            // cld: DF is architecturally fixed at 0 in this model.
+            emit(makeUop(UopOp::Nop, 8));
+            break;
+          case 0xFF:
+            end = doGroup5(d);
+            break;
+          default:
+            emitInvalid();
+            end = BbEnd::Assist;
+            break;
+        }
+    }
+    endInsn();
+    return end;
+}
+
+void
+Translator::sealWithJump(U64 rip, U64 next_rip)
+{
+    Uop j = makeUop(UopOp::Bru, 8);
+    j.imm = (S64)next_rip;
+    j.imm2 = (S64)next_rip;
+    j.internal = true;
+    j.som = true;
+    j.eom = true;
+    j.rip = rip;
+    j.ripseq = next_rip;
+    emit(j);
+}
+
+}  // namespace ptl

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * x86 instruction -> uop translation.
+ *
+ * Implements the second half of the paper's decoder (Section 2.1):
+ * each decoded x86 instruction becomes a short sequence of uops marked
+ * with SOM/EOM boundaries for atomic commit. The translator tracks
+ * which uop register last produced each condition-flag group (ZAPS /
+ * CF / OF) so flag consumers name their true producer, inserting
+ * collcc merge uops when the groups live in different producers —
+ * PTLsim's split-flags renaming scheme. Complex and serializing
+ * instructions become microcode assists; rep string instructions are
+ * translated as self-looping basic blocks whose iteration commits
+ * independently (making them interruptible and restartable, as x86
+ * requires); locked RMW instructions become ld.acq/st.rel pairs.
+ */
+
+#ifndef PTLSIM_DECODE_TRANSLATE_H_
+#define PTLSIM_DECODE_TRANSLATE_H_
+
+#include <vector>
+
+#include "decode/x86decode.h"
+#include "uop/uop.h"
+
+namespace ptl {
+
+/** Why a basic block ended. */
+enum class BbEnd : U8 {
+    None,        ///< block still open (translator appends more insns)
+    CondBranch,
+    UncondBranch,
+    IndirectBranch,
+    Call,
+    IndirectCall,
+    Ret,
+    Assist,      ///< serializing microcode (syscall, hlt, rep handled
+                 ///< separately...)
+    SizeLimit,   ///< capped; ends with an internal continuation branch
+};
+
+/**
+ * Per-basic-block translation state. Construct once per BB, call
+ * translate() for each decoded instruction until it reports the block
+ * ended, then (if the size limit ended it) sealWithJump().
+ */
+class Translator
+{
+  public:
+    explicit Translator(std::vector<Uop> &out) : out(&out) {}
+
+    /**
+     * Append the uops for one instruction. Returns the block-ending
+     * kind (None if the block continues).
+     */
+    BbEnd translate(const X86Insn &insn);
+
+    /** Close an open block with an internal jump to `next_rip`. */
+    void sealWithJump(U64 rip, U64 next_rip);
+
+    /** Uop count appended so far. */
+    size_t uopCount() const { return out->size(); }
+
+  private:
+    // ---- emission helpers ----
+    Uop &emit(const Uop &u);
+    Uop makeUop(UopOp op, unsigned size) const;
+    int temp();                        ///< allocate a microcode temp
+    void beginInsn(const X86Insn &insn);
+    void endInsn();                    ///< mark SOM/EOM on the group
+
+    // ---- flag tracking ----
+    /** Register whose attached flags cover `groups`; emits collcc if
+     *  the groups currently live in different producers. */
+    int flagSource(U8 groups);
+    void setFlagProducer(U8 groups, int reg);
+    static U8 condNeeds(CondCode cc);
+
+    // ---- operand helpers ----
+    struct MemRef
+    {
+        int base = REG_zero;
+        int index = REG_none;
+        U8 scale_log = 0;
+        S64 disp = 0;
+    };
+    MemRef memRef(const X86Insn &insn) const;
+    Uop &emitLoad(const MemRef &m, int rd, unsigned size, bool sign,
+                  bool locked = false);
+    Uop &emitStore(const MemRef &m, int rc, unsigned size,
+                   bool locked = false);
+    /** Compute a memory operand's effective address into `rd`. */
+    void emitLea(const MemRef &m, int rd);
+    /** Write `src` into GPR `reg` honoring x86 partial-register rules
+     *  (8/16-bit writes merge; 32-bit writes zero-extend). */
+    void writeGpr(int reg, int src, unsigned size);
+    void emitAssist(AssistId id);
+    void emitInvalid();
+
+    // ---- instruction families ----
+    BbEnd doAluBlock(const X86Insn &insn);
+    BbEnd doGroup1(const X86Insn &insn);
+    BbEnd doGroup2Shift(const X86Insn &insn, int count_kind);
+    BbEnd doGroup3(const X86Insn &insn);
+    BbEnd doGroup5(const X86Insn &insn);
+    BbEnd doMov(const X86Insn &insn);
+    BbEnd doStringOp(const X86Insn &insn);
+    BbEnd doTwoByte(const X86Insn &insn);
+    BbEnd doX87(const X86Insn &insn);
+
+    std::vector<Uop> *out;
+    const X86Insn *cur = nullptr;
+    size_t insn_start = 0;
+    int next_temp = 0;
+    int zaps_src = REG_zaps;
+    int cf_src = REG_cf;
+    int of_src = REG_of;
+};
+
+/** Translate one instruction into `out` (testing convenience). */
+BbEnd translateOne(const X86Insn &insn, std::vector<Uop> &out);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_DECODE_TRANSLATE_H_

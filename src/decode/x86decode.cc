@@ -1,0 +1,228 @@
+#include "decode/x86decode.h"
+
+#include <sstream>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+namespace {
+
+/** What a primary-map opcode needs beyond the opcode byte. */
+struct OpcodeShape
+{
+    bool known = false;
+    bool modrm = false;
+    int imm = 0;       ///< immediate bytes; -1 = operand-size (max 4),
+                       ///< -2 = full operand size (movabs), -3 = grp3
+};
+
+OpcodeShape
+primaryShape(U8 op)
+{
+    // ALU block 0x00-0x3F: reg/modrm forms only (AL/eAX-imm forms and
+    // the legacy 0x06-style slots are not used by our toolchain).
+    if (op <= 0x3F) {
+        if ((op & 7) <= 3)
+            return {true, true, 0};
+        return {};
+    }
+    if (op >= 0x50 && op <= 0x5F)
+        return {true, false, 0};
+    switch (op) {
+      case 0x63: return {true, true, 0};
+      case 0x69: return {true, true, -1};
+      case 0x6B: return {true, true, 1};
+      case 0x80: return {true, true, 1};
+      case 0x81: return {true, true, -1};
+      case 0x83: return {true, true, 1};
+      case 0x84: case 0x85: case 0x86: case 0x87:
+      case 0x88: case 0x89: case 0x8A: case 0x8B:
+      case 0x8D:
+        return {true, true, 0};
+      case 0x90: case 0x9C: case 0x9D:
+      case 0xA4: case 0xAA: case 0xAC:
+      case 0xC3: case 0xCF: case 0xF4:
+      case 0xFA: case 0xFB: case 0xFC:
+        return {true, false, 0};
+      case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+      case 0xBC: case 0xBD: case 0xBE: case 0xBF:
+        return {true, false, -2};
+      case 0xC1: return {true, true, 1};
+      case 0xC6: return {true, true, 1};
+      case 0xC7: return {true, true, -1};
+      case 0xD1: case 0xD3: return {true, true, 0};
+      case 0xDD: case 0xDE: return {true, true, 0};
+      case 0xE8: case 0xE9: return {true, false, 4};
+      case 0xEB: return {true, false, 1};
+      case 0xF6: case 0xF7: return {true, true, -3};
+      case 0xFF: return {true, true, 0};
+      default: return {};
+    }
+}
+
+OpcodeShape
+secondaryShape(U8 op)
+{
+    if (op >= 0x40 && op <= 0x4F)   // cmovcc
+        return {true, true, 0};
+    if (op >= 0x80 && op <= 0x8F)   // jcc rel32
+        return {true, false, 4};
+    if (op >= 0x90 && op <= 0x9F)   // setcc
+        return {true, true, 0};
+    if (op >= 0xC8 && op <= 0xCF)   // bswap
+        return {true, false, 0};
+    switch (op) {
+      case 0x05: case 0x07: case 0x0B: case 0x31: case 0x34:
+      case 0x37: case 0xA2:
+        return {true, false, 0};
+      case 0x10: case 0x11: case 0x2A: case 0x2C: case 0x2F:
+      case 0x51: case 0x58: case 0x59: case 0x5C: case 0x5E:
+      case 0x6E: case 0x7E:
+      case 0xAE: case 0xAF:
+      case 0xB0: case 0xB1: case 0xB6: case 0xB7:
+      case 0xBC: case 0xBD: case 0xBE: case 0xBF:
+      case 0xC0: case 0xC1:
+        return {true, true, 0};
+      default: return {};
+    }
+}
+
+}  // namespace
+
+X86Insn
+decodeX86(const U8 *bytes, size_t avail, U64 rip)
+{
+    X86Insn insn;
+    insn.rip = rip;
+    size_t pos = 0;
+    auto need = [&](size_t n) { return pos + n <= avail
+                                       && pos + n <= MAX_X86_INSN_BYTES; };
+
+    // Legacy prefixes (any order, each at most once in practice).
+    while (need(1)) {
+        U8 b = bytes[pos];
+        if (b == 0x66) insn.prefix_66 = true;
+        else if (b == 0xF2) insn.prefix_f2 = true;
+        else if (b == 0xF3) insn.prefix_f3 = true;
+        else if (b == 0xF0) insn.prefix_lock = true;
+        else break;
+        pos++;
+    }
+
+    // REX.
+    if (need(1) && (bytes[pos] & 0xF0) == 0x40) {
+        U8 rex = bytes[pos++];
+        insn.has_rex = true;
+        insn.rex_w = rex & 8;
+        insn.rex_r = rex & 4;
+        insn.rex_x = rex & 2;
+        insn.rex_b = rex & 1;
+    }
+
+    if (!need(1))
+        return insn;
+    U8 op = bytes[pos++];
+    OpcodeShape shape;
+    if (op == 0x0F) {
+        if (!need(1))
+            return insn;
+        insn.is_0f = true;
+        op = bytes[pos++];
+        shape = secondaryShape(op);
+    } else {
+        shape = primaryShape(op);
+    }
+    insn.opcode = op;
+    if (!shape.known) {
+        // Undecodable: report a 1-opcode-byte instruction; the
+        // translator will raise #UD at the right RIP.
+        insn.length = (U8)pos;
+        return insn;
+    }
+
+    if (shape.modrm) {
+        if (!need(1))
+            return insn;
+        insn.has_modrm = true;
+        insn.modrm = bytes[pos++];
+        U8 mod = insn.modrm >> 6;
+        U8 rm = insn.modrm & 7;
+        if (mod != 3) {
+            if (rm == 4) {
+                if (!need(1))
+                    return insn;
+                insn.has_sib = true;
+                insn.sib = bytes[pos++];
+                if (mod == 0 && (insn.sib & 7) == 5) {
+                    insn.length = (U8)pos;  // undecodable, not truncated
+                    return insn;            // no-base disp32: unsupported
+                }
+            }
+            if (mod == 0 && rm == 5) {
+                insn.length = (U8)pos;
+                return insn;      // RIP-relative: unsupported
+            }
+            int disp_bytes = (mod == 1) ? 1 : (mod == 2) ? 4 : 0;
+            if (disp_bytes) {
+                if (!need((size_t)disp_bytes))
+                    return insn;
+                U64 raw = 0;
+                for (int i = 0; i < disp_bytes; i++)
+                    raw |= (U64)bytes[pos + i] << (i * 8);
+                insn.disp = (S64)signExtend(raw, (unsigned)disp_bytes);
+                pos += (size_t)disp_bytes;
+            }
+        }
+    }
+
+    int imm_bytes = shape.imm;
+    if (imm_bytes == -1) {
+        imm_bytes = insn.prefix_66 ? 2 : 4;
+    } else if (imm_bytes == -2) {
+        imm_bytes = insn.rex_w ? 8 : (insn.prefix_66 ? 2 : 4);
+    } else if (imm_bytes == -3) {
+        // Group 3 (F6/F7): only /0 (test) carries an immediate.
+        int ext = (insn.modrm >> 3) & 7;
+        if (ext == 0)
+            imm_bytes = (op == 0xF6) ? 1 : (insn.prefix_66 ? 2 : 4);
+        else
+            imm_bytes = 0;
+    }
+    if (imm_bytes) {
+        if (!need((size_t)imm_bytes))
+            return insn;
+        U64 raw = 0;
+        for (int i = 0; i < imm_bytes; i++)
+            raw |= (U64)bytes[pos + i] << (i * 8);
+        insn.imm = (imm_bytes == 8) ? raw
+                                    : signExtend(raw, (unsigned)imm_bytes);
+        insn.imm_bytes = (U8)imm_bytes;
+        pos += (size_t)imm_bytes;
+    }
+
+    insn.length = (U8)pos;
+    insn.valid = true;
+    return insn;
+}
+
+std::string
+X86Insn::toString() const
+{
+    std::ostringstream out;
+    out << std::hex << "rip=" << rip << (is_0f ? " 0f" : "") << " op="
+        << (int)opcode << " len=" << std::dec << (int)length;
+    if (has_modrm)
+        out << " modrm=" << std::hex << (int)modrm;
+    if (has_sib)
+        out << " sib=" << std::hex << (int)sib;
+    if (disp)
+        out << " disp=" << std::dec << disp;
+    if (imm_bytes)
+        out << " imm=" << std::hex << imm;
+    if (!valid)
+        out << " INVALID";
+    return out.str();
+}
+
+}  // namespace ptl

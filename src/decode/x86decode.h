@@ -1,0 +1,93 @@
+/**
+ * @file
+ * x86-64 instruction byte decoder.
+ *
+ * Parses raw machine-code bytes (legacy prefixes, REX, one/two-byte
+ * opcodes, ModRM/SIB, displacement, immediate) into a structured
+ * X86Insn. This is the first half of the paper's "full x86-64 to uop
+ * decoder" (Section 2.1); the second half — uop translation — lives in
+ * decode/translate.*. The supported subset exactly mirrors what the
+ * repository's assembler can emit plus common alternative encodings;
+ * anything else decodes to an invalid-opcode marker which the
+ * translator turns into a #UD-raising assist (never a host crash).
+ */
+
+#ifndef PTLSIM_DECODE_X86DECODE_H_
+#define PTLSIM_DECODE_X86DECODE_H_
+
+#include <string>
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+constexpr int MAX_X86_INSN_BYTES = 15;
+
+/** A decoded (but not yet translated) x86-64 instruction. */
+struct X86Insn
+{
+    U64 rip = 0;
+    U8 length = 0;          ///< total instruction bytes
+    bool valid = false;     ///< false => undecodable (#UD)
+
+    // Prefixes.
+    bool prefix_66 = false;
+    bool prefix_f2 = false;
+    bool prefix_f3 = false;
+    bool prefix_lock = false;
+    bool has_rex = false;
+    bool rex_w = false, rex_r = false, rex_x = false, rex_b = false;
+
+    // Opcode.
+    bool is_0f = false;     ///< two-byte (0F xx) opcode map
+    U8 opcode = 0;          ///< primary opcode byte
+
+    // ModRM / SIB.
+    bool has_modrm = false;
+    U8 modrm = 0;
+    bool has_sib = false;
+    U8 sib = 0;
+    S64 disp = 0;
+
+    // Immediate.
+    U64 imm = 0;            ///< sign-extended where applicable
+    U8 imm_bytes = 0;
+
+    // ---- derived accessors ----
+    U8 mod() const { return modrm >> 6; }
+    /** ModRM.reg extended by REX.R. */
+    int reg() const { return ((modrm >> 3) & 7) | (rex_r ? 8 : 0); }
+    /** ModRM.rm extended by REX.B (register-direct forms). */
+    int rm() const { return (modrm & 7) | (rex_b ? 8 : 0); }
+    bool rmIsMem() const { return has_modrm && mod() != 3; }
+    int sibScale() const { return 1 << (sib >> 6); }
+    int sibIndex() const { return ((sib >> 3) & 7) | (rex_x ? 8 : 0); }
+    int sibBase() const { return (sib & 7) | (rex_b ? 8 : 0); }
+
+    /** Effective operand size in bytes for non-byte opcodes. */
+    unsigned
+    opSize() const
+    {
+        if (rex_w)
+            return 8;
+        if (prefix_66)
+            return 2;
+        return 4;
+    }
+
+    U64 nextRip() const { return rip + length; }
+
+    /** Compact diagnostic rendering ("0f b6 /r len=4 ..."). */
+    std::string toString() const;
+};
+
+/**
+ * Decode one instruction from `bytes` (at least `avail` valid bytes,
+ * which may be fewer than MAX_X86_INSN_BYTES near a page boundary; the
+ * decoder reports invalid if the instruction is truncated).
+ */
+X86Insn decodeX86(const U8 *bytes, size_t avail, U64 rip);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_DECODE_X86DECODE_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Guest ABI: memory layout, syscall numbers, kernel data offsets.
+ *
+ * Shared between the kernel builder (which emits the kernel's x86-64
+ * code and pre-initializes kernel data structures in guest memory) and
+ * user programs / tests that need the constants.
+ */
+
+#ifndef PTLSIM_KERNEL_GUESTABI_H_
+#define PTLSIM_KERNEL_GUESTABI_H_
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+// ---------------------------------------------------------------------
+// Virtual memory layout
+// ---------------------------------------------------------------------
+
+constexpr U64 KERNEL_TEXT_VA = 0xffff800000000000ULL;
+constexpr U64 KDATA_VA = 0xffff800000400000ULL;
+constexpr U64 KSTACKS_VA = 0xffff800000800000ULL;
+constexpr U64 USER_TEXT_VA = 0x0000000000400000ULL;
+constexpr U64 USER_DATA_VA = 0x0000000010000000ULL;
+constexpr U64 USER_STACKS_VA = 0x00007f0000000000ULL;
+
+constexpr U64 KERNEL_TEXT_BYTES = 256 * 1024;
+constexpr U64 KDATA_BYTES = 256 * 1024;        ///< vars + pipe rings
+constexpr int MAX_TASKS = 8;
+constexpr U64 KSTACK_BYTES = 16 * 1024;        ///< per task
+constexpr U64 USER_STACK_BYTES = 64 * 1024;    ///< per task
+constexpr U64 USER_TEXT_BYTES = 256 * 1024;
+
+constexpr U64
+kernelStackTop(int task)
+{
+    return KSTACKS_VA + (U64)(task + 1) * KSTACK_BYTES;
+}
+
+constexpr U64
+userStackTop(int task)
+{
+    // Leave a guard page between stacks.
+    return USER_STACKS_VA + (U64)(task + 1) * (USER_STACK_BYTES + 4096);
+}
+
+// ---------------------------------------------------------------------
+// Kernel data structure offsets (within KDATA_VA)
+// ---------------------------------------------------------------------
+
+constexpr U64 KD_CURRENT = 0x000;       ///< current task index
+constexpr U64 KD_JIFFIES = 0x008;
+constexpr U64 KD_TIMER_PERIOD = 0x010;  ///< cycles between ticks
+constexpr U64 KD_TICKS_SEEN = 0x018;    ///< diagnostic counter
+
+constexpr U64 KD_TASKS = 0x100;         ///< task table
+constexpr U64 TASK_ENTRY_BYTES = 64;
+// Task entry fields:
+constexpr U64 TASK_STATE = 0;           ///< 0 free 1 runnable 2 blocked 3 zombie
+constexpr U64 TASK_SAVED_RSP = 8;
+constexpr U64 TASK_CR3 = 16;
+constexpr U64 TASK_WAIT = 24;           ///< wait channel when blocked
+constexpr U64 TASK_KSTACK_TOP = 32;
+constexpr U64 TASK_SLEEP_DEADLINE = 40; ///< jiffies
+constexpr U64 TASK_USER_STACK_TOP = 48;
+
+constexpr U64 TASK_FREE = 0;
+constexpr U64 TASK_RUNNABLE = 1;
+constexpr U64 TASK_BLOCKED = 2;
+constexpr U64 TASK_ZOMBIE = 3;
+
+constexpr int MAX_PIPES = 8;
+constexpr U64 KD_PIPES = 0x600;         ///< pipe head/tail table
+constexpr U64 PIPE_ENTRY_BYTES = 16;    ///< {head u64, tail u64}
+constexpr U64 PIPE_RING_BYTES = 16384;  ///< Linux-like pipe capacity
+constexpr U64 KD_PIPE_RINGS = 0x1000;   ///< MAX_PIPES rings
+
+// Wait channels.
+constexpr U64 CH_PIPE_READ = 0x100;     ///< + fd
+constexpr U64 CH_PIPE_WRITE = 0x200;    ///< + fd
+constexpr U64 CH_SLEEP = 0x300;
+constexpr U64 CH_NET = 0x400;           ///< + endpoint
+constexpr U64 CH_DISK = 0x500;
+
+// ---------------------------------------------------------------------
+// Syscalls (nr in rax; args rdi/rsi/rdx; result rax)
+// ---------------------------------------------------------------------
+
+enum GuestSyscall : U64 {
+    GSYS_write = 1,       ///< (fd, buf, len) -> bytes written (>=1; blocks)
+    GSYS_read = 2,        ///< (fd, buf, len) -> bytes read (>=1; blocks)
+    GSYS_yield = 3,
+    GSYS_exit = 4,        ///< (code); task 0 exiting shuts the domain down
+    GSYS_getpid = 5,
+    GSYS_sleep = 6,       ///< (ticks) block for N timer ticks
+    GSYS_console = 7,     ///< (buf, len)
+    GSYS_spawn = 8,       ///< (entry, arg) -> pid or -1
+    GSYS_net_send = 9,    ///< (endpoint, buf, len) -> len
+    GSYS_net_recv = 10,   ///< (endpoint, buf, maxlen) -> n (>=1; blocks)
+    GSYS_disk_read = 11,  ///< (sector, count, dest) -> 0 (blocks for DMA)
+    GSYS_time_ns = 12,    ///< () -> virtual ns since boot
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_KERNEL_GUESTABI_H_

@@ -1,0 +1,806 @@
+#include "kernel/guestkernel.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+/*
+ * Register conventions inside the kernel:
+ *
+ *  - Syscalls clobber rax, rcx, rdx, rsi, rdi, r8-r11 and preserve
+ *    rbx, rbp, rsp, r12-r15 (standard SysV caller/callee split).
+ *  - schedule() preserves callee-saved registers only; any kernel path
+ *    that may block keeps its live state in callee-saved registers.
+ *  - wake_channel(rdi=channel) clobbers rax, rcx, rdx.
+ *  - block_on(rdi=channel) clobbers all caller-saved registers.
+ *  - The event upcall saves/restores every caller-saved register and
+ *    touches no callee-saved ones except rbx (which it saves too), so
+ *    interrupted contexts are fully preserved.
+ *  - The hypercall gate (0f 34) takes nr in rax, args in rdi/rsi/rdx,
+ *    returns in rax, and preserves all other registers.
+ */
+
+KernelBuilder::KernelBuilder(Machine &machine)
+    : machine(&machine), user_asm(USER_TEXT_VA)
+{
+}
+
+void
+KernelBuilder::setInitTask(U64 entry, U64 arg)
+{
+    init_entry = entry;
+    init_arg = arg;
+}
+
+void
+KernelBuilder::buildAddressSpace()
+{
+    AddressSpace &as = machine->addressSpace();
+    base_cr3 = as.createRoot();
+    // Kernel regions: supervisor-only.
+    as.mapRange(base_cr3, KERNEL_TEXT_VA, KERNEL_TEXT_BYTES, Pte::RW);
+    as.mapRange(base_cr3, KDATA_VA, KDATA_BYTES, Pte::RW | Pte::NX);
+    as.mapRange(base_cr3, KSTACKS_VA, (U64)MAX_TASKS * KSTACK_BYTES,
+                Pte::RW | Pte::NX);
+    // User regions.
+    as.mapRange(base_cr3, USER_TEXT_VA, USER_TEXT_BYTES, Pte::RW | Pte::US);
+    as.mapRange(base_cr3, USER_DATA_VA, user_data_bytes,
+                Pte::RW | Pte::US | Pte::NX);
+    for (int t = 0; t < MAX_TASKS; t++) {
+        as.mapRange(base_cr3, userStackTop(t) - USER_STACK_BYTES,
+                    USER_STACK_BYTES, Pte::RW | Pte::US | Pte::NX);
+    }
+    // Each task gets its own CR3 (an aliasing root), so context
+    // switches reload CR3 and flush TLBs like real process switches.
+    for (int t = 0; t < MAX_TASKS; t++)
+        task_cr3[t] = as.cloneRoot(base_cr3);
+}
+
+void
+KernelBuilder::buildKernelData()
+{
+    // The host-side domain builder pre-initializes all static kernel
+    // data, so the assembled boot path stays small.
+    Context kctx;
+    kctx.cr3 = base_cr3;
+    kctx.kernel_mode = true;
+    AddressSpace &as = machine->addressSpace();
+    auto store = [&](U64 va, U64 value) {
+        GuestAccess a = guestWrite(as, kctx, va, 8, value);
+        ptl_assert(a.ok());
+    };
+
+    store(KDATA_VA + KD_CURRENT, 0);
+    store(KDATA_VA + KD_JIFFIES, 0);
+    U64 period = machine->timeKeeper().frequency()
+                 / machine->config().timer_hz;
+    store(KDATA_VA + KD_TIMER_PERIOD, period);
+    store(KDATA_VA + KD_TICKS_SEEN, 0);
+
+    for (int t = 0; t < MAX_TASKS; t++) {
+        U64 base = KDATA_VA + KD_TASKS + (U64)t * TASK_ENTRY_BYTES;
+        store(base + TASK_STATE, (t == 0) ? TASK_RUNNABLE : TASK_FREE);
+        store(base + TASK_SAVED_RSP, 0);
+        store(base + TASK_CR3, task_cr3[t]);
+        store(base + TASK_WAIT, 0);
+        store(base + TASK_KSTACK_TOP, kernelStackTop(t));
+        store(base + TASK_SLEEP_DEADLINE, 0);
+        store(base + TASK_USER_STACK_TOP, userStackTop(t) - 64);
+    }
+    for (int p = 0; p < MAX_PIPES; p++) {
+        U64 base = KDATA_VA + KD_PIPES + (U64)p * PIPE_ENTRY_BYTES;
+        store(base + 0, 0);   // head
+        store(base + 8, 0);   // tail
+    }
+}
+
+void
+KernelBuilder::emitKernel(Assembler &a)
+{
+    const U64 kd = KDATA_VA;
+    const U64 ktasks = KDATA_VA + KD_TASKS;
+
+    Label task_start = a.newLabel();
+    Label schedule = a.newLabel();
+    Label wake_channel = a.newLabel();
+    Label block_on = a.newLabel();
+    Label event_upcall = a.newLabel();
+    Label syscall_entry = a.newLabel();
+    Label syscall_ret = a.newLabel();
+    Label fatal_fault = a.newLabel();
+    Label fault_msg = a.newLabel();
+
+    // =================================================================
+    // Boot entry (VCPU 0 starts here in kernel mode, events masked).
+    // =================================================================
+    // Register the event upcall and arm the first timer tick.
+    a.movLabel(R::rdi, event_upcall);
+    a.mov(R::rax, HC_set_callbacks);
+    a.hypercall();
+    a.movImm64(R::rbx, kd);
+    a.mov(R::rdi, Mem::at(R::rbx, (S32)KD_TIMER_PERIOD));
+    a.mov(R::rax, HC_set_timer);
+    a.hypercall();
+    // Switch to task 0's kernel stack and launch init via task_start.
+    a.movImm64(R::rax, ktasks);
+    a.mov(R::rdx, Mem::at(R::rax, (S32)TASK_KSTACK_TOP));
+    a.mov(R::rdi, R::rdx);
+    a.mov(R::rax, HC_stack_switch);
+    a.hypercall();
+    a.mov(R::rsp, R::rdx);
+    a.movImm64(R::rax, init_arg);
+    a.push(R::rax);
+    a.movImm64(R::rax, init_entry);
+    a.push(R::rax);
+    a.movImm64(R::rax, ktasks);
+    a.mov(R::rax, Mem::at(R::rax, (S32)TASK_USER_STACK_TOP));
+    a.push(R::rax);
+    a.jmp(task_start);
+
+    // =================================================================
+    // task_start: stack holds [user_rsp][user_entry][arg]; drop to
+    // user mode via sysret (which unmasks events).
+    // =================================================================
+    a.bind(task_start);
+    a.mov(R::rdi, Mem::at(R::rsp, 16));   // arg
+    a.mov(R::rcx, Mem::at(R::rsp, 8));    // user entry
+    a.mov(R::r11, 0);                     // clean flags image
+    a.sysret();
+
+    // =================================================================
+    // wake_channel(rdi = channel): mark blocked tasks runnable.
+    // Clobbers rax, rcx, rdx.
+    // =================================================================
+    a.bind(wake_channel);
+    a.movImm64(R::rax, ktasks);
+    a.mov(R::rcx, 0);
+    {
+        Label loop = a.label();
+        Label next = a.newLabel();
+        Label done = a.newLabel();
+        a.cmp(R::rcx, MAX_TASKS);
+        a.jcc(COND_e, done);
+        a.mov(R::rdx, Mem::at(R::rax, (S32)TASK_STATE));
+        a.cmp(R::rdx, (S32)TASK_BLOCKED);
+        a.jcc(COND_ne, next);
+        a.mov(R::rdx, Mem::at(R::rax, (S32)TASK_WAIT));
+        a.cmp(R::rdx, R::rdi);
+        a.jcc(COND_ne, next);
+        a.movStoreImm32(Mem::at(R::rax, (S32)TASK_STATE),
+                        (S32)TASK_RUNNABLE);
+        a.bind(next);
+        a.add(R::rax, (S32)TASK_ENTRY_BYTES);
+        a.inc(R::rcx);
+        a.jmp(loop);
+        a.bind(done);
+    }
+    a.ret();
+
+    // =================================================================
+    // block_on(rdi = channel): mark current task blocked + schedule.
+    // Clobbers caller-saved registers.
+    // =================================================================
+    a.bind(block_on);
+    a.movImm64(R::rax, kd);
+    a.mov(R::rcx, Mem::at(R::rax, (S32)KD_CURRENT));
+    a.mov(R::rdx, R::rcx);
+    a.shl(R::rdx, 6);
+    a.movImm64(R::r8, ktasks);
+    a.add(R::rdx, R::r8);
+    a.movStoreImm32(Mem::at(R::rdx, (S32)TASK_STATE), (S32)TASK_BLOCKED);
+    a.mov(Mem::at(R::rdx, (S32)TASK_WAIT), R::rdi);
+    a.call(schedule);
+    a.ret();
+
+    // =================================================================
+    // schedule: save current, pick next runnable (round robin), switch
+    // kernel stack + CR3, restore. Idles in sti;hlt when nothing runs.
+    // =================================================================
+    a.bind(schedule);
+    a.push(R::rbx);
+    a.push(R::rbp);
+    a.push(R::r12);
+    a.push(R::r13);
+    a.push(R::r14);
+    a.push(R::r15);
+    a.movImm64(R::rbx, kd);
+    a.mov(R::r12, Mem::at(R::rbx, (S32)KD_CURRENT));
+    a.movImm64(R::r14, ktasks);
+    a.mov(R::r13, R::r12);
+    a.shl(R::r13, 6);
+    a.add(R::r13, R::r14);
+    a.mov(Mem::at(R::r13, (S32)TASK_SAVED_RSP), R::rsp);
+    {
+        Label scan_init = a.newLabel();
+        Label scan_loop = a.newLabel();
+        Label scan_next = a.newLabel();
+        Label idle = a.newLabel();
+        Label found = a.newLabel();
+        a.bind(scan_init);
+        a.mov(R::r15, 1);                  // offset from current
+        a.bind(scan_loop);
+        a.cmp(R::r15, MAX_TASKS + 1);
+        a.jcc(COND_e, idle);
+        a.mov(R::rax, R::r12);
+        a.add(R::rax, R::r15);
+        a.and_(R::rax, MAX_TASKS - 1);     // idx = (cur + off) % 8
+        a.mov(R::rcx, R::rax);
+        a.shl(R::rcx, 6);
+        a.add(R::rcx, R::r14);             // &task[idx]
+        a.mov(R::rdx, Mem::at(R::rcx, (S32)TASK_STATE));
+        a.cmp(R::rdx, (S32)TASK_RUNNABLE);
+        a.jcc(COND_e, found);
+        a.bind(scan_next);
+        a.inc(R::r15);
+        a.jmp(scan_loop);
+        a.bind(idle);
+        // Nothing runnable: unmask events and halt; the upcall will
+        // mark tasks runnable, then we rescan. This is where all of
+        // Figure 2's idle cycles accumulate.
+        a.sti();
+        a.hlt();
+        a.cli();
+        a.jmp(scan_init);
+        a.bind(found);
+        // rax = next index, rcx = &task[next].
+        a.mov(Mem::at(R::rbx, (S32)KD_CURRENT), R::rax);
+        a.mov(R::rdi, Mem::at(R::rcx, (S32)TASK_KSTACK_TOP));
+        a.mov(R::rax, HC_stack_switch);
+        a.hypercall();
+        a.mov(R::rdi, Mem::at(R::rcx, (S32)TASK_CR3));
+        a.mov(R::rax, HC_new_baseptr);
+        a.hypercall();
+        a.mov(R::rsp, Mem::at(R::rcx, (S32)TASK_SAVED_RSP));
+    }
+    a.pop(R::r15);
+    a.pop(R::r14);
+    a.pop(R::r13);
+    a.pop(R::r12);
+    a.pop(R::rbp);
+    a.pop(R::rbx);
+    a.ret();
+
+    // =================================================================
+    // Event upcall. Frame: [rsp]=fault word, +8 rip, +16 flags word,
+    // +24 saved rsp. Events are masked on entry.
+    // =================================================================
+    a.bind(event_upcall);
+    a.push(R::rax);
+    a.push(R::rcx);
+    a.push(R::rdx);
+    a.push(R::rbx);
+    a.push(R::rsi);
+    a.push(R::rdi);
+    a.push(R::r8);
+    a.push(R::r9);
+    a.push(R::r10);
+    a.push(R::r11);
+    // Synchronous faults arrive through the same entry with a nonzero
+    // fault word; this kernel treats any guest fault as fatal.
+    a.mov(R::rax, Mem::at(R::rsp, 80));
+    a.test(R::rax, R::rax);
+    a.jcc(COND_ne, fatal_fault);
+    // Collect and clear pending event ports.
+    a.mov(R::rax, HC_evtchn_pending);
+    a.hypercall();
+    a.mov(R::rbx, R::rax);
+    {
+        Label no_timer = a.newLabel();
+        a.test(R::rbx, 1 << PORT_TIMER);
+        a.jcc(COND_e, no_timer);
+        // Timer tick: jiffies++, re-arm, wake expired sleepers.
+        a.movImm64(R::r9, kd);
+        a.inc(Mem::at(R::r9, (S32)KD_JIFFIES));
+        a.inc(Mem::at(R::r9, (S32)KD_TICKS_SEEN));
+        a.mov(R::rdi, Mem::at(R::r9, (S32)KD_TIMER_PERIOD));
+        a.mov(R::rax, HC_set_timer);
+        a.hypercall();
+        a.mov(R::r10, Mem::at(R::r9, (S32)KD_JIFFIES));
+        a.movImm64(R::r8, ktasks);
+        a.mov(R::rcx, 0);
+        Label sl_loop = a.label();
+        Label sl_next = a.newLabel();
+        a.cmp(R::rcx, MAX_TASKS);
+        a.jcc(COND_e, no_timer);
+        a.mov(R::rax, Mem::at(R::r8, (S32)TASK_STATE));
+        a.cmp(R::rax, (S32)TASK_BLOCKED);
+        a.jcc(COND_ne, sl_next);
+        a.mov(R::rax, Mem::at(R::r8, (S32)TASK_WAIT));
+        a.cmp(R::rax, (S32)CH_SLEEP);
+        a.jcc(COND_ne, sl_next);
+        a.mov(R::rax, Mem::at(R::r8, (S32)TASK_SLEEP_DEADLINE));
+        a.cmp(R::rax, R::r10);
+        a.jcc(COND_nbe, sl_next);          // deadline > jiffies: keep
+        a.movStoreImm32(Mem::at(R::r8, (S32)TASK_STATE),
+                        (S32)TASK_RUNNABLE);
+        a.bind(sl_next);
+        a.add(R::r8, (S32)TASK_ENTRY_BYTES);
+        a.inc(R::rcx);
+        a.jmp(sl_loop);
+        a.bind(no_timer);
+    }
+    {
+        Label no_disk = a.newLabel();
+        a.test(R::rbx, 1 << PORT_DISK);
+        a.jcc(COND_e, no_disk);
+        a.mov(R::rdi, (U64)CH_DISK);
+        a.call(wake_channel);
+        a.bind(no_disk);
+    }
+    for (int ep = 0; ep < 8; ep++) {
+        Label no_net = a.newLabel();
+        a.test(R::rbx, 1 << (PORT_NET_BASE + ep));
+        a.jcc(COND_e, no_net);
+        a.mov(R::rdi, (U64)(CH_NET + ep));
+        a.call(wake_channel);
+        a.bind(no_net);
+    }
+    a.pop(R::r11);
+    a.pop(R::r10);
+    a.pop(R::r9);
+    a.pop(R::r8);
+    a.pop(R::rdi);
+    a.pop(R::rsi);
+    a.pop(R::rbx);
+    a.pop(R::rdx);
+    a.pop(R::rcx);
+    a.pop(R::rax);
+    a.add(R::rsp, 8);                      // drop the fault word
+    a.iretq();
+
+    // Fatal fault: report and shut the domain down.
+    a.bind(fatal_fault);
+    a.movLabel(R::rdi, fault_msg);
+    a.mov(R::rsi, 13);
+    a.mov(R::rax, HC_console_write);
+    a.hypercall();
+    a.mov(R::rdi, 0xDEAD);
+    a.mov(R::rax, HC_shutdown);
+    a.hypercall();
+    {
+        Label self = a.label();
+        a.jmp(self);
+    }
+
+    // =================================================================
+    // Syscall entry (MSR_LSTAR). On entry: rsp = kstack-8 with the
+    // user rsp at [rsp]; rcx = user rip; r11 = user rflags.
+    // =================================================================
+    a.bind(syscall_entry);
+    a.push(R::rcx);
+    a.push(R::r11);
+
+    Label h_write = a.newLabel(), h_read = a.newLabel();
+    Label h_yield = a.newLabel(), h_exit = a.newLabel();
+    Label h_getpid = a.newLabel(), h_sleep = a.newLabel();
+    Label h_console = a.newLabel(), h_spawn = a.newLabel();
+    Label h_net_send = a.newLabel(), h_net_recv = a.newLabel();
+    Label h_disk = a.newLabel(), h_time = a.newLabel();
+    Label h_bad = a.newLabel();
+
+    auto dispatch = [&](GuestSyscall nr, Label target) {
+        a.cmp(R::rax, (S32)nr);
+        a.jcc(COND_e, target);
+    };
+    dispatch(GSYS_write, h_write);
+    dispatch(GSYS_read, h_read);
+    dispatch(GSYS_yield, h_yield);
+    dispatch(GSYS_exit, h_exit);
+    dispatch(GSYS_getpid, h_getpid);
+    dispatch(GSYS_sleep, h_sleep);
+    dispatch(GSYS_console, h_console);
+    dispatch(GSYS_spawn, h_spawn);
+    dispatch(GSYS_net_send, h_net_send);
+    dispatch(GSYS_net_recv, h_net_recv);
+    dispatch(GSYS_disk_read, h_disk);
+    dispatch(GSYS_time_ns, h_time);
+    a.bind(h_bad);
+    a.mov(R::rax, (U64)-1);
+    a.jmp(syscall_ret);
+
+    a.bind(syscall_ret);
+    a.pop(R::r11);
+    a.pop(R::rcx);
+    a.sysret();
+
+    // ---- write(fd, buf, len) ----
+    a.bind(h_write);
+    {
+        Label retry = a.newLabel(), have_space = a.newLabel();
+        Label nset = a.newLabel(), c1set = a.newLabel();
+        Label no_chunk2 = a.newLabel(), done = a.newLabel();
+        Label bad = a.newLabel(), zero = a.newLabel();
+        a.push(R::rbx);
+        a.push(R::r12);
+        a.push(R::r13);
+        a.push(R::r14);
+        a.push(R::r15);
+        a.push(R::rbp);
+        a.mov(R::rbx, R::rdi);             // fd
+        a.mov(R::r12, R::rsi);             // buf
+        a.mov(R::r13, R::rdx);             // len
+        a.cmp(R::rbx, MAX_PIPES);
+        a.jcc(COND_nb, bad);
+        a.test(R::r13, R::r13);
+        a.jcc(COND_e, zero);
+        a.bind(retry);
+        a.movImm64(R::r14, KDATA_VA + KD_PIPES);
+        a.mov(R::rax, R::rbx);
+        a.shl(R::rax, 4);
+        a.add(R::r14, R::rax);             // &pipe[fd]
+        a.mov(R::rax, Mem::at(R::r14, 0)); // head
+        a.mov(R::rcx, Mem::at(R::r14, 8)); // tail
+        a.mov(R::rbp, R::rcx);
+        a.sub(R::rbp, R::rax);             // count
+        a.mov(R::rax, (U64)PIPE_RING_BYTES);
+        a.sub(R::rax, R::rbp);             // space
+        a.test(R::rax, R::rax);
+        a.jcc(COND_ne, have_space);
+        a.lea(R::rdi, Mem::at(R::rbx, (S32)CH_PIPE_WRITE));
+        a.call(block_on);
+        a.jmp(retry);
+        a.bind(have_space);
+        // r15 = n = min(len, space)
+        a.mov(R::r15, R::r13);
+        a.cmp(R::rax, R::r13);
+        a.jcc(COND_nb, nset);
+        a.mov(R::r15, R::rax);
+        a.bind(nset);
+        // rbp = ring base for this fd
+        a.movImm64(R::rbp, KDATA_VA + KD_PIPE_RINGS);
+        a.mov(R::rax, R::rbx);
+        a.shl(R::rax, (U8)log2Exact(PIPE_RING_BYTES));   // ring stride
+        a.add(R::rbp, R::rax);
+        a.mov(R::rcx, Mem::at(R::r14, 8)); // tail
+        a.and_(R::rcx, (S32)(PIPE_RING_BYTES - 1));
+        a.mov(R::rdx, (U64)PIPE_RING_BYTES);
+        a.sub(R::rdx, R::rcx);             // room to ring end
+        // r8 = chunk1 = min(n, room)
+        a.mov(R::r8, R::r15);
+        a.cmp(R::rdx, R::r15);
+        a.jcc(COND_nb, c1set);
+        a.mov(R::r8, R::rdx);
+        a.bind(c1set);
+        a.mov(R::rdi, R::rbp);
+        a.add(R::rdi, R::rcx);
+        a.mov(R::rsi, R::r12);
+        a.mov(R::rcx, R::r8);
+        a.cld();
+        a.repMovsb();
+        // chunk 2 wraps to the ring start (rsi continues).
+        a.mov(R::r9, R::r15);
+        a.sub(R::r9, R::r8);
+        a.test(R::r9, R::r9);
+        a.jcc(COND_e, no_chunk2);
+        a.mov(R::rdi, R::rbp);
+        a.mov(R::rcx, R::r9);
+        a.repMovsb();
+        a.bind(no_chunk2);
+        a.mov(R::rax, Mem::at(R::r14, 8));
+        a.add(R::rax, R::r15);
+        a.mov(Mem::at(R::r14, 8), R::rax); // tail += n
+        a.lea(R::rdi, Mem::at(R::rbx, (S32)CH_PIPE_READ));
+        a.call(wake_channel);
+        a.mov(R::rax, R::r15);
+        a.jmp(done);
+        a.bind(bad);
+        a.mov(R::rax, (U64)-1);
+        a.jmp(done);
+        a.bind(zero);
+        a.mov(R::rax, 0);
+        a.bind(done);
+        a.pop(R::rbp);
+        a.pop(R::r15);
+        a.pop(R::r14);
+        a.pop(R::r13);
+        a.pop(R::r12);
+        a.pop(R::rbx);
+        a.jmp(syscall_ret);
+    }
+
+    // ---- read(fd, buf, len) ----
+    a.bind(h_read);
+    {
+        Label retry = a.newLabel(), have_data = a.newLabel();
+        Label nset = a.newLabel(), c1set = a.newLabel();
+        Label no_chunk2 = a.newLabel(), done = a.newLabel();
+        Label bad = a.newLabel(), zero = a.newLabel();
+        a.push(R::rbx);
+        a.push(R::r12);
+        a.push(R::r13);
+        a.push(R::r14);
+        a.push(R::r15);
+        a.push(R::rbp);
+        a.mov(R::rbx, R::rdi);             // fd
+        a.mov(R::r12, R::rsi);             // buf
+        a.mov(R::r13, R::rdx);             // len
+        a.cmp(R::rbx, MAX_PIPES);
+        a.jcc(COND_nb, bad);
+        a.test(R::r13, R::r13);
+        a.jcc(COND_e, zero);
+        a.bind(retry);
+        a.movImm64(R::r14, KDATA_VA + KD_PIPES);
+        a.mov(R::rax, R::rbx);
+        a.shl(R::rax, 4);
+        a.add(R::r14, R::rax);
+        a.mov(R::rax, Mem::at(R::r14, 0)); // head
+        a.mov(R::rcx, Mem::at(R::r14, 8)); // tail
+        a.mov(R::rbp, R::rcx);
+        a.sub(R::rbp, R::rax);             // count
+        a.test(R::rbp, R::rbp);
+        a.jcc(COND_ne, have_data);
+        a.lea(R::rdi, Mem::at(R::rbx, (S32)CH_PIPE_READ));
+        a.call(block_on);
+        a.jmp(retry);
+        a.bind(have_data);
+        // r15 = n = min(len, count)
+        a.mov(R::r15, R::r13);
+        a.cmp(R::rbp, R::r13);
+        a.jcc(COND_nb, nset);
+        a.mov(R::r15, R::rbp);
+        a.bind(nset);
+        a.movImm64(R::rbp, KDATA_VA + KD_PIPE_RINGS);
+        a.mov(R::rax, R::rbx);
+        a.shl(R::rax, (U8)log2Exact(PIPE_RING_BYTES));   // ring stride
+        a.add(R::rbp, R::rax);             // ring base
+        a.mov(R::rcx, Mem::at(R::r14, 0)); // head
+        a.and_(R::rcx, (S32)(PIPE_RING_BYTES - 1));
+        a.mov(R::rdx, (U64)PIPE_RING_BYTES);
+        a.sub(R::rdx, R::rcx);
+        a.mov(R::r8, R::r15);
+        a.cmp(R::rdx, R::r15);
+        a.jcc(COND_nb, c1set);
+        a.mov(R::r8, R::rdx);
+        a.bind(c1set);
+        a.mov(R::rsi, R::rbp);
+        a.add(R::rsi, R::rcx);
+        a.mov(R::rdi, R::r12);
+        a.mov(R::rcx, R::r8);
+        a.cld();
+        a.repMovsb();
+        a.mov(R::r9, R::r15);
+        a.sub(R::r9, R::r8);
+        a.test(R::r9, R::r9);
+        a.jcc(COND_e, no_chunk2);
+        a.mov(R::rsi, R::rbp);
+        a.mov(R::rcx, R::r9);
+        a.repMovsb();
+        a.bind(no_chunk2);
+        a.mov(R::rax, Mem::at(R::r14, 0));
+        a.add(R::rax, R::r15);
+        a.mov(Mem::at(R::r14, 0), R::rax); // head += n
+        a.lea(R::rdi, Mem::at(R::rbx, (S32)CH_PIPE_WRITE));
+        a.call(wake_channel);
+        a.mov(R::rax, R::r15);
+        a.jmp(done);
+        a.bind(bad);
+        a.mov(R::rax, (U64)-1);
+        a.jmp(done);
+        a.bind(zero);
+        a.mov(R::rax, 0);
+        a.bind(done);
+        a.pop(R::rbp);
+        a.pop(R::r15);
+        a.pop(R::r14);
+        a.pop(R::r13);
+        a.pop(R::r12);
+        a.pop(R::rbx);
+        a.jmp(syscall_ret);
+    }
+
+    // ---- yield ----
+    a.bind(h_yield);
+    a.call(schedule);
+    a.mov(R::rax, 0);
+    a.jmp(syscall_ret);
+
+    // ---- exit(code) ----
+    a.bind(h_exit);
+    {
+        Label not_init = a.newLabel();
+        a.movImm64(R::rax, kd);
+        a.mov(R::rcx, Mem::at(R::rax, (S32)KD_CURRENT));
+        a.test(R::rcx, R::rcx);
+        a.jcc(COND_ne, not_init);
+        a.mov(R::rax, HC_shutdown);
+        a.hypercall();
+        Label self = a.label();
+        a.jmp(self);
+        a.bind(not_init);
+        a.mov(R::rdx, R::rcx);
+        a.shl(R::rdx, 6);
+        a.movImm64(R::r8, ktasks);
+        a.add(R::rdx, R::r8);
+        a.movStoreImm32(Mem::at(R::rdx, (S32)TASK_STATE),
+                        (S32)TASK_ZOMBIE);
+        a.call(schedule);
+        Label self2 = a.label();
+        a.jmp(self2);                      // a zombie never resumes
+    }
+
+    // ---- getpid ----
+    a.bind(h_getpid);
+    a.movImm64(R::rax, kd);
+    a.mov(R::rax, Mem::at(R::rax, (S32)KD_CURRENT));
+    a.jmp(syscall_ret);
+
+    // ---- sleep(ticks) ----
+    a.bind(h_sleep);
+    a.movImm64(R::rax, kd);
+    a.mov(R::rcx, Mem::at(R::rax, (S32)KD_CURRENT));
+    a.mov(R::rdx, R::rcx);
+    a.shl(R::rdx, 6);
+    a.movImm64(R::r8, ktasks);
+    a.add(R::rdx, R::r8);
+    a.mov(R::r9, Mem::at(R::rax, (S32)KD_JIFFIES));
+    a.add(R::r9, R::rdi);
+    a.mov(Mem::at(R::rdx, (S32)TASK_SLEEP_DEADLINE), R::r9);
+    a.mov(R::rdi, (U64)CH_SLEEP);
+    a.call(block_on);
+    a.mov(R::rax, 0);
+    a.jmp(syscall_ret);
+
+    // ---- console(buf, len): args already in hypercall position ----
+    a.bind(h_console);
+    a.mov(R::rax, HC_console_write);
+    a.hypercall();
+    a.jmp(syscall_ret);
+
+    // ---- spawn(entry, arg) ----
+    a.bind(h_spawn);
+    {
+        Label loop = a.newLabel(), found = a.newLabel();
+        Label fail = a.newLabel(), out = a.newLabel();
+        a.push(R::rbx);
+        a.push(R::r12);
+        a.push(R::r13);
+        a.mov(R::r12, R::rdi);             // entry
+        a.mov(R::r13, R::rsi);             // arg
+        a.movImm64(R::rbx, ktasks);
+        a.mov(R::rcx, 0);
+        a.bind(loop);
+        a.cmp(R::rcx, MAX_TASKS);
+        a.jcc(COND_e, fail);
+        a.mov(R::rax, Mem::at(R::rbx, (S32)TASK_STATE));
+        a.test(R::rax, R::rax);
+        a.jcc(COND_e, found);
+        a.add(R::rbx, (S32)TASK_ENTRY_BYTES);
+        a.inc(R::rcx);
+        a.jmp(loop);
+        a.bind(found);
+        // Craft the new task's kernel stack so schedule() "returns"
+        // into task_start.
+        a.mov(R::rdx, Mem::at(R::rbx, (S32)TASK_KSTACK_TOP));
+        a.mov(Mem::at(R::rdx, -8), R::r13);    // arg
+        a.mov(Mem::at(R::rdx, -16), R::r12);   // user entry
+        a.mov(R::rax, Mem::at(R::rbx, (S32)TASK_USER_STACK_TOP));
+        a.mov(Mem::at(R::rdx, -24), R::rax);   // user rsp
+        a.movLabel(R::rax, task_start);
+        a.mov(Mem::at(R::rdx, -32), R::rax);   // return target
+        a.mov(R::rax, 0);
+        for (int off = 40; off <= 80; off += 8)
+            a.mov(Mem::at(R::rdx, -off), R::rax);  // callee-saved = 0
+        a.lea(R::rax, Mem::at(R::rdx, -80));
+        a.mov(Mem::at(R::rbx, (S32)TASK_SAVED_RSP), R::rax);
+        a.movStoreImm32(Mem::at(R::rbx, (S32)TASK_STATE),
+                        (S32)TASK_RUNNABLE);
+        a.mov(R::rax, R::rcx);             // pid
+        a.jmp(out);
+        a.bind(fail);
+        a.mov(R::rax, (U64)-1);
+        a.bind(out);
+        a.pop(R::r13);
+        a.pop(R::r12);
+        a.pop(R::rbx);
+        a.jmp(syscall_ret);
+    }
+
+    // ---- net_send(ep, buf, len) ----
+    a.bind(h_net_send);
+    a.mov(R::rax, HC_net_send);
+    a.hypercall();
+    a.jmp(syscall_ret);
+
+    // ---- net_recv(ep, buf, maxlen): blocks until >= 1 byte ----
+    a.bind(h_net_recv);
+    {
+        Label retry = a.newLabel(), done = a.newLabel();
+        a.push(R::rbx);
+        a.push(R::r12);
+        a.push(R::r13);
+        a.mov(R::rbx, R::rdi);
+        a.mov(R::r12, R::rsi);
+        a.mov(R::r13, R::rdx);
+        a.bind(retry);
+        a.mov(R::rdi, R::rbx);
+        a.mov(R::rsi, R::r12);
+        a.mov(R::rdx, R::r13);
+        a.mov(R::rax, HC_net_recv);
+        a.hypercall();
+        a.test(R::rax, R::rax);
+        a.jcc(COND_ne, done);
+        a.lea(R::rdi, Mem::at(R::rbx, (S32)CH_NET));
+        a.call(block_on);
+        a.jmp(retry);
+        a.bind(done);
+        a.pop(R::r13);
+        a.pop(R::r12);
+        a.pop(R::rbx);
+        a.jmp(syscall_ret);
+    }
+
+    // ---- disk_read(sector, count, dest): blocks for DMA ----
+    a.bind(h_disk);
+    a.mov(R::rax, HC_disk_read);
+    a.hypercall();
+    a.mov(R::rdi, (U64)CH_DISK);
+    a.call(block_on);
+    a.mov(R::rax, 0);
+    a.jmp(syscall_ret);
+
+    // ---- time_ns ----
+    a.bind(h_time);
+    a.mov(R::rax, HC_get_time_ns);
+    a.hypercall();
+    a.jmp(syscall_ret);
+
+    // Read-only data.
+    a.align(8);
+    a.bind(fault_msg);
+    a.dbs("KERNEL FAULT\n", 13);
+
+    // Stash entry points for build() to wire into the contexts.
+    boot_entry_va = KERNEL_TEXT_VA;
+    syscall_entry_va = a.labelVa(syscall_entry);
+}
+
+void
+KernelBuilder::build()
+{
+    ptl_assert(!built);
+    ptl_assert(init_entry != 0);
+    built = true;
+
+    buildAddressSpace();
+    buildKernelData();
+
+    // Emit and install the kernel image.
+    Assembler kasm(KERNEL_TEXT_VA);
+    emitKernel(kasm);
+    std::vector<U8> kernel_image = kasm.finalize();
+    if (kernel_image.size() > KERNEL_TEXT_BYTES)
+        fatal("kernel image too large (%zu bytes)", kernel_image.size());
+
+    Context kctx;
+    kctx.cr3 = base_cr3;
+    kctx.kernel_mode = true;
+    AddressSpace &as = machine->addressSpace();
+    auto write_image = [&](U64 va, const std::vector<U8> &image) {
+        for (size_t i = 0; i < image.size(); i++) {
+            GuestAccess acc =
+                guestTranslate(as, kctx, va + i, MemAccess::Write);
+            ptl_assert(acc.ok());
+            machine->physMem().writeBytes(acc.paddr, &image[i], 1);
+        }
+    };
+    write_image(KERNEL_TEXT_VA, kernel_image);
+
+    // Install the user image.
+    std::vector<U8> user_image = user_asm.finalize();
+    if (user_image.size() > USER_TEXT_BYTES)
+        fatal("user image too large (%zu bytes)", user_image.size());
+    write_image(USER_TEXT_VA, user_image);
+
+    // Initial VCPU state: kernel boot entry, events masked.
+    Context &ctx = machine->vcpu(0);
+    ctx.cr3 = task_cr3[0];
+    ctx.kernel_mode = true;
+    ctx.rip = boot_entry_va;
+    ctx.regs[REG_rsp] = kernelStackTop(0);
+    ctx.lstar = syscall_entry_va;
+    ctx.kernel_sp = kernelStackTop(0);
+    ctx.event_mask = true;
+    ctx.running = true;
+}
+
+}  // namespace ptl

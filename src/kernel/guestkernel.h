@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paravirtual guest kernel, and the domain builder that boots it.
+ *
+ * The paper's guest is SuSE Linux under Xen paravirtualization; this
+ * repository substitutes a small paravirtual kernel written in real
+ * x86-64 (emitted through the in-tree assembler) that exercises the
+ * same full-system phenomena PTLsim's evaluation leans on:
+ *
+ *  - syscall/sysret transitions between user and kernel mode;
+ *  - a timer tick driven by hypervisor events, with a tick handler
+ *    that runs in kernel mode (the small kernel peaks marked (t) in
+ *    Figure 2);
+ *  - a round-robin scheduler whose context switches reload CR3
+ *    through the MMUEXT_NEW_BASEPTR hypercall (flushing TLBs, so task
+ *    switches cost real TLB misses);
+ *  - blocking pipes for IPC, network endpoints with delivery latency,
+ *    and a DMA block device — all of which put the domain to sleep in
+ *    hlt while waiting (the idle fraction of Figure 2);
+ *  - per-task kernel stacks switched via the stack_switch hypercall.
+ *
+ * Scheduling is cooperative at syscall boundaries (the tick handler
+ * does not preempt user code); the rsync-style workload is syscall-
+ * dense, so scheduling behaviour is preserved. See DESIGN.md.
+ */
+
+#ifndef PTLSIM_KERNEL_GUESTKERNEL_H_
+#define PTLSIM_KERNEL_GUESTKERNEL_H_
+
+#include <memory>
+
+#include "kernel/guestabi.h"
+#include "sys/machine.h"
+#include "xasm/assembler.h"
+
+namespace ptl {
+
+/**
+ * Builds the kernel image, page tables, kernel data structures and
+ * initial VCPU state inside a Machine's guest memory (the role Xen's
+ * domain builder plays for paravirtual guests).
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(Machine &machine);
+
+    /** Assembler positioned at USER_TEXT_VA: user programs go here. */
+    Assembler &userAsm() { return user_asm; }
+
+    /** Entry point + argument for the init task (task 0). */
+    void setInitTask(U64 entry, U64 arg);
+
+    /** Bytes of user data region mapped at USER_DATA_VA (RW, user). */
+    void setUserDataBytes(U64 bytes) { user_data_bytes = bytes; }
+
+    /**
+     * Construct everything and set VCPU 0 to the kernel boot entry.
+     * After this, machine.finalizeCores() + machine.run() boots the
+     * guest.
+     */
+    void build();
+
+    /** Per-task CR3 roots (available after build()). */
+    U64 taskCr3(int task) const { return task_cr3[task]; }
+
+  private:
+    void buildAddressSpace();
+    void buildKernelData();
+    void emitKernel(Assembler &a);
+
+    Machine *machine;
+    Assembler user_asm;
+    U64 init_entry = 0;
+    U64 init_arg = 0;
+    U64 user_data_bytes = 4 << 20;
+    U64 base_cr3 = 0;
+    U64 task_cr3[MAX_TASKS] = {};
+    U64 boot_entry_va = 0;
+    U64 syscall_entry_va = 0;
+    bool built = false;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_KERNEL_GUESTKERNEL_H_

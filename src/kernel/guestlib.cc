@@ -1,0 +1,169 @@
+#include "kernel/guestlib.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+void
+GuestLib::syscall(GuestSyscall nr)
+{
+    a->mov(R::rax, (U64)nr);
+    a->syscall();
+}
+
+void
+GuestLib::emitRuntime()
+{
+    ptl_assert(!emitted);
+    emitted = true;
+    Assembler &as = *a;
+
+    // ---- memcpy(dst, src, len) ----
+    fn_memcpy = as.label();
+    as.mov(R::rcx, R::rdx);
+    as.cld();
+    as.repMovsb();
+    as.ret();
+
+    // ---- memset(dst, byte, len) ----
+    fn_memset = as.label();
+    as.mov(R::rax, R::rsi);
+    as.mov(R::rcx, R::rdx);
+    as.cld();
+    as.repStosb();
+    as.ret();
+
+    // ---- write_all(fd, buf, len): loop until everything written ----
+    fn_write_all = as.label();
+    {
+        Label loop = as.newLabel(), done = as.newLabel();
+        as.push(R::rbx);
+        as.push(R::r12);
+        as.push(R::r13);
+        as.mov(R::rbx, R::rdi);
+        as.mov(R::r12, R::rsi);
+        as.mov(R::r13, R::rdx);
+        as.bind(loop);
+        as.test(R::r13, R::r13);
+        as.jcc(COND_e, done);
+        as.mov(R::rdi, R::rbx);
+        as.mov(R::rsi, R::r12);
+        as.mov(R::rdx, R::r13);
+        syscall(GSYS_write);
+        as.add(R::r12, R::rax);
+        as.sub(R::r13, R::rax);
+        as.jmp(loop);
+        as.bind(done);
+        as.pop(R::r13);
+        as.pop(R::r12);
+        as.pop(R::rbx);
+        as.ret();
+    }
+
+    // ---- read_exact(fd, buf, len): loop until len bytes read ----
+    fn_read_exact = as.label();
+    {
+        Label loop = as.newLabel(), done = as.newLabel();
+        as.push(R::rbx);
+        as.push(R::r12);
+        as.push(R::r13);
+        as.mov(R::rbx, R::rdi);
+        as.mov(R::r12, R::rsi);
+        as.mov(R::r13, R::rdx);
+        as.bind(loop);
+        as.test(R::r13, R::r13);
+        as.jcc(COND_e, done);
+        as.mov(R::rdi, R::rbx);
+        as.mov(R::rsi, R::r12);
+        as.mov(R::rdx, R::r13);
+        syscall(GSYS_read);
+        as.add(R::r12, R::rax);
+        as.sub(R::r13, R::rax);
+        as.jmp(loop);
+        as.bind(done);
+        as.pop(R::r13);
+        as.pop(R::r12);
+        as.pop(R::rbx);
+        as.ret();
+    }
+
+    // ---- net_recv_exact(ep, buf, len) ----
+    fn_net_recv_exact = as.label();
+    {
+        Label loop = as.newLabel(), done = as.newLabel();
+        as.push(R::rbx);
+        as.push(R::r12);
+        as.push(R::r13);
+        as.mov(R::rbx, R::rdi);
+        as.mov(R::r12, R::rsi);
+        as.mov(R::r13, R::rdx);
+        as.bind(loop);
+        as.test(R::r13, R::r13);
+        as.jcc(COND_e, done);
+        as.mov(R::rdi, R::rbx);
+        as.mov(R::rsi, R::r12);
+        as.mov(R::rdx, R::r13);
+        syscall(GSYS_net_recv);
+        as.add(R::r12, R::rax);
+        as.sub(R::r13, R::rax);
+        as.jmp(loop);
+        as.bind(done);
+        as.pop(R::r13);
+        as.pop(R::r12);
+        as.pop(R::rbx);
+        as.ret();
+    }
+
+    // ---- print(buf, len) ----
+    fn_print = as.label();
+    syscall(GSYS_console);
+    as.ret();
+
+    // ---- print_u64(value): 16 hex digits + newline ----
+    fn_print_u64 = as.label();
+    {
+        Label digits = as.newLabel();
+        Label loop = as.newLabel(), done = as.newLabel();
+        as.sub(R::rsp, 32);
+        as.mov(R::r8, R::rdi);
+        as.mov(R::rcx, 0);
+        as.bind(loop);
+        as.cmp(R::rcx, 16);
+        as.jcc(COND_e, done);
+        as.rol(R::r8, 4);
+        as.mov(R::rax, R::r8);
+        as.and_(R::rax, 15);
+        as.movLabel(R::rdx, digits);
+        as.movzx8(R::rax, Mem::idx(R::rdx, R::rax));
+        as.mov8(Mem::idx(R::rsp, R::rcx), R::rax);
+        as.inc(R::rcx);
+        as.jmp(loop);
+        as.bind(done);
+        as.mov(R::rax, 10);  // '\n'
+        as.mov8(Mem::at(R::rsp, 16), R::rax);
+        as.mov(R::rdi, R::rsp);
+        as.mov(R::rsi, 17);
+        syscall(GSYS_console);
+        as.add(R::rsp, 32);
+        as.ret();
+        as.bind(digits);
+        as.dbs("0123456789abcdef", 16);
+    }
+
+    // ---- rand(&state): xorshift64 ----
+    fn_rand = as.label();
+    as.mov(R::rax, Mem::at(R::rdi));
+    as.mov(R::rcx, R::rax);
+    as.shl(R::rcx, 13);
+    as.xor_(R::rax, R::rcx);
+    as.mov(R::rcx, R::rax);
+    as.shr(R::rcx, 7);
+    as.xor_(R::rax, R::rcx);
+    as.mov(R::rcx, R::rax);
+    as.shl(R::rcx, 17);
+    as.xor_(R::rax, R::rcx);
+    as.mov(Mem::at(R::rdi), R::rax);
+    as.ret();
+}
+
+}  // namespace ptl

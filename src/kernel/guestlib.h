@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Guest userspace runtime ("libc") emitted into the user image.
+ *
+ * User programs in this repository are assembled x86-64; GuestLib
+ * provides the shared routines they call: syscall wrappers with
+ * retry loops (write_all / read_exact / net_recv_exact), memcpy /
+ * memset via rep-string instructions, a deterministic xorshift PRNG,
+ * and console printing helpers. Register convention matches the
+ * kernel ABI: functions clobber caller-saved registers only.
+ */
+
+#ifndef PTLSIM_KERNEL_GUESTLIB_H_
+#define PTLSIM_KERNEL_GUESTLIB_H_
+
+#include "kernel/guestabi.h"
+#include "xasm/assembler.h"
+
+namespace ptl {
+
+class GuestLib
+{
+  public:
+    explicit GuestLib(Assembler &a) : a(&a) {}
+
+    /** Emit every library function; call once, anywhere in the image
+     *  that straight-line execution cannot fall into. */
+    void emitRuntime();
+
+    /** Emit `mov rax, nr ; syscall` (args must be in rdi/rsi/rdx). */
+    void syscall(GuestSyscall nr);
+
+    // Function labels (valid after emitRuntime()):
+    Label fn_memcpy;         ///< (rdi=dst, rsi=src, rdx=len)
+    Label fn_memset;         ///< (rdi=dst, rsi=byte, rdx=len)
+    Label fn_write_all;      ///< (rdi=fd, rsi=buf, rdx=len) blocks
+    Label fn_read_exact;     ///< (rdi=fd, rsi=buf, rdx=len) blocks
+    Label fn_net_recv_exact; ///< (rdi=ep, rsi=buf, rdx=len) blocks
+    Label fn_print;          ///< (rdi=buf, rsi=len) to console
+    Label fn_print_u64;      ///< (rdi=value) prints hex + newline
+    Label fn_rand;           ///< (rdi=&state) -> rax (xorshift64)
+
+  private:
+    Assembler *a;
+    bool emitted = false;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_KERNEL_GUESTLIB_H_

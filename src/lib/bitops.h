@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef PTLSIM_LIB_BITOPS_H_
+#define PTLSIM_LIB_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace ptl {
+
+using U8 = std::uint8_t;
+using U16 = std::uint16_t;
+using U32 = std::uint32_t;
+using U64 = std::uint64_t;
+using S8 = std::int8_t;
+using S16 = std::int16_t;
+using S32 = std::int32_t;
+using S64 = std::int64_t;
+
+/** Extract bits [lo, lo+count) of value. */
+constexpr U64
+bits(U64 value, unsigned lo, unsigned count)
+{
+    return (count >= 64) ? (value >> lo)
+                         : ((value >> lo) & ((U64(1) << count) - 1));
+}
+
+/** Test bit i of value. */
+constexpr bool
+bit(U64 value, unsigned i)
+{
+    return (value >> i) & 1;
+}
+
+/** A mask with the low n bits set (n in [0, 64]). */
+constexpr U64
+lowMask(unsigned n)
+{
+    return (n >= 64) ? ~U64(0) : ((U64(1) << n) - 1);
+}
+
+/** Mask covering the low `bytes` bytes (bytes in [1, 8]). */
+constexpr U64
+byteMask(unsigned bytes)
+{
+    return lowMask(bytes * 8);
+}
+
+/** Sign-extend the low `bytes` bytes of value to 64 bits. */
+constexpr U64
+signExtend(U64 value, unsigned bytes)
+{
+    unsigned shift = 64 - bytes * 8;
+    return (bytes >= 8) ? value
+                        : U64(S64(value << shift) >> shift);
+}
+
+/** True if x is a power of two (x > 0). */
+constexpr bool
+isPow2(U64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(U64 x)
+{
+    return std::countr_zero(x);
+}
+
+/** Round x up to the next multiple of align (align a power of two). */
+constexpr U64
+alignUp(U64 x, U64 align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+constexpr U64
+alignDown(U64 x, U64 align)
+{
+    return x & ~(align - 1);
+}
+
+}  // namespace ptl
+
+#endif  // PTLSIM_LIB_BITOPS_H_

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal simulator invariant was violated (a ptlsim bug);
+ *            prints a message and aborts so a core dump is produced.
+ * fatal()  - the simulation cannot continue due to a user-level problem
+ *            (bad configuration, malformed guest image); exits with code 1.
+ * warn()   - something is modeled approximately; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef PTLSIM_LIB_LOGGING_H_
+#define PTLSIM_LIB_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace ptl {
+
+/** Format a printf-style message into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Route all warn()/inform() output through this sink (default stderr). */
+void setLogSink(void (*sink)(const std::string &line));
+
+/** Silence warn()/inform() (tests use this to keep output clean). */
+void setLogQuiet(bool quiet);
+
+}  // namespace ptl
+
+#define panic(...)  ::ptl::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...)  ::ptl::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...)   ::ptl::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define inform(...) ::ptl::informImpl(__VA_ARGS__)
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define ptl_assert(cond)                                                  \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            panic("assertion failed: %s", #cond);                         \
+    } while (0)
+
+#endif  // PTLSIM_LIB_LOGGING_H_

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Everything stochastic in the simulator (file-set generation, MFN
+ * shuffling, workload content) draws from an explicitly seeded Xoshiro
+ * generator so that every run is exactly reproducible, matching the
+ * paper's emphasis on fully deterministic simulation.
+ */
+
+#ifndef PTLSIM_LIB_RNG_H_
+#define PTLSIM_LIB_RNG_H_
+
+#include <cstdint>
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+/** xoshiro256** deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(U64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(U64 seed)
+    {
+        for (auto &word : state) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            U64 z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    U64
+    next()
+    {
+        U64 result = rotl(state[1] * 5, 7) * 9;
+        U64 t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    U64
+    below(U64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    U64
+    range(U64 lo, U64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability num/den. */
+    bool
+    chance(U64 num, U64 den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    static U64 rotl(U64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    U64 state[4];
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_LIB_RNG_H_

@@ -1,0 +1,81 @@
+#include "mem/cache.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+CacheArray::CacheArray(const CacheParams &params)
+    : sets(params.sets()), ways(params.ways),
+      line_bytes(params.line_bytes), latency_(params.latency),
+      mshr_count(params.mshr_count), banks_(params.banks),
+      lines((size_t)sets * (sets ? params.ways : 0))
+{
+}
+
+CacheArray::Line *
+CacheArray::lookup(U64 paddr, bool touch_lru)
+{
+    if (!enabled())
+        return nullptr;
+    unsigned set = setOf(paddr);
+    U64 tag = tagOf(paddr);
+    Line *base = &lines[(size_t)set * ways];
+    for (int w = 0; w < ways; w++) {
+        if (base[w].valid() && base[w].tag == tag) {
+            if (touch_lru)
+                base[w].lru = ++tick;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+CacheArray::Line *
+CacheArray::insert(U64 paddr, LineState state, Eviction *evicted)
+{
+    ptl_assert(enabled());
+    if (Line *hit = lookup(paddr)) {
+        hit->state = state;
+        return hit;
+    }
+    unsigned set = setOf(paddr);
+    Line *base = &lines[(size_t)set * ways];
+    Line *victim = &base[0];
+    for (int w = 0; w < ways; w++) {
+        if (!base[w].valid()) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (evicted) {
+        evicted->valid = victim->valid();
+        if (evicted->valid) {
+            evicted->line_addr =
+                (victim->tag * sets + set) * (U64)line_bytes;
+            evicted->state = victim->state;
+        }
+    }
+    victim->tag = tagOf(paddr);
+    victim->state = state;
+    victim->lru = ++tick;
+    victim->prefetched = false;
+    return victim;
+}
+
+void
+CacheArray::invalidate(U64 paddr)
+{
+    if (Line *line = lookup(paddr, false))
+        line->state = LineState::Invalid;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (Line &line : lines)
+        line.state = LineState::Invalid;
+}
+
+}  // namespace ptl

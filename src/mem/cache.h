@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Set-associative cache tag arrays.
+ *
+ * PTLsim's caches are physically tagged (Section 4.3) and are timing
+ * models: line *data* always lives in PhysMem (the integrated simulator
+ * keeps one architectural copy of memory), while these arrays track
+ * presence, LRU, dirtiness/coherence state, and banking. The K8's
+ * pseudo-dual-ported L1D (8 banks on 64-bit boundaries, 1-cycle replay
+ * on conflict — Section 5) is modeled via bankOf().
+ */
+
+#ifndef PTLSIM_MEM_CACHE_H_
+#define PTLSIM_MEM_CACHE_H_
+
+#include <vector>
+
+#include "lib/config.h"
+#include "mem/physmem.h"
+
+namespace ptl {
+
+/** MOESI line states (Invalid/Shared/Exclusive/Owned/Modified). */
+enum class LineState : U8 { Invalid, Shared, Exclusive, Owned, Modified };
+
+inline bool
+lineDirty(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Owned;
+}
+
+/** One cache level's tag array. */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params);
+
+    struct Line
+    {
+        U64 tag = 0;
+        LineState state = LineState::Invalid;
+        U64 lru = 0;
+        bool prefetched = false;  ///< brought in by the prefetcher,
+                                  ///< not yet demanded (stream tagging)
+        bool valid() const { return state != LineState::Invalid; }
+    };
+
+    /** Displaced-line report from insert(). */
+    struct Eviction
+    {
+        bool valid = false;
+        U64 line_addr = 0;
+        LineState state = LineState::Invalid;
+    };
+
+    /** Find the line containing paddr; nullptr on miss. */
+    Line *lookup(U64 paddr, bool touch_lru = true);
+
+    /**
+     * Install the line containing paddr in `state`, evicting the LRU
+     * way if necessary (reported through `evicted`).
+     */
+    Line *insert(U64 paddr, LineState state, Eviction *evicted = nullptr);
+
+    /** Invalidate the line containing paddr if present. */
+    void invalidate(U64 paddr);
+
+    /** Invalidate every line (used by -perfctr style cache flushes). */
+    void invalidateAll();
+
+    /** L1D bank index of an access (64-bit interleaving). */
+    int bankOf(U64 paddr) const { return (int)((paddr >> 3) % banks_); }
+
+    U64 lineAddr(U64 paddr) const { return paddr & ~(U64)(line_bytes - 1); }
+    int lineBytes() const { return line_bytes; }
+    int banks() const { return banks_; }
+    int latency() const { return latency_; }
+    int mshrCount() const { return mshr_count; }
+    bool enabled() const { return sets > 0; }
+
+    /** Visit every valid line (coherence invariant checks in tests). */
+    template <typename F>
+    void
+    forEachLine(F &&fn) const
+    {
+        for (int s = 0; s < sets; s++) {
+            for (int w = 0; w < ways; w++) {
+                const Line &line = lines[(size_t)s * ways + w];
+                if (line.valid())
+                    fn((line.tag * sets + s) * (U64)line_bytes, line);
+            }
+        }
+    }
+
+  private:
+    unsigned setOf(U64 paddr) const
+    {
+        return (unsigned)((paddr / line_bytes) & (U64)(sets - 1));
+    }
+    U64 tagOf(U64 paddr) const { return (paddr / line_bytes) / sets; }
+
+    int sets;
+    int ways;
+    int line_bytes;
+    int latency_;
+    int mshr_count;
+    int banks_;
+    U64 tick = 0;
+    std::vector<Line> lines;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_MEM_CACHE_H_

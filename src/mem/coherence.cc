@@ -1,0 +1,182 @@
+#include "mem/coherence.h"
+
+#include "lib/logging.h"
+#include "mem/hierarchy.h"
+
+namespace ptl {
+
+CoherenceController::CoherenceController(CoherenceKind kind,
+                                         int interconnect_latency,
+                                         StatsTree &stats)
+    : kind_(kind), interconnect(interconnect_latency),
+      xfers(stats.counter("coherence/cache_to_cache_transfers")),
+      invalidations(stats.counter("coherence/invalidations")),
+      upgrades(stats.counter("coherence/upgrades"))
+{
+}
+
+int
+CoherenceController::registerCore(MemoryHierarchy *hierarchy)
+{
+    cores.push_back(hierarchy);
+    return (int)cores.size() - 1;
+}
+
+CoherenceController::DirEntry &
+CoherenceController::entry(U64 line_addr)
+{
+    DirEntry &e = directory[line_addr];
+    if (e.per_core.size() < cores.size())
+        e.per_core.resize(cores.size(), LineState::Invalid);
+    return e;
+}
+
+LineState
+CoherenceController::directoryState(int core, U64 line_addr) const
+{
+    auto it = directory.find(line_addr);
+    if (it == directory.end()
+        || (size_t)core >= it->second.per_core.size())
+        return LineState::Invalid;
+    return it->second.per_core[core];
+}
+
+CoherenceResult
+CoherenceController::onReadMiss(int core, U64 line_addr)
+{
+    CoherenceResult out;
+    DirEntry &e = entry(line_addr);
+    bool any_peer = false;
+    for (int c = 0; c < (int)cores.size(); c++) {
+        if (c == core)
+            continue;
+        LineState s = e.per_core[c];
+        if (s == LineState::Invalid)
+            continue;
+        any_peer = true;
+        switch (s) {
+          case LineState::Modified:
+            // Dirty supplier keeps responsibility: M -> Owned.
+            e.per_core[c] = LineState::Owned;
+            cores[c]->downgradeLine(line_addr);  // timing-array view
+            out.peer_supplied = true;
+            break;
+          case LineState::Exclusive:
+            e.per_core[c] = LineState::Shared;
+            cores[c]->downgradeLine(line_addr);
+            out.peer_supplied = true;
+            break;
+          case LineState::Owned:
+          case LineState::Shared:
+            out.peer_supplied = true;
+            break;
+          case LineState::Invalid:
+            break;
+        }
+    }
+    if (out.peer_supplied) {
+        xfers++;
+        out.extra_latency = transferLatency();
+    }
+    e.per_core[core] = any_peer ? LineState::Shared : LineState::Exclusive;
+    checkInvariants(line_addr);
+    return out;
+}
+
+CoherenceResult
+CoherenceController::onWriteMiss(int core, U64 line_addr)
+{
+    CoherenceResult out;
+    DirEntry &e = entry(line_addr);
+    for (int c = 0; c < (int)cores.size(); c++) {
+        if (c == core)
+            continue;
+        if (e.per_core[c] != LineState::Invalid) {
+            if (lineDirty(e.per_core[c]) || e.per_core[c] == LineState::Exclusive)
+                out.peer_supplied = true;
+            e.per_core[c] = LineState::Invalid;
+            cores[c]->invalidateLine(line_addr);
+            invalidations++;
+        }
+    }
+    if (out.peer_supplied) {
+        xfers++;
+        out.extra_latency = transferLatency();
+    }
+    e.per_core[core] = LineState::Modified;
+    checkInvariants(line_addr);
+    return out;
+}
+
+CoherenceResult
+CoherenceController::onUpgrade(int core, U64 line_addr)
+{
+    CoherenceResult out;
+    DirEntry &e = entry(line_addr);
+    bool had_sharers = false;
+    for (int c = 0; c < (int)cores.size(); c++) {
+        if (c == core)
+            continue;
+        if (e.per_core[c] != LineState::Invalid) {
+            had_sharers = true;
+            e.per_core[c] = LineState::Invalid;
+            cores[c]->invalidateLine(line_addr);
+            invalidations++;
+        }
+    }
+    upgrades++;
+    if (had_sharers)
+        out.extra_latency = transferLatency();
+    e.per_core[core] = LineState::Modified;
+    checkInvariants(line_addr);
+    return out;
+}
+
+void
+CoherenceController::onEvict(int core, U64 line_addr, LineState state)
+{
+    DirEntry &e = entry(line_addr);
+    e.per_core[core] = LineState::Invalid;
+    // M/O evictions write back to memory; timing already charged by the
+    // evicting hierarchy. S/E evictions are silent, as in real MOESI.
+    (void)state;
+}
+
+void
+CoherenceController::checkInvariants(U64 line_addr) const
+{
+    auto it = directory.find(line_addr);
+    if (it == directory.end())
+        return;
+    int modified = 0, exclusive = 0, owned = 0, shared = 0;
+    for (LineState s : it->second.per_core) {
+        switch (s) {
+          case LineState::Modified: modified++; break;
+          case LineState::Exclusive: exclusive++; break;
+          case LineState::Owned: owned++; break;
+          case LineState::Shared: shared++; break;
+          case LineState::Invalid: break;
+        }
+    }
+    if (modified > 1)
+        panic("coherence: %d Modified holders of line %llx", modified,
+              (unsigned long long)line_addr);
+    if (exclusive > 1)
+        panic("coherence: %d Exclusive holders of line %llx", exclusive,
+              (unsigned long long)line_addr);
+    if (owned > 1)
+        panic("coherence: %d Owned holders of line %llx", owned,
+              (unsigned long long)line_addr);
+    if ((modified || exclusive) && (shared || owned || modified + exclusive > 1))
+        panic("coherence: M/E coexists with other holders of line %llx",
+              (unsigned long long)line_addr);
+}
+
+void
+CoherenceController::checkAllInvariants() const
+{
+    for (const auto &[line, e] : directory)
+        checkInvariants(line);
+}
+
+}  // namespace ptl

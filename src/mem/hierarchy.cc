@@ -1,0 +1,454 @@
+#include "mem/hierarchy.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+MemoryHierarchy::MemoryHierarchy(const SimConfig &config,
+                                 AddressSpace &aspace, StatsTree &stats,
+                                 const std::string &prefix,
+                                 CoherenceController *coherence)
+    : cfg(config), aspace(&aspace), coherence(coherence),
+      l1i(config.l1i), l1d(config.l1d), l2(config.l2), l3(config.l3),
+      dtlb(config.dtlb_entries, config.dtlb_entries),   // fully associative
+      itlb(config.itlb_entries, config.itlb_entries),
+      tlb2(config.tlb2_entries ? config.tlb2_entries : config.tlb2_ways,
+           config.tlb2_ways),
+      tlb2_enabled(config.tlb2_entries > 0),
+      pde_cache(24),
+      pde_enabled(config.pde_cache),
+      st_d_accesses(stats.counter(prefix + "dcache/accesses")),
+      st_d_misses(stats.counter(prefix + "dcache/misses")),
+      st_d_bank_conflicts(stats.counter(prefix + "dcache/bank_conflicts")),
+      st_i_accesses(stats.counter(prefix + "icache/accesses")),
+      st_i_misses(stats.counter(prefix + "icache/misses")),
+      st_l2_accesses(stats.counter(prefix + "l2/accesses")),
+      st_l2_misses(stats.counter(prefix + "l2/misses")),
+      st_l3_accesses(stats.counter(prefix + "l3/accesses")),
+      st_l3_misses(stats.counter(prefix + "l3/misses")),
+      st_mem_accesses(stats.counter(prefix + "mem/accesses")),
+      st_dtlb_accesses(stats.counter(prefix + "dtlb/accesses")),
+      st_dtlb_hits(stats.counter(prefix + "dtlb/hits")),
+      st_dtlb_misses(stats.counter(prefix + "dtlb/misses")),
+      st_dtlb_l2_hits(stats.counter(prefix + "dtlb/l2_hits")),
+      st_itlb_accesses(stats.counter(prefix + "itlb/accesses")),
+      st_itlb_hits(stats.counter(prefix + "itlb/hits")),
+      st_itlb_misses(stats.counter(prefix + "itlb/misses")),
+      st_walks(stats.counter(prefix + "walker/walks")),
+      st_walk_loads(stats.counter(prefix + "walker/loads")),
+      st_prefetches(stats.counter(prefix + "dcache/prefetches")),
+      st_mshr_full(stats.counter(prefix + "dcache/mshr_full")),
+      st_writebacks(stats.counter(prefix + "mem/writebacks"))
+{
+    if (coherence)
+        core_id = coherence->registerCore(this);
+}
+
+int
+MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
+{
+    // Ask the coherence fabric first: a peer cache may supply the line.
+    CoherenceResult coh;
+    if (coherence) {
+        U64 line = l1d.lineAddr(paddr);
+        coh = is_write ? coherence->onWriteMiss(core_id, line)
+                       : coherence->onReadMiss(core_id, line);
+    }
+    LineState fill_state =
+        is_write ? LineState::Modified
+                 : ((coherence && coh.peer_supplied) ? LineState::Shared
+                                                     : LineState::Exclusive);
+    int latency = 0;
+    st_l2_accesses++;
+    if (l2.enabled() && l2.lookup(paddr)) {
+        latency = l2.latency();
+        CacheArray::Line *l2line = l2.lookup(paddr);
+        if (is_write)
+            l2line->state = LineState::Modified;
+        // Tagged stream prefetch: the first demand touch of a
+        // prefetched line keeps the stream running one line ahead.
+        if (cfg.hw_prefetch && l2line->prefetched && !is_fetch) {
+            l2line->prefetched = false;
+            issuePrefetch(l2.lineAddr(paddr) + (U64)l2.lineBytes());
+        }
+    } else {
+        st_l2_misses++;
+        bool filled = false;
+        if (l3.enabled()) {
+            st_l3_accesses++;
+            if (l3.lookup(paddr)) {
+                latency = (l2.enabled() ? l2.latency() : 0) + l3.latency();
+                filled = true;
+            } else {
+                st_l3_misses++;
+            }
+        }
+        if (!filled) {
+            if (coh.peer_supplied) {
+                latency = (l2.enabled() ? l2.latency() : 0)
+                          + coh.extra_latency;
+            } else {
+                st_mem_accesses++;
+                latency = (l2.enabled() ? l2.latency() : 0)
+                          + (l3.enabled() ? l3.latency() : 0)
+                          + cfg.mem_latency + coh.extra_latency;
+            }
+            if (l3.enabled()) {
+                CacheArray::Eviction ev;
+                l3.insert(paddr, fill_state, &ev);
+            }
+        }
+        if (l2.enabled()) {
+            CacheArray::Eviction ev;
+            l2.insert(paddr, fill_state, &ev);
+            if (ev.valid) {
+                // Enforce inclusion and report the eviction upstream;
+                // dirty victims write back to memory.
+                l1d.invalidate(ev.line_addr);
+                l1i.invalidate(ev.line_addr);
+                if (lineDirty(ev.state)) {
+                    st_writebacks++;
+                    st_mem_accesses++;
+                }
+                if (coherence)
+                    coherence->onEvict(core_id, ev.line_addr, ev.state);
+            }
+        }
+    }
+    (is_fetch ? l1i : l1d).insert(paddr, fill_state);
+    return latency;
+}
+
+MemResult
+MemoryHierarchy::dataAccess(U64 paddr, bool is_write, U64 now,
+                            bool no_banking)
+{
+    MemResult out;
+    // Bank-conflict model: the K8 L1D is pseudo-dual-ported with 8
+    // banks on 64-bit boundaries; two same-cycle accesses to one bank
+    // force a 1-cycle replay of the collider (Section 5).
+    if (cfg.enforce_banking && !no_banking && l1d.banks() > 1) {
+        if (now != bank_cycle) {
+            bank_cycle = now;
+            bank_mask = 0;
+        }
+        U32 bit = 1u << l1d.bankOf(paddr);
+        if (bank_mask & bit) {
+            st_d_bank_conflicts++;
+            out.bank_conflict = true;
+            out.latency = 1;
+            return out;
+        }
+        bank_mask |= bit;
+    }
+
+    st_d_accesses++;
+    if (CacheArray::Line *line = l1d.lookup(paddr)) {
+        out.l1_hit = true;
+        out.latency = l1d.latency();
+        // A hit on a line whose fill is still in flight waits for it.
+        U64 line_addr = l1d.lineAddr(paddr);
+        for (const Mshr &m : mshrs) {
+            if (m.line == line_addr && m.ready > now)
+                out.latency = std::max(out.latency, (int)(m.ready - now));
+        }
+        if (is_write) {
+            if (coherence && line->state == LineState::Shared) {
+                CoherenceResult coh =
+                    coherence->onUpgrade(core_id, l1d.lineAddr(paddr));
+                out.latency += coh.extra_latency;
+            }
+            line->state = LineState::Modified;
+            if (CacheArray::Line *l2line = l2.lookup(paddr))
+                l2line->state = LineState::Modified;
+        }
+        return out;
+    }
+
+    st_d_misses++;
+    U64 line_addr = l1d.lineAddr(paddr);
+
+    // MSHR check: merge with an outstanding miss to the same line, or
+    // fail the access if all miss buffers are busy.
+    int active = 0;
+    for (const Mshr &m : mshrs) {
+        if (m.ready > now) {
+            active++;
+            if (m.line == line_addr) {
+                out.latency = (int)(m.ready - now);
+                return out;
+            }
+        }
+    }
+    if (active >= l1d.mshrCount()) {
+        st_mshr_full++;
+        out.mshr_full = true;
+        out.latency = 1;
+        return out;
+    }
+
+    out.latency = l1d.latency() + missPath(paddr, is_write, false);
+    mshrs.push_back({line_addr, now + (U64)out.latency});
+    // Garbage-collect completed entries opportunistically.
+    if (mshrs.size() > 4 * (size_t)l1d.mshrCount()) {
+        std::erase_if(mshrs, [&](const Mshr &m) { return m.ready <= now; });
+    }
+
+    // K8-style next-line hardware prefetch (reference machine only).
+    if (cfg.hw_prefetch && !is_write)
+        issuePrefetch(line_addr + (U64)l1d.lineBytes());
+    return out;
+}
+
+void
+MemoryHierarchy::issuePrefetch(U64 next_line)
+{
+    // K8's hardware prefetcher streams into the L2: demand accesses
+    // still record an L1 miss but fill from the fast L2 instead of
+    // paying a memory access.
+    if (!l2.enabled() || l2.lookup(next_line, false))
+        return;
+    st_prefetches++;
+    CacheArray::Eviction ev;
+    CacheArray::Line *line =
+        l2.insert(next_line, LineState::Exclusive, &ev);
+    line->prefetched = true;
+    if (ev.valid) {
+        l1d.invalidate(ev.line_addr);
+        l1i.invalidate(ev.line_addr);
+        if (coherence)
+            coherence->onEvict(core_id, ev.line_addr, ev.state);
+    }
+}
+
+MemResult
+MemoryHierarchy::fetchAccess(U64 paddr, U64 now)
+{
+    MemResult out;
+    st_i_accesses++;
+    if (l1i.lookup(paddr)) {
+        out.l1_hit = true;
+        out.latency = l1i.latency();
+        return out;
+    }
+    st_i_misses++;
+    out.latency = l1i.latency() + missPath(paddr, false, true);
+    // Sequential code prefetch: real front ends (including the K8's)
+    // stream the next line; without this, cold straight-line code pays
+    // a full memory latency every cache line.
+    U64 next = l1i.lineAddr(paddr) + (U64)l1i.lineBytes();
+    if (!l1i.lookup(next, false)) {
+        if (l2.enabled() && !l2.lookup(next, false)) {
+            CacheArray::Eviction ev;
+            l2.insert(next, LineState::Exclusive, &ev);
+            if (ev.valid) {
+                l1d.invalidate(ev.line_addr);
+                l1i.invalidate(ev.line_addr);
+                if (coherence)
+                    coherence->onEvict(core_id, ev.line_addr, ev.state);
+            }
+        }
+        l1i.insert(next, LineState::Exclusive);
+    }
+    return out;
+}
+
+int
+MemoryHierarchy::walkTiming(U64 cr3, U64 va, const PageWalk &walk,
+                            bool is_write, U64 now)
+{
+    // The walk engine injects one dependent load per level; the PDE
+    // cache (when configured) jumps straight to the leaf table.
+    int first_level = 0;
+    if (pde_enabled) {
+        if (pde_cache.lookup(va) != 0) {
+            first_level = 3;
+        } else if (walk.levels == 4) {
+            U64 leaf_table = walk.pte_addr[3] & ~PAGE_MASK;
+            pde_cache.insert(va, leaf_table);
+        }
+    }
+    int latency = 0;
+    for (int level = first_level; level < walk.levels; level++) {
+        st_walk_loads++;
+        MemResult r = dataAccess(walk.pte_addr[level], false,
+                                 now + (U64)latency, true);
+        latency += r.latency;
+    }
+    if (walk.present
+        && aspace->setAccessedDirty(walk, is_write)) {
+        // Microcode performs a locked RMW on the changed PTE.
+        MemResult r = dataAccess(walk.pte_addr[3], true,
+                                 now + (U64)latency, true);
+        latency += r.latency;
+    }
+    return latency;
+}
+
+TranslateResult
+MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
+                                 bool user_mode, U64 now, Tlb &tlb,
+                                 Counter &hits, Counter &misses)
+{
+    TranslateResult out;
+    U64 vpn = vpnOf(va);
+    bool is_write = (kind == MemAccess::Write);
+
+    if (const TlbEntry *e = tlb.lookup(vpn)) {
+        bool needs_dirty_walk = is_write && !e->dirty;
+        if (!needs_dirty_walk) {
+            hits++;
+            out.tlb_hit = true;
+            // Permission check straight from the cached entry.
+            if (is_write && !e->writable) {
+                out.fault = GuestFault::PageFaultWrite;
+                return out;
+            }
+            if (user_mode && !e->user) {
+                out.fault = (kind == MemAccess::Execute)
+                                ? GuestFault::PageFaultFetch
+                                : (is_write ? GuestFault::PageFaultWrite
+                                            : GuestFault::PageFaultRead);
+                return out;
+            }
+            if (kind == MemAccess::Execute && e->noexec) {
+                out.fault = GuestFault::PageFaultFetch;
+                return out;
+            }
+            out.paddr = (e->mfn << PAGE_SHIFT) | pageOffset(va);
+            return out;
+        }
+        // First store to a clean page: hardware re-walks to set D.
+        tlb.flushVpn(vpn);
+    }
+
+    // L2 TLB (real K8 organization; absent from the PTLsim model).
+    // Note: an L1-TLB miss that hits the L2 TLB is *not* counted in
+    // `misses` — that counter mirrors the K8 perf event (translations
+    // requiring a page walk), which is what Table 1 reports.
+    if (tlb2_enabled && kind != MemAccess::Execute) {
+        if (const TlbEntry *e2 = tlb2.lookup(vpn)) {
+            bool dirty_ok = !is_write || e2->dirty;
+            if (dirty_ok) {
+                st_dtlb_l2_hits++;
+                out.tlb2_hit = true;
+                out.latency = 2;
+                GuestFault f = GuestFault::None;
+                if (is_write && !e2->writable)
+                    f = GuestFault::PageFaultWrite;
+                else if (user_mode && !e2->user)
+                    f = is_write ? GuestFault::PageFaultWrite
+                                 : GuestFault::PageFaultRead;
+                if (f != GuestFault::None) {
+                    out.fault = f;
+                    return out;
+                }
+                tlb.insert(*e2);
+                out.paddr = (e2->mfn << PAGE_SHIFT) | pageOffset(va);
+                return out;
+            }
+            tlb2.flushVpn(vpn);
+        }
+    }
+
+    // Hardware page walk.
+    misses++;
+    st_walks++;
+    PageWalk walk = aspace->walk(cr3, va);
+    out.latency += walkTiming(cr3, va, walk, is_write, now);
+    out.fault = checkWalkAccess(walk, kind, user_mode);
+    if (out.fault != GuestFault::None)
+        return out;
+
+    TlbEntry e;
+    e.vpn = vpn;
+    e.mfn = walk.mfn;
+    e.writable = walk.writable;
+    e.user = walk.user;
+    e.noexec = walk.noexec;
+    // The TLB caches the D bit: pages already dirtied need no re-walk
+    // on a later store through a read-inserted entry.
+    e.dirty = is_write || walk.dirty;
+    tlb.insert(e);
+    if (tlb2_enabled && kind != MemAccess::Execute)
+        tlb2.insert(e);
+    out.paddr = walk.paddr(va);
+    return out;
+}
+
+TranslateResult
+MemoryHierarchy::translateData(U64 cr3, U64 va, bool is_write,
+                               bool user_mode, U64 now)
+{
+    st_dtlb_accesses++;
+    return translateCommon(cr3, va,
+                           is_write ? MemAccess::Write : MemAccess::Read,
+                           user_mode, now, dtlb, st_dtlb_hits,
+                           st_dtlb_misses);
+}
+
+TranslateResult
+MemoryHierarchy::translateFetch(U64 cr3, U64 va, bool user_mode, U64 now)
+{
+    st_itlb_accesses++;
+    return translateCommon(cr3, va, MemAccess::Execute, user_mode, now,
+                           itlb, st_itlb_hits, st_itlb_misses);
+}
+
+void
+MemoryHierarchy::flushTlbs()
+{
+    dtlb.flushAll();
+    itlb.flushAll();
+    if (tlb2_enabled)
+        tlb2.flushAll();
+    if (pde_enabled)
+        pde_cache.flushAll();
+}
+
+void
+MemoryHierarchy::flushTlbVpn(U64 vpn)
+{
+    dtlb.flushVpn(vpn);
+    itlb.flushVpn(vpn);
+    if (tlb2_enabled)
+        tlb2.flushVpn(vpn);
+}
+
+void
+MemoryHierarchy::flushCaches()
+{
+    l1i.invalidateAll();
+    l1d.invalidateAll();
+    l2.invalidateAll();
+    l3.invalidateAll();
+    mshrs.clear();
+}
+
+void
+MemoryHierarchy::invalidateLine(U64 line_addr)
+{
+    l1d.invalidate(line_addr);
+    l1i.invalidate(line_addr);
+    l2.invalidate(line_addr);
+    l3.invalidate(line_addr);
+    // Pending fills of an invalidated line are dead; drop them so a
+    // later miss goes back through the coherence fabric.
+    std::erase_if(mshrs,
+                  [&](const Mshr &m) { return m.line == line_addr; });
+}
+
+void
+MemoryHierarchy::downgradeLine(U64 line_addr)
+{
+    for (CacheArray *arr : {&l1d, &l2, &l3}) {
+        if (!arr->enabled())
+            continue;
+        if (CacheArray::Line *line = arr->lookup(line_addr, false)) {
+            if (line->state != LineState::Invalid)
+                line->state = LineState::Shared;
+        }
+    }
+}
+
+}  // namespace ptl

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The per-core memory hierarchy: TLBs + hardware walk engine + caches.
+ *
+ * One MemoryHierarchy instance owns a core's L1I / banked L1D / L2 / L3
+ * tag arrays, its DTLB/ITLB (plus the optional L2 TLB and PDE cache of
+ * the k8-native reference configuration), the miss-buffer (MSHR) pool,
+ * and the hardware page-table walk engine that injects four dependent
+ * loads through the data cache on a TLB miss (Section 4.3). All timing
+ * decisions are made on machine-physical addresses; functional data
+ * always lives in PhysMem.
+ */
+
+#ifndef PTLSIM_MEM_HIERARCHY_H_
+#define PTLSIM_MEM_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "lib/config.h"
+#include "mem/cache.h"
+#include "mem/coherence.h"
+#include "mem/pagetable.h"
+#include "mem/tlb.h"
+#include "stats/stats.h"
+
+namespace ptl {
+
+/** Timing outcome of a cache access. */
+struct MemResult
+{
+    int latency = 0;          ///< cycles until the data is available
+    bool l1_hit = false;
+    bool mshr_full = false;   ///< no miss buffer free: replay the op
+    bool bank_conflict = false;///< L1D bank busy this cycle: 1-cycle replay
+};
+
+/** Timing + fault outcome of an address translation. */
+struct TranslateResult
+{
+    int latency = 0;          ///< extra cycles (0 on a TLB hit)
+    bool tlb_hit = false;
+    bool tlb2_hit = false;
+    GuestFault fault = GuestFault::None;
+    U64 paddr = 0;            ///< machine-physical address (if no fault)
+};
+
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param prefix stats path prefix, e.g. "core0/"
+     * @param coherence optional cross-core controller (multi-core)
+     */
+    MemoryHierarchy(const SimConfig &config, AddressSpace &aspace,
+                    StatsTree &stats, const std::string &prefix,
+                    CoherenceController *coherence = nullptr);
+
+    /**
+     * Data-side cache access at machine-physical `paddr`.
+     * @param no_banking suppress bank-conflict modeling (walk engine)
+     */
+    MemResult dataAccess(U64 paddr, bool is_write, U64 now,
+                         bool no_banking = false);
+
+    /** Instruction-side access (L1I -> L2 -> L3 -> memory). */
+    MemResult fetchAccess(U64 paddr, U64 now);
+
+    /**
+     * Data translation: DTLB lookup, then (on miss) L2 TLB, then the
+     * hardware walk engine. Performs the microcode A/D-bit updates.
+     */
+    TranslateResult translateData(U64 cr3, U64 va, bool is_write,
+                                  bool user_mode, U64 now);
+
+    /** Instruction translation via the ITLB. */
+    TranslateResult translateFetch(U64 cr3, U64 va, bool user_mode,
+                                   U64 now);
+
+    /** CR3 reload: drop all TLB state (x86 has no ASIDs here). */
+    void flushTlbs();
+
+    /** Flush one page's translations (invlpg; SMC handling). */
+    void flushTlbVpn(U64 vpn);
+
+    /** Flush all cache tags (the paper's -perfctr pre-run flush). */
+    void flushCaches();
+
+    /** Coherence downgrade from a peer core. */
+    void invalidateLine(U64 line_addr);
+
+    /** Make a peer's write visible: downgrade M/E/O to Shared. */
+    void downgradeLine(U64 line_addr);
+
+    int coreId() const { return core_id; }
+    const SimConfig &config() const { return cfg; }
+    AddressSpace &addressSpace() { return *aspace; }
+
+  private:
+    /** Shared L1-miss path: L2 -> L3 -> memory/coherence. */
+    int missPath(U64 paddr, bool is_write, bool is_fetch);
+    /** Bring `next_line` into L1D/L2 ahead of demand (stream prefetch). */
+    void issuePrefetch(U64 next_line);
+    TranslateResult translateCommon(U64 cr3, U64 va, MemAccess kind,
+                                    bool user_mode, U64 now, Tlb &tlb,
+                                    Counter &hits, Counter &misses);
+    int walkTiming(U64 cr3, U64 va, const PageWalk &walk, bool is_write,
+                   U64 now);
+
+    SimConfig cfg;
+    AddressSpace *aspace;
+    CoherenceController *coherence;
+    int core_id = 0;
+
+    CacheArray l1i;
+    CacheArray l1d;
+    CacheArray l2;
+    CacheArray l3;
+    Tlb dtlb;
+    Tlb itlb;
+    Tlb tlb2;              ///< 0-entry sentinel when disabled
+    bool tlb2_enabled;
+    PdeCache pde_cache;
+    bool pde_enabled;
+
+    struct Mshr { U64 line = 0; U64 ready = 0; };
+    std::vector<Mshr> mshrs;
+
+    // L1D banking: per-cycle bank occupancy bitmap.
+    U64 bank_cycle = ~0ULL;
+    U32 bank_mask = 0;
+
+    // Statistics.
+    Counter &st_d_accesses;
+    Counter &st_d_misses;
+    Counter &st_d_bank_conflicts;
+    Counter &st_i_accesses;
+    Counter &st_i_misses;
+    Counter &st_l2_accesses;
+    Counter &st_l2_misses;
+    Counter &st_l3_accesses;
+    Counter &st_l3_misses;
+    Counter &st_mem_accesses;
+    Counter &st_dtlb_accesses;
+    Counter &st_dtlb_hits;
+    Counter &st_dtlb_misses;
+    Counter &st_dtlb_l2_hits;
+    Counter &st_itlb_accesses;
+    Counter &st_itlb_hits;
+    Counter &st_itlb_misses;
+    Counter &st_walks;
+    Counter &st_walk_loads;
+    Counter &st_prefetches;
+    Counter &st_mshr_full;
+    Counter &st_writebacks;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_MEM_HIERARCHY_H_

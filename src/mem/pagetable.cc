@@ -1,0 +1,137 @@
+#include "mem/pagetable.h"
+
+#include <cstring>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+GuestFault
+checkWalkAccess(const PageWalk &walk, MemAccess kind, bool user_mode)
+{
+    auto fault_kind = [&] {
+        switch (kind) {
+          case MemAccess::Read: return GuestFault::PageFaultRead;
+          case MemAccess::Write: return GuestFault::PageFaultWrite;
+          default: return GuestFault::PageFaultFetch;
+        }
+    };
+    if (!walk.present)
+        return fault_kind();
+    if (kind == MemAccess::Write && !walk.writable)
+        return fault_kind();
+    if (user_mode && !walk.user)
+        return fault_kind();
+    if (kind == MemAccess::Execute && walk.noexec)
+        return fault_kind();
+    return GuestFault::None;
+}
+
+U64
+AddressSpace::allocTable()
+{
+    U64 mfn = mem->allocFrame();
+    std::memset(mem->frameData(mfn), 0, PAGE_SIZE);
+    return mfn;
+}
+
+U64
+AddressSpace::createRoot()
+{
+    return allocTable();
+}
+
+U64
+AddressSpace::cloneRoot(U64 src_cr3)
+{
+    U64 mfn = allocTable();
+    std::memcpy(mem->frameData(mfn), mem->frameData(src_cr3), PAGE_SIZE);
+    return mfn;
+}
+
+void
+AddressSpace::map(U64 cr3, U64 va, U64 mfn, U64 flags)
+{
+    ptl_assert(pageOffset(va) == 0);
+    U64 table = cr3;
+    for (int level = 0; level < 3; level++) {
+        U64 pte_addr = (table << PAGE_SHIFT)
+                       + pageTableIndex(va, level) * 8;
+        U64 pte = mem->read(pte_addr, 8);
+        if (!(pte & Pte::P)) {
+            U64 next = allocTable();
+            pte = (next << PAGE_SHIFT) | Pte::P | Pte::RW | Pte::US;
+            mem->write(pte_addr, pte, 8);
+        }
+        table = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
+    }
+    U64 leaf_addr = (table << PAGE_SHIFT) + pageTableIndex(va, 3) * 8;
+    U64 leaf = (mfn << PAGE_SHIFT) | Pte::P
+               | (flags & (Pte::RW | Pte::US | Pte::NX));
+    mem->write(leaf_addr, leaf, 8);
+}
+
+void
+AddressSpace::mapRange(U64 cr3, U64 va, U64 bytes, U64 flags)
+{
+    ptl_assert(pageOffset(va) == 0);
+    for (U64 off = 0; off < alignUp(bytes, PAGE_SIZE); off += PAGE_SIZE)
+        map(cr3, va + off, mem->allocFrame(), flags);
+}
+
+void
+AddressSpace::unmap(U64 cr3, U64 va)
+{
+    PageWalk w = walk(cr3, va);
+    if (!w.present)
+        return;
+    mem->write(w.pte_addr[3], 0, 8);
+}
+
+PageWalk
+AddressSpace::walk(U64 cr3, U64 va) const
+{
+    PageWalk out;
+    // Effective permissions are the AND across levels on real x86;
+    // our intermediate tables are always RW|US so the leaf governs.
+    U64 table = cr3;
+    for (int level = 0; level < 4; level++) {
+        U64 pte_addr = (table << PAGE_SHIFT)
+                       + pageTableIndex(va, level) * 8;
+        out.pte_addr[level] = pte_addr;
+        out.levels = level + 1;
+        U64 pte = mem->read(pte_addr, 8);
+        if (!(pte & Pte::P))
+            return out;  // not present at this level
+        if (level == 3) {
+            out.present = true;
+            out.writable = pte & Pte::RW;
+            out.user = pte & Pte::US;
+            out.noexec = pte & Pte::NX;
+            out.dirty = pte & Pte::D;
+            out.mfn = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
+        }
+        table = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
+    }
+    return out;
+}
+
+bool
+AddressSpace::setAccessedDirty(const PageWalk &walk, bool is_write)
+{
+    ptl_assert(walk.present);
+    bool changed = false;
+    for (int level = 0; level < 4; level++) {
+        U64 pte = mem->read(walk.pte_addr[level], 8);
+        U64 want = pte | Pte::A;
+        if (level == 3 && is_write)
+            want |= Pte::D;
+        if (want != pte) {
+            mem->write(walk.pte_addr[level], want, 8);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+}  // namespace ptl

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Real 4-level x86-64 page tables.
+ *
+ * The paper (Section 4.3) stresses that full-system fidelity requires
+ * the *actual* page table pages to exist in guest physical memory: the
+ * hardware walker's four dependent loads hit or miss in the data cache,
+ * page table lines compete with user data for cache capacity, and the
+ * microcode must set the Accessed/Dirty tracking bits that x86 kernels
+ * expect. This module implements genuine x86-64 PTE encodings stored in
+ * PhysMem frames, a builder used by the domain constructor (the role
+ * Xen's domain builder plays for paravirtual guests), and a functional
+ * walker that reports the machine-physical address of every PTE it
+ * touched — which is exactly what the timing-level walk engine needs to
+ * inject its dependent loads.
+ */
+
+#ifndef PTLSIM_MEM_PAGETABLE_H_
+#define PTLSIM_MEM_PAGETABLE_H_
+
+#include "mem/physmem.h"
+#include "uop/uopexec.h"   // GuestFault
+
+namespace ptl {
+
+/** x86-64 page table entry bits. */
+struct Pte
+{
+    static constexpr U64 P = 1ULL << 0;    ///< present
+    static constexpr U64 RW = 1ULL << 1;   ///< writable
+    static constexpr U64 US = 1ULL << 2;   ///< user accessible
+    static constexpr U64 A = 1ULL << 5;    ///< accessed
+    static constexpr U64 D = 1ULL << 6;    ///< dirty (leaf only)
+    static constexpr U64 NX = 1ULL << 63;  ///< no-execute
+    static constexpr U64 ADDR_MASK = 0x000ffffffffff000ULL;
+};
+
+/** Kind of memory access, for permission checks. */
+enum class MemAccess : U8 { Read, Write, Execute };
+
+/** Result of walking the page table tree for one virtual address. */
+struct PageWalk
+{
+    bool present = false;
+    bool writable = false;
+    bool user = false;
+    bool noexec = false;
+    bool dirty = false;      ///< leaf D bit already set
+    U64 mfn = 0;             ///< leaf machine frame
+    U64 pte_addr[4] = {};    ///< machine-physical address of each level's PTE
+    int levels = 0;          ///< number of levels actually touched
+
+    /** Machine-physical address for `va` under this translation. */
+    U64 paddr(U64 va) const { return (mfn << PAGE_SHIFT) | pageOffset(va); }
+};
+
+/** Permission/fault check for a completed walk. */
+GuestFault checkWalkAccess(const PageWalk &walk, MemAccess kind,
+                           bool user_mode);
+
+/**
+ * Builder + functional walker over page tables living in PhysMem.
+ * The "cr3" values handled here are root table MFNs, matching how the
+ * real CR3 register holds the PML4 base address.
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(PhysMem &mem) : mem(&mem) {}
+
+    /** Allocate an empty PML4 root; returns its MFN (a CR3 value). */
+    U64 createRoot();
+
+    /**
+     * Allocate a new root whose PML4 entries alias `src_cr3`'s. Used to
+     * give each guest task its own CR3 (so task switches reload CR3 and
+     * flush TLBs, as on real hardware) while sharing one address space.
+     */
+    U64 cloneRoot(U64 src_cr3);
+
+    /**
+     * Map one 4 KB page. `flags` is a combination of Pte::RW / Pte::US /
+     * Pte::NX; P is implied. Intermediate tables are allocated on demand
+     * (always with RW|US so leaf flags govern permissions).
+     */
+    void map(U64 cr3, U64 va, U64 mfn, U64 flags);
+
+    /** Map a contiguous virtual range, allocating fresh frames. */
+    void mapRange(U64 cr3, U64 va, U64 bytes, U64 flags);
+
+    /** Remove a mapping (marks the leaf not-present). */
+    void unmap(U64 cr3, U64 va);
+
+    /** Pure functional walk; does not modify A/D bits. */
+    PageWalk walk(U64 cr3, U64 va) const;
+
+    /**
+     * Set the Accessed bit along the walk path and (for writes) the
+     * Dirty bit in the leaf — the tracking-bit updates x86 operating
+     * systems expect the hardware/microcode to perform transparently.
+     * Returns true if any PTE actually changed (i.e. microcode had to
+     * do a locked RMW on the page table).
+     */
+    bool setAccessedDirty(const PageWalk &walk, bool is_write);
+
+    PhysMem &physMem() { return *mem; }
+
+  private:
+    U64 allocTable();
+
+    PhysMem *mem;
+};
+
+/** Virtual page number helpers. */
+inline U64 vpnOf(U64 va) { return va >> PAGE_SHIFT; }
+
+/** Per-level index of a canonical 48-bit virtual address (0 = PML4). */
+inline unsigned
+pageTableIndex(U64 va, int level)
+{
+    return (unsigned)bits(va, 39 - 9 * level, 9);
+}
+
+}  // namespace ptl
+
+#endif  // PTLSIM_MEM_PAGETABLE_H_

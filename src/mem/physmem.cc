@@ -1,0 +1,113 @@
+#include "mem/physmem.h"
+
+#include <cstring>
+
+#include "lib/logging.h"
+#include "lib/rng.h"
+
+namespace ptl {
+
+PhysMem::PhysMem(U64 bytes, U64 seed, bool shuffle)
+    : frame_count(alignUp(bytes, PAGE_SIZE) >> PAGE_SHIFT),
+      data(frame_count * PAGE_SIZE, 0)
+{
+    free_list.resize(frame_count);
+    for (U64 i = 0; i < frame_count; i++)
+        free_list[i] = i;
+    if (shuffle) {
+        // Fisher-Yates with the deterministic RNG: guest-contiguous
+        // allocations land on scattered machine frames, like Xen.
+        Rng rng(seed ^ 0x5EED5EEDULL);
+        for (U64 i = frame_count - 1; i > 0; i--) {
+            U64 j = rng.below(i + 1);
+            std::swap(free_list[i], free_list[j]);
+        }
+    }
+}
+
+void
+PhysMem::restoreRawBytes(const std::vector<U8> &bytes)
+{
+    if (bytes.size() != data.size())
+        fatal("checkpoint memory size mismatch");
+    data = bytes;
+}
+
+U64
+PhysMem::allocFrame()
+{
+    if (next_free >= free_list.size())
+        fatal("guest physical memory exhausted (%llu frames)",
+              (unsigned long long)frame_count);
+    return free_list[next_free++];
+}
+
+void
+PhysMem::checkFrame(U64 mfn) const
+{
+    if (mfn >= frame_count)
+        panic("machine frame %llu out of range (%llu frames)",
+              (unsigned long long)mfn, (unsigned long long)frame_count);
+}
+
+U8 *
+PhysMem::frameData(U64 mfn)
+{
+    checkFrame(mfn);
+    return data.data() + mfn * PAGE_SIZE;
+}
+
+const U8 *
+PhysMem::frameData(U64 mfn) const
+{
+    checkFrame(mfn);
+    return data.data() + mfn * PAGE_SIZE;
+}
+
+U64
+PhysMem::read(U64 paddr, unsigned bytes) const
+{
+    ptl_assert(bytes >= 1 && bytes <= 8);
+    U64 v = 0;
+    readBytes(paddr, &v, bytes);
+    return v;
+}
+
+void
+PhysMem::write(U64 paddr, U64 value, unsigned bytes)
+{
+    ptl_assert(bytes >= 1 && bytes <= 8);
+    writeBytes(paddr, &value, bytes);
+}
+
+void
+PhysMem::readBytes(U64 paddr, void *out, size_t n) const
+{
+    U8 *dst = (U8 *)out;
+    while (n > 0) {
+        U64 mfn = pageOf(paddr);
+        U64 off = pageOffset(paddr);
+        size_t chunk = std::min<size_t>(n, PAGE_SIZE - off);
+        std::memcpy(dst, frameData(mfn) + off, chunk);
+        dst += chunk;
+        paddr += chunk;
+        n -= chunk;
+    }
+}
+
+void
+PhysMem::writeBytes(U64 paddr, const void *in, size_t n)
+{
+    const U8 *src = (const U8 *)in;
+    while (n > 0) {
+        U64 mfn = pageOf(paddr);
+        U64 off = pageOffset(paddr);
+        size_t chunk = std::min<size_t>(n, PAGE_SIZE - off);
+        std::memcpy(frameData(mfn) + off, src, chunk);
+        src += chunk;
+        paddr += chunk;
+        n -= chunk;
+    }
+}
+
+}  // namespace ptl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * MFN-indirected guest physical memory.
+ *
+ * Under Xen paravirtualization, a domain does not own a linear span of
+ * physical memory starting at address zero: the hypervisor hands it an
+ * arbitrary, generally non-contiguous set of machine frame numbers
+ * (MFNs). PTLsim maps all of the domain's frames into its own address
+ * space and performs *every* cache/memory operation on machine-physical
+ * addresses (Sections 3 and 4.3 of the paper). PhysMem models exactly
+ * that: a pool of 4 KB machine frames, an allocator that (optionally,
+ * and by default) hands frames out in a seeded-shuffled order so that
+ * guest-contiguous pages land on scattered machine addresses — which is
+ * what makes physically-tagged cache conflict behaviour differ from a
+ * virtually-tagged userspace simulator.
+ */
+
+#ifndef PTLSIM_MEM_PHYSMEM_H_
+#define PTLSIM_MEM_PHYSMEM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+constexpr unsigned PAGE_SHIFT = 12;
+constexpr U64 PAGE_SIZE = 1ULL << PAGE_SHIFT;
+constexpr U64 PAGE_MASK = PAGE_SIZE - 1;
+
+inline U64 pageOf(U64 addr) { return addr >> PAGE_SHIFT; }
+inline U64 pageOffset(U64 addr) { return addr & PAGE_MASK; }
+
+/** The machine's physical memory, organized as 4 KB frames. */
+class PhysMem
+{
+  public:
+    /**
+     * @param bytes   total machine memory (rounded up to whole frames)
+     * @param seed    determinism seed for the allocation order shuffle
+     * @param shuffle hand out MFNs in shuffled (non-contiguous) order
+     */
+    PhysMem(U64 bytes, U64 seed = 42, bool shuffle = true);
+
+    U64 frameCount() const { return frame_count; }
+    U64 freeFrames() const { return free_list.size() - next_free; }
+
+    /** Allocate one machine frame; fatal() when exhausted. */
+    U64 allocFrame();
+
+    /** Raw pointer to a frame's 4 KB of data. */
+    U8 *frameData(U64 mfn);
+    const U8 *frameData(U64 mfn) const;
+
+    /**
+     * Byte-addressed machine-physical accessors. Accesses may cross
+     * frame boundaries (the simulator's unaligned-access support relies
+     * on this). `bytes` must be 1..8 for the value forms.
+     */
+    U64 read(U64 paddr, unsigned bytes) const;
+    void write(U64 paddr, U64 value, unsigned bytes);
+    void readBytes(U64 paddr, void *out, size_t n) const;
+    void writeBytes(U64 paddr, const void *in, size_t n);
+
+    /** Whole-memory access for checkpoint capture/restore. */
+    const std::vector<U8> &rawBytes() const { return data; }
+    void restoreRawBytes(const std::vector<U8> &bytes);
+
+  private:
+    void checkFrame(U64 mfn) const;
+
+    U64 frame_count;
+    std::vector<U8> data;        ///< frame_count * PAGE_SIZE bytes
+    std::vector<U64> free_list;  ///< allocation order (possibly shuffled)
+    size_t next_free = 0;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_MEM_PHYSMEM_H_

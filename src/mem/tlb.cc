@@ -1,0 +1,109 @@
+#include "mem/tlb.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+Tlb::Tlb(int entry_count, int way_count)
+    : sets(entry_count / way_count), ways(way_count),
+      entries((size_t)entry_count)
+{
+    ptl_assert(entry_count > 0 && way_count > 0);
+    ptl_assert(entry_count % way_count == 0);
+    ptl_assert(isPow2((U64)sets));
+}
+
+const TlbEntry *
+Tlb::lookup(U64 vpn)
+{
+    unsigned set = (unsigned)(vpn & (U64)(sets - 1));
+    TlbEntry *base = &entries[(size_t)set * ways];
+    for (int w = 0; w < ways; w++) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lru = ++tick;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    unsigned set = (unsigned)(entry.vpn & (U64)(sets - 1));
+    TlbEntry *base = &entries[(size_t)set * ways];
+    int victim = 0;
+    for (int w = 0; w < ways; w++) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lru < base[victim].lru)
+            victim = w;
+    }
+    base[victim] = entry;
+    base[victim].valid = true;
+    base[victim].lru = ++tick;
+}
+
+void
+Tlb::flushAll()
+{
+    for (TlbEntry &e : entries)
+        e.valid = false;
+}
+
+void
+Tlb::flushVpn(U64 vpn)
+{
+    unsigned set = (unsigned)(vpn & (U64)(sets - 1));
+    TlbEntry *base = &entries[(size_t)set * ways];
+    for (int w = 0; w < ways; w++) {
+        if (base[w].valid && base[w].vpn == vpn)
+            base[w].valid = false;
+    }
+}
+
+U64
+PdeCache::lookup(U64 va)
+{
+    U64 key = keyOf(va);
+    for (Node &n : nodes) {
+        if (n.key == key) {
+            n.lru = ++tick;
+            return n.table_paddr;
+        }
+    }
+    return 0;
+}
+
+void
+PdeCache::insert(U64 va, U64 table_paddr)
+{
+    U64 key = keyOf(va);
+    for (Node &n : nodes) {
+        if (n.key == key) {
+            n.table_paddr = table_paddr;
+            n.lru = ++tick;
+            return;
+        }
+    }
+    if ((int)nodes.size() < capacity) {
+        nodes.push_back({key, table_paddr, ++tick});
+        return;
+    }
+    Node *victim = &nodes[0];
+    for (Node &n : nodes) {
+        if (n.lru < victim->lru)
+            victim = &n;
+    }
+    *victim = {key, table_paddr, ++tick};
+}
+
+void
+PdeCache::flushAll()
+{
+    nodes.clear();
+}
+
+}  // namespace ptl

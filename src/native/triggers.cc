@@ -1,0 +1,136 @@
+#include "native/triggers.h"
+
+#include <sstream>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+U64
+parseScaledCount(const std::string &token)
+{
+    if (token.empty())
+        fatal("empty count in command list");
+    U64 scale = 1;
+    std::string digits = token;
+    switch (token.back()) {
+      case 'k': case 'K': scale = 1'000ULL; break;
+      case 'm': case 'M': scale = 1'000'000ULL; break;
+      case 'b': case 'B': case 'g': case 'G':
+        scale = 1'000'000'000ULL;
+        break;
+      default: break;
+    }
+    if (scale != 1)
+        digits.pop_back();
+    return std::strtoull(digits.c_str(), nullptr, 0) * scale;
+}
+
+std::vector<CommandPhase>
+parseCommandList(const std::string &text)
+{
+    std::vector<CommandPhase> phases;
+    CommandPhase cur;
+    bool any = false;
+    std::istringstream in(text);
+    std::string tok;
+    auto next_token = [&](const char *what) {
+        std::string value;
+        if (!(in >> value))
+            fatal("command list: %s needs an argument", what);
+        return value;
+    };
+    while (in >> tok) {
+        any = true;
+        if (tok == ":") {
+            phases.push_back(cur);
+            cur = CommandPhase{};
+        } else if (tok == "-run") {
+            cur.to_sim = true;
+        } else if (tok == "-native") {
+            cur.to_native = true;
+        } else if (tok == "-snapshot") {
+            cur.snapshot = true;
+        } else if (tok == "-kill") {
+            cur.kill = true;
+        } else if (tok == "-stopinsns") {
+            cur.stop_insns = parseScaledCount(next_token("-stopinsns"));
+        } else if (tok == "-stopcycles") {
+            cur.stop_cycles = parseScaledCount(next_token("-stopcycles"));
+        } else if (tok == "-trigger-rip") {
+            cur.trigger_rip =
+                std::strtoull(next_token("-trigger-rip").c_str(),
+                              nullptr, 16);
+        } else if (tok == "-core") {
+            cur.core = next_token("-core");
+        } else {
+            fatal("command list: unknown directive '%s'", tok.c_str());
+        }
+    }
+    if (any)
+        phases.push_back(cur);
+    return phases;
+}
+
+Machine::RunResult
+CommandRunner::run(const std::string &command_list, U64 default_budget)
+{
+    Machine::RunResult last;
+    for (const CommandPhase &phase : parseCommandList(command_list)) {
+        if (!phase.core.empty() && phase.core != machine->config().core) {
+            warn("command list requested core '%s' but the machine was "
+                 "built with '%s'",
+                 phase.core.c_str(), machine->config().core.c_str());
+        }
+        if (phase.snapshot)
+            machine->stats().takeSnapshot(machine->timeKeeper().cycle());
+        if (phase.kill)
+            return last;
+        if (phase.to_native)
+            machine->setMode(Machine::Mode::Native);
+        if (phase.to_sim)
+            machine->setMode(Machine::Mode::Simulation);
+        if (phase.trigger_rip)
+            machine->setRipTrigger(phase.trigger_rip);
+
+        U64 insn_start = machine->totalCommittedInsns();
+        U64 cycle_start = machine->timeKeeper().cycle();
+        U64 budget = phase.stop_cycles ? phase.stop_cycles
+                                       : default_budget;
+        // Run in slices, checking the instruction bound between them.
+        while (true) {
+            U64 elapsed = machine->timeKeeper().cycle() - cycle_start;
+            if (elapsed >= budget)
+                break;
+            U64 slice = std::min<U64>(budget - elapsed, 10'000);
+            if (phase.stop_insns) {
+                // Tighten the slice near the instruction bound so the
+                // overshoot stays within a few commit groups.
+                U64 done = machine->totalCommittedInsns() - insn_start;
+                U64 remaining =
+                    (done < phase.stop_insns) ? phase.stop_insns - done : 1;
+                slice = std::min(slice, std::max<U64>(remaining / 2, 8));
+            }
+            last = machine->run(slice);
+            if (last.shutdown)
+                return last;
+            if (last.stalled)
+                break;
+            if (phase.stop_insns
+                && machine->totalCommittedInsns() - insn_start
+                       >= phase.stop_insns)
+                break;
+            if (phase.trigger_rip
+                && machine->mode() == Machine::Mode::Simulation)
+                break;  // trigger fired
+            if (!phase.stop_insns && !phase.stop_cycles
+                && !phase.trigger_rip) {
+                // Unbounded phase: keep running until shutdown/budget.
+                continue;
+            }
+        }
+    }
+    return last;
+}
+
+}  // namespace ptl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PTLsim command lists and trigger points (Sections 2.3 / 4.1).
+ *
+ * The ptlcall interface lets guest code (or the user via the ptlctl
+ * wrapper) submit command lists such as
+ *
+ *     "-core smt -run -stopinsns 10m : -native"
+ *
+ * "This command tells PTLsim to switch back to simulation mode,
+ * execute 10 million x86 instructions under PTLsim's SMT core, then
+ * switch back to native mode." This module parses such command lists
+ * and executes them phase by phase against a Machine. Supported
+ * directives per phase (phases separated by ':'):
+ *
+ *   -run                switch to simulation mode
+ *   -native             switch to native mode
+ *   -stopinsns <n[kmb]> bound the phase at n committed instructions
+ *   -stopcycles <n[kmb]> bound the phase at n cycles
+ *   -trigger-rip <hex>  (native phases) drop to simulation at this RIP
+ *   -snapshot           take a statistics snapshot at phase start
+ *   -kill               shut the domain down
+ *   -core <name>        recorded (the core model is fixed at build
+ *                       time in this reproduction; a mismatch warns)
+ */
+
+#ifndef PTLSIM_NATIVE_TRIGGERS_H_
+#define PTLSIM_NATIVE_TRIGGERS_H_
+
+#include <string>
+#include <vector>
+
+#include "sys/machine.h"
+
+namespace ptl {
+
+/** One parsed phase of a command list. */
+struct CommandPhase
+{
+    bool to_native = false;
+    bool to_sim = false;
+    bool snapshot = false;
+    bool kill = false;
+    U64 stop_insns = 0;     ///< 0 = unbounded
+    U64 stop_cycles = 0;    ///< 0 = unbounded
+    U64 trigger_rip = 0;
+    std::string core;       ///< requested core model (informational)
+};
+
+/** Parse a command list; fatal() on malformed input. */
+std::vector<CommandPhase> parseCommandList(const std::string &text);
+
+/** Parse "10m"/"64k"/"2b"-style counts. */
+U64 parseScaledCount(const std::string &token);
+
+/** Executes command lists against a machine. */
+class CommandRunner
+{
+  public:
+    explicit CommandRunner(Machine &machine) : machine(&machine) {}
+
+    /**
+     * Run all phases. Phases without a stop bound run until the
+     * domain shuts down or `default_budget` cycles elapse.
+     */
+    Machine::RunResult run(const std::string &command_list,
+                           U64 default_budget = 1ULL << 40);
+
+  private:
+    Machine *machine;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_NATIVE_TRIGGERS_H_

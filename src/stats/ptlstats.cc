@@ -1,0 +1,116 @@
+#include "stats/ptlstats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+U64
+SnapshotDelta::get(const std::string &path) const
+{
+    for (const auto &[name, value] : deltas) {
+        if (name == path)
+            return value;
+    }
+    return 0;
+}
+
+SnapshotDelta
+subtractSnapshots(const StatsTree &tree, size_t from, size_t to)
+{
+    ptl_assert(from < tree.snapshotCount());
+    ptl_assert(to < tree.snapshotCount());
+    ptl_assert(from <= to);
+    const StatsSnapshot &a = tree.snapshot(from);
+    const StatsSnapshot &b = tree.snapshot(to);
+    SnapshotDelta out;
+    out.from_cycle = a.cycle;
+    out.to_cycle = b.cycle;
+    std::vector<std::string> paths = tree.paths();
+    for (size_t i = 0; i < paths.size(); i++) {
+        U64 va = (i < a.values.size()) ? a.values[i] : 0;
+        U64 vb = (i < b.values.size()) ? b.values[i] : 0;
+        ptl_assert(vb >= va);
+        if (vb != va)
+            out.deltas.emplace_back(paths[i], vb - va);
+    }
+    return out;
+}
+
+std::string
+renderTimeLapse(const std::vector<TimeLapseSeries> &series, double max_pct,
+                int width)
+{
+    std::ostringstream out;
+    size_t n = 0;
+    for (const TimeLapseSeries &s : series)
+        n = std::max(n, s.values.size());
+    out << "      ";
+    for (const TimeLapseSeries &s : series)
+        out << "[" << s.label << "] ";
+    out << "(column = value / " << max_pct << "% x " << width << ")\n";
+    for (size_t i = 0; i < n; i++) {
+        std::string row((size_t)width, ' ');
+        for (size_t k = 0; k < series.size(); k++) {
+            if (i >= series[k].values.size())
+                continue;
+            double v = std::min(series[k].values[i], max_pct);
+            int col = (int)(v / max_pct * (width - 1) + 0.5);
+            char mark =
+                series[k].label.empty() ? '*' : series[k].label[0];
+            row[(size_t)col] = mark;
+        }
+        out << strprintf("%5zu |%s|\n", i, row.c_str());
+    }
+    return out.str();
+}
+
+std::string
+renderStackedTimeLapse(const std::vector<TimeLapseSeries> &series,
+                       int width)
+{
+    std::ostringstream out;
+    size_t n = 0;
+    for (const TimeLapseSeries &s : series)
+        n = std::max(n, s.values.size());
+    for (size_t i = 0; i < n; i++) {
+        double total = 0;
+        for (const TimeLapseSeries &s : series)
+            total += (i < s.values.size()) ? s.values[i] : 0;
+        std::string row;
+        if (total > 0) {
+            for (const TimeLapseSeries &s : series) {
+                double v = (i < s.values.size()) ? s.values[i] : 0;
+                int cells = (int)(v / total * width + 0.5);
+                char mark = s.label.empty() ? '#' : s.label[0];
+                row.append((size_t)std::min(cells,
+                                            width - (int)row.size()),
+                           mark);
+            }
+        }
+        row.resize((size_t)width, ' ');
+        out << strprintf("%5zu |%s|\n", i, row.c_str());
+    }
+    return out.str();
+}
+
+std::string
+topCounters(const StatsTree &tree, const std::string &prefix, size_t count)
+{
+    std::vector<std::pair<U64, std::string>> rows;
+    for (const std::string &path : tree.paths()) {
+        if (path.rfind(prefix, 0) == 0 && tree.get(path) > 0)
+            rows.emplace_back(tree.get(path), path);
+    }
+    std::sort(rows.rbegin(), rows.rend());
+    std::ostringstream out;
+    for (size_t i = 0; i < rows.size() && i < count; i++) {
+        out << strprintf("%-50s %14llu\n", rows[i].second.c_str(),
+                         (unsigned long long)rows[i].first);
+    }
+    return out.str();
+}
+
+}  // namespace ptl

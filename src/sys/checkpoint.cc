@@ -1,0 +1,41 @@
+#include "sys/checkpoint.h"
+
+#include "lib/logging.h"
+#include "sys/machine.h"
+
+namespace ptl {
+
+MachineCheckpoint
+captureCheckpoint(Machine &machine)
+{
+    MachineCheckpoint ckpt;
+    ckpt.memory = machine.physMem().rawBytes();
+    for (int i = 0; i < machine.vcpuCount(); i++)
+        ckpt.contexts.push_back(machine.vcpu(i));
+    ckpt.cycle = machine.timeKeeper().cycle();
+    ckpt.hidden_cycles = machine.timeKeeper().hiddenCycles();
+    return ckpt;
+}
+
+void
+restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt)
+{
+    ptl_assert((int)ckpt.contexts.size() == machine.vcpuCount());
+    machine.physMem().restoreRawBytes(ckpt.memory);
+    for (int i = 0; i < machine.vcpuCount(); i++)
+        machine.vcpu(i) = ckpt.contexts[i];
+    // Roll virtual time back to the capture point.
+    TimeKeeper &time = machine.timeKeeper();
+    TimeKeeper fresh(time.frequency());
+    fresh.advance(ckpt.cycle);
+    fresh.hideGap(ckpt.hidden_cycles);
+    time = fresh;
+    // Derived state: translated code, scheduled deliveries, and all
+    // in-flight pipeline state (flushCores also re-syncs the cores'
+    // architectural register files from the restored contexts).
+    machine.bbCache().invalidateAll();
+    machine.eventChannels().clearScheduled();
+    machine.flushCores();
+}
+
+}  // namespace ptl

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Domain checkpoint and restore.
+ *
+ * Section 4.2's record-and-replay flow starts from "a checkpoint of
+ * the target machine's physical memory and register state". We capture
+ * exactly that: all machine frames, every VCPU Context, and the
+ * virtual-time state. Device queues are intentionally not captured —
+ * checkpoints are taken at quiesced points (no in-flight DMA), which
+ * is also how Xen's save/restore behaves for paravirtual domains.
+ */
+
+#ifndef PTLSIM_SYS_CHECKPOINT_H_
+#define PTLSIM_SYS_CHECKPOINT_H_
+
+#include <vector>
+
+#include "core/context.h"
+
+namespace ptl {
+
+class Machine;
+
+struct MachineCheckpoint
+{
+    std::vector<U8> memory;         ///< all machine frames
+    std::vector<Context> contexts;  ///< per-VCPU architectural state
+    U64 cycle = 0;
+    U64 hidden_cycles = 0;          ///< TSC-offset state
+};
+
+/** Capture the domain's state at the current (quiesced) point. */
+MachineCheckpoint captureCheckpoint(Machine &machine);
+
+/**
+ * Restore a previously captured checkpoint: memory, contexts and
+ * virtual time roll back; translated code and scheduled events are
+ * dropped (they are derived state).
+ */
+void restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_CHECKPOINT_H_

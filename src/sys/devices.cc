@@ -1,0 +1,148 @@
+#include "sys/devices.h"
+
+#include <cstring>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+VirtualDisk::VirtualDisk(EventChannels &events, TimeKeeper &time,
+                         int latency_us, AddressSpace &aspace,
+                         StatsTree &stats)
+    : events(&events), time(&time), aspace(&aspace),
+      latency_cycles(time.usToCycles((U64)latency_us)),
+      st_reads(stats.counter("disk/reads")),
+      st_sectors(stats.counter("disk/sectors"))
+{
+}
+
+bool
+VirtualDisk::read(const Context &ctx, U64 sector, U64 count, U64 dest_va)
+{
+    if (sector + count > sectorCount() || count == 0)
+        return false;
+    st_reads++;
+    st_sectors += count;
+    // Longer transfers take proportionally longer (seek + streaming).
+    U64 ready = time->cycle() + latency_cycles
+                + count * time->usToCycles(1);
+    pending.push_back({ready, sector, count, dest_va, ctx.cr3});
+    return true;
+}
+
+void
+VirtualDisk::processDue(U64 now)
+{
+    while (!pending.empty() && pending.front().ready <= now) {
+        Pending p = pending.front();
+        pending.pop_front();
+        // DMA the sectors into guest memory under the captured CR3.
+        Context dma_ctx;
+        dma_ctx.cr3 = p.cr3;
+        dma_ctx.kernel_mode = true;
+        size_t bytes = (size_t)(p.count * DISK_SECTOR_BYTES);
+        size_t offset = (size_t)(p.sector * DISK_SECTOR_BYTES);
+        for (size_t i = 0; i < bytes; i++) {
+            GuestAccess a = guestTranslate(*aspace, dma_ctx,
+                                           p.dest_va + i,
+                                           MemAccess::Write);
+            if (!a.ok())
+                panic("disk DMA target unmapped at va %llx",
+                      (unsigned long long)(p.dest_va + i));
+            aspace->physMem().writeBytes(a.paddr, &image[offset + i], 1);
+        }
+        if (trace) {
+            trace->record(now, PORT_DISK, p.dest_va, p.cr3,
+                          std::vector<U8>(image.begin() + offset,
+                                          image.begin() + offset + bytes));
+        }
+        events->send(PORT_DISK);
+    }
+}
+
+U64
+VirtualDisk::nextDue() const
+{
+    return pending.empty() ? ~0ULL : pending.front().ready;
+}
+
+VirtualNet::VirtualNet(EventChannels &events, TimeKeeper &time,
+                       int latency_us, int endpoints, StatsTree &stats)
+    : events(&events), time(&time),
+      latency_cycles(time.usToCycles((U64)latency_us)),
+      rx((size_t)endpoints), last_ready((size_t)endpoints, 0),
+      st_packets(stats.counter("net/packets")),
+      st_bytes(stats.counter("net/bytes"))
+{
+}
+
+void
+VirtualNet::send(int to_ep, const U8 *data, size_t len)
+{
+    ptl_assert(to_ep >= 0 && to_ep < endpointCount());
+    st_packets++;
+    st_bytes += len;
+    // Split into MTU-sized packets, each with the delivery latency
+    // (pipelined: later fragments arrive a little later). Delivery is
+    // FIFO per endpoint — a TCP-like byte stream — so a send can never
+    // overtake the in-flight tail of an earlier send to the same
+    // endpoint.
+    size_t off = 0;
+    U64 base = std::max(time->cycle() + latency_cycles,
+                        last_ready[to_ep]);
+    int frag = 0;
+    while (off < len) {
+        size_t chunk = std::min(len - off, NET_MTU);
+        Packet p;
+        p.ready = base + (U64)frag * time->usToCycles(2);
+        last_ready[to_ep] = p.ready;
+        p.to_ep = to_ep;
+        p.data.assign(data + off, data + off + chunk);
+        in_flight.push_back(std::move(p));
+        off += chunk;
+        frag++;
+    }
+}
+
+size_t
+VirtualNet::recv(int ep, U8 *out, size_t maxlen)
+{
+    ptl_assert(ep >= 0 && ep < endpointCount());
+    std::deque<U8> &q = rx[ep];
+    size_t n = std::min(maxlen, q.size());
+    for (size_t i = 0; i < n; i++) {
+        out[i] = q.front();
+        q.pop_front();
+    }
+    return n;
+}
+
+void
+VirtualNet::processDue(U64 now)
+{
+    // in_flight is in send order; delivery times are monotone per
+    // destination but interleaved across destinations, so scan.
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+        if (it->ready <= now) {
+            rx[it->to_ep].insert(rx[it->to_ep].end(), it->data.begin(),
+                                 it->data.end());
+            if (trace)
+                trace->record(now, PORT_NET_BASE + it->to_ep);
+            events->send(PORT_NET_BASE + it->to_ep);
+            it = in_flight.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+U64
+VirtualNet::nextDue() const
+{
+    U64 best = ~0ULL;
+    for (const Packet &p : in_flight)
+        best = std::min(best, p.ready);
+    return best;
+}
+
+}  // namespace ptl

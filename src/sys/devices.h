@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Virtual devices: console, block device, network.
+ *
+ * These play the role of Xen's split (frontend/backend) paravirtual
+ * drivers: the guest kernel requests I/O via hypercalls, the device
+ * models complete it after a configurable latency measured in
+ * simulated cycles, and completion is signaled on an event channel.
+ * All completions flow through the cycle-keyed queues, so I/O timing
+ * is fully deterministic (Section 4.2); a DeviceTrace can record every
+ * interrupt + DMA for the paper's record-and-replay injection scheme.
+ */
+
+#ifndef PTLSIM_SYS_DEVICES_H_
+#define PTLSIM_SYS_DEVICES_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sys/events.h"
+#include "sys/timekeeper.h"
+#include "sys/tracereplay.h"
+
+namespace ptl {
+
+/** Console output sink (the PTLmon-proxied console of Section 4). */
+class Console
+{
+  public:
+    explicit Console(StatsTree &stats)
+        : st_bytes(stats.counter("console/bytes"))
+    {
+    }
+
+    void
+    write(const void *data, size_t n)
+    {
+        text.append((const char *)data, n);
+        st_bytes += n;
+    }
+
+    const std::string &output() const { return text; }
+    void clear() { text.clear(); }
+
+  private:
+    std::string text;
+    Counter &st_bytes;
+};
+
+constexpr U64 DISK_SECTOR_BYTES = 512;
+
+/** Paravirtual block device with DMA latency + completion events. */
+class VirtualDisk
+{
+  public:
+    VirtualDisk(EventChannels &events, TimeKeeper &time, int latency_us,
+                AddressSpace &aspace, StatsTree &stats);
+
+    void setImage(std::vector<U8> image) { this->image = std::move(image); }
+    const std::vector<U8> &imageData() const { return image; }
+    U64 sectorCount() const { return image.size() / DISK_SECTOR_BYTES; }
+
+    /**
+     * Begin an asynchronous read of `count` sectors into the guest at
+     * `dest_va` (translated under the requesting context's CR3 at
+     * completion time). Returns false on out-of-range requests.
+     */
+    bool read(const Context &ctx, U64 sector, U64 count, U64 dest_va);
+
+    /** Complete any transfers due at `now` (DMA copy + event). */
+    void processDue(U64 now);
+
+    U64 nextDue() const;
+
+    void attachTrace(DeviceTrace *trace) { this->trace = trace; }
+
+  private:
+    struct Pending
+    {
+        U64 ready;
+        U64 sector;
+        U64 count;
+        U64 dest_va;
+        U64 cr3;
+    };
+
+    EventChannels *events;
+    TimeKeeper *time;
+    AddressSpace *aspace;
+    U64 latency_cycles;
+    std::vector<U8> image;
+    std::deque<Pending> pending;
+    DeviceTrace *trace = nullptr;
+    Counter &st_reads;
+    Counter &st_sectors;
+};
+
+constexpr size_t NET_MTU = 1500;
+
+/**
+ * Paravirtual network: endpoint-addressed byte streams with a
+ * configurable delivery latency. Both benchmark endpoints live in the
+ * same domain (as in the paper's rsync-over-ssh setup), so this models
+ * the loopback path through a "netfront/netback"-style device pair —
+ * crucially *with* latency, so the guest spends real idle time waiting
+ * for packets instead of spinning at simulator speed (Section 4.2's
+ * time-dilation discussion).
+ */
+class VirtualNet
+{
+  public:
+    VirtualNet(EventChannels &events, TimeKeeper &time, int latency_us,
+               int endpoints, StatsTree &stats);
+
+    int endpointCount() const { return (int)rx.size(); }
+
+    /** Queue `len` bytes for delivery to endpoint `to_ep`. */
+    void send(int to_ep, const U8 *data, size_t len);
+
+    /** Dequeue up to `maxlen` delivered bytes at `ep`; returns count. */
+    size_t recv(int ep, U8 *out, size_t maxlen);
+
+    size_t available(int ep) const { return rx[ep].size(); }
+
+    void processDue(U64 now);
+    U64 nextDue() const;
+
+    void attachTrace(DeviceTrace *trace) { this->trace = trace; }
+
+  private:
+    struct Packet
+    {
+        U64 ready;
+        int to_ep;
+        std::vector<U8> data;
+    };
+
+    EventChannels *events;
+    TimeKeeper *time;
+    U64 latency_cycles;
+    std::deque<Packet> in_flight;
+    std::vector<std::deque<U8>> rx;
+    std::vector<U64> last_ready;  ///< per-endpoint FIFO ordering floor
+    DeviceTrace *trace = nullptr;
+    Counter &st_packets;
+    Counter &st_bytes;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_DEVICES_H_

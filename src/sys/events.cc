@@ -1,0 +1,81 @@
+#include "sys/events.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+EventChannels::EventChannels(std::vector<Context *> vcpu_list,
+                             StatsTree &stats)
+    : vcpus(std::move(vcpu_list)), pending_mask(vcpus.size(), 0),
+      st_sent(stats.counter("events/sent")),
+      st_scheduled(stats.counter("events/scheduled"))
+{
+    ptl_assert(!vcpus.empty());
+}
+
+void
+EventChannels::bind(int port, int vcpu)
+{
+    ptl_assert(port >= 0 && port < MAX_EVENT_PORTS);
+    ptl_assert(vcpu >= 0 && (size_t)vcpu < vcpus.size());
+    port_vcpu[port] = vcpu;
+}
+
+void
+EventChannels::send(int port)
+{
+    ptl_assert(port >= 0 && port < MAX_EVENT_PORTS);
+    st_sent++;
+    int vcpu = port_vcpu[port];
+    pending_mask[vcpu] |= (U64(1) << port);
+    Context *ctx = vcpus[vcpu];
+    ctx->event_pending = true;
+    // Wake a VCPU blocked in hlt; delivery happens at the next
+    // instruction boundary if events are unmasked.
+    ctx->running = true;
+}
+
+void
+EventChannels::sendAt(U64 when, int port)
+{
+    st_scheduled++;
+    queue.push({when, port, seq++});
+}
+
+int
+EventChannels::processDue(U64 now)
+{
+    int n = 0;
+    while (!queue.empty() && queue.top().when <= now) {
+        int port = queue.top().port;
+        queue.pop();
+        send(port);
+        n++;
+    }
+    return n;
+}
+
+U64
+EventChannels::nextDue() const
+{
+    return queue.empty() ? ~0ULL : queue.top().when;
+}
+
+U64
+EventChannels::consumePending(int vcpu)
+{
+    ptl_assert(vcpu >= 0 && (size_t)vcpu < vcpus.size());
+    U64 mask = pending_mask[vcpu];
+    pending_mask[vcpu] = 0;
+    vcpus[vcpu]->event_pending = false;
+    return mask;
+}
+
+void
+EventChannels::clearScheduled()
+{
+    while (!queue.empty())
+        queue.pop();
+}
+
+}  // namespace ptl

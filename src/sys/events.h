@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Xen-style event channels and the deferred-event queue.
+ *
+ * Paravirtual guests receive all asynchronous notifications (timer
+ * ticks, device completions, inter-domain signals) as *events* on
+ * numbered ports — "functionally similar to the IO-APIC hardware on
+ * the bare CPU" (Section 3). The deferred queue is how the hypervisor
+ * model keys deliveries to exact future cycle numbers, which is what
+ * makes the whole machine deterministic (the paper's -maskints mode).
+ */
+
+#ifndef PTLSIM_SYS_EVENTS_H_
+#define PTLSIM_SYS_EVENTS_H_
+
+#include <queue>
+#include <vector>
+
+#include "core/context.h"
+#include "stats/stats.h"
+
+namespace ptl {
+
+constexpr int MAX_EVENT_PORTS = 64;
+
+/** Well-known ports used by the kernel/hypervisor pair. */
+enum EventPort : int {
+    PORT_TIMER = 0,
+    PORT_DISK = 1,
+    PORT_NET_BASE = 2,     ///< one port per network endpoint (2..)
+    PORT_USER_BASE = 16,   ///< dynamically allocated
+};
+
+/** Per-domain event channel state + cycle-keyed delivery queue. */
+class EventChannels
+{
+  public:
+    EventChannels(std::vector<Context *> vcpus, StatsTree &stats);
+
+    /** Raise `port` immediately: sets the pending bit, marks the
+     *  bound VCPU's event_pending, and wakes it if blocked. */
+    void send(int port);
+
+    /** Schedule `port` to be raised at absolute cycle `when`. */
+    void sendAt(U64 when, int port);
+
+    /** Deliver everything due at or before `now`. Returns count. */
+    int processDue(U64 now);
+
+    /** Cycle of the earliest scheduled delivery (or ~0 if none). */
+    U64 nextDue() const;
+
+    /**
+     * Read-and-clear the pending port bitmask for `vcpu` (the
+     * evtchn_pending hypercall the guest kernel's upcall handler
+     * uses). Clears the VCPU's event_pending flag.
+     */
+    U64 consumePending(int vcpu);
+
+    /** Bind a port to a VCPU (default: all ports to VCPU 0). */
+    void bind(int port, int vcpu);
+
+    /** True if any port is pending for `vcpu`. */
+    bool anyPending(int vcpu) const { return pending_mask[vcpu] != 0; }
+
+    int vcpuCount() const { return (int)vcpus.size(); }
+
+    /** Drop all scheduled deliveries (checkpoint restore). */
+    void clearScheduled();
+
+  private:
+    struct Scheduled
+    {
+        U64 when;
+        int port;
+        U64 seq;   ///< tie-break for determinism
+        bool operator>(const Scheduled &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::vector<Context *> vcpus;
+    std::vector<U64> pending_mask;  ///< per-vcpu bitmask of ports
+    int port_vcpu[MAX_EVENT_PORTS] = {};
+    std::priority_queue<Scheduled, std::vector<Scheduled>,
+                        std::greater<Scheduled>>
+        queue;
+    U64 seq = 0;
+    Counter &st_sent;
+    Counter &st_scheduled;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_EVENTS_H_

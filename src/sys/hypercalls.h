@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The guest <-> hypervisor ABI: hypercall numbers and ptlcall ops.
+ *
+ * Shared by the hypervisor model (src/sys) and the guest kernel
+ * builder (src/kernel). Hypercalls are issued from guest kernel mode
+ * via the 0f 34 paravirtual gate with the number in rax and arguments
+ * in rdi/rsi/rdx (result in rax); this mirrors how Xen paravirtual
+ * guests "make hypercalls into the hypervisor to request services that
+ * cannot be easily or quickly virtualized" (Section 3).
+ */
+
+#ifndef PTLSIM_SYS_HYPERCALLS_H_
+#define PTLSIM_SYS_HYPERCALLS_H_
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+enum Hypercall : U64 {
+    HC_console_write = 1,   ///< a1 = buffer VA, a2 = length
+    HC_set_timer = 2,       ///< a1 = cycles from now (one-shot)
+    HC_stack_switch = 3,    ///< a1 = new kernel stack top (Xen-alike)
+    HC_set_callbacks = 4,   ///< a1 = event/fault upcall entry RIP
+    HC_evtchn_pending = 5,  ///< returns + clears pending port bitmask
+    HC_new_baseptr = 6,     ///< a1 = new CR3 root MFN (MMUEXT_NEW_BASEPTR)
+    HC_get_time_ns = 7,     ///< virtual nanoseconds since boot
+    HC_net_send = 8,        ///< a1 = dest endpoint, a2 = buf VA, a3 = len
+    HC_net_recv = 9,        ///< a1 = endpoint, a2 = buf VA, a3 = max
+    HC_disk_read = 10,      ///< a1 = sector, a2 = count, a3 = dest VA
+    HC_shutdown = 11,       ///< a1 = exit code; terminates the domain
+    HC_net_available = 12,  ///< a1 = endpoint; bytes waiting
+    HC_disk_sectors = 13,   ///< total sectors on the virtual disk
+    HC_vcpu_count = 14,     ///< VCPUs in this domain
+};
+
+/** Returned by hypercalls on bad arguments. */
+constexpr U64 HC_ERROR = ~0ULL;
+
+/**
+ * ptlcall (opcode 0f 37) operations: the simulator breakout interface
+ * of Section 4.1. rax selects the op; rdi/rsi carry arguments.
+ */
+enum PtlcallOp : U64 {
+    PTLCALL_NOP = 0,
+    PTLCALL_SWITCH_TO_SIM = 1,     ///< "-run": enter cycle-accurate mode
+    PTLCALL_SWITCH_TO_NATIVE = 2,  ///< "-native": back to full speed
+    PTLCALL_KILL = 3,              ///< "-kill": stop and record stats
+    PTLCALL_SNAPSHOT = 4,          ///< force a stats snapshot now
+    PTLCALL_MARKER = 5,            ///< rdi = marker id (phase boundaries)
+    PTLCALL_COMMAND = 6,           ///< rdi = VA of a command string
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_HYPERCALLS_H_

@@ -1,0 +1,201 @@
+#include "sys/hypervisor.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+Hypervisor::Hypervisor(TimeKeeper &time, EventChannels &events,
+                       Console &console, VirtualDisk &disk,
+                       VirtualNet &net, AddressSpace &aspace,
+                       BasicBlockCache &bbcache, StatsTree &stats)
+    : time(&time), events(&events), console(&console), disk(&disk),
+      net(&net), aspace(&aspace), bbcache(&bbcache),
+      st_hypercalls(stats.counter("hypervisor/hypercalls")),
+      st_ptlcalls(stats.counter("hypervisor/ptlcalls")),
+      st_cr3_switches(stats.counter("hypervisor/cr3_switches"))
+{
+}
+
+bool
+Hypervisor::copyFromGuest(Context &ctx, U64 va, size_t len,
+                          std::vector<U8> &out)
+{
+    out.resize(len);
+    for (size_t i = 0; i < len; i++) {
+        GuestAccess a = guestTranslate(*aspace, ctx, va + i,
+                                       MemAccess::Read);
+        if (!a.ok())
+            return false;
+        aspace->physMem().readBytes(a.paddr, &out[i], 1);
+    }
+    return true;
+}
+
+bool
+Hypervisor::copyToGuest(Context &ctx, U64 va, const U8 *data, size_t len)
+{
+    for (size_t i = 0; i < len; i++) {
+        GuestAccess a = guestTranslate(*aspace, ctx, va + i,
+                                       MemAccess::Write);
+        if (!a.ok())
+            return false;
+        aspace->physMem().writeBytes(a.paddr, &data[i], 1);
+    }
+    return true;
+}
+
+U64
+Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
+{
+    st_hypercalls++;
+    switch ((Hypercall)nr) {
+      case HC_console_write: {
+        if (a2 > 65536)
+            return HC_ERROR;
+        std::vector<U8> buf;
+        if (!copyFromGuest(ctx, a1, (size_t)a2, buf))
+            return HC_ERROR;
+        console->write(buf.data(), buf.size());
+        return a2;
+      }
+      case HC_set_timer:
+        events->sendAt(time->cycle() + a1, PORT_TIMER);
+        return 0;
+      case HC_stack_switch:
+        ctx.kernel_sp = a1;
+        return 0;
+      case HC_set_callbacks:
+        ctx.event_callback = a1;
+        return 0;
+      case HC_evtchn_pending:
+        return events->consumePending(ctx.vcpu_id);
+      case HC_new_baseptr: {
+        if (a1 >= aspace->physMem().frameCount())
+            return HC_ERROR;
+        ctx.cr3 = a1;
+        st_cr3_switches++;
+        if (cr3_hook)
+            cr3_hook(ctx);
+        return 0;
+      }
+      case HC_get_time_ns:
+        return time->cyclesToNs(time->readTsc());
+      case HC_net_send: {
+        if ((int)a1 >= net->endpointCount() || a3 > 1 << 20)
+            return HC_ERROR;
+        std::vector<U8> buf;
+        if (!copyFromGuest(ctx, a2, (size_t)a3, buf))
+            return HC_ERROR;
+        net->send((int)a1, buf.data(), buf.size());
+        return a3;
+      }
+      case HC_net_recv: {
+        if ((int)a1 >= net->endpointCount() || a3 > 1 << 20)
+            return HC_ERROR;
+        std::vector<U8> buf((size_t)a3);
+        size_t n = net->recv((int)a1, buf.data(), buf.size());
+        if (n && !copyToGuest(ctx, a2, buf.data(), n))
+            return HC_ERROR;
+        return n;
+      }
+      case HC_disk_read:
+        return disk->read(ctx, a1, a2, a3) ? 0 : HC_ERROR;
+      case HC_shutdown:
+        shutdown = true;
+        exit_code = a1;
+        return 0;
+      case HC_net_available:
+        if ((int)a1 >= net->endpointCount())
+            return HC_ERROR;
+        return net->available((int)a1);
+      case HC_disk_sectors:
+        return disk->sectorCount();
+      case HC_vcpu_count:
+        return (U64)events->vcpuCount();
+      default:
+        warn("unknown hypercall %llu", (unsigned long long)nr);
+        return HC_ERROR;
+    }
+}
+
+U64
+Hypervisor::readTsc(const Context &ctx)
+{
+    return time->readTsc() - ctx.tsc_offset;
+}
+
+void
+Hypervisor::vcpuBlock(Context &ctx)
+{
+    // If an event is already pending, hlt falls straight through
+    // (the wakeup raced with the block), as on real hardware.
+    if (ctx.event_pending)
+        return;
+    ctx.running = false;
+}
+
+U64
+Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2)
+{
+    st_ptlcalls++;
+    switch ((PtlcallOp)op) {
+      case PTLCALL_NOP:
+        return 0;
+      case PTLCALL_SWITCH_TO_SIM:
+        want_sim = true;
+        return 0;
+      case PTLCALL_SWITCH_TO_NATIVE:
+        want_native = true;
+        return 0;
+      case PTLCALL_KILL:
+        shutdown = true;
+        exit_code = arg1;
+        return 0;
+      case PTLCALL_SNAPSHOT:
+        want_snapshot = true;
+        return 0;
+      case PTLCALL_MARKER:
+        marks.push_back({time->cycle(), arg1});
+        return 0;
+      case PTLCALL_COMMAND: {
+        // Command list as a NUL-terminated guest string (Section 4.1).
+        std::string cmd;
+        for (int i = 0; i < 256; i++) {
+            U64 ch = 0;
+            if (!guestRead(*aspace, ctx, arg1 + i, 1, ch).ok() || !ch)
+                break;
+            cmd.push_back((char)ch);
+        }
+        command_log.push_back(cmd);
+        // Interpret the classic commands inline.
+        if (cmd.find("-native") != std::string::npos)
+            want_native = true;
+        if (cmd.find("-run") != std::string::npos)
+            want_sim = true;
+        if (cmd.find("-kill") != std::string::npos)
+            shutdown = true;
+        if (cmd.find("-snapshot") != std::string::npos)
+            want_snapshot = true;
+        return 0;
+      }
+      default:
+        warn("unknown ptlcall op %llu", (unsigned long long)op);
+        return HC_ERROR;
+    }
+}
+
+void
+Hypervisor::notifyCodeWrite(U64 mfn)
+{
+    bbcache->invalidateMfn(mfn);
+    if (code_hook)
+        code_hook(mfn);
+}
+
+bool
+Hypervisor::isCodeMfn(U64 mfn) const
+{
+    return bbcache->isCodeMfn(mfn);
+}
+
+}  // namespace ptl

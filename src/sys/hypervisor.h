@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The hypervisor model: PTLsim/X's view of Xen.
+ *
+ * Implements the SystemInterface that microcode assists call into:
+ * hypercalls, the virtualized TSC, VCPU blocking, and the ptlcall
+ * breakout. This is the in-process equivalent of the PTLsim-enhanced
+ * Xen hypervisor plus the PTLmon domain-0 proxy of Section 4 — console
+ * writes, device I/O and timer programming all terminate here.
+ */
+
+#ifndef PTLSIM_SYS_HYPERVISOR_H_
+#define PTLSIM_SYS_HYPERVISOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "decode/bbcache.h"
+#include "sys/devices.h"
+#include "sys/events.h"
+#include "sys/hypercalls.h"
+#include "sys/timekeeper.h"
+
+namespace ptl {
+
+/** A recorded ptlcall marker (benchmark phase boundaries). */
+struct PtlMarker
+{
+    U64 cycle;
+    U64 id;
+};
+
+class Hypervisor : public SystemInterface
+{
+  public:
+    Hypervisor(TimeKeeper &time, EventChannels &events, Console &console,
+               VirtualDisk &disk, VirtualNet &net, AddressSpace &aspace,
+               BasicBlockCache &bbcache, StatsTree &stats);
+
+    // ---- SystemInterface ----
+    U64 hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3) override;
+    U64 readTsc(const Context &ctx) override;
+    void vcpuBlock(Context &ctx) override;
+    U64 ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2) override;
+    void notifyCodeWrite(U64 mfn) override;
+    bool isCodeMfn(U64 mfn) const override;
+
+    // ---- machine-facing state ----
+    bool shutdownRequested() const { return shutdown; }
+    U64 exitCode() const { return exit_code; }
+    bool simSwitchRequested() const { return want_sim; }
+    bool nativeSwitchRequested() const { return want_native; }
+    bool snapshotRequested() const { return want_snapshot; }
+    void clearModeRequests()
+    {
+        want_sim = want_native = want_snapshot = false;
+    }
+    const std::vector<PtlMarker> &markers() const { return marks; }
+    const std::vector<std::string> &commands() const { return command_log; }
+
+    /** Hook invoked after a guest CR3 switch (cores flush TLBs). */
+    void setCr3SwitchHook(std::function<void(Context &)> hook)
+    {
+        cr3_hook = std::move(hook);
+    }
+
+    /** Hook invoked on SMC invalidations (cores flush pipelines). */
+    void setCodeWriteHook(std::function<void(U64)> hook)
+    {
+        code_hook = std::move(hook);
+    }
+
+  private:
+    /** Copy a guest buffer out (for console/net hypercalls). */
+    bool copyFromGuest(Context &ctx, U64 va, size_t len,
+                       std::vector<U8> &out);
+    bool copyToGuest(Context &ctx, U64 va, const U8 *data, size_t len);
+
+    TimeKeeper *time;
+    EventChannels *events;
+    Console *console;
+    VirtualDisk *disk;
+    VirtualNet *net;
+    AddressSpace *aspace;
+    BasicBlockCache *bbcache;
+
+    bool shutdown = false;
+    U64 exit_code = 0;
+    bool want_sim = false;
+    bool want_native = false;
+    bool want_snapshot = false;
+    std::vector<PtlMarker> marks;
+    std::vector<std::string> command_log;
+    std::function<void(Context &)> cr3_hook;
+    std::function<void(U64)> code_hook;
+
+    Counter &st_hypercalls;
+    Counter &st_ptlcalls;
+    Counter &st_cr3_switches;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_HYPERVISOR_H_

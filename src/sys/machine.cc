@@ -1,0 +1,296 @@
+#include "sys/machine.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+Machine::Machine(const SimConfig &config)
+    : cfg(config), time(config.core_freq_hz),
+      st_cycles_user(stats_tree.counter("external/cycles_in_mode/user")),
+      st_cycles_kernel(
+          stats_tree.counter("external/cycles_in_mode/kernel")),
+      st_cycles_idle(stats_tree.counter("external/cycles_in_mode/idle")),
+      st_cycles_native(
+          stats_tree.counter("external/cycles_in_mode/native")),
+      st_mode_switches(stats_tree.counter("external/mode_switches"))
+{
+    cfg.validate();
+    physmem = std::make_unique<PhysMem>(cfg.guest_mem_bytes, cfg.seed,
+                                        cfg.shuffle_mfns);
+    aspace = std::make_unique<AddressSpace>(*physmem);
+    bbcache = std::make_unique<BasicBlockCache>(*aspace, stats_tree);
+
+    std::vector<Context *> vcpu_ptrs;
+    for (int i = 0; i < cfg.vcpu_count; i++) {
+        contexts.push_back(std::make_unique<Context>());
+        contexts.back()->vcpu_id = i;
+        vcpu_ptrs.push_back(contexts.back().get());
+    }
+    events = std::make_unique<EventChannels>(vcpu_ptrs, stats_tree);
+    console_dev = std::make_unique<Console>(stats_tree);
+    disk_dev = std::make_unique<VirtualDisk>(*events, time,
+                                             cfg.disk_latency_us, *aspace,
+                                             stats_tree);
+    net_dev = std::make_unique<VirtualNet>(*events, time,
+                                           cfg.net_latency_us, 8,
+                                           stats_tree);
+    hv = std::make_unique<Hypervisor>(time, *events, *console_dev,
+                                      *disk_dev, *net_dev, *aspace,
+                                      *bbcache, stats_tree);
+    interlock_ctrl = std::make_unique<InterlockController>(stats_tree);
+
+    for (int i = 0; i < cfg.vcpu_count; i++) {
+        native_engines.push_back(std::make_unique<FunctionalEngine>(
+            *contexts[i], *aspace, *bbcache, *hv, stats_tree,
+            "native/vcpu" + std::to_string(i) + "/"));
+    }
+
+    // CR3 switches and SMC invalidations must flush core-side state.
+    hv->setCr3SwitchHook([this](Context &ctx) {
+        for (auto &core : cores) {
+            core->flushPipeline();
+            core->flushTlbs();
+        }
+        for (auto &engine : native_engines)
+            engine->reposition();
+        for (MemoryHierarchy *h : extra_tlb_flush)
+            h->flushTlbs();
+    });
+    hv->setCodeWriteHook([this](U64 mfn) {
+        for (auto &core : cores)
+            core->flushPipeline();
+    });
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::finalizeCores()
+{
+    ptl_assert(cores.empty());
+    // Distribute VCPUs: smt_threads per core.
+    int threads_per_core = std::max(1, cfg.smt_threads);
+    int core_count =
+        (cfg.vcpu_count + threads_per_core - 1) / threads_per_core;
+    if (core_count > 1 || cfg.coherence == CoherenceKind::Moesi) {
+        coherence = std::make_unique<CoherenceController>(
+            cfg.coherence, cfg.interconnect_latency, stats_tree);
+    }
+    for (int c = 0; c < core_count; c++) {
+        CoreBuildParams params;
+        params.config = &cfg;
+        for (int t = 0; t < threads_per_core; t++) {
+            int v = c * threads_per_core + t;
+            if (v < cfg.vcpu_count)
+                params.contexts.push_back(contexts[v].get());
+        }
+        params.aspace = aspace.get();
+        params.bbcache = bbcache.get();
+        params.sys = hv.get();
+        params.stats = &stats_tree;
+        params.prefix = "core" + std::to_string(c) + "/";
+        params.coherence = coherence.get();
+        params.interlocks = interlock_ctrl.get();
+        cores.push_back(createCoreModel(cfg.core, params));
+    }
+}
+
+void
+Machine::setMode(Mode mode)
+{
+    if (mode == run_mode)
+        return;
+    st_mode_switches++;
+    run_mode = mode;
+    // Strict continuity (Section 4.1): all in-flight state is squashed
+    // at an instruction boundary; architectural state lives in the
+    // Contexts, so the other engine resumes seamlessly.
+    for (auto &core : cores)
+        core->flushPipeline();
+    for (auto &engine : native_engines)
+        engine->reposition();
+}
+
+void
+Machine::recordDevices(DeviceTrace *trace)
+{
+    disk_dev->attachTrace(trace);
+    net_dev->attachTrace(trace);
+}
+
+bool
+Machine::allVcpusIdle() const
+{
+    for (const auto &ctx : contexts) {
+        if (ctx->running)
+            return false;
+    }
+    return true;
+}
+
+U64
+Machine::nextWakeCycle() const
+{
+    U64 wake = events->nextDue();
+    wake = std::min(wake, disk_dev->nextDue());
+    wake = std::min(wake, net_dev->nextDue());
+    if (replayer)
+        wake = std::min(wake, replayer->nextDue());
+    return wake;
+}
+
+void
+Machine::accountModeCycles(U64 cycles)
+{
+    // Figure 2 accounting keys off VCPU 0, matching the paper's
+    // single-VCPU benchmark domain.
+    const Context &ctx = *contexts[0];
+    if (!ctx.running)
+        st_cycles_idle += cycles;
+    else if (ctx.kernel_mode)
+        st_cycles_kernel += cycles;
+    else
+        st_cycles_user += cycles;
+    if (run_mode == Mode::Native)
+        st_cycles_native += cycles;
+}
+
+void
+Machine::maybeSnapshot()
+{
+    while (time.cycle() - last_snapshot >= cfg.snapshot_interval) {
+        last_snapshot += cfg.snapshot_interval;
+        stats_tree.takeSnapshot(last_snapshot);
+    }
+}
+
+void
+Machine::runNativeSlice(U64 limit)
+{
+    // Native mode: the fast functional engine at the configured native
+    // IPC. Run in small instruction batches so events still land at
+    // the right cycles.
+    U64 budget_cycles = limit - time.cycle();
+    U64 insns = 0;
+    U64 max_insns =
+        std::max<U64>(1, budget_cycles * cfg.native_ipc_x1000 / 1000);
+    max_insns = std::min<U64>(max_insns, 64);
+    for (U64 i = 0; i < max_insns; i++) {
+        Context &ctx = *contexts[0];
+        if (!ctx.running)
+            break;
+        FunctionalEngine::StepResult r = native_engines[0]->stepInsn(
+            time.cycle());
+        insns += (U64)r.insns + (r.event_delivered ? 1 : 0);
+        if (r.idle || r.blocked_now)
+            break;
+        if (rip_trigger && ctx.rip == rip_trigger) {
+            // Trigger point hit: seamlessly drop into simulation mode
+            // at this exact instruction boundary (Section 2.3).
+            rip_trigger = 0;
+            setMode(Mode::Simulation);
+            break;
+        }
+        if (hv->shutdownRequested() || hv->simSwitchRequested())
+            break;
+    }
+    U64 cycles = std::max<U64>(1, insns * 1000 / cfg.native_ipc_x1000);
+    cycles = std::min(cycles, std::max<U64>(1, budget_cycles));
+    accountModeCycles(cycles);
+    time.advance(cycles);
+}
+
+void
+Machine::flushCores()
+{
+    for (auto &core : cores) {
+        core->flushPipeline();
+        core->flushTlbs();
+    }
+    for (auto &engine : native_engines)
+        engine->reposition();
+}
+
+U64
+Machine::totalCommittedInsns() const
+{
+    U64 total = 0;
+    for (size_t c = 0; c < cores.size(); c++) {
+        total += stats_tree.get("core" + std::to_string(c)
+                                + "/commit/insns");
+    }
+    for (size_t v = 0; v < native_engines.size(); v++) {
+        total += stats_tree.get("native/vcpu" + std::to_string(v)
+                                + "/commit/insns");
+    }
+    return total;
+}
+
+Machine::RunResult
+Machine::run(U64 max_cycles)
+{
+    RunResult result;
+    U64 deadline = time.cycle() + max_cycles;
+    if (last_snapshot == 0 && stats_tree.snapshotCount() == 0) {
+        stats_tree.takeSnapshot(time.cycle());
+        last_snapshot = time.cycle();
+    }
+
+    while (time.cycle() < deadline && !hv->shutdownRequested()) {
+        U64 now = time.cycle();
+        events->processDue(now);
+        disk_dev->processDue(now);
+        net_dev->processDue(now);
+        if (replayer)
+            replayer->processDue(now);
+
+        // Mode-switch requests from ptlcalls.
+        if (hv->nativeSwitchRequested()) {
+            setMode(Mode::Native);
+        } else if (hv->simSwitchRequested()) {
+            setMode(Mode::Simulation);
+        }
+        if (hv->snapshotRequested())
+            stats_tree.takeSnapshot(now);
+        hv->clearModeRequests();
+
+        if (allVcpusIdle()) {
+            // Fast-forward to the next scheduled wake-up, bounded by
+            // the snapshot cadence so time-lapse plots stay exact.
+            U64 wake = nextWakeCycle();
+            if (wake == ~0ULL) {
+                // Nothing will ever wake the domain again.
+                result.stalled = true;
+                break;
+            }
+            U64 snap_next = last_snapshot + cfg.snapshot_interval;
+            U64 target = std::min({wake, snap_next, deadline});
+            target = std::max(target, now + 1);
+            accountModeCycles(target - now);
+            time.advance(target - now);
+            maybeSnapshot();
+            continue;
+        }
+
+        if (run_mode == Mode::Native) {
+            U64 snap_next = last_snapshot + cfg.snapshot_interval;
+            U64 limit = std::min({deadline, snap_next,
+                                  std::max(nextWakeCycle(), now + 1)});
+            runNativeSlice(std::max(limit, now + 1));
+        } else {
+            // Round-robin: advance each core by one cycle.
+            accountModeCycles(1);
+            for (auto &core : cores)
+                core->cycle(now);
+            time.tick();
+        }
+        maybeSnapshot();
+    }
+
+    result.cycles = time.cycle() - (deadline - max_cycles);
+    result.shutdown = hv->shutdownRequested();
+    result.exit_code = hv->exitCode();
+    return result;
+}
+
+}  // namespace ptl

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The top-level simulated machine (the "domain" plus PTLsim itself).
+ *
+ * Owns every subsystem: guest physical memory, page tables, the basic
+ * block cache, VCPU contexts, event channels, devices, the hypervisor
+ * model, per-core models and the master cycle loop. Implements:
+ *
+ *  - round-robin core advancement (Section 2.2);
+ *  - native <-> simulation mode switching driven by ptlcalls and
+ *    trigger points (Sections 2.3/4.1), with native mode running the
+ *    fast functional engine at a configurable native IPC;
+ *  - cycle-in-mode accounting (user/kernel/idle) for Figure 2;
+ *  - periodic statistics snapshots (every snapshot_interval cycles)
+ *    feeding the Figure 2/3 time-lapse plots;
+ *  - idle fast-forwarding: when every VCPU is blocked, time jumps to
+ *    the next scheduled event, accumulating idle cycles.
+ */
+
+#ifndef PTLSIM_SYS_MACHINE_H_
+#define PTLSIM_SYS_MACHINE_H_
+
+#include <memory>
+
+#include "core/coreapi.h"
+#include "core/seqcore.h"
+#include "sys/hypervisor.h"
+#include "sys/tracereplay.h"
+
+namespace ptl {
+
+class Machine
+{
+  public:
+    explicit Machine(const SimConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    // ---- subsystem access ----
+    const SimConfig &config() const { return cfg; }
+    PhysMem &physMem() { return *physmem; }
+    AddressSpace &addressSpace() { return *aspace; }
+    StatsTree &stats() { return stats_tree; }
+    BasicBlockCache &bbCache() { return *bbcache; }
+    TimeKeeper &timeKeeper() { return time; }
+    EventChannels &eventChannels() { return *events; }
+    Console &console() { return *console_dev; }
+    VirtualDisk &disk() { return *disk_dev; }
+    VirtualNet &net() { return *net_dev; }
+    Hypervisor &hypervisor() { return *hv; }
+    InterlockController &interlocks() { return *interlock_ctrl; }
+    Context &vcpu(int i) { return *contexts[i]; }
+    int vcpuCount() const { return (int)contexts.size(); }
+
+    /** Native-mode functional engine for VCPU i (profiling hooks for
+     *  the reference-machine trials attach here). */
+    FunctionalEngine &nativeEngine(int i) { return *native_engines[i]; }
+
+    /**
+     * Instantiate core models (config.core) once the guest image and
+     * initial VCPU state are in place. VCPUs are distributed across
+     * config-selected cores: with smt_threads > 1 a single core hosts
+     * several VCPUs as hardware threads; otherwise one core per VCPU.
+     */
+    void finalizeCores();
+
+    enum class Mode { Simulation, Native };
+    Mode mode() const { return run_mode; }
+    void setMode(Mode mode);
+
+    struct RunResult
+    {
+        U64 cycles = 0;          ///< cycles simulated by this call
+        bool shutdown = false;
+        bool stalled = false;    ///< all VCPUs idle with nothing pending
+        U64 exit_code = 0;
+    };
+
+    /** Run until shutdown or `max_cycles` elapse. */
+    RunResult run(U64 max_cycles);
+
+    /** Attach a trace replayer that injects recorded device events. */
+    void attachReplayer(TraceReplayer *replayer)
+    {
+        this->replayer = replayer;
+    }
+
+    /** Record all device completions into `trace`. */
+    void recordDevices(DeviceTrace *trace);
+
+    /**
+     * Arm a native-mode trigger point (Section 2.3): when native
+     * execution reaches `rip`, the machine switches to simulation
+     * mode. Cleared once it fires.
+     */
+    void setRipTrigger(U64 rip) { rip_trigger = rip; }
+
+    /** Total x86 instructions committed across all engines. */
+    U64 totalCommittedInsns() const;
+
+    /** Squash all in-flight core state (checkpoint restore, external
+     *  architectural-state edits). */
+    void flushCores();
+
+    /** Register an additional hierarchy whose TLBs must flush on guest
+     *  CR3 switches (profiling structures attached to native mode). */
+    void registerExtraTlbFlush(MemoryHierarchy *hierarchy)
+    {
+        extra_tlb_flush.push_back(hierarchy);
+    }
+
+  private:
+    void accountModeCycles(U64 cycles);
+    void maybeSnapshot();
+    U64 nextWakeCycle() const;
+    bool allVcpusIdle() const;
+    void runNativeSlice(U64 limit);
+
+    SimConfig cfg;
+    StatsTree stats_tree;
+    TimeKeeper time;
+    std::unique_ptr<PhysMem> physmem;
+    std::unique_ptr<AddressSpace> aspace;
+    std::unique_ptr<BasicBlockCache> bbcache;
+    std::vector<std::unique_ptr<Context>> contexts;
+    std::unique_ptr<EventChannels> events;
+    std::unique_ptr<Console> console_dev;
+    std::unique_ptr<VirtualDisk> disk_dev;
+    std::unique_ptr<VirtualNet> net_dev;
+    std::unique_ptr<Hypervisor> hv;
+    std::unique_ptr<InterlockController> interlock_ctrl;
+    std::unique_ptr<CoherenceController> coherence;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    std::vector<std::unique_ptr<FunctionalEngine>> native_engines;
+    TraceReplayer *replayer = nullptr;
+
+    Mode run_mode = Mode::Simulation;
+    U64 last_snapshot = 0;
+    U64 rip_trigger = 0;
+    std::vector<MemoryHierarchy *> extra_tlb_flush;
+
+    Counter &st_cycles_user;
+    Counter &st_cycles_kernel;
+    Counter &st_cycles_idle;
+    Counter &st_cycles_native;
+    Counter &st_mode_switches;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_MACHINE_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Virtual time (Section 4.2, "The Nature of Time").
+ *
+ * The simulator owns the flow of time: every timer, TSC read and device
+ * latency is keyed to the simulated cycle number, never to host wall
+ * clock. Because cycle-accurate simulation runs thousands of times
+ * slower than silicon, PTLsim virtualizes the timestamp counter and
+ * subtracts a hidden delta across native<->simulation transitions so
+ * the guest can never observe the gap (Section 4.1). TimeKeeper holds
+ * the master cycle counter and that per-domain TSC offset.
+ */
+
+#ifndef PTLSIM_SYS_TIMEKEEPER_H_
+#define PTLSIM_SYS_TIMEKEEPER_H_
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+class TimeKeeper
+{
+  public:
+    explicit TimeKeeper(U64 core_freq_hz) : freq(core_freq_hz) {}
+
+    U64 cycle() const { return now; }
+    void advance(U64 cycles) { now += cycles; }
+    void tick() { now++; }
+
+    U64 frequency() const { return freq; }
+
+    /** Convert guest-visible durations to cycles. */
+    U64 nsToCycles(U64 ns) const { return ns * freq / 1'000'000'000ULL; }
+    U64 usToCycles(U64 us) const { return us * freq / 1'000'000ULL; }
+    U64 msToCycles(U64 ms) const { return ms * freq / 1'000ULL; }
+    U64 cyclesToNs(U64 cycles) const
+    {
+        return cycles * 1'000'000'000ULL / freq;
+    }
+
+    /**
+     * Guest-visible TSC. The hidden offset absorbs any cycles that
+     * should be invisible to the guest (e.g. time "lost" across a mode
+     * transition in a real PTLsim/X deployment).
+     */
+    U64 readTsc() const { return now - hidden; }
+
+    /** Hide `cycles` of elapsed time from the guest's clocks. */
+    void hideGap(U64 cycles) { hidden += cycles; }
+    U64 hiddenCycles() const { return hidden; }
+
+  private:
+    U64 freq;
+    U64 now = 0;
+    U64 hidden = 0;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_SYS_TIMEKEEPER_H_

@@ -1,0 +1,48 @@
+#include "sys/tracereplay.h"
+
+#include "lib/logging.h"
+#include "sys/events.h"
+
+namespace ptl {
+
+TraceReplayer::TraceReplayer(const DeviceTrace &trace,
+                             EventChannels &events, AddressSpace &aspace)
+    : trace(&trace), events(&events), aspace(&aspace)
+{
+}
+
+int
+TraceReplayer::processDue(U64 now)
+{
+    int n = 0;
+    const auto &records = trace->all();
+    while (next < records.size() && records[next].cycle <= now) {
+        const TraceRecord &r = records[next++];
+        if (r.dma_va && !r.dma_data.empty()) {
+            // DMA writes land via the recorded translation context.
+            Context dma_ctx;
+            dma_ctx.cr3 = r.dma_cr3;
+            dma_ctx.kernel_mode = true;
+            for (size_t i = 0; i < r.dma_data.size(); i++) {
+                GuestAccess a = guestTranslate(*aspace, dma_ctx,
+                                               r.dma_va + i,
+                                               MemAccess::Write);
+                if (!a.ok())
+                    panic("trace replay: DMA target unmapped");
+                aspace->physMem().writeBytes(a.paddr, &r.dma_data[i], 1);
+            }
+        }
+        events->send(r.port);
+        n++;
+    }
+    return n;
+}
+
+U64
+TraceReplayer::nextDue() const
+{
+    const auto &records = trace->all();
+    return (next < records.size()) ? records[next].cycle : ~0ULL;
+}
+
+}  // namespace ptl

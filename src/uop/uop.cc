@@ -1,0 +1,227 @@
+#include "uop/uop.h"
+
+#include <sstream>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+bool
+evaluateCond(CondCode cond, U16 f)
+{
+    bool cf = f & FLAG_CF;
+    bool zf = f & FLAG_ZF;
+    bool sf = f & FLAG_SF;
+    bool of = f & FLAG_OF;
+    bool pf = f & FLAG_PF;
+    switch (cond) {
+      case COND_o: return of;
+      case COND_no: return !of;
+      case COND_b: return cf;
+      case COND_nb: return !cf;
+      case COND_e: return zf;
+      case COND_ne: return !zf;
+      case COND_be: return cf || zf;
+      case COND_nbe: return !(cf || zf);
+      case COND_s: return sf;
+      case COND_ns: return !sf;
+      case COND_p: return pf;
+      case COND_np: return !pf;
+      case COND_l: return sf != of;
+      case COND_nl: return sf == of;
+      case COND_le: return zf || (sf != of);
+      case COND_nle: return !zf && (sf == of);
+      case COND_always: return true;
+    }
+    panic("bad condition code %d", (int)cond);
+}
+
+U8
+condFlagGroups(CondCode cond)
+{
+    switch (cond) {
+      case COND_o: case COND_no:
+        return SETFLAG_OF;
+      case COND_b: case COND_nb:
+        return SETFLAG_CF;
+      case COND_e: case COND_ne: case COND_s: case COND_ns:
+      case COND_p: case COND_np:
+        return SETFLAG_ZAPS;
+      case COND_be: case COND_nbe:
+        return SETFLAG_CF | SETFLAG_ZAPS;
+      case COND_l: case COND_nl: case COND_le: case COND_nle:
+        return SETFLAG_ZAPS | SETFLAG_OF;
+      default:
+        return SETFLAG_ALL;
+    }
+}
+
+U8
+uopFlagGroupsNeeded(const Uop &u)
+{
+    if (u.rf == REG_none)
+        return 0;
+    switch (u.op) {
+      case UopOp::BrCC: case UopOp::Sel: case UopOp::Set: case UopOp::Chk:
+        return condFlagGroups(u.cond);
+      case UopOp::Adc: case UopOp::Sbb:
+        return SETFLAG_CF;
+      case UopOp::Shl: case UopOp::Shr: case UopOp::Sar:
+      case UopOp::Rol: case UopOp::Ror:
+      case UopOp::MovRcc:
+        return SETFLAG_ALL;
+      default:
+        return 0;
+    }
+}
+
+namespace {
+
+constexpr UopInfo kUopInfo[] = {
+    {"nop", UopClass::IntAlu, false},
+    {"mov", UopClass::IntAlu, true},
+    {"mergelo", UopClass::IntAlu, true},
+    {"sext", UopClass::IntAlu, true},
+    {"and", UopClass::IntAlu, true},
+    {"or", UopClass::IntAlu, true},
+    {"xor", UopClass::IntAlu, true},
+    {"nand", UopClass::IntAlu, true},
+    {"add", UopClass::IntAlu, true},
+    {"sub", UopClass::IntAlu, true},
+    {"adc", UopClass::IntAlu, true},
+    {"sbb", UopClass::IntAlu, true},
+    {"shl", UopClass::IntAlu, true},
+    {"shr", UopClass::IntAlu, true},
+    {"sar", UopClass::IntAlu, true},
+    {"rol", UopClass::IntAlu, true},
+    {"ror", UopClass::IntAlu, true},
+    {"mull", UopClass::IntMul, true},
+    {"mulh", UopClass::IntMul, true},
+    {"mulhs", UopClass::IntMul, true},
+    {"divq", UopClass::IntDiv, true},
+    {"divr", UopClass::IntDiv, true},
+    {"divqs", UopClass::IntDiv, true},
+    {"divrs", UopClass::IntDiv, true},
+    {"bt", UopClass::IntAlu, false},
+    {"bts", UopClass::IntAlu, true},
+    {"btr", UopClass::IntAlu, true},
+    {"btc", UopClass::IntAlu, true},
+    {"bsf", UopClass::IntAlu, true},
+    {"bsr", UopClass::IntAlu, true},
+    {"bswap", UopClass::IntAlu, true},
+    {"sel", UopClass::IntAlu, true},
+    {"set", UopClass::IntAlu, true},
+    {"collcc", UopClass::IntAlu, true},
+    {"movccr", UopClass::IntAlu, true},
+    {"movrcc", UopClass::IntAlu, true},
+    {"bru", UopClass::Branch, false},
+    {"br", UopClass::Branch, false},
+    {"jmp", UopClass::Branch, false},
+    {"chk", UopClass::Branch, false},
+    {"ld", UopClass::Load, true},
+    {"lds", UopClass::Load, true},
+    {"st", UopClass::Store, false},
+    {"fence", UopClass::Fence, false},
+    {"prefetch", UopClass::Load, false},
+    {"addf", UopClass::Fpu, true},
+    {"subf", UopClass::Fpu, true},
+    {"mulf", UopClass::Fpu, true},
+    {"divf", UopClass::FpDiv, true},
+    {"minf", UopClass::Fpu, true},
+    {"maxf", UopClass::Fpu, true},
+    {"sqrtf", UopClass::FpDiv, true},
+    {"cmpf", UopClass::Fpu, false},
+    {"cvtif", UopClass::Fpu, true},
+    {"cvtfi", UopClass::Fpu, true},
+    {"assist", UopClass::AssistOp, true},
+};
+
+static_assert(sizeof(kUopInfo) / sizeof(kUopInfo[0])
+                  == (size_t)UopOp::Assist + 1,
+              "kUopInfo out of sync with UopOp");
+
+constexpr const char *kRegNames[NUM_UOP_REGS] = {
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    "xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7",
+    "xmm8", "xmm9", "xmm10", "xmm11", "xmm12", "xmm13", "xmm14", "xmm15",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "zero", "r41?", "zaps", "cf", "of", "fsbase", "gsbase", "none",
+};
+
+constexpr const char *kCondNames[] = {
+    "o", "no", "b", "nb", "e", "ne", "be", "nbe",
+    "s", "ns", "p", "np", "l", "nl", "le", "nle", "always",
+};
+
+}  // namespace
+
+const UopInfo &
+uopInfo(UopOp op)
+{
+    return kUopInfo[(size_t)op];
+}
+
+const char *
+uopRegName(int reg)
+{
+    ptl_assert(reg >= 0 && reg < NUM_UOP_REGS);
+    return kRegNames[reg];
+}
+
+const char *
+condName(CondCode cond)
+{
+    return kCondNames[(int)cond];
+}
+
+std::string
+Uop::toString() const
+{
+    std::ostringstream out;
+    if (som)
+        out << "| ";
+    else
+        out << "  ";
+    out << uopInfo(op).name;
+    if (op == UopOp::BrCC || op == UopOp::Sel || op == UopOp::Set
+        || op == UopOp::Chk)
+        out << '.' << condName(cond);
+    out << '.' << (int)size * 8;
+    if (writesRd())
+        out << ' ' << uopRegName(rd) << " =";
+    if (isMem()) {
+        out << " [" << uopRegName(ra);
+        if (!rb_imm && rb != REG_zero)
+            out << " + " << uopRegName(rb) << "<<" << (int)scale;
+        if (imm)
+            out << " + " << imm;
+        out << "]";
+        if (isStore())
+            out << " := " << uopRegName(rc);
+    } else {
+        out << ' ' << uopRegName(ra);
+        if (rb_imm)
+            out << ", #" << imm;
+        else if (rb != REG_zero || rc != REG_zero)
+            out << ", " << uopRegName(rb);
+        if (rc != REG_zero && !isStore())
+            out << ", " << uopRegName(rc);
+    }
+    if (rf != REG_none)
+        out << " [flags " << uopRegName(rf) << "]";
+    if (setflags) {
+        out << " {";
+        if (setflags & SETFLAG_ZAPS) out << "zaps";
+        if (setflags & SETFLAG_CF) out << " cf";
+        if (setflags & SETFLAG_OF) out << " of";
+        out << "}";
+    }
+    if (locked)
+        out << " LOCK";
+    if (eom)
+        out << " ;";
+    return out.str();
+}
+
+}  // namespace ptl

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The internal uop (micro-operation) instruction set.
+ *
+ * Like the Pentium 4 / K8 / Core 2 processors it models, PTLsim never
+ * executes x86 instructions directly: the decoder translates each x86
+ * instruction into a short sequence of RISC-like uops that are tailored
+ * to x86's nuances (Section 2.1 of the paper):
+ *
+ *  - every uop carries an operand size (1/2/4/8 bytes);
+ *  - results carry the x86 condition flags they produce, split into the
+ *    three independently renamed groups ZAPS (ZF/AF/PF/SF), CF and OF;
+ *  - flag consumers (adc, jcc, cmov, setcc) name the uop register whose
+ *    attached flags they read, and collcc merges split flag groups;
+ *  - loads/stores handle unaligned accesses transparently;
+ *  - SOM/EOM (start/end of macro-op) bits mark x86 instruction
+ *    boundaries so the commit unit can retire x86 ops atomically;
+ *  - complex/serializing operations (syscall, hypercalls, hlt, CR writes,
+ *    rdtsc, ptlcall, x87 stack ops) become "assists": microcode handlers
+ *    invoked when the owning uop reaches the commit point.
+ */
+
+#ifndef PTLSIM_UOP_UOP_H_
+#define PTLSIM_UOP_UOP_H_
+
+#include <string>
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+// ---------------------------------------------------------------------
+// Uop register space
+// ---------------------------------------------------------------------
+
+/** Architectural + temporary register indices used by uops. */
+enum UopReg : U8 {
+    // x86-64 integer registers, in encoding order.
+    REG_rax, REG_rcx, REG_rdx, REG_rbx, REG_rsp, REG_rbp, REG_rsi, REG_rdi,
+    REG_r8, REG_r9, REG_r10, REG_r11, REG_r12, REG_r13, REG_r14, REG_r15,
+    // Scalar FP / XMM low halves.
+    REG_xmm0 = 16, REG_xmm1, REG_xmm2, REG_xmm3, REG_xmm4, REG_xmm5,
+    REG_xmm6, REG_xmm7, REG_xmm8, REG_xmm9, REG_xmm10, REG_xmm11,
+    REG_xmm12, REG_xmm13, REG_xmm14, REG_xmm15,
+    // Microcode temporaries (live only within one x86 instruction).
+    REG_temp0 = 32, REG_temp1, REG_temp2, REG_temp3,
+    REG_temp4, REG_temp5, REG_temp6, REG_temp7,
+    // Always-zero source.
+    REG_zero = 40,
+    // Reserved slot (historical REG_rip; translator embeds RIPs as imms).
+    REG_reserved41 = 41,
+    // Condition-flag rename groups (value parts unused).
+    REG_zaps = 42, REG_cf = 43, REG_of = 44,
+    // Segment bases surviving in x86-64.
+    REG_fsbase = 45, REG_gsbase = 46,
+    REG_none = 47,   ///< "no register" marker
+    NUM_UOP_REGS = 48,
+};
+
+/** True for registers holding floating point values. */
+constexpr bool
+isFpReg(int r)
+{
+    return r >= REG_xmm0 && r <= REG_xmm15;
+}
+
+// ---------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------
+
+/** Flag bits, at their x86 RFLAGS positions. */
+enum FlagBits : U16 {
+    FLAG_CF = 1 << 0,
+    FLAG_PF = 1 << 2,
+    FLAG_AF = 1 << 4,
+    FLAG_ZF = 1 << 6,
+    FLAG_SF = 1 << 7,
+    FLAG_DF = 1 << 10,
+    FLAG_OF = 1 << 11,
+};
+
+constexpr U16 FLAG_ZAPS_MASK = FLAG_ZF | FLAG_AF | FLAG_PF | FLAG_SF;
+
+/** Which flag groups a uop produces (renamed independently). */
+enum SetFlags : U8 {
+    SETFLAG_ZAPS = 1 << 0,
+    SETFLAG_CF = 1 << 1,
+    SETFLAG_OF = 1 << 2,
+    SETFLAG_ALL = SETFLAG_ZAPS | SETFLAG_CF | SETFLAG_OF,
+};
+
+/** x86 condition codes (jcc/setcc/cmovcc encodings 0..15). */
+enum CondCode : U8 {
+    COND_o, COND_no, COND_b, COND_nb, COND_e, COND_ne, COND_be, COND_nbe,
+    COND_s, COND_ns, COND_p, COND_np, COND_l, COND_nl, COND_le, COND_nle,
+    COND_always,   ///< internal: unconditional
+};
+
+/** Evaluate an x86 condition code against a flags word. */
+bool evaluateCond(CondCode cond, U16 flags);
+
+/** Flag groups (SetFlags mask) a condition code reads. */
+U8 condFlagGroups(CondCode cond);
+
+struct Uop;
+
+/** Flag groups a uop consumes through its rf operand (0 if none). */
+U8 uopFlagGroupsNeeded(const Uop &u);
+
+// ---------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------
+
+enum class UopOp : U8 {
+    Nop,
+    // Data movement / integer ALU. "rb" may be an immediate.
+    Mov,        ///< rd = rb (zero-extended to size)
+    MergeLo,    ///< rd = merge low `size` bytes of rb into ra (x86 partial writes)
+    Sext,       ///< rd = sign_extend(rb[size])
+    And, Or, Xor, Nand,
+    Add, Sub, Adc, Sbb,
+    Shl, Shr, Sar, Rol, Ror,
+    Mull,       ///< low 64 bits of ra*rb
+    Mulh,       ///< high 64 bits, unsigned
+    Mulhs,      ///< high 64 bits, signed
+    DivQ,       ///< unsigned quotient of (rb:ra)/rc; #DE on overflow/0
+    DivR,       ///< unsigned remainder
+    DivQs,      ///< signed quotient
+    DivRs,      ///< signed remainder
+    Bt, Bts, Btr, Btc,
+    Bsf, Bsr,
+    Bswap,
+    Sel,        ///< rd = cond(rf) ? rb : ra   (cmov)
+    Set,        ///< rd = cond(rf) ? 1 : 0     (setcc)
+    CollCC,     ///< merge flag groups: ZAPS from ra, CF from rb, OF from rc
+    MovCcr,     ///< rd.flags = low bits of rb value (popf-style)
+    MovRcc,     ///< rd = flags word of rf (pushf-style)
+    // Branches. imm = taken target RIP, imm2 = sequential RIP.
+    Bru,        ///< unconditional direct branch
+    BrCC,       ///< conditional direct branch on cond(rf)
+    Jmp,        ///< indirect branch to ra (call/ret/jmp reg)
+    Chk,        ///< microcode check: raise exception imm2 if cond(rf)
+    // Memory. addr = ra + (rb << scale) + imm ; loads write rd.
+    Ld,         ///< zero-extending load of `size` bytes
+    Lds,        ///< sign-extending load
+    St,         ///< store low `size` bytes of rc
+    Fence,      ///< memory fence; imm: 1=load, 2=store, 3=full
+    Prefetch,   ///< software prefetch hint
+    // Scalar double-precision FP (operates on xmm registers).
+    Addf, Subf, Mulf, Divf, Minf, Maxf, Sqrtf,
+    Cmpf,       ///< sets ZAPS/CF like comisd
+    Cvtif,      ///< int64 -> double
+    Cvtfi,      ///< double -> int64 (truncating)
+    // Microcoded system operations, executed at the commit point.
+    Assist,
+};
+
+/** Assist (microcode handler) identifiers; stored in Uop::imm. */
+enum class AssistId : U16 {
+    Syscall,        ///< user -> kernel transition via MSR_LSTAR
+    Sysret,         ///< kernel -> user return (sysretq path)
+    Hypercall,      ///< guest kernel -> hypervisor (paravirtual gate)
+    Iret,           ///< return from event/exception frame
+    Hlt,            ///< block VCPU until next event
+    Ptlcall,        ///< 0f 37 simulator breakout opcode
+    Rdtsc,          ///< read virtualized timestamp counter
+    Cpuid,
+    Cli, Sti,       ///< virtual event-mask clear/set
+    Pushf, Popf,    ///< full RFLAGS save/restore (includes IF semantics)
+    InvalidOpcode,  ///< #UD delivery
+    PageFaultAssist,///< #PF delivery (used by microcode checks)
+    X87Fld, X87Fstp, X87Fadd, X87Fmul,  ///< minimal legacy x87 stack ops
+};
+
+/** Functional-unit class of a uop (issue port / latency selection). */
+enum class UopClass : U8 {
+    IntAlu, IntMul, IntDiv, Load, Store, Branch, Fpu, FpDiv, Fence, AssistOp,
+};
+
+/** Static properties of each opcode. */
+struct UopInfo
+{
+    const char *name;
+    UopClass cls;
+    bool writes_rd;
+};
+
+const UopInfo &uopInfo(UopOp op);
+
+// ---------------------------------------------------------------------
+// The uop itself
+// ---------------------------------------------------------------------
+
+/**
+ * One decoded micro-operation. 'rb_imm' selects immediate mode for rb.
+ * For memory ops, the address is ra + (rb << scale) + imm and 'rc' is
+ * the store data source. 'rf' names the register whose attached flags
+ * are consumed (REG_none if no flag input).
+ */
+struct Uop
+{
+    UopOp op = UopOp::Nop;
+    U8 size = 8;               ///< operand size in bytes (1/2/4/8)
+    U8 rd = REG_none;          ///< destination register
+    U8 ra = REG_zero;          ///< source A
+    U8 rb = REG_zero;          ///< source B (or immediate if rb_imm)
+    U8 rc = REG_zero;          ///< source C (store data, div high half)
+    U8 rf = REG_none;          ///< flag-source register
+    CondCode cond = COND_always;
+    U8 setflags = 0;           ///< SetFlags mask this uop produces
+    bool rb_imm = false;       ///< rb operand comes from imm
+    bool locked = false;       ///< part of an interlocked (LOCK) x86 op
+    bool internal = false;     ///< microcode-internal (not from x86 bytes)
+    bool som = false;          ///< first uop of its x86 instruction
+    bool eom = false;          ///< last uop of its x86 instruction
+    bool unaligned = false;    ///< may legally cross line/page boundaries
+    bool hint_call = false;    ///< branch is a call (push RAS)
+    bool hint_ret = false;     ///< branch is a return (pop RAS)
+    U8 scale = 0;              ///< index shift for memory addressing
+    S64 imm = 0;               ///< immediate / displacement / branch target
+    S64 imm2 = 0;              ///< sequential RIP for branches; aux imm
+    U64 rip = 0;               ///< RIP of the owning x86 instruction
+    U64 ripseq = 0;            ///< RIP of the next sequential instruction
+
+    bool isLoad() const { return op == UopOp::Ld || op == UopOp::Lds; }
+    bool isStore() const { return op == UopOp::St; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isBranch() const
+    {
+        return op == UopOp::Bru || op == UopOp::BrCC || op == UopOp::Jmp;
+    }
+    bool isAssist() const { return op == UopOp::Assist; }
+    AssistId assist() const { return (AssistId)(U16)imm; }
+    UopClass cls() const { return uopInfo(op).cls; }
+    bool writesRd() const { return uopInfo(op).writes_rd && rd != REG_none; }
+
+    /** Human-readable disassembly of this uop. */
+    std::string toString() const;
+};
+
+const char *uopRegName(int reg);
+const char *condName(CondCode cond);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_UOP_UOP_H_

@@ -1,0 +1,428 @@
+#include "uop/uopexec.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+const char *
+guestFaultName(GuestFault fault)
+{
+    switch (fault) {
+      case GuestFault::None: return "none";
+      case GuestFault::DivideError: return "#DE";
+      case GuestFault::InvalidOpcode: return "#UD";
+      case GuestFault::PageFaultRead: return "#PF(read)";
+      case GuestFault::PageFaultWrite: return "#PF(write)";
+      case GuestFault::PageFaultFetch: return "#PF(fetch)";
+      case GuestFault::GeneralProtection: return "#GP";
+      case GuestFault::MicrocodeCheck: return "#CHK";
+    }
+    return "?";
+}
+
+namespace {
+
+/** x86 PF: set if the low byte of the result has even parity. */
+bool
+parity8(U64 result)
+{
+    return (std::popcount((unsigned)(result & 0xff)) & 1) == 0;
+}
+
+U64
+msbMask(unsigned size)
+{
+    return U64(1) << (size * 8 - 1);
+}
+
+U16
+zsp(U64 masked_result, unsigned size)
+{
+    U16 f = 0;
+    if (masked_result == 0)
+        f |= FLAG_ZF;
+    if (masked_result & msbMask(size))
+        f |= FLAG_SF;
+    if (parity8(masked_result))
+        f |= FLAG_PF;
+    return f;
+}
+
+struct AluResult
+{
+    U64 value;
+    U16 flags;
+};
+
+AluResult
+doAdd(U64 a, U64 b, bool carry_in, unsigned size)
+{
+    U64 mask = byteMask(size);
+    a &= mask;
+    b &= mask;
+    U64 r = (a + b + (carry_in ? 1 : 0)) & mask;
+    U16 f = zsp(r, size);
+    bool cf;
+    if (size == 8) {
+        U64 s = a + b;
+        cf = s < a || (carry_in && s + 1 == 0);
+    } else {
+        // Sum fits in 64 bits for sub-64-bit widths; carry is overflow
+        // past the masked width.
+        cf = (a + b + (carry_in ? 1 : 0)) > mask;
+    }
+    if (cf)
+        f |= FLAG_CF;
+    if ((a ^ r) & (b ^ r) & msbMask(size))
+        f |= FLAG_OF;
+    if ((a ^ b ^ r) & 0x10)
+        f |= FLAG_AF;
+    return {r, f};
+}
+
+AluResult
+doSub(U64 a, U64 b, bool borrow_in, unsigned size)
+{
+    U64 mask = byteMask(size);
+    a &= mask;
+    b &= mask;
+    U64 r = (a - b - (borrow_in ? 1 : 0)) & mask;
+    U16 f = zsp(r, size);
+    bool cf = (a < b) || (borrow_in && a == b);
+    if (cf)
+        f |= FLAG_CF;
+    if ((a ^ b) & (a ^ r) & msbMask(size))
+        f |= FLAG_OF;
+    if ((a ^ b ^ r) & 0x10)
+        f |= FLAG_AF;
+    return {r, f};
+}
+
+}  // namespace
+
+U16
+flagsForLogic(U64 result, unsigned size)
+{
+    return zsp(result & byteMask(size), size);
+}
+
+UopOutcome
+executeUop(const Uop &u, U64 ra, U64 rb, U64 rc,
+           U16 rff, U16 raf, U16 rbf, U16 rcf)
+{
+    UopOutcome out;
+    if (u.rb_imm)
+        rb = (U64)u.imm;
+    const unsigned size = u.size;
+    const U64 mask = byteMask(size);
+
+    switch (u.op) {
+      case UopOp::Nop:
+        break;
+      case UopOp::Mov:
+        out.value = rb & mask;
+        out.flags = flagsForLogic(out.value, size);
+        break;
+      case UopOp::MergeLo:
+        out.value = (ra & ~mask) | (rb & mask);
+        break;
+      case UopOp::Sext:
+        out.value = signExtend(rb, size);
+        break;
+      case UopOp::And: case UopOp::Or: case UopOp::Xor: case UopOp::Nand: {
+        U64 r;
+        switch (u.op) {
+          case UopOp::And: r = ra & rb; break;
+          case UopOp::Or: r = ra | rb; break;
+          case UopOp::Xor: r = ra ^ rb; break;
+          default: r = ~(ra & rb); break;
+        }
+        r &= mask;
+        out.value = r;
+        out.flags = flagsForLogic(r, size);  // CF = OF = 0
+        break;
+      }
+      case UopOp::Add: {
+        auto res = doAdd(ra, rb, false, size);
+        out.value = res.value;
+        out.flags = res.flags;
+        break;
+      }
+      case UopOp::Sub: {
+        auto res = doSub(ra, rb, false, size);
+        out.value = res.value;
+        out.flags = res.flags;
+        break;
+      }
+      case UopOp::Adc: {
+        auto res = doAdd(ra, rb, rff & FLAG_CF, size);
+        out.value = res.value;
+        out.flags = res.flags;
+        break;
+      }
+      case UopOp::Sbb: {
+        auto res = doSub(ra, rb, rff & FLAG_CF, size);
+        out.value = res.value;
+        out.flags = res.flags;
+        break;
+      }
+      case UopOp::Shl: case UopOp::Shr: case UopOp::Sar: {
+        unsigned countmask = (size == 8) ? 63 : 31;
+        unsigned count = (unsigned)(rb & countmask);
+        U64 a = ra & mask;
+        if (count == 0) {
+            // x86: zero shift count leaves flags untouched; pass through.
+            out.value = a;
+            out.flags = rff;
+            break;
+        }
+        unsigned bits = size * 8;
+        U64 r;
+        bool cf;
+        if (u.op == UopOp::Shl) {
+            r = (count >= bits) ? 0 : (a << count);
+            cf = (count <= bits) && bit(a, bits - count);
+            r &= mask;
+            out.flags = zsp(r, size) | (cf ? FLAG_CF : 0);
+            // OF defined for count==1: MSB(result) != CF.
+            if (count == 1 && (bool)(r & msbMask(size)) != cf)
+                out.flags |= FLAG_OF;
+        } else if (u.op == UopOp::Shr) {
+            r = (count >= bits) ? 0 : (a >> count);
+            cf = (count <= bits) && bit(a, count - 1);
+            out.flags = zsp(r, size) | (cf ? FLAG_CF : 0);
+            if (count == 1 && (a & msbMask(size)))
+                out.flags |= FLAG_OF;
+        } else {  // Sar
+            S64 sa = (S64)signExtend(a, size);
+            unsigned c = (count >= bits) ? bits - 1 : count;
+            r = (U64)(sa >> c) & mask;
+            cf = (count <= bits) ? bit((U64)sa, count - 1) : (sa < 0);
+            out.flags = zsp(r, size) | (cf ? FLAG_CF : 0);
+            // OF = 0 for sar.
+        }
+        out.value = r;
+        break;
+      }
+      case UopOp::Rol: case UopOp::Ror: {
+        unsigned bits = size * 8;
+        unsigned count = (unsigned)(rb & ((size == 8) ? 63 : 31)) % bits;
+        U64 a = ra & mask;
+        if (count == 0 && (rb & ((size == 8) ? 63 : 31)) == 0) {
+            out.value = a;
+            out.flags = rff;
+            break;
+        }
+        U64 r;
+        if (u.op == UopOp::Rol)
+            r = ((a << count) | (a >> (bits - count) % bits)) & mask;
+        else
+            r = ((a >> count) | (a << (bits - count) % bits)) & mask;
+        if (count == 0)
+            r = a;
+        bool cf = (u.op == UopOp::Rol) ? (r & 1) : (r & msbMask(size));
+        out.value = r;
+        out.flags = (U16)((rff & ~(FLAG_CF | FLAG_OF)) | (cf ? FLAG_CF : 0));
+        bool msb = r & msbMask(size);
+        bool msb1 = r & (msbMask(size) >> 1);
+        if ((u.op == UopOp::Rol && msb != cf)
+            || (u.op == UopOp::Ror && msb != msb1))
+            out.flags |= FLAG_OF;
+        break;
+      }
+      case UopOp::Mull: {
+        __int128 p = (__int128)(S64)signExtend(ra, size)
+                     * (S64)signExtend(rb, size);
+        out.value = (U64)p & mask;
+        // imul semantics: CF = OF = product doesn't fit in `size`.
+        bool fits = p == (__int128)(S64)signExtend((U64)p, size);
+        out.flags = zsp(out.value, size) | (fits ? 0 : (FLAG_CF | FLAG_OF));
+        break;
+      }
+      case UopOp::Mulh: {
+        unsigned __int128 p = (unsigned __int128)(ra & mask) * (rb & mask);
+        U64 hi = (size == 8) ? (U64)(p >> 64)
+                             : (U64)((p >> (size * 8)) & mask);
+        out.value = hi;
+        out.flags = (hi != 0) ? (FLAG_CF | FLAG_OF) : 0;
+        break;
+      }
+      case UopOp::Mulhs: {
+        __int128 p = (__int128)(S64)signExtend(ra, size)
+                     * (S64)signExtend(rb, size);
+        U64 hi = (size == 8) ? (U64)((unsigned __int128)p >> 64)
+                             : (U64)(((unsigned __int128)p >> (size * 8)) & mask);
+        out.value = hi;
+        bool fits = p == (__int128)(S64)signExtend((U64)p, size);
+        out.flags = fits ? 0 : (FLAG_CF | FLAG_OF);
+        break;
+      }
+      case UopOp::DivQ: case UopOp::DivR: {
+        // Dividend is rc:ra (high:low), divisor rb; unsigned.
+        U64 lo = ra & mask, hi = rc & mask, d = rb & mask;
+        if (d == 0) {
+            out.fault = GuestFault::DivideError;
+            break;
+        }
+        unsigned __int128 dividend =
+            ((unsigned __int128)hi << (size * 8)) | lo;
+        unsigned __int128 q = dividend / d;
+        unsigned __int128 r = dividend % d;
+        if (q > (unsigned __int128)mask) {
+            out.fault = GuestFault::DivideError;
+            break;
+        }
+        out.value = (u.op == UopOp::DivQ) ? (U64)q : (U64)r;
+        break;
+      }
+      case UopOp::DivQs: case UopOp::DivRs: {
+        U64 lo = ra & mask, hi = rc & mask;
+        S64 d = (S64)signExtend(rb, size);
+        if (d == 0) {
+            out.fault = GuestFault::DivideError;
+            break;
+        }
+        __int128 dividend =
+            (__int128)((unsigned __int128)hi << (size * 8) | lo);
+        // Sign-extend the 2*size-bit dividend.
+        int total_bits = size * 16;
+        if (total_bits < 128) {
+            dividend = (__int128)((unsigned __int128)dividend
+                                  << (128 - total_bits));
+            dividend >>= (128 - total_bits);
+        }
+        __int128 q = dividend / d;
+        __int128 r = dividend % d;
+        __int128 min_q = -((__int128)1 << (size * 8 - 1));
+        __int128 max_q = ((__int128)1 << (size * 8 - 1)) - 1;
+        if (q < min_q || q > max_q) {
+            out.fault = GuestFault::DivideError;
+            break;
+        }
+        out.value = (U64)((u.op == UopOp::DivQs) ? q : r) & mask;
+        break;
+      }
+      case UopOp::Bt: case UopOp::Bts: case UopOp::Btr: case UopOp::Btc: {
+        unsigned idx = (unsigned)(rb & (size * 8 - 1));
+        bool was_set = bit(ra & mask, idx);
+        U64 r = ra & mask;
+        if (u.op == UopOp::Bts) r |= (U64(1) << idx);
+        if (u.op == UopOp::Btr) r &= ~(U64(1) << idx);
+        if (u.op == UopOp::Btc) r ^= (U64(1) << idx);
+        out.value = r;
+        out.flags = was_set ? FLAG_CF : 0;
+        break;
+      }
+      case UopOp::Bsf: case UopOp::Bsr: {
+        U64 a = ra & mask;
+        if (a == 0) {
+            out.value = 0;
+            out.flags = FLAG_ZF;
+        } else {
+            out.value = (u.op == UopOp::Bsf)
+                            ? (U64)std::countr_zero(a)
+                            : (U64)(63 - std::countl_zero(a));
+            out.flags = 0;
+        }
+        break;
+      }
+      case UopOp::Bswap: {
+        U64 a = ra & mask;
+        U64 r = 0;
+        for (unsigned i = 0; i < size; i++)
+            r |= ((a >> (i * 8)) & 0xff) << ((size - 1 - i) * 8);
+        out.value = r;
+        break;
+      }
+      case UopOp::Sel:
+        out.value = (evaluateCond(u.cond, rff) ? rb : ra) & mask;
+        break;
+      case UopOp::Set:
+        out.value = evaluateCond(u.cond, rff) ? 1 : 0;
+        break;
+      case UopOp::CollCC:
+        out.flags = (U16)((raf & FLAG_ZAPS_MASK) | (rbf & FLAG_CF)
+                          | (rcf & FLAG_OF));
+        out.value = out.flags;
+        break;
+      case UopOp::MovCcr:
+        out.flags = (U16)(rb & (FLAG_ZAPS_MASK | FLAG_CF | FLAG_OF | FLAG_DF));
+        out.value = out.flags;
+        break;
+      case UopOp::MovRcc:
+        out.value = (U64)rff | 0x2;  // bit 1 of RFLAGS always reads 1
+        break;
+      case UopOp::Bru:
+        out.value = (U64)u.imm;
+        out.taken = true;
+        break;
+      case UopOp::BrCC:
+        out.taken = evaluateCond(u.cond, rff);
+        out.value = out.taken ? (U64)u.imm : (U64)u.imm2;
+        break;
+      case UopOp::Jmp:
+        out.value = ra;
+        out.taken = true;
+        break;
+      case UopOp::Chk:
+        if (evaluateCond(u.cond, rff))
+            out.fault = GuestFault::MicrocodeCheck;
+        break;
+      case UopOp::Fence:
+      case UopOp::Prefetch:
+        break;
+      case UopOp::Addf: case UopOp::Subf: case UopOp::Mulf:
+      case UopOp::Divf: case UopOp::Minf: case UopOp::Maxf: {
+        double a = std::bit_cast<double>(ra);
+        double b = std::bit_cast<double>(rb);
+        double r;
+        switch (u.op) {
+          case UopOp::Addf: r = a + b; break;
+          case UopOp::Subf: r = a - b; break;
+          case UopOp::Mulf: r = a * b; break;
+          case UopOp::Divf: r = a / b; break;
+          case UopOp::Minf: r = (b < a) ? b : a; break;
+          default: r = (a < b) ? b : a; break;
+        }
+        out.value = std::bit_cast<U64>(r);
+        break;
+      }
+      case UopOp::Sqrtf:
+        out.value = std::bit_cast<U64>(
+            std::sqrt(std::bit_cast<double>(ra)));
+        break;
+      case UopOp::Cmpf: {
+        // comisd semantics: ZF/PF/CF encode the comparison; SF/OF/AF = 0.
+        double a = std::bit_cast<double>(ra);
+        double b = std::bit_cast<double>(rb);
+        if (std::isnan(a) || std::isnan(b))
+            out.flags = FLAG_ZF | FLAG_PF | FLAG_CF;
+        else if (a > b)
+            out.flags = 0;
+        else if (a < b)
+            out.flags = FLAG_CF;
+        else
+            out.flags = FLAG_ZF;
+        break;
+      }
+      case UopOp::Cvtif:
+        out.value = std::bit_cast<U64>((double)(S64)ra);
+        break;
+      case UopOp::Cvtfi: {
+        double a = std::bit_cast<double>(ra);
+        out.value = (U64)(S64)a;
+        break;
+      }
+      case UopOp::Ld: case UopOp::Lds: case UopOp::St:
+        panic("memory uop %s routed to executeUop", uopInfo(u.op).name);
+      case UopOp::Assist:
+        panic("assist uop routed to executeUop");
+    }
+    return out;
+}
+
+}  // namespace ptl

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional execution of uops.
+ *
+ * This is the single definition of uop semantics shared by every engine
+ * in the simulator: the sequential core, the out-of-order core's
+ * integrated execute stage, the SMT core, and the native-mode functional
+ * emulator all call executeUop(). PTLsim is an *integrated* simulator
+ * (Section 6.1): the same code computes correct values and feeds the
+ * timing model, so functional bugs surface immediately as guest crashes.
+ */
+
+#ifndef PTLSIM_UOP_UOPEXEC_H_
+#define PTLSIM_UOP_UOPEXEC_H_
+
+#include "uop/uop.h"
+
+namespace ptl {
+
+/** Guest-visible fault classes raised during execution. */
+enum class GuestFault : U8 {
+    None,
+    DivideError,        ///< #DE
+    InvalidOpcode,      ///< #UD
+    PageFaultRead,      ///< #PF on a data read
+    PageFaultWrite,     ///< #PF on a data write
+    PageFaultFetch,     ///< #PF on instruction fetch
+    GeneralProtection,  ///< #GP (e.g. hypercall from user mode)
+    MicrocodeCheck,     ///< chk uop fired (internal speculation assert)
+};
+
+const char *guestFaultName(GuestFault fault);
+
+/** Result of functionally executing one non-memory uop. */
+struct UopOutcome
+{
+    U64 value = 0;          ///< result value (branches: actual next RIP)
+    U16 flags = 0;          ///< produced flag word (per setflags groups)
+    bool taken = false;     ///< branch outcome
+    GuestFault fault = GuestFault::None;
+};
+
+/**
+ * Execute one uop functionally.
+ *
+ * @param u       the uop (if u.rb_imm, the rb operand is taken from u.imm)
+ * @param ra,rb,rc source register *values*
+ * @param rff     flag word attached to the rf register
+ * @param raf,rbf,rcf flag words of ra/rb/rc (used by collcc)
+ *
+ * Memory and assist uops are not handled here; callers perform address
+ * generation via uopMemAddr() and route Ld/St/Assist through their own
+ * memory system / microcode layers.
+ */
+UopOutcome executeUop(const Uop &u, U64 ra, U64 rb, U64 rc,
+                      U16 rff = 0, U16 raf = 0, U16 rbf = 0, U16 rcf = 0);
+
+/** Effective address of a memory uop: ra + (rb << scale) + imm. */
+inline U64
+uopMemAddr(const Uop &u, U64 ra, U64 rb)
+{
+    U64 index = u.rb_imm ? 0 : (rb << u.scale);
+    return ra + index + (U64)u.imm;
+}
+
+/** Compute ZF/PF/SF (and AF=0) for a size-masked result. */
+U16 flagsForLogic(U64 result, unsigned size);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_UOP_UOPEXEC_H_

@@ -1,0 +1,160 @@
+#include "workload/fileset.h"
+
+#include <cstring>
+
+#include "lib/logging.h"
+#include "lib/rng.h"
+
+namespace ptl {
+
+U64
+fnv1a(const U8 *data, size_t n)
+{
+    U64 h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < n; i++) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace {
+
+const char *const kWords[] = {
+    "the", "quick", "cycle", "accurate", "full", "system", "x86",
+    "simulator", "pipeline", "cache", "branch", "predictor", "uop",
+    "commit", "fetch", "rename", "issue", "replay", "hypervisor",
+    "domain", "kernel", "virtual", "memory", "physical", "address",
+    "translation", "lookaside", "buffer", "interrupt", "event",
+};
+constexpr int kWordCount = (int)(sizeof(kWords) / sizeof(kWords[0]));
+
+/** Append pseudo-text until `bytes` of content exist. */
+void
+appendText(std::vector<U8> &out, U64 bytes, Rng &rng)
+{
+    U64 start = out.size();
+    int column = 0;
+    while (out.size() - start < bytes) {
+        const char *word = kWords[rng.below(kWordCount)];
+        size_t len = std::strlen(word);
+        out.insert(out.end(), word, word + len);
+        column += (int)len + 1;
+        if (column > 68) {
+            out.push_back('\n');
+            column = 0;
+        } else {
+            out.push_back(' ');
+        }
+    }
+    out.resize(start + bytes);
+}
+
+struct FileBlob
+{
+    U64 name_hash;
+    std::vector<U8> data;
+};
+
+std::vector<U8>
+packArchive(const std::vector<FileBlob> &files)
+{
+    std::vector<U8> out;
+    auto put64 = [&](U64 v) {
+        for (int i = 0; i < 8; i++)
+            out.push_back((U8)(v >> (i * 8)));
+    };
+    put64((U64)files.size());
+    U64 header_bytes = 8 + files.size() * 24;
+    U64 offset = header_bytes;
+    for (const FileBlob &f : files) {
+        put64(f.name_hash);
+        put64(offset);
+        put64(f.data.size());
+        offset += f.data.size();
+    }
+    for (const FileBlob &f : files)
+        out.insert(out.end(), f.data.begin(), f.data.end());
+    return out;
+}
+
+}  // namespace
+
+FileSet
+generateFileSet(const FileSetParams &params)
+{
+    Rng rng(params.seed ^ 0xF11E5E7ULL);
+    FileSet out;
+    out.file_count = params.file_count;
+
+    std::vector<FileBlob> old_files, new_files;
+    for (int i = 0; i < params.file_count; i++) {
+        FileBlob f;
+        f.name_hash = fnv1a((const U8 *)&i, sizeof(i)) ^ params.seed;
+        // Size: mean +- 75%, clamped.
+        U64 bytes = params.mean_file_bytes / 4
+                    + rng.below(params.mean_file_bytes * 3 / 2);
+        bytes = std::min(std::max<U64>(bytes, 256), params.max_file_bytes);
+        appendText(f.data, bytes, rng);
+        old_files.push_back(f);
+
+        FileBlob g = f;  // the "new" copy starts identical
+        if (!rng.chance((U64)params.unchanged_pct, 100)) {
+            // Edit: overwrite a few scattered spans and possibly
+            // insert a fresh span (shifting alignment, which is what
+            // exercises the rolling-checksum matcher).
+            int edits = 1 + (int)rng.below(4);
+            for (int e = 0; e < edits; e++) {
+                U64 span = 16 + rng.below(
+                    std::max<U64>(g.data.size() * params.edit_pct / 100
+                                      / (U64)edits,
+                                  17));
+                U64 pos = rng.below(std::max<U64>(g.data.size() - 1, 1));
+                span = std::min(span, (U64)g.data.size() - pos);
+                Rng edit_rng(rng.next());
+                std::vector<U8> repl;
+                appendText(repl, span, edit_rng);
+                std::copy(repl.begin(), repl.end(), g.data.begin() + pos);
+            }
+            if (rng.chance(1, 3)) {
+                std::vector<U8> inserted;
+                Rng ins_rng(rng.next());
+                appendText(inserted, 64 + rng.below(512), ins_rng);
+                U64 pos = rng.below((U64)g.data.size());
+                g.data.insert(g.data.begin() + pos, inserted.begin(),
+                              inserted.end());
+            }
+        }
+        new_files.push_back(std::move(g));
+    }
+
+    out.old_archive = packArchive(old_files);
+    out.new_archive = packArchive(new_files);
+    for (const FileBlob &f : old_files)
+        out.total_old_bytes += f.data.size();
+    for (const FileBlob &f : new_files)
+        out.total_new_bytes += f.data.size();
+    return out;
+}
+
+ArchiveView
+ArchiveView::parse(const std::vector<U8> &archive)
+{
+    ArchiveView view;
+    view.raw = &archive;
+    auto get64 = [&](U64 off) {
+        U64 v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= (U64)archive[off + i] << (i * 8);
+        return v;
+    };
+    U64 count = get64(0);
+    for (U64 i = 0; i < count; i++) {
+        U64 base = 8 + i * 24;
+        view.entries.push_back(
+            {get64(base), get64(base + 8), get64(base + 16)});
+    }
+    return view;
+}
+
+}  // namespace ptl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic file-set generation for the rsync benchmark.
+ *
+ * The paper's workload synchronizes two groups of text files (6186
+ * files, 48 MB total, each under 300 KB) with rsync. This module
+ * generates a deterministic, scaled-down equivalent: a corpus of
+ * pseudo-text files and a "modified" copy of it (some files unchanged,
+ * some edited in place, some with inserted blocks — the mix that gives
+ * the rsync delta algorithm realistic work). Both groups are packed
+ * into a flat archive format simple enough for the guest's assembled
+ * code to parse:
+ *
+ *     [u64 file_count]
+ *     file_count x { u64 name_hash; u64 data_offset; u64 length }
+ *     raw file data...
+ *
+ * Offsets are relative to the archive start; everything little-endian.
+ */
+
+#ifndef PTLSIM_WORKLOAD_FILESET_H_
+#define PTLSIM_WORKLOAD_FILESET_H_
+
+#include <string>
+#include <vector>
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+struct FileSetParams
+{
+    int file_count = 120;        ///< files per group
+    U64 mean_file_bytes = 8192;  ///< exponential-ish size distribution
+    U64 max_file_bytes = 40960;  ///< paper: all under 300 KB (scaled)
+    U64 seed = 42;
+    /** Fraction (percent) of files left identical in the new copy. */
+    int unchanged_pct = 40;
+    /** Percent of bytes edited in modified files. */
+    int edit_pct = 10;
+};
+
+struct FileSet
+{
+    std::vector<U8> old_archive;  ///< group A (receiver already has)
+    std::vector<U8> new_archive;  ///< group B (sender's fresh copy)
+    U64 total_old_bytes = 0;
+    U64 total_new_bytes = 0;
+    int file_count = 0;
+};
+
+/** Generate the two archives deterministically from `params`. */
+FileSet generateFileSet(const FileSetParams &params);
+
+/** FNV-1a over a byte range (the guest uses the same function). */
+U64 fnv1a(const U8 *data, size_t n);
+
+/** Parsed archive view (host-side verification helpers). */
+struct ArchiveView
+{
+    struct Entry
+    {
+        U64 name_hash;
+        U64 offset;
+        U64 length;
+    };
+    std::vector<Entry> entries;
+    const std::vector<U8> *raw;
+
+    static ArchiveView parse(const std::vector<U8> &archive);
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_WORKLOAD_FILESET_H_

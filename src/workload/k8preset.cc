@@ -1,0 +1,91 @@
+#include "workload/k8preset.h"
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+namespace {
+
+Table1Metrics
+collect(Machine &machine, const std::string &core_prefix,
+        const std::string &mem_prefix, bool k8_accounting)
+{
+    StatsTree &s = machine.stats();
+    Table1Metrics m;
+    // The reference trial's cycle count is the analytic timing model
+    // (the stand-in for silicon's cycle counter); the sim trial's is
+    // the pipeline's own clock.
+    m.cycles = k8_accounting
+                   ? s.get(core_prefix + "profile/modeled_cycles")
+                   : machine.timeKeeper().cycle();
+    m.insns = s.get(core_prefix + "commit/insns");
+    m.uops = s.get(core_prefix
+                   + (k8_accounting ? "commit/k8ops" : "commit/uops"));
+    m.l1d_misses = s.get(mem_prefix + "dcache/misses");
+    m.l1d_accesses = s.get(mem_prefix + "dcache/accesses");
+    m.branches = s.get(core_prefix + "branches/cond");
+    m.mispredicts = s.get(core_prefix + "branches/mispredicted");
+    m.dtlb_misses = s.get(mem_prefix + "dtlb/misses");
+    return m;
+}
+
+}  // namespace
+
+Table1Metrics
+SimTrial::metrics() const
+{
+    return collect(bench->machine(), "core0/", "core0/", false);
+}
+
+RsyncBench::Result
+SimTrial::run(U64 max_cycles)
+{
+    return bench->run(max_cycles);
+}
+
+std::unique_ptr<SimTrial>
+makeSimTrial(const FileSetParams &files)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.core = "ooo";
+    auto trial = std::make_unique<SimTrial>();
+    trial->bench = std::make_unique<RsyncBench>(cfg, files);
+    return trial;
+}
+
+Table1Metrics
+NativeTrial::metrics() const
+{
+    return collect(bench->machine(), "native/vcpu0/", "native/vcpu0/",
+                   true);
+}
+
+RsyncBench::Result
+NativeTrial::run(U64 max_cycles)
+{
+    return bench->run(max_cycles);
+}
+
+std::unique_ptr<NativeTrial>
+makeNativeTrial(const FileSetParams &files)
+{
+    // Guest-visible machine identical to the sim trial; the profiling
+    // structures attached to the functional engine model *real* K8
+    // silicon: two-level TLB + PDE cache + hardware prefetcher.
+    SimConfig cfg = SimConfig::preset("k8-native");
+    cfg.core = "seq";        // unused: the run stays in native mode
+    auto trial = std::make_unique<NativeTrial>();
+    trial->bench = std::make_unique<RsyncBench>(cfg, files);
+    Machine &machine = trial->bench->machine();
+    trial->hierarchy = std::make_unique<MemoryHierarchy>(
+        cfg, machine.addressSpace(), machine.stats(), "native/vcpu0/");
+    trial->predictor = std::make_unique<BranchPredictor>(
+        cfg, machine.stats(), "native/vcpu0/");
+    machine.nativeEngine(0).attachProfiling(trial->hierarchy.get(),
+                                            trial->predictor.get());
+    machine.registerExtraTlbFlush(trial->hierarchy.get());
+    machine.setMode(Machine::Mode::Native);
+    return trial;
+}
+
+}  // namespace ptl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The two Table 1 trials (Section 5).
+ *
+ * The paper compares a real 2.2 GHz Athlon 64 (via its hardware
+ * performance counters) against PTLsim configured like a K8. The
+ * silicon is substituted here by a *reference-machine trial*: the same
+ * guest workload executed on the fast functional engine, instrumented
+ * with structure models at real-K8 fidelity — the two-level TLB
+ * (32 + 1024 entries, plus the PDE cache), the hardware prefetcher,
+ * and K8 macro-op ("triad") accounting — while the simulation trial
+ * runs the full out-of-order pipeline with PTLsim's model structures
+ * (single 32-entry TLB, no prefetch, discrete uops). Every %diff row
+ * of Table 1 then emerges from those structural differences.
+ */
+
+#ifndef PTLSIM_WORKLOAD_K8PRESET_H_
+#define PTLSIM_WORKLOAD_K8PRESET_H_
+
+#include <memory>
+#include <string>
+
+#include "branch/predictor.h"
+#include "workload/rsyncbench.h"
+
+namespace ptl {
+
+/** The quantities Table 1 reports (raw counts; rates derived). */
+struct Table1Metrics
+{
+    U64 cycles = 0;
+    U64 insns = 0;
+    U64 uops = 0;
+    U64 l1d_misses = 0;
+    U64 l1d_accesses = 0;
+    U64 branches = 0;
+    U64 mispredicts = 0;
+    U64 dtlb_misses = 0;
+
+    double l1dMissPct() const
+    {
+        return l1d_accesses ? 100.0 * l1d_misses / l1d_accesses : 0;
+    }
+    double mispredictPct() const
+    {
+        return branches ? 100.0 * mispredicts / branches : 0;
+    }
+    double dtlbMissPct() const
+    {
+        return l1d_accesses ? 100.0 * dtlb_misses / l1d_accesses : 0;
+    }
+};
+
+/** The simulation trial: full OOO pipeline, K8-configured (the paper's
+ *  "PTLsim" column). */
+struct SimTrial
+{
+    std::unique_ptr<RsyncBench> bench;
+    Table1Metrics metrics() const;
+    RsyncBench::Result run(U64 max_cycles = 4'000'000'000ULL);
+};
+
+std::unique_ptr<SimTrial> makeSimTrial(const FileSetParams &files);
+
+/** The reference-machine trial (the paper's "Native K8" column). */
+struct NativeTrial
+{
+    std::unique_ptr<RsyncBench> bench;
+    std::unique_ptr<MemoryHierarchy> hierarchy;
+    std::unique_ptr<BranchPredictor> predictor;
+    Table1Metrics metrics() const;
+    RsyncBench::Result run(U64 max_cycles = 4'000'000'000ULL);
+};
+
+std::unique_ptr<NativeTrial> makeNativeTrial(const FileSetParams &files);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_WORKLOAD_K8PRESET_H_

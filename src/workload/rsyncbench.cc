@@ -1,0 +1,1396 @@
+#include "workload/rsyncbench.h"
+
+#include "kernel/guestlib.h"
+#include "lib/logging.h"
+#include "sys/hypercalls.h"
+
+namespace ptl {
+
+namespace {
+
+// ---- guest memory layout (inside the USER_DATA region) ----
+constexpr U64 OLD_VA = USER_DATA_VA;                  // old archive
+constexpr U64 NEW_VA = USER_DATA_VA + 0x800000;       // new archive
+constexpr U64 OUT_VA = USER_DATA_VA + 0x1000000;      // reconstruction
+constexpr U64 META_VA = USER_DATA_VA + 0x1800000;
+
+constexpr U64 HASHTAB = META_VA;                      // 64K x 8 bytes
+constexpr U64 FILETAB = META_VA + 0x80000;            // blocklist offsets
+constexpr U64 VARS = META_VA + 0x90000;
+constexpr U64 V_KEY_C2S_TX = VARS + 0;
+constexpr U64 V_KEY_C2S_RX = VARS + 8;
+constexpr U64 V_KEY_S2C_TX = VARS + 16;
+constexpr U64 V_KEY_S2C_RX = VARS + 24;
+constexpr U64 V_VERSION = VARS + 32;
+constexpr U64 V_MISMATCH = VARS + 40;
+constexpr U64 V_OUTPTR = VARS + 48;
+constexpr U64 V_BLTAIL = VARS + 56;
+constexpr U64 BUF_SSHC_TX = META_VA + 0xA0000;        // 16 KB each
+constexpr U64 BUF_SSHC_RX = META_VA + 0xA4000;
+constexpr U64 BUF_SSHD_RX = META_VA + 0xA8000;
+constexpr U64 BUF_SSHD_TX = META_VA + 0xAC000;
+constexpr U64 BUF_CLIENT = META_VA + 0xB0000;
+constexpr U64 BUF_SERVER = META_VA + 0xB4000;
+constexpr U64 DELTATAB = META_VA + 0xC0000;           // {off,len} pairs
+constexpr U64 DEBUGTAB = META_VA + 0xE0000;           // per-file verify log
+constexpr U64 BLOCKLIST = META_VA + 0x100000;         // 1 MB
+constexpr U64 DELTA = META_VA + 0x200000;             // op streams
+
+// Pipes and endpoints.
+constexpr U64 P_C2T = 0;   // client -> ssh-client tx relay
+constexpr U64 P_T2C = 1;   // ssh-client rx relay -> client
+constexpr U64 P_D2S = 2;   // sshd rx relay -> server
+constexpr U64 P_S2D = 3;   // server -> sshd tx relay
+constexpr U64 P_RES = 4;   // server -> init (result)
+constexpr U64 EP_CLIENT = 0;
+constexpr U64 EP_SERVER = 1;
+
+constexpr U64 BLOCK = 1024;
+constexpr U64 MAX_PAYLOAD = 0x3000;
+constexpr U64 BURN_ITERS = 30000;
+
+constexpr U8 OP_END = 0;
+constexpr U8 OP_COPY = 1;
+constexpr U8 OP_LIT = 2;
+
+/**
+ * Emits the guest programs. Register conventions for the workload's
+ * leaf helpers (emitted below, called with `call`):
+ *
+ *   fn_fnv(rdi=ptr, rsi=len) -> rax          clobbers rcx, rdx, rdi, rsi
+ *   fn_weak(rdi=ptr, rsi=len) -> rax         clobbers rcx, rdx, rdi, rsi
+ *       (result: a | b<<16, the rsync rolling checksum over the range)
+ *   fn_cipher(rdi=buf, rsi=len, rdx=&state)  clobbers rax, rcx, rdi, rsi
+ *   fn_burn(rdi=iters) -> rax                clobbers rcx, rdx, rdi
+ *   fn_marker(rdi=id)                        clobbers rax
+ *   fn_send_frame(rdi=fd, rsi=buf, rdx=len)  clobbers caller-saved
+ *   fn_recv_frame(rdi=fd, rsi=buf) -> rax    clobbers caller-saved
+ *   fn_netsend_frame(rdi=ep, rsi=buf, rdx=len)
+ *   fn_netrecv_frame(rdi=ep, rsi=buf) -> rax
+ *
+ * Frames are [u64 length][payload]; a zero length is the end-of-stream
+ * sentinel that shuts each tunnel stage down in turn.
+ */
+class RsyncEmitter
+{
+  public:
+    RsyncEmitter(Assembler &a, GuestLib &lib) : a(a), lib(lib) {}
+
+    struct Entries
+    {
+        U64 init;
+        U64 client;
+        U64 sshc_tx;
+        U64 sshc_rx;
+        U64 sshd_rx;
+        U64 sshd_tx;
+        U64 server;
+    };
+
+    Entries
+    emit(U64 old_sectors_arg, U64 new_sectors_arg)
+    {
+        old_sectors = old_sectors_arg;
+        new_sectors = new_sectors_arg;
+        Label skip = a.newLabel();
+        a.jmp(skip);
+        emitHelpers();
+        Label l_client = emitClient();
+        Label l_sshc_tx = emitRelayPipeToNet(P_C2T, EP_SERVER,
+                                             BUF_SSHC_TX, V_KEY_C2S_TX);
+        Label l_sshc_rx = emitRelayNetToPipe(EP_CLIENT, P_T2C,
+                                             BUF_SSHC_RX, V_KEY_S2C_RX);
+        Label l_sshd_rx = emitRelayNetToPipe(EP_SERVER, P_D2S,
+                                             BUF_SSHD_RX, V_KEY_C2S_RX);
+        Label l_sshd_tx = emitRelayPipeToNet(P_S2D, EP_CLIENT,
+                                             BUF_SSHD_TX, V_KEY_S2C_TX);
+        Label l_server = emitServer();
+        a.bind(skip);
+        Label l_init = a.label();
+        emitInit(l_client, l_sshc_tx, l_sshc_rx, l_sshd_rx, l_sshd_tx,
+                 l_server);
+
+        Entries out;
+        out.init = a.labelVa(l_init);
+        out.client = a.labelVa(l_client);
+        out.sshc_tx = a.labelVa(l_sshc_tx);
+        out.sshc_rx = a.labelVa(l_sshc_rx);
+        out.sshd_rx = a.labelVa(l_sshd_rx);
+        out.sshd_tx = a.labelVa(l_sshd_tx);
+        out.server = a.labelVa(l_server);
+        return out;
+    }
+
+  private:
+    Assembler &a;
+    GuestLib &lib;
+    U64 old_sectors = 0;
+    U64 new_sectors = 0;
+
+    Label fn_fnv, fn_weak, fn_cipher, fn_burn, fn_marker;
+    Label fn_send_frame, fn_recv_frame;
+    Label fn_netsend_frame, fn_netrecv_frame;
+
+    void
+    emitHelpers()
+    {
+        // ---- fn_fnv(rdi=ptr, rsi=len) -> rax ----
+        fn_fnv = a.label();
+        {
+            Label loop = a.newLabel(), done = a.newLabel();
+            a.movImm64(R::rax, 0xcbf29ce484222325ULL);
+            a.movImm64(R::rdx, 0x100000001b3ULL);
+            a.bind(loop);
+            a.test(R::rsi, R::rsi);
+            a.jcc(COND_e, done);
+            a.movzx8(R::rcx, Mem::at(R::rdi));
+            a.xor_(R::rax, R::rcx);
+            a.imul(R::rax, R::rdx);
+            a.inc(R::rdi);
+            a.dec(R::rsi);
+            a.jmp(loop);
+            a.bind(done);
+            a.ret();
+        }
+
+        // ---- fn_weak(rdi=ptr, rsi=len) -> rax = a | b<<16 ----
+        // a(k,l) = sum X_i mod 2^16 ; b(k,l) = sum (l-i+1) X_i mod 2^16.
+        // Computed as: for each byte: a += X; b += a.
+        fn_weak = a.label();
+        {
+            Label loop = a.newLabel(), done = a.newLabel();
+            a.mov(R::rax, 0);   // a
+            a.mov(R::rdx, 0);   // b
+            a.bind(loop);
+            a.test(R::rsi, R::rsi);
+            a.jcc(COND_e, done);
+            a.movzx8(R::rcx, Mem::at(R::rdi));
+            a.add(R::rax, R::rcx);
+            a.add(R::rdx, R::rax);
+            a.inc(R::rdi);
+            a.dec(R::rsi);
+            a.jmp(loop);
+            a.bind(done);
+            a.and_(R::rax, 0xFFFF);
+            a.and_(R::rdx, 0xFFFF);
+            a.shl(R::rdx, 16);
+            a.or_(R::rax, R::rdx);
+            a.ret();
+        }
+
+        // ---- fn_cipher(rdi=buf, rsi=len, rdx=&state) ----
+        // xorshift64 keystream, one 64-bit word at a time; the tail
+        // bytes are XORed individually with the next word's low bytes.
+        fn_cipher = a.label();
+        {
+            Label words = a.newLabel(), tail = a.newLabel();
+            Label tail_loop = a.newLabel(), done = a.newLabel();
+            a.push(R::rbx);
+            a.mov(R::rbx, Mem::at(R::rdx));      // keystream state
+            a.bind(words);
+            a.cmp(R::rsi, 8);
+            a.jcc(COND_b, tail);
+            // state ^= state<<13; ^= state>>7; ^= state<<17
+            a.mov(R::rcx, R::rbx);
+            a.shl(R::rcx, 13);
+            a.xor_(R::rbx, R::rcx);
+            a.mov(R::rcx, R::rbx);
+            a.shr(R::rcx, 7);
+            a.xor_(R::rbx, R::rcx);
+            a.mov(R::rcx, R::rbx);
+            a.shl(R::rcx, 17);
+            a.xor_(R::rbx, R::rcx);
+            a.mov(R::rax, Mem::at(R::rdi));
+            a.xor_(R::rax, R::rbx);
+            a.mov(Mem::at(R::rdi), R::rax);
+            a.add(R::rdi, 8);
+            a.sub(R::rsi, 8);
+            a.jmp(words);
+            a.bind(tail);
+            a.test(R::rsi, R::rsi);
+            a.jcc(COND_e, done);
+            a.mov(R::rcx, R::rbx);
+            a.shl(R::rcx, 13);
+            a.xor_(R::rbx, R::rcx);
+            a.mov(R::rcx, R::rbx);
+            a.shr(R::rcx, 7);
+            a.xor_(R::rbx, R::rcx);
+            a.mov(R::rcx, R::rbx);
+            a.shl(R::rcx, 17);
+            a.xor_(R::rbx, R::rcx);
+            a.mov(R::rax, R::rbx);
+            a.bind(tail_loop);
+            a.movzx8(R::rcx, Mem::at(R::rdi));
+            a.xor_(R::rcx, R::rax);
+            a.mov8(Mem::at(R::rdi), R::rcx);
+            a.shr(R::rax, 8);
+            a.inc(R::rdi);
+            a.dec(R::rsi);
+            a.jcc(COND_ne, tail_loop);
+            a.bind(done);
+            a.mov(Mem::at(R::rdx), R::rbx);
+            a.pop(R::rbx);
+            a.ret();
+        }
+
+        // ---- fn_burn(rdi=iters) -> rax: key-exchange-style compute ----
+        fn_burn = a.label();
+        {
+            Label loop = a.newLabel(), done = a.newLabel();
+            a.movImm64(R::rax, 0x243F6A8885A308D3ULL);
+            a.movImm64(R::rcx, 6364136223846793005ULL);
+            a.bind(loop);
+            a.test(R::rdi, R::rdi);
+            a.jcc(COND_e, done);
+            a.imul(R::rax, R::rcx);
+            a.movImm64(R::rdx, 1442695040888963407ULL);
+            a.add(R::rax, R::rdx);
+            a.rol(R::rax, 7);
+            a.dec(R::rdi);
+            a.jmp(loop);
+            a.bind(done);
+            a.ret();
+        }
+
+        // ---- fn_marker(rdi=id) ----
+        fn_marker = a.label();
+        a.mov(R::rax, (U64)PTLCALL_MARKER);
+        a.ptlcall();
+        a.ret();
+
+        // ---- fn_send_frame(rdi=fd, rsi=buf, rdx=len) ----
+        fn_send_frame = a.label();
+        {
+            a.push(R::rbx);
+            a.push(R::r12);
+            a.push(R::r13);
+            a.mov(R::rbx, R::rdi);
+            a.mov(R::r12, R::rsi);
+            a.mov(R::r13, R::rdx);
+            a.push(R::r13);                  // header on the stack
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::rsp);
+            a.mov(R::rdx, 8);
+            a.call(lib.fn_write_all);
+            a.add(R::rsp, 8);
+            a.test(R::r13, R::r13);
+            Label no_payload = a.newLabel();
+            a.jcc(COND_e, no_payload);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::r12);
+            a.mov(R::rdx, R::r13);
+            a.call(lib.fn_write_all);
+            a.bind(no_payload);
+            a.pop(R::r13);
+            a.pop(R::r12);
+            a.pop(R::rbx);
+            a.ret();
+        }
+
+        // ---- fn_recv_frame(rdi=fd, rsi=buf) -> rax=len ----
+        fn_recv_frame = a.label();
+        {
+            a.push(R::rbx);
+            a.push(R::r12);
+            a.push(R::r13);
+            a.mov(R::rbx, R::rdi);
+            a.mov(R::r12, R::rsi);
+            a.sub(R::rsp, 8);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::rsp);
+            a.mov(R::rdx, 8);
+            a.call(lib.fn_read_exact);
+            a.pop(R::r13);                   // len
+            Label empty = a.newLabel();
+            a.test(R::r13, R::r13);
+            a.jcc(COND_e, empty);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::r12);
+            a.mov(R::rdx, R::r13);
+            a.call(lib.fn_read_exact);
+            a.bind(empty);
+            a.mov(R::rax, R::r13);
+            a.pop(R::r13);
+            a.pop(R::r12);
+            a.pop(R::rbx);
+            a.ret();
+        }
+
+        // ---- fn_netsend_frame(rdi=ep, rsi=buf, rdx=len) ----
+        fn_netsend_frame = a.label();
+        {
+            a.push(R::rbx);
+            a.push(R::r12);
+            a.push(R::r13);
+            a.mov(R::rbx, R::rdi);
+            a.mov(R::r12, R::rsi);
+            a.mov(R::r13, R::rdx);
+            a.push(R::r13);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::rsp);
+            a.mov(R::rdx, 8);
+            lib.syscall(GSYS_net_send);
+            a.add(R::rsp, 8);
+            a.test(R::r13, R::r13);
+            Label no_payload = a.newLabel();
+            a.jcc(COND_e, no_payload);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::r12);
+            a.mov(R::rdx, R::r13);
+            lib.syscall(GSYS_net_send);
+            a.bind(no_payload);
+            a.pop(R::r13);
+            a.pop(R::r12);
+            a.pop(R::rbx);
+            a.ret();
+        }
+
+        // ---- fn_netrecv_frame(rdi=ep, rsi=buf) -> rax ----
+        fn_netrecv_frame = a.label();
+        {
+            a.push(R::rbx);
+            a.push(R::r12);
+            a.push(R::r13);
+            a.mov(R::rbx, R::rdi);
+            a.mov(R::r12, R::rsi);
+            a.sub(R::rsp, 8);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::rsp);
+            a.mov(R::rdx, 8);
+            a.call(lib.fn_net_recv_exact);
+            a.pop(R::r13);
+            Label empty = a.newLabel();
+            a.test(R::r13, R::r13);
+            a.jcc(COND_e, empty);
+            a.mov(R::rdi, R::rbx);
+            a.mov(R::rsi, R::r12);
+            a.mov(R::rdx, R::r13);
+            a.call(lib.fn_net_recv_exact);
+            a.bind(empty);
+            a.mov(R::rax, R::r13);
+            a.pop(R::r13);
+            a.pop(R::r12);
+            a.pop(R::rbx);
+            a.ret();
+        }
+    }
+
+    /** Pipe -> cipher -> net relay (ssh transmit direction). */
+    Label
+    emitRelayPipeToNet(U64 pipe_fd, U64 dest_ep, U64 buf, U64 key_addr)
+    {
+        Label entry = a.label();
+        Label loop = a.label();
+        a.mov(R::rdi, pipe_fd);
+        a.movImm64(R::rsi, buf);
+        a.call(fn_recv_frame);
+        a.mov(R::rbx, R::rax);               // frame length
+        Label finish = a.newLabel();
+        a.test(R::rbx, R::rbx);
+        a.jcc(COND_e, finish);
+        a.movImm64(R::rdi, buf);
+        a.mov(R::rsi, R::rbx);
+        a.movImm64(R::rdx, key_addr);
+        a.call(fn_cipher);                   // encrypt payload
+        a.mov(R::rdi, dest_ep);
+        a.movImm64(R::rsi, buf);
+        a.mov(R::rdx, R::rbx);
+        a.call(fn_netsend_frame);
+        a.jmp(loop);
+        a.bind(finish);
+        // Forward the end-of-stream sentinel, then exit.
+        a.mov(R::rdi, dest_ep);
+        a.movImm64(R::rsi, buf);
+        a.mov(R::rdx, 0);
+        a.call(fn_netsend_frame);
+        a.mov(R::rdi, 0);
+        lib.syscall(GSYS_exit);
+        return entry;
+    }
+
+    /** Net -> decipher -> pipe relay (ssh receive direction). */
+    Label
+    emitRelayNetToPipe(U64 src_ep, U64 pipe_fd, U64 buf, U64 key_addr)
+    {
+        Label entry = a.label();
+        Label loop = a.label();
+        a.mov(R::rdi, src_ep);
+        a.movImm64(R::rsi, buf);
+        a.call(fn_netrecv_frame);
+        a.mov(R::rbx, R::rax);
+        Label finish = a.newLabel();
+        a.test(R::rbx, R::rbx);
+        a.jcc(COND_e, finish);
+        a.movImm64(R::rdi, buf);
+        a.mov(R::rsi, R::rbx);
+        a.movImm64(R::rdx, key_addr);
+        a.call(fn_cipher);                   // decrypt payload
+        a.mov(R::rdi, pipe_fd);
+        a.movImm64(R::rsi, buf);
+        a.mov(R::rdx, R::rbx);
+        a.call(fn_send_frame);
+        a.jmp(loop);
+        a.bind(finish);
+        a.mov(R::rdi, pipe_fd);
+        a.movImm64(R::rsi, buf);
+        a.mov(R::rdx, 0);
+        a.call(fn_send_frame);
+        a.mov(R::rdi, 0);
+        lib.syscall(GSYS_exit);
+        return entry;
+    }
+
+    /** Archive iteration helper: set rbx = archive base; r12 = file
+     *  count; then per index rcx: header entry at rbx + 8 + rcx*24. */
+
+    Label emitClient();
+    Label emitServer();
+    void emitInit(Label l_client, Label l_sshc_tx, Label l_sshc_rx,
+                  Label l_sshd_rx, Label l_sshd_tx, Label l_server);
+    void emitClientDelta(Label &delta_fn);
+};
+
+// ---------------------------------------------------------------------
+// Client (sender): phases b, c, d(receive), e, f
+// ---------------------------------------------------------------------
+
+/**
+ * fn_delta: compute the delta op stream for one file.
+ *   inputs (via registers):
+ *     rdi = new data pointer, rsi = new length,
+ *     rdx = blocklist record (0 = no basis -> all literal)
+ *     rcx = delta output pointer
+ *   returns rax = bytes of op stream written.
+ * The op stream is the rsync output: copy ops referencing 1024-byte
+ * blocks of the old file, literal ops carrying new bytes, then OP_END.
+ */
+void
+RsyncEmitter::emitClientDelta(Label &delta_fn)
+{
+    delta_fn = a.label();
+    // Stack frame: locals
+    //   [rsp+0]  a (rolling)      [rsp+8]  b (rolling)
+    //   [rsp+16] version          [rsp+24] nblocks
+    //   [rsp+32] lit_start        [rsp+40] saved delta base
+    a.push(R::rbx);
+    a.push(R::rbp);
+    a.push(R::r12);
+    a.push(R::r13);
+    a.push(R::r14);
+    a.push(R::r15);
+    a.sub(R::rsp, 48);
+    a.mov(R::rbx, R::rdi);     // data
+    a.mov(R::r12, R::rsi);     // len
+    a.mov(R::r13, R::rdx);     // blocklist record (or 0)
+    a.mov(R::r14, R::rcx);     // delta write ptr
+    a.mov(Mem::at(R::rsp, 40), R::rcx);
+    a.mov(R::r15, 0);          // pos
+    a.mov(Mem::at(R::rsp, 32), R::r15);  // lit_start = 0
+
+    Label all_literal = a.newLabel();
+    Label build_done = a.newLabel();
+    Label roll_outer = a.newLabel();
+    Label emit_tail = a.newLabel();
+
+    // No basis or tiny file: emit one big literal.
+    a.test(R::r13, R::r13);
+    a.jcc(COND_e, all_literal);
+    a.cmp(R::r12, (S32)BLOCK);
+    a.jcc(COND_b, all_literal);
+
+    // ---- build the weak-hash table for this file's basis ----
+    {
+        // version = ++[V_VERSION]
+        a.movImm64(R::rax, V_VERSION);
+        a.mov(R::rcx, Mem::at(R::rax));
+        a.inc(R::rcx);
+        a.mov(Mem::at(R::rax), R::rcx);
+        a.mov(Mem::at(R::rsp, 16), R::rcx);
+        a.mov(R::rdx, Mem::at(R::r13, 8));   // nblocks (full blocks)
+        a.mov(Mem::at(R::rsp, 24), R::rdx);
+        // for b = 0 .. nblocks-1: insert
+        a.mov(R::rbp, 0);
+        Label ins_loop = a.label();
+        Label ins_done = a.newLabel();
+        a.cmp(R::rbp, Mem::at(R::rsp, 24));
+        a.jcc(COND_nb, ins_done);
+        // weak = rec[16 + b*16]
+        a.mov(R::rax, R::rbp);
+        a.shl(R::rax, 4);
+        a.add(R::rax, R::r13);
+        a.mov(R::rdi, Mem::at(R::rax, 16));  // weak32
+        // entry = version32 | weakhi16<<32 | (b+1)<<48
+        a.mov(R::rcx, R::rdi);
+        a.shr(R::rcx, 16);
+        a.and_(R::rcx, 0xFFFF);
+        a.shl(R::rcx, 32);
+        a.or_(R::rcx, Mem::at(R::rsp, 16));  // version (fits 32 bits)
+        a.mov(R::rdx, R::rbp);
+        a.inc(R::rdx);
+        a.shl(R::rdx, 48);
+        a.or_(R::rcx, R::rdx);
+        // probe 8 slots from bucket = hash16(weak). Real rsync hashes
+        // the weak sum into its table; without mixing, text data's
+        // narrow rolling-sum distribution would cluster every block
+        // into a handful of buckets (and a handful of table pages).
+        a.imul(R::rax, R::rdi, (S32)0x9E3779B1);
+        a.shr(R::rax, 16);
+        a.and_(R::rax, 0xFFFF);
+        a.mov(R::rdi, R::rax);
+        a.mov(R::rsi, 0);
+        Label probe = a.label();
+        Label next_block = a.newLabel();
+        a.cmp(R::rsi, 8);
+        a.jcc(COND_e, next_block);           // table chain full: skip
+        a.mov(R::rax, R::rdi);
+        a.add(R::rax, R::rsi);
+        a.and_(R::rax, 0xFFFF);
+        a.shl(R::rax, 3);
+        a.movImm64(R::rdx, HASHTAB);
+        a.add(R::rax, R::rdx);
+        a.mov(R::rdx, Mem::at(R::rax));
+        a.mov32(R::rdx, R::rdx);             // low 32 = stored version
+        a.cmp(R::rdx, Mem::at(R::rsp, 16));
+        Label occupied = a.newLabel();
+        a.jcc(COND_e, occupied);
+        a.mov(Mem::at(R::rax), R::rcx);      // claim the slot
+        a.jmp(next_block);
+        a.bind(occupied);
+        a.inc(R::rsi);
+        a.jmp(probe);
+        a.bind(next_block);
+        a.inc(R::rbp);
+        a.jmp(ins_loop);
+        a.bind(ins_done);
+    }
+
+    // ---- rolling scan ----
+    // Initialize a,b over [0, BLOCK).
+    a.mov(R::rdi, R::rbx);
+    a.mov(R::rsi, (U64)BLOCK);
+    a.call(fn_weak);
+    a.mov(R::rcx, R::rax);
+    a.and_(R::rax, 0xFFFF);
+    a.mov(Mem::at(R::rsp, 0), R::rax);       // a
+    a.shr(R::rcx, 16);
+    a.mov(Mem::at(R::rsp, 8), R::rcx);       // b
+
+    a.bind(roll_outer);
+    {
+        // while pos + BLOCK <= len
+        a.mov(R::rax, R::r15);
+        a.add(R::rax, (S32)BLOCK);
+        a.cmp(R::rax, R::r12);
+        a.jcc(COND_nbe, emit_tail);
+
+        // weak = a | b<<16; lookup
+        a.mov(R::rdi, Mem::at(R::rsp, 8));
+        a.shl(R::rdi, 16);
+        a.or_(R::rdi, Mem::at(R::rsp, 0));   // weak32 in rdi
+        // probe
+        a.mov(R::rcx, R::rdi);
+        a.shr(R::rcx, 16);
+        a.and_(R::rcx, 0xFFFF);              // weakhi
+        a.mov(R::rsi, 0);
+        Label probe = a.label();
+        Label slide = a.newLabel();
+        Label candidate = a.newLabel();
+        Label probe_next = a.newLabel();
+        a.cmp(R::rsi, 8);
+        a.jcc(COND_e, slide);
+        a.imul(R::rax, R::rdi, (S32)0x9E3779B1);  // hash16(weak), as
+        a.shr(R::rax, 16);                        // in the insert path
+        a.and_(R::rax, 0xFFFF);
+        a.add(R::rax, R::rsi);
+        a.and_(R::rax, 0xFFFF);
+        a.shl(R::rax, 3);
+        a.movImm64(R::rdx, HASHTAB);
+        a.add(R::rax, R::rdx);
+        a.mov(R::rdx, Mem::at(R::rax));      // entry
+        a.mov(R::rbp, R::rdx);
+        a.mov32(R::rbp, R::rbp);
+        a.cmp(R::rbp, Mem::at(R::rsp, 16));  // version match?
+        a.jcc(COND_ne, slide);               // empty slot: no match
+        a.mov(R::rbp, R::rdx);
+        a.shr(R::rbp, 32);
+        a.and_(R::rbp, 0xFFFF);
+        a.cmp(R::rbp, R::rcx);               // weak-high match?
+        a.jcc(COND_e, candidate);
+        a.bind(probe_next);
+        a.inc(R::rsi);
+        a.jmp(probe);
+
+        a.bind(candidate);
+        {
+            // block index = (entry>>48) - 1; verify strong checksum.
+            a.mov(R::rbp, R::rdx);
+            a.shr(R::rbp, 48);
+            a.dec(R::rbp);                   // rbp = block idx
+            // strong from blocklist: rec[16 + idx*16 + 8]
+            a.push(R::rdi);
+            a.push(R::rcx);
+            a.push(R::rsi);
+            a.push(R::rbp);
+            a.mov(R::rdi, R::rbx);
+            a.add(R::rdi, R::r15);
+            a.mov(R::rsi, (U64)BLOCK);
+            a.call(fn_fnv);                  // strong of window
+            a.pop(R::rbp);
+            a.mov(R::rcx, R::rbp);
+            a.shl(R::rcx, 4);
+            a.add(R::rcx, R::r13);
+            a.cmp(R::rax, Mem::at(R::rcx, 24));  // 16 + 8 offset
+            a.pop(R::rsi);
+            a.pop(R::rcx);
+            a.pop(R::rdi);
+            a.jcc(COND_ne, probe_next);      // weak collision: continue
+
+            // ---- MATCH: flush pending literal, emit copy ----
+            // literal [lit_start, pos)
+            a.mov(R::rdx, R::r15);
+            a.sub(R::rdx, Mem::at(R::rsp, 32));
+            Label no_lit = a.newLabel();
+            a.test(R::rdx, R::rdx);
+            a.jcc(COND_e, no_lit);
+            // chunked literal emission
+            {
+                Label lit_loop = a.label();
+                Label lit_done = a.newLabel();
+                a.mov(R::rdx, R::r15);
+                a.sub(R::rdx, Mem::at(R::rsp, 32));
+                a.test(R::rdx, R::rdx);
+                a.jcc(COND_e, lit_done);
+                a.mov(R::rcx, (U64)MAX_PAYLOAD - 64);
+                a.cmp(R::rdx, R::rcx);
+                Label lit_sized = a.newLabel();
+                a.jcc(COND_b, lit_sized);
+                a.mov(R::rdx, R::rcx);
+                a.bind(lit_sized);
+                // [OP_LIT][u32 len][bytes]
+                a.mov(R::rax, (U64)OP_LIT);
+                a.mov8(Mem::at(R::r14), R::rax);
+                a.mov32(Mem::at(R::r14, 1), R::rdx);
+                a.lea(R::rdi, Mem::at(R::r14, 5));
+                a.mov(R::rsi, R::rbx);
+                a.add(R::rsi, Mem::at(R::rsp, 32));
+                a.push(R::rdx);
+                a.call(lib.fn_memcpy);
+                a.pop(R::rdx);
+                a.lea(R::r14, Mem::idx(R::r14, R::rdx, 1, 5));
+                a.add(Mem::at(R::rsp, 32), R::rdx);  // lit_start += n
+                a.jmp(lit_loop);
+                a.bind(lit_done);
+            }
+            a.bind(no_lit);
+            // copy op
+            a.mov(R::rax, (U64)OP_COPY);
+            a.mov8(Mem::at(R::r14), R::rax);
+            a.mov32(Mem::at(R::r14, 1), R::rbp);
+            a.add(R::r14, 5);
+            // pos += BLOCK; lit_start = pos
+            a.add(R::r15, (S32)BLOCK);
+            a.mov(Mem::at(R::rsp, 32), R::r15);
+            // re-init rolling if another window fits
+            a.mov(R::rax, R::r15);
+            a.add(R::rax, (S32)BLOCK);
+            a.cmp(R::rax, R::r12);
+            a.jcc(COND_nbe, emit_tail);
+            a.mov(R::rdi, R::rbx);
+            a.add(R::rdi, R::r15);
+            a.mov(R::rsi, (U64)BLOCK);
+            a.call(fn_weak);
+            a.mov(R::rcx, R::rax);
+            a.and_(R::rax, 0xFFFF);
+            a.mov(Mem::at(R::rsp, 0), R::rax);
+            a.shr(R::rcx, 16);
+            a.mov(Mem::at(R::rsp, 8), R::rcx);
+            a.jmp(roll_outer);
+        }
+
+        // ---- no match: slide the window one byte ----
+        a.bind(slide);
+        // a' = (a - X[pos] + X[pos+BLOCK]) & 0xFFFF
+        // b' = (b - BLOCK*X[pos] + a') & 0xFFFF
+        a.movzx8(R::rcx, Mem::idx(R::rbx, R::r15));          // X[pos]
+        a.mov(R::rax, R::r15);
+        a.add(R::rax, (S32)BLOCK);
+        a.movzx8(R::rdx, Mem::idx(R::rbx, R::rax));          // X[pos+K]
+        a.mov(R::rax, Mem::at(R::rsp, 0));
+        a.sub(R::rax, R::rcx);
+        a.add(R::rax, R::rdx);
+        a.and_(R::rax, 0xFFFF);
+        a.mov(Mem::at(R::rsp, 0), R::rax);                   // a'
+        a.mov(R::rdx, R::rcx);
+        a.shl(R::rdx, 10);                                   // BLOCK * X
+        a.mov(R::rcx, Mem::at(R::rsp, 8));
+        a.sub(R::rcx, R::rdx);
+        a.add(R::rcx, R::rax);
+        a.and_(R::rcx, 0xFFFF);
+        a.mov(Mem::at(R::rsp, 8), R::rcx);                   // b'
+        a.inc(R::r15);
+        a.jmp(roll_outer);
+    }
+
+    // ---- all-literal fallback ----
+    a.bind(all_literal);
+    a.mov(R::r15, R::r12);                   // pos = len
+    // (lit_start stays 0; fall through to the tail emitter)
+
+    // ---- emit trailing literal [lit_start, len) + OP_END ----
+    a.bind(emit_tail);
+    a.mov(R::r15, R::r12);                   // everything left
+    {
+        Label lit_loop = a.label();
+        Label lit_done = a.newLabel();
+        a.mov(R::rdx, R::r15);
+        a.sub(R::rdx, Mem::at(R::rsp, 32));
+        a.test(R::rdx, R::rdx);
+        a.jcc(COND_e, lit_done);
+        a.mov(R::rcx, (U64)MAX_PAYLOAD - 64);
+        a.cmp(R::rdx, R::rcx);
+        Label lit_sized = a.newLabel();
+        a.jcc(COND_b, lit_sized);
+        a.mov(R::rdx, R::rcx);
+        a.bind(lit_sized);
+        a.mov(R::rax, (U64)OP_LIT);
+        a.mov8(Mem::at(R::r14), R::rax);
+        a.mov32(Mem::at(R::r14, 1), R::rdx);
+        a.lea(R::rdi, Mem::at(R::r14, 5));
+        a.mov(R::rsi, R::rbx);
+        a.add(R::rsi, Mem::at(R::rsp, 32));
+        a.push(R::rdx);
+        a.call(lib.fn_memcpy);
+        a.pop(R::rdx);
+        a.lea(R::r14, Mem::idx(R::r14, R::rdx, 1, 5));
+        a.add(Mem::at(R::rsp, 32), R::rdx);
+        a.jmp(lit_loop);
+        a.bind(lit_done);
+    }
+    a.bind(build_done);
+    a.mov(R::rax, (U64)OP_END);
+    a.mov8(Mem::at(R::r14), R::rax);
+    a.inc(R::r14);
+    a.mov(R::rax, R::r14);
+    a.sub(R::rax, Mem::at(R::rsp, 40));      // bytes written
+    a.add(R::rsp, 48);
+    a.pop(R::r15);
+    a.pop(R::r14);
+    a.pop(R::r13);
+    a.pop(R::r12);
+    a.pop(R::rbp);
+    a.pop(R::rbx);
+    a.ret();
+}
+
+Label
+RsyncEmitter::emitClient()
+{
+    Label delta_fn{};
+    emitClientDelta(delta_fn);
+
+    Label entry = a.label();
+
+    // ---- phase b: ssh connect (handshake + key exchange burn) ----
+    a.mov(R::rdi, (U64)PHASE_B_SSH_CONNECT);
+    a.call(fn_marker);
+    a.movImm64(R::rax, 0x4F4C4548ULL);       // "HELO"
+    a.push(R::rax);
+    a.mov(R::rdi, P_C2T);
+    a.mov(R::rsi, R::rsp);
+    a.mov(R::rdx, 8);
+    a.call(fn_send_frame);
+    a.pop(R::rax);
+    a.mov(R::rdi, (U64)BURN_ITERS);
+    a.call(fn_burn);
+    a.mov(R::rdi, P_T2C);
+    a.movImm64(R::rsi, BUF_CLIENT);
+    a.call(fn_recv_frame);                   // EHLO reply
+
+    // ---- phase c: send the client file list ----
+    a.mov(R::rdi, (U64)PHASE_C_CLIENT_LIST);
+    a.call(fn_marker);
+    a.movImm64(R::rbx, NEW_VA);
+    a.mov(R::r12, Mem::at(R::rbx));          // file count
+    // count frame
+    a.push(R::r12);
+    a.mov(R::rdi, P_C2T);
+    a.mov(R::rsi, R::rsp);
+    a.mov(R::rdx, 8);
+    a.call(fn_send_frame);
+    a.pop(R::rax);
+    // per-file [name_hash, length]
+    a.mov(R::r13, 0);
+    {
+        Label loop = a.label();
+        Label done = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, done);
+        a.mov(R::rax, R::r13);
+        a.imul(R::rax, R::rax, 24);
+        a.lea(R::rbp, Mem::idx(R::rbx, R::rax, 1, 8));  // header entry
+        a.movImm64(R::r14, BUF_CLIENT);
+        a.mov(R::rax, Mem::at(R::rbp, 0));
+        a.mov(Mem::at(R::r14, 0), R::rax);
+        a.mov(R::rax, Mem::at(R::rbp, 16));
+        a.mov(Mem::at(R::r14, 8), R::rax);
+        a.mov(R::rdi, P_C2T);
+        a.mov(R::rsi, R::r14);
+        a.mov(R::rdx, 16);
+        a.call(fn_send_frame);
+        a.inc(R::r13);
+        a.jmp(loop);
+        a.bind(done);
+    }
+
+    // ---- phase d: receive the server's block checksums ----
+    a.mov(R::rdi, (U64)PHASE_D_SERVER_LIST);
+    a.call(fn_marker);
+    a.mov(R::r13, 0);                        // file index
+    {
+        Label loop = a.label();
+        Label done = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, done);
+        // receive into the blocklist tail; record its offset
+        a.movImm64(R::rax, V_BLTAIL);
+        a.mov(R::rbp, Mem::at(R::rax));
+        a.movImm64(R::rsi, BLOCKLIST);
+        a.add(R::rsi, R::rbp);
+        // FILETAB[i] = BLOCKLIST + tail
+        a.movImm64(R::rax, FILETAB);
+        a.mov(Mem::idx(R::rax, R::r13, 8), R::rsi);
+        a.mov(R::rdi, P_T2C);
+        a.call(fn_recv_frame);
+        a.movImm64(R::rcx, V_BLTAIL);
+        a.add(Mem::at(R::rcx), R::rax);      // tail += frame len
+        a.inc(R::r13);
+        a.jmp(loop);
+        a.bind(done);
+    }
+
+    // ---- phase e: compute all deltas (stored, then transmitted) ----
+    a.mov(R::rdi, (U64)PHASE_E_DELTAS);
+    a.call(fn_marker);
+    a.mov(R::r13, 0);
+    a.movImm64(R::r15, DELTA);               // delta region cursor
+    {
+        Label loop = a.label();
+        Label done = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, done);
+        // new file i: data ptr + len
+        a.mov(R::rax, R::r13);
+        a.imul(R::rax, R::rax, 24);
+        a.lea(R::rbp, Mem::idx(R::rbx, R::rax, 1, 8));
+        a.mov(R::rdi, Mem::at(R::rbp, 8));   // offset
+        a.add(R::rdi, R::rbx);
+        a.mov(R::rsi, Mem::at(R::rbp, 16));  // length
+        // basis: FILETAB[i] if name hashes agree
+        a.movImm64(R::rax, FILETAB);
+        a.mov(R::rdx, Mem::idx(R::rax, R::r13, 8));
+        a.mov(R::rax, Mem::at(R::rdx));      // basis name_hash
+        a.cmp(R::rax, Mem::at(R::rbp, 0));
+        Label basis_ok = a.newLabel();
+        a.jcc(COND_e, basis_ok);
+        a.mov(R::rdx, 0);                    // no basis: all literal
+        a.bind(basis_ok);
+        a.mov(R::rcx, R::r15);
+        a.call(delta_fn);                    // rax = stream bytes
+        // DELTATAB[i] = {offset(cursor), len}
+        a.movImm64(R::rcx, DELTATAB);
+        a.mov(R::rdx, R::r13);
+        a.shl(R::rdx, 4);
+        a.add(R::rcx, R::rdx);
+        a.mov(Mem::at(R::rcx, 0), R::r15);
+        a.mov(Mem::at(R::rcx, 8), R::rax);
+        a.add(R::r15, R::rax);
+        a.inc(R::r13);
+        a.jmp(loop);
+        a.bind(done);
+    }
+
+    // ---- phase f: transmit header + op stream per file ----
+    a.mov(R::rdi, (U64)PHASE_F_TRANSMIT);
+    a.call(fn_marker);
+    a.mov(R::r13, 0);
+    {
+        Label loop = a.label();
+        Label done = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, done);
+        // header frame: [name_hash][newlen][fnv(new data)]
+        a.mov(R::rax, R::r13);
+        a.imul(R::rax, R::rax, 24);
+        a.lea(R::rbp, Mem::idx(R::rbx, R::rax, 1, 8));
+        a.movImm64(R::r14, BUF_CLIENT);
+        a.mov(R::rax, Mem::at(R::rbp, 0));
+        a.mov(Mem::at(R::r14, 0), R::rax);
+        a.mov(R::rax, Mem::at(R::rbp, 16));
+        a.mov(Mem::at(R::r14, 8), R::rax);
+        a.mov(R::rdi, Mem::at(R::rbp, 8));
+        a.add(R::rdi, R::rbx);
+        a.mov(R::rsi, Mem::at(R::rbp, 16));
+        a.call(fn_fnv);
+        a.mov(Mem::at(R::r14, 16), R::rax);
+        a.mov(R::rdi, P_C2T);
+        a.mov(R::rsi, R::r14);
+        a.mov(R::rdx, 24);
+        a.call(fn_send_frame);
+        // op stream frames: walk ops, pack frames at op boundaries
+        a.movImm64(R::rcx, DELTATAB);
+        a.mov(R::rdx, R::r13);
+        a.shl(R::rdx, 4);
+        a.add(R::rcx, R::rdx);
+        a.mov(R::r14, Mem::at(R::rcx, 0));   // stream ptr
+        a.mov(R::r15, Mem::at(R::rcx, 8));   // bytes remaining
+        {
+            Label frames = a.label();
+            Label frames_done = a.newLabel();
+            a.test(R::r15, R::r15);
+            a.jcc(COND_e, frames_done);
+            // greedily take whole ops up to MAX_PAYLOAD
+            a.mov(R::rbp, 0);                // chunk bytes
+            Label scan = a.label();
+            Label flush = a.newLabel();
+            a.cmp(R::rbp, R::r15);
+            a.jcc(COND_e, flush);            // stream exhausted
+            // op size at r14+rbp
+            a.lea(R::rax, Mem::idx(R::r14, R::rbp, 1));
+            a.movzx8(R::rcx, Mem::at(R::rax));
+            a.mov(R::rdx, 1);                // OP_END size
+            a.cmp(R::rcx, (S32)OP_COPY);
+            Label sized = a.newLabel();
+            Label is_lit = a.newLabel();
+            a.jcc(COND_ne, is_lit);
+            a.mov(R::rdx, 5);
+            a.jmp(sized);
+            a.bind(is_lit);
+            a.cmp(R::rcx, (S32)OP_LIT);
+            a.jcc(COND_ne, sized);           // OP_END
+            a.mov32(R::rdx, Mem::at(R::rax, 1));
+            a.add(R::rdx, 5);
+            a.bind(sized);
+            // would it overflow the payload?
+            a.mov(R::rax, R::rbp);
+            a.add(R::rax, R::rdx);
+            a.cmp(R::rax, (S32)MAX_PAYLOAD);
+            a.jcc(COND_nbe, flush);
+            a.mov(R::rbp, R::rax);
+            a.jmp(scan);
+            a.bind(flush);
+            a.mov(R::rdi, P_C2T);
+            a.mov(R::rsi, R::r14);
+            a.mov(R::rdx, R::rbp);
+            a.call(fn_send_frame);
+            a.add(R::r14, R::rbp);
+            a.sub(R::r15, R::rbp);
+            a.jmp(frames);
+            a.bind(frames_done);
+        }
+        a.inc(R::r13);
+        a.jmp(loop);
+        a.bind(done);
+    }
+
+    // ---- end of stream; client done ----
+    a.mov(R::rdi, P_C2T);
+    a.movImm64(R::rsi, BUF_CLIENT);
+    a.mov(R::rdx, 0);
+    a.call(fn_send_frame);
+    a.mov(R::rdi, 0);
+    lib.syscall(GSYS_exit);
+    return entry;
+}
+
+// ---------------------------------------------------------------------
+// Server (receiver): checksums + reconstruction + verification
+// ---------------------------------------------------------------------
+
+Label
+RsyncEmitter::emitServer()
+{
+    Label entry = a.label();
+
+    // Handshake reply.
+    a.mov(R::rdi, P_D2S);
+    a.movImm64(R::rsi, BUF_SERVER);
+    a.call(fn_recv_frame);                   // HELO
+    a.mov(R::rdi, (U64)BURN_ITERS);
+    a.call(fn_burn);
+    a.movImm64(R::rax, 0x4F4C4845ULL);       // "EHLO"
+    a.push(R::rax);
+    a.mov(R::rdi, P_S2D);
+    a.mov(R::rsi, R::rsp);
+    a.mov(R::rdx, 8);
+    a.call(fn_send_frame);
+    a.pop(R::rax);
+
+    // Client file list: count, then per-file entries (recorded only
+    // as a structural sanity check; name hashes align by index).
+    a.mov(R::rdi, P_D2S);
+    a.movImm64(R::rsi, BUF_SERVER);
+    a.call(fn_recv_frame);
+    a.movImm64(R::rax, BUF_SERVER);
+    a.mov(R::r12, Mem::at(R::rax));          // count
+    a.mov(R::r13, 0);
+    {
+        Label loop = a.label();
+        Label done = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, done);
+        a.mov(R::rdi, P_D2S);
+        a.movImm64(R::rsi, BUF_SERVER);
+        a.call(fn_recv_frame);
+        a.inc(R::r13);
+        a.jmp(loop);
+        a.bind(done);
+    }
+
+    // ---- phase d: compute + send per-file block checksums ----
+    a.movImm64(R::rbx, OLD_VA);
+    a.mov(R::r13, 0);
+    {
+        Label loop = a.label();
+        Label done = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, done);
+        a.mov(R::rax, R::r13);
+        a.imul(R::rax, R::rax, 24);
+        a.lea(R::rbp, Mem::idx(R::rbx, R::rax, 1, 8));  // old header
+        // frame: [name_hash][nblocks][ (weak u64)(strong u64) ... ]
+        a.movImm64(R::r14, BUF_SERVER);
+        a.mov(R::rax, Mem::at(R::rbp, 0));
+        a.mov(Mem::at(R::r14, 0), R::rax);
+        a.mov(R::r15, Mem::at(R::rbp, 16));  // old length
+        a.shr(R::r15, 10);                   // full 1K blocks
+        // Cap so the frame fits the payload limit.
+        a.mov(R::rax, (U64)((MAX_PAYLOAD - 16) / 16));
+        a.cmp(R::r15, R::rax);
+        Label capped = a.newLabel();
+        a.jcc(COND_b, capped);
+        a.mov(R::r15, R::rax);
+        a.bind(capped);
+        a.mov(Mem::at(R::r14, 8), R::r15);
+        // per block
+        a.mov(R::rcx, 0);
+        {
+            Label bloop = a.label();
+            Label bdone = a.newLabel();
+            a.cmp(R::rcx, R::r15);
+            a.jcc(COND_e, bdone);
+            a.push(R::rcx);
+            // data ptr = old base + file offset + b*1024
+            a.mov(R::rdi, Mem::at(R::rbp, 8));
+            a.add(R::rdi, R::rbx);
+            a.mov(R::rax, R::rcx);
+            a.shl(R::rax, 10);
+            a.add(R::rdi, R::rax);
+            a.push(R::rdi);
+            a.mov(R::rsi, (U64)BLOCK);
+            a.call(fn_weak);
+            a.mov(R::rdx, R::rax);
+            a.pop(R::rdi)
+                ;
+            a.mov(R::rsi, (U64)BLOCK);
+            a.push(R::rdx);
+            a.call(fn_fnv);
+            a.pop(R::rdx);
+            a.pop(R::rcx);
+            // store at buf + 16 + b*16
+            a.mov(R::rsi, R::rcx);
+            a.shl(R::rsi, 4);
+            a.lea(R::rsi, Mem::idx(R::r14, R::rsi, 1, 16));
+            a.mov(Mem::at(R::rsi, 0), R::rdx);   // weak
+            a.mov(Mem::at(R::rsi, 8), R::rax);   // strong
+            a.inc(R::rcx);
+            a.jmp(bloop);
+            a.bind(bdone);
+        }
+        a.mov(R::rdi, P_S2D);
+        a.mov(R::rsi, R::r14);
+        a.mov(R::rdx, R::r15);
+        a.shl(R::rdx, 4);
+        a.add(R::rdx, 16);
+        a.call(fn_send_frame);
+        a.inc(R::r13);
+        a.jmp(loop);
+        a.bind(done);
+    }
+
+    // ---- reconstruction + verification ----
+    a.mov(R::r13, 0);                        // file index
+    {
+        Label floop = a.label();
+        Label fdone = a.newLabel();
+        a.cmp(R::r13, R::r12);
+        a.jcc(COND_e, fdone);
+        // header frame: [name_hash][newlen][expected fnv]
+        a.mov(R::rdi, P_D2S);
+        a.movImm64(R::rsi, BUF_SERVER);
+        a.call(fn_recv_frame);
+        a.movImm64(R::rax, BUF_SERVER);
+        a.mov(R::r14, Mem::at(R::rax, 8));   // newlen
+        a.mov(R::r15, Mem::at(R::rax, 16));  // expected fnv
+        a.push(R::r15);
+        a.push(R::r14);
+        // old file base (for copy ops)
+        a.mov(R::rax, R::r13);
+        a.imul(R::rax, R::rax, 24);
+        a.lea(R::rbp, Mem::idx(R::rbx, R::rax, 1, 8));
+        a.mov(R::r15, Mem::at(R::rbp, 8));
+        a.add(R::r15, R::rbx);               // r15 = old data ptr
+        // out base for this file
+        a.movImm64(R::rax, V_OUTPTR);
+        a.mov(R::r14, Mem::at(R::rax));      // r14 = out cursor
+        a.push(R::r14);                      // out base
+        // op frames (frames are packed at op boundaries; when the
+        // cursor reaches the frame length, fetch the next frame)
+        {
+            Label frames = a.label();
+            Label file_done = a.newLabel();
+            a.mov(R::rdi, P_D2S);
+            a.movImm64(R::rsi, BUF_SERVER);
+            a.call(fn_recv_frame);
+            a.push(R::rax);                  // frame length
+            a.mov(R::rbp, 0);                // offset in frame
+            Label ops = a.label();
+            a.cmp(R::rbp, Mem::at(R::rsp));
+            Label more = a.newLabel();
+            a.jcc(COND_b, more);
+            a.add(R::rsp, 8);                // frame exhausted
+            a.jmp(frames);
+            a.bind(more);
+            a.movImm64(R::rax, BUF_SERVER);
+            a.add(R::rax, R::rbp);
+            a.movzx8(R::rcx, Mem::at(R::rax));
+            a.cmp(R::rcx, (S32)OP_END);
+            a.jcc(COND_e, file_done);
+            a.cmp(R::rcx, (S32)OP_COPY);
+            Label lit = a.newLabel();
+            a.jcc(COND_ne, lit);
+            // copy 1024 bytes of old block b
+            a.mov32(R::rcx, Mem::at(R::rax, 1));
+            a.shl(R::rcx, 10);
+            a.mov(R::rsi, R::r15);
+            a.add(R::rsi, R::rcx);
+            a.mov(R::rdi, R::r14);
+            a.mov(R::rdx, (U64)BLOCK);
+            a.call(lib.fn_memcpy);
+            a.add(R::r14, (S32)BLOCK);
+            a.add(R::rbp, 5);
+            a.jmp(ops);
+            a.bind(lit);
+            // literal: [u32 len][bytes]
+            a.mov32(R::rdx, Mem::at(R::rax, 1));
+            a.lea(R::rsi, Mem::at(R::rax, 5));
+            a.mov(R::rdi, R::r14);
+            a.push(R::rdx);
+            a.call(lib.fn_memcpy);
+            a.pop(R::rdx);
+            a.add(R::r14, R::rdx);
+            a.lea(R::rbp, Mem::idx(R::rbp, R::rdx, 1, 5));
+            a.jmp(ops);
+            a.bind(file_done);
+            a.add(R::rsp, 8);                // drop the frame length
+        }
+        // verify: length + fnv (logging into the debug table)
+        a.pop(R::rsi);                       // out base
+        a.pop(R::rcx);                       // expected newlen
+        a.pop(R::rdx);                       // expected fnv
+        a.mov(R::rdi, R::r14);
+        a.sub(R::rdi, R::rsi);               // reconstructed length
+        // DEBUGTAB[i] = {newlen, reconlen, expected fnv, computed fnv}
+        a.movImm64(R::rax, DEBUGTAB);
+        a.mov(R::r8, R::r13);
+        a.shl(R::r8, 5);
+        a.add(R::r8, R::rax);
+        a.mov(Mem::at(R::r8, 0), R::rcx);
+        a.mov(Mem::at(R::r8, 8), R::rdi);
+        a.mov(Mem::at(R::r8, 16), R::rdx);
+        Label bad = a.newLabel(), good = a.newLabel();
+        a.cmp(R::rdi, R::rcx);
+        a.jcc(COND_ne, bad);
+        a.push(R::rdx);
+        a.push(R::r8);
+        a.mov(R::rdi, R::rsi);
+        a.mov(R::rsi, R::rcx);
+        a.call(fn_fnv);
+        a.pop(R::r8);
+        a.pop(R::rdx);
+        a.mov(Mem::at(R::r8, 24), R::rax);
+        a.cmp(R::rax, R::rdx);
+        a.jcc(COND_e, good);
+        a.bind(bad);
+        a.movImm64(R::rax, V_MISMATCH);
+        a.inc(Mem::at(R::rax));
+        a.bind(good);
+        // advance the shared out cursor
+        a.movImm64(R::rax, V_OUTPTR);
+        a.mov(Mem::at(R::rax), R::r14);
+        a.inc(R::r13);
+        a.jmp(floop);
+        a.bind(fdone);
+    }
+
+    // consume the end-of-stream frame, then report the result.
+    a.mov(R::rdi, P_D2S);
+    a.movImm64(R::rsi, BUF_SERVER);
+    a.call(fn_recv_frame);
+    a.movImm64(R::rax, V_MISMATCH);
+    a.mov(R::rax, Mem::at(R::rax));
+    a.push(R::rax);
+    a.mov(R::rdi, P_RES);
+    a.mov(R::rsi, R::rsp);
+    a.mov(R::rdx, 8);
+    a.call(lib.fn_write_all);        // raw 8-byte verdict (unframed)
+    a.pop(R::rax);
+    a.mov(R::rdi, 0);
+    lib.syscall(GSYS_exit);
+    return entry;
+}
+
+// ---------------------------------------------------------------------
+// Init / launcher
+// ---------------------------------------------------------------------
+
+void
+RsyncEmitter::emitInit(Label l_client, Label l_sshc_tx, Label l_sshc_rx,
+                       Label l_sshd_rx, Label l_sshd_tx, Label l_server)
+{
+    // phase a: page in both archives from the virtual disk.
+    a.mov(R::rdi, (U64)PHASE_A_STARTUP);
+    a.call(fn_marker);
+    a.mov(R::rdi, 0);
+    a.mov(R::rsi, old_sectors);
+    a.movImm64(R::rdx, OLD_VA);
+    lib.syscall(GSYS_disk_read);
+    a.mov(R::rdi, old_sectors);
+    a.mov(R::rsi, new_sectors);
+    a.movImm64(R::rdx, NEW_VA);
+    lib.syscall(GSYS_disk_read);
+
+    // Initialize the reconstruction cursor.
+    a.movImm64(R::rax, V_OUTPTR);
+    a.movImm64(R::rcx, OUT_VA);
+    a.mov(Mem::at(R::rax), R::rcx);
+
+    // Spawn the pipeline: client, 4 ssh relays, server.
+    for (Label entry : {l_client, l_sshc_tx, l_sshc_rx, l_sshd_rx,
+                        l_sshd_tx, l_server}) {
+        a.movLabel(R::rdi, entry);
+        a.mov(R::rsi, 0);
+        lib.syscall(GSYS_spawn);
+    }
+
+    // Await the server's verdict.
+    a.sub(R::rsp, 16);
+    a.mov(R::rdi, P_RES);
+    a.mov(R::rsi, R::rsp);
+    a.mov(R::rdx, 8);
+    a.call(lib.fn_read_exact);
+    a.mov(R::rbx, Mem::at(R::rsp));
+    a.add(R::rsp, 16);
+
+    // phase g: shutdown wait, then exit with the mismatch count.
+    a.mov(R::rdi, (U64)PHASE_G_SHUTDOWN);
+    a.call(fn_marker);
+    a.mov(R::rdi, 2);
+    lib.syscall(GSYS_sleep);
+    a.mov(R::rdi, R::rbx);
+    lib.syscall(GSYS_exit);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// RsyncBench: host-side assembly of the whole benchmark
+// ---------------------------------------------------------------------
+
+RsyncBench::RsyncBench(const SimConfig &config, const FileSetParams &files)
+    : files_(generateFileSet(files))
+{
+    SimConfig cfg = config;
+    cfg.guest_mem_bytes = std::max<U64>(cfg.guest_mem_bytes, 96ULL << 20);
+    machine_ = std::make_unique<Machine>(cfg);
+    builder_ = std::make_unique<KernelBuilder>(*machine_);
+    builder_->setUserDataBytes(0x2000000);   // 32 MB: archives + meta
+
+    if (files_.old_archive.size() > 0x800000
+        || files_.new_archive.size() > 0x400000)
+        fatal("rsync file set too large for the guest layout "
+              "(delta region bounds the new archive at 4 MB)");
+
+    // Pack the disk image: old archive at sector 0, new following.
+    old_sectors = alignUp(files_.old_archive.size(), DISK_SECTOR_BYTES)
+                  / DISK_SECTOR_BYTES;
+    new_sectors = alignUp(files_.new_archive.size(), DISK_SECTOR_BYTES)
+                  / DISK_SECTOR_BYTES;
+    std::vector<U8> disk((old_sectors + new_sectors) * DISK_SECTOR_BYTES,
+                         0);
+    std::copy(files_.old_archive.begin(), files_.old_archive.end(),
+              disk.begin());
+    std::copy(files_.new_archive.begin(), files_.new_archive.end(),
+              disk.begin() + old_sectors * DISK_SECTOR_BYTES);
+    machine_->disk().setImage(std::move(disk));
+
+    emitGuest();
+    machine_->finalizeCores();
+
+    // Host-side initialization of the workload variables: matching
+    // cipher seeds for each tunnel direction, zeroed counters.
+    Context kctx;
+    kctx.cr3 = builder_->taskCr3(0);
+    kctx.kernel_mode = true;
+    AddressSpace &as = machine_->addressSpace();
+    auto store = [&](U64 va, U64 v) {
+        GuestAccess acc = guestWrite(as, kctx, va, 8, v);
+        ptl_assert(acc.ok());
+    };
+    store(V_KEY_C2S_TX, 0x5E55C0DE5EEDULL);
+    store(V_KEY_C2S_RX, 0x5E55C0DE5EEDULL);
+    store(V_KEY_S2C_TX, 0xD0D0CACA2222ULL);
+    store(V_KEY_S2C_RX, 0xD0D0CACA2222ULL);
+    store(V_VERSION, 0);
+    store(V_MISMATCH, 0);
+    store(V_OUTPTR, OUT_VA);
+    store(V_BLTAIL, 0);
+}
+
+RsyncBench::~RsyncBench() = default;
+
+void
+RsyncBench::emitGuest()
+{
+    Assembler &ua = builder_->userAsm();
+    GuestLib lib(ua);
+    Label lib_skip = ua.newLabel();
+    ua.jmp(lib_skip);
+    lib.emitRuntime();
+    ua.bind(lib_skip);
+    Label main_skip = ua.newLabel();
+    ua.jmp(main_skip);
+    RsyncEmitter emitter(ua, lib);
+    // emit() internally jumps over the bodies and binds init last.
+    RsyncEmitter::Entries entries = emitter.emit(old_sectors, new_sectors);
+    ua.bind(main_skip);
+    // Jump from the image entry to init.
+    Label boot = ua.label();
+    (void)boot;
+    ua.movImm64(R::rax, entries.init);
+    ua.jmp(R::rax);
+    builder_->setInitTask(ua.labelVa(main_skip), 0);
+    builder_->build();
+}
+
+RsyncBench::Result
+RsyncBench::run(U64 max_cycles)
+{
+    Result out;
+    Machine::RunResult r = machine_->run(max_cycles);
+    out.shutdown = r.shutdown;
+    out.mismatches = r.exit_code;
+    out.cycles = machine_->timeKeeper().cycle();
+    return out;
+}
+
+}  // namespace ptl

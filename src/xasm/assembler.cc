@@ -1,0 +1,919 @@
+#include "xasm/assembler.h"
+
+#include <cstring>
+
+namespace ptl {
+
+namespace {
+
+inline int rnum(R r) { return (int)r; }
+inline int xnum(X x) { return (int)x; }
+
+inline U8
+scaleLog(U8 scale)
+{
+    switch (scale) {
+      case 1: return 0;
+      case 2: return 1;
+      case 4: return 2;
+      case 8: return 3;
+    }
+    panic("invalid SIB scale %d", scale);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Labels, layout, fixups
+// ---------------------------------------------------------------------
+
+Label
+Assembler::newLabel()
+{
+    Label l;
+    l.id = (int)label_pos.size();
+    label_pos.push_back(-1);
+    return l;
+}
+
+void
+Assembler::bind(Label l)
+{
+    ptl_assert(l.valid() && (size_t)l.id < label_pos.size());
+    ptl_assert(label_pos[l.id] < 0);
+    label_pos[l.id] = (S64)code.size();
+}
+
+U64
+Assembler::labelVa(Label l) const
+{
+    ptl_assert(l.valid() && label_pos[l.id] >= 0);
+    return base + (U64)label_pos[l.id];
+}
+
+void
+Assembler::align(unsigned boundary, U8 fill)
+{
+    while ((base + code.size()) % boundary != 0)
+        code.push_back(fill);
+}
+
+void
+Assembler::dbs(const void *data, size_t n)
+{
+    const U8 *p = (const U8 *)data;
+    code.insert(code.end(), p, p + n);
+}
+
+void
+Assembler::dd(U32 v)
+{
+    for (int i = 0; i < 4; i++)
+        code.push_back((U8)(v >> (i * 8)));
+}
+
+void
+Assembler::dq(U64 v)
+{
+    for (int i = 0; i < 8; i++)
+        code.push_back((U8)(v >> (i * 8)));
+}
+
+void
+Assembler::dq(Label l)
+{
+    fixups.push_back({code.size(), l.id, true});
+    dq(0);
+}
+
+void
+Assembler::space(size_t n, U8 fill)
+{
+    code.insert(code.end(), n, fill);
+}
+
+std::vector<U8>
+Assembler::finalize()
+{
+    ptl_assert(!finalized);
+    finalized = true;
+    for (const Fixup &f : fixups) {
+        if (label_pos[f.label] < 0)
+            fatal("assembler: unbound label %d", f.label);
+        U64 target = base + (U64)label_pos[f.label];
+        if (f.absolute64) {
+            for (int i = 0; i < 8; i++)
+                code[f.offset + i] = (U8)(target >> (i * 8));
+        } else {
+            S64 rel = (S64)target - (S64)(base + f.offset + 4);
+            if (rel < INT32_MIN || rel > INT32_MAX)
+                fatal("assembler: rel32 out of range");
+            for (int i = 0; i < 4; i++)
+                code[f.offset + i] = (U8)((U64)rel >> (i * 8));
+        }
+    }
+    return code;
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------
+
+void
+Assembler::emitRex(bool w, int reg, int index, int base_reg, bool force)
+{
+    U8 rex = 0x40 | ((U8)w << 3) | (((reg >> 3) & 1) << 2)
+             | (((index >> 3) & 1) << 1) | ((base_reg >> 3) & 1);
+    if (rex != 0x40 || force)
+        code.push_back(rex);
+}
+
+void
+Assembler::emitModRmMem(int reg, const Mem &m)
+{
+    int b = rnum(m.base);
+    bool need_sib = m.has_index || (b & 7) == 4;  // rsp/r12 base forces SIB
+    U8 mod;
+    bool disp8 = false, disp32 = false;
+    if (m.disp == 0 && (b & 7) != 5) {            // rbp/r13 need a disp
+        mod = 0;
+    } else if (m.disp >= -128 && m.disp <= 127) {
+        mod = 1;
+        disp8 = true;
+    } else {
+        mod = 2;
+        disp32 = true;
+    }
+    if (need_sib) {
+        code.push_back((U8)((mod << 6) | ((reg & 7) << 3) | 4));
+        int idx = m.has_index ? rnum(m.index) : 4;  // 4 = no index
+        if (m.has_index)
+            ptl_assert(m.index != R::rsp);
+        code.push_back((U8)((scaleLog(m.has_index ? m.scale : 1) << 6)
+                            | ((idx & 7) << 3) | (b & 7)));
+    } else {
+        code.push_back((U8)((mod << 6) | ((reg & 7) << 3) | (b & 7)));
+    }
+    if (disp8) {
+        code.push_back((U8)(S8)m.disp);
+    } else if (disp32) {
+        dd((U32)m.disp);
+    }
+}
+
+void
+Assembler::emitModRmReg(int reg, int rm)
+{
+    code.push_back((U8)(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void
+Assembler::emitRel32(Label target)
+{
+    fixups.push_back({code.size(), target.id, false});
+    dd(0);
+}
+
+void
+Assembler::aluRR(U8 opcode, R dst, R src)
+{
+    emitRex(true, rnum(src), 0, rnum(dst));
+    code.push_back(opcode);
+    emitModRmReg(rnum(src), rnum(dst));
+}
+
+void
+Assembler::aluRI(unsigned ext, R dst, S32 imm)
+{
+    emitRex(true, 0, 0, rnum(dst));
+    if (imm >= -128 && imm <= 127) {
+        code.push_back(0x83);
+        emitModRmReg((int)ext, rnum(dst));
+        code.push_back((U8)(S8)imm);
+    } else {
+        code.push_back(0x81);
+        emitModRmReg((int)ext, rnum(dst));
+        dd((U32)imm);
+    }
+}
+
+void
+Assembler::shiftImm(unsigned ext, R r, U8 count)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0xC1);
+    emitModRmReg((int)ext, rnum(r));
+    code.push_back(count);
+}
+
+void
+Assembler::shiftCl(unsigned ext, R r)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0xD3);
+    emitModRmReg((int)ext, rnum(r));
+}
+
+// ---------------------------------------------------------------------
+// Moves
+// ---------------------------------------------------------------------
+
+void
+Assembler::mov(R dst, R src)
+{
+    aluRR(0x89, dst, src);
+}
+
+void
+Assembler::mov32(R dst, R src)
+{
+    emitRex(false, rnum(src), 0, rnum(dst));
+    code.push_back(0x89);
+    emitModRmReg(rnum(src), rnum(dst));
+}
+
+void
+Assembler::mov(R dst, U64 imm)
+{
+    if (imm <= 0x7fffffffULL) {
+        // mov r32, imm32 zero-extends: shortest form.
+        emitRex(false, 0, 0, rnum(dst));
+        code.push_back((U8)(0xB8 + (rnum(dst) & 7)));
+        dd((U32)imm);
+    } else if ((S64)imm >= INT32_MIN && (S64)imm < 0) {
+        emitRex(true, 0, 0, rnum(dst));
+        code.push_back(0xC7);
+        emitModRmReg(0, rnum(dst));
+        dd((U32)imm);
+    } else if (imm <= 0xffffffffULL) {
+        emitRex(false, 0, 0, rnum(dst));
+        code.push_back((U8)(0xB8 + (rnum(dst) & 7)));
+        dd((U32)imm);
+    } else {
+        movImm64(dst, imm);
+    }
+}
+
+void
+Assembler::movImm64(R dst, U64 imm)
+{
+    emitRex(true, 0, 0, rnum(dst));
+    code.push_back((U8)(0xB8 + (rnum(dst) & 7)));
+    dq(imm);
+}
+
+void
+Assembler::movLabel(R dst, Label l)
+{
+    emitRex(true, 0, 0, rnum(dst));
+    code.push_back((U8)(0xB8 + (rnum(dst) & 7)));
+    fixups.push_back({code.size(), l.id, true});
+    dq(0);
+}
+
+void
+Assembler::mov(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x8B);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::mov(Mem dst, R src)
+{
+    emitRex(true, rnum(src), dst.has_index ? rnum(dst.index) : 0,
+            rnum(dst.base));
+    code.push_back(0x89);
+    emitModRmMem(rnum(src), dst);
+}
+
+void
+Assembler::mov32(R dst, Mem src)
+{
+    emitRex(false, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x8B);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::mov32(Mem dst, R src)
+{
+    emitRex(false, rnum(src), dst.has_index ? rnum(dst.index) : 0,
+            rnum(dst.base));
+    code.push_back(0x89);
+    emitModRmMem(rnum(src), dst);
+}
+
+void
+Assembler::mov8(R dst, Mem src)
+{
+    emitRex(false, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base), true);
+    code.push_back(0x8A);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::mov8(Mem dst, R src)
+{
+    emitRex(false, rnum(src), dst.has_index ? rnum(dst.index) : 0,
+            rnum(dst.base), true);
+    code.push_back(0x88);
+    emitModRmMem(rnum(src), dst);
+}
+
+void
+Assembler::mov16(Mem dst, R src)
+{
+    code.push_back(0x66);
+    emitRex(false, rnum(src), dst.has_index ? rnum(dst.index) : 0,
+            rnum(dst.base));
+    code.push_back(0x89);
+    emitModRmMem(rnum(src), dst);
+}
+
+void
+Assembler::movzx8(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x0F);
+    code.push_back(0xB6);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::movzx16(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x0F);
+    code.push_back(0xB7);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::movsx8(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x0F);
+    code.push_back(0xBE);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::movsx16(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x0F);
+    code.push_back(0xBF);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::movsxd(R dst, R src)
+{
+    emitRex(true, rnum(dst), 0, rnum(src));
+    code.push_back(0x63);
+    emitModRmReg(rnum(dst), rnum(src));
+}
+
+void
+Assembler::movStoreImm32(Mem dst, S32 imm)
+{
+    emitRex(true, 0, dst.has_index ? rnum(dst.index) : 0, rnum(dst.base));
+    code.push_back(0xC7);
+    emitModRmMem(0, dst);
+    dd((U32)imm);
+}
+
+void
+Assembler::lea(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x8D);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::xchg(R reg, Mem m)
+{
+    emitRex(true, rnum(reg), m.has_index ? rnum(m.index) : 0, rnum(m.base));
+    code.push_back(0x87);
+    emitModRmMem(rnum(reg), m);
+}
+
+// ---------------------------------------------------------------------
+// Integer ALU
+// ---------------------------------------------------------------------
+
+void Assembler::add(R dst, R src) { aluRR(0x01, dst, src); }
+void Assembler::add(R dst, S32 imm) { aluRI(0, dst, imm); }
+
+void
+Assembler::add(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x03);
+    emitModRmMem(rnum(dst), src);
+}
+
+void
+Assembler::add(Mem dst, R src)
+{
+    emitRex(true, rnum(src), dst.has_index ? rnum(dst.index) : 0,
+            rnum(dst.base));
+    code.push_back(0x01);
+    emitModRmMem(rnum(src), dst);
+}
+
+void Assembler::sub(R dst, R src) { aluRR(0x29, dst, src); }
+void Assembler::sub(R dst, S32 imm) { aluRI(5, dst, imm); }
+
+void
+Assembler::sub(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x2B);
+    emitModRmMem(rnum(dst), src);
+}
+void Assembler::adc(R dst, R src) { aluRR(0x11, dst, src); }
+void Assembler::adc(R dst, S32 imm) { aluRI(2, dst, imm); }
+void Assembler::sbb(R dst, R src) { aluRR(0x19, dst, src); }
+void Assembler::sbb(R dst, S32 imm) { aluRI(3, dst, imm); }
+void Assembler::and_(R dst, R src) { aluRR(0x21, dst, src); }
+void Assembler::and_(R dst, S32 imm) { aluRI(4, dst, imm); }
+void Assembler::or_(R dst, R src) { aluRR(0x09, dst, src); }
+void Assembler::or_(R dst, S32 imm) { aluRI(1, dst, imm); }
+
+void
+Assembler::or_(R dst, Mem src)
+{
+    emitRex(true, rnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x0B);
+    emitModRmMem(rnum(dst), src);
+}
+void Assembler::xor_(R dst, R src) { aluRR(0x31, dst, src); }
+void Assembler::xor_(R dst, S32 imm) { aluRI(6, dst, imm); }
+void Assembler::cmp(R a, R b) { aluRR(0x39, a, b); }
+void Assembler::cmp(R a, S32 imm) { aluRI(7, a, imm); }
+
+void
+Assembler::cmp8(Mem a, S8 imm)
+{
+    emitRex(false, 7, a.has_index ? rnum(a.index) : 0, rnum(a.base));
+    code.push_back(0x80);
+    emitModRmMem(7, a);
+    code.push_back((U8)imm);
+}
+
+void
+Assembler::cmp(R a, Mem b)
+{
+    emitRex(true, rnum(a), b.has_index ? rnum(b.index) : 0, rnum(b.base));
+    code.push_back(0x3B);
+    emitModRmMem(rnum(a), b);
+}
+
+void Assembler::test(R a, R b) { aluRR(0x85, a, b); }
+
+void
+Assembler::test(R a, S32 imm)
+{
+    emitRex(true, 0, 0, rnum(a));
+    code.push_back(0xF7);
+    emitModRmReg(0, rnum(a));
+    dd((U32)imm);
+}
+
+void
+Assembler::inc(R r)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0xFF);
+    emitModRmReg(0, rnum(r));
+}
+
+void
+Assembler::dec(R r)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0xFF);
+    emitModRmReg(1, rnum(r));
+}
+
+void
+Assembler::inc(Mem m)
+{
+    emitRex(true, 0, m.has_index ? rnum(m.index) : 0, rnum(m.base));
+    code.push_back(0xFF);
+    emitModRmMem(0, m);
+}
+
+void
+Assembler::neg(R r)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0xF7);
+    emitModRmReg(3, rnum(r));
+}
+
+void
+Assembler::not_(R r)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0xF7);
+    emitModRmReg(2, rnum(r));
+}
+
+void
+Assembler::imul(R dst, R src)
+{
+    emitRex(true, rnum(dst), 0, rnum(src));
+    code.push_back(0x0F);
+    code.push_back(0xAF);
+    emitModRmReg(rnum(dst), rnum(src));
+}
+
+void
+Assembler::imul(R dst, R src, S32 imm)
+{
+    emitRex(true, rnum(dst), 0, rnum(src));
+    if (imm >= -128 && imm <= 127) {
+        code.push_back(0x6B);
+        emitModRmReg(rnum(dst), rnum(src));
+        code.push_back((U8)(S8)imm);
+    } else {
+        code.push_back(0x69);
+        emitModRmReg(rnum(dst), rnum(src));
+        dd((U32)imm);
+    }
+}
+
+void
+Assembler::mul(R src)
+{
+    emitRex(true, 0, 0, rnum(src));
+    code.push_back(0xF7);
+    emitModRmReg(4, rnum(src));
+}
+
+void
+Assembler::div(R src)
+{
+    emitRex(true, 0, 0, rnum(src));
+    code.push_back(0xF7);
+    emitModRmReg(6, rnum(src));
+}
+
+void
+Assembler::idiv(R src)
+{
+    emitRex(true, 0, 0, rnum(src));
+    code.push_back(0xF7);
+    emitModRmReg(7, rnum(src));
+}
+
+void Assembler::shl(R r, U8 count) { shiftImm(4, r, count); }
+void Assembler::shr(R r, U8 count) { shiftImm(5, r, count); }
+void Assembler::sar(R r, U8 count) { shiftImm(7, r, count); }
+void Assembler::shlCl(R r) { shiftCl(4, r); }
+void Assembler::shrCl(R r) { shiftCl(5, r); }
+void Assembler::sarCl(R r) { shiftCl(7, r); }
+void Assembler::rol(R r, U8 count) { shiftImm(0, r, count); }
+void Assembler::ror(R r, U8 count) { shiftImm(1, r, count); }
+
+void
+Assembler::bsf(R dst, R src)
+{
+    emitRex(true, rnum(dst), 0, rnum(src));
+    code.push_back(0x0F);
+    code.push_back(0xBC);
+    emitModRmReg(rnum(dst), rnum(src));
+}
+
+void
+Assembler::bsr(R dst, R src)
+{
+    emitRex(true, rnum(dst), 0, rnum(src));
+    code.push_back(0x0F);
+    code.push_back(0xBD);
+    emitModRmReg(rnum(dst), rnum(src));
+}
+
+void
+Assembler::bswap(R r)
+{
+    emitRex(true, 0, 0, rnum(r));
+    code.push_back(0x0F);
+    code.push_back((U8)(0xC8 + (rnum(r) & 7)));
+}
+
+// ---------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------
+
+void
+Assembler::jmp(Label target)
+{
+    code.push_back(0xE9);
+    emitRel32(target);
+}
+
+void
+Assembler::jmp(R target)
+{
+    emitRex(false, 0, 0, rnum(target));
+    code.push_back(0xFF);
+    emitModRmReg(4, rnum(target));
+}
+
+void
+Assembler::jcc(CondCode cc, Label target)
+{
+    ptl_assert(cc <= COND_nle);
+    code.push_back(0x0F);
+    code.push_back((U8)(0x80 + cc));
+    emitRel32(target);
+}
+
+void
+Assembler::call(Label target)
+{
+    code.push_back(0xE8);
+    emitRel32(target);
+}
+
+void
+Assembler::call(R target)
+{
+    emitRex(false, 0, 0, rnum(target));
+    code.push_back(0xFF);
+    emitModRmReg(2, rnum(target));
+}
+
+void
+Assembler::ret()
+{
+    code.push_back(0xC3);
+}
+
+void
+Assembler::setcc(CondCode cc, R dst8)
+{
+    ptl_assert(cc <= COND_nle);
+    emitRex(false, 0, 0, rnum(dst8), true);
+    code.push_back(0x0F);
+    code.push_back((U8)(0x90 + cc));
+    emitModRmReg(0, rnum(dst8));
+    // Zero-extend the byte into the full register.
+    emitRex(true, rnum(dst8), 0, rnum(dst8));
+    code.push_back(0x0F);
+    code.push_back(0xB6);
+    emitModRmReg(rnum(dst8), rnum(dst8));
+}
+
+void
+Assembler::cmovcc(CondCode cc, R dst, R src)
+{
+    ptl_assert(cc <= COND_nle);
+    emitRex(true, rnum(dst), 0, rnum(src));
+    code.push_back(0x0F);
+    code.push_back((U8)(0x40 + cc));
+    emitModRmReg(rnum(dst), rnum(src));
+}
+
+// ---------------------------------------------------------------------
+// Stack / string / atomics / system
+// ---------------------------------------------------------------------
+
+void
+Assembler::push(R r)
+{
+    emitRex(false, 0, 0, rnum(r));
+    code.push_back((U8)(0x50 + (rnum(r) & 7)));
+}
+
+void
+Assembler::pop(R r)
+{
+    emitRex(false, 0, 0, rnum(r));
+    code.push_back((U8)(0x58 + (rnum(r) & 7)));
+}
+
+void Assembler::pushfq() { code.push_back(0x9C); }
+void Assembler::popfq() { code.push_back(0x9D); }
+
+void
+Assembler::repMovsb()
+{
+    code.push_back(0xF3);
+    code.push_back(0xA4);
+}
+
+void
+Assembler::repStosb()
+{
+    code.push_back(0xF3);
+    code.push_back(0xAA);
+}
+
+void Assembler::cld() { code.push_back(0xFC); }
+
+void
+Assembler::lockXadd(Mem m, R src)
+{
+    code.push_back(0xF0);
+    emitRex(true, rnum(src), m.has_index ? rnum(m.index) : 0, rnum(m.base));
+    code.push_back(0x0F);
+    code.push_back(0xC1);
+    emitModRmMem(rnum(src), m);
+}
+
+void
+Assembler::lockCmpxchg(Mem m, R src)
+{
+    code.push_back(0xF0);
+    emitRex(true, rnum(src), m.has_index ? rnum(m.index) : 0, rnum(m.base));
+    code.push_back(0x0F);
+    code.push_back(0xB1);
+    emitModRmMem(rnum(src), m);
+}
+
+void
+Assembler::lockAdd(Mem m, R src)
+{
+    code.push_back(0xF0);
+    emitRex(true, rnum(src), m.has_index ? rnum(m.index) : 0, rnum(m.base));
+    code.push_back(0x01);
+    emitModRmMem(rnum(src), m);
+}
+
+void
+Assembler::lockInc(Mem m)
+{
+    code.push_back(0xF0);
+    emitRex(true, 0, m.has_index ? rnum(m.index) : 0, rnum(m.base));
+    code.push_back(0xFF);
+    emitModRmMem(0, m);
+}
+
+void Assembler::syscall() { code.push_back(0x0F); code.push_back(0x05); }
+void Assembler::sysret() { code.push_back(0x0F); code.push_back(0x07); }
+void Assembler::hypercall() { code.push_back(0x0F); code.push_back(0x34); }
+void Assembler::ptlcall() { code.push_back(0x0F); code.push_back(0x37); }
+void Assembler::hlt() { code.push_back(0xF4); }
+void Assembler::rdtsc() { code.push_back(0x0F); code.push_back(0x31); }
+void Assembler::cpuid() { code.push_back(0x0F); code.push_back(0xA2); }
+void Assembler::iretq() { code.push_back(0x48); code.push_back(0xCF); }
+void Assembler::cli() { code.push_back(0xFA); }
+void Assembler::sti() { code.push_back(0xFB); }
+void Assembler::nop() { code.push_back(0x90); }
+void Assembler::pause() { code.push_back(0xF3); code.push_back(0x90); }
+void Assembler::ud2() { code.push_back(0x0F); code.push_back(0x0B); }
+
+// ---------------------------------------------------------------------
+// Scalar SSE / x87
+// ---------------------------------------------------------------------
+
+void
+Assembler::movsd(X dst, Mem src)
+{
+    code.push_back(0xF2);
+    emitRex(false, xnum(dst), src.has_index ? rnum(src.index) : 0,
+            rnum(src.base));
+    code.push_back(0x0F);
+    code.push_back(0x10);
+    emitModRmMem(xnum(dst), src);
+}
+
+void
+Assembler::movsd(Mem dst, X src)
+{
+    code.push_back(0xF2);
+    emitRex(false, xnum(src), dst.has_index ? rnum(dst.index) : 0,
+            rnum(dst.base));
+    code.push_back(0x0F);
+    code.push_back(0x11);
+    emitModRmMem(xnum(src), dst);
+}
+
+void
+Assembler::movqXR(X dst, R src)
+{
+    code.push_back(0x66);
+    emitRex(true, xnum(dst), 0, rnum(src));
+    code.push_back(0x0F);
+    code.push_back(0x6E);
+    emitModRmReg(xnum(dst), rnum(src));
+}
+
+void
+Assembler::movqRX(R dst, X src)
+{
+    code.push_back(0x66);
+    emitRex(true, xnum(src), 0, rnum(dst));
+    code.push_back(0x0F);
+    code.push_back(0x7E);
+    emitModRmReg(xnum(src), rnum(dst));
+}
+
+namespace {
+
+void
+sseArith(std::vector<U8> &code, U8 opcode, X dst, X src,
+         void (*rex)(std::vector<U8> &, int, int))
+{
+    code.push_back(0xF2);
+    rex(code, xnum(dst), xnum(src));
+    code.push_back(0x0F);
+    code.push_back(opcode);
+    code.push_back((U8)(0xC0 | ((xnum(dst) & 7) << 3) | (xnum(src) & 7)));
+}
+
+void
+sseRex(std::vector<U8> &code, int reg, int rm)
+{
+    U8 rex = 0x40 | (((reg >> 3) & 1) << 2) | ((rm >> 3) & 1);
+    if (rex != 0x40)
+        code.push_back(rex);
+}
+
+}  // namespace
+
+void Assembler::addsd(X dst, X src) { sseArith(code, 0x58, dst, src, sseRex); }
+void Assembler::subsd(X dst, X src) { sseArith(code, 0x5C, dst, src, sseRex); }
+void Assembler::mulsd(X dst, X src) { sseArith(code, 0x59, dst, src, sseRex); }
+void Assembler::divsd(X dst, X src) { sseArith(code, 0x5E, dst, src, sseRex); }
+void Assembler::sqrtsd(X dst, X src) { sseArith(code, 0x51, dst, src, sseRex); }
+
+void
+Assembler::comisd(X a, X b)
+{
+    code.push_back(0x66);
+    sseRex(code, xnum(a), xnum(b));
+    code.push_back(0x0F);
+    code.push_back(0x2F);
+    code.push_back((U8)(0xC0 | ((xnum(a) & 7) << 3) | (xnum(b) & 7)));
+}
+
+void
+Assembler::cvtsi2sd(X dst, R src)
+{
+    code.push_back(0xF2);
+    emitRex(true, xnum(dst), 0, rnum(src));
+    code.push_back(0x0F);
+    code.push_back(0x2A);
+    emitModRmReg(xnum(dst), rnum(src));
+}
+
+void
+Assembler::cvttsd2si(R dst, X src)
+{
+    code.push_back(0xF2);
+    emitRex(true, rnum(dst), 0, xnum(src));
+    code.push_back(0x0F);
+    code.push_back(0x2C);
+    emitModRmReg(rnum(dst), xnum(src));
+}
+
+void
+Assembler::fldQ(Mem src)
+{
+    emitRex(false, 0, src.has_index ? rnum(src.index) : 0, rnum(src.base));
+    code.push_back(0xDD);
+    emitModRmMem(0, src);
+}
+
+void
+Assembler::fstpQ(Mem dst)
+{
+    emitRex(false, 3, dst.has_index ? rnum(dst.index) : 0, rnum(dst.base));
+    code.push_back(0xDD);
+    emitModRmMem(3, dst);
+}
+
+void
+Assembler::faddp()
+{
+    code.push_back(0xDE);
+    code.push_back(0xC1);
+}
+
+void
+Assembler::fmulp()
+{
+    code.push_back(0xDE);
+    code.push_back(0xC9);
+}
+
+}  // namespace ptl

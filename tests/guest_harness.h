@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Shared test harness: assembles guest code, builds a page-table-backed
+ * address space, and runs it on a FunctionalEngine with a stub system
+ * interface. Used by the decode/exec/core test suites.
+ */
+
+#ifndef PTLSIM_TESTS_GUEST_HARNESS_H_
+#define PTLSIM_TESTS_GUEST_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/seqcore.h"
+#include "lib/logging.h"
+#include "xasm/assembler.h"
+
+namespace ptl {
+
+/** Minimal SystemInterface for bare-metal style tests. */
+class StubSystem : public SystemInterface
+{
+  public:
+    explicit StubSystem(BasicBlockCache &bbcache) : bbcache(&bbcache) {}
+
+    U64
+    hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3) override
+    {
+        hypercalls.push_back({nr, a1, a2, a3});
+        return hypercall_result;
+    }
+
+    U64 readTsc(const Context &ctx) override { return tsc += 100; }
+
+    void vcpuBlock(Context &ctx) override { ctx.running = false; }
+
+    U64
+    ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2) override
+    {
+        ptlcalls.push_back(op);
+        return 0;
+    }
+
+    void notifyCodeWrite(U64 mfn) override { bbcache->invalidateMfn(mfn); }
+
+    bool isCodeMfn(U64 mfn) const override { return bbcache->isCodeMfn(mfn); }
+
+    struct Call { U64 nr, a1, a2, a3; };
+    std::vector<Call> hypercalls;
+    std::vector<U64> ptlcalls;
+    U64 hypercall_result = 0;
+    U64 tsc = 0;
+
+  private:
+    BasicBlockCache *bbcache;
+};
+
+/** Assemble-and-run fixture. */
+class GuestRunner
+{
+  public:
+    static constexpr U64 CODE_BASE = 0x400000;
+    static constexpr U64 DATA_BASE = 0x600000;
+    static constexpr U64 STACK_TOP = 0x800000;
+
+    GuestRunner()
+        : mem(32 << 20, 7, true), aspace(mem), bbcache(aspace, stats),
+          sys(bbcache)
+    {
+        cr3 = aspace.createRoot();
+        aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE,
+                        Pte::RW | Pte::US);
+        aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
+                        Pte::RW | Pte::US | Pte::NX);
+        aspace.mapRange(cr3, STACK_TOP - 64 * PAGE_SIZE, 64 * PAGE_SIZE,
+                        Pte::RW | Pte::US | Pte::NX);
+        ctx.cr3 = cr3;
+        ctx.kernel_mode = true;   // bare-metal style by default
+        ctx.regs[REG_rsp] = STACK_TOP - 64;
+        engine = std::make_unique<FunctionalEngine>(ctx, aspace, bbcache,
+                                                    sys, stats, "");
+    }
+
+    /** Write an assembled image at its base VA and point RIP at it. */
+    void
+    load(Assembler &assembler)
+    {
+        std::vector<U8> image = assembler.finalize();
+        writeGuest(assembler.baseVa(), image.data(), image.size());
+        ctx.rip = assembler.baseVa();
+    }
+
+    void
+    writeGuest(U64 va, const void *data, size_t n)
+    {
+        const U8 *p = (const U8 *)data;
+        for (size_t i = 0; i < n; i++) {
+            GuestAccess a =
+                guestTranslate(aspace, ctx, va + i, MemAccess::Write);
+            ptl_assert(a.ok());
+            mem.writeBytes(a.paddr, p + i, 1);
+        }
+    }
+
+    U64
+    readGuest(U64 va, unsigned bytes)
+    {
+        U64 v = 0;
+        GuestAccess a = guestRead(aspace, ctx, va, bytes, v);
+        ptl_assert(a.ok());
+        return v;
+    }
+
+    /** Run until the VCPU blocks (hlt) or `max_insns` is exceeded. */
+    int
+    run(int max_insns = 100000)
+    {
+        int executed = 0;
+        while (ctx.running && executed < max_insns) {
+            FunctionalEngine::StepResult r = engine->stepInsn(executed);
+            executed += r.insns;
+            if (r.idle)
+                break;
+        }
+        ptl_assert(executed < max_insns);
+        return executed;
+    }
+
+    U64 reg(R r) const { return ctx.regs[(int)r]; }
+
+    PhysMem mem;
+    AddressSpace aspace;
+    StatsTree stats;
+    BasicBlockCache bbcache;
+    StubSystem sys;
+    Context ctx;
+    std::unique_ptr<FunctionalEngine> engine;
+    U64 cr3 = 0;
+};
+
+/** Bare-metal harness running programs on a registered core model
+ *  (ooo/smt/seq) instead of the raw functional engine. */
+class CoreRunner
+{
+  public:
+    static constexpr U64 CODE_BASE = GuestRunner::CODE_BASE;
+    static constexpr U64 DATA_BASE = GuestRunner::DATA_BASE;
+    static constexpr U64 STACK_TOP = GuestRunner::STACK_TOP;
+
+    explicit CoreRunner(const SimConfig &config, int vcpus = 1)
+        : cfg(config), mem(32 << 20, 7, true), aspace(mem),
+          bbcache(aspace, stats), sys(bbcache), interlocks(stats)
+    {
+        cr3 = aspace.createRoot();
+        aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE, Pte::RW | Pte::US);
+        aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
+                        Pte::RW | Pte::US | Pte::NX);
+        aspace.mapRange(cr3, STACK_TOP - 256 * PAGE_SIZE, 256 * PAGE_SIZE,
+                        Pte::RW | Pte::US | Pte::NX);
+        for (int i = 0; i < vcpus; i++) {
+            contexts.push_back(std::make_unique<Context>());
+            Context &ctx = *contexts.back();
+            ctx.vcpu_id = i;
+            ctx.cr3 = cr3;
+            ctx.kernel_mode = true;
+            ctx.regs[REG_rsp] = STACK_TOP - 64 - (U64)i * 0x10000;
+        }
+    }
+
+    /** Load the image and point VCPU i at `entry` (0 = image base). */
+    void
+    load(Assembler &assembler, int vcpu = 0, U64 entry = 0)
+    {
+        if (!image_written) {
+            image = assembler.finalize();
+            Context &c0 = *contexts[0];
+            for (size_t i = 0; i < image.size(); i++) {
+                GuestAccess a = guestTranslate(
+                    aspace, c0, assembler.baseVa() + i, MemAccess::Write);
+                ptl_assert(a.ok());
+                mem.writeBytes(a.paddr, &image[i], 1);
+            }
+            image_written = true;
+        }
+        contexts[vcpu]->rip = entry ? entry : CODE_BASE;
+    }
+
+    /** Instantiate the core model (after all load() calls). */
+    void
+    start()
+    {
+        CoreBuildParams p;
+        p.config = &cfg;
+        for (auto &c : contexts)
+            p.contexts.push_back(c.get());
+        p.aspace = &aspace;
+        p.bbcache = &bbcache;
+        p.sys = &sys;
+        p.stats = &stats;
+        p.prefix = "core0/";
+        p.interlocks = &interlocks;
+        core = createCoreModel(cfg.core, p);
+    }
+
+    /** Run until every VCPU blocks (hlt) or max_cycles pass. */
+    U64
+    run(U64 max_cycles = 3'000'000)
+    {
+        ptl_assert(core != nullptr);
+        U64 c = 0;
+        for (; c < max_cycles && !core->allIdle(); c++)
+            core->cycle(c);
+        ptl_assert(core->allIdle());
+        return c;
+    }
+
+    U64 reg(R r, int vcpu = 0) const
+    {
+        return contexts[vcpu]->regs[(int)r];
+    }
+
+    U64
+    readGuest(U64 va, unsigned bytes)
+    {
+        U64 v = 0;
+        guestRead(aspace, *contexts[0], va, bytes, v);
+        return v;
+    }
+
+    SimConfig cfg;
+    PhysMem mem;
+    AddressSpace aspace;
+    StatsTree stats;
+    BasicBlockCache bbcache;
+    StubSystem sys;
+    InterlockController interlocks;
+    std::vector<std::unique_ptr<Context>> contexts;
+    std::unique_ptr<CoreModel> core;
+    std::vector<U8> image;
+    bool image_written = false;
+    U64 cr3 = 0;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_TESTS_GUEST_HARNESS_H_

@@ -1,0 +1,290 @@
+/**
+ * Tests for the x86-64 subset assembler: encodings are checked against
+ * hand-verified byte sequences (as produced by GNU as), and label fixup
+ * arithmetic is validated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "xasm/assembler.h"
+
+namespace ptl {
+namespace {
+
+std::vector<U8>
+assemble(void (*body)(Assembler &))
+{
+    Assembler a(0x400000);
+    body(a);
+    return a.finalize();
+}
+
+void
+expectBytes(const std::vector<U8> &got, std::initializer_list<int> want)
+{
+    std::vector<U8> w;
+    for (int b : want)
+        w.push_back((U8)b);
+    ASSERT_EQ(got.size(), w.size()) << "length mismatch";
+    for (size_t i = 0; i < w.size(); i++)
+        EXPECT_EQ(got[i], w[i]) << "byte " << i;
+}
+
+TEST(Assembler, MovRegReg)
+{
+    expectBytes(assemble([](Assembler &a) { a.mov(R::rax, R::rbx); }),
+                {0x48, 0x89, 0xD8});
+    expectBytes(assemble([](Assembler &a) { a.mov(R::r8, R::r15); }),
+                {0x4D, 0x89, 0xF8});
+}
+
+TEST(Assembler, MovImmForms)
+{
+    // Small positive: 32-bit zero-extending form.
+    expectBytes(assemble([](Assembler &a) { a.mov(R::rax, 1); }),
+                {0xB8, 0x01, 0x00, 0x00, 0x00});
+    // Negative: sign-extended C7 form.
+    expectBytes(assemble([](Assembler &a) { a.mov(R::rax, (U64)-1); }),
+                {0x48, 0xC7, 0xC0, 0xFF, 0xFF, 0xFF, 0xFF});
+    // Large: movabs.
+    expectBytes(
+        assemble([](Assembler &a) { a.mov(R::rcx, 0x1122334455667788ULL); }),
+        {0x48, 0xB9, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11});
+}
+
+TEST(Assembler, AddImmediateForms)
+{
+    expectBytes(assemble([](Assembler &a) { a.add(R::r8, 42); }),
+                {0x49, 0x83, 0xC0, 0x2A});
+    expectBytes(assemble([](Assembler &a) { a.add(R::rax, 1000); }),
+                {0x48, 0x81, 0xC0, 0xE8, 0x03, 0x00, 0x00});
+    expectBytes(assemble([](Assembler &a) { a.sub(R::rsp, 32); }),
+                {0x48, 0x83, 0xEC, 0x20});
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    // [rbp + 8] needs mod=01 even for base-only.
+    expectBytes(
+        assemble([](Assembler &a) { a.mov(Mem::at(R::rbp, 8), R::rcx); }),
+        {0x48, 0x89, 0x4D, 0x08});
+    // [rax + rcx*4]: SIB form.
+    expectBytes(
+        assemble([](Assembler &a) {
+            a.mov(R::rdx, Mem::idx(R::rax, R::rcx, 4));
+        }),
+        {0x48, 0x8B, 0x14, 0x88});
+    // [rsp + 16]: rsp base forces SIB.
+    expectBytes(
+        assemble([](Assembler &a) { a.mov(R::rax, Mem::at(R::rsp, 16)); }),
+        {0x48, 0x8B, 0x44, 0x24, 0x10});
+    // [rbx]: plain base, no displacement.
+    expectBytes(
+        assemble([](Assembler &a) { a.mov(R::rdi, Mem::at(R::rbx)); }),
+        {0x48, 0x8B, 0x3B});
+    // [r13]: r13 (like rbp) requires explicit disp.
+    expectBytes(
+        assemble([](Assembler &a) { a.mov(R::rax, Mem::at(R::r13)); }),
+        {0x49, 0x8B, 0x45, 0x00});
+    // Large displacement uses disp32.
+    expectBytes(
+        assemble([](Assembler &a) { a.mov(R::rax, Mem::at(R::rbx, 0x1000)); }),
+        {0x48, 0x8B, 0x83, 0x00, 0x10, 0x00, 0x00});
+}
+
+TEST(Assembler, ByteAndWordMoves)
+{
+    expectBytes(assemble([](Assembler &a) { a.mov8(R::rax, Mem::at(R::rsi)); }),
+                {0x40, 0x8A, 0x06});
+    expectBytes(assemble([](Assembler &a) { a.mov8(Mem::at(R::rdi), R::rdx); }),
+                {0x40, 0x88, 0x17});
+    expectBytes(
+        assemble([](Assembler &a) { a.movzx8(R::rax, Mem::at(R::rsi)); }),
+        {0x48, 0x0F, 0xB6, 0x06});
+    expectBytes(
+        assemble([](Assembler &a) { a.movsx8(R::rcx, Mem::at(R::rdi)); }),
+        {0x48, 0x0F, 0xBE, 0x0F});
+    expectBytes(
+        assemble([](Assembler &a) { a.mov16(Mem::at(R::rbx), R::rax); }),
+        {0x66, 0x89, 0x03});
+}
+
+TEST(Assembler, PushPopStack)
+{
+    expectBytes(assemble([](Assembler &a) { a.push(R::rbp); }), {0x55});
+    expectBytes(assemble([](Assembler &a) { a.push(R::r12); }), {0x41, 0x54});
+    expectBytes(assemble([](Assembler &a) { a.pop(R::rbx); }), {0x5B});
+    expectBytes(assemble([](Assembler &a) { a.pop(R::r9); }), {0x41, 0x59});
+}
+
+TEST(Assembler, ShiftsAndRotates)
+{
+    expectBytes(assemble([](Assembler &a) { a.shl(R::rax, 4); }),
+                {0x48, 0xC1, 0xE0, 0x04});
+    expectBytes(assemble([](Assembler &a) { a.shr(R::rdx, 1); }),
+                {0x48, 0xC1, 0xEA, 0x01});
+    expectBytes(assemble([](Assembler &a) { a.sar(R::rcx, 63); }),
+                {0x48, 0xC1, 0xF9, 0x3F});
+    expectBytes(assemble([](Assembler &a) { a.shlCl(R::rbx); }),
+                {0x48, 0xD3, 0xE3});
+    expectBytes(assemble([](Assembler &a) { a.rol(R::rax, 8); }),
+                {0x48, 0xC1, 0xC0, 0x08});
+}
+
+TEST(Assembler, MulDivForms)
+{
+    expectBytes(assemble([](Assembler &a) { a.imul(R::rax, R::rbx); }),
+                {0x48, 0x0F, 0xAF, 0xC3});
+    expectBytes(assemble([](Assembler &a) { a.imul(R::rax, R::rbx, 10); }),
+                {0x48, 0x6B, 0xC3, 0x0A});
+    expectBytes(assemble([](Assembler &a) { a.mul(R::rcx); }),
+                {0x48, 0xF7, 0xE1});
+    expectBytes(assemble([](Assembler &a) { a.div(R::rsi); }),
+                {0x48, 0xF7, 0xF6});
+    expectBytes(assemble([](Assembler &a) { a.idiv(R::rdi); }),
+                {0x48, 0xF7, 0xFF});
+}
+
+TEST(Assembler, ControlFlowWithLabels)
+{
+    Assembler a(0x1000);
+    Label top = a.label();
+    a.dec(R::rcx);                 // 3 bytes: 48 FF C9
+    a.jcc(COND_ne, top);           // 6 bytes: 0F 85 rel32
+    auto code = a.finalize();
+    ASSERT_EQ(code.size(), 9u);
+    // rel32 = target(0) - end_of_jcc(9) = -9.
+    EXPECT_EQ(code[3], 0x0F);
+    EXPECT_EQ(code[4], 0x85);
+    S32 rel;
+    memcpy(&rel, &code[5], 4);
+    EXPECT_EQ(rel, -9);
+}
+
+TEST(Assembler, ForwardLabelAndCall)
+{
+    Assembler a(0x2000);
+    Label fwd = a.newLabel();
+    a.call(fwd);                   // 5 bytes
+    a.nop();                       // 1 byte
+    a.bind(fwd);
+    a.ret();
+    auto code = a.finalize();
+    S32 rel;
+    memcpy(&rel, &code[1], 4);
+    EXPECT_EQ(rel, 1);             // skip the nop
+    EXPECT_EQ(a.labelVa(fwd), 0x2006ULL);
+}
+
+TEST(Assembler, UnboundLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a(0);
+            Label l = a.newLabel();
+            a.jmp(l);
+            a.finalize();
+        },
+        ::testing::ExitedWithCode(1), "unbound label");
+}
+
+TEST(Assembler, AtomicsAndLockPrefix)
+{
+    expectBytes(
+        assemble([](Assembler &a) { a.lockXadd(Mem::at(R::rdi), R::rax); }),
+        {0xF0, 0x48, 0x0F, 0xC1, 0x07});
+    expectBytes(
+        assemble([](Assembler &a) { a.lockCmpxchg(Mem::at(R::rsi), R::rbx); }),
+        {0xF0, 0x48, 0x0F, 0xB1, 0x1E});
+    expectBytes(
+        assemble([](Assembler &a) { a.lockInc(Mem::at(R::rdx)); }),
+        {0xF0, 0x48, 0xFF, 0x02});
+    expectBytes(assemble([](Assembler &a) { a.xchg(R::rax, Mem::at(R::rbx)); }),
+                {0x48, 0x87, 0x03});
+}
+
+TEST(Assembler, SystemOpcodes)
+{
+    expectBytes(assemble([](Assembler &a) { a.syscall(); }), {0x0F, 0x05});
+    expectBytes(assemble([](Assembler &a) { a.sysret(); }), {0x0F, 0x07});
+    expectBytes(assemble([](Assembler &a) { a.hypercall(); }), {0x0F, 0x34});
+    expectBytes(assemble([](Assembler &a) { a.ptlcall(); }), {0x0F, 0x37});
+    expectBytes(assemble([](Assembler &a) { a.hlt(); }), {0xF4});
+    expectBytes(assemble([](Assembler &a) { a.rdtsc(); }), {0x0F, 0x31});
+    expectBytes(assemble([](Assembler &a) { a.iretq(); }), {0x48, 0xCF});
+    expectBytes(assemble([](Assembler &a) { a.ud2(); }), {0x0F, 0x0B});
+    expectBytes(assemble([](Assembler &a) { a.repMovsb(); }), {0xF3, 0xA4});
+    expectBytes(assemble([](Assembler &a) { a.repStosb(); }), {0xF3, 0xAA});
+}
+
+TEST(Assembler, SetccEmitsZeroExtension)
+{
+    // setcc dl ; movzx rdx, dl
+    expectBytes(assemble([](Assembler &a) { a.setcc(COND_e, R::rdx); }),
+                {0x40, 0x0F, 0x94, 0xC2, 0x48, 0x0F, 0xB6, 0xD2});
+}
+
+TEST(Assembler, Cmovcc)
+{
+    expectBytes(assemble([](Assembler &a) { a.cmovcc(COND_b, R::rax, R::rcx); }),
+                {0x48, 0x0F, 0x42, 0xC1});
+}
+
+TEST(Assembler, SseScalarDouble)
+{
+    expectBytes(
+        assemble([](Assembler &a) { a.movsd(X::xmm0, Mem::at(R::rax)); }),
+        {0xF2, 0x0F, 0x10, 0x00});
+    expectBytes(
+        assemble([](Assembler &a) { a.movsd(Mem::at(R::rdi), X::xmm1); }),
+        {0xF2, 0x0F, 0x11, 0x0F});
+    expectBytes(assemble([](Assembler &a) { a.addsd(X::xmm0, X::xmm1); }),
+                {0xF2, 0x0F, 0x58, 0xC1});
+    expectBytes(assemble([](Assembler &a) { a.comisd(X::xmm2, X::xmm3); }),
+                {0x66, 0x0F, 0x2F, 0xD3});
+    expectBytes(assemble([](Assembler &a) { a.cvtsi2sd(X::xmm0, R::rax); }),
+                {0xF2, 0x48, 0x0F, 0x2A, 0xC0});
+    expectBytes(assemble([](Assembler &a) { a.movqXR(X::xmm0, R::rax); }),
+                {0x66, 0x48, 0x0F, 0x6E, 0xC0});
+}
+
+TEST(Assembler, X87Minimal)
+{
+    expectBytes(assemble([](Assembler &a) { a.fldQ(Mem::at(R::rax)); }),
+                {0xDD, 0x00});
+    expectBytes(assemble([](Assembler &a) { a.fstpQ(Mem::at(R::rbx)); }),
+                {0xDD, 0x1B});
+    expectBytes(assemble([](Assembler &a) { a.faddp(); }), {0xDE, 0xC1});
+}
+
+TEST(Assembler, DataDirectivesAndAlignment)
+{
+    Assembler a(0x3000);
+    a.nop();
+    a.align(8);
+    EXPECT_EQ(a.here() % 8, 0ULL);
+    Label l = a.label();
+    a.dq(0xdeadbeefULL);
+    a.dq(l);
+    auto code = a.finalize();
+    U64 v;
+    memcpy(&v, &code[code.size() - 8], 8);
+    EXPECT_EQ(v, a.labelVa(l));
+}
+
+TEST(Assembler, IncDecNegNot)
+{
+    expectBytes(assemble([](Assembler &a) { a.inc(R::rax); }),
+                {0x48, 0xFF, 0xC0});
+    expectBytes(assemble([](Assembler &a) { a.dec(R::rcx); }),
+                {0x48, 0xFF, 0xC9});
+    expectBytes(assemble([](Assembler &a) { a.neg(R::rbx); }),
+                {0x48, 0xF7, 0xDB});
+    expectBytes(assemble([](Assembler &a) { a.not_(R::rdx); }),
+                {0x48, 0xF7, 0xD2});
+    expectBytes(assemble([](Assembler &a) { a.inc(Mem::at(R::rsi)); }),
+                {0x48, 0xFF, 0x06});
+}
+
+}  // namespace
+}  // namespace ptl

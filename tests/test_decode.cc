@@ -1,0 +1,387 @@
+/**
+ * Tests for the x86 byte decoder and the x86->uop translator, using the
+ * repository assembler as the encoding source (round-trip property:
+ * everything the assembler emits must decode to the right structure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "decode/translate.h"
+#include "decode/x86decode.h"
+#include "xasm/assembler.h"
+
+namespace ptl {
+namespace {
+
+X86Insn
+decodeFirst(void (*body)(Assembler &), U64 base = 0x400000)
+{
+    Assembler a(base);
+    body(a);
+    std::vector<U8> code = a.finalize();
+    return decodeX86(code.data(), code.size(), base);
+}
+
+TEST(Decode, MovRegRegFields)
+{
+    X86Insn d = decodeFirst([](Assembler &a) { a.mov(R::rax, R::rbx); });
+    EXPECT_TRUE(d.valid);
+    EXPECT_EQ(d.length, 3);
+    EXPECT_TRUE(d.rex_w);
+    EXPECT_EQ(d.opcode, 0x89);
+    EXPECT_EQ(d.reg(), (int)R::rbx);
+    EXPECT_EQ(d.rm(), (int)R::rax);
+    EXPECT_FALSE(d.rmIsMem());
+}
+
+TEST(Decode, HighRegistersViaRex)
+{
+    X86Insn d = decodeFirst([](Assembler &a) { a.mov(R::r8, R::r15); });
+    EXPECT_TRUE(d.valid);
+    EXPECT_EQ(d.reg(), 15);
+    EXPECT_EQ(d.rm(), 8);
+}
+
+TEST(Decode, MemorySibForms)
+{
+    X86Insn d = decodeFirst([](Assembler &a) {
+        a.mov(R::rdx, Mem::idx(R::rax, R::rcx, 4, 0x30));
+    });
+    EXPECT_TRUE(d.valid);
+    EXPECT_TRUE(d.rmIsMem());
+    EXPECT_TRUE(d.has_sib);
+    EXPECT_EQ(d.sibBase(), (int)R::rax);
+    EXPECT_EQ(d.sibIndex(), (int)R::rcx);
+    EXPECT_EQ(d.sibScale(), 4);
+    EXPECT_EQ(d.disp, 0x30);
+}
+
+TEST(Decode, DispSizes)
+{
+    X86Insn d8 =
+        decodeFirst([](Assembler &a) { a.mov(R::rax, Mem::at(R::rbx, -4)); });
+    EXPECT_EQ(d8.disp, -4);
+    X86Insn d32 = decodeFirst(
+        [](Assembler &a) { a.mov(R::rax, Mem::at(R::rbx, 0x12345)); });
+    EXPECT_EQ(d32.disp, 0x12345);
+}
+
+TEST(Decode, ImmediateForms)
+{
+    X86Insn imm8 = decodeFirst([](Assembler &a) { a.add(R::rax, 5); });
+    EXPECT_EQ(imm8.opcode, 0x83);
+    EXPECT_EQ((S64)imm8.imm, 5);
+    X86Insn imm32 = decodeFirst([](Assembler &a) { a.add(R::rax, 1000); });
+    EXPECT_EQ(imm32.opcode, 0x81);
+    EXPECT_EQ((S64)imm32.imm, 1000);
+    X86Insn neg = decodeFirst([](Assembler &a) { a.cmp(R::rcx, -1); });
+    EXPECT_EQ((S64)neg.imm, -1);
+    X86Insn movabs = decodeFirst(
+        [](Assembler &a) { a.movImm64(R::rdx, 0xdeadbeefcafebabeULL); });
+    EXPECT_EQ(movabs.imm, 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(movabs.imm_bytes, 8);
+}
+
+TEST(Decode, PrefixesDetected)
+{
+    X86Insn locked = decodeFirst(
+        [](Assembler &a) { a.lockXadd(Mem::at(R::rdi), R::rax); });
+    EXPECT_TRUE(locked.prefix_lock);
+    EXPECT_TRUE(locked.is_0f);
+    EXPECT_EQ(locked.opcode, 0xC1);
+    X86Insn sd = decodeFirst(
+        [](Assembler &a) { a.movsd(X::xmm1, Mem::at(R::rax)); });
+    EXPECT_TRUE(sd.prefix_f2);
+    X86Insn rep = decodeFirst([](Assembler &a) { a.repMovsb(); });
+    EXPECT_TRUE(rep.prefix_f3);
+    EXPECT_EQ(rep.opcode, 0xA4);
+}
+
+TEST(Decode, UnknownOpcodeInvalid)
+{
+    U8 bytes[] = {0x0F, 0xFF, 0x00};
+    X86Insn d = decodeX86(bytes, sizeof(bytes), 0x1000);
+    EXPECT_FALSE(d.valid);
+    EXPECT_GT(d.length, 0);  // undecodable, not truncated
+}
+
+TEST(Decode, TruncatedInstruction)
+{
+    // movabs needs 10 bytes; give it 4.
+    Assembler a(0);
+    a.movImm64(R::rax, 0x1122334455667788ULL);
+    std::vector<U8> code = a.finalize();
+    X86Insn d = decodeX86(code.data(), 4, 0);
+    EXPECT_FALSE(d.valid);
+    EXPECT_EQ(d.length, 0);  // truncation marker
+}
+
+TEST(Decode, EveryAssemblerFormDecodes)
+{
+    // Emit a long straight-line stream of one of each supported
+    // instruction and decode the whole stream back; every instruction
+    // must decode valid with the correct total length.
+    Assembler a(0x400000);
+    a.mov(R::rax, R::rbx);
+    a.mov(R::rcx, 0x1234);
+    a.movImm64(R::rdx, ~0ULL);
+    a.mov(R::rsi, Mem::at(R::rsp, 8));
+    a.mov(Mem::at(R::rbp, -16), R::rdi);
+    a.mov32(R::r9, Mem::idx(R::rbx, R::rcx, 8, 4));
+    a.mov8(Mem::at(R::rdx), R::rax);
+    a.movzx8(R::rax, Mem::at(R::rsi));
+    a.movzx16(R::rbx, Mem::at(R::rsi, 2));
+    a.movsx8(R::rcx, Mem::at(R::rsi));
+    a.movsxd(R::rdx, R::rax);
+    a.lea(R::r8, Mem::idx(R::rax, R::rbx, 2, 100));
+    a.add(R::rax, R::rbx);
+    a.add(R::rax, 77);
+    a.add(R::rcx, Mem::at(R::rdx));
+    a.add(Mem::at(R::rdx), R::rcx);
+    a.sub(R::rax, -5);
+    a.adc(R::rax, R::rbx);
+    a.sbb(R::rcx, R::rdx);
+    a.and_(R::rax, 0xFF);
+    a.or_(R::rbx, R::rcx);
+    a.xor_(R::rdx, R::rdx);
+    a.cmp(R::rax, R::rbx);
+    a.cmp(R::rax, Mem::at(R::rsi));
+    a.test(R::rax, R::rax);
+    a.test(R::rcx, 0x10);
+    a.inc(R::rax);
+    a.dec(R::rbx);
+    a.inc(Mem::at(R::rdi));
+    a.neg(R::rcx);
+    a.not_(R::rdx);
+    a.imul(R::rax, R::rbx);
+    a.imul(R::rcx, R::rdx, 10);
+    a.mul(R::rbx);
+    a.div(R::rcx);
+    a.idiv(R::rsi);
+    a.shl(R::rax, 3);
+    a.shrCl(R::rbx);
+    a.sar(R::rcx, 63);
+    a.rol(R::rdx, 1);
+    a.ror(R::rsi, 7);
+    a.bsf(R::rax, R::rbx);
+    a.bsr(R::rcx, R::rdx);
+    a.bswap(R::rax);
+    a.push(R::rbp);
+    a.pop(R::rbp);
+    a.pushfq();
+    a.popfq();
+    a.setcc(COND_e, R::rax);
+    a.cmovcc(COND_b, R::rbx, R::rcx);
+    a.xchg(R::rax, Mem::at(R::rsi));
+    a.lockXadd(Mem::at(R::rdi), R::rbx);
+    a.lockCmpxchg(Mem::at(R::rdi), R::rcx);
+    a.lockAdd(Mem::at(R::rdi), R::rdx);
+    a.lockInc(Mem::at(R::rdi));
+    a.cld();
+    a.nop();
+    a.movsd(X::xmm0, Mem::at(R::rax));
+    a.movsd(Mem::at(R::rbx), X::xmm1);
+    a.addsd(X::xmm0, X::xmm1);
+    a.mulsd(X::xmm2, X::xmm3);
+    a.comisd(X::xmm0, X::xmm1);
+    a.cvtsi2sd(X::xmm0, R::rax);
+    a.cvttsd2si(R::rbx, X::xmm0);
+    a.movqXR(X::xmm4, R::rcx);
+    a.movqRX(R::rdx, X::xmm4);
+    a.fldQ(Mem::at(R::rax));
+    a.fstpQ(Mem::at(R::rbx));
+    a.faddp();
+    a.fmulp();
+    a.rdtsc();
+    a.cpuid();
+    std::vector<U8> code = a.finalize();
+
+    size_t pos = 0;
+    int count = 0;
+    while (pos < code.size()) {
+        X86Insn d = decodeX86(code.data() + pos,
+                              std::min<size_t>(code.size() - pos, 15),
+                              0x400000 + pos);
+        ASSERT_TRUE(d.valid)
+            << "undecodable at offset " << pos << ": " << d.toString();
+        ASSERT_GT(d.length, 0);
+        pos += d.length;
+        count++;
+    }
+    EXPECT_EQ(pos, code.size());
+    EXPECT_GT(count, 60);
+}
+
+// ---------------------------------------------------------------------
+// Translator structure tests
+// ---------------------------------------------------------------------
+
+std::vector<Uop>
+translateFirst(void (*body)(Assembler &), U64 base = 0x400000)
+{
+    Assembler a(base);
+    body(a);
+    std::vector<U8> code = a.finalize();
+    X86Insn d = decodeX86(code.data(), code.size(), base);
+    std::vector<Uop> uops;
+    translateOne(d, uops);
+    return uops;
+}
+
+TEST(Translate, MovRegIsOneUop)
+{
+    auto uops = translateFirst([](Assembler &a) { a.mov(R::rax, R::rbx); });
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].op, UopOp::Mov);
+    EXPECT_TRUE(uops[0].som);
+    EXPECT_TRUE(uops[0].eom);
+    EXPECT_EQ(uops[0].rd, REG_rax);
+    EXPECT_EQ(uops[0].rb, REG_rbx);
+}
+
+TEST(Translate, RmwIsLoadOpStore)
+{
+    auto uops =
+        translateFirst([](Assembler &a) { a.add(Mem::at(R::rdx), R::rcx); });
+    ASSERT_EQ(uops.size(), 3u);
+    EXPECT_EQ(uops[0].op, UopOp::Ld);
+    EXPECT_EQ(uops[1].op, UopOp::Add);
+    EXPECT_EQ(uops[1].setflags, SETFLAG_ALL);
+    EXPECT_EQ(uops[2].op, UopOp::St);
+    EXPECT_TRUE(uops[0].som);
+    EXPECT_TRUE(uops[2].eom);
+}
+
+TEST(Translate, LockedRmwMarksUops)
+{
+    auto uops =
+        translateFirst([](Assembler &a) { a.lockAdd(Mem::at(R::rdi), R::rax); });
+    ASSERT_EQ(uops.size(), 3u);
+    EXPECT_TRUE(uops[0].locked);
+    EXPECT_TRUE(uops[2].locked);
+}
+
+TEST(Translate, CallPushesReturnAddress)
+{
+    auto uops = translateFirst([](Assembler &a) {
+        Label l = a.newLabel();
+        a.call(l);
+        a.bind(l);
+        a.ret();
+    });
+    // mov t, ripseq ; st [rsp-8] ; add rsp,-8 ; bru
+    ASSERT_EQ(uops.size(), 4u);
+    EXPECT_EQ(uops[1].op, UopOp::St);
+    EXPECT_EQ(uops[3].op, UopOp::Bru);
+    EXPECT_TRUE(uops[3].hint_call);
+    EXPECT_EQ((U64)uops[3].imm, 0x400005ULL);  // call is 5 bytes
+    EXPECT_EQ((U64)uops[0].imm, 0x400005ULL);  // pushed return address
+}
+
+TEST(Translate, JccConsumesProducerFlags)
+{
+    Assembler a(0x400000);
+    a.cmp(R::rax, R::rbx);
+    Label l = a.newLabel();
+    a.jcc(COND_e, l);
+    a.bind(l);
+    std::vector<U8> code = a.finalize();
+
+    std::vector<Uop> uops;
+    Translator tr(uops);
+    X86Insn d1 = decodeX86(code.data(), code.size(), 0x400000);
+    EXPECT_EQ(tr.translate(d1), BbEnd::None);
+    X86Insn d2 = decodeX86(code.data() + d1.length,
+                           code.size() - d1.length, 0x400000 + d1.length);
+    EXPECT_EQ(tr.translate(d2), BbEnd::CondBranch);
+    // The branch must reference the cmp's destination temp for flags.
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[1].op, UopOp::BrCC);
+    EXPECT_EQ(uops[1].rf, uops[0].rd);
+}
+
+TEST(Translate, SplitFlagGroupsForceCollcc)
+{
+    // inc writes ZAPS+OF but preserves CF; a following jbe (needs
+    // CF+ZAPS) must see CF from the earlier cmp -> collcc required.
+    Assembler a(0x400000);
+    a.cmp(R::rax, R::rbx);   // produces all flags
+    a.inc(R::rcx);           // ZAPS|OF now from inc, CF still from cmp
+    Label l = a.newLabel();
+    a.jcc(COND_be, l);
+    a.bind(l);
+    std::vector<U8> code = a.finalize();
+
+    std::vector<Uop> uops;
+    Translator tr(uops);
+    size_t pos = 0;
+    while (pos < code.size()) {
+        X86Insn d = decodeX86(code.data() + pos, code.size() - pos,
+                              0x400000 + pos);
+        tr.translate(d);
+        pos += d.length;
+    }
+    bool saw_collcc = false;
+    for (const Uop &u : uops)
+        saw_collcc |= (u.op == UopOp::CollCC);
+    EXPECT_TRUE(saw_collcc);
+}
+
+TEST(Translate, RepMovsbIsSelfLoopingBlock)
+{
+    auto uops = translateFirst([](Assembler &a) { a.repMovsb(); });
+    // Two pseudo-ops: [test rcx; brcc.e exit] [ld; st; rsi++; rdi++;
+    // rcx--; bru self]
+    ASSERT_GE(uops.size(), 7u);
+    EXPECT_EQ(uops[1].op, UopOp::BrCC);
+    EXPECT_TRUE(uops[1].eom);
+    EXPECT_EQ((U64)uops[1].imm, 0x400002ULL);     // exit past 2-byte insn
+    EXPECT_EQ(uops.back().op, UopOp::Bru);
+    EXPECT_EQ((U64)uops.back().imm, 0x400000ULL);  // loops to itself
+    int som_count = 0;
+    for (const Uop &u : uops)
+        som_count += u.som;
+    EXPECT_EQ(som_count, 2);
+}
+
+TEST(Translate, AssistsForSystemOps)
+{
+    auto check = [](void (*body)(Assembler &), AssistId id) {
+        auto uops = translateFirst(body);
+        ASSERT_FALSE(uops.empty());
+        const Uop &last = uops.back();
+        EXPECT_EQ(last.op, UopOp::Assist);
+        EXPECT_EQ(last.assist(), id);
+    };
+    check([](Assembler &a) { a.syscall(); }, AssistId::Syscall);
+    check([](Assembler &a) { a.sysret(); }, AssistId::Sysret);
+    check([](Assembler &a) { a.hypercall(); }, AssistId::Hypercall);
+    check([](Assembler &a) { a.ptlcall(); }, AssistId::Ptlcall);
+    check([](Assembler &a) { a.hlt(); }, AssistId::Hlt);
+    check([](Assembler &a) { a.rdtsc(); }, AssistId::Rdtsc);
+    check([](Assembler &a) { a.iretq(); }, AssistId::Iret);
+    check([](Assembler &a) { a.cli(); }, AssistId::Cli);
+    check([](Assembler &a) { a.sti(); }, AssistId::Sti);
+    check([](Assembler &a) { a.ud2(); }, AssistId::InvalidOpcode);
+}
+
+TEST(Translate, ByteOpsMergePartialRegisters)
+{
+    auto uops =
+        translateFirst([](Assembler &a) { a.mov8(R::rax, Mem::at(R::rsi)); });
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[0].op, UopOp::Ld);
+    EXPECT_EQ(uops[0].size, 1);
+    EXPECT_EQ(uops[1].op, UopOp::MergeLo);
+    EXPECT_EQ(uops[1].rd, REG_rax);
+}
+
+TEST(Translate, IncPreservesCarryGroup)
+{
+    auto uops = translateFirst([](Assembler &a) { a.inc(R::rax); });
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].setflags, SETFLAG_ZAPS | SETFLAG_OF);
+}
+
+}  // namespace
+}  // namespace ptl

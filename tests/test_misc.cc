@@ -1,0 +1,178 @@
+/**
+ * Additional coverage: the interlock controller unit behaviour, basic
+ * block cache keying (privilege context, page-crossing instructions),
+ * uop disassembly, and command-list error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest_harness.h"
+#include "native/triggers.h"
+
+namespace ptl {
+namespace {
+
+TEST(Interlock, AcquireReleaseSemantics)
+{
+    StatsTree stats;
+    InterlockController ic(stats);
+    EXPECT_TRUE(ic.acquire(0x1000, 1));
+    EXPECT_TRUE(ic.acquire(0x1000, 1));    // re-acquire by owner
+    EXPECT_FALSE(ic.acquire(0x1004, 2));   // same 8-byte region
+    EXPECT_TRUE(ic.heldByOther(0x1001, 2));
+    EXPECT_FALSE(ic.heldByOther(0x1001, 1));
+    EXPECT_TRUE(ic.held(0x1000));
+    EXPECT_TRUE(ic.acquire(0x1008, 2));    // neighbouring region is free
+    ic.release(0x1000, 2);                 // wrong owner: no effect
+    EXPECT_TRUE(ic.held(0x1000));
+    ic.release(0x1000, 1);
+    EXPECT_FALSE(ic.held(0x1000));
+    EXPECT_TRUE(ic.acquire(0x1000, 2));
+    ic.releaseAll(2);
+    EXPECT_EQ(ic.heldCount(), 0u);
+    EXPECT_GT(stats.get("interlock/contention"), 0ULL);
+}
+
+TEST(Interlock, ReleaseAllOnlyDropsOwner)
+{
+    StatsTree stats;
+    InterlockController ic(stats);
+    EXPECT_TRUE(ic.acquire(0x100, 1));
+    EXPECT_TRUE(ic.acquire(0x200, 2));
+    ic.releaseAll(1);
+    EXPECT_FALSE(ic.held(0x100));
+    EXPECT_TRUE(ic.held(0x200));
+}
+
+TEST(UopDisasm, ToStringSmoke)
+{
+    Uop u;
+    u.op = UopOp::Add;
+    u.size = 8;
+    u.rd = REG_rax;
+    u.ra = REG_rax;
+    u.rb = REG_rbx;
+    u.setflags = SETFLAG_ALL;
+    u.som = u.eom = true;
+    std::string s = u.toString();
+    EXPECT_NE(s.find("add"), std::string::npos);
+    EXPECT_NE(s.find("rax"), std::string::npos);
+    EXPECT_NE(s.find("zaps"), std::string::npos);
+
+    Uop ld;
+    ld.op = UopOp::Ld;
+    ld.size = 4;
+    ld.rd = REG_rcx;
+    ld.ra = REG_rsi;
+    ld.imm = 16;
+    std::string s2 = ld.toString();
+    EXPECT_NE(s2.find("ld"), std::string::npos);
+    EXPECT_NE(s2.find("[rsi"), std::string::npos);
+}
+
+TEST(BbCache, KeyedByPrivilegeContext)
+{
+    // The same bytes decoded in kernel vs user mode must be distinct
+    // cache entries (Section 2.1's contextual keying).
+    GuestRunner g;
+    Assembler a(GuestRunner::CODE_BASE);
+    a.mov(R::rax, 7);
+    a.hlt();
+    g.load(a);
+    GuestFault f;
+    const BasicBlock *kernel_bb = g.bbcache.get(g.ctx, &f);
+    ASSERT_NE(kernel_bb, nullptr);
+    EXPECT_TRUE(kernel_bb->kernel);
+    Context uctx = g.ctx;
+    uctx.kernel_mode = false;
+    const BasicBlock *user_bb = g.bbcache.get(uctx, &f);
+    ASSERT_NE(user_bb, nullptr);
+    EXPECT_NE(kernel_bb, user_bb);
+    EXPECT_FALSE(user_bb->kernel);
+    EXPECT_EQ(g.bbcache.size(), 2u);
+}
+
+TEST(BbCache, PageCrossingInstructionTracksBothFrames)
+{
+    GuestRunner g;
+    // Place a 10-byte movabs so it straddles a page boundary.
+    U64 start = GuestRunner::CODE_BASE + PAGE_SIZE - 4;
+    Assembler a(start);
+    a.movImm64(R::rax, 0x1122334455667788ULL);  // 10 bytes: crosses
+    a.hlt();
+    std::vector<U8> image = a.finalize();
+    g.writeGuest(start, image.data(), image.size());
+    g.ctx.rip = start;
+    GuestFault f;
+    const BasicBlock *bb = g.bbcache.get(g.ctx, &f);
+    ASSERT_NE(bb, nullptr);
+    EXPECT_NE(bb->mfn_lo, bb->mfn_hi);  // spans two machine frames
+    // Executing it works.
+    g.run();
+    EXPECT_EQ(g.reg(R::rax), 0x1122334455667788ULL);
+    // Writing to the *second* page invalidates the block too.
+    U64 before = g.stats.get("bbcache/smc_invalidations");
+    g.sys.notifyCodeWrite(bb->mfn_hi);
+    EXPECT_GT(g.stats.get("bbcache/smc_invalidations"), before);
+}
+
+TEST(CommandList, MalformedInputsAreFatal)
+{
+    EXPECT_EXIT(parseCommandList("-stopinsns"),
+                ::testing::ExitedWithCode(1), "argument");
+    EXPECT_EXIT(parseCommandList("-frobnicate"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(GuestMemory, CrossPageWriteIsAtomicOnFault)
+{
+    // A store spanning a mapped->unmapped boundary must fault without
+    // writing the first fragment.
+    GuestRunner g;
+    U64 last_page = GuestRunner::DATA_BASE + 255 * PAGE_SIZE;
+    U64 va = last_page + PAGE_SIZE - 4;   // next page is unmapped
+    U64 before = 0;
+    guestRead(g.aspace, g.ctx, va, 4, before);
+    GuestAccess acc =
+        guestWrite(g.aspace, g.ctx, va, 8, 0xAABBCCDDEEFF0011ULL);
+    EXPECT_NE(acc.fault, GuestFault::None);
+    U64 after = 0;
+    guestRead(g.aspace, g.ctx, va, 4, after);
+    EXPECT_EQ(before, after) << "partial write leaked through";
+}
+
+TEST(Config, ValidationCatchesBadGeometry)
+{
+    EXPECT_EXIT(
+        {
+            SimConfig c = SimConfig::preset("k8");
+            c.dtlb_entries = 33;  // not a power of two
+            c.validate();
+        },
+        ::testing::ExitedWithCode(1), "power");
+    EXPECT_EXIT(
+        {
+            SimConfig c = SimConfig::preset("k8");
+            c.smt_threads = 17;   // paper's SMT limit is 16
+            c.validate();
+        },
+        ::testing::ExitedWithCode(1), "smt_threads");
+}
+
+TEST(Assist, CpuidIsDeterministic)
+{
+    GuestRunner g1, g2;
+    for (GuestRunner *g : {&g1, &g2}) {
+        Assembler a(GuestRunner::CODE_BASE);
+        a.mov(R::rax, 1);
+        a.cpuid();
+        a.hlt();
+        g->load(a);
+        g->run();
+    }
+    EXPECT_EQ(g1.reg(R::rax), g2.reg(R::rax));
+    EXPECT_EQ(g1.reg(R::rdx), g2.reg(R::rdx));
+}
+
+}  // namespace
+}  // namespace ptl

@@ -1,0 +1,112 @@
+/** Tests for the PTLstats analysis layer. */
+
+#include <gtest/gtest.h>
+
+#include "stats/ptlstats.h"
+
+namespace ptl {
+namespace {
+
+TEST(PtlStats, SubtractSnapshotsExcludesWarmup)
+{
+    StatsTree t;
+    Counter &miss = t.counter("dcache/misses");
+    Counter &hit = t.counter("dcache/hits");
+    // "Warm-up": lots of cold misses.
+    miss += 1000;
+    hit += 100;
+    t.takeSnapshot(1'000'000);
+    // Steady state.
+    miss += 20;
+    hit += 5000;
+    t.takeSnapshot(2'000'000);
+    miss += 25;
+    hit += 5100;
+    t.takeSnapshot(3'000'000);
+
+    SnapshotDelta steady = subtractSnapshots(t, 0, 2);
+    EXPECT_EQ(steady.from_cycle, 1'000'000ULL);
+    EXPECT_EQ(steady.to_cycle, 3'000'000ULL);
+    EXPECT_EQ(steady.get("dcache/misses"), 45ULL);
+    EXPECT_EQ(steady.get("dcache/hits"), 10100ULL);
+    EXPECT_EQ(steady.get("absent/counter"), 0ULL);
+    // Zero-delta counters are omitted.
+    t.counter("never/incremented");
+    SnapshotDelta d2 = subtractSnapshots(t, 1, 2);
+    for (const auto &[name, value] : d2.deltas)
+        EXPECT_NE(value, 0ULL);
+}
+
+TEST(PtlStats, SubtractAdjacentMatchesDeltaSeries)
+{
+    StatsTree t;
+    Counter &c = t.counter("x");
+    t.takeSnapshot(0);
+    c += 7;
+    t.takeSnapshot(100);
+    c += 9;
+    t.takeSnapshot(200);
+    auto series = t.deltaSeries("x");
+    EXPECT_EQ(subtractSnapshots(t, 0, 1).get("x"), series[0]);
+    EXPECT_EQ(subtractSnapshots(t, 1, 2).get("x"), series[1]);
+}
+
+TEST(PtlStats, TimeLapseRendering)
+{
+    std::vector<TimeLapseSeries> series = {
+        {"R", {0.0, 50.0, 100.0}},
+        {"G", {100.0, 50.0, 0.0}},
+    };
+    std::string plot = renderTimeLapse(series, 100.0, 21);
+    // Three data rows plus a header.
+    EXPECT_EQ(std::count(plot.begin(), plot.end(), '\n'), 4);
+    // Row 0: R at column 0, G at the right edge.
+    size_t row0 = plot.find("    0 |");
+    ASSERT_NE(row0, std::string::npos);
+    std::string row = plot.substr(row0 + 7, 21);
+    EXPECT_EQ(row[0], 'R');
+    EXPECT_EQ(row[20], 'G');
+    // Row 1: both collide mid-band (later series wins the cell).
+    size_t row1 = plot.find("    1 |");
+    std::string mid = plot.substr(row1 + 7, 21);
+    EXPECT_EQ(mid[10], 'G');
+}
+
+TEST(PtlStats, StackedTimeLapseNormalizes)
+{
+    std::vector<TimeLapseSeries> series = {
+        {"u", {75.0, 0.0}},
+        {"k", {25.0, 0.0}},
+    };
+    std::string plot = renderStackedTimeLapse(series, 40);
+    size_t row0 = plot.find("    0 |");
+    ASSERT_NE(row0, std::string::npos);
+    std::string row = plot.substr(row0 + 7, 40);
+    EXPECT_EQ(std::count(row.begin(), row.end(), 'u'), 30);
+    EXPECT_EQ(std::count(row.begin(), row.end(), 'k'), 10);
+    // Empty interval renders blank.
+    size_t row1 = plot.find("    1 |");
+    std::string blank = plot.substr(row1 + 7, 40);
+    EXPECT_EQ(std::count(blank.begin(), blank.end(), ' '), 40);
+}
+
+TEST(PtlStats, TopCountersSortsAndFilters)
+{
+    StatsTree t;
+    t.counter("core0/a") += 5;
+    t.counter("core0/b") += 500;
+    t.counter("core0/c") += 50;
+    t.counter("other/d") += 9999;
+    std::string top = topCounters(t, "core0/", 2);
+    // Largest two under the prefix, in order; "other/" excluded.
+    size_t pb = top.find("core0/b");
+    size_t pc = top.find("core0/c");
+    EXPECT_NE(pb, std::string::npos);
+    EXPECT_NE(pc, std::string::npos);
+    EXPECT_LT(pb, pc);
+    EXPECT_EQ(top.find("core0/a"), std::string::npos);
+    EXPECT_EQ(top.find("other/d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptl

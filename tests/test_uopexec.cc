@@ -1,0 +1,605 @@
+/**
+ * Property tests for uop functional semantics.
+ *
+ * Since the test host is itself an x86-64 machine, we validate the uop
+ * executor's results AND flags against the host silicon via inline
+ * assembly — the same idea as PTLsim's native-mode co-simulation
+ * self-validation. Flags that the x86 specification leaves undefined
+ * for an operation are masked out before comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+
+#include "lib/rng.h"
+#include "uop/uopexec.h"
+
+namespace ptl {
+namespace {
+
+constexpr U16 ALL_FLAGS =
+    FLAG_CF | FLAG_PF | FLAG_AF | FLAG_ZF | FLAG_SF | FLAG_OF;
+
+/** Convert lahf's AH byte + seto's AL byte into our flag word. */
+U16
+hostFlagWord(U64 rax)
+{
+    U8 ah = (U8)(rax >> 8);
+    U8 al = (U8)rax;
+    U16 f = 0;
+    if (ah & 0x01) f |= FLAG_CF;
+    if (ah & 0x04) f |= FLAG_PF;
+    if (ah & 0x10) f |= FLAG_AF;
+    if (ah & 0x40) f |= FLAG_ZF;
+    if (ah & 0x80) f |= FLAG_SF;
+    if (al & 0x01) f |= FLAG_OF;
+    return f;
+}
+
+struct HostOut
+{
+    U64 value;
+    U16 flags;
+};
+
+#define DEFINE_HOST_BINOP(FN, INSN)                                       \
+    template <typename T>                                                 \
+    HostOut FN(U64 av, U64 bv)                                            \
+    {                                                                     \
+        T a = (T)av;                                                      \
+        T b = (T)bv;                                                      \
+        U64 rax;                                                          \
+        asm(INSN " %[b], %[a]\n\t"                                        \
+            "lahf\n\t"                                                    \
+            "seto %%al"                                                   \
+            : "=&a"(rax), [a] "+r"(a)                                     \
+            : [b] "r"(b)                                                  \
+            : "cc");                                                      \
+        return {(U64)a, hostFlagWord(rax)};                               \
+    }
+
+DEFINE_HOST_BINOP(hostAdd, "add")
+DEFINE_HOST_BINOP(hostSub, "sub")
+DEFINE_HOST_BINOP(hostAnd, "and")
+DEFINE_HOST_BINOP(hostOr, "or")
+DEFINE_HOST_BINOP(hostXor, "xor")
+DEFINE_HOST_BINOP(hostImul2, "imul")   // only 16/32/64-bit forms exist
+
+#define DEFINE_HOST_CARRYOP(FN, INSN)                                     \
+    template <typename T>                                                 \
+    HostOut FN(U64 av, U64 bv, bool carry)                                \
+    {                                                                     \
+        T a = (T)av;                                                      \
+        T b = (T)bv;                                                      \
+        U64 rax;                                                          \
+        U64 cin = carry;                                                  \
+        asm("btq $0, %[cin]\n\t" INSN " %[b], %[a]\n\t"                   \
+            "lahf\n\t"                                                    \
+            "seto %%al"                                                   \
+            : "=&a"(rax), [a] "+r"(a)                                     \
+            : [b] "r"(b), [cin] "m"(cin)                                  \
+            : "cc");                                                      \
+        return {(U64)a, hostFlagWord(rax)};                               \
+    }
+
+DEFINE_HOST_CARRYOP(hostAdc, "adc")
+DEFINE_HOST_CARRYOP(hostSbb, "sbb")
+
+#define DEFINE_HOST_SHIFT(FN, INSN)                                       \
+    template <typename T>                                                 \
+    HostOut FN(U64 av, U8 count)                                          \
+    {                                                                     \
+        T a = (T)av;                                                      \
+        U64 rax;                                                          \
+        asm(INSN " %%cl, %[a]\n\t"                                        \
+            "lahf\n\t"                                                    \
+            "seto %%al"                                                   \
+            : "=&a"(rax), [a] "+r"(a)                                     \
+            : "c"(count)                                                  \
+            : "cc");                                                      \
+        return {(U64)a, hostFlagWord(rax)};                               \
+    }
+
+DEFINE_HOST_SHIFT(hostShl, "shl")
+DEFINE_HOST_SHIFT(hostShr, "shr")
+DEFINE_HOST_SHIFT(hostSar, "sar")
+DEFINE_HOST_SHIFT(hostRol, "rol")
+DEFINE_HOST_SHIFT(hostRor, "ror")
+
+Uop
+makeUop(UopOp op, unsigned size)
+{
+    Uop u;
+    u.op = op;
+    u.size = (U8)size;
+    u.rd = REG_temp0;
+    u.ra = REG_rax;
+    u.rb = REG_rbx;
+    u.setflags = SETFLAG_ALL;
+    return u;
+}
+
+/** Interesting operand corpus: corners plus random values. */
+std::vector<U64>
+operandCorpus()
+{
+    std::vector<U64> v = {
+        0, 1, 2, 0x7f, 0x80, 0xff, 0x100, 0x7fff, 0x8000, 0xffff,
+        0x7fffffff, 0x80000000, 0xffffffff, 0x100000000ULL,
+        0x7fffffffffffffffULL, 0x8000000000000000ULL, ~0ULL,
+    };
+    Rng rng(0xC0FFEE);
+    for (int i = 0; i < 40; i++)
+        v.push_back(rng.next());
+    return v;
+}
+
+class BinopVsHost : public ::testing::TestWithParam<unsigned> {};
+
+template <typename HostFn>
+void
+checkBinop(UopOp op, unsigned size, HostFn host, U16 defined_flags)
+{
+    Uop u = makeUop(op, size);
+    auto corpus = operandCorpus();
+    for (U64 a : corpus) {
+        for (U64 b : corpus) {
+            UopOutcome sim = executeUop(u, a, b, 0);
+            HostOut ref;
+            switch (size) {
+              case 1: ref = host.template operator()<U8>(a, b); break;
+              case 2: ref = host.template operator()<U16>(a, b); break;
+              case 4: ref = host.template operator()<U32>(a, b); break;
+              default: ref = host.template operator()<U64>(a, b); break;
+            }
+            ASSERT_EQ(sim.value, ref.value & byteMask(size))
+                << uopInfo(op).name << " size=" << size
+                << " a=" << std::hex << a << " b=" << b;
+            ASSERT_EQ(sim.flags & defined_flags, ref.flags & defined_flags)
+                << uopInfo(op).name << " size=" << size
+                << " a=" << std::hex << a << " b=" << b;
+        }
+    }
+}
+
+struct AddFn
+{
+    template <typename T> HostOut operator()(U64 a, U64 b) const
+    { return hostAdd<T>(a, b); }
+};
+struct SubFn
+{
+    template <typename T> HostOut operator()(U64 a, U64 b) const
+    { return hostSub<T>(a, b); }
+};
+struct AndFn
+{
+    template <typename T> HostOut operator()(U64 a, U64 b) const
+    { return hostAnd<T>(a, b); }
+};
+struct OrFn
+{
+    template <typename T> HostOut operator()(U64 a, U64 b) const
+    { return hostOr<T>(a, b); }
+};
+struct XorFn
+{
+    template <typename T> HostOut operator()(U64 a, U64 b) const
+    { return hostXor<T>(a, b); }
+};
+
+TEST_P(BinopVsHost, Add)
+{
+    checkBinop(UopOp::Add, GetParam(), AddFn{}, ALL_FLAGS);
+}
+
+TEST_P(BinopVsHost, Sub)
+{
+    checkBinop(UopOp::Sub, GetParam(), SubFn{}, ALL_FLAGS);
+}
+
+// AF is architecturally undefined for the logical ops.
+TEST_P(BinopVsHost, And)
+{
+    checkBinop(UopOp::And, GetParam(), AndFn{}, ALL_FLAGS & ~FLAG_AF);
+}
+
+TEST_P(BinopVsHost, Or)
+{
+    checkBinop(UopOp::Or, GetParam(), OrFn{}, ALL_FLAGS & ~FLAG_AF);
+}
+
+TEST_P(BinopVsHost, Xor)
+{
+    checkBinop(UopOp::Xor, GetParam(), XorFn{}, ALL_FLAGS & ~FLAG_AF);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, BinopVsHost,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+class CarryopVsHost
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {};
+
+TEST_P(CarryopVsHost, AdcSbb)
+{
+    auto [size, carry] = GetParam();
+    Uop adc = makeUop(UopOp::Adc, size);
+    adc.rf = REG_cf;
+    Uop sbb = makeUop(UopOp::Sbb, size);
+    sbb.rf = REG_cf;
+    U16 cin = carry ? FLAG_CF : 0;
+    auto corpus = operandCorpus();
+    for (U64 a : corpus) {
+        for (U64 b : corpus) {
+            UopOutcome s1 = executeUop(adc, a, b, 0, cin);
+            UopOutcome s2 = executeUop(sbb, a, b, 0, cin);
+            HostOut r1, r2;
+            switch (size) {
+              case 1:
+                r1 = hostAdc<U8>(a, b, carry);
+                r2 = hostSbb<U8>(a, b, carry);
+                break;
+              case 2:
+                r1 = hostAdc<U16>(a, b, carry);
+                r2 = hostSbb<U16>(a, b, carry);
+                break;
+              case 4:
+                r1 = hostAdc<U32>(a, b, carry);
+                r2 = hostSbb<U32>(a, b, carry);
+                break;
+              default:
+                r1 = hostAdc<U64>(a, b, carry);
+                r2 = hostSbb<U64>(a, b, carry);
+                break;
+            }
+            ASSERT_EQ(s1.value, r1.value & byteMask(size));
+            ASSERT_EQ(s1.flags & ALL_FLAGS, r1.flags);
+            ASSERT_EQ(s2.value, r2.value & byteMask(size));
+            ASSERT_EQ(s2.flags & ALL_FLAGS, r2.flags);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCarry, CarryopVsHost,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Bool()));
+
+class ShiftVsHost : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShiftVsHost, ShlShrSar)
+{
+    unsigned size = GetParam();
+    struct Case { UopOp op; HostOut (*h8)(U64, U8); HostOut (*h16)(U64, U8);
+                  HostOut (*h32)(U64, U8); HostOut (*h64)(U64, U8); };
+    Case cases[] = {
+        {UopOp::Shl, hostShl<U8>, hostShl<U16>, hostShl<U32>, hostShl<U64>},
+        {UopOp::Shr, hostShr<U8>, hostShr<U16>, hostShr<U32>, hostShr<U64>},
+        {UopOp::Sar, hostSar<U8>, hostSar<U16>, hostSar<U32>, hostSar<U64>},
+    };
+    auto corpus = operandCorpus();
+    for (const Case &c : cases) {
+        Uop u = makeUop(c.op, size);
+        u.rf = REG_cf;
+        for (U64 a : corpus) {
+            for (U8 count : {0, 1, 2, 7, 8, 15, 31, 32, 63}) {
+                UopOutcome sim = executeUop(u, a, count, 0, 0);
+                HostOut ref;
+                switch (size) {
+                  case 1: ref = c.h8(a, count); break;
+                  case 2: ref = c.h16(a, count); break;
+                  case 4: ref = c.h32(a, count); break;
+                  default: ref = c.h64(a, count); break;
+                }
+                unsigned masked = count & ((size == 8) ? 63 : 31);
+                ASSERT_EQ(sim.value, ref.value & byteMask(size))
+                    << uopInfo(c.op).name << " size=" << size << " a="
+                    << std::hex << a << " count=" << std::dec << (int)count;
+                if (masked == 0)
+                    continue;  // flags pass through; host preserved too
+                // OF is only defined for count 1; AF always undefined.
+                U16 defined = ALL_FLAGS & ~FLAG_AF;
+                if (masked != 1)
+                    defined &= ~FLAG_OF;
+                // SHL/SHR CF is undefined once the count exceeds the
+                // operand width (AMD and Intel silicon differ here).
+                if (masked >= size * 8)
+                    defined &= ~FLAG_CF;
+                ASSERT_EQ(sim.flags & defined, ref.flags & defined)
+                    << uopInfo(c.op).name << " size=" << size << " a="
+                    << std::hex << a << " count=" << std::dec << (int)count;
+            }
+        }
+    }
+}
+
+TEST_P(ShiftVsHost, RotateValuesAndCarry)
+{
+    unsigned size = GetParam();
+    auto corpus = operandCorpus();
+    for (UopOp op : {UopOp::Rol, UopOp::Ror}) {
+        Uop u = makeUop(op, size);
+        u.rf = REG_cf;
+        u.setflags = SETFLAG_CF | SETFLAG_OF;
+        for (U64 a : corpus) {
+            for (U8 count : {0, 1, 3, 8, 16, 31, 32, 63}) {
+                UopOutcome sim = executeUop(u, a, count, 0, 0);
+                HostOut ref;
+                switch (size) {
+                  case 1:
+                    ref = (op == UopOp::Rol) ? hostRol<U8>(a, count)
+                                             : hostRor<U8>(a, count);
+                    break;
+                  case 2:
+                    ref = (op == UopOp::Rol) ? hostRol<U16>(a, count)
+                                             : hostRor<U16>(a, count);
+                    break;
+                  case 4:
+                    ref = (op == UopOp::Rol) ? hostRol<U32>(a, count)
+                                             : hostRor<U32>(a, count);
+                    break;
+                  default:
+                    ref = (op == UopOp::Rol) ? hostRol<U64>(a, count)
+                                             : hostRor<U64>(a, count);
+                    break;
+                }
+                ASSERT_EQ(sim.value, ref.value & byteMask(size));
+                unsigned masked = count & ((size == 8) ? 63 : 31);
+                if (masked % (size * 8) != 0) {
+                    ASSERT_EQ(sim.flags & FLAG_CF, ref.flags & FLAG_CF)
+                        << uopInfo(op).name << " size=" << size
+                        << " count=" << (int)count;
+                }
+                if (masked == 1) {
+                    ASSERT_EQ(sim.flags & FLAG_OF, ref.flags & FLAG_OF);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, ShiftVsHost,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ImulVsHost, TwoOperandForms)
+{
+    // imul r,r only exists for 16/32/64-bit operands.
+    auto corpus = operandCorpus();
+    for (unsigned size : {2u, 4u, 8u}) {
+        Uop u = makeUop(UopOp::Mull, size);
+        for (U64 a : corpus) {
+            for (U64 b : corpus) {
+                UopOutcome sim = executeUop(u, a, b, 0);
+                HostOut ref;
+                switch (size) {
+                  case 2: ref = hostImul2<U16>(a, b); break;
+                  case 4: ref = hostImul2<U32>(a, b); break;
+                  default: ref = hostImul2<U64>(a, b); break;
+                }
+                ASSERT_EQ(sim.value, ref.value & byteMask(size));
+                // Only CF and OF are defined for imul.
+                ASSERT_EQ(sim.flags & (FLAG_CF | FLAG_OF),
+                          ref.flags & (FLAG_CF | FLAG_OF))
+                    << "size=" << size << " a=" << std::hex << a
+                    << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(Divide, UnsignedQuotientRemainder)
+{
+    Uop q = makeUop(UopOp::DivQ, 8);
+    Uop r = makeUop(UopOp::DivR, 8);
+    Rng rng(99);
+    for (int i = 0; i < 2000; i++) {
+        U64 lo = rng.next();
+        U64 d = rng.next() | 1;  // nonzero
+        U64 hi = d ? rng.next() % d : 0;  // quotient fits
+        UopOutcome oq = executeUop(q, lo, d, hi);
+        UopOutcome orr = executeUop(r, lo, d, hi);
+        ASSERT_EQ(oq.fault, GuestFault::None);
+        unsigned __int128 dividend = ((unsigned __int128)hi << 64) | lo;
+        ASSERT_EQ(oq.value, (U64)(dividend / d));
+        ASSERT_EQ(orr.value, (U64)(dividend % d));
+    }
+}
+
+TEST(Divide, FaultsOnZeroAndOverflow)
+{
+    Uop q = makeUop(UopOp::DivQ, 8);
+    EXPECT_EQ(executeUop(q, 5, 0, 0).fault, GuestFault::DivideError);
+    // hi >= divisor => quotient overflow.
+    EXPECT_EQ(executeUop(q, 0, 3, 7).fault, GuestFault::DivideError);
+    Uop qs = makeUop(UopOp::DivQs, 8);
+    EXPECT_EQ(executeUop(qs, 5, 0, 0).fault, GuestFault::DivideError);
+    // INT64_MIN / -1 overflows.
+    EXPECT_EQ(executeUop(qs, 0x8000000000000000ULL, ~0ULL,
+                         0xffffffffffffffffULL).fault,
+              GuestFault::DivideError);
+}
+
+TEST(Divide, SignedMatchesC)
+{
+    Uop q = makeUop(UopOp::DivQs, 8);
+    Uop r = makeUop(UopOp::DivRs, 8);
+    Rng rng(1234);
+    for (int i = 0; i < 2000; i++) {
+        S64 a = (S64)rng.next() >> (rng.below(32));
+        S64 d = (S64)(rng.next() >> rng.below(48));
+        if (d == 0 || (a == INT64_MIN && d == -1))
+            continue;
+        U64 hi = (a < 0) ? ~0ULL : 0;  // sign extension (cqo)
+        UopOutcome oq = executeUop(q, (U64)a, (U64)d, hi);
+        UopOutcome orr = executeUop(r, (U64)a, (U64)d, hi);
+        ASSERT_EQ(oq.fault, GuestFault::None) << a << "/" << d;
+        ASSERT_EQ((S64)oq.value, a / d);
+        ASSERT_EQ((S64)orr.value, a % d);
+    }
+}
+
+TEST(CondCodes, MatchesX86Semantics)
+{
+    // Exhaustive: all 16 conditions against all flag combinations.
+    for (unsigned f = 0; f < 0x1000; f++) {
+        U16 flags = (U16)f;
+        bool cf = flags & FLAG_CF, zf = flags & FLAG_ZF;
+        bool sf = flags & FLAG_SF, of = flags & FLAG_OF;
+        bool pf = flags & FLAG_PF;
+        EXPECT_EQ(evaluateCond(COND_o, flags), of);
+        EXPECT_EQ(evaluateCond(COND_b, flags), cf);
+        EXPECT_EQ(evaluateCond(COND_e, flags), zf);
+        EXPECT_EQ(evaluateCond(COND_be, flags), cf || zf);
+        EXPECT_EQ(evaluateCond(COND_s, flags), sf);
+        EXPECT_EQ(evaluateCond(COND_p, flags), pf);
+        EXPECT_EQ(evaluateCond(COND_l, flags), sf != of);
+        EXPECT_EQ(evaluateCond(COND_le, flags), zf || (sf != of));
+        // Negations are exact complements.
+        for (int c = 0; c < 16; c += 2) {
+            EXPECT_NE(evaluateCond((CondCode)c, flags),
+                      evaluateCond((CondCode)(c + 1), flags));
+        }
+    }
+}
+
+TEST(SelSet, CmovAndSetcc)
+{
+    Uop sel = makeUop(UopOp::Sel, 8);
+    sel.cond = COND_e;
+    sel.rf = REG_zaps;
+    EXPECT_EQ(executeUop(sel, 111, 222, 0, FLAG_ZF).value, 222ULL);
+    EXPECT_EQ(executeUop(sel, 111, 222, 0, 0).value, 111ULL);
+
+    Uop set = makeUop(UopOp::Set, 8);
+    set.cond = COND_b;
+    set.rf = REG_cf;
+    EXPECT_EQ(executeUop(set, 0, 0, 0, FLAG_CF).value, 1ULL);
+    EXPECT_EQ(executeUop(set, 0, 0, 0, 0).value, 0ULL);
+}
+
+TEST(CollCC, MergesThreeGroups)
+{
+    Uop u = makeUop(UopOp::CollCC, 8);
+    U16 zaps_src = FLAG_ZF | FLAG_SF | FLAG_CF;  // CF here must be ignored
+    U16 cf_src = FLAG_CF | FLAG_ZF;              // ZF here must be ignored
+    U16 of_src = FLAG_OF | FLAG_CF;
+    UopOutcome out = executeUop(u, 0, 0, 0, 0, zaps_src, cf_src, of_src);
+    EXPECT_EQ(out.flags, FLAG_ZF | FLAG_SF | FLAG_CF | FLAG_OF);
+}
+
+TEST(Branches, DirectAndConditional)
+{
+    Uop bru = makeUop(UopOp::Bru, 8);
+    bru.imm = 0x1000;
+    bru.imm2 = 0x1005;
+    UopOutcome out = executeUop(bru, 0, 0, 0);
+    EXPECT_TRUE(out.taken);
+    EXPECT_EQ(out.value, 0x1000ULL);
+
+    Uop br = makeUop(UopOp::BrCC, 8);
+    br.cond = COND_ne;
+    br.rf = REG_zaps;
+    br.imm = 0x2000;
+    br.imm2 = 0x2006;
+    out = executeUop(br, 0, 0, 0, 0);
+    EXPECT_TRUE(out.taken);
+    EXPECT_EQ(out.value, 0x2000ULL);
+    out = executeUop(br, 0, 0, 0, FLAG_ZF);
+    EXPECT_FALSE(out.taken);
+    EXPECT_EQ(out.value, 0x2006ULL);
+
+    Uop jmp = makeUop(UopOp::Jmp, 8);
+    out = executeUop(jmp, 0xdead0000, 0, 0);
+    EXPECT_EQ(out.value, 0xdead0000ULL);
+}
+
+TEST(Misc, BswapBtBsfMerge)
+{
+    Uop bs = makeUop(UopOp::Bswap, 8);
+    EXPECT_EQ(executeUop(bs, 0x0102030405060708ULL, 0, 0).value,
+              0x0807060504030201ULL);
+    Uop bs4 = makeUop(UopOp::Bswap, 4);
+    EXPECT_EQ(executeUop(bs4, 0x01020304ULL, 0, 0).value, 0x04030201ULL);
+
+    Uop bt = makeUop(UopOp::Bt, 8);
+    EXPECT_EQ(executeUop(bt, 0b100, 2, 0).flags & FLAG_CF, FLAG_CF);
+    EXPECT_EQ(executeUop(bt, 0b100, 3, 0).flags & FLAG_CF, 0);
+    Uop bts = makeUop(UopOp::Bts, 8);
+    EXPECT_EQ(executeUop(bts, 0, 5, 0).value, 32ULL);
+
+    Uop bsf = makeUop(UopOp::Bsf, 8);
+    EXPECT_EQ(executeUop(bsf, 0x80, 0, 0).value, 7ULL);
+    EXPECT_EQ(executeUop(bsf, 0, 0, 0).flags & FLAG_ZF, FLAG_ZF);
+    Uop bsr = makeUop(UopOp::Bsr, 8);
+    EXPECT_EQ(executeUop(bsr, 0x80, 0, 0).value, 7ULL);
+
+    Uop merge = makeUop(UopOp::MergeLo, 1);
+    EXPECT_EQ(executeUop(merge, 0x1122334455667788ULL, 0xAB, 0).value,
+              0x11223344556677ABULL);
+    Uop merge2 = makeUop(UopOp::MergeLo, 2);
+    EXPECT_EQ(executeUop(merge2, 0x1122334455667788ULL, 0xABCD, 0).value,
+              0x112233445566ABCDULL);
+}
+
+TEST(Fp, ScalarDoubleOps)
+{
+    auto d2u = [](double d) { return std::bit_cast<U64>(d); };
+    auto u2d = [](U64 u) { return std::bit_cast<double>(u); };
+    Uop add = makeUop(UopOp::Addf, 8);
+    EXPECT_DOUBLE_EQ(u2d(executeUop(add, d2u(1.5), d2u(2.25), 0).value), 3.75);
+    Uop mul = makeUop(UopOp::Mulf, 8);
+    EXPECT_DOUBLE_EQ(u2d(executeUop(mul, d2u(3.0), d2u(-2.0), 0).value), -6.0);
+    Uop div = makeUop(UopOp::Divf, 8);
+    EXPECT_DOUBLE_EQ(u2d(executeUop(div, d2u(1.0), d2u(4.0), 0).value), 0.25);
+    Uop sqrt = makeUop(UopOp::Sqrtf, 8);
+    EXPECT_DOUBLE_EQ(u2d(executeUop(sqrt, d2u(9.0), 0, 0).value), 3.0);
+    Uop cvt = makeUop(UopOp::Cvtif, 8);
+    EXPECT_DOUBLE_EQ(u2d(executeUop(cvt, (U64)(-7), 0, 0).value), -7.0);
+    Uop cvt2 = makeUop(UopOp::Cvtfi, 8);
+    EXPECT_EQ((S64)executeUop(cvt2, d2u(-7.9), 0, 0).value, -7);
+
+    Uop cmp = makeUop(UopOp::Cmpf, 8);
+    EXPECT_EQ(executeUop(cmp, d2u(1.0), d2u(2.0), 0).flags, FLAG_CF);
+    EXPECT_EQ(executeUop(cmp, d2u(2.0), d2u(1.0), 0).flags, 0);
+    EXPECT_EQ(executeUop(cmp, d2u(2.0), d2u(2.0), 0).flags, FLAG_ZF);
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(executeUop(cmp, d2u(nan), d2u(1.0), 0).flags,
+              FLAG_ZF | FLAG_PF | FLAG_CF);
+}
+
+TEST(Misc, MemAddrGeneration)
+{
+    Uop ld = makeUop(UopOp::Ld, 8);
+    ld.imm = 0x10;
+    ld.scale = 3;
+    EXPECT_EQ(uopMemAddr(ld, 0x1000, 4), 0x1000ULL + (4ULL << 3) + 0x10);
+    ld.rb_imm = true;
+    ld.imm = -8;
+    EXPECT_EQ(uopMemAddr(ld, 0x1000, 999), 0xff8ULL);
+}
+
+TEST(Misc, ChkFiresOnCondition)
+{
+    Uop chk = makeUop(UopOp::Chk, 8);
+    chk.cond = COND_e;
+    chk.rf = REG_zaps;
+    EXPECT_EQ(executeUop(chk, 0, 0, 0, FLAG_ZF).fault,
+              GuestFault::MicrocodeCheck);
+    EXPECT_EQ(executeUop(chk, 0, 0, 0, 0).fault, GuestFault::None);
+}
+
+TEST(Misc, MovFlagsTransfers)
+{
+    Uop rcc = makeUop(UopOp::MovRcc, 8);
+    rcc.rf = REG_zaps;
+    EXPECT_EQ(executeUop(rcc, 0, 0, 0, FLAG_ZF | FLAG_CF).value,
+              (U64)(FLAG_ZF | FLAG_CF | 0x2));
+    Uop ccr = makeUop(UopOp::MovCcr, 8);
+    UopOutcome out = executeUop(ccr, 0, FLAG_ZF | FLAG_OF | 0x9000, 0);
+    EXPECT_EQ(out.flags, FLAG_ZF | FLAG_OF);
+}
+
+}  // namespace
+}  // namespace ptl
