@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cycles_in_mode.dir/fig2_cycles_in_mode.cpp.o"
+  "CMakeFiles/fig2_cycles_in_mode.dir/fig2_cycles_in_mode.cpp.o.d"
+  "fig2_cycles_in_mode"
+  "fig2_cycles_in_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cycles_in_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_microarch_timelapse.dir/fig3_microarch_timelapse.cpp.o"
+  "CMakeFiles/fig3_microarch_timelapse.dir/fig3_microarch_timelapse.cpp.o.d"
+  "fig3_microarch_timelapse"
+  "fig3_microarch_timelapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_microarch_timelapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

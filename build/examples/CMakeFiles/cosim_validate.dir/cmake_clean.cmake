@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_validate.dir/cosim_validate.cpp.o"
+  "CMakeFiles/cosim_validate.dir/cosim_validate.cpp.o.d"
+  "cosim_validate"
+  "cosim_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

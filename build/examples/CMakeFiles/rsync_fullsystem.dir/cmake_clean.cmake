@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsync_fullsystem.dir/rsync_fullsystem.cpp.o"
+  "CMakeFiles/rsync_fullsystem.dir/rsync_fullsystem.cpp.o.d"
+  "rsync_fullsystem"
+  "rsync_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsync_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rsync_fullsystem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_contention.dir/smt_contention.cpp.o"
+  "CMakeFiles/smt_contention.dir/smt_contention.cpp.o.d"
+  "smt_contention"
+  "smt_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

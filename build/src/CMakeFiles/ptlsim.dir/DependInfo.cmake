@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/predictor.cc" "src/CMakeFiles/ptlsim.dir/branch/predictor.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/branch/predictor.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/CMakeFiles/ptlsim.dir/core/context.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/context.cc.o.d"
+  "/root/repo/src/core/coreapi.cc" "src/CMakeFiles/ptlsim.dir/core/coreapi.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/coreapi.cc.o.d"
+  "/root/repo/src/core/interlock.cc" "src/CMakeFiles/ptlsim.dir/core/interlock.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/interlock.cc.o.d"
+  "/root/repo/src/core/ooo/backend.cc" "src/CMakeFiles/ptlsim.dir/core/ooo/backend.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/ooo/backend.cc.o.d"
+  "/root/repo/src/core/ooo/frontend.cc" "src/CMakeFiles/ptlsim.dir/core/ooo/frontend.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/ooo/frontend.cc.o.d"
+  "/root/repo/src/core/ooo/lsq.cc" "src/CMakeFiles/ptlsim.dir/core/ooo/lsq.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/ooo/lsq.cc.o.d"
+  "/root/repo/src/core/ooo/ooocore.cc" "src/CMakeFiles/ptlsim.dir/core/ooo/ooocore.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/ooo/ooocore.cc.o.d"
+  "/root/repo/src/core/seqcore.cc" "src/CMakeFiles/ptlsim.dir/core/seqcore.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/core/seqcore.cc.o.d"
+  "/root/repo/src/decode/bbcache.cc" "src/CMakeFiles/ptlsim.dir/decode/bbcache.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/decode/bbcache.cc.o.d"
+  "/root/repo/src/decode/translate.cc" "src/CMakeFiles/ptlsim.dir/decode/translate.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/decode/translate.cc.o.d"
+  "/root/repo/src/decode/x86decode.cc" "src/CMakeFiles/ptlsim.dir/decode/x86decode.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/decode/x86decode.cc.o.d"
+  "/root/repo/src/kernel/guestkernel.cc" "src/CMakeFiles/ptlsim.dir/kernel/guestkernel.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/kernel/guestkernel.cc.o.d"
+  "/root/repo/src/kernel/guestlib.cc" "src/CMakeFiles/ptlsim.dir/kernel/guestlib.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/kernel/guestlib.cc.o.d"
+  "/root/repo/src/lib/config.cc" "src/CMakeFiles/ptlsim.dir/lib/config.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/lib/config.cc.o.d"
+  "/root/repo/src/lib/logging.cc" "src/CMakeFiles/ptlsim.dir/lib/logging.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/lib/logging.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/ptlsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coherence.cc" "src/CMakeFiles/ptlsim.dir/mem/coherence.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/mem/coherence.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/ptlsim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/pagetable.cc" "src/CMakeFiles/ptlsim.dir/mem/pagetable.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/mem/pagetable.cc.o.d"
+  "/root/repo/src/mem/physmem.cc" "src/CMakeFiles/ptlsim.dir/mem/physmem.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/mem/physmem.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/ptlsim.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/native/cosim.cc" "src/CMakeFiles/ptlsim.dir/native/cosim.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/native/cosim.cc.o.d"
+  "/root/repo/src/native/triggers.cc" "src/CMakeFiles/ptlsim.dir/native/triggers.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/native/triggers.cc.o.d"
+  "/root/repo/src/stats/ptlstats.cc" "src/CMakeFiles/ptlsim.dir/stats/ptlstats.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/stats/ptlstats.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/ptlsim.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/stats/stats.cc.o.d"
+  "/root/repo/src/sys/checkpoint.cc" "src/CMakeFiles/ptlsim.dir/sys/checkpoint.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/sys/checkpoint.cc.o.d"
+  "/root/repo/src/sys/devices.cc" "src/CMakeFiles/ptlsim.dir/sys/devices.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/sys/devices.cc.o.d"
+  "/root/repo/src/sys/events.cc" "src/CMakeFiles/ptlsim.dir/sys/events.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/sys/events.cc.o.d"
+  "/root/repo/src/sys/hypervisor.cc" "src/CMakeFiles/ptlsim.dir/sys/hypervisor.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/sys/hypervisor.cc.o.d"
+  "/root/repo/src/sys/machine.cc" "src/CMakeFiles/ptlsim.dir/sys/machine.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/sys/machine.cc.o.d"
+  "/root/repo/src/sys/tracereplay.cc" "src/CMakeFiles/ptlsim.dir/sys/tracereplay.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/sys/tracereplay.cc.o.d"
+  "/root/repo/src/uop/uop.cc" "src/CMakeFiles/ptlsim.dir/uop/uop.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/uop/uop.cc.o.d"
+  "/root/repo/src/uop/uopexec.cc" "src/CMakeFiles/ptlsim.dir/uop/uopexec.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/uop/uopexec.cc.o.d"
+  "/root/repo/src/workload/fileset.cc" "src/CMakeFiles/ptlsim.dir/workload/fileset.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/workload/fileset.cc.o.d"
+  "/root/repo/src/workload/k8preset.cc" "src/CMakeFiles/ptlsim.dir/workload/k8preset.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/workload/k8preset.cc.o.d"
+  "/root/repo/src/workload/rsyncbench.cc" "src/CMakeFiles/ptlsim.dir/workload/rsyncbench.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/workload/rsyncbench.cc.o.d"
+  "/root/repo/src/xasm/assembler.cc" "src/CMakeFiles/ptlsim.dir/xasm/assembler.cc.o" "gcc" "src/CMakeFiles/ptlsim.dir/xasm/assembler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native.dir/test_native.cc.o"
+  "CMakeFiles/test_native.dir/test_native.cc.o.d"
+  "test_native"
+  "test_native.pdb"
+  "test_native[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

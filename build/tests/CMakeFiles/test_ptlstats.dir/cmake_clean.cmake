@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptlstats.dir/test_ptlstats.cc.o"
+  "CMakeFiles/test_ptlstats.dir/test_ptlstats.cc.o.d"
+  "test_ptlstats"
+  "test_ptlstats.pdb"
+  "test_ptlstats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptlstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

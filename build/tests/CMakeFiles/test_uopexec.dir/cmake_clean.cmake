@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uopexec.dir/test_uopexec.cc.o"
+  "CMakeFiles/test_uopexec.dir/test_uopexec.cc.o.d"
+  "test_uopexec"
+  "test_uopexec.pdb"
+  "test_uopexec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uopexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
