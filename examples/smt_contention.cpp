@@ -23,7 +23,7 @@ namespace {
 class BareSystem : public SystemInterface
 {
   public:
-    explicit BareSystem(BasicBlockCache &bbcache) : bbcache(&bbcache) {}
+    explicit BareSystem(BasicBlockCache &bbs) : bbcache(&bbs) {}
     U64 hypercall(Context &, U64, U64, U64, U64) override { return 0; }
     U64 readTsc(const Context &) override { return 0; }
     void vcpuBlock(Context &ctx) override { ctx.running = false; }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full correctness sweep: build and run the entire test suite under
+# AddressSanitizer and then UndefinedBehaviorSanitizer, using the
+# presets from CMakePresets.json. Intended as the pre-merge gate for
+# changes touching src/.
+#
+# Usage: scripts/check.sh [jobs]
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+cd "$repo_root"
+
+for preset in asan ubsan; do
+    echo "==== [$preset] configure ===="
+    cmake --preset "$preset"
+    echo "==== [$preset] build ===="
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "==== [$preset] test ===="
+    ctest --preset "$preset" -j "$jobs"
+done
+
+echo "check.sh: ASan and UBSan suites passed"

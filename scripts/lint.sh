@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# clang-tidy lint gate over src/. Registered as the `lint`-labelled
+# CTest (see tests/CMakeLists.txt); exits 77 — the CTest skip code —
+# when clang-tidy is not installed so environments without LLVM skip
+# rather than fail.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir: a configured build tree containing compile_commands.json
+#              (default: build)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+    echo "lint.sh: clang-tidy not found; skipping lint gate" >&2
+    exit 77
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint.sh: $build_dir/compile_commands.json missing;" \
+         "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on)" >&2
+    exit 1
+fi
+
+cd "$repo_root"
+sources=$(find src -name '*.cc' | sort)
+
+status=0
+for f in $sources; do
+    "$tidy" -p "$build_dir" --quiet "$f" || status=1
+done
+
+exit $status

@@ -188,6 +188,120 @@ OooCore::resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e)
 // Commit
 // ---------------------------------------------------------------------
 
+/**
+ * Lockstep self-validation (Section 2.3): replay each instruction the
+ * pipeline commits on the functional reference engine (the same engine
+ * backing SeqCore) against a shadow context, then require the full
+ * architectural state — RIP, every register, the flags image, and the
+ * memory effects — to be bit-identical. Divergences are simulator
+ * bugs; panic with a cycle-stamped report so the offending commit can
+ * be replayed.
+ *
+ * The reference steps BEFORE the pipeline's stores land in guest
+ * memory (lockstepStepReference), so a read-modify-write instruction's
+ * reference load sees pre-instruction memory rather than the value
+ * this very commit is about to write. Register state is then compared
+ * after the pipeline finishes committing the group (lockstepCompare).
+ */
+void
+OooCore::lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
+                               const Uop &first_uop)
+{
+    Context &shadow = *t.shadow_ctx;
+    st_lockstep_commits++;
+
+    if (shadow.rip != insn_rip)
+        panic("[cycle %llu] lockstep divergence: pipeline committed rip "
+              "%llx but the reference is at %llx (RIP stream desync)",
+              (unsigned long long)now, (unsigned long long)insn_rip,
+              (unsigned long long)shadow.rip);
+
+    // A mispredicted not-taken branch inside a multi-pseudo-op
+    // translation (a rep string loop's exit check) redirects fetch to
+    // the instruction's own rip, so the pipeline re-fetches and
+    // re-commits pseudo-ops the reference has already executed. The
+    // re-execution starts from the same committed state and is
+    // idempotent; recognize it by the committing group's first uop
+    // differing from the reference's pending uop, and skip the step
+    // (the post-commit state compare still runs).
+    const Uop *ref_next = t.checker->peekUop();
+    if (ref_next
+        && (ref_next->rip != first_uop.rip || ref_next->op != first_uop.op
+            || ref_next->rd != first_uop.rd || ref_next->ra != first_uop.ra
+            || ref_next->imm != first_uop.imm)) {
+        st_lockstep_skips++;
+        return;
+    }
+
+    // The reference never delivers events on its own: the pipeline
+    // resyncs the shadow explicitly whenever it takes one.
+    shadow.event_pending = false;
+    FunctionalEngine::StepResult r = t.checker->stepInsn(now);
+    if (r.fault_delivered != GuestFault::None)
+        panic("[cycle %llu] lockstep divergence at rip %llx: pipeline "
+              "committed cleanly but the reference faulted (%s)",
+              (unsigned long long)now, (unsigned long long)insn_rip,
+              guestFaultName(r.fault_delivered));
+}
+
+/** The reference just wrote this instruction's stores to guest memory;
+ *  the pipeline is about to write the same locations from its STQ.
+ *  Compare what the reference left there against the STQ data. */
+void
+OooCore::lockstepCheckStore(Thread &t, U64 now, U64 insn_rip,
+                            const LsqEntry &s, int size)
+{
+    U64 ref_value = 0;
+    GuestAccess a = guestRead(*aspace, *t.ctx, s.va, (unsigned)size,
+                              ref_value);
+    U64 mask = size >= 8 ? ~0ULL : (1ULL << (size * 8)) - 1;
+    if (a.ok() && ((ref_value ^ s.data) & mask) != 0)
+        panic("[cycle %llu] lockstep divergence after commit of rip "
+              "%llx:\n  store [%llx]: pipeline %llx vs reference %llx\n",
+              (unsigned long long)now, (unsigned long long)insn_rip,
+              (unsigned long long)s.va,
+              (unsigned long long)(s.data & mask),
+              (unsigned long long)(ref_value & mask));
+}
+
+void
+OooCore::lockstepCompare(Thread &t, U64 now, U64 insn_rip)
+{
+    Context &shadow = *t.shadow_ctx;
+    Context &arch = *t.ctx;
+
+    std::string diff;
+    if (shadow.rip != arch.rip)
+        diff += strprintf("  rip: pipeline %llx vs reference %llx\n",
+                          (unsigned long long)arch.rip,
+                          (unsigned long long)shadow.rip);
+    if (shadow.flags != arch.flags)
+        diff += strprintf("  flags: pipeline %04x vs reference %04x\n",
+                          arch.flags, shadow.flags);
+    for (int reg = 0; reg < NUM_UOP_REGS; reg++) {
+        if (shadow.regs[reg] != arch.regs[reg])
+            diff += strprintf("  %s: pipeline %llx vs reference %llx\n",
+                              uopRegName(reg),
+                              (unsigned long long)arch.regs[reg],
+                              (unsigned long long)shadow.regs[reg]);
+    }
+    if (!diff.empty())
+        panic("[cycle %llu] lockstep divergence after commit of rip "
+              "%llx:\n%s", (unsigned long long)now,
+              (unsigned long long)insn_rip, diff.c_str());
+}
+
+/** Re-seed the lockstep shadow from the real context after microcode
+ *  (assists), event or fault delivery mutated it out of band. */
+void
+OooCore::lockstepResync(Thread &t)
+{
+    if (!t.shadow_ctx)
+        return;
+    *t.shadow_ctx = *t.ctx;
+    t.checker->reposition();
+}
+
 void
 OooCore::runChecker(Thread &t, const RobEntry &e)
 {
@@ -320,6 +434,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         deliverEvent(ctx, *aspace);
         flushThread(t);  // after delivery: flush re-syncs PRF from ctx
         st_events++;
+        lockstepResync(t);
         redirectFetch(t, ctx.rip, now, 1);
         t.last_commit_cycle = now;
         return true;
@@ -384,6 +499,12 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         flushThread(t);
         ctx.rip = insn_rip;
         redirectFetch(t, insn_rip, now, 2);
+        // The refetch restarts from the instruction boundary, which
+        // for multi-pseudo-op translations (rep string loops) can
+        // re-commit a pseudo-op the reference already stepped past.
+        // No reference memory writes are lost: the flushed group never
+        // committed, so the reference never stepped it.
+        lockstepResync(t);
         t.last_commit_cycle = now;
         budget = 0;
         return true;
@@ -393,6 +514,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         st_faults++;
         deliverFault(ctx, *aspace, fault, insn_rip, fault_addr);
         flushThread(t);
+        lockstepResync(t);
         redirectFetch(t, ctx.rip, now, 1);
         t.last_commit_cycle = now;
         budget = 0;
@@ -404,6 +526,37 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
     bool has_assist = t.rob[group[count - 1]].uop.isAssist();
 
     pending_smc.clear();
+
+    // Assist microcode has system side effects that must not run
+    // twice, so assist groups resync the shadow instead of replaying.
+    bool do_lockstep = lockstep_enabled && t.checker && !has_assist;
+    if (do_lockstep) {
+        // The reference performs SMC stores itself and consumes the
+        // code-mfn flag as it does; capture the pipeline's view of
+        // which code frames this group touches before that happens.
+        for (int n = 0; n < count; n++) {
+            const RobEntry &e = t.rob[group[n]];
+            if (!e.uop.isStore() || e.lsq < 0)
+                continue;
+            const LsqEntry &s = t.stq[e.lsq];
+            if (sys->isCodeMfn(pageOf(s.paddr)))
+                pending_smc.push_back(pageOf(s.paddr));
+            if (pageOf(s.va) != pageOf(s.va + e.uop.size - 1)) {
+                GuestAccess b = guestTranslate(*aspace, *t.ctx,
+                                               s.va + e.uop.size - 1,
+                                               MemAccess::Write);
+                if (b.ok() && sys->isCodeMfn(pageOf(b.paddr)))
+                    pending_smc.push_back(pageOf(b.paddr));
+            }
+        }
+        lockstepStepReference(t, now, insn_rip, t.rob[group[0]].uop);
+        for (int n = 0; n < count; n++) {
+            const RobEntry &e = t.rob[group[n]];
+            if (e.uop.isStore() && e.lsq >= 0)
+                lockstepCheckStore(t, now, insn_rip, t.stq[e.lsq],
+                                   e.uop.size);
+        }
+    }
     for (int n = 0; n < count; n++) {
         RobEntry &e = t.rob[group[n]];
         if (e.uop.isAssist())
@@ -427,6 +580,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
             st_faults++;
             deliverFault(ctx, *aspace, ar.fault, insn_rip, insn_rip);
             flushThread(t);
+            lockstepResync(t);
             redirectFetch(t, ctx.rip, now, 1);
             t.last_commit_cycle = now;
             budget = 0;
@@ -435,6 +589,10 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         ctx.rip = ar.next_rip;
         st_commit_insns++;
         flushThread(t);
+        // Assists run microcode with system side effects (hypercalls,
+        // TSC reads) that must not execute twice: resync the lockstep
+        // shadow instead of replaying.
+        lockstepResync(t);
         redirectFetch(t, ctx.rip, now, 1);
         t.last_commit_cycle = now;
         budget = 0;
@@ -459,6 +617,9 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
     st_commit_insns++;
     budget -= count;
     t.last_commit_cycle = now;
+
+    if (do_lockstep)
+        lockstepCompare(t, now, insn_rip);
 
     if (!pending_smc.empty()) {
         // Committed stores hit translated code: invalidate and restart

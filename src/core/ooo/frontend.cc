@@ -195,9 +195,11 @@ OooCore::renameOne(U64 now, Thread &t, int tid)
 
     t.rob_tail = robNext(t, idx);
     t.rob_used++;
+    U64 seq = t.next_seq++;
     RobEntry &e = t.rob[idx];
     e = RobEntry{};
     e.uop = u;
+    e.seq = seq;
     e.thread = tid;
     e.pred = fu.pred;
     e.predicted_next = fu.predicted_next;
@@ -250,7 +252,6 @@ OooCore::renameOne(U64 now, Thread &t, int tid)
     }
 
     // ---- LSQ allocation ----
-    U64 seq = t.next_seq++;
     if (u.isLoad() || u.isStore()) {
         std::vector<LsqEntry> &lsq = u.isLoad() ? t.ldq : t.stq;
         int slot = -1;

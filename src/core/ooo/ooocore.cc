@@ -4,15 +4,20 @@
 #include <cstdlib>
 
 #include "lib/logging.h"
+#include "verify/verify.h"
+
+#ifndef PTL_VERIFY
+#define PTL_VERIFY 1
+#endif
 
 namespace ptl {
 
 int OooCore::next_core_id = 0;
 
-OooCore::OooCore(const CoreBuildParams &params, bool smt)
-    : cfg(*params.config), smt(smt), aspace(params.aspace),
+OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
+    : cfg(*params.config), smt(smt_mode), aspace(params.aspace),
       bbcache(params.bbcache), sys(params.sys), stats(params.stats),
-      interlocks(params.interlocks),
+      interlocks(params.interlocks), coherence(params.coherence),
       st_commit_insns(stats->counter(params.prefix + "commit/insns")),
       st_commit_uops(stats->counter(params.prefix + "commit/uops")),
       st_cycles(stats->counter(params.prefix + "cycles")),
@@ -38,7 +43,11 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt)
       st_hoist_flushes(stats->counter(params.prefix + "lsq/hoist_flushes")),
       st_deadlock_rescues(
           stats->counter(params.prefix + "smt/deadlock_rescues")),
-      st_checker_commits(stats->counter(params.prefix + "checker/commits"))
+      st_checker_commits(stats->counter(params.prefix + "checker/commits")),
+      st_lockstep_commits(
+          stats->counter(params.prefix + "checker/lockstep_commits")),
+      st_lockstep_skips(
+          stats->counter(params.prefix + "checker/lockstep_skips"))
 {
     core_id = next_core_id++;
     trace_commits = std::getenv("PTLSIM_TRACE") != nullptr;
@@ -109,6 +118,44 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt)
         }
         t.fetch_rip = t.ctx->rip;
     }
+
+    // Commit checker (Section 2.3's TFSim-style self-validation): the
+    // per-uop architectural replay always runs under commit_checker;
+    // the full lockstep compare against the functional reference
+    // engine additionally requires that this pipeline is the only
+    // writer of guest memory, since the reference re-applies committed
+    // stores (idempotent only without racing SMT siblings or peers).
+    lockstep_enabled = cfg.commit_checker && threads.size() == 1
+                       && coherence == nullptr;
+    if (lockstep_enabled) {
+        for (size_t i = 0; i < threads.size(); i++) {
+            Thread &t = threads[i];
+            t.shadow_ctx = std::make_unique<Context>(*t.ctx);
+            t.checker = std::make_unique<FunctionalEngine>(
+                *t.shadow_ctx, *aspace, *bbcache, *sys, *stats,
+                params.prefix + "checker/t" + std::to_string(i) + "/");
+        }
+    }
+
+    // Per-cycle invariant checker (src/verify). Runtime opt-in via the
+    // `verify` config flag or PTLSIM_VERIFY=1; the per-cycle call site
+    // is additionally compiled out entirely when PTL_VERIFY=OFF.
+    if (cfg.verify || std::getenv("PTLSIM_VERIFY") != nullptr)
+        verifier = std::make_unique<InvariantChecker>(
+            *stats, params.prefix, InvariantChecker::Action::Panic);
+}
+
+OooCore::~OooCore() = default;
+
+int
+OooCore::verifyNow(U64 now)
+{
+    if (!verifier)
+        return 0;
+    int n = verifier->checkCore(*this, now);
+    if (coherence)
+        n += verifier->checkCoherence(*coherence, now);
+    return n;
 }
 
 int
@@ -192,7 +239,7 @@ OooCore::redirectFetch(Thread &t, U64 rip, U64 now, U64 penalty)
 }
 
 void
-OooCore::squashYounger(Thread &t, int rob_idx, U64 now)
+OooCore::squashYounger(Thread &t, int rob_idx, U64 /*now*/)
 {
     // Walk from the tail back to (but excluding) rob_idx, undoing
     // allocations in reverse order.
@@ -295,8 +342,13 @@ OooCore::flushThread(Thread &t)
 void
 OooCore::flushPipeline()
 {
-    for (Thread &t : threads)
+    for (Thread &t : threads) {
         flushThread(t);
+        // External flushes mean the context may have been advanced
+        // outside this core (native mode, checkpoint restore, CR3
+        // switch); the lockstep shadow must restart from the new state.
+        lockstepResync(t);
+    }
 }
 
 void
@@ -373,6 +425,14 @@ OooCore::cycle(U64 now)
             t.last_commit_cycle = now;
         }
     }
+
+#if PTL_VERIFY
+    // End-of-cycle invariant audit (src/verify): all pipeline stages
+    // have run, so every structure should be self-consistent.
+    if (verifier && cfg.verify_interval > 0
+        && now % (U64)cfg.verify_interval == 0)
+        verifyNow(now);
+#endif
 }
 
 void

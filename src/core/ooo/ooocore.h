@@ -51,10 +51,14 @@
 
 namespace ptl {
 
+class InvariantChecker;
+struct VerifyTestHook;
+
 class OooCore : public CoreModel
 {
   public:
     OooCore(const CoreBuildParams &params, bool smt);
+    ~OooCore() override;
 
     void cycle(U64 now) override;
     bool allIdle() const override;
@@ -67,7 +71,17 @@ class OooCore : public CoreModel
      *  must be held by a live LSQ entry. panic()s on an orphan. */
     void validateInterlocks() const;
 
+    /**
+     * Run the embedded invariant checker once (ROB/LSQ/PRF/issue
+     * queues, plus the coherence directory when multi-core). Returns
+     * the violation count, or 0 when no checker is attached (the
+     * `verify` config flag is off). Panics on the first violation.
+     */
+    int verifyNow(U64 now);
+
   private:
+    friend class InvariantChecker;   // src/verify: reads all pipeline state
+    friend struct VerifyTestHook;    // src/verify: test-only corruption
     // ---- physical registers ----
     struct PhysReg
     {
@@ -94,27 +108,30 @@ class OooCore : public CoreModel
 
     enum class RobState : U8 { Waiting, InQueue, Issued, Done };
 
+    // Fields are ordered by alignment (U64s, then pred, then ints,
+    // then bytes) so the entry packs into 168 bytes; the ROB is the
+    // hottest array in the simulator and every byte of padding here
+    // costs cache footprint in rename/issue/commit.
     struct RobEntry
     {
         Uop uop;
-        RobState state = RobState::Waiting;
+        U64 seq = 0;            ///< global program-order sequence
+        U64 retry_cycle = 0;    ///< earliest (re)issue attempt
+        U64 fault_addr = 0;
+        U64 predicted_next = 0;
+        U64 actual_next = 0;
+        U64 result = 0;
+        BranchPrediction pred;  ///< branch resolution state
         int thread = 0;
         int phys = -1;          ///< destination physical register
         int src[4] = {-1, -1, -1, -1};  ///< ra, rb, rc, rf phys
         int cluster = 0;
         int lsq = -1;           ///< LDQ/STQ slot (by kind)
-        U64 retry_cycle = 0;    ///< earliest (re)issue attempt
-        GuestFault fault = GuestFault::None;
-        U64 fault_addr = 0;
-        // Branch resolution state.
-        BranchPrediction pred;
-        U64 predicted_next = 0;
-        U64 actual_next = 0;
-        bool mispredicted = false;
         int checkpoint = -1;
-        // Memory replay bookkeeping.
-        bool hoist_violation = false;
-        U64 result = 0;
+        RobState state = RobState::Waiting;
+        GuestFault fault = GuestFault::None;
+        bool mispredicted = false;
+        bool hoist_violation = false;  ///< memory replay bookkeeping
         U16 outflags = 0;
     };
 
@@ -219,6 +236,12 @@ class OooCore : public CoreModel
     bool commitThread(U64 now, Thread &t, int &budget);
     void commitUopState(Thread &t, RobEntry &e);
     void runChecker(Thread &t, const RobEntry &eom_entry);
+    void lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
+                               const Uop &first_uop);
+    void lockstepCheckStore(Thread &t, U64 now, U64 insn_rip,
+                            const LsqEntry &s, int size);
+    void lockstepCompare(Thread &t, U64 now, U64 insn_rip);
+    void lockstepResync(Thread &t);
     int pickFetchThread(U64 now);
     int ownerId(const Thread &t) const;
 
@@ -230,8 +253,17 @@ class OooCore : public CoreModel
     SystemInterface *sys;
     StatsTree *stats;
     InterlockController *interlocks;
+    CoherenceController *coherence;
     int core_id = 0;
     static int next_core_id;
+
+    /** Per-cycle invariant checker (verify=1; see src/verify). */
+    std::unique_ptr<InvariantChecker> verifier;
+    /** Lockstep reference compare is only sound when this core's
+     *  commits are the sole writers of guest memory (no SMT siblings,
+     *  no coherence peers); otherwise the per-uop replay checker
+     *  still runs but full-context lockstep is skipped. */
+    bool lockstep_enabled = false;
 
     std::unique_ptr<MemoryHierarchy> hierarchy;
     std::unique_ptr<BranchPredictor> predictor;
@@ -270,6 +302,8 @@ class OooCore : public CoreModel
     Counter &st_hoist_flushes;
     Counter &st_deadlock_rescues;
     Counter &st_checker_commits;
+    Counter &st_lockstep_commits;
+    Counter &st_lockstep_skips;
 };
 
 }  // namespace ptl

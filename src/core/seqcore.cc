@@ -7,11 +7,11 @@
 
 namespace ptl {
 
-FunctionalEngine::FunctionalEngine(Context &ctx, AddressSpace &aspace,
-                                   BasicBlockCache &bbcache,
-                                   SystemInterface &sys, StatsTree &stats,
+FunctionalEngine::FunctionalEngine(Context &context, AddressSpace &addrspace,
+                                   BasicBlockCache &bbs,
+                                   SystemInterface &system, StatsTree &stats,
                                    const std::string &prefix)
-    : ctx(&ctx), aspace(&aspace), bbcache(&bbcache), sys(&sys),
+    : ctx(&context), aspace(&addrspace), bbcache(&bbs), sys(&system),
       st_insns(stats.counter(prefix + "commit/insns")),
       st_uops(stats.counter(prefix + "commit/uops")),
       st_k8ops(stats.counter(prefix + "commit/k8ops")),
@@ -43,6 +43,21 @@ FunctionalEngine::reposition()
 {
     cur_bb = nullptr;
     uop_idx = 0;
+}
+
+const Uop *
+FunctionalEngine::peekUop()
+{
+    if (!cur_bb || uop_idx >= cur_bb->uops.size()
+        || bb_generation != bbcache->generation()) {
+        GuestFault ff = GuestFault::None;
+        cur_bb = bbcache->get(*ctx, &ff);
+        uop_idx = 0;
+        bb_generation = bbcache->generation();
+        if (!cur_bb)
+            return nullptr;
+    }
+    return &cur_bb->uops[uop_idx];
 }
 
 U64

@@ -65,6 +65,14 @@ class FunctionalEngine
     /** Forget the cached block position (after external RIP changes). */
     void reposition();
 
+    /**
+     * The next uop stepInsn() would execute, or nullptr if the decode
+     * position cannot be (re)acquired without faulting. Re-acquires
+     * the cached block exactly as stepInsn() would; used by the OoO
+     * core's lockstep checker to recognize pseudo-op re-executions.
+     */
+    const Uop *peekUop();
+
     Context &context() { return *ctx; }
 
   private:

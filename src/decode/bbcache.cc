@@ -4,8 +4,8 @@
 
 namespace ptl {
 
-BasicBlockCache::BasicBlockCache(AddressSpace &aspace, StatsTree &stats)
-    : aspace(&aspace),
+BasicBlockCache::BasicBlockCache(AddressSpace &addrspace, StatsTree &stats)
+    : aspace(&addrspace),
       st_hits(stats.counter("bbcache/hits")),
       st_misses(stats.counter("bbcache/misses")),
       st_smc_invalidations(stats.counter("bbcache/smc_invalidations"))

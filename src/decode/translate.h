@@ -47,7 +47,7 @@ enum class BbEnd : U8 {
 class Translator
 {
   public:
-    explicit Translator(std::vector<Uop> &out) : out(&out) {}
+    explicit Translator(std::vector<Uop> &sink) : out(&sink) {}
 
     /**
      * Append the uops for one instruction. Returns the block-ending

@@ -20,8 +20,8 @@ namespace ptl {
  *    returns in rax, and preserves all other registers.
  */
 
-KernelBuilder::KernelBuilder(Machine &machine)
-    : machine(&machine), user_asm(USER_TEXT_VA)
+KernelBuilder::KernelBuilder(Machine &m)
+    : machine(&m), user_asm(USER_TEXT_VA)
 {
 }
 

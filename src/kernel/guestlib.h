@@ -21,7 +21,7 @@ namespace ptl {
 class GuestLib
 {
   public:
-    explicit GuestLib(Assembler &a) : a(&a) {}
+    explicit GuestLib(Assembler &as) : a(&as) {}
 
     /** Emit every library function; call once, anywhere in the image
      *  that straight-line execution cannot fall into. */

@@ -213,6 +213,8 @@ SimConfig::applyOption(const std::string &option)
         {"smt_deadlock_timeout", [&] { smt_deadlock_timeout = as_int(); }},
         {"native_ipc_x1000", [&] { native_ipc_x1000 = as_u64(); }},
         {"commit_checker", [&] { commit_checker = as_bool(); }},
+        {"verify", [&] { verify = as_bool(); }},
+        {"verify_interval", [&] { verify_interval = as_int(); }},
         {"net_latency_us", [&] { net_latency_us = as_int(); }},
         {"disk_latency_us", [&] { disk_latency_us = as_int(); }},
         {"mask_external_interrupts", [&] { mask_external_interrupts = as_bool(); }},

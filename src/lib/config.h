@@ -117,6 +117,10 @@ struct SimConfig
     U64 native_ipc_x1000 = 2200;          ///< assumed native IPC (x86) * 1000
     bool commit_checker = false;          ///< lockstep compare vs. reference
 
+    // ---- correctness tooling (src/verify) ----
+    bool verify = false;                  ///< per-cycle invariant checker
+    int verify_interval = 1;              ///< audit every N cycles (0 = off)
+
     // ---- devices / timing (Section 4.2) ----
     int net_latency_us = 50;              ///< loopback packet delivery delay
     int disk_latency_us = 200;            ///< virtual disk DMA latency

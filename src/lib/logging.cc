@@ -83,7 +83,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
-warnImpl(const char *file, int line, const char *fmt, ...)
+warnImpl(const char * /*file*/, int /*line*/, const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);

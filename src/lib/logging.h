@@ -45,11 +45,34 @@ void setLogQuiet(bool quiet);
 #define warn(...)   ::ptl::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define inform(...) ::ptl::informImpl(__VA_ARGS__)
 
-/** Assert a simulator invariant; compiled in all build types. */
+/**
+ * Assert a simulator invariant; compiled in all build types.
+ *
+ * The condition is captured into a local exactly once, so expressions
+ * with side effects (pop(), i++) behave identically whether or not the
+ * assertion fires, and the macro body never re-stringifies an already
+ * evaluated expression. do/while(0) keeps it statement-safe inside
+ * unbraced if/else arms.
+ */
 #define ptl_assert(cond)                                                  \
     do {                                                                  \
-        if (!(cond))                                                      \
+        const bool _ptl_assert_ok = static_cast<bool>(cond);              \
+        if (__builtin_expect(!_ptl_assert_ok, 0))                         \
             panic("assertion failed: %s", #cond);                         \
+    } while (0)
+
+/**
+ * Emit a warning the first time this callsite is reached, then stay
+ * silent. The invariant checker (src/verify) uses this for non-fatal
+ * drift so a per-cycle violation cannot flood the log.
+ */
+#define ptl_warn_once(...)                                                \
+    do {                                                                  \
+        static bool _ptl_warned_once = false;                             \
+        if (!_ptl_warned_once) {                                          \
+            _ptl_warned_once = true;                                      \
+            warn(__VA_ARGS__);                                            \
+        }                                                                 \
     } while (0)
 
 #endif  // PTLSIM_LIB_LOGGING_H_

@@ -142,12 +142,12 @@ CoherenceController::onEvict(int core, U64 line_addr, LineState state)
     (void)state;
 }
 
-void
-CoherenceController::checkInvariants(U64 line_addr) const
+int
+CoherenceController::auditLine(U64 line_addr, std::string *why) const
 {
     auto it = directory.find(line_addr);
     if (it == directory.end())
-        return;
+        return 0;
     int modified = 0, exclusive = 0, owned = 0, shared = 0;
     for (LineState s : it->second.per_core) {
         switch (s) {
@@ -158,18 +158,53 @@ CoherenceController::checkInvariants(U64 line_addr) const
           case LineState::Invalid: break;
         }
     }
+    int bad = 0;
+    auto flag = [&](const std::string &msg) {
+        bad++;
+        if (why && why->empty())
+            *why = msg;
+    };
     if (modified > 1)
-        panic("coherence: %d Modified holders of line %llx", modified,
-              (unsigned long long)line_addr);
+        flag(strprintf("%d Modified holders of line %llx", modified,
+                       (unsigned long long)line_addr));
     if (exclusive > 1)
-        panic("coherence: %d Exclusive holders of line %llx", exclusive,
-              (unsigned long long)line_addr);
+        flag(strprintf("%d Exclusive holders of line %llx", exclusive,
+                       (unsigned long long)line_addr));
     if (owned > 1)
-        panic("coherence: %d Owned holders of line %llx", owned,
-              (unsigned long long)line_addr);
-    if ((modified || exclusive) && (shared || owned || modified + exclusive > 1))
-        panic("coherence: M/E coexists with other holders of line %llx",
-              (unsigned long long)line_addr);
+        flag(strprintf("%d Owned holders of line %llx", owned,
+                       (unsigned long long)line_addr));
+    if ((modified || exclusive)
+        && (shared || owned || modified + exclusive > 1))
+        flag(strprintf("M/E coexists with other holders of line %llx",
+                       (unsigned long long)line_addr));
+    return bad;
+}
+
+int
+CoherenceController::auditAll(std::string *why) const
+{
+    int bad = 0;
+    for (const auto &[line, e] : directory)
+        bad += auditLine(line, why);
+    return bad;
+}
+
+void
+CoherenceController::corruptStateForTest(int core, U64 line_addr,
+                                         LineState s)
+{
+    DirEntry &e = entry(line_addr);
+    if ((size_t)core >= e.per_core.size())
+        e.per_core.resize((size_t)core + 1, LineState::Invalid);
+    e.per_core[core] = s;
+}
+
+void
+CoherenceController::checkInvariants(U64 line_addr) const
+{
+    std::string why;
+    if (auditLine(line_addr, &why) > 0)
+        panic("coherence: %s", why.c_str());
 }
 
 void

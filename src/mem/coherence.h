@@ -72,6 +72,21 @@ class CoherenceController
     /** Run checkInvariants over every line the directory knows. */
     void checkAllInvariants() const;
 
+    /**
+     * Non-fatal audit of one line's MOESI legality: returns the number
+     * of violated invariants (0 = legal) and, if `why` is non-null,
+     * appends a description of the first problem. Used by the
+     * invariant checker (src/verify), which decides panic vs. count.
+     */
+    int auditLine(U64 line_addr, std::string *why = nullptr) const;
+
+    /** Audit every directory line; returns total violations. */
+    int auditAll(std::string *why = nullptr) const;
+
+    /** Test-only: force the directory's view of one (core, line) pair
+     *  so tests can prove illegal states are detected. */
+    void corruptStateForTest(int core, U64 line_addr, LineState s);
+
     CoherenceKind kind() const { return kind_; }
 
   private:

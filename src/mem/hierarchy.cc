@@ -5,10 +5,10 @@
 namespace ptl {
 
 MemoryHierarchy::MemoryHierarchy(const SimConfig &config,
-                                 AddressSpace &aspace, StatsTree &stats,
+                                 AddressSpace &addrspace, StatsTree &stats,
                                  const std::string &prefix,
-                                 CoherenceController *coherence)
-    : cfg(config), aspace(&aspace), coherence(coherence),
+                                 CoherenceController *coherence_ctl)
+    : cfg(config), aspace(&addrspace), coherence(coherence_ctl),
       l1i(config.l1i), l1d(config.l1d), l2(config.l2), l3(config.l3),
       dtlb(config.dtlb_entries, config.dtlb_entries),   // fully associative
       itlb(config.itlb_entries, config.itlb_entries),
@@ -222,7 +222,7 @@ MemoryHierarchy::issuePrefetch(U64 next_line)
 }
 
 MemResult
-MemoryHierarchy::fetchAccess(U64 paddr, U64 now)
+MemoryHierarchy::fetchAccess(U64 paddr, U64 /*now*/)
 {
     MemResult out;
     st_i_accesses++;
@@ -254,7 +254,7 @@ MemoryHierarchy::fetchAccess(U64 paddr, U64 now)
 }
 
 int
-MemoryHierarchy::walkTiming(U64 cr3, U64 va, const PageWalk &walk,
+MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
                             bool is_write, U64 now)
 {
     // The walk engine injects one dependent load per level; the PDE

@@ -66,7 +66,7 @@ GuestFault checkWalkAccess(const PageWalk &walk, MemAccess kind,
 class AddressSpace
 {
   public:
-    explicit AddressSpace(PhysMem &mem) : mem(&mem) {}
+    explicit AddressSpace(PhysMem &phys) : mem(&phys) {}
 
     /** Allocate an empty PML4 root; returns its MFN (a CR3 value). */
     U64 createRoot();

@@ -57,7 +57,7 @@ U64 parseScaledCount(const std::string &token);
 class CommandRunner
 {
   public:
-    explicit CommandRunner(Machine &machine) : machine(&machine) {}
+    explicit CommandRunner(Machine &m) : machine(&m) {}
 
     /**
      * Run all phases. Phases without a stop bound run until the

@@ -6,11 +6,11 @@
 
 namespace ptl {
 
-VirtualDisk::VirtualDisk(EventChannels &events, TimeKeeper &time,
-                         int latency_us, AddressSpace &aspace,
+VirtualDisk::VirtualDisk(EventChannels &channels, TimeKeeper &timekeeper,
+                         int latency_us, AddressSpace &addrspace,
                          StatsTree &stats)
-    : events(&events), time(&time), aspace(&aspace),
-      latency_cycles(time.usToCycles((U64)latency_us)),
+    : events(&channels), time(&timekeeper), aspace(&addrspace),
+      latency_cycles(timekeeper.usToCycles((U64)latency_us)),
       st_reads(stats.counter("disk/reads")),
       st_sectors(stats.counter("disk/sectors"))
 {
@@ -66,10 +66,10 @@ VirtualDisk::nextDue() const
     return pending.empty() ? ~0ULL : pending.front().ready;
 }
 
-VirtualNet::VirtualNet(EventChannels &events, TimeKeeper &time,
+VirtualNet::VirtualNet(EventChannels &channels, TimeKeeper &timekeeper,
                        int latency_us, int endpoints, StatsTree &stats)
-    : events(&events), time(&time),
-      latency_cycles(time.usToCycles((U64)latency_us)),
+    : events(&channels), time(&timekeeper),
+      latency_cycles(timekeeper.usToCycles((U64)latency_us)),
       rx((size_t)endpoints), last_ready((size_t)endpoints, 0),
       st_packets(stats.counter("net/packets")),
       st_bytes(stats.counter("net/bytes"))

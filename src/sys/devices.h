@@ -57,7 +57,7 @@ class VirtualDisk
     VirtualDisk(EventChannels &events, TimeKeeper &time, int latency_us,
                 AddressSpace &aspace, StatsTree &stats);
 
-    void setImage(std::vector<U8> image) { this->image = std::move(image); }
+    void setImage(std::vector<U8> data) { image = std::move(data); }
     const std::vector<U8> &imageData() const { return image; }
     U64 sectorCount() const { return image.size() / DISK_SECTOR_BYTES; }
 
@@ -73,7 +73,7 @@ class VirtualDisk
 
     U64 nextDue() const;
 
-    void attachTrace(DeviceTrace *trace) { this->trace = trace; }
+    void attachTrace(DeviceTrace *t) { trace = t; }
 
   private:
     struct Pending
@@ -126,7 +126,7 @@ class VirtualNet
     void processDue(U64 now);
     U64 nextDue() const;
 
-    void attachTrace(DeviceTrace *trace) { this->trace = trace; }
+    void attachTrace(DeviceTrace *t) { trace = t; }
 
   private:
     struct Packet

@@ -4,12 +4,12 @@
 
 namespace ptl {
 
-Hypervisor::Hypervisor(TimeKeeper &time, EventChannels &events,
-                       Console &console, VirtualDisk &disk,
-                       VirtualNet &net, AddressSpace &aspace,
-                       BasicBlockCache &bbcache, StatsTree &stats)
-    : time(&time), events(&events), console(&console), disk(&disk),
-      net(&net), aspace(&aspace), bbcache(&bbcache),
+Hypervisor::Hypervisor(TimeKeeper &timekeeper, EventChannels &channels,
+                       Console &cons, VirtualDisk &vdisk,
+                       VirtualNet &vnet, AddressSpace &addrspace,
+                       BasicBlockCache &bbs, StatsTree &stats)
+    : time(&timekeeper), events(&channels), console(&cons), disk(&vdisk),
+      net(&vnet), aspace(&addrspace), bbcache(&bbs),
       st_hypercalls(stats.counter("hypervisor/hypercalls")),
       st_ptlcalls(stats.counter("hypervisor/ptlcalls")),
       st_cr3_switches(stats.counter("hypervisor/cr3_switches"))
@@ -135,7 +135,7 @@ Hypervisor::vcpuBlock(Context &ctx)
 }
 
 U64
-Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2)
+Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
 {
     st_ptlcalls++;
     switch ((PtlcallOp)op) {

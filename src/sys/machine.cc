@@ -46,7 +46,7 @@ Machine::Machine(const SimConfig &config)
     }
 
     // CR3 switches and SMC invalidations must flush core-side state.
-    hv->setCr3SwitchHook([this](Context &ctx) {
+    hv->setCr3SwitchHook([this](Context & /*ctx*/) {
         for (auto &core : cores) {
             core->flushPipeline();
             core->flushTlbs();
@@ -56,7 +56,7 @@ Machine::Machine(const SimConfig &config)
         for (MemoryHierarchy *h : extra_tlb_flush)
             h->flushTlbs();
     });
-    hv->setCodeWriteHook([this](U64 mfn) {
+    hv->setCodeWriteHook([this](U64 /*mfn*/) {
         for (auto &core : cores)
             core->flushPipeline();
     });

@@ -82,10 +82,7 @@ class Machine
     RunResult run(U64 max_cycles);
 
     /** Attach a trace replayer that injects recorded device events. */
-    void attachReplayer(TraceReplayer *replayer)
-    {
-        this->replayer = replayer;
-    }
+    void attachReplayer(TraceReplayer *r) { replayer = r; }
 
     /** Record all device completions into `trace`. */
     void recordDevices(DeviceTrace *trace);

@@ -5,9 +5,9 @@
 
 namespace ptl {
 
-TraceReplayer::TraceReplayer(const DeviceTrace &trace,
-                             EventChannels &events, AddressSpace &aspace)
-    : trace(&trace), events(&events), aspace(&aspace)
+TraceReplayer::TraceReplayer(const DeviceTrace &recorded,
+                             EventChannels &channels, AddressSpace &addrspace)
+    : trace(&recorded), events(&channels), aspace(&addrspace)
 {
 }
 

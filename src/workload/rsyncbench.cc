@@ -74,7 +74,7 @@ constexpr U8 OP_LIT = 2;
 class RsyncEmitter
 {
   public:
-    RsyncEmitter(Assembler &a, GuestLib &lib) : a(a), lib(lib) {}
+    RsyncEmitter(Assembler &as, GuestLib &gl) : a(as), lib(gl) {}
 
     struct Entries
     {

@@ -21,21 +21,21 @@ namespace ptl {
 class StubSystem : public SystemInterface
 {
   public:
-    explicit StubSystem(BasicBlockCache &bbcache) : bbcache(&bbcache) {}
+    explicit StubSystem(BasicBlockCache &bbs) : bbcache(&bbs) {}
 
     U64
-    hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3) override
+    hypercall(Context &, U64 nr, U64 a1, U64 a2, U64 a3) override
     {
         hypercalls.push_back({nr, a1, a2, a3});
         return hypercall_result;
     }
 
-    U64 readTsc(const Context &ctx) override { return tsc += 100; }
+    U64 readTsc(const Context &) override { return tsc += 100; }
 
     void vcpuBlock(Context &ctx) override { ctx.running = false; }
 
     U64
-    ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2) override
+    ptlcall(Context &, U64 op, U64, U64) override
     {
         ptlcalls.push_back(op);
         return 0;

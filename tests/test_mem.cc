@@ -263,7 +263,7 @@ TEST(CacheArrayTest, ForEachLineReconstructsAddresses)
     c.insert(0x12340, LineState::Exclusive);
     c.insert(0x56780, LineState::Modified);
     std::set<U64> addrs;
-    c.forEachLine([&](U64 line_addr, const CacheArray::Line &line) {
+    c.forEachLine([&](U64 line_addr, const CacheArray::Line &) {
         addrs.insert(line_addr);
     });
     EXPECT_TRUE(addrs.count(0x12340 & ~63ULL));

@@ -243,8 +243,8 @@ TEST_P(OooEquivalence, MatchesFunctionalEngine)
 INSTANTIATE_TEST_SUITE_P(
     Programs, OooEquivalence,
     ::testing::Range<size_t>(0, sizeof(kPrograms) / sizeof(kPrograms[0])),
-    [](const ::testing::TestParamInfo<size_t> &info) {
-        return kPrograms[info.param].name;
+    [](const ::testing::TestParamInfo<size_t> &pinfo) {
+        return kPrograms[pinfo.param].name;
     });
 
 // ---------------------------------------------------------------------

@@ -164,7 +164,7 @@ TEST(Smt, SpinlockCriticalSection)
 class MultiCoreRig
 {
   public:
-    MultiCoreRig(int cores, CoherenceKind kind)
+    MultiCoreRig(int ncores, CoherenceKind kind)
         : cfg(SimConfig::preset("k8")), mem(32 << 20, 7, true),
           aspace(mem), bbcache(aspace, stats), sys(bbcache),
           interlocks(stats),
@@ -180,7 +180,7 @@ class MultiCoreRig
                         Pte::RW | Pte::US | Pte::NX);
         aspace.mapRange(cr3, CoreRunner::STACK_TOP - 256 * PAGE_SIZE,
                         256 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
-        for (int i = 0; i < cores; i++) {
+        for (int i = 0; i < ncores; i++) {
             contexts.push_back(std::make_unique<Context>());
             Context &ctx = *contexts.back();
             ctx.vcpu_id = i;
