@@ -30,6 +30,7 @@ class BareRig : public SystemInterface
         : cfg(config), mem(32 << 20, 7, true), aspace(mem),
           bbcache(aspace, stats), interlocks(stats)
     {
+        aspace.attachStats(stats);
         cr3 = aspace.createRoot();
         aspace.mapRange(cr3, CODE_BASE, 64 * PAGE_SIZE, Pte::RW | Pte::US);
         aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
@@ -45,12 +46,8 @@ class BareRig : public SystemInterface
     load(Assembler &assembler)
     {
         std::vector<U8> image = assembler.finalize();
-        for (size_t i = 0; i < image.size(); i++) {
-            GuestAccess a = guestTranslate(aspace, ctx,
-                                           assembler.baseVa() + i,
-                                           MemAccess::Write);
-            mem.writeBytes(a.paddr, &image[i], 1);
-        }
+        guestCopyOut(aspace, ctx, assembler.baseVa(), image.data(),
+                     image.size());
         ctx.rip = CODE_BASE;
     }
 

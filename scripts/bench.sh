@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Simulation-throughput benchmark driver: runs bench_simspeed from a
+# release build tree and records per-engine cycles/sec, insns/sec and
+# IPC under a label in BENCH_simspeed.json at the repo root, so
+# perf-sensitive PRs can check in a before/after pair.
+#
+# Usage: scripts/bench.sh <label> [build-dir]
+#   label:     key to store this run under (e.g. "baseline",
+#              "transcache"); an existing entry with the same label is
+#              overwritten.
+#   build-dir: tree containing bench/bench_simspeed (default:
+#              $BUILD_DIR, then build-release)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+label="${1:?usage: scripts/bench.sh <label> [build-dir]}"
+build_dir="${2:-${BUILD_DIR:-$repo_root/build-release}}"
+bench="$build_dir/bench/bench_simspeed"
+out_json="$repo_root/BENCH_simspeed.json"
+
+if [ ! -x "$bench" ]; then
+    echo "bench.sh: $bench not found; configure and build first:" >&2
+    echo "  cmake --preset release && cmake --build build-release -j" >&2
+    exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$bench" --benchmark_min_time=1 --benchmark_format=json \
+         --benchmark_out="$raw" --benchmark_out_format=json >&2
+
+python3 - "$raw" "$out_json" "$label" <<'EOF'
+import json
+import sys
+
+raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+raw = json.load(open(raw_path))
+
+run = {"host": raw.get("context", {}).get("host_name", "unknown"),
+       "benchmarks": {}}
+for b in raw["benchmarks"]:
+    entry = {}
+    for key in ("sim_cycles_per_s", "guest_insns_per_s", "ipc"):
+        if key in b:
+            entry[key] = round(float(b[key]), 3 if key == "ipc" else 1)
+    run["benchmarks"][b["name"]] = entry
+
+try:
+    merged = json.load(open(out_path))
+except (FileNotFoundError, ValueError):
+    merged = {}
+merged[label] = run
+json.dump(merged, open(out_path, "w"), indent=2, sort_keys=True)
+print(f"bench.sh: recorded '{label}' in {out_path}")
+EOF

@@ -1,21 +1,77 @@
 #include "core/context.h"
 
 #include <bit>
+#include <cstring>
 
 #include "lib/logging.h"
+#include "verify/verify.h"
+
+#ifndef PTL_VERIFY
+#define PTL_VERIFY 1
+#endif
 
 namespace ptl {
+
+namespace {
+
+#if PTL_VERIFY
+/** Shadow mode: re-walk a cached hit and panic on any divergence. */
+inline void
+shadowCheck(AddressSpace &aspace, const Context &ctx, U64 va,
+            MemAccess kind, const GuestAccess &out, bool entry_dirty)
+{
+    TranslationCache &tc = aspace.transCache();
+    if (!tc.shadowEnabled())
+        return;
+    tc.countShadowCheck();
+    verifyCachedTranslation(aspace, ctx.cr3, va, kind, !ctx.kernel_mode,
+                            out.fault, out.paddr, entry_dirty);
+}
+#else
+inline void
+shadowCheck(AddressSpace &, const Context &, U64, MemAccess,
+            const GuestAccess &, bool)
+{
+}
+#endif
+
+}  // namespace
 
 GuestAccess
 guestTranslate(AddressSpace &aspace, const Context &ctx, U64 va,
                MemAccess kind)
 {
     GuestAccess out;
+    TranslationCache &tc = aspace.transCache();
+    const U64 vpn = vpnOf(va);
+    const bool user_mode = !ctx.kernel_mode;
+    if (TranslationCache::Entry *e = tc.probe(ctx.cr3, vpn)) {
+        // A write through an entry whose leaf D bit is not known set
+        // falls through to the walker, which sets D exactly as the
+        // hardware/microcode walk would (first-store re-walk).
+        GuestFault f = checkPageAccess(true, e->writable, e->user,
+                                       e->noexec, kind, user_mode);
+        if (f != GuestFault::None) {
+            tc.countHit();
+            out.fault = f;
+            shadowCheck(aspace, ctx, va, kind, out, e->dirty);
+            return out;
+        }
+        if (kind != MemAccess::Write || e->dirty) {
+            tc.countHit();
+            out.paddr = (e->mfn << PAGE_SHIFT) | pageOffset(va);
+            shadowCheck(aspace, ctx, va, kind, out, e->dirty);
+            return out;
+        }
+    }
+    tc.countMiss();
     PageWalk walk = aspace.walk(ctx.cr3, va);
-    out.fault = checkWalkAccess(walk, kind, !ctx.kernel_mode);
+    out.fault = checkWalkAccess(walk, kind, user_mode);
     if (out.fault != GuestFault::None)
         return out;
     aspace.setAccessedDirty(walk, kind == MemAccess::Write);
+    aspace.registerWalkFrames(walk);
+    tc.insert(ctx.cr3, vpn, walk, kind == MemAccess::Write);
     out.paddr = walk.paddr(va);
     return out;
 }
@@ -52,31 +108,108 @@ guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
            unsigned bytes, U64 value)
 {
     // Pre-check both pages so a cross-page store is all-or-nothing
-    // (x86 stores are atomic with respect to faults).
+    // (x86 stores are atomic with respect to faults); the copy below
+    // reuses these translations instead of re-walking per chunk.
     GuestAccess first =
         guestTranslate(aspace, ctx, va, MemAccess::Write);
     if (!first.ok())
         return first;
-    if (pageOf(va) != pageOf(va + bytes - 1)) {
+    U8 buf[8];
+    for (unsigned i = 0; i < bytes; i++)
+        buf[i] = (U8)(value >> (i * 8));
+    unsigned first_chunk = (unsigned)std::min<U64>(
+        bytes, PAGE_SIZE - pageOffset(va));
+    if (first_chunk < bytes) {
         GuestAccess second =
             guestTranslate(aspace, ctx, va + bytes - 1, MemAccess::Write);
         if (!second.ok())
             return second;
-    }
-    U8 buf[8];
-    for (unsigned i = 0; i < bytes; i++)
-        buf[i] = (U8)(value >> (i * 8));
-    unsigned done = 0;
-    while (done < bytes) {
-        GuestAccess a =
-            guestTranslate(aspace, ctx, va + done, MemAccess::Write);
-        ptl_assert(a.ok());
-        unsigned chunk = (unsigned)std::min<U64>(
-            bytes - done, PAGE_SIZE - pageOffset(va + done));
-        aspace.physMem().writeBytes(a.paddr, buf + done, chunk);
-        done += chunk;
+        aspace.physMem().writeBytes(first.paddr, buf, first_chunk);
+        aspace.physMem().writeBytes(second.paddr & ~PAGE_MASK,
+                                    buf + first_chunk,
+                                    bytes - first_chunk);
+        aspace.notifyGuestStore(pageOf(first.paddr));
+        aspace.notifyGuestStore(pageOf(second.paddr));
+    } else {
+        aspace.physMem().writeBytes(first.paddr, buf, bytes);
+        aspace.notifyGuestStore(pageOf(first.paddr));
     }
     return first;
+}
+
+GuestCopy
+guestCopyIn(AddressSpace &aspace, const Context &ctx, void *dst, U64 va,
+            size_t len, MemAccess kind)
+{
+    GuestCopy out;
+    U8 *p = (U8 *)dst;
+    while (out.copied < len) {
+        U64 cur = va + out.copied;
+        size_t chunk = (size_t)std::min<U64>(len - out.copied,
+                                             PAGE_SIZE - pageOffset(cur));
+        GuestAccess a = guestTranslate(aspace, ctx, cur, kind);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            out.fault_va = cur;
+            return out;
+        }
+        if (out.copied == 0)
+            out.first_paddr = a.paddr;
+        aspace.physMem().readBytes(a.paddr, p + out.copied, chunk);
+        out.copied += chunk;
+    }
+    return out;
+}
+
+GuestCopy
+guestCopyOut(AddressSpace &aspace, const Context &ctx, U64 va,
+             const void *src, size_t len)
+{
+    GuestCopy out;
+    const U8 *p = (const U8 *)src;
+    while (out.copied < len) {
+        U64 cur = va + out.copied;
+        size_t chunk = (size_t)std::min<U64>(len - out.copied,
+                                             PAGE_SIZE - pageOffset(cur));
+        GuestAccess a = guestTranslate(aspace, ctx, cur, MemAccess::Write);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            out.fault_va = cur;
+            return out;
+        }
+        if (out.copied == 0)
+            out.first_paddr = a.paddr;
+        aspace.physMem().writeBytes(a.paddr, p + out.copied, chunk);
+        aspace.notifyGuestStore(pageOf(a.paddr));
+        out.copied += chunk;
+    }
+    return out;
+}
+
+GuestCopy
+guestFill(AddressSpace &aspace, const Context &ctx, U64 va, U8 value,
+          size_t len)
+{
+    GuestCopy out;
+    U8 page[PAGE_SIZE];
+    std::memset(page, value, sizeof(page));
+    while (out.copied < len) {
+        U64 cur = va + out.copied;
+        size_t chunk = (size_t)std::min<U64>(len - out.copied,
+                                             PAGE_SIZE - pageOffset(cur));
+        GuestAccess a = guestTranslate(aspace, ctx, cur, MemAccess::Write);
+        if (!a.ok()) {
+            out.fault = a.fault;
+            out.fault_va = cur;
+            return out;
+        }
+        if (out.copied == 0)
+            out.first_paddr = a.paddr;
+        aspace.physMem().writeBytes(a.paddr, page, chunk);
+        aspace.notifyGuestStore(pageOf(a.paddr));
+        out.copied += chunk;
+    }
+    return out;
 }
 
 namespace {

@@ -92,7 +92,13 @@ struct GuestAccess
     bool ok() const { return fault == GuestFault::None; }
 };
 
-/** Translate a guest VA under ctx's CR3/privilege; sets A/D bits. */
+/**
+ * Translate a guest VA under ctx's CR3/privilege; sets A/D bits.
+ * Served from the address space's simulator-internal translation
+ * cache (src/mem/transcache.h) when possible; a miss — including the
+ * first write through an entry whose Dirty bit is not known set —
+ * runs the full 4-level walk and refills the cache.
+ */
 GuestAccess guestTranslate(AddressSpace &aspace, const Context &ctx,
                            U64 va, MemAccess kind);
 
@@ -103,6 +109,38 @@ GuestAccess guestRead(AddressSpace &aspace, const Context &ctx, U64 va,
 /** Write guest-virtual memory functionally (may cross pages). */
 GuestAccess guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
                        unsigned bytes, U64 value);
+
+/**
+ * Result of a bulk guest-memory transfer. A fault stops the transfer
+ * at the first byte of the faulting page: `copied` bytes were fully
+ * transferred, matching what a byte-at-a-time loop would have done
+ * (per-byte faults always occur at page granularity).
+ */
+struct GuestCopy
+{
+    GuestFault fault = GuestFault::None;
+    U64 fault_va = 0;       ///< VA of the first untransferred byte
+    U64 first_paddr = 0;    ///< machine-physical address of byte 0
+    size_t copied = 0;
+    bool ok() const { return fault == GuestFault::None; }
+};
+
+/**
+ * Bulk guest-virtual memory helpers: translate once per page and move
+ * page-sized chunks, instead of one walk per byte. `kind` lets the
+ * decoder fetch instruction bytes with Execute permission checks.
+ */
+GuestCopy guestCopyIn(AddressSpace &aspace, const Context &ctx, void *dst,
+                      U64 va, size_t len,
+                      MemAccess kind = MemAccess::Read);
+
+/** Copy host memory into the guest (DMA, domain building). */
+GuestCopy guestCopyOut(AddressSpace &aspace, const Context &ctx, U64 va,
+                       const void *src, size_t len);
+
+/** Fill a guest-virtual range with one byte value. */
+GuestCopy guestFill(AddressSpace &aspace, const Context &ctx, U64 va,
+                    U8 value, size_t len);
 
 /**
  * Hooks microcode (assists) uses to reach the rest of the machine:

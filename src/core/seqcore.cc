@@ -128,8 +128,13 @@ FunctionalEngine::stepInsn(U64 now)
     std::memset(pending_valid, 0, sizeof(pending_valid));
     std::memset(pending_hasflags, 0, sizeof(pending_hasflags));
     int mem_uops_this_insn = 0;
-    std::vector<PendingWrite> stores;
-    std::vector<std::pair<U16, U8>> flag_updates;  ///< (flags, setmask)
+    // One x86 instruction never expands past a block's uop budget, so
+    // inline arrays avoid a heap allocation per simulated instruction.
+    PendingWrite stores[MAX_BB_UOPS];
+    int n_stores = 0;
+    struct FlagUpdate { U16 flags; U8 setmask; };
+    FlagUpdate flag_updates[MAX_BB_UOPS];
+    int n_flag_updates = 0;
     U64 insn_rip = ctx->rip;
     U64 next_rip = 0;
     bool redirect = false;
@@ -155,7 +160,8 @@ FunctionalEngine::stepInsn(U64 now)
                     fault_addr = va;
                     break;
                 }
-                for (const PendingWrite &w : stores) {
+                for (int s = 0; s < n_stores; s++) {
+                    const PendingWrite &w = stores[s];
                     if (w.va == va && w.size >= u.size)
                         value = w.value & byteMask(u.size);
                 }
@@ -209,9 +215,10 @@ FunctionalEngine::stepInsn(U64 now)
                         res.mem_stall += t.latency;
                     }
                 }
-                stores.push_back(
+                ptl_assert(n_stores < (int)MAX_BB_UOPS);
+                stores[n_stores++] =
                     {va, readReg(u.rc) & byteMask(u.size), u.size,
-                     u.locked});
+                     u.locked};
                 if (u.eom)
                     break;
             }
@@ -226,15 +233,16 @@ FunctionalEngine::stepInsn(U64 now)
                 if (pending_hasflags[r])
                     regflags[r] = pending_flags[r];
             }
-            for (const PendingWrite &w : stores)
-                guestWrite(*aspace, *ctx, w.va, w.size, w.value);
+            for (int s = 0; s < n_stores; s++)
+                guestWrite(*aspace, *ctx, stores[s].va, stores[s].size,
+                           stores[s].value);
             st_assists++;
             AssistResult ar = executeAssist(u.assist(), *ctx, *aspace,
                                             *sys, u.ripseq);
             if (ar.fault != GuestFault::None) {
                 fault = ar.fault;
                 fault_addr = insn_rip;
-                stores.clear();
+                n_stores = 0;
                 std::memset(pending_valid, 0, sizeof(pending_valid));
                 break;
             }
@@ -242,7 +250,7 @@ FunctionalEngine::stepInsn(U64 now)
             redirect = true;
             if (ar.blocked)
                 res.blocked_now = true;
-            stores.clear();
+            n_stores = 0;
             std::memset(pending_valid, 0, sizeof(pending_valid));
             ptl_assert(u.eom);
             break;
@@ -299,7 +307,8 @@ FunctionalEngine::stepInsn(U64 now)
             pending_value[u.rd] = out.value;
         }
         if (u.setflags) {
-            flag_updates.emplace_back(out.flags, u.setflags);
+            ptl_assert(n_flag_updates < (int)MAX_BB_UOPS);
+            flag_updates[n_flag_updates++] = {out.flags, u.setflags};
             if (u.rd != REG_none && u.rd != REG_zero) {
                 pending_hasflags[u.rd] = true;
                 pending_flags[u.rd] = out.flags;
@@ -324,8 +333,8 @@ FunctionalEngine::stepInsn(U64 now)
         if (pending_hasflags[r])
             regflags[r] = pending_flags[r];
     }
-    for (const auto &[flags_out, setmask] : flag_updates)
-        ctx->applyFlags(flags_out, setmask);
+    for (int f = 0; f < n_flag_updates; f++)
+        ctx->applyFlags(flag_updates[f].flags, flag_updates[f].setmask);
 
     // Capture block-relative facts before store commit: an SMC store
     // below may invalidate cur_bb (repositioning this engine), and an
@@ -338,7 +347,8 @@ FunctionalEngine::stepInsn(U64 now)
     }
 
     bool smc = false;
-    for (const PendingWrite &w : stores) {
+    for (int s = 0; s < n_stores; s++) {
+        const PendingWrite &w = stores[s];
         guestWrite(*aspace, *ctx, w.va, w.size, w.value);
         GuestAccess a = guestTranslate(*aspace, *ctx, w.va, MemAccess::Write);
         if (a.ok() && sys->isCodeMfn(pageOf(a.paddr))) {

@@ -57,43 +57,28 @@ BasicBlockCache::decode(const Context &ctx, GuestFault *fault)
     for (int i = 0; i < MAX_BB_X86_INSNS; i++) {
         // Gather up to 15 bytes, stopping at an unmapped page.
         U8 bytes[MAX_X86_INSN_BYTES];
-        size_t avail = 0;
-        U64 mfn_first = 0;
-        while (avail < MAX_X86_INSN_BYTES) {
-            GuestAccess a = guestTranslate(*aspace, ctx, rip + avail,
-                                           MemAccess::Execute);
-            if (!a.ok()) {
-                if (avail == 0) {
-                    // Even the first byte is unfetchable.
-                    if (i == 0) {
-                        *fault = a.fault;
-                        return nullptr;
-                    }
-                    // Mid-block: close the block; the fault (if ever
-                    // reached) is taken when fetch gets here again.
-                    translator.sealWithJump(rip, rip);
-                    bb->end = BbEnd::SizeLimit;
-                    bb->bytes = (U32)(rip - bb->rip);
-                    bb->x86_count = (U32)i;
-                    bb->mfn_lo = mfn_first ? mfn_first
-                                           : pageOf(guestTranslate(
-                                                 *aspace, ctx, bb->rip,
-                                                 MemAccess::Execute).paddr);
-                    bb->mfn_hi = bb->mfn_lo;
-                    return bb;
-                }
-                break;
+        GuestCopy g = guestCopyIn(*aspace, ctx, bytes, rip,
+                                  MAX_X86_INSN_BYTES, MemAccess::Execute);
+        size_t avail = g.copied;
+        if (avail == 0) {
+            // Even the first byte is unfetchable.
+            if (i == 0) {
+                *fault = g.fault;
+                return nullptr;
             }
-            if (avail == 0)
-                mfn_first = pageOf(a.paddr);
-
-            // Copy the rest of this page in one go.
-            size_t chunk = std::min<size_t>(
-                MAX_X86_INSN_BYTES - avail,
-                PAGE_SIZE - pageOffset(rip + avail));
-            aspace->physMem().readBytes(a.paddr, bytes + avail, chunk);
-            avail += chunk;
+            // Mid-block: close the block; the fault (if ever reached)
+            // is taken when fetch gets here again. All fetched bytes
+            // fit on the starting page (a block is far smaller than a
+            // page), so mfn_lo from instruction 0 covers the block.
+            translator.sealWithJump(rip, rip);
+            bb->end = BbEnd::SizeLimit;
+            bb->bytes = (U32)(rip - bb->rip);
+            bb->x86_count = (U32)i;
+            bb->mfn_hi = bb->mfn_lo;
+            return bb;
         }
+        if (i == 0)
+            bb->mfn_lo = pageOf(g.first_paddr);
 
         X86Insn insn = decodeX86(bytes, avail, rip);
         if (!insn.valid && insn.length == 0 && avail < MAX_X86_INSN_BYTES) {
@@ -102,11 +87,6 @@ BasicBlockCache::decode(const Context &ctx, GuestFault *fault)
             // assist placed at this RIP.
             insn.valid = false;
             insn.length = 1;
-        }
-        if (i == 0) {
-            bb->mfn_lo = pageOf(
-                guestTranslate(*aspace, ctx, rip, MemAccess::Execute)
-                    .paddr);
         }
 
         BbEnd end = translator.translate(insn);

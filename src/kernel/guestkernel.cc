@@ -776,12 +776,9 @@ KernelBuilder::build()
     kctx.kernel_mode = true;
     AddressSpace &as = machine->addressSpace();
     auto write_image = [&](U64 va, const std::vector<U8> &image) {
-        for (size_t i = 0; i < image.size(); i++) {
-            GuestAccess acc =
-                guestTranslate(as, kctx, va + i, MemAccess::Write);
-            ptl_assert(acc.ok());
-            machine->physMem().writeBytes(acc.paddr, &image[i], 1);
-        }
+        GuestCopy g = guestCopyOut(as, kctx, va, image.data(),
+                                   image.size());
+        ptl_assert(g.ok());
     };
     write_image(KERNEL_TEXT_VA, kernel_image);
 

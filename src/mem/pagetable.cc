@@ -7,7 +7,8 @@
 namespace ptl {
 
 GuestFault
-checkWalkAccess(const PageWalk &walk, MemAccess kind, bool user_mode)
+checkPageAccess(bool present, bool writable, bool user, bool noexec,
+                MemAccess kind, bool user_mode)
 {
     auto fault_kind = [&] {
         switch (kind) {
@@ -16,15 +17,22 @@ checkWalkAccess(const PageWalk &walk, MemAccess kind, bool user_mode)
           default: return GuestFault::PageFaultFetch;
         }
     };
-    if (!walk.present)
+    if (!present)
         return fault_kind();
-    if (kind == MemAccess::Write && !walk.writable)
+    if (kind == MemAccess::Write && !writable)
         return fault_kind();
-    if (user_mode && !walk.user)
+    if (user_mode && !user)
         return fault_kind();
-    if (kind == MemAccess::Execute && walk.noexec)
+    if (kind == MemAccess::Execute && noexec)
         return fault_kind();
     return GuestFault::None;
+}
+
+GuestFault
+checkWalkAccess(const PageWalk &walk, MemAccess kind, bool user_mode)
+{
+    return checkPageAccess(walk.present, walk.writable, walk.user,
+                           walk.noexec, kind, user_mode);
 }
 
 U64
@@ -38,6 +46,7 @@ AddressSpace::allocTable()
 U64
 AddressSpace::createRoot()
 {
+    tcache.flushAll();
     return allocTable();
 }
 
@@ -46,6 +55,7 @@ AddressSpace::cloneRoot(U64 src_cr3)
 {
     U64 mfn = allocTable();
     std::memcpy(mem->frameData(mfn), mem->frameData(src_cr3), PAGE_SIZE);
+    tcache.flushAll();
     return mfn;
 }
 
@@ -69,6 +79,7 @@ AddressSpace::map(U64 cr3, U64 va, U64 mfn, U64 flags)
     U64 leaf = (mfn << PAGE_SHIFT) | Pte::P
                | (flags & (Pte::RW | Pte::US | Pte::NX));
     mem->write(leaf_addr, leaf, 8);
+    tcache.flushAll();
 }
 
 void
@@ -86,6 +97,7 @@ AddressSpace::unmap(U64 cr3, U64 va)
     if (!w.present)
         return;
     mem->write(w.pte_addr[3], 0, 8);
+    tcache.flushAll();
 }
 
 PageWalk
@@ -114,6 +126,16 @@ AddressSpace::walk(U64 cr3, U64 va) const
         table = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
     }
     return out;
+}
+
+void
+AddressSpace::registerWalkFrames(const PageWalk &walk)
+{
+    for (int level = 0; level < walk.levels; level++) {
+        U64 mfn = pageOf(walk.pte_addr[level]);
+        if (mfn < pt_frame.size())
+            pt_frame[mfn] = true;
+    }
 }
 
 bool

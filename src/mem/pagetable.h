@@ -19,6 +19,7 @@
 #define PTLSIM_MEM_PAGETABLE_H_
 
 #include "mem/physmem.h"
+#include "mem/transcache.h"
 #include "uop/uopexec.h"   // GuestFault
 
 namespace ptl {
@@ -59,6 +60,14 @@ GuestFault checkWalkAccess(const PageWalk &walk, MemAccess kind,
                            bool user_mode);
 
 /**
+ * The same check over raw permission bits, shared between the walker
+ * and the translation cache so cached entries fault byte-identically
+ * to an uncached walk.
+ */
+GuestFault checkPageAccess(bool present, bool writable, bool user,
+                           bool noexec, MemAccess kind, bool user_mode);
+
+/**
  * Builder + functional walker over page tables living in PhysMem.
  * The "cr3" values handled here are root table MFNs, matching how the
  * real CR3 register holds the PML4 base address.
@@ -66,7 +75,10 @@ GuestFault checkWalkAccess(const PageWalk &walk, MemAccess kind,
 class AddressSpace
 {
   public:
-    explicit AddressSpace(PhysMem &phys) : mem(&phys) {}
+    explicit AddressSpace(PhysMem &phys)
+        : mem(&phys), pt_frame(phys.frameCount(), false)
+    {
+    }
 
     /** Allocate an empty PML4 root; returns its MFN (a CR3 value). */
     U64 createRoot();
@@ -105,10 +117,47 @@ class AddressSpace
 
     PhysMem &physMem() { return *mem; }
 
+    // ---- functional-path translation cache (simulator-internal) ----
+
+    TranslationCache &transCache() { return tcache; }
+    const TranslationCache &transCache() const { return tcache; }
+
+    /** Drop every cached translation (CR3 reload, checkpoint restore). */
+    void flushTranslationCache() { tcache.flushAll(); }
+
+    /** Mirror the transcache counters into `stats` (transcache/...). */
+    void attachStats(StatsTree &stats) { tcache.attachStats(stats); }
+
+    /**
+     * True if `mfn` holds page-table state some cached translation's
+     * walk traversed. Guest-write paths snoop this the same way
+     * notifyCodeWrite snoops self-modifying code.
+     */
+    bool
+    isPageTableFrame(U64 mfn) const
+    {
+        return mfn < pt_frame.size() && pt_frame[mfn];
+    }
+
+    /** A guest store just landed on `mfn`: invalidate cached
+     *  translations if it backs live page-table state. */
+    void
+    notifyGuestStore(U64 mfn)
+    {
+        if (isPageTableFrame(mfn))
+            tcache.flushAll();
+    }
+
+    /** Record the table frames a (successful) walk traversed, so
+     *  guest stores to them are snooped. Called before caching. */
+    void registerWalkFrames(const PageWalk &walk);
+
   private:
     U64 allocTable();
 
     PhysMem *mem;
+    TranslationCache tcache;
+    std::vector<bool> pt_frame;  ///< per-MFN "backs page tables" bit
 };
 
 /** Virtual page number helpers. */

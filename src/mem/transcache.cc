@@ -1,0 +1,37 @@
+#include "mem/transcache.h"
+
+#include "mem/pagetable.h"
+
+namespace ptl {
+
+void
+TranslationCache::insert(U64 cr3, U64 vpn, const PageWalk &walk, bool wrote)
+{
+    Entry &e = slots[vpn & (ENTRIES - 1)];
+    e.vpn = vpn;
+    e.cr3 = cr3;
+    e.mfn = walk.mfn;
+    e.epoch = epoch;
+    e.writable = walk.writable;
+    e.user = walk.user;
+    e.noexec = walk.noexec;
+    // The walker just set D on a write; otherwise D is known set only
+    // if the leaf already carried it.
+    e.dirty = wrote || walk.dirty;
+}
+
+void
+TranslationCache::attachStats(StatsTree &stats)
+{
+    c_hits = &stats.counter("transcache/hits");
+    c_misses = &stats.counter("transcache/misses");
+    c_flushes = &stats.counter("transcache/flushes");
+    c_shadow = &stats.counter("transcache/shadow_checks");
+    // Fold in anything counted before the tree was attached so the
+    // stats view matches the cache's own totals.
+    *c_hits += n_hits;
+    *c_misses += n_misses;
+    *c_flushes += n_flushes;
+}
+
+}  // namespace ptl

@@ -34,6 +34,7 @@ restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt)
     // in-flight pipeline state (flushCores also re-syncs the cores'
     // architectural register files from the restored contexts).
     machine.bbCache().invalidateAll();
+    machine.addressSpace().flushTranslationCache();
     machine.eventChannels().clearScheduled();
     machine.flushCores();
 }

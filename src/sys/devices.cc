@@ -42,15 +42,11 @@ VirtualDisk::processDue(U64 now)
         dma_ctx.kernel_mode = true;
         size_t bytes = (size_t)(p.count * DISK_SECTOR_BYTES);
         size_t offset = (size_t)(p.sector * DISK_SECTOR_BYTES);
-        for (size_t i = 0; i < bytes; i++) {
-            GuestAccess a = guestTranslate(*aspace, dma_ctx,
-                                           p.dest_va + i,
-                                           MemAccess::Write);
-            if (!a.ok())
-                panic("disk DMA target unmapped at va %llx",
-                      (unsigned long long)(p.dest_va + i));
-            aspace->physMem().writeBytes(a.paddr, &image[offset + i], 1);
-        }
+        GuestCopy g = guestCopyOut(*aspace, dma_ctx, p.dest_va,
+                                   &image[offset], bytes);
+        if (!g.ok())
+            panic("disk DMA target unmapped at va %llx",
+                  (unsigned long long)g.fault_va);
         if (trace) {
             trace->record(now, PORT_DISK, p.dest_va, p.cr3,
                           std::vector<U8>(image.begin() + offset,

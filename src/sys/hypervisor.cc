@@ -21,27 +21,13 @@ Hypervisor::copyFromGuest(Context &ctx, U64 va, size_t len,
                           std::vector<U8> &out)
 {
     out.resize(len);
-    for (size_t i = 0; i < len; i++) {
-        GuestAccess a = guestTranslate(*aspace, ctx, va + i,
-                                       MemAccess::Read);
-        if (!a.ok())
-            return false;
-        aspace->physMem().readBytes(a.paddr, &out[i], 1);
-    }
-    return true;
+    return guestCopyIn(*aspace, ctx, out.data(), va, len).ok();
 }
 
 bool
 Hypervisor::copyToGuest(Context &ctx, U64 va, const U8 *data, size_t len)
 {
-    for (size_t i = 0; i < len; i++) {
-        GuestAccess a = guestTranslate(*aspace, ctx, va + i,
-                                       MemAccess::Write);
-        if (!a.ok())
-            return false;
-        aspace->physMem().writeBytes(a.paddr, &data[i], 1);
-    }
-    return true;
+    return guestCopyOut(*aspace, ctx, va, data, len).ok();
 }
 
 U64
@@ -74,6 +60,9 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
             return HC_ERROR;
         ctx.cr3 = a1;
         st_cr3_switches++;
+        // The new root may alias frames cached under walks the
+        // translation cache never snooped being built; start clean.
+        aspace->flushTranslationCache();
         if (cr3_hook)
             cr3_hook(ctx);
         return 0;
@@ -159,13 +148,11 @@ Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
         return 0;
       case PTLCALL_COMMAND: {
         // Command list as a NUL-terminated guest string (Section 4.1).
+        char buf[256];
+        GuestCopy g = guestCopyIn(*aspace, ctx, buf, arg1, sizeof(buf));
         std::string cmd;
-        for (int i = 0; i < 256; i++) {
-            U64 ch = 0;
-            if (!guestRead(*aspace, ctx, arg1 + i, 1, ch).ok() || !ch)
-                break;
-            cmd.push_back((char)ch);
-        }
+        for (size_t i = 0; i < g.copied && buf[i]; i++)
+            cmd.push_back(buf[i]);
         command_log.push_back(cmd);
         // Interpret the classic commands inline.
         if (cmd.find("-native") != std::string::npos)

@@ -18,6 +18,7 @@ Machine::Machine(const SimConfig &config)
     physmem = std::make_unique<PhysMem>(cfg.guest_mem_bytes, cfg.seed,
                                         cfg.shuffle_mfns);
     aspace = std::make_unique<AddressSpace>(*physmem);
+    aspace->attachStats(stats_tree);
     bbcache = std::make_unique<BasicBlockCache>(*aspace, stats_tree);
 
     std::vector<Context *> vcpu_ptrs;

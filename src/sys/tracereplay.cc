@@ -23,14 +23,11 @@ TraceReplayer::processDue(U64 now)
             Context dma_ctx;
             dma_ctx.cr3 = r.dma_cr3;
             dma_ctx.kernel_mode = true;
-            for (size_t i = 0; i < r.dma_data.size(); i++) {
-                GuestAccess a = guestTranslate(*aspace, dma_ctx,
-                                               r.dma_va + i,
-                                               MemAccess::Write);
-                if (!a.ok())
-                    panic("trace replay: DMA target unmapped");
-                aspace->physMem().writeBytes(a.paddr, &r.dma_data[i], 1);
-            }
+            GuestCopy g = guestCopyOut(*aspace, dma_ctx, r.dma_va,
+                                       r.dma_data.data(),
+                                       r.dma_data.size());
+            if (!g.ok())
+                panic("trace replay: DMA target unmapped");
         }
         events->send(r.port);
         n++;

@@ -35,6 +35,33 @@ VerifyStats::VerifyStats(StatsTree &stats, const std::string &prefix)
 {
 }
 
+void
+verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
+                        MemAccess kind, bool user_mode,
+                        GuestFault cached_fault, U64 cached_paddr,
+                        bool entry_dirty)
+{
+    PageWalk walk = aspace.walk(cr3, va);
+    GuestFault walked_fault = checkWalkAccess(walk, kind, user_mode);
+    if (walked_fault != cached_fault)
+        panic("transcache shadow walk mismatch at va %llx (cr3 %llx): "
+              "cached fault %s vs walked %s",
+              (unsigned long long)va, (unsigned long long)cr3,
+              guestFaultName(cached_fault), guestFaultName(walked_fault));
+    if (cached_fault != GuestFault::None)
+        return;
+    if (walk.paddr(va) != cached_paddr)
+        panic("transcache shadow walk mismatch at va %llx (cr3 %llx): "
+              "cached paddr %llx vs walked %llx",
+              (unsigned long long)va, (unsigned long long)cr3,
+              (unsigned long long)cached_paddr,
+              (unsigned long long)walk.paddr(va));
+    if (entry_dirty && !walk.dirty)
+        panic("transcache shadow walk mismatch at va %llx (cr3 %llx): "
+              "entry claims leaf D set but the PTE is clean",
+              (unsigned long long)va, (unsigned long long)cr3);
+}
+
 InvariantChecker::InvariantChecker(StatsTree &stats,
                                    const std::string &prefix, Action act)
     : vstats(stats, prefix), action(act)

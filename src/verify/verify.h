@@ -41,6 +41,7 @@
 #include <string>
 
 #include "lib/bitops.h"
+#include "mem/pagetable.h"
 #include "stats/stats.h"
 
 namespace ptl {
@@ -100,6 +101,20 @@ class InvariantChecker
     VerifyStats vstats;
     Action action;
 };
+
+/**
+ * PTL_VERIFY shadow mode for the functional translation cache
+ * (src/mem/transcache.h): on every cached hit, guestTranslate()
+ * re-runs the uncached 4-level walk and panics unless the cached
+ * outcome — fault kind, machine-physical address, and the claimed
+ * leaf Dirty state — is byte-identical to what the walker produces.
+ * Runtime-gated by TranslationCache::setShadowEnabled() (default on),
+ * compiled out entirely when PTL_VERIFY=OFF.
+ */
+void verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
+                             MemAccess kind, bool user_mode,
+                             GuestFault cached_fault, U64 cached_paddr,
+                             bool entry_dirty);
 
 /**
  * Test-only access: deliberately corrupt core state so the test suite

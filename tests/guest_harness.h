@@ -67,6 +67,7 @@ class GuestRunner
         : mem(32 << 20, 7, true), aspace(mem), bbcache(aspace, stats),
           sys(bbcache)
     {
+        aspace.attachStats(stats);
         cr3 = aspace.createRoot();
         aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE,
                         Pte::RW | Pte::US);
@@ -93,13 +94,8 @@ class GuestRunner
     void
     writeGuest(U64 va, const void *data, size_t n)
     {
-        const U8 *p = (const U8 *)data;
-        for (size_t i = 0; i < n; i++) {
-            GuestAccess a =
-                guestTranslate(aspace, ctx, va + i, MemAccess::Write);
-            ptl_assert(a.ok());
-            mem.writeBytes(a.paddr, p + i, 1);
-        }
+        GuestCopy g = guestCopyOut(aspace, ctx, va, data, n);
+        ptl_assert(g.ok());
     }
 
     U64
@@ -151,6 +147,7 @@ class CoreRunner
         : cfg(config), mem(32 << 20, 7, true), aspace(mem),
           bbcache(aspace, stats), sys(bbcache), interlocks(stats)
     {
+        aspace.attachStats(stats);
         cr3 = aspace.createRoot();
         aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE, Pte::RW | Pte::US);
         aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
@@ -173,13 +170,10 @@ class CoreRunner
     {
         if (!image_written) {
             image = assembler.finalize();
-            Context &c0 = *contexts[0];
-            for (size_t i = 0; i < image.size(); i++) {
-                GuestAccess a = guestTranslate(
-                    aspace, c0, assembler.baseVa() + i, MemAccess::Write);
-                ptl_assert(a.ok());
-                mem.writeBytes(a.paddr, &image[i], 1);
-            }
+            GuestCopy g = guestCopyOut(aspace, *contexts[0],
+                                       assembler.baseVa(), image.data(),
+                                       image.size());
+            ptl_assert(g.ok());
             image_written = true;
         }
         contexts[vcpu]->rip = entry ? entry : CODE_BASE;
