@@ -13,7 +13,9 @@
 
 #include "core/coreapi.h"
 #include "core/seqcore.h"
+#include "kernel/guestkernel.h"
 #include "kernel/guestlib.h"
+#include "sys/machine.h"
 #include "xasm/assembler.h"
 
 namespace ptl {
@@ -167,9 +169,54 @@ BM_NativeFunctional(benchmark::State &state)
         (double)insns, benchmark::Counter::kIsRate);
 }
 
+/**
+ * Idle-dominated full-system workload: the guest spends ~99% of its
+ * virtual time blocked in sleep(1) waiting for the next timer tick.
+ * The event kernel's idle fast-forward jumps straight to the queue
+ * head instead of ticking cores through dead cycles, so simulated
+ * cycles/second here should be far above the busy-loop core numbers.
+ */
+void
+BM_IdleHeavyMachine(benchmark::State &state)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.core = "seq";
+    cfg.core_freq_hz = 10'000'000;
+    cfg.timer_hz = 1000;
+    cfg.guest_mem_bytes = 32 << 20;
+    Machine machine(cfg);
+    KernelBuilder builder(machine);
+    Assembler &ua = builder.userAsm();
+    GuestLib lib(ua);
+    Label entry = ua.newLabel();
+    Label skip = ua.newLabel();
+    ua.jmp(skip);
+    lib.emitRuntime();
+    ua.bind(skip);
+    ua.bind(entry);
+    Label forever = ua.label();
+    ua.mov(R::rdi, 1);
+    lib.syscall(GSYS_sleep);
+    ua.jmp(forever);
+    builder.setInitTask(ua.labelVa(entry), 0);
+    builder.build();
+    machine.finalizeCores();
+
+    U64 start = machine.timeKeeper().cycle();
+    for (auto _ : state)
+        machine.run(1'000'000);
+    U64 cycles = machine.timeKeeper().cycle() - start;
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        (double)cycles, benchmark::Counter::kIsRate);
+    state.counters["events_per_mcycle"] =
+        (double)machine.stats().get("eventq/fired") * 1e6
+        / (double)std::max<U64>(1, cycles);
+}
+
 BENCHMARK(BM_OooCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SeqCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeFunctional)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IdleHeavyMachine)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace ptl

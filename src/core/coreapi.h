@@ -53,12 +53,53 @@ class CoreModel
     /** True when every hardware thread is blocked (hlt). */
     virtual bool allIdle() const = 0;
 
+    /**
+     * Earliest cycle at which this core needs to run again if no new
+     * external event arrives (the machine's idle fast-forward hint).
+     * The default is conservative: an idle core never wakes on its
+     * own, and a core with any runnable thread needs the very next
+     * cycle. Models with autonomous in-flight work (e.g. a draining
+     * writeback queue) override this to report its completion cycle.
+     */
+    virtual U64
+    sleepUntil(U64 now) const
+    {
+        return allIdle() ? CYCLE_NEVER : now;
+    }
+
     /** Squash all in-flight state (SMC, external invalidation,
      *  native-mode transitions). */
     virtual void flushPipeline() = 0;
 
     /** CR3 reload: drop cached translations (no ASIDs on this x86). */
     virtual void flushTlbs() {}
+
+    /**
+     * Virtual time just moved discontinuously (checkpoint restore can
+     * roll it backwards). Any absolute-cycle bookkeeping — stall
+     * windows, fetch backoffs, commit watchdogs — must be re-based to
+     * `now`, or a stale future stamp from before the warp silently
+     * parks the core until wall-clock catches back up.
+     */
+    virtual void resetTimebase(U64 now) { (void)now; }
+
+    /**
+     * Forget every microarchitectural warm-up artifact: in-flight
+     * pipeline state, TLB and cache tags, branch-predictor tables,
+     * and absolute-cycle timing stamps. Checkpoint capture and
+     * restore both quiesce cores through this, so the continuation
+     * of a just-captured run and a later restore of that checkpoint
+     * resume from the identical (architectural + cold-microarch)
+     * state — which is what makes a round trip cycle-exact even
+     * though cache/predictor contents are never serialized.
+     */
+    virtual void
+    resetMicroarch(U64 now)
+    {
+        flushPipeline();
+        flushTlbs();
+        resetTimebase(now);
+    }
 
     virtual std::string name() const = 0;
 

@@ -357,6 +357,30 @@ OooCore::flushTlbs()
     hierarchy->flushTlbs();
 }
 
+void
+OooCore::resetMicroarch(U64 now)
+{
+    flushPipeline();
+    hierarchy->flushTlbs();
+    hierarchy->flushCaches();
+    predictor->reset();
+    resetTimebase(now);
+}
+
+void
+OooCore::resetTimebase(U64 now)
+{
+    // Fetch backoffs and the commit watchdog hold absolute cycle
+    // stamps; after a time warp the former would park fetch until the
+    // old clock value recurs and the latter would see a gigantic
+    // unsigned gap and fire spuriously.
+    for (Thread &t : threads) {
+        t.fetch_stall_until = 0;
+        t.last_commit_cycle = now;
+    }
+    hierarchy->resetTimebase();
+}
+
 bool
 OooCore::allIdle() const
 {

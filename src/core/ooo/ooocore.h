@@ -64,6 +64,8 @@ class OooCore : public CoreModel
     bool allIdle() const override;
     void flushPipeline() override;
     void flushTlbs() override;
+    void resetTimebase(U64 now) override;
+    void resetMicroarch(U64 now) override;
     std::string name() const override { return smt ? "smt" : "ooo"; }
     std::string debugState() const override;
 

@@ -1,5 +1,6 @@
 #include "core/seqcore.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "lib/logging.h"
@@ -463,6 +464,26 @@ void
 SeqCore::flushTlbs()
 {
     hierarchy->flushTlbs();
+}
+
+void
+SeqCore::resetMicroarch(U64 now)
+{
+    flushPipeline();
+    hierarchy->flushTlbs();
+    hierarchy->flushCaches();
+    predictor->reset();
+    resetTimebase(now);
+}
+
+void
+SeqCore::resetTimebase(U64 /*now*/)
+{
+    // Per-thread stall windows are absolute cycle stamps; after a time
+    // warp they must not outlive the old clock. Same for the memory
+    // hierarchy's in-flight miss buffers.
+    std::fill(stall_until.begin(), stall_until.end(), 0);
+    hierarchy->resetTimebase();
 }
 
 void

@@ -137,6 +137,8 @@ class SeqCore : public CoreModel
     bool allIdle() const override;
     void flushPipeline() override;
     void flushTlbs() override;
+    void resetTimebase(U64 now) override;
+    void resetMicroarch(U64 now) override;
     std::string name() const override { return "seq"; }
 
     FunctionalEngine &engine(int thread) { return *engines[thread]; }

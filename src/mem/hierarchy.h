@@ -86,6 +86,20 @@ class MemoryHierarchy
     /** Flush all cache tags (the paper's -perfctr pre-run flush). */
     void flushCaches();
 
+    /**
+     * Virtual time warped (checkpoint restore): drop in-flight miss
+     * tracking and the per-cycle bank occupancy, whose absolute cycle
+     * stamps would otherwise charge phantom multi-thousand-cycle
+     * fill waits against the rolled-back clock.
+     */
+    void
+    resetTimebase()
+    {
+        mshrs.clear();
+        bank_cycle = ~0ULL;
+        bank_mask = 0;
+    }
+
     /** Coherence downgrade from a peer core. */
     void invalidateLine(U64 line_addr);
 

@@ -14,6 +14,30 @@ captureCheckpoint(Machine &machine)
         ckpt.contexts.push_back(machine.vcpu(i));
     ckpt.cycle = machine.timeKeeper().cycle();
     ckpt.hidden_cycles = machine.timeKeeper().hiddenCycles();
+    ckpt.last_snapshot = machine.lastSnapshotCycle();
+    // Pending guest-visible work. Timer deliveries are enumerated from
+    // the EventQueue by tag, in firing order (so restore re-schedules
+    // them in the same relative order); device payloads come from the
+    // devices' own queues.
+    for (const EventQueue::PendingEvent &e :
+         machine.eventQueue().pendingSorted()) {
+        if (e.kind == EVK_TIMER_PORT)
+            ckpt.timer_events.push_back({e.due, (int)e.arg});
+    }
+    const std::deque<VirtualDisk::Pending> &dp =
+        machine.disk().pendingTransfers();
+    ckpt.disk_pending.assign(dp.begin(), dp.end());
+    const std::deque<VirtualNet::Packet> &np = machine.net().inFlight();
+    ckpt.net_pending.assign(np.begin(), np.end());
+    ckpt.net_last_ready = machine.net().lastReady();
+    for (const std::deque<U8> &q : machine.net().rxQueues())
+        ckpt.net_rx.emplace_back(q.begin(), q.end());
+    ckpt.evtchn_pending = machine.eventChannels().pendingMasks();
+    // Quiesce the microarchitecture on the live machine too: cache,
+    // TLB, and predictor contents are never serialized, so the only
+    // way a restore can be cycle-exact is for the capture side to
+    // resume from the same cold-microarch point the restore side will.
+    machine.flushCores();
     return ckpt;
 }
 
@@ -30,12 +54,21 @@ restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt)
     fresh.advance(ckpt.cycle);
     fresh.hideGap(ckpt.hidden_cycles);
     time = fresh;
-    // Derived state: translated code, scheduled deliveries, and all
-    // in-flight pipeline state (flushCores also re-syncs the cores'
-    // architectural register files from the restored contexts).
+    // Derived state: translated code and all in-flight pipeline state
+    // (flushCores also re-syncs the cores' architectural register
+    // files from the restored contexts).
     machine.bbCache().invalidateAll();
     machine.addressSpace().flushTranslationCache();
-    machine.eventChannels().clearScheduled();
+    // Drop every scheduled event, re-arm the snapshot cadence at its
+    // captured phase, then rebuild pending guest-visible work from the
+    // serialized payloads.
+    machine.rearmAfterRestore(ckpt.last_snapshot);
+    for (const TimerEventRecord &t : ckpt.timer_events)
+        machine.eventChannels().sendAt(t.when, t.port);
+    machine.disk().restorePending(ckpt.disk_pending);
+    machine.net().restorePending(ckpt.net_pending, ckpt.net_last_ready);
+    machine.net().restoreRx(ckpt.net_rx);
+    machine.eventChannels().restorePendingMasks(ckpt.evtchn_pending);
     machine.flushCores();
 }
 

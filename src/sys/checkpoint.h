@@ -4,10 +4,14 @@
  *
  * Section 4.2's record-and-replay flow starts from "a checkpoint of
  * the target machine's physical memory and register state". We capture
- * exactly that: all machine frames, every VCPU Context, and the
- * virtual-time state. Device queues are intentionally not captured —
- * checkpoints are taken at quiesced points (no in-flight DMA), which
- * is also how Xen's save/restore behaves for paravirtual domains.
+ * exactly that — all machine frames, every VCPU Context, and the
+ * virtual-time state — plus the guest-visible pending work: scheduled
+ * timer deliveries (enumerated from the machine's EventQueue by their
+ * EVK_TIMER_PORT tags) and the devices' in-flight DMA/packet queues.
+ * The EventQueue itself is derived state: restore drops it wholesale
+ * and each subsystem re-arms its own events from the serialized
+ * payloads, so a checkpoint taken mid-I/O resumes with identical
+ * completion timing.
  */
 
 #ifndef PTLSIM_SYS_CHECKPOINT_H_
@@ -16,10 +20,18 @@
 #include <vector>
 
 #include "core/context.h"
+#include "sys/devices.h"
 
 namespace ptl {
 
 class Machine;
+
+/** A pending event-channel delivery (EventQueue EVK_TIMER_PORT tag). */
+struct TimerEventRecord
+{
+    U64 when = 0;
+    int port = 0;
+};
 
 struct MachineCheckpoint
 {
@@ -27,15 +39,26 @@ struct MachineCheckpoint
     std::vector<Context> contexts;  ///< per-VCPU architectural state
     U64 cycle = 0;
     U64 hidden_cycles = 0;          ///< TSC-offset state
+    U64 last_snapshot = 0;          ///< periodic-snapshot phase
+
+    // Guest-visible pending work (in-flight at capture time).
+    std::vector<TimerEventRecord> timer_events;
+    std::vector<VirtualDisk::Pending> disk_pending;
+    std::vector<VirtualNet::Packet> net_pending;
+    std::vector<U64> net_last_ready;  ///< per-endpoint FIFO floors
+    std::vector<std::vector<U8>> net_rx;  ///< delivered, unread bytes
+    std::vector<U64> evtchn_pending;  ///< raised, unconsumed port masks
 };
 
-/** Capture the domain's state at the current (quiesced) point. */
+/** Capture the domain's state at the current point (in-flight device
+ *  work and scheduled timer deliveries included). */
 MachineCheckpoint captureCheckpoint(Machine &machine);
 
 /**
- * Restore a previously captured checkpoint: memory, contexts and
- * virtual time roll back; translated code and scheduled events are
- * dropped (they are derived state).
+ * Restore a previously captured checkpoint: memory, contexts, virtual
+ * time, pending timer deliveries and device queues roll back;
+ * translated code, scheduled bookkeeping events and core pipeline
+ * state are dropped and rebuilt (they are derived state).
  */
 void restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt);
 

@@ -6,14 +6,25 @@
 
 namespace ptl {
 
-VirtualDisk::VirtualDisk(EventChannels &channels, TimeKeeper &timekeeper,
-                         int latency_us, AddressSpace &addrspace,
-                         StatsTree &stats)
-    : events(&channels), time(&timekeeper), aspace(&addrspace),
+VirtualDisk::VirtualDisk(EventChannels &channels, EventQueue &eventq,
+                         TimeKeeper &timekeeper, int latency_us,
+                         AddressSpace &addrspace, StatsTree &stats)
+    : events(&channels), queue(&eventq), time(&timekeeper),
+      aspace(&addrspace),
       latency_cycles(timekeeper.usToCycles((U64)latency_us)),
       st_reads(stats.counter("disk/reads")),
       st_sectors(stats.counter("disk/sectors"))
 {
+}
+
+void
+VirtualDisk::armCompletion(U64 ready)
+{
+    EventQueue::Options opts;
+    opts.name = "disk";
+    opts.kind = EVK_DEVICE;
+    queue->schedule(ready, EVPRI_DISK,
+                    [this](U64 now) { processDue(now); }, opts);
 }
 
 bool
@@ -27,7 +38,16 @@ VirtualDisk::read(const Context &ctx, U64 sector, U64 count, U64 dest_va)
     U64 ready = time->cycle() + latency_cycles
                 + count * time->usToCycles(1);
     pending.push_back({ready, sector, count, dest_va, ctx.cr3});
+    armCompletion(ready);
     return true;
+}
+
+void
+VirtualDisk::restorePending(const std::vector<Pending> &entries)
+{
+    pending.assign(entries.begin(), entries.end());
+    for (const Pending &p : pending)
+        armCompletion(p.ready);
 }
 
 void
@@ -56,20 +76,25 @@ VirtualDisk::processDue(U64 now)
     }
 }
 
-U64
-VirtualDisk::nextDue() const
-{
-    return pending.empty() ? ~0ULL : pending.front().ready;
-}
-
-VirtualNet::VirtualNet(EventChannels &channels, TimeKeeper &timekeeper,
-                       int latency_us, int endpoints, StatsTree &stats)
-    : events(&channels), time(&timekeeper),
+VirtualNet::VirtualNet(EventChannels &channels, EventQueue &eventq,
+                       TimeKeeper &timekeeper, int latency_us,
+                       int endpoints, StatsTree &stats)
+    : events(&channels), queue(&eventq), time(&timekeeper),
       latency_cycles(timekeeper.usToCycles((U64)latency_us)),
       rx((size_t)endpoints), last_ready((size_t)endpoints, 0),
       st_packets(stats.counter("net/packets")),
       st_bytes(stats.counter("net/bytes"))
 {
+}
+
+void
+VirtualNet::armDelivery(U64 ready)
+{
+    EventQueue::Options opts;
+    opts.name = "net";
+    opts.kind = EVK_DEVICE;
+    queue->schedule(ready, EVPRI_NET,
+                    [this](U64 now) { processDue(now); }, opts);
 }
 
 void
@@ -94,10 +119,30 @@ VirtualNet::send(int to_ep, const U8 *data, size_t len)
         last_ready[to_ep] = p.ready;
         p.to_ep = to_ep;
         p.data.assign(data + off, data + off + chunk);
+        armDelivery(p.ready);
         in_flight.push_back(std::move(p));
         off += chunk;
         frag++;
     }
+}
+
+void
+VirtualNet::restorePending(const std::vector<Packet> &packets,
+                           const std::vector<U64> &last_ready_floor)
+{
+    ptl_assert(last_ready_floor.size() == last_ready.size());
+    in_flight.assign(packets.begin(), packets.end());
+    last_ready = last_ready_floor;
+    for (const Packet &p : in_flight)
+        armDelivery(p.ready);
+}
+
+void
+VirtualNet::restoreRx(const std::vector<std::vector<U8>> &queues)
+{
+    ptl_assert(queues.size() == rx.size());
+    for (size_t i = 0; i < rx.size(); i++)
+        rx[i].assign(queues[i].begin(), queues[i].end());
 }
 
 size_t
@@ -130,15 +175,6 @@ VirtualNet::processDue(U64 now)
             ++it;
         }
     }
-}
-
-U64
-VirtualNet::nextDue() const
-{
-    U64 best = ~0ULL;
-    for (const Packet &p : in_flight)
-        best = std::min(best, p.ready);
-    return best;
 }
 
 }  // namespace ptl

@@ -6,9 +6,13 @@
  * drivers: the guest kernel requests I/O via hypercalls, the device
  * models complete it after a configurable latency measured in
  * simulated cycles, and completion is signaled on an event channel.
- * All completions flow through the cycle-keyed queues, so I/O timing
- * is fully deterministic (Section 4.2); a DeviceTrace can record every
- * interrupt + DMA for the paper's record-and-replay injection scheme.
+ * All completions flow through the machine's central EventQueue, so
+ * I/O timing is fully deterministic (Section 4.2); a DeviceTrace can
+ * record every interrupt + DMA for the paper's record-and-replay
+ * injection scheme. Each device owns its in-flight payload queue
+ * (serialized by checkpoints) and arms a queue event per request; the
+ * event callback drains everything due, so spurious later events for
+ * an already-drained head are harmless no-ops.
  */
 
 #ifndef PTLSIM_SYS_DEVICES_H_
@@ -54,8 +58,19 @@ constexpr U64 DISK_SECTOR_BYTES = 512;
 class VirtualDisk
 {
   public:
-    VirtualDisk(EventChannels &events, TimeKeeper &time, int latency_us,
-                AddressSpace &aspace, StatsTree &stats);
+    /** One in-flight transfer (public: checkpoints serialize these). */
+    struct Pending
+    {
+        U64 ready;
+        U64 sector;
+        U64 count;
+        U64 dest_va;
+        U64 cr3;
+    };
+
+    VirtualDisk(EventChannels &events, EventQueue &queue,
+                TimeKeeper &time, int latency_us, AddressSpace &aspace,
+                StatsTree &stats);
 
     void setImage(std::vector<U8> data) { image = std::move(data); }
     const std::vector<U8> &imageData() const { return image; }
@@ -68,24 +83,27 @@ class VirtualDisk
      */
     bool read(const Context &ctx, U64 sector, U64 count, U64 dest_va);
 
-    /** Complete any transfers due at `now` (DMA copy + event). */
+    /** Complete any transfers due at `now` (DMA copy + event).
+     *  Normally fired by the EventQueue; FIFO completion order. */
     void processDue(U64 now);
 
-    U64 nextDue() const;
+    /** In-flight transfers, oldest first (checkpoint capture). */
+    const std::deque<Pending> &pendingTransfers() const
+    {
+        return pending;
+    }
+
+    /** Replace the in-flight queue and re-arm completion events
+     *  (checkpoint restore; call after EventQueue::clear()). */
+    void restorePending(const std::vector<Pending> &entries);
 
     void attachTrace(DeviceTrace *t) { trace = t; }
 
   private:
-    struct Pending
-    {
-        U64 ready;
-        U64 sector;
-        U64 count;
-        U64 dest_va;
-        U64 cr3;
-    };
+    void armCompletion(U64 ready);
 
     EventChannels *events;
+    EventQueue *queue;
     TimeKeeper *time;
     AddressSpace *aspace;
     U64 latency_cycles;
@@ -110,8 +128,17 @@ constexpr size_t NET_MTU = 1500;
 class VirtualNet
 {
   public:
-    VirtualNet(EventChannels &events, TimeKeeper &time, int latency_us,
-               int endpoints, StatsTree &stats);
+    /** One in-flight packet (public: checkpoints serialize these). */
+    struct Packet
+    {
+        U64 ready;
+        int to_ep;
+        std::vector<U8> data;
+    };
+
+    VirtualNet(EventChannels &events, EventQueue &queue,
+               TimeKeeper &time, int latency_us, int endpoints,
+               StatsTree &stats);
 
     int endpointCount() const { return (int)rx.size(); }
 
@@ -123,20 +150,32 @@ class VirtualNet
 
     size_t available(int ep) const { return rx[ep].size(); }
 
+    /** Deliver all packets due at `now`, in send order. Normally
+     *  fired by the EventQueue. */
     void processDue(U64 now);
-    U64 nextDue() const;
+
+    /** In-flight packets, send order (checkpoint capture). */
+    const std::deque<Packet> &inFlight() const { return in_flight; }
+    const std::vector<U64> &lastReady() const { return last_ready; }
+
+    /** Delivered-but-unread bytes per endpoint (checkpoint capture). */
+    const std::vector<std::deque<U8>> &rxQueues() const { return rx; }
+
+    /** Restore the delivered-but-unread queues (checkpoint). */
+    void restoreRx(const std::vector<std::vector<U8>> &queues);
+
+    /** Replace the in-flight queue and re-arm delivery events
+     *  (checkpoint restore; call after EventQueue::clear()). */
+    void restorePending(const std::vector<Packet> &packets,
+                        const std::vector<U64> &last_ready_floor);
 
     void attachTrace(DeviceTrace *t) { trace = t; }
 
   private:
-    struct Packet
-    {
-        U64 ready;
-        int to_ep;
-        std::vector<U8> data;
-    };
+    void armDelivery(U64 ready);
 
     EventChannels *events;
+    EventQueue *queue;
     TimeKeeper *time;
     U64 latency_cycles;
     std::deque<Packet> in_flight;

@@ -5,8 +5,9 @@
 namespace ptl {
 
 EventChannels::EventChannels(std::vector<Context *> vcpu_list,
-                             StatsTree &stats)
+                             EventQueue &eventq, StatsTree &stats)
     : vcpus(std::move(vcpu_list)), pending_mask(vcpus.size(), 0),
+      queue(&eventq),
       st_sent(stats.counter("events/sent")),
       st_scheduled(stats.counter("events/scheduled"))
 {
@@ -38,27 +39,14 @@ EventChannels::send(int port)
 void
 EventChannels::sendAt(U64 when, int port)
 {
+    ptl_assert(port >= 0 && port < MAX_EVENT_PORTS);
     st_scheduled++;
-    queue.push({when, port, seq++});
-}
-
-int
-EventChannels::processDue(U64 now)
-{
-    int n = 0;
-    while (!queue.empty() && queue.top().when <= now) {
-        int port = queue.top().port;
-        queue.pop();
-        send(port);
-        n++;
-    }
-    return n;
-}
-
-U64
-EventChannels::nextDue() const
-{
-    return queue.empty() ? ~0ULL : queue.top().when;
+    EventQueue::Options opts;
+    opts.name = "evchn";
+    opts.kind = EVK_TIMER_PORT;
+    opts.arg = (U64)port;
+    queue->schedule(when, EVPRI_EVCHAN,
+                    [this, port](U64) { send(port); }, opts);
 }
 
 U64
@@ -69,13 +57,6 @@ EventChannels::consumePending(int vcpu)
     pending_mask[vcpu] = 0;
     vcpus[vcpu]->event_pending = false;
     return mask;
-}
-
-void
-EventChannels::clearScheduled()
-{
-    while (!queue.empty())
-        queue.pop();
 }
 
 }  // namespace ptl

@@ -13,11 +13,12 @@
 #ifndef PTLSIM_SYS_EVENTS_H_
 #define PTLSIM_SYS_EVENTS_H_
 
-#include <queue>
 #include <vector>
 
 #include "core/context.h"
+#include "lib/logging.h"
 #include "stats/stats.h"
+#include "sys/eventq.h"
 
 namespace ptl {
 
@@ -31,11 +32,17 @@ enum EventPort : int {
     PORT_USER_BASE = 16,   ///< dynamically allocated
 };
 
-/** Per-domain event channel state + cycle-keyed delivery queue. */
+/**
+ * Per-domain event channel state. Cycle-keyed deliveries live on the
+ * machine's central EventQueue (kind EVK_TIMER_PORT, priority
+ * EVPRI_EVCHAN), so pending timer events are enumerable for
+ * checkpoints and the master loop never polls this module.
+ */
 class EventChannels
 {
   public:
-    EventChannels(std::vector<Context *> vcpus, StatsTree &stats);
+    EventChannels(std::vector<Context *> vcpus, EventQueue &queue,
+                  StatsTree &stats);
 
     /** Raise `port` immediately: sets the pending bit, marks the
      *  bound VCPU's event_pending, and wakes it if blocked. */
@@ -43,12 +50,6 @@ class EventChannels
 
     /** Schedule `port` to be raised at absolute cycle `when`. */
     void sendAt(U64 when, int port);
-
-    /** Deliver everything due at or before `now`. Returns count. */
-    int processDue(U64 now);
-
-    /** Cycle of the earliest scheduled delivery (or ~0 if none). */
-    U64 nextDue() const;
 
     /**
      * Read-and-clear the pending port bitmask for `vcpu` (the
@@ -63,30 +64,24 @@ class EventChannels
     /** True if any port is pending for `vcpu`. */
     bool anyPending(int vcpu) const { return pending_mask[vcpu] != 0; }
 
+    /** Raised-but-unconsumed port bitmasks (checkpoint capture). */
+    const std::vector<U64> &pendingMasks() const { return pending_mask; }
+
+    /** Restore the raised-but-unconsumed bitmasks (checkpoint). */
+    void
+    restorePendingMasks(const std::vector<U64> &masks)
+    {
+        ptl_assert(masks.size() == pending_mask.size());
+        pending_mask = masks;
+    }
+
     int vcpuCount() const { return (int)vcpus.size(); }
 
-    /** Drop all scheduled deliveries (checkpoint restore). */
-    void clearScheduled();
-
   private:
-    struct Scheduled
-    {
-        U64 when;
-        int port;
-        U64 seq;   ///< tie-break for determinism
-        bool operator>(const Scheduled &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
-    };
-
     std::vector<Context *> vcpus;
     std::vector<U64> pending_mask;  ///< per-vcpu bitmask of ports
     int port_vcpu[MAX_EVENT_PORTS] = {};
-    std::priority_queue<Scheduled, std::vector<Scheduled>,
-                        std::greater<Scheduled>>
-        queue;
-    U64 seq = 0;
+    EventQueue *queue;
     Counter &st_sent;
     Counter &st_scheduled;
 };

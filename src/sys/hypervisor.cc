@@ -92,6 +92,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
       case HC_shutdown:
         shutdown = true;
         exit_code = a1;
+        requestAttention();
         return 0;
       case HC_net_available:
         if ((int)a1 >= net->endpointCount())
@@ -132,16 +133,20 @@ Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
         return 0;
       case PTLCALL_SWITCH_TO_SIM:
         want_sim = true;
+        requestAttention();
         return 0;
       case PTLCALL_SWITCH_TO_NATIVE:
         want_native = true;
+        requestAttention();
         return 0;
       case PTLCALL_KILL:
         shutdown = true;
         exit_code = arg1;
+        requestAttention();
         return 0;
       case PTLCALL_SNAPSHOT:
         want_snapshot = true;
+        requestAttention();
         return 0;
       case PTLCALL_MARKER:
         marks.push_back({time->cycle(), arg1});
@@ -163,6 +168,7 @@ Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
             shutdown = true;
         if (cmd.find("-snapshot") != std::string::npos)
             want_snapshot = true;
+        requestAttention();
         return 0;
       }
       default:

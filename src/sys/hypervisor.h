@@ -57,6 +57,13 @@ class Hypervisor : public SystemInterface
     {
         want_sim = want_native = want_snapshot = false;
     }
+
+    /** Roll back a shutdown (checkpoint restore to a live domain). */
+    void clearShutdown()
+    {
+        shutdown = false;
+        exit_code = 0;
+    }
     const std::vector<PtlMarker> &markers() const { return marks; }
     const std::vector<std::string> &commands() const { return command_log; }
 
@@ -72,7 +79,25 @@ class Hypervisor : public SystemInterface
         code_hook = std::move(hook);
     }
 
+    /**
+     * Hook invoked whenever a machine-facing request flag is raised
+     * (mode switch, snapshot, shutdown). The machine uses it to
+     * schedule a control event on its EventQueue for the next cycle,
+     * so the master loop never polls these flags per cycle.
+     */
+    void setAttentionHook(std::function<void()> hook)
+    {
+        attention_hook = std::move(hook);
+    }
+
   private:
+    void
+    requestAttention()
+    {
+        if (attention_hook)
+            attention_hook();
+    }
+
     /** Copy a guest buffer out (for console/net hypercalls). */
     bool copyFromGuest(Context &ctx, U64 va, size_t len,
                        std::vector<U8> &out);
@@ -95,6 +120,7 @@ class Hypervisor : public SystemInterface
     std::vector<std::string> command_log;
     std::function<void(Context &)> cr3_hook;
     std::function<void(U64)> code_hook;
+    std::function<void()> attention_hook;
 
     Counter &st_hypercalls;
     Counter &st_ptlcalls;

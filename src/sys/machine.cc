@@ -5,7 +5,7 @@
 namespace ptl {
 
 Machine::Machine(const SimConfig &config)
-    : cfg(config), time(config.core_freq_hz),
+    : cfg(config), time(config.core_freq_hz), eventq(stats_tree),
       st_cycles_user(stats_tree.counter("external/cycles_in_mode/user")),
       st_cycles_kernel(
           stats_tree.counter("external/cycles_in_mode/kernel")),
@@ -27,12 +27,13 @@ Machine::Machine(const SimConfig &config)
         contexts.back()->vcpu_id = i;
         vcpu_ptrs.push_back(contexts.back().get());
     }
-    events = std::make_unique<EventChannels>(vcpu_ptrs, stats_tree);
+    events = std::make_unique<EventChannels>(vcpu_ptrs, eventq,
+                                             stats_tree);
     console_dev = std::make_unique<Console>(stats_tree);
-    disk_dev = std::make_unique<VirtualDisk>(*events, time,
+    disk_dev = std::make_unique<VirtualDisk>(*events, eventq, time,
                                              cfg.disk_latency_us, *aspace,
                                              stats_tree);
-    net_dev = std::make_unique<VirtualNet>(*events, time,
+    net_dev = std::make_unique<VirtualNet>(*events, eventq, time,
                                            cfg.net_latency_us, 8,
                                            stats_tree);
     hv = std::make_unique<Hypervisor>(time, *events, *console_dev,
@@ -60,6 +61,21 @@ Machine::Machine(const SimConfig &config)
     hv->setCodeWriteHook([this](U64 /*mfn*/) {
         for (auto &core : cores)
             core->flushPipeline();
+    });
+
+    // Mode-switch / snapshot / shutdown requests raised mid-cycle are
+    // handled at the next cycle boundary, exactly where the old master
+    // loop's per-cycle flag poll sat. One pending control event covers
+    // any number of same-cycle requests.
+    hv->setAttentionHook([this] {
+        if (control_armed)
+            return;
+        control_armed = true;
+        EventQueue::Options opts;
+        opts.name = "control";
+        opts.kind = EVK_CONTROL;
+        eventq.schedule(time.cycle() + 1, EVPRI_CONTROL,
+                        [this](U64 now) { onControlEvent(now); }, opts);
     });
 }
 
@@ -119,6 +135,79 @@ Machine::recordDevices(DeviceTrace *trace)
     net_dev->attachTrace(trace);
 }
 
+void
+Machine::attachReplayer(TraceReplayer *r)
+{
+    replayer = r;
+    armReplayer();
+}
+
+void
+Machine::armReplayer()
+{
+    if (!replayer || replayer->finished())
+        return;
+    EventQueue::Options opts;
+    opts.name = "replay";
+    // One event per distinct record cycle; the callback injects every
+    // record due and re-arms for the next stamp.
+    eventq.schedule(replayer->nextDue(), EVPRI_REPLAY,
+                    [this](U64 now) {
+                        replayer->processDue(now);
+                        armReplayer();
+                    },
+                    opts);
+}
+
+void
+Machine::armSnapshot()
+{
+    EventQueue::Options opts;
+    opts.name = "snapshot";
+    opts.kind = EVK_SNAPSHOT;
+    // A snapshot alone must not keep an otherwise-dead domain alive
+    // (the old loop broke out as stalled before considering the
+    // snapshot cadence).
+    opts.wakes = false;
+    snapshot_event = eventq.schedule(
+        last_snapshot + cfg.snapshot_interval, EVPRI_SNAPSHOT,
+        [this](U64 now) {
+            // Time never runs past the queue head, so `now` is exactly
+            // the armed boundary; priority 0 orders the snapshot ahead
+            // of deliveries due the same cycle (legacy interval edge).
+            last_snapshot = now;
+            stats_tree.takeSnapshot(now);
+            armSnapshot();
+        },
+        opts);
+}
+
+void
+Machine::onControlEvent(U64 now)
+{
+    control_armed = false;
+    if (hv->nativeSwitchRequested())
+        setMode(Mode::Native);
+    else if (hv->simSwitchRequested())
+        setMode(Mode::Simulation);
+    if (hv->snapshotRequested())
+        stats_tree.takeSnapshot(now);
+    hv->clearModeRequests();
+}
+
+void
+Machine::rearmAfterRestore(U64 last_snapshot_cycle)
+{
+    eventq.clear();
+    control_armed = false;
+    snapshot_event = {};
+    hv->clearModeRequests();
+    hv->clearShutdown();
+    last_snapshot = last_snapshot_cycle;
+    armSnapshot();
+    armReplayer();
+}
+
 bool
 Machine::allVcpusIdle() const
 {
@@ -127,17 +216,6 @@ Machine::allVcpusIdle() const
             return false;
     }
     return true;
-}
-
-U64
-Machine::nextWakeCycle() const
-{
-    U64 wake = events->nextDue();
-    wake = std::min(wake, disk_dev->nextDue());
-    wake = std::min(wake, net_dev->nextDue());
-    if (replayer)
-        wake = std::min(wake, replayer->nextDue());
-    return wake;
 }
 
 void
@@ -157,45 +235,64 @@ Machine::accountModeCycles(U64 cycles)
 }
 
 void
-Machine::maybeSnapshot()
-{
-    while (time.cycle() - last_snapshot >= cfg.snapshot_interval) {
-        last_snapshot += cfg.snapshot_interval;
-        stats_tree.takeSnapshot(last_snapshot);
-    }
-}
-
-void
 Machine::runNativeSlice(U64 limit)
 {
     // Native mode: the fast functional engine at the configured native
     // IPC. Run in small instruction batches so events still land at
-    // the right cycles.
+    // the right cycles. VCPUs notionally run in parallel on the bare
+    // machine, so each gets the full per-slice instruction budget and
+    // the slice costs as many cycles as its furthest-ahead VCPU; the
+    // round-robin start cursor rotates so no VCPU permanently sees
+    // events (or the trigger check) first.
     U64 budget_cycles = limit - time.cycle();
-    U64 insns = 0;
     U64 max_insns =
         std::max<U64>(1, budget_cycles * cfg.native_ipc_x1000 / 1000);
     max_insns = std::min<U64>(max_insns, 64);
-    for (U64 i = 0; i < max_insns; i++) {
-        Context &ctx = *contexts[0];
-        if (!ctx.running)
-            break;
-        FunctionalEngine::StepResult r = native_engines[0]->stepInsn(
-            time.cycle());
-        insns += (U64)r.insns + (r.event_delivered ? 1 : 0);
-        if (r.idle || r.blocked_now)
-            break;
-        if (rip_trigger && ctx.rip == rip_trigger) {
-            // Trigger point hit: seamlessly drop into simulation mode
-            // at this exact instruction boundary (Section 2.3).
-            rip_trigger = 0;
-            setMode(Mode::Simulation);
-            break;
+
+    const size_t n = contexts.size();
+    native_insns.assign(n, 0);
+    native_parked.assign(n, 0);
+    bool stop = false;
+    for (U64 i = 0; i < max_insns && !stop; i++) {
+        bool stepped = false;
+        for (size_t k = 0; k < n; k++) {
+            size_t v = (native_rr + k) % n;
+            Context &ctx = *contexts[v];
+            if (native_parked[v] || !ctx.running)
+                continue;
+            FunctionalEngine::StepResult r =
+                native_engines[v]->stepInsn(time.cycle());
+            native_insns[v] += (U64)r.insns + (r.event_delivered ? 1 : 0);
+            stepped = true;
+            if (r.idle || r.blocked_now) {
+                // Out of work for this slice; others keep running.
+                native_parked[v] = 1;
+                continue;
+            }
+            if (rip_trigger && ctx.rip == *rip_trigger) {
+                // Trigger point hit: seamlessly drop into simulation
+                // mode at this exact instruction boundary (Section
+                // 2.3).
+                rip_trigger.reset();
+                setMode(Mode::Simulation);
+                stop = true;
+                break;
+            }
+            if (hv->shutdownRequested() || hv->simSwitchRequested()) {
+                stop = true;
+                break;
+            }
         }
-        if (hv->shutdownRequested() || hv->simSwitchRequested())
+        if (!stepped)
             break;
     }
-    U64 cycles = std::max<U64>(1, insns * 1000 / cfg.native_ipc_x1000);
+    native_rr = n ? (native_rr + 1) % n : 0;
+
+    U64 lead_insns = 0;
+    for (U64 c : native_insns)
+        lead_insns = std::max(lead_insns, c);
+    U64 cycles =
+        std::max<U64>(1, lead_insns * 1000 / cfg.native_ipc_x1000);
     cycles = std::min(cycles, std::max<U64>(1, budget_cycles));
     accountModeCycles(cycles);
     time.advance(cycles);
@@ -204,10 +301,12 @@ Machine::runNativeSlice(U64 limit)
 void
 Machine::flushCores()
 {
-    for (auto &core : cores) {
-        core->flushPipeline();
-        core->flushTlbs();
-    }
+    // Full microarchitectural quiesce: pipelines, TLBs, cache tags,
+    // predictors, and absolute-cycle timing stamps (checkpoint restore
+    // may have rolled virtual time backwards). Capture and restore
+    // both come through here so the two sides resume identically.
+    for (auto &core : cores)
+        core->resetMicroarch(time.cycle());
     for (auto &engine : native_engines)
         engine->reposition();
 }
@@ -236,56 +335,63 @@ Machine::run(U64 max_cycles)
         stats_tree.takeSnapshot(time.cycle());
         last_snapshot = time.cycle();
     }
+    if (!snapshot_event.valid())
+        armSnapshot();
 
     while (time.cycle() < deadline && !hv->shutdownRequested()) {
+        // Fire everything due now: timer deliveries, device
+        // completions, trace injection, the periodic snapshot, and
+        // deferred control requests — in the fixed (cycle, priority,
+        // seq) order that reproduces the old loop-top sequence.
         U64 now = time.cycle();
-        events->processDue(now);
-        disk_dev->processDue(now);
-        net_dev->processDue(now);
-        if (replayer)
-            replayer->processDue(now);
-
-        // Mode-switch requests from ptlcalls.
-        if (hv->nativeSwitchRequested()) {
-            setMode(Mode::Native);
-        } else if (hv->simSwitchRequested()) {
-            setMode(Mode::Simulation);
-        }
-        if (hv->snapshotRequested())
-            stats_tree.takeSnapshot(now);
-        hv->clearModeRequests();
+        eventq.runDue(now);
+        if (hv->shutdownRequested())
+            break;
 
         if (allVcpusIdle()) {
-            // Fast-forward to the next scheduled wake-up, bounded by
-            // the snapshot cadence so time-lapse plots stay exact.
-            U64 wake = nextWakeCycle();
-            if (wake == ~0ULL) {
+            U64 core_wake = CYCLE_NEVER;
+            for (auto &core : cores)
+                core_wake = std::min(core_wake, core->sleepUntil(now));
+            if (eventq.wakePendingCount() == 0
+                && core_wake == CYCLE_NEVER) {
                 // Nothing will ever wake the domain again.
                 result.stalled = true;
                 break;
             }
-            U64 snap_next = last_snapshot + cfg.snapshot_interval;
-            U64 target = std::min({wake, snap_next, deadline});
-            target = std::max(target, now + 1);
-            accountModeCycles(target - now);
-            time.advance(target - now);
-            maybeSnapshot();
-            continue;
+            if (core_wake > now) {
+                // Fast-forward straight to the next scheduled event
+                // (the queue head already includes the snapshot
+                // cadence) or the earliest core-declared wake-up.
+                U64 target =
+                    std::min({eventq.nextDue(), core_wake, deadline});
+                target = std::max(target, now + 1);
+                accountModeCycles(target - now);
+                time.advance(target - now);
+                continue;
+            }
+            // A core still has autonomous in-flight work: fall through
+            // and keep ticking cycle by cycle.
         }
 
         if (run_mode == Mode::Native) {
-            U64 snap_next = last_snapshot + cfg.snapshot_interval;
-            U64 limit = std::min({deadline, snap_next,
-                                  std::max(nextWakeCycle(), now + 1)});
+            U64 limit =
+                std::min(deadline, std::max(eventq.nextDue(), now + 1));
             runNativeSlice(std::max(limit, now + 1));
         } else {
-            // Round-robin: advance each core by one cycle.
-            accountModeCycles(1);
-            for (auto &core : cores)
-                core->cycle(now);
-            time.tick();
+            // The hot loop: advance each core by one cycle, round
+            // robin, until the queue head comes due. The per-cycle
+            // overhead beyond the cores themselves is one O(1) heap
+            // peek and the VCPU idle scan.
+            do {
+                accountModeCycles(1);
+                U64 c = time.cycle();
+                for (auto &core : cores)
+                    core->cycle(c);
+                time.tick();
+            } while (time.cycle() < deadline
+                     && time.cycle() < eventq.nextDue()
+                     && !allVcpusIdle());
         }
-        maybeSnapshot();
     }
 
     result.cycles = time.cycle() - (deadline - max_cycles);

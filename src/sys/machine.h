@@ -4,26 +4,34 @@
  *
  * Owns every subsystem: guest physical memory, page tables, the basic
  * block cache, VCPU contexts, event channels, devices, the hypervisor
- * model, per-core models and the master cycle loop. Implements:
+ * model, per-core models, the central EventQueue and the master cycle
+ * loop. Implements:
  *
- *  - round-robin core advancement (Section 2.2);
+ *  - round-robin core advancement (Section 2.2), with the hot loop
+ *    reduced to "fire events due now, tick cores until the queue
+ *    head": no per-cycle device/replayer/flag polling survives;
  *  - native <-> simulation mode switching driven by ptlcalls and
  *    trigger points (Sections 2.3/4.1), with native mode running the
- *    fast functional engine at a configurable native IPC;
+ *    fast functional engine at a configurable native IPC and
+ *    round-robinning across running VCPUs;
  *  - cycle-in-mode accounting (user/kernel/idle) for Figure 2;
- *  - periodic statistics snapshots (every snapshot_interval cycles)
- *    feeding the Figure 2/3 time-lapse plots;
- *  - idle fast-forwarding: when every VCPU is blocked, time jumps to
- *    the next scheduled event, accumulating idle cycles.
+ *  - periodic statistics snapshots as self-rescheduling EventQueue
+ *    events (every snapshot_interval cycles) feeding the Figure 2/3
+ *    time-lapse plots;
+ *  - idle fast-forwarding: when every VCPU is blocked, time jumps
+ *    straight to the EventQueue head (which already includes the
+ *    snapshot cadence), accumulating idle cycles.
  */
 
 #ifndef PTLSIM_SYS_MACHINE_H_
 #define PTLSIM_SYS_MACHINE_H_
 
 #include <memory>
+#include <optional>
 
 #include "core/coreapi.h"
 #include "core/seqcore.h"
+#include "sys/eventq.h"
 #include "sys/hypervisor.h"
 #include "sys/tracereplay.h"
 
@@ -45,6 +53,7 @@ class Machine
     StatsTree &stats() { return stats_tree; }
     BasicBlockCache &bbCache() { return *bbcache; }
     TimeKeeper &timeKeeper() { return time; }
+    EventQueue &eventQueue() { return eventq; }
     EventChannels &eventChannels() { return *events; }
     Console &console() { return *console_dev; }
     VirtualDisk &disk() { return *disk_dev; }
@@ -81,8 +90,9 @@ class Machine
     /** Run until shutdown or `max_cycles` elapse. */
     RunResult run(U64 max_cycles);
 
-    /** Attach a trace replayer that injects recorded device events. */
-    void attachReplayer(TraceReplayer *r) { replayer = r; }
+    /** Attach a trace replayer that injects recorded device events
+     *  (scheduled on the EventQueue at each record's cycle stamp). */
+    void attachReplayer(TraceReplayer *r);
 
     /** Record all device completions into `trace`. */
     void recordDevices(DeviceTrace *trace);
@@ -90,9 +100,11 @@ class Machine
     /**
      * Arm a native-mode trigger point (Section 2.3): when native
      * execution reaches `rip`, the machine switches to simulation
-     * mode. Cleared once it fires.
+     * mode. Any RIP is armable, including 0; cleared once it fires.
      */
     void setRipTrigger(U64 rip) { rip_trigger = rip; }
+    void clearRipTrigger() { rip_trigger.reset(); }
+    bool ripTriggerArmed() const { return rip_trigger.has_value(); }
 
     /** Total x86 instructions committed across all engines. */
     U64 totalCommittedInsns() const;
@@ -100,6 +112,18 @@ class Machine
     /** Squash all in-flight core state (checkpoint restore, external
      *  architectural-state edits). */
     void flushCores();
+
+    /** Cycle stamp of the most recent periodic stats snapshot. */
+    U64 lastSnapshotCycle() const { return last_snapshot; }
+
+    /**
+     * Checkpoint-restore support: drop every scheduled event (they are
+     * being rebuilt from serialized payloads), re-arm the periodic
+     * snapshot from `last_snapshot_cycle`, re-arm an attached
+     * replayer, and discard transient control requests. The caller
+     * then restores timer/device events via the owning subsystems.
+     */
+    void rearmAfterRestore(U64 last_snapshot_cycle);
 
     /** Register an additional hierarchy whose TLBs must flush on guest
      *  CR3 switches (profiling structures attached to native mode). */
@@ -110,14 +134,16 @@ class Machine
 
   private:
     void accountModeCycles(U64 cycles);
-    void maybeSnapshot();
-    U64 nextWakeCycle() const;
     bool allVcpusIdle() const;
     void runNativeSlice(U64 limit);
+    void armSnapshot();
+    void armReplayer();
+    void onControlEvent(U64 now);
 
     SimConfig cfg;
     StatsTree stats_tree;
     TimeKeeper time;
+    EventQueue eventq;
     std::unique_ptr<PhysMem> physmem;
     std::unique_ptr<AddressSpace> aspace;
     std::unique_ptr<BasicBlockCache> bbcache;
@@ -135,7 +161,12 @@ class Machine
 
     Mode run_mode = Mode::Simulation;
     U64 last_snapshot = 0;
-    U64 rip_trigger = 0;
+    EventHandle snapshot_event;
+    bool control_armed = false;
+    std::optional<U64> rip_trigger;   ///< armed native->sim trigger RIP
+    size_t native_rr = 0;             ///< native-mode round-robin cursor
+    std::vector<U64> native_insns;    ///< per-VCPU slice scratch
+    std::vector<U8> native_parked;    ///< per-VCPU slice scratch
     std::vector<MemoryHierarchy *> extra_tlb_flush;
 
     Counter &st_cycles_user;
