@@ -87,7 +87,7 @@ class Rig : public SystemInterface
         while (true) {
             bool idle = true;
             for (auto &core : cores) {
-                core->cycle(c);
+                core->cycle(SimCycle(c));
                 idle &= core->allIdle();
             }
             c++;

@@ -125,7 +125,7 @@ runCore(benchmark::State &state, const char *core_name)
     U64 now = 0;
     for (auto _ : state) {
         for (int i = 0; i < 10000; i++)
-            core->cycle(now++);
+            core->cycle(SimCycle(now++));
     }
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         (double)now, benchmark::Counter::kIsRate);
@@ -161,7 +161,8 @@ BM_NativeFunctional(benchmark::State &state)
     U64 insns = 0;
     for (auto _ : state) {
         for (int i = 0; i < 10000; i++) {
-            FunctionalEngine::StepResult r = engine.stepInsn(insns);
+            FunctionalEngine::StepResult r =
+                engine.stepInsn(SimCycle(insns));
             insns += (U64)r.insns;
         }
     }
@@ -202,10 +203,10 @@ BM_IdleHeavyMachine(benchmark::State &state)
     builder.build();
     machine.finalizeCores();
 
-    U64 start = machine.timeKeeper().cycle();
+    const SimCycle start = machine.timeKeeper().cycle();
     for (auto _ : state)
         machine.run(1'000'000);
-    U64 cycles = machine.timeKeeper().cycle() - start;
+    U64 cycles = (machine.timeKeeper().cycle() - start).raw();
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         (double)cycles, benchmark::Counter::kIsRate);
     state.counters["events_per_mcycle"] =

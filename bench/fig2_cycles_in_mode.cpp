@@ -39,7 +39,7 @@ main(int argc, char **argv)
     auto idle = s.deltaSeries("external/cycles_in_mode/idle");
     const auto &marks = bench.machine().hypervisor().markers();
 
-    auto phase_at = [&](U64 cycle) -> char {
+    auto phase_at = [&](SimCycle cycle) -> char {
         char tag = ' ';
         for (const PtlMarker &m : marks) {
             if (m.cycle <= cycle) {

@@ -33,7 +33,7 @@ namespace {
 U64
 dtlbMissesInPhaseE(Machine &machine, const std::string &prefix)
 {
-    U64 e_cycle = 0, f_cycle = 0;
+    SimCycle e_cycle, f_cycle;
     for (const PtlMarker &m : machine.hypervisor().markers()) {
         if (m.id == PHASE_E_DELTAS)
             e_cycle = m.cycle;

@@ -100,7 +100,7 @@ main()
 
     U64 cycle = 0;
     while (!core->allIdle() && cycle < 1'000'000)
-        core->cycle(cycle++);
+        core->cycle(SimCycle(cycle++));
 
     // 5. Results: architectural state + the PTLstats counter tree.
     U64 result = 0;

@@ -106,7 +106,7 @@ main()
 
     U64 cycle = 0;
     while (!core->allIdle() && cycle < 100'000'000)
-        core->cycle(cycle++);
+        core->cycle(SimCycle(cycle++));
 
     U64 shared = 0, p0 = 0, p1 = 0;
     guestRead(aspace, ctx[0], 0x600000, 8, shared);

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # clang-tidy lint gate over src/. Registered as the `lint`-labelled
 # CTest (see tests/CMakeLists.txt); exits 77 — the CTest skip code —
-# when clang-tidy is not installed so environments without LLVM skip
-# rather than fail.
+# when clang-tidy is not installed so developer environments without
+# LLVM skip rather than fail. Under CI (CI=1/true) a missing
+# clang-tidy is a hard failure instead: the gate must never be
+# skipped silently on the merge path.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir: a configured build tree containing compile_commands.json
@@ -14,6 +16,13 @@ build_dir="${1:-$repo_root/build}"
 
 tidy="$(command -v clang-tidy || true)"
 if [ -z "$tidy" ]; then
+    if [ "${CI:-0}" = "1" ] || [ "${CI:-}" = "true" ]; then
+        # On CI a missing clang-tidy means the image is broken; a
+        # silent skip here once let lint rot for weeks. Fail loudly.
+        echo "lint.sh: clang-tidy not found but CI=${CI} — the CI" \
+             "image must install clang-tidy; refusing to skip" >&2
+        exit 1
+    fi
     echo "lint.sh: clang-tidy not found; skipping lint gate" >&2
     exit 77
 fi

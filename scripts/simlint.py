@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""simlint driver: PTLsim-specific static analysis over src/.
+
+Usage:
+  scripts/simlint.py [options] [paths...]
+
+  paths        files or directories to analyze (default: src/ at the
+               repository root). Directories are walked for
+               .h/.cc/.cpp files.
+
+Options:
+  --rules R1,R2   run only the named rules
+                  (checkpoint-coverage, raw-cycle, nondeterminism)
+  --self-test     run each rule against its golden fixtures under
+                  tools/simlint/fixtures/<rule>/{bad.cc,good.cc};
+                  bad.cc must trip exactly its rule, good.cc must be
+                  clean
+  --summary       print per-rule hit counts after the findings
+                  (markdown table; used for the CI job summary)
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage.
+
+Waivers are line-scoped comments:
+  // simlint: transient      checkpoint-coverage (derived state,
+                             rebuilt on restore)
+  // simlint: raw-cycle-ok   raw-cycle
+  // simlint: nondet-ok      nondeterminism
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from simlint import lexer  # noqa: E402
+from simlint import rules as rules_pkg  # noqa: E402
+
+SOURCE_EXTS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def collect_files(paths):
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, _, names in os.walk(p):
+                for n in sorted(names):
+                    if n.endswith(SOURCE_EXTS):
+                        out.append(os.path.join(dirpath, n))
+        elif os.path.isfile(p):
+            out.append(p)
+        else:
+            print("simlint: no such path: %s" % p, file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(out))
+
+
+def run_rules(rule_mods, files):
+    lexed = [lexer.lex_file(f) for f in files]
+    findings = []
+    for mod in rule_mods:
+        findings.extend(mod.run(lexed))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def self_test(rule_mods):
+    fixtures = os.path.join(REPO_ROOT, "tools", "simlint", "fixtures")
+    failed = 0
+    for mod in rule_mods:
+        d = os.path.join(fixtures, mod.NAME.replace("-", "_"))
+        bad = os.path.join(d, "bad.cc")
+        good = os.path.join(d, "good.cc")
+        for path, expect_hit in ((bad, True), (good, False)):
+            if not os.path.isfile(path):
+                print("self-test FAIL %s: missing fixture %s"
+                      % (mod.NAME, path))
+                failed += 1
+                continue
+            found = [f for f in run_rules([mod], [path])
+                     if f.rule == mod.NAME]
+            ok = bool(found) == expect_hit
+            tag = "PASS" if ok else "FAIL"
+            print("self-test %s %-20s %-8s (%d findings)"
+                  % (tag, mod.NAME, os.path.basename(path), len(found)))
+            if not ok:
+                failed += 1
+                for f in found:
+                    print("    %s:%d: %s" % (f.path, f.line, f.message))
+    return failed
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("--rules", default=None)
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--summary", action="store_true")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args()
+
+    if args.rules:
+        names = [n.strip() for n in args.rules.split(",")]
+        unknown = [n for n in names if n not in rules_pkg.BY_NAME]
+        if unknown:
+            print("simlint: unknown rule(s): %s (have: %s)"
+                  % (", ".join(unknown),
+                     ", ".join(sorted(rules_pkg.BY_NAME))),
+                  file=sys.stderr)
+            return 2
+        rule_mods = [rules_pkg.BY_NAME[n] for n in names]
+    else:
+        rule_mods = rules_pkg.ALL
+
+    if args.self_test:
+        failed = self_test(rule_mods)
+        if failed:
+            print("simlint self-test: %d case(s) FAILED" % failed)
+            return 1
+        print("simlint self-test: all rules OK")
+        return 0
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    files = collect_files(paths)
+    findings = run_rules(rule_mods, files)
+
+    for f in findings:
+        rel = os.path.relpath(f.path, REPO_ROOT)
+        print("%s:%d: [%s] %s" % (rel, f.line, f.rule, f.message))
+
+    if args.summary:
+        print()
+        print("| rule | findings |")
+        print("| --- | ---: |")
+        for mod in rule_mods:
+            n = sum(1 for f in findings if f.rule == mod.NAME)
+            print("| %s | %d |" % (mod.NAME, n))
+        print("| files analyzed | %d |" % len(files))
+
+    if findings:
+        print("simlint: %d finding(s) in %d file(s)"
+              % (len(findings), len({f.path for f in findings})),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

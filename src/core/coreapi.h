@@ -48,7 +48,7 @@ class CoreModel
     virtual ~CoreModel() = default;
 
     /** Advance the core by one clock cycle. */
-    virtual void cycle(U64 now) = 0;
+    virtual void cycle(SimCycle now) = 0;
 
     /** True when every hardware thread is blocked (hlt). */
     virtual bool allIdle() const = 0;
@@ -61,8 +61,8 @@ class CoreModel
      * cycle. Models with autonomous in-flight work (e.g. a draining
      * writeback queue) override this to report its completion cycle.
      */
-    virtual U64
-    sleepUntil(U64 now) const
+    virtual SimCycle
+    sleepUntil(SimCycle now) const
     {
         return allIdle() ? CYCLE_NEVER : now;
     }
@@ -81,7 +81,7 @@ class CoreModel
      * `now`, or a stale future stamp from before the warp silently
      * parks the core until wall-clock catches back up.
      */
-    virtual void resetTimebase(U64 now) { (void)now; }
+    virtual void resetTimebase(SimCycle now) { (void)now; }
 
     /**
      * Forget every microarchitectural warm-up artifact: in-flight
@@ -94,7 +94,7 @@ class CoreModel
      * though cache/predictor contents are never serialized.
      */
     virtual void
-    resetMicroarch(U64 now)
+    resetMicroarch(SimCycle now)
     {
         flushPipeline();
         flushTlbs();

@@ -35,7 +35,7 @@ classLatency(const SimConfig &cfg, UopClass cls)
 // ---------------------------------------------------------------------
 
 void
-OooCore::stageIssue(U64 now)
+OooCore::stageIssue(SimCycle now)
 {
     // Structural hazard: one integer multiplier, one divider per core.
     bool mul_used = false, div_used = false;
@@ -83,7 +83,7 @@ OooCore::stageIssue(U64 now)
 }
 
 bool
-OooCore::issueOne(U64 now, IssueQueue &iq, int slot_idx)
+OooCore::issueOne(SimCycle now, IssueQueue &iq, int slot_idx)
 {
     IqEntry &slot = iq.slots[slot_idx];
     Thread &t = threads[slot.thread];
@@ -123,7 +123,7 @@ OooCore::issueOne(U64 now, IssueQueue &iq, int slot_idx)
         reg.value = out.value;
         reg.flags = out.flags;
         reg.ready = true;
-        reg.ready_cycle = now + (U64)classLatency(cfg, u.cls());
+        reg.ready_cycle = now + cycles((U64)classLatency(cfg, u.cls()));
         reg.cluster = iq.cluster;
     }
     e.state = RobState::Done;
@@ -142,7 +142,7 @@ OooCore::issueOne(U64 now, IssueQueue &iq, int slot_idx)
 // ---------------------------------------------------------------------
 
 void
-OooCore::resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e)
+OooCore::resolveBranch(SimCycle now, Thread &t, int rob_idx, RobEntry &e)
 {
     const Uop &u = e.uop;
     e.actual_next = e.result;  // executeUop yields the true next RIP
@@ -181,7 +181,8 @@ OooCore::resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e)
               uopInfo(u.op).name, (unsigned long long)u.rip);
     }
     e.predicted_next = e.actual_next;  // now resolved correctly
-    redirectFetch(t, e.actual_next, now, (U64)cfg.mispredict_penalty);
+    redirectFetch(t, e.actual_next, now,
+                  cycles((U64)cfg.mispredict_penalty));
 }
 
 // ---------------------------------------------------------------------
@@ -204,7 +205,7 @@ OooCore::resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e)
  * after the pipeline finishes committing the group (lockstepCompare).
  */
 void
-OooCore::lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
+OooCore::lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
                                const Uop &first_uop)
 {
     Context &shadow = *t.shadow_ctx;
@@ -213,7 +214,7 @@ OooCore::lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
     if (shadow.rip != insn_rip)
         panic("[cycle %llu] lockstep divergence: pipeline committed rip "
               "%llx but the reference is at %llx (RIP stream desync)",
-              (unsigned long long)now, (unsigned long long)insn_rip,
+              (unsigned long long)now.raw(), (unsigned long long)insn_rip,
               (unsigned long long)shadow.rip);
 
     // A mispredicted not-taken branch inside a multi-pseudo-op
@@ -240,7 +241,7 @@ OooCore::lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
     if (r.fault_delivered != GuestFault::None)
         panic("[cycle %llu] lockstep divergence at rip %llx: pipeline "
               "committed cleanly but the reference faulted (%s)",
-              (unsigned long long)now, (unsigned long long)insn_rip,
+              (unsigned long long)now.raw(), (unsigned long long)insn_rip,
               guestFaultName(r.fault_delivered));
 }
 
@@ -248,7 +249,7 @@ OooCore::lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
  *  the pipeline is about to write the same locations from its STQ.
  *  Compare what the reference left there against the STQ data. */
 void
-OooCore::lockstepCheckStore(Thread &t, U64 now, U64 insn_rip,
+OooCore::lockstepCheckStore(Thread &t, SimCycle now, U64 insn_rip,
                             const LsqEntry &s, int size)
 {
     U64 ref_value = 0;
@@ -258,14 +259,14 @@ OooCore::lockstepCheckStore(Thread &t, U64 now, U64 insn_rip,
     if (a.ok() && ((ref_value ^ s.data) & mask) != 0)
         panic("[cycle %llu] lockstep divergence after commit of rip "
               "%llx:\n  store [%llx]: pipeline %llx vs reference %llx\n",
-              (unsigned long long)now, (unsigned long long)insn_rip,
+              (unsigned long long)now.raw(), (unsigned long long)insn_rip,
               (unsigned long long)s.va,
               (unsigned long long)(s.data & mask),
               (unsigned long long)(ref_value & mask));
 }
 
 void
-OooCore::lockstepCompare(Thread &t, U64 now, U64 insn_rip)
+OooCore::lockstepCompare(Thread &t, SimCycle now, U64 insn_rip)
 {
     Context &shadow = *t.shadow_ctx;
     Context &arch = *t.ctx;
@@ -287,7 +288,7 @@ OooCore::lockstepCompare(Thread &t, U64 now, U64 insn_rip)
     }
     if (!diff.empty())
         panic("[cycle %llu] lockstep divergence after commit of rip "
-              "%llx:\n%s", (unsigned long long)now,
+              "%llx:\n%s", (unsigned long long)now.raw(),
               (unsigned long long)insn_rip, diff.c_str());
 }
 
@@ -422,7 +423,7 @@ OooCore::commitUopState(Thread &t, RobEntry &e)
 }
 
 bool
-OooCore::commitThread(U64 now, Thread &t, int &budget)
+OooCore::commitThread(SimCycle now, Thread &t, int &budget)
 {
     Context &ctx = *t.ctx;
 
@@ -435,7 +436,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         flushThread(t);  // after delivery: flush re-syncs PRF from ctx
         st_events++;
         lockstepResync(t);
-        redirectFetch(t, ctx.rip, now, 1);
+        redirectFetch(t, ctx.rip, now, cycles(1));
         t.last_commit_cycle = now;
         return true;
     }
@@ -498,7 +499,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         st_hoist_flushes++;
         flushThread(t);
         ctx.rip = insn_rip;
-        redirectFetch(t, insn_rip, now, 2);
+        redirectFetch(t, insn_rip, now, cycles(2));
         // The refetch restarts from the instruction boundary, which
         // for multi-pseudo-op translations (rep string loops) can
         // re-commit a pseudo-op the reference already stepped past.
@@ -515,7 +516,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         deliverFault(ctx, *aspace, fault, insn_rip, fault_addr);
         flushThread(t);
         lockstepResync(t);
-        redirectFetch(t, ctx.rip, now, 1);
+        redirectFetch(t, ctx.rip, now, cycles(1));
         t.last_commit_cycle = now;
         budget = 0;
         return true;
@@ -581,7 +582,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
             deliverFault(ctx, *aspace, ar.fault, insn_rip, insn_rip);
             flushThread(t);
             lockstepResync(t);
-            redirectFetch(t, ctx.rip, now, 1);
+            redirectFetch(t, ctx.rip, now, cycles(1));
             t.last_commit_cycle = now;
             budget = 0;
             return true;
@@ -593,7 +594,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
         // TSC reads) that must not execute twice: resync the lockstep
         // shadow instead of replaying.
         lockstepResync(t);
-        redirectFetch(t, ctx.rip, now, 1);
+        redirectFetch(t, ctx.rip, now, cycles(1));
         t.last_commit_cycle = now;
         budget = 0;
         return true;
@@ -604,7 +605,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
     ctx.rip = last.uop.isBranch() ? last.actual_next : last.uop.ripseq;
     if (trace_commits) {
         std::fprintf(stderr, "[%llu] T%d commit rip=%llx next=%llx %s\n",
-                     (unsigned long long)now,
+                     (unsigned long long)now.raw(),
                      (int)(&t - threads.data()),
                      (unsigned long long)insn_rip,
                      (unsigned long long)ctx.rip,
@@ -631,7 +632,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
             sys->notifyCodeWrite(mfn);
         // Everything younger in flight may be stale translated code.
         flushThread(t);
-        redirectFetch(t, next, now, 2);
+        redirectFetch(t, next, now, cycles(2));
         budget = 0;
         return true;
     }
@@ -639,7 +640,7 @@ OooCore::commitThread(U64 now, Thread &t, int &budget)
 }
 
 void
-OooCore::stageCommit(U64 now)
+OooCore::stageCommit(SimCycle now)
 {
     int budget = cfg.commit_width;
     int n = (int)threads.size();

@@ -12,7 +12,7 @@
 namespace ptl {
 
 void
-OooCore::stageFetch(U64 now)
+OooCore::stageFetch(SimCycle now)
 {
     int tid = pickFetchThread(now);
     if (tid < 0) {
@@ -46,7 +46,7 @@ OooCore::stageFetch(U64 now)
                 fu.uop.rip = t.fetch_rip;
                 fu.uop.ripseq = t.fetch_rip;
                 fu.fetch_fault = ff;
-                fu.ready_at = now + (U64)cfg.frontend_stages;
+                fu.ready_at = now + cycles((U64)cfg.frontend_stages);
                 t.fetch_queue.push_back(fu);
                 t.fetch_faulted = true;
                 return;
@@ -65,7 +65,7 @@ OooCore::stageFetch(U64 now)
                     extra += fa.latency;
             }
             if (extra > 0) {
-                t.fetch_stall_until = now + (U64)extra;
+                t.fetch_stall_until = now + cycles((U64)extra);
                 return;
             }
         }
@@ -73,7 +73,7 @@ OooCore::stageFetch(U64 now)
         const Uop &u = t.fetch_bb->uops[t.fetch_idx];
         Thread::FetchedUop fu;
         fu.uop = u;
-        fu.ready_at = now + (U64)cfg.frontend_stages;
+        fu.ready_at = now + cycles((U64)cfg.frontend_stages);
 
         if (u.isBranch()) {
             bool last = (t.fetch_idx + 1 >= t.fetch_bb->uops.size());
@@ -139,7 +139,7 @@ OooCore::stageFetch(U64 now)
 }
 
 bool
-OooCore::renameOne(U64 now, Thread &t, int tid)
+OooCore::renameOne(SimCycle now, Thread &t, int tid)
 {
     Thread::FetchedUop &fu = t.fetch_queue.front();
     const Uop &u = fu.uop;
@@ -309,7 +309,7 @@ OooCore::renameOne(U64 now, Thread &t, int tid)
 }
 
 void
-OooCore::stageRename(U64 now)
+OooCore::stageRename(SimCycle now)
 {
     int budget = cfg.frontend_width;
     int n = (int)threads.size();

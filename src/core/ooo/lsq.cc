@@ -33,7 +33,7 @@ rangesOverlap(U64 a, unsigned alen, U64 b, unsigned blen)
 }  // namespace
 
 bool
-OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
+OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
 {
     const Uop &u = e.uop;
     LsqEntry &l = t.ldq[e.lsq];
@@ -54,7 +54,7 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
         l.addr_known = true;
         if (e.phys >= 0) {
             prf[e.phys].ready = true;
-            prf[e.phys].ready_cycle = now + 1;
+            prf[e.phys].ready_cycle = now + cycles(1);
         }
         return true;
     }
@@ -72,7 +72,7 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
     int owner = ownerId(t);
     if (interlocks->heldByOther(paddr, owner)) {
         st_load_replays++;
-        e.retry_cycle = now + 2;
+        e.retry_cycle = now + cycles(2);
         return false;
     }
     if (u.locked && !l.lock_acquired) {
@@ -84,13 +84,13 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
             if (older.valid && older.locked && older.seq < l.seq
                 && !older.lock_acquired) {
                 st_load_replays++;
-                e.retry_cycle = now + 2;
+                e.retry_cycle = now + cycles(2);
                 return false;
             }
         }
         if (interlocks->held(paddr)) {
             st_load_replays++;
-            e.retry_cycle = now + 2;
+            e.retry_cycle = now + cycles(2);
             return false;
         }
         bool got = interlocks->acquire(paddr, owner);
@@ -122,7 +122,7 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
     }
     if (must_wait) {
         st_load_replays++;
-        e.retry_cycle = now + 2;
+        e.retry_cycle = now + cycles(2);
         return false;
     }
 
@@ -136,7 +136,7 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
         MemResult m = hierarchy->dataAccess(paddr, false, now);
         if (m.mshr_full || m.bank_conflict) {
             st_load_replays++;
-            e.retry_cycle = now + (m.bank_conflict ? 1 : 2);
+            e.retry_cycle = now + cycles(m.bank_conflict ? 1 : 2);
             return false;
         }
         latency += m.latency;
@@ -154,7 +154,7 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
                 e.state = RobState::Done;
                 if (e.phys >= 0) {
                     prf[e.phys].ready = true;
-                    prf[e.phys].ready_cycle = now + 1;
+                    prf[e.phys].ready_cycle = now + cycles(1);
                 }
                 return true;
             }
@@ -181,14 +181,14 @@ OooCore::issueLoad(U64 now, Thread &t, RobEntry &e)
         reg.value = value;
         reg.flags = 0;
         reg.ready = true;
-        reg.ready_cycle = now + (U64)std::max(latency, cfg.lat_ld);
+        reg.ready_cycle = now + cycles((U64)std::max(latency, cfg.lat_ld));
         reg.cluster = e.cluster;
     }
     return true;
 }
 
 bool
-OooCore::issueStore(U64 now, Thread &t, RobEntry &e)
+OooCore::issueStore(SimCycle now, Thread &t, RobEntry &e)
 {
     const Uop &u = e.uop;
     LsqEntry &s = t.stq[e.lsq];
@@ -221,7 +221,7 @@ OooCore::issueStore(U64 now, Thread &t, RobEntry &e)
     int owner = ownerId(t);
     if (interlocks->heldByOther(tr.paddr, owner)) {
         st_load_replays++;
-        e.retry_cycle = now + 2;
+        e.retry_cycle = now + cycles(2);
         return false;
     }
     // A locked store runs under the lock its instruction's ld.acq

@@ -111,7 +111,7 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
             prf[p].value = (r < NUM_UOP_REGS) ? t.ctx->reg(r) : 0;
             prf[p].flags = t.ctx->flags;
             prf[p].ready = true;
-            prf[p].ready_cycle = 0;
+            prf[p].ready_cycle = SimCycle(0);
             t.arch_rat[r] = (S16)p;
             t.spec_rat[r] = (S16)p;
             addRefPhys(p);
@@ -148,7 +148,7 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
 OooCore::~OooCore() = default;
 
 int
-OooCore::verifyNow(U64 now)
+OooCore::verifyNow(SimCycle now)
 {
     if (!verifier)
         return 0;
@@ -168,7 +168,7 @@ OooCore::allocPhys(bool fp)
     list.pop_back();
     PhysReg &reg = prf[p];
     reg.ready = false;
-    reg.ready_cycle = ~0ULL;
+    reg.ready_cycle = CYCLE_NEVER;
     reg.refcount = 0;
     reg.in_free_list = false;
     return p;
@@ -205,19 +205,19 @@ OooCore::dropRefPhys(int phys)
 }
 
 bool
-OooCore::physReadyFor(int phys, int consumer_cluster, U64 now) const
+OooCore::physReadyFor(int phys, int consumer_cluster, SimCycle now) const
 {
     if (phys < 0)
         return true;
     const PhysReg &reg = prf[phys];
     if (!reg.ready)
         return false;
-    U64 effective = reg.ready_cycle;
+    SimCycle effective = reg.ready_cycle;
     // Inter-cluster bypass delay (e.g. K8's FP cluster 2 cycles away).
     bool prod_fp = (reg.cluster == cfg.int_iq_count);
     bool cons_fp = (consumer_cluster == cfg.int_iq_count);
     if (prod_fp != cons_fp)
-        effective += (U64)cfg.fp_cluster_delay;
+        effective += cycles((U64)cfg.fp_cluster_delay);
     return effective <= now;
 }
 
@@ -228,7 +228,7 @@ OooCore::ownerId(const Thread &t) const
 }
 
 void
-OooCore::redirectFetch(Thread &t, U64 rip, U64 now, U64 penalty)
+OooCore::redirectFetch(Thread &t, U64 rip, SimCycle now, CycleDelta penalty)
 {
     t.fetch_rip = rip;
     t.fetch_bb = nullptr;
@@ -239,7 +239,7 @@ OooCore::redirectFetch(Thread &t, U64 rip, U64 now, U64 penalty)
 }
 
 void
-OooCore::squashYounger(Thread &t, int rob_idx, U64 /*now*/)
+OooCore::squashYounger(Thread &t, int rob_idx, SimCycle /*now*/)
 {
     // Walk from the tail back to (but excluding) rob_idx, undoing
     // allocations in reverse order.
@@ -329,13 +329,13 @@ OooCore::flushThread(Thread &t)
         PhysReg &reg = prf[t.arch_rat[r]];
         reg.value = t.ctx->reg(r);
         reg.ready = true;
-        reg.ready_cycle = 0;
+        reg.ready_cycle = SimCycle(0);
     }
     for (int g = 0; g < NUM_FLAG_GROUPS; g++) {
         PhysReg &reg = prf[t.arch_rat[FLAG_RAT_BASE + g]];
         reg.flags = t.ctx->flags;
         reg.ready = true;
-        reg.ready_cycle = 0;
+        reg.ready_cycle = SimCycle(0);
     }
 }
 
@@ -358,7 +358,7 @@ OooCore::flushTlbs()
 }
 
 void
-OooCore::resetMicroarch(U64 now)
+OooCore::resetMicroarch(SimCycle now)
 {
     flushPipeline();
     hierarchy->flushTlbs();
@@ -368,14 +368,14 @@ OooCore::resetMicroarch(U64 now)
 }
 
 void
-OooCore::resetTimebase(U64 now)
+OooCore::resetTimebase(SimCycle now)
 {
     // Fetch backoffs and the commit watchdog hold absolute cycle
     // stamps; after a time warp the former would park fetch until the
     // old clock value recurs and the latter would see a gigantic
     // unsigned gap and fire spuriously.
     for (Thread &t : threads) {
-        t.fetch_stall_until = 0;
+        t.fetch_stall_until = SimCycle(0);
         t.last_commit_cycle = now;
     }
     hierarchy->resetTimebase();
@@ -392,7 +392,7 @@ OooCore::allIdle() const
 }
 
 int
-OooCore::pickFetchThread(U64 now)
+OooCore::pickFetchThread(SimCycle now)
 {
     int n = (int)threads.size();
     if (cfg.smt_policy == SmtPolicy::Icount && n > 1) {
@@ -424,7 +424,7 @@ OooCore::pickFetchThread(U64 now)
 }
 
 void
-OooCore::cycle(U64 now)
+OooCore::cycle(SimCycle now)
 {
     now_cache = now;
     st_cycles++;
@@ -443,7 +443,7 @@ OooCore::cycle(U64 now)
         }
         if (t.rob_used > 0
             && now - t.last_commit_cycle
-                   > (U64)cfg.smt_deadlock_timeout) {
+                   > cycles((U64)cfg.smt_deadlock_timeout)) {
             st_deadlock_rescues++;
             flushThread(t);
             t.last_commit_cycle = now;
@@ -454,7 +454,7 @@ OooCore::cycle(U64 now)
     // End-of-cycle invariant audit (src/verify): all pipeline stages
     // have run, so every structure should be self-consistent.
     if (verifier && cfg.verify_interval > 0
-        && now % (U64)cfg.verify_interval == 0)
+        && now.raw() % (U64)cfg.verify_interval == 0)
         verifyNow(now);
 #endif
 }
@@ -494,7 +494,7 @@ OooCore::debugState() const
             i, (unsigned long long)t.ctx->rip, (int)t.ctx->running,
             t.rob_used, t.fetch_queue.size(),
             (unsigned long long)t.fetch_rip,
-            (unsigned long long)t.fetch_stall_until,
+            (unsigned long long)t.fetch_stall_until.raw(),
             (int)t.fetch_faulted);
         int idx = t.rob_head;
         for (int n = 0; n < std::min(t.rob_used, 8); n++) {
@@ -504,11 +504,12 @@ OooCore::debugState() const
                 "phys=%d ready=%d rdy_cyc=%llu srcs=%d,%d,%d,%d\n",
                 idx, uopInfo(e.uop.op).name,
                 (unsigned long long)e.uop.rip, (int)e.state,
-                (unsigned long long)e.retry_cycle,
+                (unsigned long long)e.retry_cycle.raw(),
                 guestFaultName(e.fault), e.phys,
                 e.phys >= 0 ? (int)prf[e.phys].ready : -1,
-                e.phys >= 0 ? (unsigned long long)prf[e.phys].ready_cycle
-                            : 0ULL,
+                e.phys >= 0
+                    ? (unsigned long long)prf[e.phys].ready_cycle.raw()
+                    : 0ULL,
                 e.src[0], e.src[1], e.src[2], e.src[3]);
             idx = (idx + 1) % (int)t.rob.size();
         }

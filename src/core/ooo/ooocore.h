@@ -60,12 +60,12 @@ class OooCore : public CoreModel
     OooCore(const CoreBuildParams &params, bool smt);
     ~OooCore() override;
 
-    void cycle(U64 now) override;
+    void cycle(SimCycle now) override;
     bool allIdle() const override;
     void flushPipeline() override;
     void flushTlbs() override;
-    void resetTimebase(U64 now) override;
-    void resetMicroarch(U64 now) override;
+    void resetTimebase(SimCycle now) override;
+    void resetMicroarch(SimCycle now) override;
     std::string name() const override { return smt ? "smt" : "ooo"; }
     std::string debugState() const override;
 
@@ -79,7 +79,7 @@ class OooCore : public CoreModel
      * the violation count, or 0 when no checker is attached (the
      * `verify` config flag is off). Panics on the first violation.
      */
-    int verifyNow(U64 now);
+    int verifyNow(SimCycle now);
 
   private:
     friend class InvariantChecker;   // src/verify: reads all pipeline state
@@ -89,7 +89,7 @@ class OooCore : public CoreModel
     {
         U64 value = 0;
         U16 flags = 0;
-        U64 ready_cycle = 0;   ///< cycle the value becomes readable
+        SimCycle ready_cycle;  ///< cycle the value becomes readable
         bool ready = false;
         int cluster = 0;       ///< producing cluster (bypass delay)
         int refcount = 0;      ///< references from architectural maps
@@ -118,7 +118,7 @@ class OooCore : public CoreModel
     {
         Uop uop;
         U64 seq = 0;            ///< global program-order sequence
-        U64 retry_cycle = 0;    ///< earliest (re)issue attempt
+        SimCycle retry_cycle;   ///< earliest (re)issue attempt
         U64 fault_addr = 0;
         U64 predicted_next = 0;
         U64 actual_next = 0;
@@ -175,14 +175,14 @@ class OooCore : public CoreModel
         const BasicBlock *fetch_bb = nullptr;
         size_t fetch_idx = 0;
         U64 bb_generation = 0;
-        U64 fetch_stall_until = 0;
+        SimCycle fetch_stall_until;
         bool fetch_faulted = false;
         GuestFault fetch_fault = GuestFault::None;
         // Fetch queue: uops waiting for rename (with ready-at cycle).
         struct FetchedUop
         {
             Uop uop;
-            U64 ready_at = 0;
+            SimCycle ready_at;
             BranchPrediction pred;
             U64 predicted_next = 0;
             int ras_top = 0;    ///< RAS state right after this uop fetched
@@ -203,7 +203,7 @@ class OooCore : public CoreModel
         std::vector<RatCheckpoint> checkpoints;
         std::vector<bool> checkpoint_used;
         U64 next_seq = 0;
-        U64 last_commit_cycle = 0;
+        SimCycle last_commit_cycle;
         bool holds_locks = false;
         int int_iq_inflight = 0;  ///< integer IQ slots held (SMT cap)
         // Commit checker.
@@ -212,39 +212,39 @@ class OooCore : public CoreModel
     };
 
     // ---- pipeline stages (called in reverse order each cycle) ----
-    void stageCommit(U64 now);
-    void stageIssue(U64 now);
-    void stageRename(U64 now);
-    void stageFetch(U64 now);
+    void stageCommit(SimCycle now);
+    void stageIssue(SimCycle now);
+    void stageRename(SimCycle now);
+    void stageFetch(SimCycle now);
 
     // ---- helpers ----
     int allocPhys(bool fp);
     void freePhys(int phys);
     void addRefPhys(int phys);
     void dropRefPhys(int phys);
-    bool physReadyFor(int phys, int consumer_cluster, U64 now) const;
+    bool physReadyFor(int phys, int consumer_cluster, SimCycle now) const;
     RobEntry &robAt(Thread &t, int idx) { return t.rob[idx]; }
     int robNext(const Thread &t, int idx) const
     {
         return (idx + 1) % (int)t.rob.size();
     }
     void flushThread(Thread &t);
-    void squashYounger(Thread &t, int rob_idx, U64 now);
-    void redirectFetch(Thread &t, U64 rip, U64 now, U64 penalty);
-    bool issueOne(U64 now, IssueQueue &iq, int slot);
-    bool issueLoad(U64 now, Thread &t, RobEntry &e);
-    bool issueStore(U64 now, Thread &t, RobEntry &e);
-    void resolveBranch(U64 now, Thread &t, int rob_idx, RobEntry &e);
-    bool commitThread(U64 now, Thread &t, int &budget);
+    void squashYounger(Thread &t, int rob_idx, SimCycle now);
+    void redirectFetch(Thread &t, U64 rip, SimCycle now, CycleDelta penalty);
+    bool issueOne(SimCycle now, IssueQueue &iq, int slot);
+    bool issueLoad(SimCycle now, Thread &t, RobEntry &e);
+    bool issueStore(SimCycle now, Thread &t, RobEntry &e);
+    void resolveBranch(SimCycle now, Thread &t, int rob_idx, RobEntry &e);
+    bool commitThread(SimCycle now, Thread &t, int &budget);
     void commitUopState(Thread &t, RobEntry &e);
     void runChecker(Thread &t, const RobEntry &eom_entry);
-    void lockstepStepReference(Thread &t, U64 now, U64 insn_rip,
+    void lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
                                const Uop &first_uop);
-    void lockstepCheckStore(Thread &t, U64 now, U64 insn_rip,
+    void lockstepCheckStore(Thread &t, SimCycle now, U64 insn_rip,
                             const LsqEntry &s, int size);
-    void lockstepCompare(Thread &t, U64 now, U64 insn_rip);
+    void lockstepCompare(Thread &t, SimCycle now, U64 insn_rip);
     void lockstepResync(Thread &t);
-    int pickFetchThread(U64 now);
+    int pickFetchThread(SimCycle now);
     int ownerId(const Thread &t) const;
 
     // ---- members ----
@@ -277,10 +277,10 @@ class OooCore : public CoreModel
     int next_fetch_thread = 0;
     int next_rename_thread = 0;
     int next_commit_thread = 0;
-    U64 now_cache = 0;
+    SimCycle now_cache;
     std::vector<U64> pending_smc;   ///< code MFNs hit by committed stores
     bool trace_commits = false;     ///< PTLSIM_TRACE=1 commit logging
-    bool renameOne(U64 now, Thread &t, int tid);
+    bool renameOne(SimCycle now, Thread &t, int tid);
 
     // Statistics.
     Counter &st_commit_insns;

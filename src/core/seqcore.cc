@@ -82,7 +82,7 @@ FunctionalEngine::readFlags(int reg) const
 }
 
 FunctionalEngine::StepResult
-FunctionalEngine::stepInsn(U64 now)
+FunctionalEngine::stepInsn(SimCycle now)
 {
     StepResult res;
     if (!ctx->running) {
@@ -423,12 +423,12 @@ SeqCore::SeqCore(const CoreBuildParams &params)
             *ctx, *params.aspace, *params.bbcache, *params.sys,
             *params.stats, params.prefix));
         engines.back()->attachProfiling(hierarchy.get(), predictor.get());
-        stall_until.push_back(0);
+        stall_until.push_back(SimCycle(0));
     }
 }
 
 void
-SeqCore::cycle(U64 now)
+SeqCore::cycle(SimCycle now)
 {
     // Round-robin across hardware threads, one instruction at a time;
     // memory stalls show up as per-thread stall windows.
@@ -437,7 +437,8 @@ SeqCore::cycle(U64 now)
         if (!contexts[t]->running || stall_until[t] > now)
             continue;
         FunctionalEngine::StepResult r = engines[t]->stepInsn(now);
-        stall_until[t] = now + (U64)std::max(1, r.uops) + (U64)r.mem_stall;
+        stall_until[t] = now + cycles((U64)std::max(1, r.uops))
+                         + cycles((U64)r.mem_stall);
         next_thread = t + 1;
         return;
     }
@@ -467,7 +468,7 @@ SeqCore::flushTlbs()
 }
 
 void
-SeqCore::resetMicroarch(U64 now)
+SeqCore::resetMicroarch(SimCycle now)
 {
     flushPipeline();
     hierarchy->flushTlbs();
@@ -477,12 +478,12 @@ SeqCore::resetMicroarch(U64 now)
 }
 
 void
-SeqCore::resetTimebase(U64 /*now*/)
+SeqCore::resetTimebase(SimCycle /*now*/)
 {
     // Per-thread stall windows are absolute cycle stamps; after a time
     // warp they must not outlive the old clock. Same for the memory
     // hierarchy's in-flight miss buffers.
-    std::fill(stall_until.begin(), stall_until.end(), 0);
+    std::fill(stall_until.begin(), stall_until.end(), SimCycle(0));
     hierarchy->resetTimebase();
 }
 

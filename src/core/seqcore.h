@@ -60,7 +60,7 @@ class FunctionalEngine
      * one x86 instruction (committing atomically). `now` is used only
      * for profiling-mode cache timing.
      */
-    StepResult stepInsn(U64 now = 0);
+    StepResult stepInsn(SimCycle now = SimCycle(0));
 
     /** Forget the cached block position (after external RIP changes). */
     void reposition();
@@ -133,12 +133,12 @@ class SeqCore : public CoreModel
   public:
     explicit SeqCore(const CoreBuildParams &params);
 
-    void cycle(U64 now) override;
+    void cycle(SimCycle now) override;
     bool allIdle() const override;
     void flushPipeline() override;
     void flushTlbs() override;
-    void resetTimebase(U64 now) override;
-    void resetMicroarch(U64 now) override;
+    void resetTimebase(SimCycle now) override;
+    void resetMicroarch(SimCycle now) override;
     std::string name() const override { return "seq"; }
 
     FunctionalEngine &engine(int thread) { return *engines[thread]; }
@@ -148,7 +148,7 @@ class SeqCore : public CoreModel
     std::vector<std::unique_ptr<FunctionalEngine>> engines;
     std::unique_ptr<MemoryHierarchy> hierarchy;
     std::unique_ptr<BranchPredictor> predictor;
-    std::vector<U64> stall_until;
+    std::vector<SimCycle> stall_until;
     size_t next_thread = 0;
 };
 

@@ -20,10 +20,6 @@ using S16 = std::int16_t;
 using S32 = std::int32_t;
 using S64 = std::int64_t;
 
-/** "No cycle scheduled / never": the canonical unreachable cycle
- *  number, shared by the event queue and the core sleep hints. */
-constexpr U64 CYCLE_NEVER = ~U64(0);
-
 /** Extract bits [lo, lo+count) of value. */
 constexpr U64
 bits(U64 value, unsigned lo, unsigned count)

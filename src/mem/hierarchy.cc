@@ -120,7 +120,7 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
 }
 
 MemResult
-MemoryHierarchy::dataAccess(U64 paddr, bool is_write, U64 now,
+MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
                             bool no_banking)
 {
     MemResult out;
@@ -150,7 +150,8 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, U64 now,
         U64 line_addr = l1d.lineAddr(paddr);
         for (const Mshr &m : mshrs) {
             if (m.line == line_addr && m.ready > now)
-                out.latency = std::max(out.latency, (int)(m.ready - now));
+                out.latency =
+                    std::max(out.latency, (int)(m.ready - now).raw());
         }
         if (is_write) {
             if (coherence && line->state == LineState::Shared) {
@@ -175,7 +176,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, U64 now,
         if (m.ready > now) {
             active++;
             if (m.line == line_addr) {
-                out.latency = (int)(m.ready - now);
+                out.latency = (int)(m.ready - now).raw();
                 return out;
             }
         }
@@ -188,7 +189,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, U64 now,
     }
 
     out.latency = l1d.latency() + missPath(paddr, is_write, false);
-    mshrs.push_back({line_addr, now + (U64)out.latency});
+    mshrs.push_back({line_addr, now + cycles((U64)out.latency)});
     // Garbage-collect completed entries opportunistically.
     if (mshrs.size() > 4 * (size_t)l1d.mshrCount()) {
         std::erase_if(mshrs, [&](const Mshr &m) { return m.ready <= now; });
@@ -222,7 +223,7 @@ MemoryHierarchy::issuePrefetch(U64 next_line)
 }
 
 MemResult
-MemoryHierarchy::fetchAccess(U64 paddr, U64 /*now*/)
+MemoryHierarchy::fetchAccess(U64 paddr, SimCycle /*now*/)
 {
     MemResult out;
     st_i_accesses++;
@@ -255,7 +256,7 @@ MemoryHierarchy::fetchAccess(U64 paddr, U64 /*now*/)
 
 int
 MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
-                            bool is_write, U64 now)
+                            bool is_write, SimCycle now)
 {
     // The walk engine injects one dependent load per level; the PDE
     // cache (when configured) jumps straight to the leaf table.
@@ -272,14 +273,14 @@ MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
     for (int level = first_level; level < walk.levels; level++) {
         st_walk_loads++;
         MemResult r = dataAccess(walk.pte_addr[level], false,
-                                 now + (U64)latency, true);
+                                 now + cycles((U64)latency), true);
         latency += r.latency;
     }
     if (walk.present
         && aspace->setAccessedDirty(walk, is_write)) {
         // Microcode performs a locked RMW on the changed PTE.
         MemResult r = dataAccess(walk.pte_addr[3], true,
-                                 now + (U64)latency, true);
+                                 now + cycles((U64)latency), true);
         latency += r.latency;
     }
     return latency;
@@ -287,7 +288,7 @@ MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
 
 TranslateResult
 MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
-                                 bool user_mode, U64 now, Tlb &tlb,
+                                 bool user_mode, SimCycle now, Tlb &tlb,
                                  Counter &hits, Counter &misses)
 {
     TranslateResult out;
@@ -378,7 +379,7 @@ MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
 
 TranslateResult
 MemoryHierarchy::translateData(U64 cr3, U64 va, bool is_write,
-                               bool user_mode, U64 now)
+                               bool user_mode, SimCycle now)
 {
     st_dtlb_accesses++;
     return translateCommon(cr3, va,
@@ -388,7 +389,8 @@ MemoryHierarchy::translateData(U64 cr3, U64 va, bool is_write,
 }
 
 TranslateResult
-MemoryHierarchy::translateFetch(U64 cr3, U64 va, bool user_mode, U64 now)
+MemoryHierarchy::translateFetch(U64 cr3, U64 va, bool user_mode,
+                                SimCycle now)
 {
     st_itlb_accesses++;
     return translateCommon(cr3, va, MemAccess::Execute, user_mode, now,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lib/config.h"
+#include "lib/simtime.h"
 #include "mem/cache.h"
 #include "mem/coherence.h"
 #include "mem/pagetable.h"
@@ -60,22 +61,22 @@ class MemoryHierarchy
      * Data-side cache access at machine-physical `paddr`.
      * @param no_banking suppress bank-conflict modeling (walk engine)
      */
-    MemResult dataAccess(U64 paddr, bool is_write, U64 now,
+    MemResult dataAccess(U64 paddr, bool is_write, SimCycle now,
                          bool no_banking = false);
 
     /** Instruction-side access (L1I -> L2 -> L3 -> memory). */
-    MemResult fetchAccess(U64 paddr, U64 now);
+    MemResult fetchAccess(U64 paddr, SimCycle now);
 
     /**
      * Data translation: DTLB lookup, then (on miss) L2 TLB, then the
      * hardware walk engine. Performs the microcode A/D-bit updates.
      */
     TranslateResult translateData(U64 cr3, U64 va, bool is_write,
-                                  bool user_mode, U64 now);
+                                  bool user_mode, SimCycle now);
 
     /** Instruction translation via the ITLB. */
     TranslateResult translateFetch(U64 cr3, U64 va, bool user_mode,
-                                   U64 now);
+                                   SimCycle now);
 
     /** CR3 reload: drop all TLB state (x86 has no ASIDs here). */
     void flushTlbs();
@@ -96,7 +97,7 @@ class MemoryHierarchy
     resetTimebase()
     {
         mshrs.clear();
-        bank_cycle = ~0ULL;
+        bank_cycle = CYCLE_NEVER;
         bank_mask = 0;
     }
 
@@ -116,10 +117,10 @@ class MemoryHierarchy
     /** Bring `next_line` into L1D/L2 ahead of demand (stream prefetch). */
     void issuePrefetch(U64 next_line);
     TranslateResult translateCommon(U64 cr3, U64 va, MemAccess kind,
-                                    bool user_mode, U64 now, Tlb &tlb,
+                                    bool user_mode, SimCycle now, Tlb &tlb,
                                     Counter &hits, Counter &misses);
     int walkTiming(U64 cr3, U64 va, const PageWalk &walk, bool is_write,
-                   U64 now);
+                   SimCycle now);
 
     SimConfig cfg;
     AddressSpace *aspace;
@@ -137,11 +138,11 @@ class MemoryHierarchy
     PdeCache pde_cache;
     bool pde_enabled;
 
-    struct Mshr { U64 line = 0; U64 ready = 0; };
+    struct Mshr { U64 line = 0; SimCycle ready; };
     std::vector<Mshr> mshrs;
 
     // L1D banking: per-cycle bank occupancy bitmap.
-    U64 bank_cycle = ~0ULL;
+    SimCycle bank_cycle = CYCLE_NEVER;
     U32 bank_mask = 0;
 
     // Statistics.

@@ -139,7 +139,7 @@ findDivergenceInsn(const MachineFactory &factory_a,
         FunctionalEngine &engine = m.nativeEngine(0);
         U64 done = 0;
         while (done < n) {
-            FunctionalEngine::StepResult r = engine.stepInsn(done);
+            FunctionalEngine::StepResult r = engine.stepInsn(SimCycle(done));
             if (r.idle)
                 break;
             done += (U64)r.insns;

@@ -94,12 +94,13 @@ CommandRunner::run(const std::string &command_list, U64 default_budget)
             machine->setRipTrigger(phase.trigger_rip);
 
         U64 insn_start = machine->totalCommittedInsns();
-        U64 cycle_start = machine->timeKeeper().cycle();
+        const SimCycle cycle_start = machine->timeKeeper().cycle();
         U64 budget = phase.stop_cycles ? phase.stop_cycles
                                        : default_budget;
         // Run in slices, checking the instruction bound between them.
         while (true) {
-            U64 elapsed = machine->timeKeeper().cycle() - cycle_start;
+            U64 elapsed =
+                (machine->timeKeeper().cycle() - cycle_start).raw();
             if (elapsed >= budget)
                 break;
             U64 slice = std::min<U64>(budget - elapsed, 10'000);

@@ -32,7 +32,7 @@ StatsTree::has(const std::string &path) const
 }
 
 void
-StatsTree::takeSnapshot(U64 cycle)
+StatsTree::takeSnapshot(SimCycle cycle)
 {
     StatsSnapshot snap;
     snap.cycle = cycle;

@@ -15,6 +15,8 @@
 #ifndef PTLSIM_STATS_STATS_H_
 #define PTLSIM_STATS_STATS_H_
 
+#include "lib/simtime.h"
+
 #include <deque>
 #include <map>
 #include <string>
@@ -44,7 +46,7 @@ class Counter
 /** One snapshot: the cycle it was taken at plus all counter values. */
 struct StatsSnapshot
 {
-    U64 cycle = 0;
+    SimCycle cycle;
     std::vector<U64> values;  ///< indexed by counter registration order
 };
 
@@ -69,7 +71,7 @@ class StatsTree
     bool has(const std::string &path) const;
 
     /** Record a snapshot of every counter, stamped with `cycle`. */
-    void takeSnapshot(U64 cycle);
+    void takeSnapshot(SimCycle cycle);
 
     size_t snapshotCount() const { return snapshots.size(); }
     const StatsSnapshot &snapshot(size_t i) const { return snapshots[i]; }

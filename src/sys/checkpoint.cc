@@ -5,16 +5,15 @@
 
 namespace ptl {
 
-MachineCheckpoint
-captureCheckpoint(Machine &machine)
+void
+MachineCheckpoint::serialize(Machine &machine)
 {
-    MachineCheckpoint ckpt;
-    ckpt.memory = machine.physMem().rawBytes();
+    memory = machine.physMem().rawBytes();
     for (int i = 0; i < machine.vcpuCount(); i++)
-        ckpt.contexts.push_back(machine.vcpu(i));
-    ckpt.cycle = machine.timeKeeper().cycle();
-    ckpt.hidden_cycles = machine.timeKeeper().hiddenCycles();
-    ckpt.last_snapshot = machine.lastSnapshotCycle();
+        contexts.push_back(machine.vcpu(i));
+    cycle = machine.timeKeeper().cycle();
+    hidden_cycles = machine.timeKeeper().hiddenCycles();
+    last_snapshot = machine.lastSnapshotCycle();
     // Pending guest-visible work. Timer deliveries are enumerated from
     // the EventQueue by tag, in firing order (so restore re-schedules
     // them in the same relative order); device payloads come from the
@@ -22,38 +21,34 @@ captureCheckpoint(Machine &machine)
     for (const EventQueue::PendingEvent &e :
          machine.eventQueue().pendingSorted()) {
         if (e.kind == EVK_TIMER_PORT)
-            ckpt.timer_events.push_back({e.due, (int)e.arg});
+            timer_events.push_back({e.due, (int)e.arg});
     }
     const std::deque<VirtualDisk::Pending> &dp =
         machine.disk().pendingTransfers();
-    ckpt.disk_pending.assign(dp.begin(), dp.end());
+    disk_pending.assign(dp.begin(), dp.end());
     const std::deque<VirtualNet::Packet> &np = machine.net().inFlight();
-    ckpt.net_pending.assign(np.begin(), np.end());
-    ckpt.net_last_ready = machine.net().lastReady();
+    net_pending.assign(np.begin(), np.end());
+    net_last_ready = machine.net().lastReady();
     for (const std::deque<U8> &q : machine.net().rxQueues())
-        ckpt.net_rx.emplace_back(q.begin(), q.end());
-    ckpt.evtchn_pending = machine.eventChannels().pendingMasks();
+        net_rx.emplace_back(q.begin(), q.end());
+    evtchn_pending = machine.eventChannels().pendingMasks();
     // Quiesce the microarchitecture on the live machine too: cache,
     // TLB, and predictor contents are never serialized, so the only
     // way a restore can be cycle-exact is for the capture side to
     // resume from the same cold-microarch point the restore side will.
     machine.flushCores();
-    return ckpt;
 }
 
 void
-restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt)
+MachineCheckpoint::restore(Machine &machine) const
 {
-    ptl_assert((int)ckpt.contexts.size() == machine.vcpuCount());
-    machine.physMem().restoreRawBytes(ckpt.memory);
+    ptl_assert((int)contexts.size() == machine.vcpuCount());
+    machine.physMem().restoreRawBytes(memory);
     for (int i = 0; i < machine.vcpuCount(); i++)
-        machine.vcpu(i) = ckpt.contexts[i];
-    // Roll virtual time back to the capture point.
-    TimeKeeper &time = machine.timeKeeper();
-    TimeKeeper fresh(time.frequency());
-    fresh.advance(ckpt.cycle);
-    fresh.hideGap(ckpt.hidden_cycles);
-    time = fresh;
+        machine.vcpu(i) = contexts[i];
+    // Roll virtual time back to the capture point (hidden TSC gap
+    // included).
+    machine.timeKeeper().restore(cycle, hidden_cycles);
     // Derived state: translated code and all in-flight pipeline state
     // (flushCores also re-syncs the cores' architectural register
     // files from the restored contexts).
@@ -62,14 +57,28 @@ restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt)
     // Drop every scheduled event, re-arm the snapshot cadence at its
     // captured phase, then rebuild pending guest-visible work from the
     // serialized payloads.
-    machine.rearmAfterRestore(ckpt.last_snapshot);
-    for (const TimerEventRecord &t : ckpt.timer_events)
+    machine.rearmAfterRestore(last_snapshot);
+    for (const TimerEventRecord &t : timer_events)
         machine.eventChannels().sendAt(t.when, t.port);
-    machine.disk().restorePending(ckpt.disk_pending);
-    machine.net().restorePending(ckpt.net_pending, ckpt.net_last_ready);
-    machine.net().restoreRx(ckpt.net_rx);
-    machine.eventChannels().restorePendingMasks(ckpt.evtchn_pending);
+    machine.disk().restorePending(disk_pending);
+    machine.net().restorePending(net_pending, net_last_ready);
+    machine.net().restoreRx(net_rx);
+    machine.eventChannels().restorePendingMasks(evtchn_pending);
     machine.flushCores();
+}
+
+MachineCheckpoint
+captureCheckpoint(Machine &machine)
+{
+    MachineCheckpoint ckpt;
+    ckpt.serialize(machine);
+    return ckpt;
+}
+
+void
+restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt)
+{
+    ckpt.restore(machine);
 }
 
 }  // namespace ptl

@@ -12,6 +12,12 @@
  * and each subsystem re-arms its own events from the serialized
  * payloads, so a checkpoint taken mid-I/O resumes with identical
  * completion timing.
+ *
+ * MachineCheckpoint carries a serialize/restore pair, which puts it
+ * under simlint's checkpoint-coverage rule: every data member added
+ * here must be written by serialize() AND consumed by restore() (or
+ * carry an explicit `// simlint: transient` waiver), so a field can
+ * never again be captured but silently dropped on restore.
  */
 
 #ifndef PTLSIM_SYS_CHECKPOINT_H_
@@ -29,7 +35,7 @@ class Machine;
 /** A pending event-channel delivery (EventQueue EVK_TIMER_PORT tag). */
 struct TimerEventRecord
 {
-    U64 when = 0;
+    SimCycle when;
     int port = 0;
 };
 
@@ -37,29 +43,35 @@ struct MachineCheckpoint
 {
     std::vector<U8> memory;         ///< all machine frames
     std::vector<Context> contexts;  ///< per-VCPU architectural state
-    U64 cycle = 0;
-    U64 hidden_cycles = 0;          ///< TSC-offset state
-    U64 last_snapshot = 0;          ///< periodic-snapshot phase
+    SimCycle cycle;
+    CycleDelta hidden_cycles;       ///< TSC-offset state
+    SimCycle last_snapshot;         ///< periodic-snapshot phase
 
     // Guest-visible pending work (in-flight at capture time).
     std::vector<TimerEventRecord> timer_events;
     std::vector<VirtualDisk::Pending> disk_pending;
     std::vector<VirtualNet::Packet> net_pending;
-    std::vector<U64> net_last_ready;  ///< per-endpoint FIFO floors
+    std::vector<SimCycle> net_last_ready;  ///< per-endpoint FIFO floors
     std::vector<std::vector<U8>> net_rx;  ///< delivered, unread bytes
     std::vector<U64> evtchn_pending;  ///< raised, unconsumed port masks
+
+    /** Capture the domain's state into this checkpoint (in-flight
+     *  device work and scheduled timer deliveries included). */
+    void serialize(Machine &machine);
+
+    /**
+     * Restore this checkpoint into `machine`: memory, contexts,
+     * virtual time, pending timer deliveries and device queues roll
+     * back; translated code, scheduled bookkeeping events and core
+     * pipeline state are dropped and rebuilt (they are derived state).
+     */
+    void restore(Machine &machine) const;
 };
 
-/** Capture the domain's state at the current point (in-flight device
- *  work and scheduled timer deliveries included). */
+/** Capture the domain's state at the current point. */
 MachineCheckpoint captureCheckpoint(Machine &machine);
 
-/**
- * Restore a previously captured checkpoint: memory, contexts, virtual
- * time, pending timer deliveries and device queues roll back;
- * translated code, scheduled bookkeeping events and core pipeline
- * state are dropped and rebuilt (they are derived state).
- */
+/** Restore a previously captured checkpoint. */
 void restoreCheckpoint(Machine &machine, const MachineCheckpoint &ckpt);
 
 }  // namespace ptl

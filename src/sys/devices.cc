@@ -18,13 +18,13 @@ VirtualDisk::VirtualDisk(EventChannels &channels, EventQueue &eventq,
 }
 
 void
-VirtualDisk::armCompletion(U64 ready)
+VirtualDisk::armCompletion(SimCycle ready)
 {
     EventQueue::Options opts;
     opts.name = "disk";
     opts.kind = EVK_DEVICE;
     queue->schedule(ready, EVPRI_DISK,
-                    [this](U64 now) { processDue(now); }, opts);
+                    [this](SimCycle now) { processDue(now); }, opts);
 }
 
 bool
@@ -35,8 +35,8 @@ VirtualDisk::read(const Context &ctx, U64 sector, U64 count, U64 dest_va)
     st_reads++;
     st_sectors += count;
     // Longer transfers take proportionally longer (seek + streaming).
-    U64 ready = time->cycle() + latency_cycles
-                + count * time->usToCycles(1);
+    SimCycle ready = time->cycle() + latency_cycles
+                     + count * time->usToCycles(1);
     pending.push_back({ready, sector, count, dest_va, ctx.cr3});
     armCompletion(ready);
     return true;
@@ -51,7 +51,7 @@ VirtualDisk::restorePending(const std::vector<Pending> &entries)
 }
 
 void
-VirtualDisk::processDue(U64 now)
+VirtualDisk::processDue(SimCycle now)
 {
     while (!pending.empty() && pending.front().ready <= now) {
         Pending p = pending.front();
@@ -81,20 +81,20 @@ VirtualNet::VirtualNet(EventChannels &channels, EventQueue &eventq,
                        int endpoints, StatsTree &stats)
     : events(&channels), queue(&eventq), time(&timekeeper),
       latency_cycles(timekeeper.usToCycles((U64)latency_us)),
-      rx((size_t)endpoints), last_ready((size_t)endpoints, 0),
+      rx((size_t)endpoints), last_ready((size_t)endpoints, SimCycle(0)),
       st_packets(stats.counter("net/packets")),
       st_bytes(stats.counter("net/bytes"))
 {
 }
 
 void
-VirtualNet::armDelivery(U64 ready)
+VirtualNet::armDelivery(SimCycle ready)
 {
     EventQueue::Options opts;
     opts.name = "net";
     opts.kind = EVK_DEVICE;
     queue->schedule(ready, EVPRI_NET,
-                    [this](U64 now) { processDue(now); }, opts);
+                    [this](SimCycle now) { processDue(now); }, opts);
 }
 
 void
@@ -109,8 +109,8 @@ VirtualNet::send(int to_ep, const U8 *data, size_t len)
     // overtake the in-flight tail of an earlier send to the same
     // endpoint.
     size_t off = 0;
-    U64 base = std::max(time->cycle() + latency_cycles,
-                        last_ready[to_ep]);
+    SimCycle base = std::max(time->cycle() + latency_cycles,
+                             last_ready[to_ep]);
     int frag = 0;
     while (off < len) {
         size_t chunk = std::min(len - off, NET_MTU);
@@ -128,7 +128,7 @@ VirtualNet::send(int to_ep, const U8 *data, size_t len)
 
 void
 VirtualNet::restorePending(const std::vector<Packet> &packets,
-                           const std::vector<U64> &last_ready_floor)
+                           const std::vector<SimCycle> &last_ready_floor)
 {
     ptl_assert(last_ready_floor.size() == last_ready.size());
     in_flight.assign(packets.begin(), packets.end());
@@ -159,7 +159,7 @@ VirtualNet::recv(int ep, U8 *out, size_t maxlen)
 }
 
 void
-VirtualNet::processDue(U64 now)
+VirtualNet::processDue(SimCycle now)
 {
     // in_flight is in send order; delivery times are monotone per
     // destination but interleaved across destinations, so scan.

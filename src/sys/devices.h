@@ -61,7 +61,7 @@ class VirtualDisk
     /** One in-flight transfer (public: checkpoints serialize these). */
     struct Pending
     {
-        U64 ready;
+        SimCycle ready;
         U64 sector;
         U64 count;
         U64 dest_va;
@@ -85,7 +85,7 @@ class VirtualDisk
 
     /** Complete any transfers due at `now` (DMA copy + event).
      *  Normally fired by the EventQueue; FIFO completion order. */
-    void processDue(U64 now);
+    void processDue(SimCycle now);
 
     /** In-flight transfers, oldest first (checkpoint capture). */
     const std::deque<Pending> &pendingTransfers() const
@@ -100,13 +100,13 @@ class VirtualDisk
     void attachTrace(DeviceTrace *t) { trace = t; }
 
   private:
-    void armCompletion(U64 ready);
+    void armCompletion(SimCycle ready);
 
     EventChannels *events;
     EventQueue *queue;
     TimeKeeper *time;
     AddressSpace *aspace;
-    U64 latency_cycles;
+    CycleDelta latency_cycles;
     std::vector<U8> image;
     std::deque<Pending> pending;
     DeviceTrace *trace = nullptr;
@@ -131,7 +131,7 @@ class VirtualNet
     /** One in-flight packet (public: checkpoints serialize these). */
     struct Packet
     {
-        U64 ready;
+        SimCycle ready;
         int to_ep;
         std::vector<U8> data;
     };
@@ -152,11 +152,11 @@ class VirtualNet
 
     /** Deliver all packets due at `now`, in send order. Normally
      *  fired by the EventQueue. */
-    void processDue(U64 now);
+    void processDue(SimCycle now);
 
     /** In-flight packets, send order (checkpoint capture). */
     const std::deque<Packet> &inFlight() const { return in_flight; }
-    const std::vector<U64> &lastReady() const { return last_ready; }
+    const std::vector<SimCycle> &lastReady() const { return last_ready; }
 
     /** Delivered-but-unread bytes per endpoint (checkpoint capture). */
     const std::vector<std::deque<U8>> &rxQueues() const { return rx; }
@@ -167,20 +167,20 @@ class VirtualNet
     /** Replace the in-flight queue and re-arm delivery events
      *  (checkpoint restore; call after EventQueue::clear()). */
     void restorePending(const std::vector<Packet> &packets,
-                        const std::vector<U64> &last_ready_floor);
+                        const std::vector<SimCycle> &last_ready_floor);
 
     void attachTrace(DeviceTrace *t) { trace = t; }
 
   private:
-    void armDelivery(U64 ready);
+    void armDelivery(SimCycle ready);
 
     EventChannels *events;
     EventQueue *queue;
     TimeKeeper *time;
-    U64 latency_cycles;
+    CycleDelta latency_cycles;
     std::deque<Packet> in_flight;
     std::vector<std::deque<U8>> rx;
-    std::vector<U64> last_ready;  ///< per-endpoint FIFO ordering floor
+    std::vector<SimCycle> last_ready;  ///< per-endpoint FIFO ordering floor
     DeviceTrace *trace = nullptr;
     Counter &st_packets;
     Counter &st_bytes;

@@ -15,7 +15,7 @@ EventQueue::EventQueue(StatsTree &stats)
 }
 
 EventHandle
-EventQueue::schedule(U64 due, int priority, Callback cb,
+EventQueue::schedule(SimCycle due, int priority, Callback cb,
                      const Options &opts)
 {
     ptl_assert(cb != nullptr);
@@ -61,7 +61,7 @@ EventQueue::cancel(EventHandle h)
 }
 
 int
-EventQueue::runDue(U64 now)
+EventQueue::runDue(SimCycle now)
 {
     ptl_assert(!in_run);
     in_run = true;

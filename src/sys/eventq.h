@@ -39,6 +39,7 @@
 #include <functional>
 #include <vector>
 
+#include "lib/simtime.h"
 #include "stats/stats.h"
 
 namespace ptl {
@@ -81,7 +82,7 @@ struct EventHandle
 class EventQueue
 {
   public:
-    using Callback = std::function<void(U64 now)>;
+    using Callback = std::function<void(SimCycle now)>;
 
     explicit EventQueue(StatsTree &stats);
 
@@ -102,11 +103,11 @@ class EventQueue
      * Schedule `cb` to fire at absolute cycle `due`. Events already in
      * the past (due <= now at the next runDue) fire on that pass.
      */
-    EventHandle schedule(U64 due, int priority, Callback cb,
+    EventHandle schedule(SimCycle due, int priority, Callback cb,
                          const Options &opts);
 
     EventHandle
-    schedule(U64 due, int priority, Callback cb)
+    schedule(SimCycle due, int priority, Callback cb)
     {
         return schedule(due, priority, std::move(cb), Options());
     }
@@ -117,7 +118,7 @@ class EventQueue
 
     /** Cycle of the earliest pending event, CYCLE_NEVER if none. O(1):
      *  this is the master loop's per-cycle check. */
-    U64
+    SimCycle
     nextDue() const
     {
         return heap.empty() ? CYCLE_NEVER : heap.front().due;
@@ -128,7 +129,7 @@ class EventQueue
      * including events scheduled by the callbacks themselves. Returns
      * the number fired. Not reentrant.
      */
-    int runDue(U64 now);
+    int runDue(SimCycle now);
 
     bool empty() const { return heap.empty(); }
     size_t pendingCount() const { return heap.size(); }
@@ -143,7 +144,7 @@ class EventQueue
     /** A pending event, minus its callback (introspection/serialize). */
     struct PendingEvent
     {
-        U64 due = 0;
+        SimCycle due;
         int priority = 0;
         U64 seq = 0;
         EventKind kind = EVK_GENERIC;
@@ -158,7 +159,7 @@ class EventQueue
   private:
     struct Entry
     {
-        U64 due;
+        SimCycle due;
         int priority;
         U64 seq;
         U64 id;

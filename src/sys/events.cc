@@ -37,7 +37,7 @@ EventChannels::send(int port)
 }
 
 void
-EventChannels::sendAt(U64 when, int port)
+EventChannels::sendAt(SimCycle when, int port)
 {
     ptl_assert(port >= 0 && port < MAX_EVENT_PORTS);
     st_scheduled++;
@@ -46,7 +46,7 @@ EventChannels::sendAt(U64 when, int port)
     opts.kind = EVK_TIMER_PORT;
     opts.arg = (U64)port;
     queue->schedule(when, EVPRI_EVCHAN,
-                    [this, port](U64) { send(port); }, opts);
+                    [this, port](SimCycle) { send(port); }, opts);
 }
 
 U64

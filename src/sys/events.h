@@ -49,7 +49,7 @@ class EventChannels
     void send(int port);
 
     /** Schedule `port` to be raised at absolute cycle `when`. */
-    void sendAt(U64 when, int port);
+    void sendAt(SimCycle when, int port);
 
     /**
      * Read-and-clear the pending port bitmask for `vcpu` (the

@@ -45,7 +45,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
         return a2;
       }
       case HC_set_timer:
-        events->sendAt(time->cycle() + a1, PORT_TIMER);
+        events->sendAt(time->cycle() + cycles(a1), PORT_TIMER);
         return 0;
       case HC_stack_switch:
         ctx.kernel_sp = a1;
@@ -68,7 +68,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
         return 0;
       }
       case HC_get_time_ns:
-        return time->cyclesToNs(time->readTsc());
+        return time->cyclesToNs(cycles(time->readTsc()));
       case HC_net_send: {
         if ((int)a1 >= net->endpointCount() || a3 > 1 << 20)
             return HC_ERROR;

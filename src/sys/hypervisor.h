@@ -28,7 +28,7 @@ namespace ptl {
 /** A recorded ptlcall marker (benchmark phase boundaries). */
 struct PtlMarker
 {
-    U64 cycle;
+    SimCycle cycle;
     U64 id;
 };
 

@@ -74,8 +74,8 @@ Machine::Machine(const SimConfig &config)
         EventQueue::Options opts;
         opts.name = "control";
         opts.kind = EVK_CONTROL;
-        eventq.schedule(time.cycle() + 1, EVPRI_CONTROL,
-                        [this](U64 now) { onControlEvent(now); }, opts);
+        eventq.schedule(time.cycle() + cycles(1), EVPRI_CONTROL,
+                        [this](SimCycle now) { onControlEvent(now); }, opts);
     });
 }
 
@@ -152,7 +152,7 @@ Machine::armReplayer()
     // One event per distinct record cycle; the callback injects every
     // record due and re-arms for the next stamp.
     eventq.schedule(replayer->nextDue(), EVPRI_REPLAY,
-                    [this](U64 now) {
+                    [this](SimCycle now) {
                         replayer->processDue(now);
                         armReplayer();
                     },
@@ -170,8 +170,8 @@ Machine::armSnapshot()
     // snapshot cadence).
     opts.wakes = false;
     snapshot_event = eventq.schedule(
-        last_snapshot + cfg.snapshot_interval, EVPRI_SNAPSHOT,
-        [this](U64 now) {
+        last_snapshot + cycles(cfg.snapshot_interval), EVPRI_SNAPSHOT,
+        [this](SimCycle now) {
             // Time never runs past the queue head, so `now` is exactly
             // the armed boundary; priority 0 orders the snapshot ahead
             // of deliveries due the same cycle (legacy interval edge).
@@ -183,7 +183,7 @@ Machine::armSnapshot()
 }
 
 void
-Machine::onControlEvent(U64 now)
+Machine::onControlEvent(SimCycle now)
 {
     control_armed = false;
     if (hv->nativeSwitchRequested())
@@ -196,7 +196,7 @@ Machine::onControlEvent(U64 now)
 }
 
 void
-Machine::rearmAfterRestore(U64 last_snapshot_cycle)
+Machine::rearmAfterRestore(SimCycle last_snapshot_cycle)
 {
     eventq.clear();
     control_armed = false;
@@ -219,23 +219,24 @@ Machine::allVcpusIdle() const
 }
 
 void
-Machine::accountModeCycles(U64 cycles)
+Machine::accountModeCycles(CycleDelta elapsed)
 {
+    const U64 n = elapsed.raw();
     // Figure 2 accounting keys off VCPU 0, matching the paper's
     // single-VCPU benchmark domain.
     const Context &ctx = *contexts[0];
     if (!ctx.running)
-        st_cycles_idle += cycles;
+        st_cycles_idle += n;
     else if (ctx.kernel_mode)
-        st_cycles_kernel += cycles;
+        st_cycles_kernel += n;
     else
-        st_cycles_user += cycles;
+        st_cycles_user += n;
     if (run_mode == Mode::Native)
-        st_cycles_native += cycles;
+        st_cycles_native += n;
 }
 
 void
-Machine::runNativeSlice(U64 limit)
+Machine::runNativeSlice(SimCycle limit)
 {
     // Native mode: the fast functional engine at the configured native
     // IPC. Run in small instruction batches so events still land at
@@ -244,9 +245,9 @@ Machine::runNativeSlice(U64 limit)
     // the slice costs as many cycles as its furthest-ahead VCPU; the
     // round-robin start cursor rotates so no VCPU permanently sees
     // events (or the trigger check) first.
-    U64 budget_cycles = limit - time.cycle();
+    CycleDelta budget = limit - time.cycle();
     U64 max_insns =
-        std::max<U64>(1, budget_cycles * cfg.native_ipc_x1000 / 1000);
+        std::max<U64>(1, budget.raw() * cfg.native_ipc_x1000 / 1000);
     max_insns = std::min<U64>(max_insns, 64);
 
     const size_t n = contexts.size();
@@ -291,11 +292,11 @@ Machine::runNativeSlice(U64 limit)
     U64 lead_insns = 0;
     for (U64 c : native_insns)
         lead_insns = std::max(lead_insns, c);
-    U64 cycles =
-        std::max<U64>(1, lead_insns * 1000 / cfg.native_ipc_x1000);
-    cycles = std::min(cycles, std::max<U64>(1, budget_cycles));
-    accountModeCycles(cycles);
-    time.advance(cycles);
+    CycleDelta spent = cycles(
+        std::max<U64>(1, lead_insns * 1000 / cfg.native_ipc_x1000));
+    spent = std::min(spent, std::max(cycles(1), budget));
+    accountModeCycles(spent);
+    time.advance(spent);
 }
 
 void
@@ -330,8 +331,9 @@ Machine::RunResult
 Machine::run(U64 max_cycles)
 {
     RunResult result;
-    U64 deadline = time.cycle() + max_cycles;
-    if (last_snapshot == 0 && stats_tree.snapshotCount() == 0) {
+    const SimCycle start = time.cycle();
+    const SimCycle deadline = start + cycles(max_cycles);
+    if (last_snapshot == SimCycle(0) && stats_tree.snapshotCount() == 0) {
         stats_tree.takeSnapshot(time.cycle());
         last_snapshot = time.cycle();
     }
@@ -343,13 +345,13 @@ Machine::run(U64 max_cycles)
         // completions, trace injection, the periodic snapshot, and
         // deferred control requests — in the fixed (cycle, priority,
         // seq) order that reproduces the old loop-top sequence.
-        U64 now = time.cycle();
+        SimCycle now = time.cycle();
         eventq.runDue(now);
         if (hv->shutdownRequested())
             break;
 
         if (allVcpusIdle()) {
-            U64 core_wake = CYCLE_NEVER;
+            SimCycle core_wake = CYCLE_NEVER;
             for (auto &core : cores)
                 core_wake = std::min(core_wake, core->sleepUntil(now));
             if (eventq.wakePendingCount() == 0
@@ -362,9 +364,9 @@ Machine::run(U64 max_cycles)
                 // Fast-forward straight to the next scheduled event
                 // (the queue head already includes the snapshot
                 // cadence) or the earliest core-declared wake-up.
-                U64 target =
+                SimCycle target =
                     std::min({eventq.nextDue(), core_wake, deadline});
-                target = std::max(target, now + 1);
+                target = std::max(target, now + cycles(1));
                 accountModeCycles(target - now);
                 time.advance(target - now);
                 continue;
@@ -374,17 +376,17 @@ Machine::run(U64 max_cycles)
         }
 
         if (run_mode == Mode::Native) {
-            U64 limit =
-                std::min(deadline, std::max(eventq.nextDue(), now + 1));
-            runNativeSlice(std::max(limit, now + 1));
+            SimCycle limit = std::min(
+                deadline, std::max(eventq.nextDue(), now + cycles(1)));
+            runNativeSlice(std::max(limit, now + cycles(1)));
         } else {
             // The hot loop: advance each core by one cycle, round
             // robin, until the queue head comes due. The per-cycle
             // overhead beyond the cores themselves is one O(1) heap
             // peek and the VCPU idle scan.
             do {
-                accountModeCycles(1);
-                U64 c = time.cycle();
+                accountModeCycles(cycles(1));
+                SimCycle c = time.cycle();
                 for (auto &core : cores)
                     core->cycle(c);
                 time.tick();
@@ -394,7 +396,7 @@ Machine::run(U64 max_cycles)
         }
     }
 
-    result.cycles = time.cycle() - (deadline - max_cycles);
+    result.cycles = (time.cycle() - start).raw();
     result.shutdown = hv->shutdownRequested();
     result.exit_code = hv->exitCode();
     return result;

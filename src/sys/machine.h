@@ -114,7 +114,7 @@ class Machine
     void flushCores();
 
     /** Cycle stamp of the most recent periodic stats snapshot. */
-    U64 lastSnapshotCycle() const { return last_snapshot; }
+    SimCycle lastSnapshotCycle() const { return last_snapshot; }
 
     /**
      * Checkpoint-restore support: drop every scheduled event (they are
@@ -123,7 +123,7 @@ class Machine
      * replayer, and discard transient control requests. The caller
      * then restores timer/device events via the owning subsystems.
      */
-    void rearmAfterRestore(U64 last_snapshot_cycle);
+    void rearmAfterRestore(SimCycle last_snapshot_cycle);
 
     /** Register an additional hierarchy whose TLBs must flush on guest
      *  CR3 switches (profiling structures attached to native mode). */
@@ -133,12 +133,12 @@ class Machine
     }
 
   private:
-    void accountModeCycles(U64 cycles);
+    void accountModeCycles(CycleDelta elapsed);
     bool allVcpusIdle() const;
-    void runNativeSlice(U64 limit);
+    void runNativeSlice(SimCycle limit);
     void armSnapshot();
     void armReplayer();
-    void onControlEvent(U64 now);
+    void onControlEvent(SimCycle now);
 
     SimConfig cfg;
     StatsTree stats_tree;
@@ -160,7 +160,7 @@ class Machine
     TraceReplayer *replayer = nullptr;
 
     Mode run_mode = Mode::Simulation;
-    U64 last_snapshot = 0;
+    SimCycle last_snapshot;
     EventHandle snapshot_event;
     bool control_armed = false;
     std::optional<U64> rip_trigger;   ///< armed native->sim trigger RIP

@@ -9,12 +9,18 @@
  * subtracts a hidden delta across native<->simulation transitions so
  * the guest can never observe the gap (Section 4.1). TimeKeeper holds
  * the master cycle counter and that per-domain TSC offset.
+ *
+ * Time is strongly typed (lib/simtime.h): the master counter is a
+ * SimCycle, the hidden TSC gap is a CycleDelta, and the wall-time
+ * conversion helpers return CycleDelta — so a caller can arm
+ * `now + nsToCycles(period)` but cannot accidentally treat a period
+ * as an absolute stamp.
  */
 
 #ifndef PTLSIM_SYS_TIMEKEEPER_H_
 #define PTLSIM_SYS_TIMEKEEPER_H_
 
-#include "lib/bitops.h"
+#include "lib/simtime.h"
 
 namespace ptl {
 
@@ -23,36 +29,59 @@ class TimeKeeper
   public:
     explicit TimeKeeper(U64 core_freq_hz) : freq(core_freq_hz) {}
 
-    U64 cycle() const { return now; }
-    void advance(U64 cycles) { now += cycles; }
-    void tick() { now++; }
+    SimCycle cycle() const { return now; }
+    void advance(CycleDelta d) { now += d; }
+    void tick() { ++now; }
 
     U64 frequency() const { return freq; }
 
     /** Convert guest-visible durations to cycles. */
-    U64 nsToCycles(U64 ns) const { return ns * freq / 1'000'000'000ULL; }
-    U64 usToCycles(U64 us) const { return us * freq / 1'000'000ULL; }
-    U64 msToCycles(U64 ms) const { return ms * freq / 1'000ULL; }
-    U64 cyclesToNs(U64 cycles) const
+    CycleDelta
+    nsToCycles(U64 ns) const
     {
-        return cycles * 1'000'000'000ULL / freq;
+        return cycles(ns * freq / 1'000'000'000ULL);
+    }
+    CycleDelta
+    usToCycles(U64 us) const
+    {
+        return cycles(us * freq / 1'000'000ULL);
+    }
+    CycleDelta
+    msToCycles(U64 ms) const
+    {
+        return cycles(ms * freq / 1'000ULL);
+    }
+    U64
+    cyclesToNs(CycleDelta d) const
+    {
+        return d.raw() * 1'000'000'000ULL / freq;
     }
 
     /**
      * Guest-visible TSC. The hidden offset absorbs any cycles that
      * should be invisible to the guest (e.g. time "lost" across a mode
-     * transition in a real PTLsim/X deployment).
+     * transition in a real PTLsim/X deployment). The TSC itself is an
+     * architectural register value, hence raw.
      */
-    U64 readTsc() const { return now - hidden; }
+    U64 readTsc() const { return (now - hidden).raw(); }
 
-    /** Hide `cycles` of elapsed time from the guest's clocks. */
-    void hideGap(U64 cycles) { hidden += cycles; }
-    U64 hiddenCycles() const { return hidden; }
+    /** Hide `d` cycles of elapsed time from the guest's clocks. */
+    void hideGap(CycleDelta d) { hidden += d; }
+    CycleDelta hiddenCycles() const { return hidden; }
+
+    /** Checkpoint restore: warp to an absolute point (time may roll
+     *  backwards; callers must re-base all absolute-cycle state). */
+    void
+    restore(SimCycle at, CycleDelta hidden_gap)
+    {
+        now = at;
+        hidden = hidden_gap;
+    }
 
   private:
     U64 freq;
-    U64 now = 0;
-    U64 hidden = 0;
+    SimCycle now;
+    CycleDelta hidden;
 };
 
 }  // namespace ptl

@@ -12,7 +12,7 @@ TraceReplayer::TraceReplayer(const DeviceTrace &recorded,
 }
 
 int
-TraceReplayer::processDue(U64 now)
+TraceReplayer::processDue(SimCycle now)
 {
     int n = 0;
     const auto &records = trace->all();
@@ -35,11 +35,11 @@ TraceReplayer::processDue(U64 now)
     return n;
 }
 
-U64
+SimCycle
 TraceReplayer::nextDue() const
 {
     const auto &records = trace->all();
-    return (next < records.size()) ? records[next].cycle : ~0ULL;
+    return (next < records.size()) ? records[next].cycle : CYCLE_NEVER;
 }
 
 }  // namespace ptl

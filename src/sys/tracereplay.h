@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "lib/simtime.h"
 #include "mem/pagetable.h"
 #include "stats/stats.h"
 
@@ -27,7 +28,7 @@ class EventChannels;
  *  bytes the device wrote immediately before raising it. */
 struct TraceRecord
 {
-    U64 cycle = 0;
+    SimCycle cycle;
     int port = 0;
     U64 dma_va = 0;              ///< 0 = no DMA payload
     U64 dma_cr3 = 0;
@@ -39,7 +40,7 @@ class DeviceTrace
 {
   public:
     void
-    record(U64 cycle, int port, U64 dma_va = 0, U64 dma_cr3 = 0,
+    record(SimCycle cycle, int port, U64 dma_va = 0, U64 dma_cr3 = 0,
            std::vector<U8> dma_data = {})
     {
         records.push_back(
@@ -65,9 +66,9 @@ class TraceReplayer
                   AddressSpace &aspace);
 
     /** Inject everything stamped at or before `now`; returns count. */
-    int processDue(U64 now);
+    int processDue(SimCycle now);
 
-    U64 nextDue() const;
+    SimCycle nextDue() const;
     bool finished() const { return next >= trace->all().size(); }
 
   private:

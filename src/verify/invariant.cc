@@ -85,11 +85,11 @@ InvariantChecker::InvariantChecker(StatsTree &stats,
     } while (0)
 
 int
-InvariantChecker::checkCore(const OooCore &core, U64 now)
+InvariantChecker::checkCore(const OooCore &core, SimCycle now)
 {
     int nviol = 0;
     vstats.checks++;
-    const unsigned long long cyc = now;
+    const unsigned long long cyc = now.raw();
 
     // ------------------------------------------------------------------
     // Physical register file: global (shared by all threads), so build
@@ -434,7 +434,7 @@ InvariantChecker::checkCore(const OooCore &core, U64 now)
 
 int
 InvariantChecker::checkCoherence(const CoherenceController &coherence,
-                                 U64 now)
+                                 SimCycle now)
 {
     int nviol = 0;
     vstats.checks++;
@@ -445,7 +445,7 @@ InvariantChecker::checkCoherence(const CoherenceController &coherence,
         // the first offending line and its holder census).
         VERIFY_VIOLATION(vstats.mesi,
                          "[cycle %llu] verify: %d MOESI directory "
-                         "violations: %s", (unsigned long long)now, bad,
+                         "violations: %s", (unsigned long long)now.raw(), bad,
                          why.c_str());
     }
     return nviol;

@@ -90,10 +90,11 @@ class InvariantChecker
      * number of violations found this pass (always 0 in Panic mode,
      * which does not return on a violation).
      */
-    int checkCore(const OooCore &core, U64 now);
+    int checkCore(const OooCore &core, SimCycle now);
 
     /** Audit the MOESI directory across all registered peers. */
-    int checkCoherence(const CoherenceController &coherence, U64 now);
+    int checkCoherence(const CoherenceController &coherence,
+                       SimCycle now);
 
     VerifyStats &counters() { return vstats; }
 

@@ -17,7 +17,7 @@ collect(Machine &machine, const std::string &core_prefix,
     // the pipeline's own clock.
     m.cycles = k8_accounting
                    ? s.get(core_prefix + "profile/modeled_cycles")
-                   : machine.timeKeeper().cycle();
+                   : machine.timeKeeper().cycle().raw();
     m.insns = s.get(core_prefix + "commit/insns");
     m.uops = s.get(core_prefix
                    + (k8_accounting ? "commit/k8ops" : "commit/uops"));

@@ -1389,7 +1389,7 @@ RsyncBench::run(U64 max_cycles)
     Machine::RunResult r = machine_->run(max_cycles);
     out.shutdown = r.shutdown;
     out.mismatches = r.exit_code;
-    out.cycles = machine_->timeKeeper().cycle();
+    out.cycles = machine_->timeKeeper().cycle().raw();
     return out;
 }
 

@@ -113,7 +113,8 @@ class GuestRunner
     {
         int executed = 0;
         while (ctx.running && executed < max_insns) {
-            FunctionalEngine::StepResult r = engine->stepInsn(executed);
+            FunctionalEngine::StepResult r =
+                engine->stepInsn(SimCycle((U64)executed));
             executed += r.insns;
             if (r.idle)
                 break;
@@ -203,7 +204,7 @@ class CoreRunner
         ptl_assert(core != nullptr);
         U64 c = 0;
         for (; c < max_cycles && !core->allIdle(); c++)
-            core->cycle(c);
+            core->cycle(SimCycle(c));
         ptl_assert(core->allIdle());
         return c;
     }

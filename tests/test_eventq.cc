@@ -30,7 +30,7 @@ struct QueueFixture
     EventQueue::Callback
     mark(int tag)
     {
-        return [this, tag](U64) { fired.push_back(tag); };
+        return [this, tag](SimCycle) { fired.push_back(tag); };
     }
 };
 
@@ -38,13 +38,13 @@ TEST(EventQueue, FiresInDueThenPriorityThenSeqOrder)
 {
     QueueFixture f;
     // Scheduled deliberately out of order.
-    f.q.schedule(20, EVPRI_GENERIC, f.mark(5));
-    f.q.schedule(10, EVPRI_NET, f.mark(3));
-    f.q.schedule(10, EVPRI_SNAPSHOT, f.mark(1));
-    f.q.schedule(10, EVPRI_DISK, f.mark(2));
-    f.q.schedule(15, EVPRI_EVCHAN, f.mark(4));
-    EXPECT_EQ(f.q.nextDue(), 10ULL);
-    EXPECT_EQ(f.q.runDue(20), 5);
+    f.q.schedule(SimCycle(20), EVPRI_GENERIC, f.mark(5));
+    f.q.schedule(SimCycle(10), EVPRI_NET, f.mark(3));
+    f.q.schedule(SimCycle(10), EVPRI_SNAPSHOT, f.mark(1));
+    f.q.schedule(SimCycle(10), EVPRI_DISK, f.mark(2));
+    f.q.schedule(SimCycle(15), EVPRI_EVCHAN, f.mark(4));
+    EXPECT_EQ(f.q.nextDue(), SimCycle(10));
+    EXPECT_EQ(f.q.runDue(SimCycle(20)), 5);
     EXPECT_EQ(f.fired, (std::vector<int>{1, 2, 3, 4, 5}));
     EXPECT_TRUE(f.q.empty());
     EXPECT_EQ(f.q.nextDue(), CYCLE_NEVER);
@@ -57,8 +57,8 @@ TEST(EventQueue, SameCyclePriorityTiesBreakByScheduleOrder)
     // the tie reproducibly.
     QueueFixture f;
     for (int i = 0; i < 32; i++)
-        f.q.schedule(7, EVPRI_EVCHAN, f.mark(i));
-    f.q.runDue(7);
+        f.q.schedule(SimCycle(7), EVPRI_EVCHAN, f.mark(i));
+    f.q.runDue(SimCycle(7));
     ASSERT_EQ(f.fired.size(), 32u);
     for (int i = 0; i < 32; i++)
         EXPECT_EQ(f.fired[i], i);
@@ -67,27 +67,27 @@ TEST(EventQueue, SameCyclePriorityTiesBreakByScheduleOrder)
 TEST(EventQueue, CallbackMayScheduleIntoTheSamePass)
 {
     QueueFixture f;
-    f.q.schedule(5, EVPRI_GENERIC, [&f](U64 now) {
+    f.q.schedule(SimCycle(5), EVPRI_GENERIC, [&f](SimCycle now) {
         f.fired.push_back(1);
         // Due at the current cycle: runs later in this same pass.
         f.q.schedule(now, EVPRI_GENERIC, f.mark(2));
         // Due in the future: stays pending.
-        f.q.schedule(now + 1, EVPRI_GENERIC, f.mark(3));
+        f.q.schedule(now + cycles(1), EVPRI_GENERIC, f.mark(3));
     });
-    EXPECT_EQ(f.q.runDue(5), 2);
+    EXPECT_EQ(f.q.runDue(SimCycle(5)), 2);
     EXPECT_EQ(f.fired, (std::vector<int>{1, 2}));
-    EXPECT_EQ(f.q.nextDue(), 6ULL);
+    EXPECT_EQ(f.q.nextDue(), SimCycle(6));
 }
 
 TEST(EventQueue, CancelRemovesPendingAndOnlyOnce)
 {
     QueueFixture f;
-    EventHandle a = f.q.schedule(3, EVPRI_GENERIC, f.mark(1));
-    EventHandle b = f.q.schedule(8, EVPRI_GENERIC, f.mark(2));
+    EventHandle a = f.q.schedule(SimCycle(3), EVPRI_GENERIC, f.mark(1));
+    EventHandle b = f.q.schedule(SimCycle(8), EVPRI_GENERIC, f.mark(2));
     EXPECT_TRUE(f.q.cancel(a));
     EXPECT_FALSE(f.q.cancel(a));          // already gone
-    EXPECT_EQ(f.q.nextDue(), 8ULL);       // heap re-ordered
-    f.q.runDue(10);
+    EXPECT_EQ(f.q.nextDue(), SimCycle(8));       // heap re-ordered
+    f.q.runDue(SimCycle(10));
     EXPECT_EQ(f.fired, (std::vector<int>{2}));
     EXPECT_FALSE(f.q.cancel(b));          // already fired
     EXPECT_FALSE(f.q.cancel(EventHandle{}));
@@ -98,26 +98,26 @@ TEST(EventQueue, WakePendingExcludesNonWakingEvents)
     QueueFixture f;
     EventQueue::Options quiet;
     quiet.wakes = false;
-    f.q.schedule(10, EVPRI_SNAPSHOT, f.mark(1), quiet);
+    f.q.schedule(SimCycle(10), EVPRI_SNAPSHOT, f.mark(1), quiet);
     EXPECT_EQ(f.q.pendingCount(), 1u);
     EXPECT_EQ(f.q.wakePendingCount(), 0u);
-    EventHandle h = f.q.schedule(12, EVPRI_EVCHAN, f.mark(2));
+    EventHandle h = f.q.schedule(SimCycle(12), EVPRI_EVCHAN, f.mark(2));
     EXPECT_EQ(f.q.wakePendingCount(), 1u);
     f.q.cancel(h);
     EXPECT_EQ(f.q.wakePendingCount(), 0u);
-    f.q.runDue(10);
+    f.q.runDue(SimCycle(10));
     EXPECT_EQ(f.q.pendingCount(), 0u);
 }
 
 TEST(EventQueue, ClearDropsEverything)
 {
     QueueFixture f;
-    f.q.schedule(1, EVPRI_GENERIC, f.mark(1));
-    f.q.schedule(2, EVPRI_GENERIC, f.mark(2));
+    f.q.schedule(SimCycle(1), EVPRI_GENERIC, f.mark(1));
+    f.q.schedule(SimCycle(2), EVPRI_GENERIC, f.mark(2));
     f.q.clear();
     EXPECT_TRUE(f.q.empty());
     EXPECT_EQ(f.q.wakePendingCount(), 0u);
-    EXPECT_EQ(f.q.runDue(100), 0);
+    EXPECT_EQ(f.q.runDue(SimCycle(100)), 0);
     EXPECT_TRUE(f.fired.empty());
 }
 
@@ -128,15 +128,15 @@ TEST(EventQueue, PendingSortedExposesTagsInFiringOrder)
     timer.kind = EVK_TIMER_PORT;
     timer.arg = 4;
     timer.name = "evchn";
-    f.q.schedule(30, EVPRI_EVCHAN, f.mark(1), timer);
+    f.q.schedule(SimCycle(30), EVPRI_EVCHAN, f.mark(1), timer);
     EventQueue::Options dev;
     dev.kind = EVK_DEVICE;
-    f.q.schedule(20, EVPRI_DISK, f.mark(2), dev);
+    f.q.schedule(SimCycle(20), EVPRI_DISK, f.mark(2), dev);
     std::vector<EventQueue::PendingEvent> p = f.q.pendingSorted();
     ASSERT_EQ(p.size(), 2u);
-    EXPECT_EQ(p[0].due, 20ULL);
+    EXPECT_EQ(p[0].due, SimCycle(20));
     EXPECT_EQ(p[0].kind, EVK_DEVICE);
-    EXPECT_EQ(p[1].due, 30ULL);
+    EXPECT_EQ(p[1].due, SimCycle(30));
     EXPECT_EQ(p[1].kind, EVK_TIMER_PORT);
     EXPECT_EQ(p[1].arg, 4ULL);
     EXPECT_STREQ(p[1].name, "evchn");
@@ -145,10 +145,10 @@ TEST(EventQueue, PendingSortedExposesTagsInFiringOrder)
 TEST(EventQueue, StatsCountersTrackActivity)
 {
     QueueFixture f;
-    EventHandle h = f.q.schedule(1, EVPRI_GENERIC, f.mark(1));
-    f.q.schedule(2, EVPRI_GENERIC, f.mark(2));
+    EventHandle h = f.q.schedule(SimCycle(1), EVPRI_GENERIC, f.mark(1));
+    f.q.schedule(SimCycle(2), EVPRI_GENERIC, f.mark(2));
     f.q.cancel(h);
-    f.q.runDue(5);
+    f.q.runDue(SimCycle(5));
     EXPECT_EQ(f.stats.get("eventq/scheduled"), 2ULL);
     EXPECT_EQ(f.stats.get("eventq/cancelled"), 1ULL);
     EXPECT_EQ(f.stats.get("eventq/fired"), 1ULL);
@@ -328,7 +328,7 @@ TEST(EventMachine, CheckpointRoundTripWithInFlightEvents)
 
     Machine::RunResult r1 = m.run(500'000'000);
     ASSERT_TRUE(r1.shutdown);
-    U64 end_cycle1 = m.timeKeeper().cycle();
+    const SimCycle end_cycle1 = m.timeKeeper().cycle();
     U64 hash1 = hashGuestMemory(m.physMem());
     Context end1 = m.vcpu(0);
 
@@ -371,7 +371,7 @@ TEST(EventMachine, CheckpointCarriesInFlightNetworkPackets)
         payload[i] = (U8)i;
     m.net().send(0, payload, sizeof(payload));
     ASSERT_FALSE(m.net().inFlight().empty());
-    U64 arrival = m.net().inFlight().front().ready;
+    const SimCycle arrival = m.net().inFlight().front().ready;
 
     MachineCheckpoint ckpt = captureCheckpoint(m);
     ASSERT_EQ(ckpt.net_pending.size(), 1u);

@@ -556,7 +556,7 @@ TEST(Exec, EventDeliveryAndIretq)
 
     // Run a few instructions, then raise an event.
     for (int i = 0; i < 5; i++)
-        g.engine->stepInsn(i);
+        g.engine->stepInsn(SimCycle((U64)i));
     g.ctx.event_pending = true;
     g.run();
     EXPECT_EQ(g.reg(R::rbx), 1ULL);

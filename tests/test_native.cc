@@ -276,7 +276,7 @@ TEST(Native, DeviceTraceRecordsDiskDma)
                            replay_machine.addressSpace());
     // Fix the replayed CR3 context by construction: same builder
     // layout gives the same mappings.
-    int injected = replayer.processDue(~0ULL - 1);
+    int injected = replayer.processDue(SimCycle(~0ULL - 1));
     EXPECT_GE(injected, 1);
     Context probe;
     probe.cr3 = rb.taskCr3(0);

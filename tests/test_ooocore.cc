@@ -484,10 +484,10 @@ TEST(OooCoreTest, EventDeliveryAtInstructionBoundary)
     r.start();
     // Run a while, then raise the event.
     for (U64 c = 0; c < 2000; c++)
-        r.core->cycle(c);
+        r.core->cycle(SimCycle(c));
     r.contexts[0]->event_pending = true;
     for (U64 c = 2000; c < 100000 && !r.core->allIdle(); c++)
-        r.core->cycle(c);
+        r.core->cycle(SimCycle(c));
     EXPECT_TRUE(r.core->allIdle());
     EXPECT_EQ(r.reg(R::rbx), 1ULL);
     EXPECT_GT(r.stats.get("core0/commit/events_delivered"), 0ULL);

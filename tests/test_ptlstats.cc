@@ -15,18 +15,18 @@ TEST(PtlStats, SubtractSnapshotsExcludesWarmup)
     // "Warm-up": lots of cold misses.
     miss += 1000;
     hit += 100;
-    t.takeSnapshot(1'000'000);
+    t.takeSnapshot(SimCycle(1'000'000));
     // Steady state.
     miss += 20;
     hit += 5000;
-    t.takeSnapshot(2'000'000);
+    t.takeSnapshot(SimCycle(2'000'000));
     miss += 25;
     hit += 5100;
-    t.takeSnapshot(3'000'000);
+    t.takeSnapshot(SimCycle(3'000'000));
 
     SnapshotDelta steady = subtractSnapshots(t, 0, 2);
-    EXPECT_EQ(steady.from_cycle, 1'000'000ULL);
-    EXPECT_EQ(steady.to_cycle, 3'000'000ULL);
+    EXPECT_EQ(steady.from_cycle, SimCycle(1'000'000));
+    EXPECT_EQ(steady.to_cycle, SimCycle(3'000'000));
     EXPECT_EQ(steady.get("dcache/misses"), 45ULL);
     EXPECT_EQ(steady.get("dcache/hits"), 10100ULL);
     EXPECT_EQ(steady.get("absent/counter"), 0ULL);
@@ -41,11 +41,11 @@ TEST(PtlStats, SubtractAdjacentMatchesDeltaSeries)
 {
     StatsTree t;
     Counter &c = t.counter("x");
-    t.takeSnapshot(0);
+    t.takeSnapshot(SimCycle(0));
     c += 7;
-    t.takeSnapshot(100);
+    t.takeSnapshot(SimCycle(100));
     c += 9;
-    t.takeSnapshot(200);
+    t.takeSnapshot(SimCycle(200));
     auto series = t.deltaSeries("x");
     EXPECT_EQ(subtractSnapshots(t, 0, 1).get("x"), series[0]);
     EXPECT_EQ(subtractSnapshots(t, 1, 2).get("x"), series[1]);

@@ -71,7 +71,7 @@ TEST(Fuzz, RandomCodeExecutionIsContained)
         g.ctx.kernel_sp = GuestRunner::STACK_TOP - 0x1000;
         int steps = 0;
         while (g.ctx.running && steps < 2000) {
-            g.engine->stepInsn(steps);
+            g.engine->stepInsn(SimCycle((U64)steps));
             steps++;
         }
         // Either it halted via the handler or is still chewing junk;
@@ -122,7 +122,7 @@ TEST(OooDebug, DebugStateRendersPipeline)
     // Run past the cold I-cache fill so the ROB holds in-flight work.
     std::string dump;
     for (U64 c = 0; c < 2000; c++) {
-        r.core->cycle(c);
+        r.core->cycle(SimCycle(c));
         if (c > 200) {
             dump = r.core->debugState();
             if (dump.find("rob[") != std::string::npos)

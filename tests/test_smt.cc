@@ -225,7 +225,7 @@ class MultiCoreRig
         for (; c < max_cycles; c++) {
             bool all_idle = true;
             for (auto &core : cores) {
-                core->cycle(c);
+                core->cycle(SimCycle(c));
                 all_idle &= core->allIdle();
             }
             if (all_idle)

@@ -34,17 +34,17 @@ TEST(Stats, SnapshotDeltaSeries)
 {
     StatsTree t;
     Counter &c = t.counter("dcache/misses");
-    t.takeSnapshot(0);
+    t.takeSnapshot(SimCycle(0));
     c += 10;
-    t.takeSnapshot(1000);
+    t.takeSnapshot(SimCycle(1000));
     c += 25;
-    t.takeSnapshot(2000);
+    t.takeSnapshot(SimCycle(2000));
     ASSERT_EQ(t.snapshotCount(), 3u);
     auto series = t.deltaSeries("dcache/misses");
     ASSERT_EQ(series.size(), 2u);
     EXPECT_EQ(series[0], 10ULL);
     EXPECT_EQ(series[1], 25ULL);
-    EXPECT_EQ(t.snapshot(1).cycle, 1000ULL);
+    EXPECT_EQ(t.snapshot(1).cycle, SimCycle(1000));
 }
 
 TEST(Stats, RateSeriesPercent)
@@ -52,13 +52,13 @@ TEST(Stats, RateSeriesPercent)
     StatsTree t;
     Counter &miss = t.counter("dcache/misses");
     Counter &acc = t.counter("dcache/accesses");
-    t.takeSnapshot(0);
+    t.takeSnapshot(SimCycle(0));
     miss += 2;
     acc += 100;
-    t.takeSnapshot(1);
+    t.takeSnapshot(SimCycle(1));
     miss += 0;
     acc += 50;
-    t.takeSnapshot(2);
+    t.takeSnapshot(SimCycle(2));
     auto rate = t.rateSeries("dcache/misses", "dcache/accesses");
     ASSERT_EQ(rate.size(), 2u);
     EXPECT_DOUBLE_EQ(rate[0], 2.0);
@@ -70,9 +70,9 @@ TEST(Stats, RateSeriesZeroDenominator)
     StatsTree t;
     t.counter("n");
     t.counter("d");
-    t.takeSnapshot(0);
+    t.takeSnapshot(SimCycle(0));
     t.counter("n") += 5;
-    t.takeSnapshot(1);
+    t.takeSnapshot(SimCycle(1));
     auto rate = t.rateSeries("n", "d");
     ASSERT_EQ(rate.size(), 1u);
     EXPECT_DOUBLE_EQ(rate[0], 0.0);
@@ -82,9 +82,9 @@ TEST(Stats, CounterRegisteredAfterSnapshot)
 {
     StatsTree t;
     t.counter("early") += 1;
-    t.takeSnapshot(0);
+    t.takeSnapshot(SimCycle(0));
     t.counter("late") += 7;
-    t.takeSnapshot(1);
+    t.takeSnapshot(SimCycle(1));
     auto series = t.deltaSeries("late");
     ASSERT_EQ(series.size(), 1u);
     EXPECT_EQ(series[0], 7ULL);
@@ -106,7 +106,7 @@ TEST(Stats, ResetClearsEverything)
 {
     StatsTree t;
     t.counter("c") += 9;
-    t.takeSnapshot(0);
+    t.takeSnapshot(SimCycle(0));
     t.reset();
     EXPECT_EQ(t.get("c"), 0ULL);
     EXPECT_EQ(t.snapshotCount(), 0u);

@@ -66,7 +66,8 @@ class VerifyRig
     bool
     corruptMidFlight(Fn &&corrupt, U64 max_cycles = 200000)
     {
-        for (; now < max_cycles && !runner.core->allIdle(); now++) {
+        for (; now.raw() < max_cycles && !runner.core->allIdle();
+             ++now) {
             runner.core->cycle(now);
             if (corrupt(core()))
                 return true;
@@ -82,7 +83,7 @@ class VerifyRig
     }
 
     CoreRunner runner;
-    U64 now = 0;
+    SimCycle now;
 };
 
 TEST(VerifyTest, CleanPipelinePassesEveryCycleAudit)
@@ -91,9 +92,10 @@ TEST(VerifyTest, CleanPipelinePassesEveryCycleAudit)
     InvariantChecker chk(rig.runner.stats, "verify/",
                          InvariantChecker::Action::Count);
     int violations = 0;
-    for (; rig.now < 200000 && !rig.runner.core->allIdle(); rig.now++) {
+    for (; rig.now.raw() < 200000 && !rig.runner.core->allIdle();
+         ++rig.now) {
         rig.runner.core->cycle(rig.now);
-        if (rig.now % 16 == 0)
+        if (rig.now.raw() % 16 == 0)
             violations += rig.audit(chk);
     }
     EXPECT_TRUE(rig.runner.core->allIdle()) << "program never drained";
@@ -184,18 +186,18 @@ TEST(VerifyTest, DetectsIllegalMesiDirectoryState)
     // A legal directory audits clean.
     InvariantChecker chk(stats, "verify/", InvariantChecker::Action::Count);
     coherence.corruptStateForTest(0, 0x1000, LineState::Modified);
-    EXPECT_EQ(chk.checkCoherence(coherence, 0), 0);
+    EXPECT_EQ(chk.checkCoherence(coherence, SimCycle(0)), 0);
 
     // Two Modified holders of one line is never legal.
     coherence.corruptStateForTest(1, 0x1000, LineState::Modified);
-    EXPECT_GT(chk.checkCoherence(coherence, 0), 0);
+    EXPECT_GT(chk.checkCoherence(coherence, SimCycle(0)), 0);
     EXPECT_GT(chk.counters().mesi.value(), 0u);
 
     // Exclusive coexisting with a sharer is never legal either.
     CoherenceController c2(CoherenceKind::Moesi, 10, stats);
     c2.corruptStateForTest(0, 0x2000, LineState::Exclusive);
     c2.corruptStateForTest(1, 0x2000, LineState::Shared);
-    EXPECT_GT(chk.checkCoherence(c2, 0), 0);
+    EXPECT_GT(chk.checkCoherence(c2, SimCycle(0)), 0);
 }
 
 TEST(VerifyTest, PanicModeDiesOnCorruption)
@@ -223,7 +225,7 @@ TEST(VerifyTest, LockstepCatchesShadowRegisterDivergence)
                 return VerifyTestHook::skewShadowReg(c, 0, REG_rdx);
             }));
             for (int i = 0; i < 10000 && !rig.runner.core->allIdle(); i++)
-                rig.runner.core->cycle(rig.now++);
+                rig.runner.core->cycle(++rig.now);
         },
         "lockstep divergence");
 }

@@ -1,0 +1,19 @@
+"""simlint: PTLsim-specific static analysis.
+
+Three rules, each a module under rules/:
+
+  checkpoint-coverage  every data member of a class with a
+                       serialize/restore pair must be touched by both
+                       (or carry a `// simlint: transient` waiver);
+  raw-cycle            no raw-integer cycle-stamp declarations or
+                       ~0ULL cycle sentinels outside lib/simtime.h;
+  nondeterminism       no wall-clock/rand/unordered-iteration sources
+                       in serialized or statistics paths.
+
+The backend is a hand-rolled token-level C++ lexer (lexer.py): the
+container has no libclang, so rules consume a deliberately small
+backend-independent model (model.py) that a libclang backend could
+also produce.
+"""
+
+from . import lexer, model  # noqa: F401

@@ -1,0 +1,32 @@
+// Golden NEGATIVE fixture for checkpoint-coverage: `dropped` is
+// captured by serialize() but never consumed by restore() — the
+// classic silently-lossy checkpoint. simlint must flag it.
+#include <vector>
+
+struct Machine;
+
+struct DeviceCheckpoint
+{
+    std::vector<unsigned char> payload;
+    unsigned long long dropped = 0;   // written, never restored: BUG
+    int port = 0;
+
+    void serialize(Machine &m);
+    void restore(Machine &m) const;
+};
+
+void
+DeviceCheckpoint::serialize(Machine &)
+{
+    payload.clear();
+    dropped = 7;
+    port = 1;
+}
+
+void
+DeviceCheckpoint::restore(Machine &) const
+{
+    (void)payload;
+    (void)port;
+    // `dropped` is missing here.
+}

@@ -1,0 +1,15 @@
+// Golden NEGATIVE fixture for nondeterminism: libc randomness and a
+// wall-clock read in simulator code. simlint must flag both. The
+// path of this fixture is outside src/sys//src/stats/, so the
+// unordered_* check is exercised by the driver's scope logic, not
+// here.
+#include <cstdlib>
+#include <ctime>
+
+unsigned long long
+jitter()
+{
+    // Seeding device latency from the host: replay divergence.
+    std::srand((unsigned)time(nullptr));   // BUG x2: srand + time()
+    return (unsigned long long)rand();     // BUG: rand
+}

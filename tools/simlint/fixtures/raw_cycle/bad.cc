@@ -1,0 +1,18 @@
+// Golden NEGATIVE fixture for raw-cycle: a raw-integer cycle stamp
+// and the untyped ~0ULL never-sentinel. simlint must flag both.
+using U64 = unsigned long long;
+
+struct Core
+{
+    U64 ready_cycle = 0;       // raw stamp declaration: BUG
+    U64 budget_cycles = 0;     // plural: a count, legal
+};
+
+U64
+arm(U64 now, int latency)      // raw `now` parameter: BUG
+{
+    U64 deadline = now + (U64)latency;   // raw stamp: BUG
+    if (deadline == ~0ULL)               // untyped never: BUG
+        return ~0ULL - 1;
+    return deadline;
+}

@@ -1,0 +1,22 @@
+// Golden POSITIVE fixture for raw-cycle: strong types everywhere a
+// stamp appears; raw integers only for counts (plural names) and the
+// one explicitly waived legacy field. simlint must report nothing.
+#include "lib/simtime.h"
+
+using namespace ptl;
+
+struct Core
+{
+    SimCycle ready_cycle;
+    U64 budget_cycles = 0;              // a count, not a stamp
+    U64 boot_cycle = 0;  // simlint: raw-cycle-ok (arch register value)
+};
+
+SimCycle
+arm(SimCycle now, int latency)
+{
+    SimCycle deadline = now + cycles((U64)latency);
+    if (deadline == CYCLE_NEVER)
+        return CYCLE_NEVER;
+    return deadline;
+}

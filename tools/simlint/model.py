@@ -1,0 +1,243 @@
+"""Backend-independent structural model over lexed token streams.
+
+Extracts the two structures the rules need:
+
+  - classes(): class/struct definitions with their data members and
+    the names of methods they declare;
+  - method_bodies(): the identifier set of every function body, keyed
+    by qualified name ("Class::method" for out-of-line definitions,
+    the same form synthesized for inline ones).
+
+Both walk the token stream with a brace/paren depth cursor; there is
+no type checking and no template instantiation. That is enough for
+the checkpoint-coverage rule because PTLsim serialization code
+mentions members by name.
+"""
+
+from collections import namedtuple
+
+ClassDef = namedtuple("ClassDef", ["name", "line", "members", "methods"])
+Member = namedtuple("Member", ["name", "line"])
+
+_KEYWORD_STMT = {
+    "public", "private", "protected", "using", "typedef", "friend",
+    "template", "enum", "struct", "class", "union", "static",
+    "constexpr", "static_assert", "operator",
+}
+
+
+def _match_brace(tokens, i):
+    """tokens[i] is '{'; return index one past its matching '}'."""
+    depth = 0
+    while i < len(tokens):
+        v = tokens[i].value
+        if v == "{":
+            depth += 1
+        elif v == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(tokens)
+
+
+def _split_statements(tokens):
+    """Split a class-body token list into top-level statements.
+
+    A statement ends at a top-level ';' or at a top-level '{...}'
+    block (function definition / nested aggregate); the block tokens
+    are attached to the statement.
+    """
+    stmts, cur, depth = [], [], 0
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        if t.value == "{":
+            j = _match_brace(tokens, i)
+            cur.extend(tokens[i:j])
+            i = j
+            # int x{0}; continues to ';'. Function bodies just end.
+            if i < len(tokens) and tokens[i].value == ";":
+                cur.append(tokens[i])
+                i += 1
+            stmts.append(cur)
+            cur = []
+            continue
+        cur.append(t)
+        if t.value in "([":
+            depth += 1
+        elif t.value in ")]":
+            depth -= 1
+        elif t.value == ";" and depth == 0:
+            stmts.append(cur)
+            cur = []
+        i += 1
+    if cur:
+        stmts.append(cur)
+    return stmts
+
+
+def _stmt_is_function(stmt):
+    """True when the statement declares or defines a function."""
+    # Heuristic: an identifier directly followed by '(' at angle
+    # depth 0, before any '=' (so `std::function<void(int)> cb;` and
+    # `int x = f();` stay members).
+    angle = 0
+    for i, t in enumerate(stmt):
+        v = t.value
+        if v == "<":
+            angle += 1
+        elif v == ">":
+            angle = max(0, angle - 1)
+        elif v == "=" and angle == 0:
+            return False
+        elif v == "(" and angle == 0:
+            return i > 0 and stmt[i - 1].kind == "id"
+    return False
+
+
+def _member_name(stmt):
+    """The declared name of a member statement, or None."""
+    if not stmt or stmt[0].value in _KEYWORD_STMT:
+        # `static` / `using` / access labels and friends are not
+        # serializable data members.
+        if not (stmt and stmt[0].value in ("struct", "class")):
+            return None
+        # `struct Foo { ... } name;` declares a member after the body.
+    if any(t.value == "operator" for t in stmt):
+        return None
+    if _stmt_is_function(stmt):
+        return None
+    # Name = last identifier before the first of ';' '=' '{' '['.
+    name = None
+    for t in stmt:
+        if t.value in (";", "=", "{", "["):
+            break
+        if t.kind == "id":
+            name = t
+    if name is None or name.value in _KEYWORD_STMT:
+        return None
+    return Member(name.value, name.line)
+
+
+def _method_names(stmt):
+    """Names of functions declared by a class-body statement."""
+    angle = 0
+    for i, t in enumerate(stmt):
+        v = t.value
+        if v == "<":
+            angle += 1
+        elif v == ">":
+            angle = max(0, angle - 1)
+        elif v == "=" and angle == 0:
+            return []
+        elif v == "(" and angle == 0:
+            if i > 0 and stmt[i - 1].kind == "id":
+                return [stmt[i - 1].value]
+            return []
+    return []
+
+
+def classes(lexed):
+    """All class/struct definitions in a lexed file."""
+    out = []
+    toks = lexed.tokens
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "id" and t.value in ("struct", "class"):
+            # struct Name [final] [: bases] {
+            j = i + 1
+            if j < len(toks) and toks[j].kind == "id":
+                name = toks[j].value
+                line = toks[j].line
+                k = j + 1
+                while k < len(toks) and toks[k].value not in ("{", ";"):
+                    k += 1
+                if k < len(toks) and toks[k].value == "{":
+                    end = _match_brace(toks, k)
+                    body = toks[k + 1 : end - 1]
+                    members, methods = [], []
+                    for stmt in _split_statements(body):
+                        methods.extend(_method_names(stmt))
+                        m = _member_name(stmt)
+                        if m:
+                            members.append(m)
+                    out.append(ClassDef(name, line, members, methods))
+                    i = end
+                    continue
+        i += 1
+    return out
+
+
+def method_bodies(lexed):
+    """Map "Class::method" -> set of identifier tokens in the body.
+
+    Finds out-of-line definitions (`void Class::method(...) { ... }`)
+    and inline definitions inside class bodies.
+    """
+    out = {}
+    toks = lexed.tokens
+
+    # Out-of-line: id '::' id ... '(' ... ')' ... '{'
+    i = 0
+    while i + 2 < len(toks):
+        if (toks[i].kind == "id" and toks[i + 1].value == "::"
+                and toks[i + 2].kind == "id"):
+            qual = toks[i].value + "::" + toks[i + 2].value
+            j = i + 3
+            if j < len(toks) and toks[j].value == "(":
+                # Skip to matching ')', then look for '{' before ';'.
+                depth = 0
+                while j < len(toks):
+                    if toks[j].value == "(":
+                        depth += 1
+                    elif toks[j].value == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                k = j + 1
+                while k < len(toks) and toks[k].value not in ("{", ";"):
+                    k += 1
+                if k < len(toks) and toks[k].value == "{":
+                    end = _match_brace(toks, k)
+                    ids = {t.value for t in toks[k:end] if t.kind == "id"}
+                    out.setdefault(qual, set()).update(ids)
+                    i = end
+                    continue
+        i += 1
+
+    # Inline: per class, any method statement carrying a '{' body.
+    for qual, ids in _inline_bodies(lexed).items():
+        out.setdefault(qual, set()).update(ids)
+    return out
+
+
+def _inline_bodies(lexed):
+    out = {}
+    toks = lexed.tokens
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "id" and t.value in ("struct", "class"):
+            j = i + 1
+            if j < len(toks) and toks[j].kind == "id":
+                cname = toks[j].value
+                k = j + 1
+                while k < len(toks) and toks[k].value not in ("{", ";"):
+                    k += 1
+                if k < len(toks) and toks[k].value == "{":
+                    end = _match_brace(toks, k)
+                    body = toks[k + 1 : end - 1]
+                    for stmt in _split_statements(body):
+                        names = _method_names(stmt)
+                        if names and any(x.value == "{" for x in stmt):
+                            ids = {x.value for x in stmt if x.kind == "id"}
+                            for n in names:
+                                key = cname + "::" + n
+                                out.setdefault(key, set()).update(ids)
+                    i = end
+                    continue
+        i += 1
+    return out

@@ -1,0 +1,18 @@
+"""simlint rules. Each module exposes:
+
+  NAME     the rule's reporting name (kebab-case)
+  WAIVER   the waiver token accepted in `// simlint: <waiver>` comments
+  run(files) -> [Finding]   files: list of lexer.LexedFile covering
+                            the whole analysis set (rules that match
+                            declarations to out-of-line definitions
+                            need cross-file visibility)
+"""
+
+from collections import namedtuple
+
+Finding = namedtuple("Finding", ["rule", "path", "line", "message"])
+
+from . import checkpoint_coverage, nondeterminism, raw_cycle  # noqa: E402
+
+ALL = [checkpoint_coverage, raw_cycle, nondeterminism]
+BY_NAME = {r.NAME: r for r in ALL}

@@ -1,0 +1,59 @@
+"""checkpoint-coverage: serialized classes must round-trip every field.
+
+For every class/struct that declares BOTH a `serialize` and a
+`restore` method, every non-static data member must be mentioned (by
+name) in the serialize body AND in the restore body. A member that is
+deliberately derived/rebuilt instead of serialized carries a
+`// simlint: transient` waiver on its declaration line.
+
+This is the rule that would have caught the classic checkpoint bug:
+a new field added to MachineCheckpoint, written by capture, silently
+ignored by restore — state that replays differently with no error.
+"""
+
+from .. import model
+
+NAME = "checkpoint-coverage"
+WAIVER = "transient"
+
+
+def run(files):
+    from . import Finding
+
+    findings = []
+
+    # Pass 1: collect all method bodies across the file set (bodies
+    # may be out-of-line in a .cc far from the class definition).
+    bodies = {}
+    for lf in files:
+        for qual, ids in model.method_bodies(lf).items():
+            bodies.setdefault(qual, set()).update(ids)
+
+    # Pass 2: audit every serialize/restore-paired class.
+    for lf in files:
+        for cls in model.classes(lf):
+            if "serialize" not in cls.methods or "restore" not in cls.methods:
+                continue
+            ser = bodies.get(cls.name + "::serialize")
+            res = bodies.get(cls.name + "::restore")
+            if ser is None or res is None:
+                # Declared but no body anywhere in the analysis set
+                # (e.g. an interface); nothing to check.
+                continue
+            for m in cls.members:
+                if lf.waived(m.line, WAIVER):
+                    continue
+                missing = []
+                if m.name not in ser:
+                    missing.append("serialize")
+                if m.name not in res:
+                    missing.append("restore")
+                if missing:
+                    findings.append(Finding(
+                        NAME, lf.path, m.line,
+                        "field '%s::%s' is not touched by %s "
+                        "(serialize/restore must both cover every "
+                        "member, or mark it `// simlint: transient` "
+                        "and rebuild it on restore)"
+                        % (cls.name, m.name, " or ".join(missing))))
+    return findings

@@ -1,0 +1,81 @@
+"""nondeterminism: no ambient entropy in serialized or stat paths.
+
+PTLsim's record/replay and run-to-run determinism tests depend on the
+simulation being a pure function of (config, guest image, seed). Two
+entropy classes break that silently:
+
+  1. wall-clock / libc randomness anywhere in src/:
+     rand, srand, drand48, random_device, std::chrono clocks,
+     gettimeofday, clock_gettime, std::time — everything stochastic
+     must draw from the explicitly seeded generator in lib/rng.h;
+  2. iteration-order-dependent containers (std::unordered_map/set)
+     in serialized or statistics paths (src/sys/, src/stats/):
+     hash-table iteration order varies across libstdc++ versions and
+     ASLR, so serializing or aggregating by iteration produces
+     run-to-run-different checkpoints and stats trees.
+
+Waiver: `// simlint: nondet-ok` on the offending line.
+lib/rng.h itself is exempt (it is the sanctioned entropy source).
+"""
+
+NAME = "nondeterminism"
+WAIVER = "nondet-ok"
+
+EXEMPT_PATH_SUFFIXES = ("lib/rng.h",)
+
+_ENTROPY_IDS = {
+    "rand", "srand", "drand48", "lrand48", "srand48", "rand_r",
+    "random_device", "gettimeofday", "clock_gettime",
+    "system_clock", "steady_clock", "high_resolution_clock",
+}
+
+# std::time / ::time / time(nullptr): only flag `time` when it is
+# unambiguously the libc call — qualified with `::`, or passed the
+# canonical null argument. A member named `time` (TimeKeeper *time)
+# and its constructor-initializer `time(&timekeeper)` stay legal.
+_TIME_CALL_ARGS = {"nullptr", "NULL", "0"}
+
+_UNORDERED_IDS = {"unordered_map", "unordered_set",
+                  "unordered_multimap", "unordered_multiset"}
+
+_UNORDERED_SCOPE = ("src/sys/", "src/stats/")
+
+
+def run(files):
+    from . import Finding
+
+    findings = []
+    for lf in files:
+        if any(lf.path.endswith(s) for s in EXEMPT_PATH_SUFFIXES):
+            continue
+        in_unordered_scope = any(s in lf.path.replace("\\", "/")
+                                 for s in _UNORDERED_SCOPE)
+        toks = lf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.value in _ENTROPY_IDS:
+                if not lf.waived(t.line, WAIVER):
+                    findings.append(Finding(
+                        NAME, lf.path, t.line,
+                        "nondeterministic source '%s' — draw from the "
+                        "seeded Rng in lib/rng.h instead" % t.value))
+            elif (t.value == "time" and i + 1 < len(toks)
+                  and toks[i + 1].value == "("
+                  and ((i > 0 and toks[i - 1].value == "::")
+                       or (i + 2 < len(toks)
+                           and toks[i + 2].value in _TIME_CALL_ARGS))):
+                if not lf.waived(t.line, WAIVER):
+                    findings.append(Finding(
+                        NAME, lf.path, t.line,
+                        "wall-clock time() call — simulated time comes "
+                        "from TimeKeeper, never the host clock"))
+            elif t.value in _UNORDERED_IDS and in_unordered_scope:
+                if not lf.waived(t.line, WAIVER):
+                    findings.append(Finding(
+                        NAME, lf.path, t.line,
+                        "'%s' in a serialized/stat path — hash "
+                        "iteration order is not deterministic across "
+                        "runs; use std::map/std::vector or waive with "
+                        "a comment proving no iteration" % t.value))
+    return findings
