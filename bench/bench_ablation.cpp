@@ -17,6 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/coreapi.h"
+#include "verify/verify.h"
 #include "core/seqcore.h"
 #include "kernel/guestlib.h"
 #include "mem/coherence.h"
@@ -34,7 +35,10 @@ class Rig : public SystemInterface
   public:
     Rig(const SimConfig &config, int ncores)
         : cfg(config), mem(32 << 20, 7, true), aspace(mem),
-          bbcache(aspace, stats), interlocks(stats),
+          bbcache(stats.counter("bbcache/hits"),
+                  stats.counter("bbcache/misses"),
+                  stats.counter("bbcache/smc_invalidations")),
+          interlocks(stats),
           coherence(config.coherence, config.interconnect_latency, stats)
     {
         cr3 = aspace.createRoot();
@@ -76,6 +80,8 @@ class Rig : public SystemInterface
             p.coherence = contexts.size() > 1 ? &coherence : nullptr;
             p.interlocks = &interlocks;
             cores.push_back(createCoreModel(cfg.core, p));
+            cores.back()->attachAuditor(
+                makeVerifyAuditor(cfg, stats, p.prefix));
         }
     }
 

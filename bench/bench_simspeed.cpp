@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/coreapi.h"
+#include "verify/verify.h"
 #include "core/seqcore.h"
 #include "kernel/guestkernel.h"
 #include "kernel/guestlib.h"
@@ -30,7 +31,10 @@ class BareRig : public SystemInterface
   public:
     explicit BareRig(const SimConfig &config)
         : cfg(config), mem(32 << 20, 7, true), aspace(mem),
-          bbcache(aspace, stats), interlocks(stats)
+          bbcache(stats.counter("bbcache/hits"),
+                  stats.counter("bbcache/misses"),
+                  stats.counter("bbcache/smc_invalidations")),
+          interlocks(stats)
     {
         aspace.attachStats(stats);
         cr3 = aspace.createRoot();
@@ -121,6 +125,7 @@ runCore(benchmark::State &state, const char *core_name)
     p.prefix = "core0/";
     p.interlocks = &rig.interlocks;
     std::unique_ptr<CoreModel> core = createCoreModel(core_name, p);
+    core->attachAuditor(makeVerifyAuditor(cfg, rig.stats, p.prefix));
 
     U64 now = 0;
     for (auto _ : state) {
@@ -186,7 +191,8 @@ BM_IdleHeavyMachine(benchmark::State &state)
     cfg.timer_hz = 1000;
     cfg.guest_mem_bytes = 32 << 20;
     Machine machine(cfg);
-    KernelBuilder builder(machine);
+    KernelBuilder builder(machine.addressSpace(), machine.vcpu(0),
+                          machine.timerPeriodCycles());
     Assembler &ua = builder.userAsm();
     GuestLib lib(ua);
     Label entry = ua.newLabel();

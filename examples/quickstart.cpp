@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/coreapi.h"
+#include "verify/verify.h"
 #include "core/seqcore.h"
 #include "xasm/assembler.h"
 
@@ -45,7 +46,9 @@ main()
     PhysMem mem(32 << 20, /*seed=*/1, /*shuffle=*/true);
     AddressSpace aspace(mem);
     StatsTree stats;
-    BasicBlockCache bbcache(aspace, stats);
+    BasicBlockCache bbcache(stats.counter("bbcache/hits"),
+                            stats.counter("bbcache/misses"),
+                            stats.counter("bbcache/smc_invalidations"));
     BareSystem sys(bbcache);
     InterlockController interlocks(stats);
 
@@ -97,6 +100,7 @@ main()
     params.prefix = "core0/";
     params.interlocks = &interlocks;
     auto core = createCoreModel("ooo", params);
+    core->attachAuditor(makeVerifyAuditor(cfg, stats, params.prefix));
 
     U64 cycle = 0;
     while (!core->allIdle() && cycle < 1'000'000)

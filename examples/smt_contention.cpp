@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/coreapi.h"
+#include "verify/verify.h"
 #include "core/seqcore.h"
 #include "xasm/assembler.h"
 
@@ -48,7 +49,9 @@ main()
     PhysMem mem(32 << 20, 3, true);
     AddressSpace aspace(mem);
     StatsTree stats;
-    BasicBlockCache bbcache(aspace, stats);
+    BasicBlockCache bbcache(stats.counter("bbcache/hits"),
+                            stats.counter("bbcache/misses"),
+                            stats.counter("bbcache/smc_invalidations"));
     BareSystem sys(bbcache);
     InterlockController interlocks(stats);
 
@@ -103,6 +106,7 @@ main()
     params.prefix = "core0/";
     params.interlocks = &interlocks;
     auto core = createCoreModel("smt", params);
+    core->attachAuditor(makeVerifyAuditor(cfg, stats, params.prefix));
 
     U64 cycle = 0;
     while (!core->allIdle() && cycle < 100'000'000)

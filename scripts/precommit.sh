@@ -1,0 +1,44 @@
+#!/bin/sh
+# Fast pre-commit gate: simlint over the changed files only, plus a
+# clang-format check of the staged diff. Wire it up once per clone:
+#
+#   git config core.hooksPath scripts/hooks
+#
+# (scripts/hooks/pre-commit just execs this script, so the gate stays
+# versioned with the tree.) Everything here is advisory-fast: simlint
+# reuses the build/simlint-cache index, so a warm run is milliseconds.
+set -u
+
+repo_root=$(git rev-parse --show-toplevel) || exit 2
+cd "$repo_root" || exit 2
+
+fail=0
+
+# ---- simlint over the diff ------------------------------------------
+# Compare against origin/main when the clone has one (the PR base);
+# fall back to HEAD so detached or offline clones still get a gate
+# over their uncommitted work.
+base=origin/main
+git rev-parse --verify --quiet "$base" >/dev/null || base=HEAD
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/simlint.py --diff "$base" src || fail=1
+else
+    echo "precommit: python3 not found; skipping simlint" >&2
+fi
+
+# ---- clang-format over the staged changes ---------------------------
+# Only meaningful when the tree carries a style file; --dry-run
+# -Werror makes any reformat a failure without touching the files.
+if [ -f .clang-format ] && command -v clang-format >/dev/null 2>&1; then
+    staged=$(git diff --cached --name-only --diff-filter=ACMR \
+             -- '*.cc' '*.h' '*.cpp' '*.hpp')
+    if [ -n "$staged" ]; then
+        # shellcheck disable=SC2086
+        clang-format --dry-run -Werror $staged || fail=1
+    fi
+elif ! command -v clang-format >/dev/null 2>&1; then
+    echo "precommit: clang-format not found; skipping format check" >&2
+fi
+
+exit $fail

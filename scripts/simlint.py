@@ -1,6 +1,12 @@
 #!/usr/bin/env python3
 """simlint driver: PTLsim-specific static analysis over src/.
 
+Two-pass: pass 1 builds (or loads from cache) a per-file semantic
+index — includes, classes/members, enums, function bodies, switches,
+event-callback bodies — keyed by content hash under
+build/simlint-cache/; pass 2 runs the rules against the index, so
+warm runs only re-analyze files whose content changed.
+
 Usage:
   scripts/simlint.py [options] [paths...]
 
@@ -9,36 +15,56 @@ Usage:
                .h/.cc/.cpp files.
 
 Options:
-  --rules R1,R2   run only the named rules
-                  (checkpoint-coverage, raw-cycle, nondeterminism)
-  --self-test     run each rule against its golden fixtures under
-                  tools/simlint/fixtures/<rule>/{bad.cc,good.cc};
-                  bad.cc must trip exactly its rule, good.cc must be
-                  clean
-  --summary       print per-rule hit counts after the findings
-                  (markdown table; used for the CI job summary)
+  --rules R1,R2    run only the named rules (see --help-rules below)
+  --diff BASE      report findings only for files changed vs the git
+                   ref BASE (the whole tree is still indexed — rules
+                   are cross-file — but the warm cache makes that
+                   cheap); intended for pre-commit
+  --self-test      run every rule against its golden fixtures under
+                   tools/simlint/fixtures/<rule>/: each bad* fixture
+                   must trip exactly its own rule, each good* fixture
+                   must be clean under ALL rules
+  --summary        print a per-rule findings/timing table plus index
+                   cache statistics (markdown; used for the CI job
+                   summary)
+  --no-cache       bypass the semantic-index cache entirely
+  --cache-dir DIR  cache location (default: build/simlint-cache)
 
-Exit status: 0 clean, 1 findings (or self-test failure), 2 usage.
+Under CI=1 findings are emitted as GitHub workflow annotations
+(::error file=...,line=...::) so they surface inline on PRs; the
+plain `path:line: [rule] message` format is used locally.
 
-Waivers are line-scoped comments:
-  // simlint: transient      checkpoint-coverage (derived state,
-                             rebuilt on restore)
-  // simlint: raw-cycle-ok   raw-cycle
-  // simlint: nondet-ok      nondeterminism
+Rules and waivers (line-scoped `// simlint: <waiver>` comments):
+  layering             layering-ok     module DAG (layers.toml)
+  checkpoint-coverage  transient       serialize/restore field parity
+  stats-coverage       stats-ok        counter registration + snapshot
+  enum-exhaustiveness  enum-ok         switches over registered enums
+  event-discipline     event-ok        EventQueue callback hygiene
+  raw-cycle            raw-cycle-ok    SimCycle/CycleDelta discipline
+  nondeterminism       nondet-ok       entropy / iteration order
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage or
+configuration error.
 """
 
 import argparse
+import glob as globmod
 import os
+import subprocess
 import sys
+import time
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
 
-from simlint import lexer  # noqa: E402
+from simlint import index as index_mod  # noqa: E402
+from simlint import layers as layers_mod  # noqa: E402
 from simlint import rules as rules_pkg  # noqa: E402
 
 SOURCE_EXTS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+LAYERS_TOML = os.path.join(REPO_ROOT, "tools", "simlint", "layers.toml")
+DEFAULT_CACHE_DIR = os.path.join(REPO_ROOT, "build", "simlint-cache")
 
 
 def collect_files(paths):
@@ -54,51 +80,145 @@ def collect_files(paths):
         else:
             print("simlint: no such path: %s" % p, file=sys.stderr)
             sys.exit(2)
-    return sorted(set(out))
+    return sorted(set(os.path.abspath(f) for f in out))
 
 
-def run_rules(rule_mods, files):
-    lexed = [lexer.lex_file(f) for f in files]
-    findings = []
+def build_context(files, repo_root, layers, cache_dir):
+    """Pass 1: index every file (cache-aware). Returns (ctx, stats)."""
+    t0 = time.perf_counter()
+    indexed, hits = [], 0
+    for f in files:
+        rel = os.path.relpath(f, repo_root).replace(os.sep, "/")
+        fi, hit = index_mod.load_or_build(f, rel, cache_dir)
+        hits += hit
+        indexed.append(fi)
+    ms = (time.perf_counter() - t0) * 1e3
+    ctx = rules_pkg.AnalysisContext(files=indexed,
+                                    repo_root=repo_root,
+                                    layers=layers)
+    return ctx, {"files": len(files), "cache_hits": hits,
+                 "index_ms": ms}
+
+
+def run_rules(rule_mods, ctx):
+    """Pass 2. Returns (findings, {rule: ms})."""
+    findings, timings = [], {}
     for mod in rule_mods:
-        findings.extend(mod.run(lexed))
+        t0 = time.perf_counter()
+        findings.extend(mod.run(ctx))
+        timings[mod.NAME] = (time.perf_counter() - t0) * 1e3
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    return findings, timings
 
 
-def self_test(rule_mods):
+def changed_files(base):
+    """Repo-relative paths changed vs `base` (plus untracked)."""
+    def git(*args):
+        return subprocess.run(
+            ("git",) + args, cwd=REPO_ROOT, check=True,
+            stdout=subprocess.PIPE, text=True).stdout.splitlines()
+    try:
+        out = git("diff", "--name-only", base)
+        out += git("ls-files", "--others", "--exclude-standard")
+    except (subprocess.CalledProcessError, OSError) as e:
+        print("simlint: --diff %s: %s" % (base, e), file=sys.stderr)
+        sys.exit(2)
+    return {p.strip().replace(os.sep, "/") for p in out if p.strip()}
+
+
+def print_findings(findings, repo_root):
+    ci = os.environ.get("CI") == "1"
+    for f in findings:
+        rel = os.path.relpath(f.path, repo_root).replace(os.sep, "/")
+        if ci:
+            # GitHub workflow annotation: shows inline on the PR diff.
+            print("::error file=%s,line=%d,title=simlint[%s]::%s"
+                  % (rel, f.line, f.rule, f.message))
+        else:
+            print("%s:%d: [%s] %s" % (rel, f.line, f.rule, f.message))
+
+
+def print_summary(rule_mods, findings, timings, stats):
+    print()
+    print("| rule | findings | time (ms) |")
+    print("| --- | ---: | ---: |")
+    for mod in rule_mods:
+        n = sum(1 for f in findings if f.rule == mod.NAME)
+        print("| %s | %d | %.1f |"
+              % (mod.NAME, n, timings.get(mod.NAME, 0.0)))
+    print("| index (pass 1) | %d files | %.1f |"
+          % (stats["files"], stats["index_ms"]))
+    print("| index cache hits | %d / %d | |"
+          % (stats["cache_hits"], stats["files"]))
+    total = stats["index_ms"] + sum(timings.values())
+    print("| total | | %.1f |" % total)
+
+
+def _fixture_sets(rule_dir):
+    """Yield (kind, root, files) for bad*/good* fixtures: single .cc
+    files or directory trees (used by layering, whose subject is the
+    path structure itself)."""
+    for pattern, kind in (("bad*", "bad"), ("good*", "good")):
+        for p in sorted(globmod.glob(os.path.join(rule_dir, pattern))):
+            if os.path.isdir(p):
+                yield kind, p, collect_files([p])
+            elif p.endswith(SOURCE_EXTS):
+                yield kind, os.path.dirname(p), [os.path.abspath(p)]
+
+
+def self_test(layers):
     fixtures = os.path.join(REPO_ROOT, "tools", "simlint", "fixtures")
     failed = 0
-    for mod in rule_mods:
-        d = os.path.join(fixtures, mod.NAME.replace("-", "_"))
-        bad = os.path.join(d, "bad.cc")
-        good = os.path.join(d, "good.cc")
-        for path, expect_hit in ((bad, True), (good, False)):
-            if not os.path.isfile(path):
-                print("self-test FAIL %s: missing fixture %s"
-                      % (mod.NAME, path))
-                failed += 1
-                continue
-            found = [f for f in run_rules([mod], [path])
-                     if f.rule == mod.NAME]
-            ok = bool(found) == expect_hit
+    for mod in rules_pkg.ALL:
+        rule_dir = os.path.join(fixtures, mod.NAME.replace("-", "_"))
+        sets = list(_fixture_sets(rule_dir))
+        if (not any(k == "bad" for k, _, _ in sets)
+                or not any(k == "good" for k, _, _ in sets)):
+            print("self-test FAIL %s: needs at least one bad and one "
+                  "good fixture in %s" % (mod.NAME, rule_dir))
+            failed += 1
+            continue
+        for kind, root, files in sets:
+            # Index without cache: fixtures are tiny and must never
+            # interact with the tree cache.
+            ctx, _ = build_context(files, root, layers, None)
+            found, _ = run_rules(rules_pkg.ALL, ctx)
+            own = [f for f in found if f.rule == mod.NAME]
+            other = [f for f in found if f.rule != mod.NAME]
+            if kind == "bad":
+                ok = bool(own) and not other
+            else:
+                ok = not found
             tag = "PASS" if ok else "FAIL"
-            print("self-test %s %-20s %-8s (%d findings)"
-                  % (tag, mod.NAME, os.path.basename(path), len(found)))
+            label = os.path.basename(files[0]) if len(files) == 1 \
+                else os.path.basename(root) + "/"
+            print("self-test %s %-20s %-22s (%d own, %d other)"
+                  % (tag, mod.NAME, label, len(own), len(other)))
             if not ok:
                 failed += 1
                 for f in found:
-                    print("    %s:%d: %s" % (f.path, f.line, f.message))
+                    print("    %s:%d: [%s] %s"
+                          % (f.path, f.line, f.rule, f.message))
     return failed
 
 
 def main():
     ap = argparse.ArgumentParser(add_help=True)
     ap.add_argument("--rules", default=None)
+    ap.add_argument("--diff", metavar="BASE", default=None)
     ap.add_argument("--self-test", action="store_true")
     ap.add_argument("--summary", action="store_true")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args()
+
+    try:
+        layers = layers_mod.load(LAYERS_TOML) \
+            if os.path.isfile(LAYERS_TOML) else None
+    except layers_mod.LayerConfigError as e:
+        print("simlint: %s" % e, file=sys.stderr)
+        return 2
 
     if args.rules:
         names = [n.strip() for n in args.rules.split(",")]
@@ -114,7 +234,7 @@ def main():
         rule_mods = rules_pkg.ALL
 
     if args.self_test:
-        failed = self_test(rule_mods)
+        failed = self_test(layers)
         if failed:
             print("simlint self-test: %d case(s) FAILED" % failed)
             return 1
@@ -123,20 +243,20 @@ def main():
 
     paths = args.paths or [os.path.join(REPO_ROOT, "src")]
     files = collect_files(paths)
-    findings = run_rules(rule_mods, files)
+    cache_dir = None if args.no_cache else args.cache_dir
+    ctx, stats = build_context(files, REPO_ROOT, layers, cache_dir)
+    findings, timings = run_rules(rule_mods, ctx)
 
-    for f in findings:
-        rel = os.path.relpath(f.path, REPO_ROOT)
-        print("%s:%d: [%s] %s" % (rel, f.line, f.rule, f.message))
+    if args.diff:
+        changed = changed_files(args.diff)
+        findings = [
+            f for f in findings
+            if os.path.relpath(f.path, REPO_ROOT).replace(os.sep, "/")
+            in changed]
 
+    print_findings(findings, REPO_ROOT)
     if args.summary:
-        print()
-        print("| rule | findings |")
-        print("| --- | ---: |")
-        for mod in rule_mods:
-            n = sum(1 for f in findings if f.rule == mod.NAME)
-            print("| %s | %d |" % (mod.NAME, n))
-        print("| files analyzed | %d |" % len(files))
+        print_summary(rule_mods, findings, timings, stats)
 
     if findings:
         print("simlint: %d finding(s) in %d file(s)"

@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "lib/logging.h"
-#include "verify/verify.h"
+#include "mem/transcache.h"
 
 #ifndef PTL_VERIFY
 #define PTL_VERIFY 1

@@ -14,6 +14,7 @@
 #ifndef PTLSIM_CORE_CONTEXT_H_
 #define PTLSIM_CORE_CONTEXT_H_
 
+#include "decode/bbcache.h"
 #include "mem/pagetable.h"
 #include "uop/uop.h"
 #include "uop/uopexec.h"
@@ -141,6 +142,52 @@ GuestCopy guestCopyOut(AddressSpace &aspace, const Context &ctx, U64 va,
 /** Fill a guest-virtual range with one byte value. */
 GuestCopy guestFill(AddressSpace &aspace, const Context &ctx, U64 va,
                     U8 value, size_t len);
+
+/**
+ * Adapter giving the decode-layer basic block cache (which cannot see
+ * Context or AddressSpace — layering) a window onto guest code: the
+ * cache pulls bytes and frame numbers through the CodeSource
+ * interface it owns, and this class implements it with the vcpu's
+ * translation context. Stack-allocate around each get() call; holds
+ * non-owning pointers only.
+ */
+class ContextCodeSource final : public CodeSource
+{
+  public:
+    ContextCodeSource(AddressSpace &as, const Context &c)
+        : aspace(&as), ctx(&c)
+    {
+    }
+
+    U64 rip() const override { return ctx->rip; }
+    bool kernelMode() const override { return ctx->kernel_mode; }
+
+    GuestFault
+    translateExec(U64 va, U64 *mfn) const override
+    {
+        GuestAccess a = guestTranslate(*aspace, *ctx, va,
+                                       MemAccess::Execute);
+        if (!a.ok())
+            return a.fault;
+        *mfn = pageOf(a.paddr);
+        return GuestFault::None;
+    }
+
+    size_t
+    fetchCode(U64 va, U8 *dst, size_t len, U64 *first_mfn,
+              GuestFault *fault) const override
+    {
+        GuestCopy g = guestCopyIn(*aspace, *ctx, dst, va, len,
+                                  MemAccess::Execute);
+        *first_mfn = pageOf(g.first_paddr);
+        *fault = g.fault;
+        return g.copied;
+    }
+
+  private:
+    AddressSpace *aspace;
+    const Context *ctx;
+};
 
 /**
  * Hooks microcode (assists) uses to reach the rest of the machine:

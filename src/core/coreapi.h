@@ -41,11 +41,45 @@ struct CoreBuildParams
     InterlockController *interlocks = nullptr;
 };
 
+class OooCore;
+
+/**
+ * An external per-cycle auditor of a core's microarchitectural state.
+ * The concrete implementation (src/verify's InvariantChecker) lives
+ * *above* the core layer; the core only holds this interface, so the
+ * dependency points downward: verify implements a core-owned contract
+ * instead of the core reaching up into the verification subsystem.
+ * Whoever assembles the machine (src/sys, or a test harness) decides
+ * whether to attach one.
+ */
+class CoreAuditor
+{
+  public:
+    virtual ~CoreAuditor() = default;
+
+    /** Audit one core's pipeline state; returns violations found. */
+    virtual int checkCore(const OooCore &core, SimCycle now) = 0;
+
+    /** Audit the coherence directory across all registered peers. */
+    virtual int checkCoherence(const CoherenceController &coherence,
+                               SimCycle now) = 0;
+};
+
 /** One simulated physical core (may host multiple SMT threads). */
 class CoreModel
 {
   public:
     virtual ~CoreModel() = default;
+
+    /**
+     * Hand the core an auditor to run on its per-cycle verify hook.
+     * Passing nullptr detaches. Models without a verify hook ignore
+     * the attachment (the default).
+     */
+    virtual void attachAuditor(std::unique_ptr<CoreAuditor> auditor)
+    {
+        (void)auditor;
+    }
 
     /** Advance the core by one clock cycle. */
     virtual void cycle(SimCycle now) = 0;

@@ -24,8 +24,15 @@ classLatency(const SimConfig &cfg, UopClass cls)
       case UopClass::IntDiv: return cfg.lat_div;
       case UopClass::Fpu: return cfg.lat_fp;
       case UopClass::FpDiv: return cfg.lat_div;
-      default: return 1;
+      // Memory and control classes get their latency from the cache
+      // hierarchy / branch redirect paths, not the execution unit.
+      case UopClass::Load: return 1;
+      case UopClass::Store: return 1;
+      case UopClass::Branch: return 1;
+      case UopClass::Fence: return 1;
+      case UopClass::AssistOp: return 1;
     }
+    return 1;
 }
 
 }  // namespace

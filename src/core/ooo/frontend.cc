@@ -35,7 +35,8 @@ OooCore::stageFetch(SimCycle now)
             Context fctx = *t.ctx;
             fctx.rip = t.fetch_rip;
             GuestFault ff = GuestFault::None;
-            const BasicBlock *bb = bbcache->get(fctx, &ff);
+            ContextCodeSource code(*aspace, fctx);
+            const BasicBlock *bb = bbcache->get(code, &ff);
             if (!bb) {
                 // Speculative fetch fault: carried by a pseudo-uop and
                 // delivered precisely if/when it reaches commit.

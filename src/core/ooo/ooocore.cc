@@ -4,7 +4,6 @@
 #include <cstdlib>
 
 #include "lib/logging.h"
-#include "verify/verify.h"
 
 #ifndef PTL_VERIFY
 #define PTL_VERIFY 1
@@ -137,12 +136,9 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
         }
     }
 
-    // Per-cycle invariant checker (src/verify). Runtime opt-in via the
-    // `verify` config flag or PTLSIM_VERIFY=1; the per-cycle call site
-    // is additionally compiled out entirely when PTL_VERIFY=OFF.
-    if (cfg.verify || std::getenv("PTLSIM_VERIFY") != nullptr)
-        verifier = std::make_unique<InvariantChecker>(
-            *stats, params.prefix, InvariantChecker::Action::Panic);
+    // The per-cycle invariant auditor (if any) arrives later via
+    // attachAuditor(): whoever assembles the machine decides, so this
+    // core never depends on the verification layer above it.
 }
 
 OooCore::~OooCore() = default;

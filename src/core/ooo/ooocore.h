@@ -69,15 +69,22 @@ class OooCore : public CoreModel
     std::string name() const override { return smt ? "smt" : "ooo"; }
     std::string debugState() const override;
 
+    /** Accept (or detach, with nullptr) the per-cycle auditor. */
+    void
+    attachAuditor(std::unique_ptr<CoreAuditor> auditor) override
+    {
+        verifier = std::move(auditor);
+    }
+
     /** Invariant check: every interlock owned by this core's threads
      *  must be held by a live LSQ entry. panic()s on an orphan. */
     void validateInterlocks() const;
 
     /**
-     * Run the embedded invariant checker once (ROB/LSQ/PRF/issue
-     * queues, plus the coherence directory when multi-core). Returns
-     * the violation count, or 0 when no checker is attached (the
-     * `verify` config flag is off). Panics on the first violation.
+     * Run the attached auditor once (ROB/LSQ/PRF/issue queues, plus
+     * the coherence directory when multi-core). Returns the violation
+     * count, or 0 when no auditor is attached (the `verify` config
+     * flag is off). Panics on the first violation.
      */
     int verifyNow(SimCycle now);
 
@@ -259,8 +266,8 @@ class OooCore : public CoreModel
     int core_id = 0;
     static int next_core_id;
 
-    /** Per-cycle invariant checker (verify=1; see src/verify). */
-    std::unique_ptr<InvariantChecker> verifier;
+    /** Per-cycle auditor attached by the machine (verify=1). */
+    std::unique_ptr<CoreAuditor> verifier;
     /** Lockstep reference compare is only sound when this core's
      *  commits are the sole writers of guest memory (no SMT siblings,
      *  no coherence peers); otherwise the per-uop replay checker

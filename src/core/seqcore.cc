@@ -52,7 +52,8 @@ FunctionalEngine::peekUop()
     if (!cur_bb || uop_idx >= cur_bb->uops.size()
         || bb_generation != bbcache->generation()) {
         GuestFault ff = GuestFault::None;
-        cur_bb = bbcache->get(*ctx, &ff);
+        ContextCodeSource code(*aspace, *ctx);
+        cur_bb = bbcache->get(code, &ff);
         uop_idx = 0;
         bb_generation = bbcache->generation();
         if (!cur_bb)
@@ -104,7 +105,8 @@ FunctionalEngine::stepInsn(SimCycle now)
     if (!cur_bb || uop_idx >= cur_bb->uops.size()
         || bb_generation != bbcache->generation()) {
         GuestFault ff = GuestFault::None;
-        cur_bb = bbcache->get(*ctx, &ff);
+        ContextCodeSource code(*aspace, *ctx);
+        cur_bb = bbcache->get(code, &ff);
         uop_idx = 0;
         bb_generation = bbcache->generation();
         if (!cur_bb) {

@@ -4,33 +4,33 @@
 
 namespace ptl {
 
-BasicBlockCache::BasicBlockCache(AddressSpace &addrspace, StatsTree &stats)
-    : aspace(&addrspace),
-      st_hits(stats.counter("bbcache/hits")),
-      st_misses(stats.counter("bbcache/misses")),
-      st_smc_invalidations(stats.counter("bbcache/smc_invalidations"))
+BasicBlockCache::BasicBlockCache(Counter &hits, Counter &misses,
+                                 Counter &smc_invalidations)
+    : st_hits(hits),
+      st_misses(misses),
+      st_smc_invalidations(smc_invalidations)
 {
 }
 
 const BasicBlock *
-BasicBlockCache::get(const Context &ctx, GuestFault *fault)
+BasicBlockCache::get(const CodeSource &code, GuestFault *fault)
 {
     *fault = GuestFault::None;
     // The key needs the starting MFN: translate the first byte.
-    GuestAccess first =
-        guestTranslate(*aspace, ctx, ctx.rip, MemAccess::Execute);
-    if (!first.ok()) {
-        *fault = first.fault;
+    U64 mfn_first = 0;
+    GuestFault tf = code.translateExec(code.rip(), &mfn_first);
+    if (tf != GuestFault::None) {
+        *fault = tf;
         return nullptr;
     }
-    Key key{ctx.rip, pageOf(first.paddr), ctx.kernel_mode};
+    Key key{code.rip(), mfn_first, code.kernelMode()};
     auto it = blocks.find(key);
     if (it != blocks.end()) {
         st_hits++;
         return it->second.get();
     }
     st_misses++;
-    std::unique_ptr<BasicBlock> bb = decode(ctx, fault);
+    std::unique_ptr<BasicBlock> bb = decode(code, fault);
     if (!bb)
         return nullptr;
     BasicBlock *raw = bb.get();
@@ -46,24 +46,25 @@ BasicBlockCache::get(const Context &ctx, GuestFault *fault)
 }
 
 std::unique_ptr<BasicBlock>
-BasicBlockCache::decode(const Context &ctx, GuestFault *fault)
+BasicBlockCache::decode(const CodeSource &code, GuestFault *fault)
 {
     auto bb = std::make_unique<BasicBlock>();
-    bb->rip = ctx.rip;
-    bb->kernel = ctx.kernel_mode;
+    bb->rip = code.rip();
+    bb->kernel = code.kernelMode();
 
     Translator translator(bb->uops);
-    U64 rip = ctx.rip;
+    U64 rip = code.rip();
     for (int i = 0; i < MAX_BB_X86_INSNS; i++) {
         // Gather up to 15 bytes, stopping at an unmapped page.
         U8 bytes[MAX_X86_INSN_BYTES];
-        GuestCopy g = guestCopyIn(*aspace, ctx, bytes, rip,
-                                  MAX_X86_INSN_BYTES, MemAccess::Execute);
-        size_t avail = g.copied;
+        U64 first_mfn = 0;
+        GuestFault copy_fault = GuestFault::None;
+        size_t avail = code.fetchCode(rip, bytes, MAX_X86_INSN_BYTES,
+                                      &first_mfn, &copy_fault);
         if (avail == 0) {
             // Even the first byte is unfetchable.
             if (i == 0) {
-                *fault = g.fault;
+                *fault = copy_fault;
                 return nullptr;
             }
             // Mid-block: close the block; the fault (if ever reached)
@@ -78,7 +79,7 @@ BasicBlockCache::decode(const Context &ctx, GuestFault *fault)
             return bb;
         }
         if (i == 0)
-            bb->mfn_lo = pageOf(g.first_paddr);
+            bb->mfn_lo = first_mfn;
 
         X86Insn insn = decodeX86(bytes, avail, rip);
         if (!insn.valid && insn.length == 0 && avail < MAX_X86_INSN_BYTES) {
@@ -91,10 +92,10 @@ BasicBlockCache::decode(const Context &ctx, GuestFault *fault)
 
         BbEnd end = translator.translate(insn);
         U64 end_byte_rip = rip + (insn.length ? insn.length - 1 : 0);
-        GuestAccess last = guestTranslate(*aspace, ctx, end_byte_rip,
-                                          MemAccess::Execute);
-        if (last.ok())
-            bb->mfn_hi = pageOf(last.paddr);
+        U64 end_mfn = 0;
+        if (code.translateExec(end_byte_rip, &end_mfn)
+            == GuestFault::None)
+            bb->mfn_hi = end_mfn;
         rip = insn.nextRip();
         bb->x86_count++;
 

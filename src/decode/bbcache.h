@@ -22,15 +22,50 @@
 #include <unordered_set>
 #include <vector>
 
-#include "core/context.h"
 #include "decode/translate.h"
-#include "stats/stats.h"
+#include "lib/counter.h"
+#include "uop/uopexec.h"
 
 namespace ptl {
 
 /** Upper bounds on block size (PTLsim-like). */
 constexpr int MAX_BB_X86_INSNS = 16;
 constexpr size_t MAX_BB_UOPS = 48;
+
+/**
+ * Where the cache reads guest code from. The decoder sits below the
+ * machine layers, so it cannot see Context or AddressSpace; instead
+ * the owner of those (core/context.h's ContextCodeSource) implements
+ * this interface and the cache stays a pure decode-layer citizen.
+ * Frame numbers (MFNs) key the self-modifying-code index.
+ */
+class CodeSource
+{
+  public:
+    virtual ~CodeSource() = default;
+
+    /** Fetch virtual address of the block's first instruction. */
+    virtual U64 rip() const = 0;
+
+    /** Privilege context bit baked into the cache key. */
+    virtual bool kernelMode() const = 0;
+
+    /**
+     * Translate one code byte at `va` for execute access. On success
+     * returns GuestFault::None and sets *mfn to the byte's machine
+     * frame number; on failure returns the fault.
+     */
+    virtual GuestFault translateExec(U64 va, U64 *mfn) const = 0;
+
+    /**
+     * Copy up to `len` code bytes starting at `va` into `dst`,
+     * stopping at an unmapped page. Returns the number of bytes
+     * copied; sets *first_mfn to the frame of the first byte (when
+     * any byte copied) and *fault to the stopping fault (when short).
+     */
+    virtual size_t fetchCode(U64 va, U8 *dst, size_t len,
+                             U64 *first_mfn, GuestFault *fault) const = 0;
+};
 
 /** A translated basic block. */
 struct BasicBlock
@@ -48,14 +83,17 @@ struct BasicBlock
 class BasicBlockCache
 {
   public:
-    BasicBlockCache(AddressSpace &aspace, StatsTree &stats);
+    /** Counters come from StatsTree::counter("bbcache/..."); the
+     *  cache itself never sees the tree (layering). */
+    BasicBlockCache(Counter &hits, Counter &misses,
+                    Counter &smc_invalidations);
 
     /**
-     * Find or decode the block starting at ctx.rip under ctx's
+     * Find or decode the block starting at code.rip() under code's
      * translation context. Returns nullptr with *fault set if the
      * first instruction byte cannot be fetched.
      */
-    const BasicBlock *get(const Context &ctx, GuestFault *fault);
+    const BasicBlock *get(const CodeSource &code, GuestFault *fault);
 
     /** A store touched machine frame `mfn`: drop every block it backs
      *  (self-modifying code). Returns the number invalidated. */
@@ -94,10 +132,9 @@ class BasicBlockCache
         }
     };
 
-    std::unique_ptr<BasicBlock> decode(const Context &ctx,
+    std::unique_ptr<BasicBlock> decode(const CodeSource &code,
                                        GuestFault *fault);
 
-    AddressSpace *aspace;
     std::unordered_map<Key, std::unique_ptr<BasicBlock>, KeyHash> blocks;
     std::unordered_map<U64, std::unordered_set<const BasicBlock *>>
         mfn_index;

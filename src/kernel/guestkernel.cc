@@ -1,5 +1,6 @@
 #include "kernel/guestkernel.h"
 
+#include "kernel/hypercalls.h"
 #include "lib/logging.h"
 
 namespace ptl {
@@ -20,8 +21,10 @@ namespace ptl {
  *    returns in rax, and preserves all other registers.
  */
 
-KernelBuilder::KernelBuilder(Machine &m)
-    : machine(&m), user_asm(USER_TEXT_VA)
+KernelBuilder::KernelBuilder(AddressSpace &as, Context &v0,
+                             U64 timer_period_cycles)
+    : aspace(&as), vcpu0(&v0), timer_period(timer_period_cycles),
+      user_asm(USER_TEXT_VA)
 {
 }
 
@@ -35,7 +38,7 @@ KernelBuilder::setInitTask(U64 entry, U64 arg)
 void
 KernelBuilder::buildAddressSpace()
 {
-    AddressSpace &as = machine->addressSpace();
+    AddressSpace &as = *aspace;
     base_cr3 = as.createRoot();
     // Kernel regions: supervisor-only.
     as.mapRange(base_cr3, KERNEL_TEXT_VA, KERNEL_TEXT_BYTES, Pte::RW);
@@ -64,7 +67,7 @@ KernelBuilder::buildKernelData()
     Context kctx;
     kctx.cr3 = base_cr3;
     kctx.kernel_mode = true;
-    AddressSpace &as = machine->addressSpace();
+    AddressSpace &as = *aspace;
     auto store = [&](U64 va, U64 value) {
         GuestAccess a = guestWrite(as, kctx, va, 8, value);
         ptl_assert(a.ok());
@@ -72,9 +75,7 @@ KernelBuilder::buildKernelData()
 
     store(KDATA_VA + KD_CURRENT, 0);
     store(KDATA_VA + KD_JIFFIES, 0);
-    U64 period = machine->timeKeeper().frequency()
-                 / machine->config().timer_hz;
-    store(KDATA_VA + KD_TIMER_PERIOD, period);
+    store(KDATA_VA + KD_TIMER_PERIOD, timer_period);
     store(KDATA_VA + KD_TICKS_SEEN, 0);
 
     for (int t = 0; t < MAX_TASKS; t++) {
@@ -774,7 +775,7 @@ KernelBuilder::build()
     Context kctx;
     kctx.cr3 = base_cr3;
     kctx.kernel_mode = true;
-    AddressSpace &as = machine->addressSpace();
+    AddressSpace &as = *aspace;
     auto write_image = [&](U64 va, const std::vector<U8> &image) {
         GuestCopy g = guestCopyOut(as, kctx, va, image.data(),
                                    image.size());
@@ -789,7 +790,7 @@ KernelBuilder::build()
     write_image(USER_TEXT_VA, user_image);
 
     // Initial VCPU state: kernel boot entry, events masked.
-    Context &ctx = machine->vcpu(0);
+    Context &ctx = *vcpu0;
     ctx.cr3 = task_cr3[0];
     ctx.kernel_mode = true;
     ctx.rip = boot_entry_va;

@@ -29,21 +29,27 @@
 
 #include <memory>
 
+#include "core/context.h"
 #include "kernel/guestabi.h"
-#include "sys/machine.h"
+#include "mem/pagetable.h"
 #include "xasm/assembler.h"
 
 namespace ptl {
 
 /**
  * Builds the kernel image, page tables, kernel data structures and
- * initial VCPU state inside a Machine's guest memory (the role Xen's
- * domain builder plays for paravirtual guests).
+ * initial VCPU state inside a machine's guest memory (the role Xen's
+ * domain builder plays for paravirtual guests). It deliberately takes
+ * only what it writes — the address space, boot VCPU, and the timer
+ * period to plant in kernel data — not the whole Machine, so the
+ * kernel layer never depends on the machine assembly layer above it
+ * (callers pass machine.timerPeriodCycles() for the period).
  */
 class KernelBuilder
 {
   public:
-    explicit KernelBuilder(Machine &machine);
+    KernelBuilder(AddressSpace &aspace, Context &vcpu0,
+                  U64 timer_period_cycles);
 
     /** Assembler positioned at USER_TEXT_VA: user programs go here. */
     Assembler &userAsm() { return user_asm; }
@@ -55,9 +61,9 @@ class KernelBuilder
     void setUserDataBytes(U64 bytes) { user_data_bytes = bytes; }
 
     /**
-     * Construct everything and set VCPU 0 to the kernel boot entry.
-     * After this, machine.finalizeCores() + machine.run() boots the
-     * guest.
+     * Construct everything and set the boot VCPU to the kernel boot
+     * entry. After this, machine.finalizeCores() + machine.run()
+     * boots the guest.
      */
     void build();
 
@@ -69,7 +75,9 @@ class KernelBuilder
     void buildKernelData();
     void emitKernel(Assembler &a);
 
-    Machine *machine;
+    AddressSpace *aspace;
+    Context *vcpu0;
+    U64 timer_period;
     Assembler user_asm;
     U64 init_entry = 0;
     U64 init_arg = 0;

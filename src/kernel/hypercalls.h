@@ -1,17 +1,21 @@
 /**
  * @file
- * The guest <-> hypervisor ABI: hypercall numbers and ptlcall ops.
+ * The guest <-> hypervisor ABI: hypercall numbers, ptlcall ops, and
+ * the well-known event-port assignments.
  *
  * Shared by the hypervisor model (src/sys) and the guest kernel
- * builder (src/kernel). Hypercalls are issued from guest kernel mode
+ * builder (src/kernel). It lives in the kernel module -- below the
+ * machine-assembly layer -- because both sides of the paravirtual
+ * interface must agree on these numbers, exactly like Xen's public
+ * ABI headers. Hypercalls are issued from guest kernel mode
  * via the 0f 34 paravirtual gate with the number in rax and arguments
  * in rdi/rsi/rdx (result in rax); this mirrors how Xen paravirtual
  * guests "make hypercalls into the hypervisor to request services that
  * cannot be easily or quickly virtualized" (Section 3).
  */
 
-#ifndef PTLSIM_SYS_HYPERCALLS_H_
-#define PTLSIM_SYS_HYPERCALLS_H_
+#ifndef PTLSIM_KERNEL_HYPERCALLS_H_
+#define PTLSIM_KERNEL_HYPERCALLS_H_
 
 #include "lib/bitops.h"
 
@@ -51,6 +55,16 @@ enum PtlcallOp : U64 {
     PTLCALL_COMMAND = 6,           ///< rdi = VA of a command string
 };
 
+constexpr int MAX_EVENT_PORTS = 64;
+
+/** Well-known event ports used by the kernel/hypervisor pair. */
+enum EventPort : int {
+    PORT_TIMER = 0,
+    PORT_DISK = 1,
+    PORT_NET_BASE = 2,     ///< one port per network endpoint (2..)
+    PORT_USER_BASE = 16,   ///< dynamically allocated
+};
+
 }  // namespace ptl
 
-#endif  // PTLSIM_SYS_HYPERCALLS_H_
+#endif  // PTLSIM_KERNEL_HYPERCALLS_H_

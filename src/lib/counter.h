@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The statistics event counter.
+ *
+ * Counter lives in lib/ (layer 1), below the StatsTree that owns
+ * counter storage (stats/, layer 3), so that low-layer modules — the
+ * decoder's basic-block cache, for instance — can hold `Counter &`
+ * handles without depending on the statistics tree itself. Handles
+ * are handed out by StatsTree::counter() and stay valid for the
+ * tree's lifetime.
+ */
+
+#ifndef PTLSIM_LIB_COUNTER_H_
+#define PTLSIM_LIB_COUNTER_H_
+
+#include "lib/bitops.h"
+
+namespace ptl {
+
+/** A single monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void add(U64 n) { _value += n; }
+    Counter &operator+=(U64 n) { _value += n; return *this; }
+    Counter &operator++() { ++_value; return *this; }
+    void operator++(int) { ++_value; }
+
+    U64 value() const { return _value; }
+
+  private:
+    U64 _value = 0;
+};
+
+}  // namespace ptl
+
+#endif  // PTLSIM_LIB_COUNTER_H_

@@ -132,6 +132,25 @@ class TranslationCache
     Counter *c_shadow = nullptr;
 };
 
+class AddressSpace;
+enum class MemAccess : U8;
+enum class GuestFault : U8;
+
+/**
+ * PTL_VERIFY shadow mode for this cache: on every cached hit,
+ * guestTranslate() re-runs the uncached 4-level walk and panics
+ * unless the cached outcome — fault kind, machine-physical address,
+ * and the claimed leaf Dirty state — is byte-identical to what the
+ * walker produces. Declared here (the layer that owns the cache) so
+ * the functional path never depends on src/verify; the checking
+ * implementation lives in verify/invariant.cc. Runtime-gated by
+ * setShadowEnabled() (default on), compiled out when PTL_VERIFY=OFF.
+ */
+void verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
+                             MemAccess kind, bool user_mode,
+                             GuestFault cached_fault, U64 cached_paddr,
+                             bool entry_dirty);
+
 }  // namespace ptl
 
 #endif  // PTLSIM_MEM_TRANSCACHE_H_

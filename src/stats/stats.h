@@ -23,25 +23,9 @@
 #include <vector>
 
 #include "lib/bitops.h"
+#include "lib/counter.h"
 
 namespace ptl {
-
-/** A single monotonically increasing event counter. */
-class Counter
-{
-  public:
-    Counter() = default;
-
-    void add(U64 n) { _value += n; }
-    Counter &operator+=(U64 n) { _value += n; return *this; }
-    Counter &operator++() { ++_value; return *this; }
-    void operator++(int) { ++_value; }
-
-    U64 value() const { return _value; }
-
-  private:
-    U64 _value = 0;
-};
 
 /** One snapshot: the cycle it was taken at plus all counter values. */
 struct StatsSnapshot

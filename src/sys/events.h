@@ -16,21 +16,12 @@
 #include <vector>
 
 #include "core/context.h"
+#include "kernel/hypercalls.h"
 #include "lib/logging.h"
 #include "stats/stats.h"
 #include "sys/eventq.h"
 
 namespace ptl {
-
-constexpr int MAX_EVENT_PORTS = 64;
-
-/** Well-known ports used by the kernel/hypervisor pair. */
-enum EventPort : int {
-    PORT_TIMER = 0,
-    PORT_DISK = 1,
-    PORT_NET_BASE = 2,     ///< one port per network endpoint (2..)
-    PORT_USER_BASE = 16,   ///< dynamically allocated
-};
 
 /**
  * Per-domain event channel state. Cycle-keyed deliveries live on the

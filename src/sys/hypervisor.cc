@@ -103,7 +103,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
       case HC_vcpu_count:
         return (U64)events->vcpuCount();
       default:
-        warn("unknown hypercall %llu", (unsigned long long)nr);
+        ptl_warn_once("unknown hypercall %llu", (unsigned long long)nr);
         return HC_ERROR;
     }
 }
@@ -172,7 +172,7 @@ Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
         return 0;
       }
       default:
-        warn("unknown ptlcall op %llu", (unsigned long long)op);
+        ptl_warn_once("unknown ptlcall op %llu", (unsigned long long)op);
         return HC_ERROR;
     }
 }

@@ -20,7 +20,7 @@
 #include "decode/bbcache.h"
 #include "sys/devices.h"
 #include "sys/events.h"
-#include "sys/hypercalls.h"
+#include "kernel/hypercalls.h"
 #include "sys/timekeeper.h"
 
 namespace ptl {

@@ -1,6 +1,7 @@
 #include "sys/machine.h"
 
 #include "lib/logging.h"
+#include "verify/verify.h"
 
 namespace ptl {
 
@@ -19,7 +20,10 @@ Machine::Machine(const SimConfig &config)
                                         cfg.shuffle_mfns);
     aspace = std::make_unique<AddressSpace>(*physmem);
     aspace->attachStats(stats_tree);
-    bbcache = std::make_unique<BasicBlockCache>(*aspace, stats_tree);
+    bbcache = std::make_unique<BasicBlockCache>(
+        stats_tree.counter("bbcache/hits"),
+        stats_tree.counter("bbcache/misses"),
+        stats_tree.counter("bbcache/smc_invalidations"));
 
     std::vector<Context *> vcpu_ptrs;
     for (int i = 0; i < cfg.vcpu_count; i++) {
@@ -109,6 +113,10 @@ Machine::finalizeCores()
         params.coherence = coherence.get();
         params.interlocks = interlock_ctrl.get();
         cores.push_back(createCoreModel(cfg.core, params));
+        // Verification is opt-in wiring done here, at machine assembly,
+        // so the core layer itself never depends on src/verify.
+        cores.back()->attachAuditor(
+            makeVerifyAuditor(cfg, stats_tree, params.prefix));
     }
 }
 

@@ -63,6 +63,10 @@ class Machine
     Context &vcpu(int i) { return *contexts[i]; }
     int vcpuCount() const { return (int)contexts.size(); }
 
+    /** Guest timer tick period in core cycles (freq / timer_hz) —
+     *  the value the domain builder plants in kernel data. */
+    U64 timerPeriodCycles() const { return time.frequency() / cfg.timer_hz; }
+
     /** Native-mode functional engine for VCPU i (profiling hooks for
      *  the reference-machine trials attach here). */
     FunctionalEngine &nativeEngine(int i) { return *native_engines[i]; }

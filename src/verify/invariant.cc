@@ -12,6 +12,7 @@
 #include "verify/verify.h"
 
 #include <cstdarg>
+#include <cstdlib>
 #include <vector>
 
 #include "core/ooo/ooocore.h"
@@ -66,6 +67,16 @@ InvariantChecker::InvariantChecker(StatsTree &stats,
                                    const std::string &prefix, Action act)
     : vstats(stats, prefix), action(act)
 {
+}
+
+std::unique_ptr<CoreAuditor>
+makeVerifyAuditor(const SimConfig &cfg, StatsTree &stats,
+                  const std::string &prefix)
+{
+    if (!cfg.verify && std::getenv("PTLSIM_VERIFY") == nullptr)
+        return nullptr;
+    return std::make_unique<InvariantChecker>(
+        stats, prefix, InvariantChecker::Action::Panic);
 }
 
 /**

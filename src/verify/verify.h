@@ -38,16 +38,15 @@
 #ifndef PTLSIM_VERIFY_VERIFY_H_
 #define PTLSIM_VERIFY_VERIFY_H_
 
+#include <memory>
 #include <string>
 
+#include "core/coreapi.h"
 #include "lib/bitops.h"
 #include "mem/pagetable.h"
 #include "stats/stats.h"
 
 namespace ptl {
-
-class OooCore;
-class CoherenceController;
 
 /** Structured counter group: one counter per invariant family. */
 struct VerifyStats
@@ -72,7 +71,7 @@ struct VerifyStats
  * optionally, the machine's coherence directory). Stateless between
  * calls apart from its counters.
  */
-class InvariantChecker
+class InvariantChecker final : public CoreAuditor
 {
   public:
     /** What to do when a violation is found. */
@@ -90,11 +89,11 @@ class InvariantChecker
      * number of violations found this pass (always 0 in Panic mode,
      * which does not return on a violation).
      */
-    int checkCore(const OooCore &core, SimCycle now);
+    int checkCore(const OooCore &core, SimCycle now) override;
 
     /** Audit the MOESI directory across all registered peers. */
     int checkCoherence(const CoherenceController &coherence,
-                       SimCycle now);
+                       SimCycle now) override;
 
     VerifyStats &counters() { return vstats; }
 
@@ -104,18 +103,19 @@ class InvariantChecker
 };
 
 /**
- * PTL_VERIFY shadow mode for the functional translation cache
- * (src/mem/transcache.h): on every cached hit, guestTranslate()
- * re-runs the uncached 4-level walk and panics unless the cached
- * outcome — fault kind, machine-physical address, and the claimed
- * leaf Dirty state — is byte-identical to what the walker produces.
- * Runtime-gated by TranslationCache::setShadowEnabled() (default on),
- * compiled out entirely when PTL_VERIFY=OFF.
+ * Standard wiring used by the machine and the test harnesses: build a
+ * Panic-mode InvariantChecker when the config (or the PTLSIM_VERIFY
+ * environment variable) opts in, nullptr otherwise. The result is
+ * handed to CoreModel::attachAuditor(), which accepts nullptr.
  */
-void verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
-                             MemAccess kind, bool user_mode,
-                             GuestFault cached_fault, U64 cached_paddr,
-                             bool entry_dirty);
+std::unique_ptr<CoreAuditor> makeVerifyAuditor(const SimConfig &cfg,
+                                               StatsTree &stats,
+                                               const std::string &prefix);
+
+// The translation-cache shadow-walk checker verifyCachedTranslation()
+// is declared in mem/transcache.h (the layer that owns the cache) and
+// implemented in verify/invariant.cc, so the functional memory path
+// never includes src/verify headers.
 
 /**
  * Test-only access: deliberately corrupt core state so the test suite

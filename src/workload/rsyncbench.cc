@@ -2,7 +2,7 @@
 
 #include "kernel/guestlib.h"
 #include "lib/logging.h"
-#include "sys/hypercalls.h"
+#include "kernel/hypercalls.h"
 
 namespace ptl {
 
@@ -1312,7 +1312,9 @@ RsyncBench::RsyncBench(const SimConfig &config, const FileSetParams &files)
     SimConfig cfg = config;
     cfg.guest_mem_bytes = std::max<U64>(cfg.guest_mem_bytes, 96ULL << 20);
     machine_ = std::make_unique<Machine>(cfg);
-    builder_ = std::make_unique<KernelBuilder>(*machine_);
+    builder_ = std::make_unique<KernelBuilder>(
+        machine_->addressSpace(), machine_->vcpu(0),
+        machine_->timerPeriodCycles());
     builder_->setUserDataBytes(0x2000000);   // 32 MB: archives + meta
 
     if (files_.old_archive.size() > 0x800000

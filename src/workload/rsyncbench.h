@@ -41,6 +41,7 @@
 #include <memory>
 
 #include "kernel/guestkernel.h"
+#include "sys/machine.h"
 #include "workload/fileset.h"
 
 namespace ptl {

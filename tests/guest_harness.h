@@ -13,6 +13,7 @@
 
 #include "core/seqcore.h"
 #include "lib/logging.h"
+#include "verify/verify.h"
 #include "xasm/assembler.h"
 
 namespace ptl {
@@ -64,7 +65,10 @@ class GuestRunner
     static constexpr U64 STACK_TOP = 0x800000;
 
     GuestRunner()
-        : mem(32 << 20, 7, true), aspace(mem), bbcache(aspace, stats),
+        : mem(32 << 20, 7, true), aspace(mem),
+          bbcache(stats.counter("bbcache/hits"),
+                  stats.counter("bbcache/misses"),
+                  stats.counter("bbcache/smc_invalidations")),
           sys(bbcache)
     {
         aspace.attachStats(stats);
@@ -146,7 +150,10 @@ class CoreRunner
 
     explicit CoreRunner(const SimConfig &config, int vcpus = 1)
         : cfg(config), mem(32 << 20, 7, true), aspace(mem),
-          bbcache(aspace, stats), sys(bbcache), interlocks(stats)
+          bbcache(stats.counter("bbcache/hits"),
+                  stats.counter("bbcache/misses"),
+                  stats.counter("bbcache/smc_invalidations")),
+          sys(bbcache), interlocks(stats)
     {
         aspace.attachStats(stats);
         cr3 = aspace.createRoot();
@@ -195,6 +202,7 @@ class CoreRunner
         p.prefix = "core0/";
         p.interlocks = &interlocks;
         core = createCoreModel(cfg.core, p);
+        core->attachAuditor(makeVerifyAuditor(cfg, stats, p.prefix));
     }
 
     /** Run until every VCPU blocks (hlt) or max_cycles pass. */

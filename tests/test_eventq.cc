@@ -176,7 +176,8 @@ struct BootedMachine
 {
     BootedMachine(const SimConfig &cfg,
                   void (*user_code)(Assembler &, GuestLib &))
-        : machine(cfg), builder(machine)
+        : machine(cfg), builder(machine.addressSpace(), machine.vcpu(0),
+                                machine.timerPeriodCycles())
     {
         Assembler &ua = builder.userAsm();
         GuestLib lib(ua);

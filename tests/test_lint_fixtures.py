@@ -1,0 +1,94 @@
+"""CTest entry for the simlint golden fixtures and the index cache.
+
+Part 1 runs the driver's --self-test: every rule must ship at least
+one bad and one good fixture, each bad fixture must trip exactly its
+own rule, and each good fixture must be clean under ALL rules.
+
+Part 2 proves the pass-1 cache is correct, not just fast:
+
+  - a cold load_or_build() populates the cache (miss),
+  - an identical reload is served from the cache (hit) with facts
+    equal to the cold build,
+  - editing the file invalidates the entry (content hash changes) and
+    the re-built index reflects the edit.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from simlint import index as index_mod  # noqa: E402
+
+
+def run_self_test():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "scripts", "simlint.py"),
+         "--self-test"],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        print("FAIL: simlint --self-test exited %d" % proc.returncode)
+        return 1
+    return 0
+
+
+def run_cache_test():
+    failures = 0
+
+    def check(cond, what):
+        nonlocal failures
+        print("%s cache: %s" % ("ok  " if cond else "FAIL", what))
+        if not cond:
+            failures += 1
+
+    tmp = tempfile.mkdtemp(prefix="simlint-cache-test-")
+    try:
+        src = os.path.join(tmp, "widget.cc")
+        cache = os.path.join(tmp, "cache")
+        with open(src, "w") as f:
+            f.write('#include "lib/bitops.h"\n'
+                    'enum class UopClass : unsigned char { IntAlu };\n')
+
+        cold, hit = index_mod.load_or_build(src, "widget.cc", cache)
+        check(not hit, "first build is a miss")
+        check(os.listdir(cache), "miss populated the cache directory")
+
+        warm, hit = index_mod.load_or_build(src, "widget.cc", cache)
+        check(hit, "unchanged reload is a hit")
+        check(warm.to_data() == cold.to_data(),
+              "cached facts identical to the cold build")
+
+        with open(src, "a") as f:
+            f.write('#include "sys/machine.h"\n')
+        edited, hit = index_mod.load_or_build(src, "widget.cc", cache)
+        check(not hit, "edited file is re-analyzed (hash changed)")
+        check(any(inc == "sys/machine.h" for _, inc in edited.includes),
+              "re-built index reflects the edit")
+
+        rewarm, hit = index_mod.load_or_build(src, "widget.cc", cache)
+        check(hit, "re-analyzed entry is cached again")
+        check(rewarm.to_data() == edited.to_data(),
+              "round-tripped facts identical after the edit")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return failures
+
+
+def main():
+    failed = run_self_test()
+    failed += run_cache_test()
+    if failed:
+        print("test_lint_fixtures: %d failure(s)" % failed)
+        return 1
+    print("test_lint_fixtures: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,12 +80,14 @@ TEST(BbCache, KeyedByPrivilegeContext)
     a.hlt();
     g.load(a);
     GuestFault f;
-    const BasicBlock *kernel_bb = g.bbcache.get(g.ctx, &f);
+    ContextCodeSource kcode(g.aspace, g.ctx);
+    const BasicBlock *kernel_bb = g.bbcache.get(kcode, &f);
     ASSERT_NE(kernel_bb, nullptr);
     EXPECT_TRUE(kernel_bb->kernel);
     Context uctx = g.ctx;
     uctx.kernel_mode = false;
-    const BasicBlock *user_bb = g.bbcache.get(uctx, &f);
+    ContextCodeSource ucode(g.aspace, uctx);
+    const BasicBlock *user_bb = g.bbcache.get(ucode, &f);
     ASSERT_NE(user_bb, nullptr);
     EXPECT_NE(kernel_bb, user_bb);
     EXPECT_FALSE(user_bb->kernel);
@@ -104,7 +106,8 @@ TEST(BbCache, PageCrossingInstructionTracksBothFrames)
     g.writeGuest(start, image.data(), image.size());
     g.ctx.rip = start;
     GuestFault f;
-    const BasicBlock *bb = g.bbcache.get(g.ctx, &f);
+    ContextCodeSource code(g.aspace, g.ctx);
+    const BasicBlock *bb = g.bbcache.get(code, &f);
     ASSERT_NE(bb, nullptr);
     EXPECT_NE(bb->mfn_lo, bb->mfn_hi);  // spans two machine frames
     // Executing it works.

@@ -232,7 +232,8 @@ TEST(Native, DeviceTraceRecordsDiskDma)
     cfg.core_freq_hz = 10'000'000;
     cfg.guest_mem_bytes = 32 << 20;
     Machine machine(cfg);
-    KernelBuilder builder(machine);
+    KernelBuilder builder(machine.addressSpace(), machine.vcpu(0),
+                          machine.timerPeriodCycles());
     Assembler &ua = builder.userAsm();
     GuestLib lib(ua);
     Label entry = ua.newLabel(), skip = ua.newLabel();
@@ -268,7 +269,8 @@ TEST(Native, DeviceTraceRecordsDiskDma)
 
     // Replay injects the same DMA + event into a fresh domain image.
     Machine replay_machine(cfg);
-    KernelBuilder rb(replay_machine);
+    KernelBuilder rb(replay_machine.addressSpace(), replay_machine.vcpu(0),
+                     replay_machine.timerPeriodCycles());
     rb.userAsm().hlt();
     rb.setInitTask(USER_TEXT_VA, 0);
     rb.build();

@@ -12,6 +12,7 @@
 #include "kernel/guestkernel.h"
 #include "kernel/guestlib.h"
 #include "lib/rng.h"
+#include "sys/machine.h"
 
 namespace ptl {
 namespace {
@@ -87,7 +88,8 @@ TEST(Kernel, GuestCrashReportsAndShutsDown)
     cfg.core_freq_hz = 10'000'000;
     cfg.guest_mem_bytes = 32 << 20;
     Machine machine(cfg);
-    KernelBuilder builder(machine);
+    KernelBuilder builder(machine.addressSpace(), machine.vcpu(0),
+                          machine.timerPeriodCycles());
     Assembler &ua = builder.userAsm();
     // User program dereferences an unmapped address.
     ua.movImm64(R::rbx, 0xDEAD00000000ULL);

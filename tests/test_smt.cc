@@ -166,7 +166,11 @@ class MultiCoreRig
   public:
     MultiCoreRig(int ncores, CoherenceKind kind)
         : cfg(SimConfig::preset("k8")), mem(32 << 20, 7, true),
-          aspace(mem), bbcache(aspace, stats), sys(bbcache),
+          aspace(mem),
+          bbcache(stats.counter("bbcache/hits"),
+                  stats.counter("bbcache/misses"),
+                  stats.counter("bbcache/smc_invalidations")),
+          sys(bbcache),
           interlocks(stats),
           coherence(kind, cfg.interconnect_latency, stats)
     {
@@ -215,6 +219,8 @@ class MultiCoreRig
             p.coherence = &coherence;
             p.interlocks = &interlocks;
             cores.push_back(createCoreModel("ooo", p));
+            cores.back()->attachAuditor(
+                makeVerifyAuditor(cfg, stats, p.prefix));
         }
     }
 

@@ -1,0 +1,28 @@
+// Golden NEGATIVE fixture for enum-exhaustiveness: one switch hides
+// missing enumerators behind a silent default, another simply omits
+// them. Both must be reported.
+enum class UopClass : unsigned char { IntAlu, Load, Store, Fence };
+
+enum Hypercall : unsigned long {
+    HC_console_write = 1,
+    HC_set_timer = 2,
+};
+
+int
+classLatency(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::IntAlu: return 1;
+      case UopClass::Load: return 4;
+      default: return 1;   // silent: Store and Fence fall through here
+    }
+}
+
+unsigned long
+dispatch(unsigned long nr)
+{
+    switch ((Hypercall)nr) {   // no default at all: HC_set_timer lost
+      case HC_console_write: return 0;
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Golden POSITIVE fixture for enum-exhaustiveness: a fully covered
+// switch, a guarded default, and an explicitly waived partial table.
+enum class UopClass : unsigned char { IntAlu, Load };
+
+enum Hypercall : unsigned long {
+    HC_console_write = 1,
+    HC_set_timer = 2,
+};
+
+int
+classLatency(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::IntAlu: return 1;
+      case UopClass::Load: return 4;
+    }
+    return 1;
+}
+
+unsigned long
+dispatch(unsigned long nr, unsigned long a1)
+{
+    switch ((Hypercall)nr) {
+      case HC_console_write: return a1;
+      default:
+        ptl_warn_once("unknown hypercall");
+        return 0;
+    }
+}
+
+int
+partialTable(UopClass cls)
+{
+    switch (cls) {  // simlint: enum-ok (deliberately partial demo)
+      case UopClass::IntAlu: return 3;
+    }
+    return 1;
+}

@@ -1,0 +1,20 @@
+// Golden NEGATIVE fixture for event-discipline: a periodic callback
+// that re-enters the dispatch loop and re-arms itself without keeping
+// the returned handle. Both must be reported.
+struct Replayer
+{
+    void
+    arm(EventQueue &eventq)
+    {
+        handle = eventq.schedule(period, [this, &eventq] {
+            deliver();
+            eventq.runDue(64);               // re-entrant dispatch
+            eventq.schedule(period, [] {});  // discarded EventHandle
+        });
+    }
+
+    void deliver();
+
+    EventHandle handle;
+    CycleDelta period;
+};

@@ -1,0 +1,10 @@
+// Golden NEGATIVE fixture for layering: a memory-layer header reaching
+// UP into the machine-assembly layer, plus an undeclared same-layer
+// edge into the branch module. Both edges must be reported.
+#include "branch/predictor.h"
+#include "sys/machine.h"
+
+struct MemWidget
+{
+    int order = 0;
+};

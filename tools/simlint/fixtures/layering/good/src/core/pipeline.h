@@ -1,0 +1,11 @@
+// Golden POSITIVE fixture for layering: a core-layer header using only
+// strictly lower layers (uop, mem, lib) and its own module.
+#include "core/context.h"
+#include "lib/simtime.h"
+#include "mem/hierarchy.h"
+#include "uop/uops.h"
+
+struct CorePipeline
+{
+    int width = 4;
+};

@@ -1,0 +1,12 @@
+// Golden POSITIVE fixture for layering: downward includes, a declared
+// same-layer edge (sys -> verify), and system headers (never edges).
+#include <vector>
+
+#include "lib/bitops.h"
+#include "mem/pagetable.h"
+#include "verify/verify.h"
+
+struct SysOverview
+{
+    int cores = 1;
+};

@@ -1,0 +1,9 @@
+// Regression fixture for raw-cycle: string literals are opaque data.
+// Stamp-like text inside a (multiline raw) string — documentation,
+// golden logs — must never reach the scanner.
+const char *kHelp = R"(usage:
+  -stopcycle <n>    stop when U64 now = <n>
+  a deadline = ~0ULL in a trace line means never
+)";
+
+const char *kPlain = "legacy field: U64 due = 5";

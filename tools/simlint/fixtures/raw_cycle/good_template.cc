@@ -1,0 +1,19 @@
+// Regression fixture for raw-cycle: template parameter lists declare
+// compile-time constants, not cycle-stamp variables, even when their
+// names look stampy. simlint must report nothing.
+#include "lib/simtime.h"
+
+using namespace ptl;
+
+template <U64 stall_until = 0, uint64_t ready_cycle = 1>
+struct Backoff
+{
+    SimCycle due;
+};
+
+template <typename T, U64 deadline>
+T
+clampAt(T v)
+{
+    return v;
+}

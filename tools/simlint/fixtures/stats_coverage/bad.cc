@@ -1,0 +1,35 @@
+// Golden NEGATIVE fixture for stats-coverage: one counter member is
+// never bound to a StatsTree (clause a), and one raw accumulator is
+// missing from both the snapshot and reset paths (clause b).
+#include "stats/stats.h"
+
+class CacheStats
+{
+  public:
+    explicit CacheStats(StatsTree &stats)
+        : hits(stats.counter("cache/hits"))
+    {
+    }
+
+  private:
+    Counter &hits;
+    Counter &misses;   // never bound anywhere: reads zero forever
+};
+
+class Accum
+{
+  public:
+    void takeSnapshot() { last_ops = ops; }
+
+    void
+    reset()
+    {
+        ops = 0;
+        last_ops = 0;
+    }
+
+  private:
+    U64 ops = 0;
+    U64 last_ops = 0;
+    U64 retired = 0;   // in neither takeSnapshot nor reset
+};

@@ -1,0 +1,38 @@
+// Golden POSITIVE fixture for stats-coverage: every counter bound
+// (directly or forwarded through a constructor parameter), every raw
+// accumulator in both snapshot and reset, one member waived.
+#include "stats/stats.h"
+
+class CacheStats
+{
+  public:
+    CacheStats(StatsTree &stats, Counter &shared)
+        : hits(stats.counter("cache/hits")),
+          misses(stats.counter("cache/misses")),
+          evictions(shared)
+    {
+    }
+
+  private:
+    Counter &hits;
+    Counter &misses;
+    Counter &evictions;   // forwarded reference: bound by the caller
+};
+
+class Accum
+{
+  public:
+    void takeSnapshot() { last_ops = ops; }
+
+    void
+    reset()
+    {
+        ops = 0;
+        last_ops = 0;
+    }
+
+  private:
+    U64 ops = 0;
+    U64 last_ops = 0;
+    U64 scratch = 0;  // simlint: stats-ok (transient working value)
+};

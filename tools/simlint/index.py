@@ -1,0 +1,534 @@
+"""Semantic index: pass 1 of the two-pass analyzer.
+
+Pass 1 walks every file once and distills it into a FileIndex — a
+JSON-serializable bundle of exactly the structural facts the rules
+consume:
+
+  includes     quoted #include edges (line, header path)
+  classes      class/struct defs with member (name, line, type) lists
+               and declared method names
+  enums        named enum defs with their enumerator lists
+  bodies       "Class::method" -> identifier set (ctor initializer
+               lists included)
+  binds        "Class::method" -> member names bound through a
+               StatsTree (init-list entries / assignments whose
+               right-hand side calls .counter(...), plus single-id
+               reference forwarding)
+  switches     switch statements: subject ids, case label texts and
+               trailing ids, default presence + whether the default
+               body contains a guard (ptl_assert/ptl_warn_once/...)
+  int_decls    raw-integer declarations of cycle-stamp-named
+               variables, with an in-template flag
+  never_stmts  ~0ULL-style sentinels and the stamp id (if any) in the
+               enclosing statement
+  watch        occurrences of WATCHLIST identifiers with one token of
+               context on each side (entropy sources, unordered
+               containers, time)
+  callbacks    lambda bodies passed to EventQueue::schedule/sendAt:
+               the calls they make and any re-arming schedule calls
+               (with whether the returned handle is kept)
+  waivers      line -> `// simlint: <name>` waiver names
+
+Pass 2 (the rules) never touches tokens again, so a file's index can
+be cached by content hash under build/simlint-cache/ and reused until
+the file changes. INDEX_VERSION is part of the cache key: bump it
+whenever the extraction or the WATCHLIST changes.
+"""
+
+import hashlib
+import json
+import os
+
+from . import lexer, model
+
+INDEX_VERSION = 1
+
+# Identifiers whose every occurrence is recorded with context.
+# nondeterminism (and any future rule keying on bare identifiers)
+# matches against these; extend here and bump INDEX_VERSION.
+WATCHLIST = frozenset({
+    # libc / C++ entropy and wall-clock sources
+    "rand", "srand", "drand48", "lrand48", "srand48", "rand_r",
+    "random_device", "gettimeofday", "clock_gettime",
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "time",
+    # iteration-order-dependent containers
+    "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset",
+})
+
+# A switch default body counts as guarded when it names one of these.
+GUARD_IDS = frozenset({
+    "ptl_assert", "ptl_warn_once", "fatal", "panic", "abort",
+    "assert", "__builtin_unreachable",
+})
+
+# Calls whose lambda arguments are event-queue callbacks.
+SCHEDULE_IDS = frozenset({"schedule", "sendAt"})
+
+_FIELDS = ("includes", "classes", "enums", "bodies", "binds",
+           "switches", "int_decls", "never_stmts", "watch",
+           "callbacks", "waivers")
+
+_INCLUDE_PREFIX = "#include"
+
+
+def _jsonify(x):
+    """Recursively map tuples to lists (what json.dump does anyway)."""
+    if isinstance(x, (list, tuple)):
+        return [_jsonify(v) for v in x]
+    if isinstance(x, dict):
+        return {k: _jsonify(v) for k, v in x.items()}
+    return x
+
+
+class FileIndex:
+    """Per-file semantic facts; see module docstring for the schema."""
+
+    def __init__(self, path, rel, sha, data):
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.sha = sha
+        for f in _FIELDS:
+            setattr(self, f, data[f])
+
+    def waived(self, line, name):
+        return name in self.waivers.get(line, ())
+
+    def to_data(self):
+        # Canonical (JSON-shaped) form: tuples become lists and sets
+        # become sorted lists, so a freshly built index and one loaded
+        # back from the cache serialize identically.
+        d = {f: _jsonify(getattr(self, f)) for f in _FIELDS}
+        d["bodies"] = {q: sorted(ids) for q, ids in self.bodies.items()}
+        d["binds"] = {q: sorted(ns) for q, ns in self.binds.items()}
+        d["waivers"] = {str(ln): sorted(ns)
+                        for ln, ns in self.waivers.items()}
+        return d
+
+    @classmethod
+    def from_data(cls, path, rel, sha, data):
+        data = dict(data)
+        data["bodies"] = {q: set(v) for q, v in data["bodies"].items()}
+        data["binds"] = {q: set(v) for q, v in data["binds"].items()}
+        data["waivers"] = {int(ln): set(v)
+                           for ln, v in data["waivers"].items()}
+        data["includes"] = [tuple(x) for x in data["includes"]]
+        data["int_decls"] = [tuple(x) for x in data["int_decls"]]
+        data["never_stmts"] = [tuple(x) for x in data["never_stmts"]]
+        data["watch"] = [tuple(x) for x in data["watch"]]
+        return cls(path, rel, sha, data)
+
+
+# ---------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------
+
+def _match_paren(toks, i):
+    """toks[i] is '('; return the index of its matching ')'."""
+    depth = 0
+    while i < len(toks):
+        v = toks[i].value
+        if v == "(":
+            depth += 1
+        elif v == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks) - 1
+
+
+def _includes(toks):
+    out = []
+    for t in toks:
+        if t.kind == "pp" and t.value.lstrip("# \t").startswith("include"):
+            rest = t.value.split("include", 1)[1].strip()
+            if rest.startswith('"') and rest.count('"') >= 2:
+                out.append((t.line, rest.split('"')[1]))
+    return out
+
+
+def _enums(toks):
+    out = []
+    i = 0
+    while i < len(toks):
+        if toks[i].kind == "id" and toks[i].value == "enum":
+            j = i + 1
+            if j < len(toks) and toks[j].value in ("class", "struct"):
+                j += 1
+            if j < len(toks) and toks[j].kind == "id":
+                name, line = toks[j].value, toks[j].line
+                k = j + 1
+                while k < len(toks) and toks[k].value not in ("{", ";"):
+                    k += 1
+                if k < len(toks) and toks[k].value == "{":
+                    end = model._match_brace(toks, k)
+                    enumerators, depth, expect = [], 0, True
+                    for x in toks[k + 1 : end - 1]:
+                        v = x.value
+                        if v in ("(", "[", "{"):
+                            depth += 1
+                        elif v in (")", "]", "}"):
+                            depth -= 1
+                        elif depth == 0 and v == ",":
+                            expect = True
+                        elif depth == 0 and expect and x.kind == "id":
+                            enumerators.append(v)
+                            expect = False
+                    out.append({"name": name, "line": line,
+                                "enumerators": enumerators})
+                    i = end
+                    continue
+        i += 1
+    return out
+
+
+def _switches(toks):
+    out = []
+    i = 0
+    while i < len(toks):
+        if (toks[i].kind == "id" and toks[i].value == "switch"
+                and i + 1 < len(toks) and toks[i + 1].value == "("):
+            line = toks[i].line
+            close = _match_paren(toks, i + 1)
+            subject_ids = [t.value for t in toks[i + 2 : close]
+                           if t.kind == "id"]
+            b = close + 1
+            if b < len(toks) and toks[b].value == "{":
+                end = model._match_brace(toks, b)
+                body = toks[b + 1 : end - 1]
+                labels, label_ids = [], []
+                has_default, default_guarded = False, False
+                depth, m = 0, 0
+                while m < len(body):
+                    t = body[m]
+                    v = t.value
+                    if v == "{":
+                        depth += 1
+                    elif v == "}":
+                        depth -= 1
+                    elif depth == 0 and t.kind == "id" and v == "case":
+                        lab = []
+                        m += 1
+                        while m < len(body) and body[m].value != ":":
+                            lab.append(body[m])
+                            m += 1
+                        labels.append("".join(x.value for x in lab))
+                        ids = [x.value for x in lab if x.kind == "id"]
+                        if ids:
+                            label_ids.append(ids[-1])
+                        continue
+                    elif depth == 0 and t.kind == "id" and v == "default":
+                        has_default = True
+                        m2 = m + 1
+                        while m2 < len(body) and body[m2].value != ":":
+                            m2 += 1
+                        d, m3, seg = 0, m2 + 1, []
+                        while m3 < len(body):
+                            vv = body[m3].value
+                            if vv == "{":
+                                d += 1
+                            elif vv == "}":
+                                d -= 1
+                            elif (d == 0 and body[m3].kind == "id"
+                                  and vv in ("case", "default")):
+                                break
+                            seg.append(body[m3])
+                            m3 += 1
+                        default_guarded = any(
+                            x.kind == "id" and x.value in GUARD_IDS
+                            for x in seg)
+                        m = m3
+                        continue
+                    m += 1
+                out.append({"line": line, "subject_ids": subject_ids,
+                            "labels": labels, "label_ids": label_ids,
+                            "has_default": has_default,
+                            "default_guarded": default_guarded})
+                # Do NOT jump past the body: nested switches are found
+                # by the continuing scan (their labels sit at depth>0
+                # of this body, so they were not miscounted above).
+        i += 1
+    return out
+
+
+def _template_spans(toks):
+    """Token-index spans [lo, hi] of template<...> parameter lists."""
+    spans = []
+    i = 0
+    while i < len(toks):
+        if (toks[i].kind == "id" and toks[i].value == "template"
+                and i + 1 < len(toks) and toks[i + 1].value == "<"):
+            depth, j = 0, i + 1
+            while j < len(toks):
+                v = toks[j].value
+                if v == "<":
+                    depth += 1
+                elif v == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif v == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                elif v in ("{", ";"):
+                    break  # mis-nested: bail, span ends here
+                j += 1
+            spans.append((i, j))
+            i = j
+        i += 1
+    return spans
+
+
+_STAMP_SUFFIXES = ("_cycle", "_due", "_deadline", "_until", "_stamp")
+_STAMP_EXACT = {"now", "cycle", "due", "deadline"}
+_INT_TYPES = {"U64", "uint64_t", "U32", "uint32_t", "S64", "int64_t",
+              "size_t", "int", "long", "unsigned"}
+_DECL_FOLLOWERS = {";", "=", ",", ")", "{", "[", ":"}
+
+
+def is_stamp_name(name):
+    return name in _STAMP_EXACT or name.endswith(_STAMP_SUFFIXES)
+
+
+def _scan_stream(toks):
+    """One pass for int_decls, never_stmts and watch occurrences."""
+    spans = _template_spans(toks)
+
+    def in_template(i):
+        return any(lo <= i <= hi for lo, hi in spans)
+
+    int_decls, never_stmts, watch = [], [], []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind == "id":
+            if (t.value in _INT_TYPES and i + 1 < n
+                    and toks[i + 1].kind == "id"
+                    and is_stamp_name(toks[i + 1].value)
+                    and (i + 2 >= n
+                         or toks[i + 2].value in _DECL_FOLLOWERS)):
+                int_decls.append((toks[i + 1].line, t.value,
+                                  toks[i + 1].value,
+                                  bool(in_template(i + 1))))
+            if t.value in WATCHLIST:
+                prev = toks[i - 1].value if i > 0 else None
+                nxt = toks[i + 1].value if i + 1 < n else None
+                nxt2 = toks[i + 2].value if i + 2 < n else None
+                watch.append((t.line, t.value, prev, nxt, nxt2))
+        elif (t.value == "~" and i + 1 < n and toks[i + 1].kind == "num"
+              and toks[i + 1].value.lower() in ("0ull", "0ul")):
+            lo = i
+            while lo > 0 and toks[lo].value not in (";", "{", "}"):
+                lo -= 1
+            hi = i
+            while hi < n - 1 and toks[hi].value not in (";", "{"):
+                hi += 1
+            stamp = next((x.value for x in toks[lo:hi]
+                          if x.kind == "id" and is_stamp_name(x.value)),
+                         None)
+            never_stmts.append((t.line, stamp))
+    return int_decls, never_stmts, watch
+
+
+def _callback_facts(line, body):
+    """Facts about one lambda body passed to schedule()/sendAt()."""
+    calls, rearms = [], []
+    n = len(body)
+    for i, t in enumerate(body):
+        if not (t.kind == "id" and i + 1 < n
+                and body[i + 1].value == "("):
+            continue
+        prev = body[i - 1].value if i > 0 else None
+        if t.value in SCHEDULE_IDS:
+            # Re-arm: is the returned handle kept? Look backwards in
+            # the same statement for '=' / 'return' / 'auto'.
+            lo = i
+            while lo > 0 and body[lo - 1].value not in (";", "{", "}"):
+                lo -= 1
+            kept = any(x.value in ("=", "return", "auto")
+                       for x in body[lo:i])
+            rearms.append((t.line, bool(kept)))
+        elif prev != "::":
+            calls.append((t.line, t.value, prev in (".", "->")))
+    return {"line": line, "calls": calls, "rearms": rearms}
+
+
+def _callbacks(toks):
+    out = []
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if (t.kind == "id" and t.value in SCHEDULE_IDS
+                and i + 1 < len(toks) and toks[i + 1].value == "("):
+            close = _match_paren(toks, i + 1)
+            args = toks[i + 2 : close]
+            m = 0
+            while m < len(args):
+                if args[m].value == "[":
+                    d, e = 0, m
+                    while e < len(args):
+                        if args[e].value == "[":
+                            d += 1
+                        elif args[e].value == "]":
+                            d -= 1
+                            if d == 0:
+                                break
+                        e += 1
+                    p = e + 1
+                    if p < len(args) and args[p].value == "(":
+                        p = _match_paren(args, p) + 1
+                    while (p < len(args)
+                           and args[p].value not in ("{", ",")):
+                        p += 1
+                    if p < len(args) and args[p].value == "{":
+                        bend = model._match_brace(args, p)
+                        out.append(_callback_facts(
+                            t.line, args[p:bend]))
+                        m = bend
+                        continue
+                m += 1
+            i = close + 1
+            continue
+        i += 1
+    return out
+
+
+def _binds(units):
+    """Map "Class::method" -> member names bound through a StatsTree.
+
+    A bind is an init-list entry / call `name(args)` or `name{args}`
+    whose args mention the id `counter` (i.e. stats.counter(...)), an
+    assignment `name = ... counter(...) ...`, or a single-identifier
+    forwarding entry `name(other_ref)` (constructor parameter
+    forwarding — over-collects, but only Counter-typed members ever
+    consult this table).
+    """
+    out = {}
+    for qual, unit in units:
+        names = set()
+        n = len(unit)
+        for i, t in enumerate(unit):
+            if (t.kind == "id" and t.value != "counter" and i + 1 < n
+                    and unit[i + 1].value in ("(", "{")):
+                open_v = unit[i + 1].value
+                close_v = ")" if open_v == "(" else "}"
+                d, j = 0, i + 1
+                while j < n:
+                    v = unit[j].value
+                    if v == open_v:
+                        d += 1
+                    elif v == close_v:
+                        d -= 1
+                        if d == 0:
+                            break
+                    j += 1
+                inner = unit[i + 2 : j]
+                if any(x.kind == "id" and x.value == "counter"
+                       for x in inner):
+                    names.add(t.value)
+                elif (open_v == "(" and len(inner) == 1
+                      and inner[0].kind == "id"):
+                    names.add(t.value)
+        # Assignments: split on ';', look for `name = ... counter (`.
+        stmt = []
+        for t in unit:
+            if t.value == ";":
+                _assign_binds(stmt, names)
+                stmt = []
+            else:
+                stmt.append(t)
+        _assign_binds(stmt, names)
+        if names:
+            out.setdefault(qual, set()).update(names)
+    return out
+
+
+def _assign_binds(stmt, names):
+    has_counter = any(
+        t.kind == "id" and t.value == "counter"
+        and i + 1 < len(stmt) and stmt[i + 1].value == "("
+        for i, t in enumerate(stmt))
+    if not has_counter:
+        return
+    for i, t in enumerate(stmt):
+        if t.value == "=" and i > 0 and stmt[i - 1].kind == "id":
+            names.add(stmt[i - 1].value)
+
+
+def build(path, rel, sha=None, text=None):
+    if text is None:
+        with open(path, "rb") as f:
+            raw = f.read()
+        text = raw.decode("utf-8", errors="replace")
+        if sha is None:
+            sha = hashlib.sha256(raw).hexdigest()
+    elif sha is None:
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    lf = lexer.LexedFile(path, text)
+    toks = lf.tokens
+    units = list(model.function_units(lf))
+    bodies = {}
+    for qual, unit in units:
+        bodies.setdefault(qual, set()).update(
+            t.value for t in unit if t.kind == "id")
+    int_decls, never_stmts, watch = _scan_stream(toks)
+    data = {
+        "includes": _includes(toks),
+        "classes": [
+            {"name": c.name, "line": c.line,
+             "members": [(m.name, m.line, m.type) for m in c.members],
+             "methods": c.methods}
+            for c in model.classes(lf)],
+        "enums": _enums(toks),
+        "bodies": bodies,
+        "binds": _binds(units),
+        "switches": _switches(toks),
+        "int_decls": int_decls,
+        "never_stmts": never_stmts,
+        "watch": watch,
+        "callbacks": _callbacks(toks),
+        "waivers": {ln: set(ns) for ln, ns in lf.waivers.items()},
+    }
+    return FileIndex(path, rel, sha, data)
+
+
+# ---------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------
+
+def _cache_path(cache_dir, rel):
+    safe = rel.replace("\\", "/").replace("/", "__")
+    return os.path.join(cache_dir, safe + ".json")
+
+
+def load_or_build(path, rel, cache_dir=None):
+    """Return (FileIndex, cache_hit)."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    sha = hashlib.sha256(raw).hexdigest()
+    cpath = _cache_path(cache_dir, rel) if cache_dir else None
+    if cpath and os.path.isfile(cpath):
+        try:
+            with open(cpath, "r", encoding="utf-8") as f:
+                blob = json.load(f)
+            if (blob.get("version") == INDEX_VERSION
+                    and blob.get("sha") == sha):
+                return (FileIndex.from_data(path, rel, sha,
+                                            blob["data"]), True)
+        except (ValueError, OSError, KeyError, TypeError):
+            pass  # corrupt/stale cache entry: rebuild below
+    fi = build(path, rel, sha=sha,
+               text=raw.decode("utf-8", errors="replace"))
+    if cpath:
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            tmp = cpath + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump({"version": INDEX_VERSION, "sha": sha,
+                           "data": fi.to_data()}, f)
+            os.replace(tmp, cpath)
+        except OSError:
+            pass  # cache is best-effort
+    return fi, False

@@ -1,0 +1,92 @@
+"""Loader/validator for tools/simlint/layers.toml (the module DAG).
+
+Returns a dict the layering rule consumes:
+
+  rank    module -> layer index (0 = bottom)
+  allow   set of (from_module, to_module) declared same-layer edges
+  path    the config file path (for error reporting)
+
+Raises LayerConfigError on a malformed config — unknown modules in
+`allow`, duplicate module assignment, or an `allow` edge that is not
+same-layer (upward edges can never be declared legal; downward ones
+are implicitly legal and declaring them is a sign of confusion).
+
+Python >= 3.11 parses via tomllib; older interpreters fall back to a
+tiny literal-eval reader that understands exactly the subset this
+file uses (arrays of arrays of strings under [layers]).
+"""
+
+import ast
+import re
+
+
+class LayerConfigError(Exception):
+    pass
+
+
+def _parse_toml(path):
+    try:
+        import tomllib
+    except ImportError:
+        tomllib = None
+    if tomllib is not None:
+        with open(path, "rb") as f:
+            return tomllib.load(f)
+    # Fallback: the arrays in this file are valid Python literals.
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    text = re.sub(r"#[^\n]*", "", text)
+    out = {}
+    for key in ("order", "allow"):
+        m = re.search(key + r"\s*=\s*(\[)", text)
+        if not m:
+            continue
+        i = m.start(1)
+        depth, j = 0, i
+        while j < len(text):
+            if text[j] == "[":
+                depth += 1
+            elif text[j] == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        out[key] = ast.literal_eval(text[i : j + 1])
+    return {"layers": out}
+
+
+def load(path):
+    data = _parse_toml(path)
+    layers = data.get("layers", {})
+    order = layers.get("order")
+    if not order or not isinstance(order, list):
+        raise LayerConfigError("%s: missing [layers] order" % path)
+    rank = {}
+    for i, group in enumerate(order):
+        for mod in group:
+            if mod in rank:
+                raise LayerConfigError(
+                    "%s: module '%s' assigned to two layers"
+                    % (path, mod))
+            rank[mod] = i
+    allow = set()
+    for edge in layers.get("allow", []):
+        if len(edge) != 2:
+            raise LayerConfigError(
+                "%s: malformed allow edge %r" % (path, edge))
+        src, dst = edge
+        if src not in rank or dst not in rank:
+            raise LayerConfigError(
+                "%s: allow edge %s -> %s names an undeclared module"
+                % (path, src, dst))
+        if rank[dst] > rank[src]:
+            raise LayerConfigError(
+                "%s: allow edge %s -> %s goes UP the layer order — "
+                "upward dependencies cannot be declared legal"
+                % (path, src, dst))
+        if rank[dst] < rank[src]:
+            raise LayerConfigError(
+                "%s: allow edge %s -> %s is downward — already "
+                "implicitly legal, remove it" % (path, src, dst))
+        allow.add((src, dst))
+    return {"rank": rank, "allow": allow, "path": path}

@@ -23,6 +23,8 @@ _TOKEN_RE = re.compile(
     | (?P<line_comment>//[^\n]*)
     | (?P<block_comment>/\*.*?\*/)
     | (?P<pp>\#[^\n]*(?:\\\n[^\n]*)*)
+    | (?P<rawstr>(?:u8|[uUL])?R"(?P<rsdelim>[^()\s\\"]*)\(
+                 .*?\)(?P=rsdelim)")
     | (?P<str>"(?:\\.|[^"\\\n])*")
     | (?P<chr>'(?:\\.|[^'\\\n])*')
     | (?P<num>
@@ -55,6 +57,12 @@ class LexedFile:
                     names = {s.strip() for s in w.group(1).split(",")}
                     self.waivers.setdefault(line, set()).update(names)
             elif kind != "ws":
+                # Raw string literals (R"delim(...)delim", possibly
+                # spanning lines) are opaque data, not code: lex them
+                # as a single `str` token so their contents can never
+                # trip token-pattern rules.
+                if kind == "rawstr":
+                    kind = "str"
                 self.tokens.append(Token(kind, value, line))
             line += value.count("\n")
 

@@ -17,7 +17,13 @@ mentions members by name.
 from collections import namedtuple
 
 ClassDef = namedtuple("ClassDef", ["name", "line", "members", "methods"])
-Member = namedtuple("Member", ["name", "line"])
+# type: the leading type identifier of the declaration ("Counter" for
+# `Counter &st_hits;` and `Counter *c = nullptr;`, "std" for
+# `std::deque<Counter> q;`) — enough for rules that key on a concrete
+# class name without doing real type resolution.
+Member = namedtuple("Member", ["name", "line", "type"])
+
+_TYPE_QUALIFIERS = {"const", "mutable", "volatile", "unsigned", "signed"}
 
 _KEYWORD_STMT = {
     "public", "private", "protected", "using", "typedef", "friend",
@@ -109,15 +115,18 @@ def _member_name(stmt):
     if _stmt_is_function(stmt):
         return None
     # Name = last identifier before the first of ';' '=' '{' '['.
-    name = None
+    # Type = first identifier that is not a cv/sign qualifier.
+    name, mtype = None, None
     for t in stmt:
         if t.value in (";", "=", "{", "["):
             break
         if t.kind == "id":
+            if mtype is None and t.value not in _TYPE_QUALIFIERS:
+                mtype = t.value
             name = t
     if name is None or name.value in _KEYWORD_STMT:
         return None
-    return Member(name.value, name.line)
+    return Member(name.value, name.line, mtype)
 
 
 def _method_names(stmt):
@@ -170,16 +179,18 @@ def classes(lexed):
     return out
 
 
-def method_bodies(lexed):
-    """Map "Class::method" -> set of identifier tokens in the body.
+def function_units(lexed):
+    """Yield (qual, tokens) for every function definition.
 
-    Finds out-of-line definitions (`void Class::method(...) { ... }`)
-    and inline definitions inside class bodies.
+    Out-of-line definitions (`void Class::method(...) : init... { }`)
+    yield the tokens from just past the parameter list's ')' through
+    the body's closing '}' — that span includes the constructor
+    initializer list, which rules use to see member bindings. Inline
+    definitions inside a class body yield the whole member statement.
     """
-    out = {}
     toks = lexed.tokens
 
-    # Out-of-line: id '::' id ... '(' ... ')' ... '{'
+    # Out-of-line: id '::' id ... '(' ... ')' [init-list] '{' body '}'
     i = 0
     while i + 2 < len(toks):
         if (toks[i].kind == "id" and toks[i + 1].value == "::"
@@ -202,21 +213,12 @@ def method_bodies(lexed):
                     k += 1
                 if k < len(toks) and toks[k].value == "{":
                     end = _match_brace(toks, k)
-                    ids = {t.value for t in toks[k:end] if t.kind == "id"}
-                    out.setdefault(qual, set()).update(ids)
+                    yield qual, toks[j + 1 : end]
                     i = end
                     continue
         i += 1
 
     # Inline: per class, any method statement carrying a '{' body.
-    for qual, ids in _inline_bodies(lexed).items():
-        out.setdefault(qual, set()).update(ids)
-    return out
-
-
-def _inline_bodies(lexed):
-    out = {}
-    toks = lexed.tokens
     i = 0
     while i < len(toks):
         t = toks[i]
@@ -233,11 +235,18 @@ def _inline_bodies(lexed):
                     for stmt in _split_statements(body):
                         names = _method_names(stmt)
                         if names and any(x.value == "{" for x in stmt):
-                            ids = {x.value for x in stmt if x.kind == "id"}
                             for n in names:
-                                key = cname + "::" + n
-                                out.setdefault(key, set()).update(ids)
+                                yield cname + "::" + n, stmt
                     i = end
                     continue
         i += 1
+
+
+def method_bodies(lexed):
+    """Map "Class::method" -> set of identifier tokens in the body
+    (including, for constructors, the initializer list)."""
+    out = {}
+    for qual, unit in function_units(lexed):
+        out.setdefault(qual, set()).update(
+            t.value for t in unit if t.kind == "id")
     return out

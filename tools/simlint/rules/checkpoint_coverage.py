@@ -9,51 +9,51 @@ deliberately derived/rebuilt instead of serialized carries a
 This is the rule that would have caught the classic checkpoint bug:
 a new field added to MachineCheckpoint, written by capture, silently
 ignored by restore — state that replays differently with no error.
-"""
 
-from .. import model
+v2: runs off the semantic index (classes + cross-file method bodies
+are precomputed in pass 1), so the per-file token walks are gone.
+"""
 
 NAME = "checkpoint-coverage"
 WAIVER = "transient"
 
 
-def run(files):
+def run(ctx):
     from . import Finding
 
-    findings = []
-
-    # Pass 1: collect all method bodies across the file set (bodies
-    # may be out-of-line in a .cc far from the class definition).
+    # Bodies may be out-of-line in a .cc far from the class
+    # definition; merge across the whole analysis set.
     bodies = {}
-    for lf in files:
-        for qual, ids in model.method_bodies(lf).items():
+    for fi in ctx.files:
+        for qual, ids in fi.bodies.items():
             bodies.setdefault(qual, set()).update(ids)
 
-    # Pass 2: audit every serialize/restore-paired class.
-    for lf in files:
-        for cls in model.classes(lf):
-            if "serialize" not in cls.methods or "restore" not in cls.methods:
+    findings = []
+    for fi in ctx.files:
+        for cls in fi.classes:
+            methods = cls["methods"]
+            if "serialize" not in methods or "restore" not in methods:
                 continue
-            ser = bodies.get(cls.name + "::serialize")
-            res = bodies.get(cls.name + "::restore")
+            ser = bodies.get(cls["name"] + "::serialize")
+            res = bodies.get(cls["name"] + "::restore")
             if ser is None or res is None:
                 # Declared but no body anywhere in the analysis set
                 # (e.g. an interface); nothing to check.
                 continue
-            for m in cls.members:
-                if lf.waived(m.line, WAIVER):
+            for name, line, _mtype in cls["members"]:
+                if fi.waived(line, WAIVER):
                     continue
                 missing = []
-                if m.name not in ser:
+                if name not in ser:
                     missing.append("serialize")
-                if m.name not in res:
+                if name not in res:
                     missing.append("restore")
                 if missing:
                     findings.append(Finding(
-                        NAME, lf.path, m.line,
+                        NAME, fi.path, line,
                         "field '%s::%s' is not touched by %s "
                         "(serialize/restore must both cover every "
                         "member, or mark it `// simlint: transient` "
                         "and rebuild it on restore)"
-                        % (cls.name, m.name, " or ".join(missing))))
+                        % (cls["name"], name, " or ".join(missing))))
     return findings

@@ -1,0 +1,75 @@
+"""layering: enforce the module DAG declared in tools/simlint/layers.toml.
+
+Every quoted #include from a file under src/<A>/ to a header under
+src/<B>/ is an architecture edge. The edge is legal when B is the
+same module, a strictly lower layer, or a declared same-layer edge in
+layers.toml. Anything else — an upward include, or an undeclared
+same-layer include — is a finding.
+
+The fix for a violation is structural, not a waiver: move the shared
+declaration down into src/lib/, forward-declare, or invert the
+dependency behind an interface owned by the lower module (see
+decode/bbcache.h's CodeSource or core/coreapi.h's CoreAuditor for
+worked examples in this tree). `// simlint: layering-ok` exists for
+the rare intentional edge but should stay unused.
+"""
+
+NAME = "layering"
+WAIVER = "layering-ok"
+
+
+def _module_of_rel(rel, known):
+    """Module of a repo-relative path: the component after a 'src'
+    segment, when it names a declared module. Works for the real tree
+    (src/core/...) and for fixture trees (.../bad/src/core/...)."""
+    parts = rel.split("/")
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] in known:
+            return parts[i + 1]
+    return None
+
+
+def _module_of_include(inc, known):
+    parts = inc.replace("\\", "/").split("/")
+    if len(parts) >= 2 and parts[0] in known:
+        return parts[0]
+    return None
+
+
+def run(ctx):
+    from . import Finding
+
+    layers = ctx.layers
+    if layers is None:
+        return []
+    rank, allow = layers["rank"], layers["allow"]
+    findings = []
+    for fi in ctx.files:
+        src_mod = _module_of_rel(fi.rel, rank)
+        if src_mod is None:
+            continue
+        for line, inc in fi.includes:
+            dst_mod = _module_of_include(inc, rank)
+            if dst_mod is None or dst_mod == src_mod:
+                continue
+            if rank[dst_mod] < rank[src_mod]:
+                continue
+            if (rank[dst_mod] == rank[src_mod]
+                    and (src_mod, dst_mod) in allow):
+                continue
+            if fi.waived(line, WAIVER):
+                continue
+            if rank[dst_mod] > rank[src_mod]:
+                how = ("goes UP the layer order (%s is layer %d, %s "
+                       "is layer %d)" % (src_mod, rank[src_mod] + 1,
+                                         dst_mod, rank[dst_mod] + 1))
+            else:
+                how = ("is an undeclared same-layer edge (add it to "
+                       "layers.toml [layers] allow if intended)")
+            findings.append(Finding(
+                NAME, fi.path, line,
+                "include \"%s\": edge %s -> %s %s — move the shared "
+                "declaration down (src/lib/), forward-declare, or "
+                "invert the dependency behind an interface"
+                % (inc, src_mod, dst_mod, how)))
+    return findings

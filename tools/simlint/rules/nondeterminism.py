@@ -14,6 +14,9 @@ entropy classes break that silently:
      ASLR, so serializing or aggregating by iteration produces
      run-to-run-different checkpoints and stats trees.
 
+v2: runs off the index's watch table (occurrences of WATCHLIST
+identifiers with one token of context), so the rule never re-lexes.
+
 Waiver: `// simlint: nondet-ok` on the offending line.
 lib/rng.h itself is exempt (it is the sanctioned entropy source).
 """
@@ -41,41 +44,34 @@ _UNORDERED_IDS = {"unordered_map", "unordered_set",
 _UNORDERED_SCOPE = ("src/sys/", "src/stats/")
 
 
-def run(files):
+def run(ctx):
     from . import Finding
 
     findings = []
-    for lf in files:
-        if any(lf.path.endswith(s) for s in EXEMPT_PATH_SUFFIXES):
+    for fi in ctx.files:
+        if fi.rel.endswith(EXEMPT_PATH_SUFFIXES):
             continue
-        in_unordered_scope = any(s in lf.path.replace("\\", "/")
-                                 for s in _UNORDERED_SCOPE)
-        toks = lf.tokens
-        for i, t in enumerate(toks):
-            if t.kind != "id":
-                continue
-            if t.value in _ENTROPY_IDS:
-                if not lf.waived(t.line, WAIVER):
+        in_unordered_scope = any(s in fi.rel for s in _UNORDERED_SCOPE)
+        for line, name, prev, nxt, nxt2 in fi.watch:
+            if name in _ENTROPY_IDS:
+                if not fi.waived(line, WAIVER):
                     findings.append(Finding(
-                        NAME, lf.path, t.line,
+                        NAME, fi.path, line,
                         "nondeterministic source '%s' — draw from the "
-                        "seeded Rng in lib/rng.h instead" % t.value))
-            elif (t.value == "time" and i + 1 < len(toks)
-                  and toks[i + 1].value == "("
-                  and ((i > 0 and toks[i - 1].value == "::")
-                       or (i + 2 < len(toks)
-                           and toks[i + 2].value in _TIME_CALL_ARGS))):
-                if not lf.waived(t.line, WAIVER):
+                        "seeded Rng in lib/rng.h instead" % name))
+            elif (name == "time" and nxt == "("
+                  and (prev == "::" or nxt2 in _TIME_CALL_ARGS)):
+                if not fi.waived(line, WAIVER):
                     findings.append(Finding(
-                        NAME, lf.path, t.line,
+                        NAME, fi.path, line,
                         "wall-clock time() call — simulated time comes "
                         "from TimeKeeper, never the host clock"))
-            elif t.value in _UNORDERED_IDS and in_unordered_scope:
-                if not lf.waived(t.line, WAIVER):
+            elif name in _UNORDERED_IDS and in_unordered_scope:
+                if not fi.waived(line, WAIVER):
                     findings.append(Finding(
-                        NAME, lf.path, t.line,
+                        NAME, fi.path, line,
                         "'%s' in a serialized/stat path — hash "
                         "iteration order is not deterministic across "
                         "runs; use std::map/std::vector or waive with "
-                        "a comment proving no iteration" % t.value))
+                        "a comment proving no iteration" % name))
     return findings

@@ -6,8 +6,8 @@ Flags, outside lib/simtime.h:
      `U64 now`, `uint64_t ready_cycle = ...`, `U64 fetch_stall_until;`
      — these must be SimCycle (absolute stamps) or CycleDelta
      (durations);
-  2. the untyped never-sentinel `~0ULL` (or `~0UL` / `~U64(0)`) in a
-     statement that also names a cycle-stamp identifier — that is the
+  2. the untyped never-sentinel `~0ULL` (or `~0UL`) in a statement
+     that also names a cycle-stamp identifier — that is the
      wraparound bug (`~0ULL + latency` == small cycle number) the
      saturating CYCLE_NEVER exists to kill.
 
@@ -16,77 +16,46 @@ ending in `_cycle`, `_due`, `_deadline`, `_until`, or `_stamp`.
 Plural `*_cycles` names are NOT flagged: those are counts (durations
 serialized as raw integers is fine via .raw()).
 
+Two false-positive classes are excluded structurally by the index:
+template parameter lists (`template <U64 stall_until = 0>` declares a
+compile-time constant, not a stamp variable — int_decls carries an
+in-template flag) and string literals (raw strings lex as single
+opaque tokens, so their contents never reach the scanner).
+
 Waiver: `// simlint: raw-cycle-ok` on the offending line.
 """
-
-import re
 
 NAME = "raw-cycle"
 WAIVER = "raw-cycle-ok"
 
 EXEMPT_PATH_SUFFIXES = ("lib/simtime.h",)
 
-_STAMP_RE = re.compile(
-    r"^(now|cycle|due|deadline)$"
-    r"|(_cycle|_due|_deadline|_until|_stamp)$")
 
-_INT_TYPES = {"U64", "uint64_t", "U32", "uint32_t", "S64", "int64_t",
-              "size_t", "int", "long", "unsigned"}
-
-_NEVER_LITERALS = {"~0ULL", "~0UL", "~0ull", "~0ul"}
-
-
-def _is_stamp_name(name):
-    return bool(_STAMP_RE.search(name))
-
-
-def run(files):
+def run(ctx):
     from . import Finding
 
     findings = []
-    for lf in files:
-        if any(lf.path.endswith(s) for s in EXEMPT_PATH_SUFFIXES):
+    for fi in ctx.files:
+        if fi.rel.endswith(EXEMPT_PATH_SUFFIXES):
             continue
-        toks = lf.tokens
-        for i, t in enumerate(toks):
-            # 1. integer-typed declaration of a stamp-named entity:
-            #    <int-type> <stamp-name> followed by one of ; = , ) { [
-            if (t.kind == "id" and t.value in _INT_TYPES
-                    and i + 1 < len(toks)
-                    and toks[i + 1].kind == "id"
-                    and _is_stamp_name(toks[i + 1].value)
-                    and (i + 2 >= len(toks)
-                         or toks[i + 2].value in (";", "=", ",", ")",
-                                                  "{", "[", ":"))):
-                line = toks[i + 1].line
-                if not lf.waived(line, WAIVER):
-                    findings.append(Finding(
-                        NAME, lf.path, line,
-                        "raw %s declaration of cycle stamp '%s' — use "
-                        "SimCycle/CycleDelta from lib/simtime.h"
-                        % (t.value, toks[i + 1].value)))
-
-            # 2. untyped never-sentinel next to a stamp name. Look at
-            #    the statement around a '~' '0ULL' pair.
-            if t.value == "~" and i + 1 < len(toks) \
-                    and toks[i + 1].kind == "num" \
-                    and toks[i + 1].value.lower() in ("0ull", "0ul"):
-                # Scan the enclosing statement for a stamp identifier.
-                lo = i
-                while lo > 0 and toks[lo].value not in (";", "{", "}"):
-                    lo -= 1
-                hi = i
-                while hi < len(toks) - 1 and toks[hi].value not in (";",
-                                                                    "{"):
-                    hi += 1
-                stamp = next((x.value for x in toks[lo:hi]
-                              if x.kind == "id"
-                              and _is_stamp_name(x.value)), None)
-                line = t.line
-                if stamp and not lf.waived(line, WAIVER):
-                    findings.append(Finding(
-                        NAME, lf.path, line,
-                        "untyped never-sentinel ~0ULL used with cycle "
-                        "stamp '%s' — use CYCLE_NEVER (saturating, "
-                        "cannot wrap)" % stamp))
+        for line, itype, name, in_template in fi.int_decls:
+            if in_template:
+                continue
+            if fi.waived(line, WAIVER):
+                continue
+            findings.append(Finding(
+                NAME, fi.path, line,
+                "raw %s declaration of cycle stamp '%s' — use "
+                "SimCycle/CycleDelta from lib/simtime.h"
+                % (itype, name)))
+        for line, stamp in fi.never_stmts:
+            if stamp is None:
+                continue
+            if fi.waived(line, WAIVER):
+                continue
+            findings.append(Finding(
+                NAME, fi.path, line,
+                "untyped never-sentinel ~0ULL used with cycle "
+                "stamp '%s' — use CYCLE_NEVER (saturating, "
+                "cannot wrap)" % stamp))
     return findings
