@@ -23,6 +23,18 @@ git rev-parse --verify --quiet "$base" >/dev/null || base=HEAD
 
 if command -v python3 >/dev/null 2>&1; then
     python3 scripts/simlint.py --diff "$base" src || fail=1
+
+    # The fixture self-test only guards the analyzer itself, so plain
+    # commits skip it (it re-indexes every fixture uncached, which is
+    # the slow path). Run it only when this commit touches the lint
+    # tooling.
+    tooling_changed=$( { git diff --name-only "$base" --;
+                         git diff --cached --name-only --; } \
+                       2>/dev/null \
+                       | grep -c -E '^(tools/simlint/|scripts/simlint\.py)' )
+    if [ "${tooling_changed:-0}" -gt 0 ]; then
+        python3 scripts/simlint.py --self-test || fail=1
+    fi
 else
     echo "precommit: python3 not found; skipping simlint" >&2
 fi

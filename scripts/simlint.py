@@ -24,9 +24,14 @@ Options:
                    tools/simlint/fixtures/<rule>/: each bad* fixture
                    must trip exactly its own rule, each good* fixture
                    must be clean under ALL rules
-  --summary        print a per-rule findings/timing table plus index
-                   cache statistics (markdown; used for the CI job
-                   summary)
+  --summary        print a per-rule findings/timing table, waiver
+                   usage counts, and index cache statistics
+                   (markdown; used for the CI job summary)
+  --summary-json F write the same data as JSON to file F ('-' for
+                   stdout): per-rule findings/timings, waiver counts,
+                   cache stats, and the full findings list — the
+                   machine-readable artifact the CI lint job renders
+                   its step summary from
   --no-cache       bypass the semantic-index cache entirely
   --cache-dir DIR  cache location (default: build/simlint-cache)
 
@@ -49,6 +54,7 @@ configuration error.
 
 import argparse
 import glob as globmod
+import json
 import os
 import subprocess
 import sys
@@ -138,7 +144,20 @@ def print_findings(findings, repo_root):
             print("%s:%d: [%s] %s" % (rel, f.line, f.rule, f.message))
 
 
-def print_summary(rule_mods, findings, timings, stats):
+def waiver_counts(ctx):
+    """Waived-line counts per waiver name (arguments stripped), over
+    every analyzed file. A growing count is a debt signal the CI
+    summary makes visible."""
+    counts = {}
+    for fi in ctx.files:
+        for names in fi.waivers.values():
+            for w in names:
+                base = w.split("(", 1)[0].strip()
+                counts[base] = counts.get(base, 0) + 1
+    return counts
+
+
+def print_summary(rule_mods, findings, timings, stats, ctx):
     print()
     print("| rule | findings | time (ms) |")
     print("| --- | ---: | ---: |")
@@ -152,6 +171,36 @@ def print_summary(rule_mods, findings, timings, stats):
           % (stats["cache_hits"], stats["files"]))
     total = stats["index_ms"] + sum(timings.values())
     print("| total | | %.1f |" % total)
+    waivers = waiver_counts(ctx)
+    if waivers:
+        print()
+        print("| waiver | lines |")
+        print("| --- | ---: |")
+        for name in sorted(waivers):
+            print("| %s | %d |" % (name, waivers[name]))
+
+
+def summary_payload(rule_mods, findings, timings, stats, ctx,
+                    repo_root):
+    """The --summary data as a JSON-serializable dict."""
+    return {
+        "files": stats["files"],
+        "cache_hits": stats["cache_hits"],
+        "index_ms": round(stats["index_ms"], 1),
+        "total_ms": round(stats["index_ms"] + sum(timings.values()), 1),
+        "rules": {
+            mod.NAME: {
+                "findings": sum(1 for f in findings
+                                if f.rule == mod.NAME),
+                "ms": round(timings.get(mod.NAME, 0.0), 1),
+            } for mod in rule_mods},
+        "waivers": waiver_counts(ctx),
+        "findings": [
+            {"path": os.path.relpath(f.path, repo_root)
+             .replace(os.sep, "/"),
+             "line": f.line, "rule": f.rule, "message": f.message}
+            for f in findings],
+    }
 
 
 def _fixture_sets(rule_dir):
@@ -208,6 +257,7 @@ def main():
     ap.add_argument("--diff", metavar="BASE", default=None)
     ap.add_argument("--self-test", action="store_true")
     ap.add_argument("--summary", action="store_true")
+    ap.add_argument("--summary-json", metavar="FILE", default=None)
     ap.add_argument("--no-cache", action="store_true")
     ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     ap.add_argument("paths", nargs="*")
@@ -256,7 +306,17 @@ def main():
 
     print_findings(findings, REPO_ROOT)
     if args.summary:
-        print_summary(rule_mods, findings, timings, stats)
+        print_summary(rule_mods, findings, timings, stats, ctx)
+    if args.summary_json:
+        payload = summary_payload(rule_mods, findings, timings, stats,
+                                  ctx, REPO_ROOT)
+        if args.summary_json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.summary_json, "w", encoding="utf-8") as f:
+                json.dump(payload, f, indent=2)
+                f.write("\n")
 
     if findings:
         print("simlint: %d finding(s) in %d file(s)"

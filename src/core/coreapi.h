@@ -39,6 +39,13 @@ struct CoreBuildParams
     std::string prefix;                ///< stats path prefix ("core0/")
     CoherenceController *coherence = nullptr;  ///< nullptr if single core
     InterlockController *interlocks = nullptr;
+    /** Machine-assigned core index, unique within this Machine. It
+     *  feeds the interlock owner encoding, so the assembler (Machine
+     *  or test harness) must keep it distinct per core sharing an
+     *  InterlockController. Assigned here rather than drawn from a
+     *  process-wide counter so core identity is a pure function of
+     *  machine assembly, not of construction history. */
+    int core_id = 0;
 };
 
 class OooCore;

@@ -39,7 +39,11 @@ InterlockController::release(U64 paddr, int owner)
 void
 InterlockController::releaseAll(int owner)
 {
-    for (auto it = locks.begin(); it != locks.end();) {
+    // Erase-only sweep: which entries survive depends solely on the
+    // predicate, never on visit order, so unordered iteration cannot
+    // leak into architectural or stats state.
+    for (auto it = locks.begin();  // simlint: nondet-taint-ok
+         it != locks.end();) {
         if (it->second == owner)
             it = locks.erase(it);
         else

@@ -13,6 +13,7 @@
 #ifndef PTLSIM_CORE_INTERLOCK_H_
 #define PTLSIM_CORE_INTERLOCK_H_
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 #include <utility>
@@ -45,13 +46,15 @@ class InterlockController
 
     size_t heldCount() const { return locks.size(); }
 
-    /** Snapshot of held locks (diagnostics): (key << 3, owner). */
+    /** Snapshot of held locks (diagnostics): (key << 3, owner),
+     *  sorted by address so the report is run-to-run stable. */
     std::vector<std::pair<U64, int>>
     heldLocks() const
     {
         std::vector<std::pair<U64, int>> out;
-        for (const auto &[key, owner] : locks)
+        for (const auto &[key, owner] : locks)  // simlint: nondet-taint-ok
             out.push_back({key << 3, owner});
+        std::sort(out.begin(), out.end());
         return out;
     }
 

@@ -11,8 +11,6 @@
 
 namespace ptl {
 
-int OooCore::next_core_id = 0;
-
 OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
     : cfg(*params.config), smt(smt_mode), aspace(params.aspace),
       bbcache(params.bbcache), sys(params.sys), stats(params.stats),
@@ -48,7 +46,7 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
       st_lockstep_skips(
           stats->counter(params.prefix + "checker/lockstep_skips"))
 {
-    core_id = next_core_id++;
+    core_id = params.core_id;
     trace_commits = std::getenv("PTLSIM_TRACE") != nullptr;
     ptl_assert(!params.contexts.empty());
     ptl_assert((int)params.contexts.size() <= 16);  // paper's SMT limit

@@ -264,7 +264,6 @@ class OooCore : public CoreModel
     InterlockController *interlocks;
     CoherenceController *coherence;
     int core_id = 0;
-    static int next_core_id;
 
     /** Per-cycle auditor attached by the machine (verify=1). */
     std::unique_ptr<CoreAuditor> verifier;

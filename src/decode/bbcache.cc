@@ -130,7 +130,11 @@ BasicBlockCache::invalidateMfn(U64 mfn)
     std::unordered_set<const BasicBlock *> victims = std::move(it->second);
     mfn_index.erase(it);
     code_mfns.erase(mfn);
-    for (auto bit = blocks.begin(); bit != blocks.end();) {
+    // Erase-only sweep over the victim set: membership decides the
+    // outcome, not visit order — every victim is removed and the
+    // counters see only the total, so unordered iteration is safe.
+    for (auto bit = blocks.begin();  // simlint: nondet-taint-ok
+         bit != blocks.end();) {
         if (victims.count(bit->second.get())) {
             // Also unhook from the other frame's index.
             const BasicBlock *bb = bit->second.get();

@@ -1,5 +1,6 @@
 #include "lib/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,8 +8,13 @@ namespace ptl {
 
 namespace {
 
-void (*log_sink)(const std::string &) = nullptr;
-bool log_quiet = false;
+// The logging configuration is genuinely process-wide (every Domain
+// thread warns through the same sink), so it stays global — but as
+// lock-free atomics: a sink/quiet flip by one thread while another
+// emits must read either the old or the new value, never a torn one.
+std::atomic<void (*)(const std::string &)>
+    log_sink{nullptr};  // simlint: shared-guarded(atomic)
+std::atomic<bool> log_quiet{false};  // simlint: shared-guarded(atomic)
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -26,10 +32,10 @@ vstrprintf(const char *fmt, va_list ap)
 void
 emit(const std::string &line)
 {
-    if (log_quiet)
+    if (log_quiet.load(std::memory_order_relaxed))
         return;
-    if (log_sink) {
-        log_sink(line);
+    if (auto *sink = log_sink.load(std::memory_order_acquire)) {
+        sink(line);
     } else {
         std::fputs(line.c_str(), stderr);
         std::fputc('\n', stderr);
@@ -51,13 +57,13 @@ strprintf(const char *fmt, ...)
 void
 setLogSink(void (*sink)(const std::string &))
 {
-    log_sink = sink;
+    log_sink.store(sink, std::memory_order_release);
 }
 
 void
 setLogQuiet(bool quiet)
 {
-    log_quiet = quiet;
+    log_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 void

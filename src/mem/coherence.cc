@@ -1,5 +1,7 @@
 #include "mem/coherence.h"
 
+#include <algorithm>
+
 #include "lib/logging.h"
 #include "mem/hierarchy.h"
 
@@ -180,11 +182,26 @@ CoherenceController::auditLine(U64 line_addr, std::string *why) const
     return bad;
 }
 
+std::vector<U64>
+CoherenceController::sortedLines() const
+{
+    // Audit paths walk the unordered directory through this sorted
+    // snapshot so their visit order — and therefore the first
+    // violation reported in `why` — is identical across runs,
+    // libstdc++ versions, and ASLR seeds.
+    std::vector<U64> lines;
+    lines.reserve(directory.size());
+    for (const auto &[line, e] : directory)  // simlint: nondet-taint-ok
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
 int
 CoherenceController::auditAll(std::string *why) const
 {
     int bad = 0;
-    for (const auto &[line, e] : directory)
+    for (U64 line : sortedLines())
         bad += auditLine(line, why);
     return bad;
 }
@@ -210,7 +227,7 @@ CoherenceController::checkInvariants(U64 line_addr) const
 void
 CoherenceController::checkAllInvariants() const
 {
-    for (const auto &[line, e] : directory)
+    for (U64 line : sortedLines())
         checkInvariants(line);
 }
 

@@ -96,6 +96,8 @@ class CoherenceController
     };
 
     DirEntry &entry(U64 line_addr);
+    /** Directory keys in sorted order (deterministic audit walks). */
+    std::vector<U64> sortedLines() const;
     int transferLatency() const
     {
         return kind_ == CoherenceKind::Moesi ? interconnect : 0;

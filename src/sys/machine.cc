@@ -112,6 +112,7 @@ Machine::finalizeCores()
         params.prefix = "core" + std::to_string(c) + "/";
         params.coherence = coherence.get();
         params.interlocks = interlock_ctrl.get();
+        params.core_id = c;
         cores.push_back(createCoreModel(cfg.core, params));
         // Verification is opt-in wiring done here, at machine assembly,
         // so the core layer itself never depends on src/verify.

@@ -10,7 +10,15 @@ Part 2 proves the pass-1 cache is correct, not just fast:
   - an identical reload is served from the cache (hit) with facts
     equal to the cold build,
   - editing the file invalidates the entry (content hash changes) and
-    the re-built index reflects the edit.
+    the re-built index reflects the edit,
+  - changing the analyzer fingerprint (the `env` cache-key component;
+    in real runs, editing any rule/lexer/config file under
+    tools/simlint/) invalidates the entry even when the source file
+    itself is untouched — the staleness bug where tweaking a rule
+    served yesterday's verdicts,
+  - the v3 call-graph facts (funcs/ns_vars/unordered_decls/iter_sites)
+    survive a cache round-trip with their tuple shapes intact, so the
+    interprocedural rules behave identically on warm and cold runs.
 """
 
 import os
@@ -75,6 +83,90 @@ def run_cache_test():
         check(hit, "re-analyzed entry is cached again")
         check(rewarm.to_data() == edited.to_data(),
               "round-tripped facts identical after the edit")
+
+        # Analyzer-fingerprint staleness: the same source content under
+        # a different `env` must be a miss (editing a rule file changes
+        # toolchain_fingerprint() in real runs).
+        _, hit = index_mod.load_or_build(src, "widget.cc", cache,
+                                         env="analyzer-rev-A")
+        check(not hit, "new analyzer fingerprint invalidates the entry")
+        _, hit = index_mod.load_or_build(src, "widget.cc", cache,
+                                         env="analyzer-rev-A")
+        check(hit, "same fingerprint hits again")
+        _, hit = index_mod.load_or_build(src, "widget.cc", cache,
+                                         env="analyzer-rev-B")
+        check(not hit, "edited-rule fingerprint is a miss despite "
+              "unchanged source")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return failures
+
+
+def run_callgraph_cache_test():
+    """The v3 facts must be identical (values AND container shapes)
+    across a cache round-trip: the taint rule indexes funcs by span
+    and set-intersects iter_sites id lists, so a list-vs-tuple drift
+    between cold and warm runs would silently change verdicts."""
+    failures = 0
+
+    def check(cond, what):
+        nonlocal failures
+        print("%s callgraph-cache: %s" % ("ok  " if cond else "FAIL",
+                                          what))
+        if not cond:
+            failures += 1
+
+    tmp = tempfile.mkdtemp(prefix="simlint-callgraph-test-")
+    try:
+        src = os.path.join(tmp, "graph.cc")
+        cache = os.path.join(tmp, "cache")
+        with open(src, "w") as f:
+            f.write(
+                "#include <unordered_map>\n"
+                "namespace ptl {\n"
+                "int shard_epoch = 0;\n"
+                "std::unordered_map<int, int> table;\n"
+                "int helper() {\n"
+                "    static int calls = 0;\n"
+                "    int sum = 0;\n"
+                "    for (const auto &kv : table)\n"
+                "        sum += kv.second;\n"
+                "    return sum + calls;\n"
+                "}\n"
+                "int entry() { return helper(); }\n"
+                "}\n")
+
+        cold, hit = index_mod.load_or_build(src, "graph.cc", cache,
+                                            env="cg")
+        check(not hit, "cold build is a miss")
+        quals = [fn["qual"] for fn in cold.funcs]
+        check("helper" in quals and "entry" in quals,
+              "both functions are call-graph nodes")
+        entry = next(fn for fn in cold.funcs if fn["qual"] == "entry")
+        check(any(callee == "helper" for _ln, callee in entry["calls"]),
+              "entry -> helper call edge recorded")
+        helper = next(fn for fn in cold.funcs if fn["qual"] == "helper")
+        check(any(name == "calls"
+                  for _ln, name, _t in helper["statics"]),
+              "function-local static recorded")
+        check(any(name == "table" for _ln, name in cold.unordered_decls),
+              "unordered declaration recorded")
+        check(any("table" in ids for _ln, ids in cold.iter_sites),
+              "iteration site records the range-for subject")
+
+        warm, hit = index_mod.load_or_build(src, "graph.cc", cache,
+                                            env="cg")
+        check(hit, "reload is a hit")
+        check(warm.to_data() == cold.to_data(),
+              "warm facts identical to cold facts")
+        check(warm.funcs == cold.funcs,
+              "call-graph nodes identical after round-trip")
+        check(warm.ns_vars == cold.ns_vars
+              and type(warm.ns_vars[0]) is type(cold.ns_vars[0]),
+              "ns_vars values and shapes identical after round-trip")
+        check(warm.unordered_decls == cold.unordered_decls
+              and warm.iter_sites == cold.iter_sites,
+              "sink tables identical after round-trip")
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     return failures
@@ -83,6 +175,7 @@ def run_cache_test():
 def main():
     failed = run_self_test()
     failed += run_cache_test()
+    failed += run_callgraph_cache_test()
     if failed:
         print("test_lint_fixtures: %d failure(s)" % failed)
         return 1

@@ -218,6 +218,7 @@ class MultiCoreRig
             p.prefix = "core" + std::to_string(i) + "/";
             p.coherence = &coherence;
             p.interlocks = &interlocks;
+            p.core_id = i;
             cores.push_back(createCoreModel("ooo", p));
             cores.back()->attachAuditor(
                 makeVerifyAuditor(cfg, stats, p.prefix));

@@ -1,0 +1,20 @@
+// Golden BAD fixture for cross-domain-access: code in a
+// domain-scoped module (src/core/) reaching straight into the
+// whole-machine aggregate instead of posting an event. Once each
+// Domain runs on its own thread, this dereference races every other
+// Domain's progress.
+
+namespace ptl {
+
+struct Machine;
+Machine &currentMachine();
+void requestStallAll(Machine &m);
+
+void
+stallOtherCores()
+{
+    Machine &m = currentMachine();
+    requestStallAll(m);
+}
+
+}  // namespace ptl

@@ -1,0 +1,33 @@
+// Golden GOOD fixture for cross-domain-access: cross-Domain traffic
+// rides the sanctioned courier (an event channel), and the one
+// direct mention of a cross-domain type carries a waiver with its
+// no-race argument.
+
+namespace ptl {
+
+class EventQueue;
+struct Machine;
+
+int machineCoreCount(const Machine &m);
+
+class CoreScheduler
+{
+  public:
+    /** Cross-core wakeups go through the target Domain's event
+     *  queue — the epoch barrier serializes the post. */
+    void
+    wakeSibling(EventQueue &eq)
+    {
+        pending_wakes++;
+        (void)eq;
+    }
+
+    // Topology is assembled before Domain threads exist and never
+    // mutated afterwards; reading it cannot race once sharded.
+    int topologySize(const Machine &m) { return machineCoreCount(m); }  // simlint: cross-domain-ok
+
+  private:
+    int pending_wakes = 0;
+};
+
+}  // namespace ptl

@@ -1,0 +1,17 @@
+// Part of the nondet-taint BAD fixture: the entry point. Nothing in
+// this file is nondeterministic on its own — the finding lands here
+// because checkpointDirectory() transitively reaches the unordered
+// iteration in src/mem/dirwalk.cc, and the report must carry the
+// full call chain to the sink.
+
+namespace ptl {
+
+unsigned long sumDirectory();
+
+unsigned long
+checkpointDirectory()
+{
+    return sumDirectory();
+}
+
+}  // namespace ptl

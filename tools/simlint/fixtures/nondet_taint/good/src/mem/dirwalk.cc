@@ -1,0 +1,23 @@
+// Part of the nondet-taint GOOD fixture: the same sink as the bad
+// tree, but waived at the sink line with an order-independence
+// argument — summation commutes, so hash iteration order cannot
+// leak into the result. A waived sink taints nothing upstream.
+
+#include <unordered_map>
+
+namespace ptl {
+
+unsigned long
+sumDirectory()
+{
+    std::unordered_map<unsigned long, unsigned long> lines;
+    lines[0x40] = 1;
+    lines[0x80] = 2;
+    unsigned long sum = 0;
+    // Order-independent reduction: addition commutes.
+    for (const auto &kv : lines)  // simlint: nondet-taint-ok
+        sum += kv.second;
+    return sum;
+}
+
+}  // namespace ptl

@@ -1,0 +1,15 @@
+// Part of the nondet-taint GOOD fixture: identical entry point to
+// the bad tree. It stays clean because the only sink it reaches is
+// waived where the order-independence argument lives — at the sink.
+
+namespace ptl {
+
+unsigned long sumDirectory();
+
+unsigned long
+checkpointDirectory()
+{
+    return sumDirectory();
+}
+
+}  // namespace ptl

@@ -1,0 +1,26 @@
+// Golden BAD fixture for shared-state: every form of unaccounted
+// mutable process-wide state the rule exists to catch. Once the
+// machine is sharded (one thread per Domain), each of these is a
+// data race waiting for a schedule.
+
+namespace ptl {
+
+// Namespace-scope mutable variable.
+int global_tick_count = 0;
+
+// File-scope static.
+static int boot_phase = 0;
+
+// Function-local static: the classic singleton accessor.
+int &
+phaseCounter()
+{
+    static int counter = 0;
+    return counter;
+}
+
+// A shared-guarded waiver that names no lock is itself a finding:
+// a guard nobody can name is a guard that does not exist.
+static int guarded_badly = 0;  // simlint: shared-guarded
+
+}  // namespace ptl

@@ -1,0 +1,25 @@
+// Golden GOOD fixture for shared-state: constants are ignored, and
+// both waiver forms — domain-local with a single-Domain proof,
+// shared-guarded naming its lock — silence the rule.
+
+namespace ptl {
+
+// Immutable: never flagged.
+constexpr int kMaxDomains = 64;
+const char *const kPhaseNames[] = {"boot", "run", "drain"};
+
+// Touched only by the owning Domain's thread; migrates into
+// Domain-owned state in the sharding PR.
+int prefetch_scratch = 0;  // simlint: domain-local
+
+// Genuinely shared; the named mutex is the auditable guard.
+static int registry_epoch = 0;  // simlint: shared-guarded(registry_mu)
+
+int &
+sequenceCounter()
+{
+    static int counter = 0;  // simlint: domain-local
+    return counter;
+}
+
+}  // namespace ptl

@@ -27,12 +27,27 @@ consume:
   callbacks    lambda bodies passed to EventQueue::schedule/sendAt:
                the calls they make and any re-arming schedule calls
                (with whether the returned handle is kept)
-  waivers      line -> `// simlint: <name>` waiver names
+  waivers      line -> `// simlint: <name>` waiver names (a waiver may
+               carry an argument: `shared-guarded(registry_mu)`)
+  ns_vars      mutable namespace-scope/file-scope variable declarations:
+               (line, name, type, is_static)
+  funcs        per-function nodes of the call graph: qualified name,
+               definition line, body line span, calls made
+               (line, callee), and function-local static declarations
+               (line, name, type) — singleton accessors
+  unordered_decls  (line, name) of variables/members declared with an
+               unordered container type
+  iter_sites   (line, [ids]) container-iteration sites: range-for
+               subjects and receivers of .begin()/.cbegin() calls
 
 Pass 2 (the rules) never touches tokens again, so a file's index can
 be cached by content hash under build/simlint-cache/ and reused until
-the file changes. INDEX_VERSION is part of the cache key: bump it
-whenever the extraction or the WATCHLIST changes.
+the file changes. The cache key is (INDEX_VERSION, file sha256,
+toolchain fingerprint): the fingerprint hashes every analyzer source
+file and layers.toml, so editing a rule or the layer DAG invalidates
+the whole cache instead of serving stale facts. Bump INDEX_VERSION
+when the extraction or the WATCHLIST changes (the fingerprint catches
+that too; the version is belt and braces for exotic setups).
 """
 
 import hashlib
@@ -41,7 +56,7 @@ import os
 
 from . import lexer, model
 
-INDEX_VERSION = 1
+INDEX_VERSION = 2
 
 # Identifiers whose every occurrence is recorded with context.
 # nondeterminism (and any future rule keying on bare identifiers)
@@ -68,7 +83,8 @@ SCHEDULE_IDS = frozenset({"schedule", "sendAt"})
 
 _FIELDS = ("includes", "classes", "enums", "bodies", "binds",
            "switches", "int_decls", "never_stmts", "watch",
-           "callbacks", "waivers")
+           "callbacks", "waivers", "ns_vars", "funcs",
+           "unordered_decls", "iter_sites")
 
 _INCLUDE_PREFIX = "#include"
 
@@ -93,7 +109,10 @@ class FileIndex:
             setattr(self, f, data[f])
 
     def waived(self, line, name):
-        return name in self.waivers.get(line, ())
+        return lexer.waiver_match(self.waivers.get(line, ()), name)
+
+    def waiver_arg(self, line, name):
+        return lexer.waiver_arg(self.waivers.get(line, ()), name)
 
     def to_data(self):
         # Canonical (JSON-shaped) form: tuples become lists and sets
@@ -117,6 +136,11 @@ class FileIndex:
         data["int_decls"] = [tuple(x) for x in data["int_decls"]]
         data["never_stmts"] = [tuple(x) for x in data["never_stmts"]]
         data["watch"] = [tuple(x) for x in data["watch"]]
+        data["ns_vars"] = [tuple(x) for x in data["ns_vars"]]
+        data["unordered_decls"] = [tuple(x)
+                                   for x in data["unordered_decls"]]
+        data["iter_sites"] = [(ln, list(ids))
+                              for ln, ids in data["iter_sites"]]
         return cls(path, rel, sha, data)
 
 
@@ -395,6 +419,302 @@ def _callbacks(toks):
     return out
 
 
+# ---------------------------------------------------------------------
+# Concurrency-readiness facts (simlint v3)
+# ---------------------------------------------------------------------
+
+# Statement heads that can never open a namespace-scope variable.
+_NS_SKIP_HEADS = frozenset({
+    "using", "typedef", "friend", "template", "extern",
+    "static_assert", "namespace", "enum", "operator", "asm", "goto",
+    "public", "private", "protected",
+})
+
+# Tokens that qualify a declaration without being its type or name.
+_NS_QUALIFIERS = frozenset({
+    "static", "inline", "const", "constexpr", "constinit", "mutable",
+    "volatile", "unsigned", "signed", "thread_local", "register",
+    "struct", "class", "union", "typename", "extern",
+})
+
+_UNORDERED_TYPES = frozenset({
+    "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset",
+})
+
+_ITER_CALLS = frozenset({"begin", "cbegin"})
+
+
+def _top_level_eq(stmt):
+    """True when the statement has an '=' outside any parens/brackets
+    (a variable initializer, not a default argument)."""
+    depth = 0
+    for t in stmt:
+        v = t.value
+        if v in ("(", "["):
+            depth += 1
+        elif v in (")", "]"):
+            depth -= 1
+        elif v == "=" and depth == 0:
+            return True
+    return False
+
+
+def _analyze_ns_stmt(stmt, out):
+    """Append (line, name, type, is_static) if `stmt` declares a
+    mutable namespace-scope variable.
+
+    Immutability is judged lexically: any `const`/`constexpr` token in
+    the declaration makes it immutable. That lets `const char *p;`
+    (mutable pointer to const data) slip through — acceptable, and far
+    better than flagging every `const char *const` table.
+    """
+    stmt = model.strip_annotations(stmt)
+    if not stmt or stmt[0].kind != "id":
+        return
+    vals = [t.value for t in stmt]
+    if vals[0] in _NS_SKIP_HEADS or "operator" in vals:
+        return
+    # const/constexpr make the variable immutable — but only at paren
+    # depth 0: the `const` in a function-pointer parameter list
+    # (`void (*sink)(const std::string &)`) qualifies a parameter, not
+    # the pointer.
+    depth = 0
+    for t in stmt:
+        if t.value in ("(", "["):
+            depth += 1
+        elif t.value in (")", "]"):
+            depth -= 1
+        elif (depth == 0
+              and t.value in ("const", "constexpr", "constinit")):
+            return
+    if (vals[0] in ("struct", "class", "union")
+            and sum(1 for t in stmt if t.kind == "id") <= 2):
+        return  # forward declaration / bare definition, not a variable
+    has_eq = _top_level_eq(stmt)
+    has_paren = "(" in vals
+    if has_paren and not has_eq:
+        return  # prototype / out-of-line declaration
+    if has_eq and has_paren and vals[-1] in ("default", "delete", "0"):
+        return  # `T::T(...) = default;` / deleted / pure-virtual decl
+    if not has_eq and model._stmt_is_function(stmt):
+        return
+    name = None
+    if has_paren and has_eq:
+        # Function pointer: `void (*log_sink)(const std::string &) = 0;`
+        # — the declared name is the last identifier before the first
+        # closing paren.
+        for t in stmt:
+            if t.value == ")":
+                break
+            if t.kind == "id":
+                name = t
+    else:
+        for t in stmt:
+            if t.value in ("=", "[", "{", ";"):
+                break
+            if t.kind == "id":
+                name = t
+    if name is None or name.value in _NS_QUALIFIERS:
+        return
+    mtype = next((t.value for t in stmt
+                  if t.kind == "id" and t.value not in _NS_QUALIFIERS
+                  and t.value != name.value), None)
+    out.append((name.line, name.value, mtype, "static" in vals))
+
+
+def _ns_vars(toks):
+    """Mutable namespace-scope variable declarations.
+
+    Walks the stream at namespace scope: `namespace`/`extern "C"`
+    braces are transparent, class/enum/union bodies and function
+    bodies are skipped wholesale, aggregate initializers are carried
+    into their statement.
+    """
+    out = []
+    stmt = []
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        v = t.value
+        if t.kind == "pp":
+            i += 1
+            continue
+        if v == ";":
+            _analyze_ns_stmt(stmt, out)
+            stmt = []
+            i += 1
+            continue
+        if v == "{":
+            vals = [x.value for x in stmt]
+            if "namespace" in vals or (
+                    vals and vals[0] == "extern"
+                    and any(x.kind == "str" for x in stmt)):
+                stmt = []       # transparent scope; descend
+                i += 1
+                continue
+            if _top_level_eq(stmt):
+                j = model._match_brace(toks, i)
+                stmt.extend(toks[i:j])  # braced initializer
+                i = j
+                continue
+            j = model._match_brace(toks, i)
+            if model._stmt_is_function(stmt):
+                stmt = []       # function body: statement over
+            elif j < n and toks[j].value == ";":
+                # Class/enum body directly followed by ';': a pure
+                # type definition (`class X : public Y { ... };`), no
+                # declarator. The base clause would otherwise read as
+                # a variable named after the last base.
+                stmt = []
+            # else: keep the head — a declarator follows
+            # (`struct {...} x;`).
+            i = j
+            continue
+        if v == "}":
+            stmt = []           # closing a transparent scope
+            i += 1
+            continue
+        stmt.append(t)
+        i += 1
+    _analyze_ns_stmt(stmt, out)
+    return out
+
+
+def _local_static(unit, i):
+    """Facts for a `static` declaration starting at unit[i], or None.
+    Returns (line, name, type)."""
+    n = len(unit)
+    seg, depth, j = [], 0, i + 1
+    while j < n:
+        v = unit[j].value
+        if v in ("(", "[", "{"):
+            depth += 1
+        elif v in (")", "]", "}"):
+            depth -= 1
+        elif v == ";" and depth <= 0:
+            break
+        seg.append(unit[j])
+        j += 1
+    seg = model.strip_annotations(seg)
+    if not seg:
+        return None
+    if any(x.value in ("const", "constexpr") for x in seg):
+        return None
+    if model._stmt_is_function(seg):
+        return None  # `static U8 helper(...)` declaration, not state
+    name = None
+    for t in seg:
+        if t.value in ("=", "[", "{"):
+            break
+        if t.kind == "id":
+            name = t
+    if name is None or name.value in _NS_QUALIFIERS:
+        return None
+    mtype = next((t.value for t in seg
+                  if t.kind == "id" and t.value not in _NS_QUALIFIERS
+                  and t.value != name.value), None)
+    return (name.line, name.value, mtype)
+
+
+def _func_facts(units):
+    """Call-graph nodes: one dict per function unit."""
+    out = []
+    for qual, unit, line in units:
+        calls, statics = [], []
+        n = len(unit)
+        lo = min((t.line for t in unit), default=line)
+        hi = max((t.line for t in unit), default=line)
+        for i, t in enumerate(unit):
+            if t.kind != "id":
+                continue
+            if (i + 1 < n and unit[i + 1].value == "("
+                    and t.value not in model._NOT_FUNC_IDS):
+                calls.append([t.line, t.value])
+            elif (t.value == "static"
+                  and (i == 0
+                       or unit[i - 1].value in (";", "{", "}", ":"))):
+                fact = _local_static(unit, i)
+                if fact:
+                    statics.append([fact[0], fact[1], fact[2]])
+        out.append({"qual": qual, "line": min(line, lo), "lo": lo,
+                    "hi": hi, "calls": calls, "statics": statics})
+    return out
+
+
+def _unordered_decls(toks):
+    """(line, name) for declarations whose type is an unordered
+    container: `std::unordered_map<K, V> name`."""
+    out = []
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.value in _UNORDERED_TYPES:
+            j = i + 1
+            if j < n and toks[j].value == "<":
+                depth = 0
+                while j < n:
+                    v = toks[j].value
+                    if v == "<":
+                        depth += 1
+                    elif v == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif v == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            break
+                    elif v in (";", "{"):
+                        break
+                    j += 1
+                j += 1
+            while j < n and toks[j].value in ("*", "&", "&&", "const"):
+                j += 1
+            if j < n and toks[j].kind == "id":
+                out.append((toks[j].line, toks[j].value))
+                i = j
+        i += 1
+    return out
+
+
+def _iter_sites(toks):
+    """Container-iteration sites: range-for subjects and explicit
+    .begin()/.cbegin() receivers, as (line, [ids])."""
+    out = []
+    i, n = 0, len(toks)
+    while i < n:
+        t = toks[i]
+        if (t.kind == "id" and t.value == "for"
+                and i + 1 < n and toks[i + 1].value == "("):
+            close = _match_paren(toks, i + 1)
+            inner = toks[i + 2 : close]
+            depth, colon = 0, None
+            for k, x in enumerate(inner):
+                v = x.value
+                if v in ("(", "[", "{"):
+                    depth += 1
+                elif v in (")", "]", "}"):
+                    depth -= 1
+                elif v == ":" and depth == 0:
+                    colon = k
+                    break
+                elif v == ";" and depth == 0:
+                    break  # classic for loop, no range subject
+            if colon is not None:
+                ids = [x.value for x in inner[colon + 1 :]
+                       if x.kind == "id"]
+                if ids:
+                    out.append((t.line, ids))
+        elif (t.kind == "id" and t.value in _ITER_CALLS
+              and i + 1 < n and toks[i + 1].value == "("
+              and i >= 2 and toks[i - 1].value in (".", "->")
+              and toks[i - 2].kind == "id"):
+            out.append((t.line, [toks[i - 2].value]))
+        i += 1
+    return out
+
+
 def _binds(units):
     """Map "Class::method" -> member names bound through a StatsTree.
 
@@ -468,7 +788,8 @@ def build(path, rel, sha=None, text=None):
         sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
     lf = lexer.LexedFile(path, text)
     toks = lf.tokens
-    units = list(model.function_units(lf))
+    units_ex = list(model.function_units_ex(lf))
+    units = [(qual, unit) for qual, unit, _line in units_ex]
     bodies = {}
     for qual, unit in units:
         bodies.setdefault(qual, set()).update(
@@ -490,6 +811,10 @@ def build(path, rel, sha=None, text=None):
         "watch": watch,
         "callbacks": _callbacks(toks),
         "waivers": {ln: set(ns) for ln, ns in lf.waivers.items()},
+        "ns_vars": _ns_vars(toks),
+        "funcs": _func_facts(units_ex),
+        "unordered_decls": _unordered_decls(toks),
+        "iter_sites": _iter_sites(toks),
     }
     return FileIndex(path, rel, sha, data)
 
@@ -498,23 +823,66 @@ def build(path, rel, sha=None, text=None):
 # Cache
 # ---------------------------------------------------------------------
 
+_FINGERPRINT = None
+
+
+def toolchain_fingerprint():
+    """sha256 over every analyzer source file and config table.
+
+    Used as the `env` component of the cache key: editing any rule,
+    the lexer, this module, or layers.toml must invalidate every
+    cached index — otherwise a cache written by an older analyzer can
+    serve facts the new rules misread (the staleness bug this fixes
+    was exactly that: tweak a rule, get yesterday's verdicts).
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is not None:
+        return _FINGERPRINT
+    root = os.path.dirname(os.path.abspath(__file__))
+    h = hashlib.sha256()
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fn in filenames:
+            if fn.endswith((".py", ".toml")):
+                paths.append(os.path.join(dirpath, fn))
+    for p in sorted(paths):
+        h.update(os.path.relpath(p, root).replace("\\", "/").encode())
+        h.update(b"\0")
+        try:
+            with open(p, "rb") as f:
+                h.update(f.read())
+        except OSError:
+            pass
+        h.update(b"\0")
+    _FINGERPRINT = h.hexdigest()
+    return _FINGERPRINT
+
+
 def _cache_path(cache_dir, rel):
     safe = rel.replace("\\", "/").replace("/", "__")
     return os.path.join(cache_dir, safe + ".json")
 
 
-def load_or_build(path, rel, cache_dir=None):
-    """Return (FileIndex, cache_hit)."""
+def load_or_build(path, rel, cache_dir=None, env=None):
+    """Return (FileIndex, cache_hit).
+
+    `env` is the analyzer fingerprint the cache entry must match; it
+    defaults to toolchain_fingerprint() so callers get staleness
+    protection without opting in.
+    """
     with open(path, "rb") as f:
         raw = f.read()
     sha = hashlib.sha256(raw).hexdigest()
+    if env is None:
+        env = toolchain_fingerprint()
     cpath = _cache_path(cache_dir, rel) if cache_dir else None
     if cpath and os.path.isfile(cpath):
         try:
             with open(cpath, "r", encoding="utf-8") as f:
                 blob = json.load(f)
             if (blob.get("version") == INDEX_VERSION
-                    and blob.get("sha") == sha):
+                    and blob.get("sha") == sha
+                    and blob.get("env") == env):
                 return (FileIndex.from_data(path, rel, sha,
                                             blob["data"]), True)
         except (ValueError, OSError, KeyError, TypeError):
@@ -527,7 +895,7 @@ def load_or_build(path, rel, cache_dir=None):
             tmp = cpath + ".tmp"
             with open(tmp, "w", encoding="utf-8") as f:
                 json.dump({"version": INDEX_VERSION, "sha": sha,
-                           "data": fi.to_data()}, f)
+                           "env": env, "data": fi.to_data()}, f)
             os.replace(tmp, cpath)
         except OSError:
             pass  # cache is best-effort

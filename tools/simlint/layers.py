@@ -1,19 +1,26 @@
 """Loader/validator for tools/simlint/layers.toml (the module DAG).
 
-Returns a dict the layering rule consumes:
+Returns a dict the layering and cross-domain-access rules consume:
 
   rank    module -> layer index (0 = bottom)
   allow   set of (from_module, to_module) declared same-layer edges
   path    the config file path (for error reporting)
+  concurrency  dict with the [concurrency] section (simlint v3):
+      domain_scoped       set of modules holding per-Domain state
+      channel_types       type names carrying legal cross-domain
+                          traffic (event queue / channels)
+      cross_domain_types  type names of whole-machine aggregates a
+                          domain-scoped module may not touch directly
 
 Raises LayerConfigError on a malformed config — unknown modules in
-`allow`, duplicate module assignment, or an `allow` edge that is not
-same-layer (upward edges can never be declared legal; downward ones
-are implicitly legal and declaring them is a sign of confusion).
+`allow` or `domain_scoped`, duplicate module assignment, or an
+`allow` edge that is not same-layer (upward edges can never be
+declared legal; downward ones are implicitly legal and declaring
+them is a sign of confusion).
 
 Python >= 3.11 parses via tomllib; older interpreters fall back to a
 tiny literal-eval reader that understands exactly the subset this
-file uses (arrays of arrays of strings under [layers]).
+file uses (arrays of strings under [layers] / [concurrency]).
 """
 
 import ast
@@ -36,11 +43,11 @@ def _parse_toml(path):
     with open(path, "r", encoding="utf-8") as f:
         text = f.read()
     text = re.sub(r"#[^\n]*", "", text)
-    out = {}
-    for key in ("order", "allow"):
+
+    def grab(key):
         m = re.search(key + r"\s*=\s*(\[)", text)
         if not m:
-            continue
+            return None
         i = m.start(1)
         depth, j = 0, i
         while j < len(text):
@@ -51,8 +58,18 @@ def _parse_toml(path):
                 if depth == 0:
                     break
             j += 1
-        out[key] = ast.literal_eval(text[i : j + 1])
-    return {"layers": out}
+        return ast.literal_eval(text[i : j + 1])
+
+    layers, conc = {}, {}
+    for key in ("order", "allow"):
+        v = grab(key)
+        if v is not None:
+            layers[key] = v
+    for key in ("domain_scoped", "channel_types", "cross_domain_types"):
+        v = grab(key)
+        if v is not None:
+            conc[key] = v
+    return {"layers": layers, "concurrency": conc}
 
 
 def load(path):
@@ -89,4 +106,18 @@ def load(path):
                 "%s: allow edge %s -> %s is downward — already "
                 "implicitly legal, remove it" % (path, src, dst))
         allow.add((src, dst))
-    return {"rank": rank, "allow": allow, "path": path}
+    conc_raw = data.get("concurrency", {})
+    domain_scoped = set(conc_raw.get("domain_scoped", []))
+    for mod in domain_scoped:
+        if mod not in rank:
+            raise LayerConfigError(
+                "%s: [concurrency] domain_scoped names undeclared "
+                "module '%s'" % (path, mod))
+    concurrency = {
+        "domain_scoped": domain_scoped,
+        "channel_types": set(conc_raw.get("channel_types", [])),
+        "cross_domain_types":
+            set(conc_raw.get("cross_domain_types", [])),
+    }
+    return {"rank": rank, "allow": allow, "path": path,
+            "concurrency": concurrency}

@@ -37,7 +37,14 @@ _TOKEN_RE = re.compile(
     re.VERBOSE | re.DOTALL,
 )
 
-_WAIVER_RE = re.compile(r"//\s*simlint:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+# A waiver is a kebab-case name with an optional parenthesized
+# argument: `// simlint: nondet-ok` or
+# `// simlint: shared-guarded(registry_mu)`. Arguments carry the
+# justification a rule demands (the lock name for shared-guarded);
+# they may not contain commas, which separate multiple waivers.
+_WAIVER_ITEM = r"[a-z-]+(?:\([A-Za-z0-9_:.\s]*\))?"
+_WAIVER_RE = re.compile(
+    r"//\s*simlint:\s*(%s(?:\s*,\s*%s)*)" % (_WAIVER_ITEM, _WAIVER_ITEM))
 
 
 class LexedFile:
@@ -67,7 +74,25 @@ class LexedFile:
             line += value.count("\n")
 
     def waived(self, line, name):
-        return name in self.waivers.get(line, set())
+        return waiver_match(self.waivers.get(line, set()), name)
+
+
+def waiver_match(waivers, name):
+    """True when `name` is waived: exact match, or (for waivers that
+    carry an argument) a `name(...)` entry."""
+    if name in waivers:
+        return True
+    prefix = name + "("
+    return any(w.startswith(prefix) for w in waivers)
+
+
+def waiver_arg(waivers, name):
+    """The argument of a `name(arg)` waiver on this line, or None."""
+    prefix = name + "("
+    for w in waivers:
+        if w.startswith(prefix) and w.endswith(")"):
+            return w[len(prefix):-1].strip()
+    return None
 
 
 def lex_file(path):

@@ -14,6 +14,7 @@ the checkpoint-coverage rule because PTLsim serialization code
 mentions members by name.
 """
 
+import re
 from collections import namedtuple
 
 ClassDef = namedtuple("ClassDef", ["name", "line", "members", "methods"])
@@ -30,6 +31,39 @@ _KEYWORD_STMT = {
     "template", "enum", "struct", "class", "union", "static",
     "constexpr", "static_assert", "operator",
 }
+
+
+# Thread-safety annotation macros (src/lib/threadsafety.h). They
+# decorate declarations — `std::deque<Counter> storage
+# PTL_GUARDED_BY(mu);` — and would otherwise be read as the declared
+# name by the last-identifier heuristics below, so declaration
+# analyzers strip them (with their argument list) first.
+_ANNOTATION_RE = re.compile(r"^PTL_[A-Z_]+$")
+
+
+def strip_annotations(stmt):
+    """Remove PTL_* annotation macros (and their parenthesized
+    arguments) from a declaration statement."""
+    out, i, n = [], 0, len(stmt)
+    while i < n:
+        t = stmt[i]
+        if t.kind == "id" and _ANNOTATION_RE.match(t.value):
+            i += 1
+            if i < n and stmt[i].value == "(":
+                depth = 0
+                while i < n:
+                    if stmt[i].value == "(":
+                        depth += 1
+                    elif stmt[i].value == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    i += 1
+                i += 1
+            continue
+        out.append(t)
+        i += 1
+    return out
 
 
 def _match_brace(tokens, i):
@@ -104,6 +138,7 @@ def _stmt_is_function(stmt):
 
 def _member_name(stmt):
     """The declared name of a member statement, or None."""
+    stmt = strip_annotations(stmt)
     if not stmt or stmt[0].value in _KEYWORD_STMT:
         # `static` / `using` / access labels and friends are not
         # serializable data members.
@@ -179,16 +214,39 @@ def classes(lexed):
     return out
 
 
-def function_units(lexed):
-    """Yield (qual, tokens) for every function definition.
+# Identifiers that look like `name(...)` but never open a function
+# definition (keywords and cast-like forms the free-function scan
+# must skip).
+_NOT_FUNC_IDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "new", "delete", "do", "else", "case", "default", "goto",
+    "throw", "alignof", "decltype", "noexcept", "static_assert",
+    "assert", "defined", "alignas",
+}
 
-    Out-of-line definitions (`void Class::method(...) : init... { }`)
-    yield the tokens from just past the parameter list's ')' through
-    the body's closing '}' — that span includes the constructor
-    initializer list, which rules use to see member bindings. Inline
-    definitions inside a class body yield the whole member statement.
+
+def function_units_ex(lexed):
+    """Yield (qual, tokens, def_line) for every function definition.
+
+    Three shapes are recognized:
+
+      - out-of-line methods (`void Class::method(...) : init... { }`):
+        the unit is the tokens from just past the parameter list's ')'
+        through the body's closing '}' — that span includes the
+        constructor initializer list, which rules use to see member
+        bindings;
+      - inline methods inside a class body: the whole member statement;
+      - free functions at namespace scope (`static U64 helper(...) { }`):
+        same span convention as out-of-line methods, qualified by the
+        bare function name. These feed the call graph — a `src/sys/`
+        entry point that reaches rand() through an anonymous-namespace
+        helper is only visible if the helper is a node.
+
+    Spans claimed by an earlier shape are skipped by later scans, so a
+    call `Foo::bar(x)` inside a method body never fabricates a unit.
     """
     toks = lexed.tokens
+    claimed = []  # token-index spans [lo, hi) already attributed
 
     # Out-of-line: id '::' id ... '(' ... ')' [init-list] '{' body '}'
     i = 0
@@ -196,6 +254,7 @@ def function_units(lexed):
         if (toks[i].kind == "id" and toks[i + 1].value == "::"
                 and toks[i + 2].kind == "id"):
             qual = toks[i].value + "::" + toks[i + 2].value
+            line = toks[i].line
             j = i + 3
             if j < len(toks) and toks[j].value == "(":
                 # Skip to matching ')', then look for '{' before ';'.
@@ -213,12 +272,15 @@ def function_units(lexed):
                     k += 1
                 if k < len(toks) and toks[k].value == "{":
                     end = _match_brace(toks, k)
-                    yield qual, toks[j + 1 : end]
+                    yield qual, toks[j + 1 : end], line
+                    claimed.append((i, end))
                     i = end
                     continue
         i += 1
 
     # Inline: per class, any method statement carrying a '{' body.
+    # The whole class span is claimed (member declarations are not
+    # free functions).
     i = 0
     while i < len(toks):
         t = toks[i]
@@ -236,10 +298,65 @@ def function_units(lexed):
                         names = _method_names(stmt)
                         if names and any(x.value == "{" for x in stmt):
                             for n in names:
-                                yield cname + "::" + n, stmt
+                                yield (cname + "::" + n, stmt,
+                                       stmt[0].line)
+                    claimed.append((i, end))
                     i = end
                     continue
         i += 1
+
+    # Free functions: id '(' ... ')' [specifiers] '{' body '}' at any
+    # position not already claimed above.
+    claimed.sort()
+
+    def next_unclaimed(pos):
+        for lo, hi in claimed:
+            if lo <= pos < hi:
+                return hi
+        return pos
+
+    i = 0
+    n = len(toks)
+    while i < n:
+        skip = next_unclaimed(i)
+        if skip != i:
+            i = skip
+            continue
+        t = toks[i]
+        if (t.kind == "id" and t.value not in _NOT_FUNC_IDS
+                and i + 1 < n and toks[i + 1].value == "("
+                and (i == 0
+                     or toks[i - 1].value not in ("::", ".", "->"))):
+            depth, j = 0, i + 1
+            while j < n:
+                if toks[j].value == "(":
+                    depth += 1
+                elif toks[j].value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            k = j + 1
+            while k < n and toks[k].value not in ("{", ";", "="):
+                k += 1
+            if k < n and toks[k].value == "{":
+                # A '{' inside an already-claimed span belongs to that
+                # unit (fully nested claims — a local struct inside
+                # this body — are fine and stay claimed by the class
+                # scan).
+                if not any(lo <= k < hi for lo, hi in claimed):
+                    end = _match_brace(toks, k)
+                    yield t.value, toks[j + 1 : end], t.line
+                    i = end
+                    continue
+        i += 1
+
+
+def function_units(lexed):
+    """Yield (qual, tokens) for every function definition (see
+    function_units_ex for the shapes recognized)."""
+    for qual, unit, _line in function_units_ex(lexed):
+        yield qual, unit
 
 
 def method_bodies(lexed):

@@ -28,11 +28,14 @@ AnalysisContext = namedtuple(
 
 from . import (  # noqa: E402
     checkpoint_coverage,
+    cross_domain_access,
     enum_exhaustiveness,
     event_discipline,
     layering,
+    nondet_taint,
     nondeterminism,
     raw_cycle,
+    shared_state,
     stats_coverage,
 )
 
@@ -44,5 +47,8 @@ ALL = [
     event_discipline,
     raw_cycle,
     nondeterminism,
+    shared_state,
+    nondet_taint,
+    cross_domain_access,
 ]
 BY_NAME = {r.NAME: r for r in ALL}

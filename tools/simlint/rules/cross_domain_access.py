@@ -1,0 +1,78 @@
+"""cross-domain-access: domain-scoped code talks to other Domains
+only through event channels.
+
+The sharding design (ROADMAP "shard the machine") runs one host
+thread per simulated Domain and synchronizes them at epoch barriers.
+That only works if code owned by a Domain never reaches into another
+Domain's state directly — all cross-domain traffic must flow through
+the event queue's (due, priority, seq) message discipline, which the
+barrier can serialize.
+
+The contract is declared in layers.toml [concurrency]:
+
+  domain_scoped       modules whose instances become per-Domain
+                      (core, mem, branch, decode, kernel today);
+  cross_domain_types  whole-machine aggregates (Machine, Domain) a
+                      domain-scoped function body may not mention;
+  channel_types       the sanctioned couriers (EventQueue, ...) —
+                      always legal, listed for documentation and for
+                      future refinement of the rule.
+
+Detection is name-based over the index's per-function identifier
+sets: a function in a domain-scoped module whose body mentions a
+cross-domain type is a finding at its definition line. Includes are
+NOT consulted — the layering rule owns include edges; this rule owns
+type mentions, so the two never double-report.
+
+Waiver: `// simlint: cross-domain-ok` on the definition line, with a
+comment explaining why the access cannot race once sharded.
+"""
+
+NAME = "cross-domain-access"
+WAIVER = "cross-domain-ok"
+
+
+def _module_of_rel(rel, known):
+    parts = rel.split("/")
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] in known:
+            return parts[i + 1]
+    return None
+
+
+def run(ctx):
+    from . import Finding
+
+    layers = ctx.layers
+    if layers is None:
+        return []
+    conc = layers.get("concurrency") or {}
+    domain_scoped = conc.get("domain_scoped") or set()
+    bad_types = conc.get("cross_domain_types") or set()
+    if not domain_scoped or not bad_types:
+        return []
+    findings = []
+    for fi in ctx.files:
+        mod = _module_of_rel(fi.rel, domain_scoped)
+        if mod is None:
+            continue
+        for fn in fi.funcs:
+            body_ids = fi.bodies.get(fn["qual"])
+            if not body_ids:
+                continue
+            hits = bad_types.intersection(body_ids)
+            if not hits:
+                continue
+            line = fn["line"]
+            if fi.waived(line, WAIVER):
+                continue
+            findings.append(Finding(
+                NAME, fi.path, line,
+                "'%s' in domain-scoped module '%s' mentions "
+                "cross-domain type %s — route the interaction "
+                "through an event channel (EventQueue post), or "
+                "waive with `// simlint: cross-domain-ok` and a "
+                "no-race argument"
+                % (fn["qual"], mod,
+                   ", ".join("'%s'" % t for t in sorted(hits)))))
+    return findings

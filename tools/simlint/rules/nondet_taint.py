@@ -1,0 +1,157 @@
+"""nondet-taint: interprocedural nondeterminism reachability.
+
+The per-file `nondeterminism` rule sees a rand() call or an unordered
+container where it happens. What it cannot see is a src/sys/ entry
+point whose determinism contract is broken three calls away — e.g.
+Machine::run -> audit -> CoherenceController::auditAll iterating an
+unordered_map. This rule closes that hole with call-graph taint
+propagation over the v3 index:
+
+  sinks    entropy calls (rand/clock/... — same disambiguation as the
+           nondeterminism rule) and iteration over a variable declared
+           anywhere in the tree with an unordered container type
+           (range-for subject or .begin()/.cbegin() receiver);
+  graph    name-based and over-approximating: a call `f(...)` edges to
+           every indexed function whose unqualified name is `f`; no
+           type resolution, so virtual dispatch and function pointers
+           over-taint rather than under-taint;
+  entries  functions defined under src/sys/ or src/stats/ (the
+           serialized / statistics scope whose determinism the
+           checkpoint and stats machinery depends on).
+
+A tainted entry is reported at its definition line with the full call
+chain down to the sink, so the fix site is visible without re-running
+anything.
+
+Waiver: `// simlint: nondet-taint-ok` — on a sink line it asserts the
+operation is order-independent (an erase-everything loop) and kills
+all taint flowing from it; on an entry's definition line it exempts
+just that entry.
+"""
+
+from .nondeterminism import _ENTROPY_IDS, _TIME_CALL_ARGS
+
+NAME = "nondet-taint"
+WAIVER = "nondet-taint-ok"
+
+_ENTRY_SCOPE = ("src/sys/", "src/stats/")
+
+
+def _last_component(qual):
+    return qual.rsplit("::", 1)[-1]
+
+
+def _containing_node(nodes_by_file, file_idx, line):
+    """The tightest function span in this file containing `line`."""
+    best = None
+    for nid in nodes_by_file.get(file_idx, ()):
+        fn = nid[2]
+        if fn["lo"] <= line <= fn["hi"]:
+            if best is None or (fn["hi"] - fn["lo"]
+                                < best[2]["hi"] - best[2]["lo"]):
+                best = nid
+    return best
+
+
+def run(ctx):
+    from . import Finding
+
+    files = ctx.files
+    # Node = (file_idx, func_idx, func_dict); keyed by (fi, fj).
+    nodes = []
+    nodes_by_file = {}
+    by_name = {}
+    for i, fi in enumerate(files):
+        for j, fn in enumerate(fi.funcs):
+            nid = (i, j, fn)
+            nodes.append(nid)
+            nodes_by_file.setdefault(i, []).append(nid)
+            by_name.setdefault(_last_component(fn["qual"]), []).append(nid)
+
+    unordered_names = set()
+    for fi in files:
+        for _line, name in fi.unordered_decls:
+            unordered_names.add(name)
+
+    # Sinks: (node, description). Waived sink lines taint nothing.
+    sinks = []
+    for i, fi in enumerate(files):
+        for line, name, prev, nxt, nxt2 in fi.watch:
+            is_entropy = name in _ENTROPY_IDS
+            is_time = (name == "time" and nxt == "("
+                       and (prev == "::" or nxt2 in _TIME_CALL_ARGS))
+            if not (is_entropy or is_time):
+                continue
+            if fi.waived(line, WAIVER):
+                continue
+            node = _containing_node(nodes_by_file, i, line)
+            if node:
+                sinks.append((node, "%s() at %s:%d"
+                              % (name, fi.rel, line)))
+        for line, ids in fi.iter_sites:
+            hit = unordered_names.intersection(ids)
+            if not hit:
+                continue
+            if fi.waived(line, WAIVER):
+                continue
+            node = _containing_node(nodes_by_file, i, line)
+            if node:
+                sinks.append((node, "iteration over unordered '%s' "
+                              "at %s:%d" % (sorted(hit)[0], fi.rel,
+                                            line)))
+
+    # Reverse edges: callee node -> [caller nodes].
+    rev = {}
+    for nid in nodes:
+        for _line, callee in nid[2]["calls"]:
+            for target in by_name.get(callee, ()):
+                if target[:2] != nid[:2]:
+                    rev.setdefault(target[:2], []).append(nid)
+
+    # BFS from sinks; taint[key] = (sink_desc, next_key_toward_sink).
+    taint = {}
+    work = []
+    for node, desc in sinks:
+        key = node[:2]
+        if key not in taint:
+            taint[key] = (desc, None)
+            work.append(node)
+    while work:
+        node = work.pop()
+        key = node[:2]
+        desc = taint[key][0]
+        for caller in rev.get(key, ()):
+            ckey = caller[:2]
+            if ckey not in taint:
+                taint[ckey] = (desc, key)
+                work.append(caller)
+
+    def chain(key):
+        quals = []
+        while key is not None:
+            i, j = key
+            quals.append(files[i].funcs[j]["qual"])
+            key = taint[key][1]
+        return quals
+
+    findings = []
+    for i, fi in enumerate(files):
+        if not any(s in fi.rel for s in _ENTRY_SCOPE):
+            continue
+        for j, fn in enumerate(fi.funcs):
+            key = (i, j)
+            if key not in taint:
+                continue
+            line = fn["line"]
+            if fi.waived(line, WAIVER):
+                continue
+            desc = taint[key][0]
+            findings.append(Finding(
+                NAME, fi.path, line,
+                "'%s' transitively reaches a nondeterministic sink: "
+                "%s — call chain: %s. Make the sink deterministic "
+                "(sorted iteration, seeded Rng) or waive the sink "
+                "line with `// simlint: nondet-taint-ok` and an "
+                "order-independence argument"
+                % (fn["qual"], desc, " -> ".join(chain(key)))))
+    return findings

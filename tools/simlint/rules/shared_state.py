@@ -1,0 +1,69 @@
+"""shared-state: no unaccounted mutable process-wide state in src/.
+
+The "shard the machine" refactor (ROADMAP) gives every simulated
+Domain its own host thread. Any mutable static — a namespace-scope
+variable, a file-scope static, an out-of-line static class member, or
+a function-local static (the classic singleton accessor) — is then
+touched from several threads at once unless someone has proven
+otherwise. This rule forces that proof to be written down:
+
+  // simlint: domain-local
+      The variable is only ever touched by one Domain's thread
+      (e.g. it migrates into Machine/Domain-owned state in the
+      sharding PR and the static is a pre-shard convenience).
+
+  // simlint: shared-guarded(<lock>)
+      The variable is genuinely shared and <lock> names the mutex /
+      atomic discipline protecting it. The argument is mandatory —
+      a bare `shared-guarded` waiver is itself a finding, because a
+      guard nobody can name is a guard that does not exist.
+
+Constants are fine: any `const`/`constexpr` declaration is ignored by
+the index extraction. Scope: files under src/ only — tools and tests
+may keep their statics.
+"""
+
+NAME = "shared-state"
+WAIVER = "domain-local"
+WAIVER_GUARDED = "shared-guarded"
+
+
+def _check(fi, line, name, what, findings):
+    from . import Finding
+
+    if fi.waived(line, WAIVER):
+        return "domain-local"
+    if fi.waived(line, WAIVER_GUARDED):
+        arg = fi.waiver_arg(line, WAIVER_GUARDED)
+        if arg:
+            return "shared-guarded"
+        findings.append(Finding(
+            NAME, fi.path, line,
+            "%s '%s' has a shared-guarded waiver that names no lock — "
+            "write shared-guarded(<mutex or atomic>) so the guard is "
+            "auditable" % (what, name)))
+        return None
+    findings.append(Finding(
+        NAME, fi.path, line,
+        "mutable %s '%s' is process-wide state — migrate it into "
+        "Machine/Domain-owned state, or waive with "
+        "`// simlint: domain-local` (single-Domain proof) or "
+        "`// simlint: shared-guarded(<lock>)`" % (what, name)))
+    return None
+
+
+def run(ctx):
+    findings = []
+    for fi in ctx.files:
+        if "src/" not in fi.rel:
+            continue
+        for line, name, _type, is_static in fi.ns_vars:
+            what = ("file-scope static" if is_static
+                    else "namespace-scope variable")
+            _check(fi, line, name, what, findings)
+        for fn in fi.funcs:
+            for line, name, _type in fn["statics"]:
+                _check(fi, line, name,
+                       "function-local static (in %s)" % fn["qual"],
+                       findings)
+    return findings
