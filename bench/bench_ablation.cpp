@@ -41,6 +41,7 @@ class Rig : public SystemInterface
           interlocks(stats),
           coherence(config.coherence, config.interconnect_latency, stats)
     {
+        aspace.transCache().setShadowEnabled(cfg.verify);
         cr3 = aspace.createRoot();
         aspace.mapRange(cr3, CODE_BASE, 64 * PAGE_SIZE, Pte::RW | Pte::US);
         aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
@@ -103,6 +104,38 @@ class Rig : public SystemInterface
                 break;
             if (c > 2'000'000'000ULL)
                 break;
+        }
+        return c;
+    }
+
+    /** Like run(), but honours CoreModel::sleepUntil — the driver jumps
+     *  straight to each core's next-interesting cycle instead of
+     *  evaluating quiesced stall cycles one by one (the machine busy
+     *  loop's skip-ahead contract). With cfg.skip_ahead off,
+     *  sleepUntil always returns `now` and this degenerates to run(). */
+    U64
+    runWithSleep()
+    {
+        U64 c = 0;
+        while (true) {
+            bool idle = true;
+            for (auto &core : cores) {
+                core->cycle(SimCycle(c));
+                idle &= core->allIdle();
+            }
+            c++;
+            if (idle)
+                break;
+            if (c > 2'000'000'000ULL)
+                break;
+            SimCycle next = CYCLE_NEVER;
+            for (auto &core : cores) {
+                SimCycle s = core->sleepUntil(SimCycle(c));
+                if (s < next)
+                    next = s;
+            }
+            if (next != CYCLE_NEVER && next.raw() > c)
+                c = next.raw();
         }
         return c;
     }
@@ -205,6 +238,70 @@ predictorAblation(benchmark::State &state, PredictorKind kind)
     }
     state.counters["sim_cycles"] = (double)cycles;
     state.counters["mispredicts"] = (double)mispredicts;
+}
+
+/** Serialized pointer-chase: every load address depends on the
+ *  previous load's value, so the pipeline drains on each D-miss and
+ *  skip-ahead has long quiesced stretches to jump. */
+void
+missChainKernel(Assembler &a)
+{
+    a.movImm64(R::rbx, DATA_BASE);
+    a.mov(R::rcx, 2000);
+    a.mov(R::rax, 0);
+    Label top = a.label();
+    a.mov(R::rdx, R::rcx);
+    a.and_(R::rdx, 63);
+    a.shl(R::rdx, 13);               // 8 KB stride over a 512 KB window
+    a.add(R::rdx, R::rbx);
+    a.add(R::rdx, R::rax);           // serialize on the previous load
+    a.mov(R::rsi, Mem::at(R::rdx));
+    a.add(R::rax, R::rsi);           // zero-filled memory: rax stays 0
+    a.dec(R::rcx);
+    a.jcc(COND_ne, top);
+    a.hlt();
+}
+
+/** Skip-ahead on/off must be architecturally invisible — identical
+ *  sim_cycles — while the wall-clock column shows the speedup from
+ *  not evaluating quiesced stall cycles. evaluated_cycles reports how
+ *  many cycles actually ran through the pipeline stages; the rest were
+ *  jumped via sleepUntil. */
+void
+skipAheadAblation(benchmark::State &state, bool skip)
+{
+    U64 cycles = 0, evaluated = 0;
+    for (auto _ : state) {
+        // Rig setup (32 MB guest memory init) dwarfs the simulation
+        // itself here; measure only the run loop.
+        state.PauseTiming();
+        SimConfig cfg = SimConfig::preset("k8");
+        cfg.core = "ooo";
+        cfg.skip_ahead = skip;
+        auto rig = std::make_unique<Rig>(cfg, 1);
+        Assembler a(CODE_BASE);
+        missChainKernel(a);
+        rig->loadAndStart(a);
+        state.ResumeTiming();
+        cycles = rig->runWithSleep();
+        state.PauseTiming();
+        evaluated = rig->stats.get("core0/cycles");
+        rig.reset();
+        state.ResumeTiming();
+    }
+    state.counters["sim_cycles"] = (double)cycles;
+    state.counters["evaluated_cycles"] = (double)evaluated;
+}
+
+void
+BM_SkipAheadOn(benchmark::State &state)
+{
+    skipAheadAblation(state, true);
+}
+void
+BM_SkipAheadOff(benchmark::State &state)
+{
+    skipAheadAblation(state, false);
 }
 
 void
@@ -317,6 +414,8 @@ BM_CoherenceMoesi(benchmark::State &state)
 
 BENCHMARK(BM_BbCacheOn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BbCacheThrashed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkipAheadOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkipAheadOff)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictorHybrid)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictorGshare)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictorBimodal)->Unit(benchmark::kMillisecond);

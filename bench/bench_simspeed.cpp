@@ -37,6 +37,7 @@ class BareRig : public SystemInterface
           interlocks(stats)
     {
         aspace.attachStats(stats);
+        aspace.transCache().setShadowEnabled(cfg.verify);
         cr3 = aspace.createRoot();
         aspace.mapRange(cr3, CODE_BASE, 64 * PAGE_SIZE, Pte::RW | Pte::US);
         aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,

@@ -49,7 +49,40 @@ try:
     merged = json.load(open(out_path))
 except (FileNotFoundError, ValueError):
     merged = {}
+
+# Monotonic sequence number so "the previous entry" is well defined
+# even though the file is label-keyed; entries recorded before seq was
+# introduced count as 0 in label order.
+prev_label = None
+prev_seq = -1
+for k, v in merged.items():
+    if k == label:
+        continue
+    s = v.get("seq", 0)
+    if s > prev_seq or (s == prev_seq and prev_label is not None
+                        and k > prev_label):
+        prev_seq, prev_label = s, k
+run["seq"] = max([v.get("seq", 0) for v in merged.values()] + [0]) + 1
+
 merged[label] = run
 json.dump(merged, open(out_path, "w"), indent=2, sort_keys=True)
-print(f"bench.sh: recorded '{label}' in {out_path}")
+print(f"bench.sh: recorded '{label}' (seq {run['seq']}) in {out_path}",
+      file=sys.stderr)
+
+# Machine-readable delta vs the previous entry on stdout.
+delta = {"label": label, "previous": prev_label, "benchmarks": {}}
+if prev_label is not None:
+    prev = merged[prev_label]["benchmarks"]
+    for name, entry in run["benchmarks"].items():
+        if name not in prev:
+            continue
+        d = {}
+        for key, new in entry.items():
+            old = prev[name].get(key)
+            if old:
+                d[key] = {"old": old, "new": new,
+                          "delta_pct": round(100.0 * (new - old) / old,
+                                             1)}
+        delta["benchmarks"][name] = d
+print(json.dumps(delta, indent=2, sort_keys=True))
 EOF

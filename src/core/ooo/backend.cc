@@ -6,6 +6,7 @@
  * exceptions, assists, event delivery and the commit checker.
  */
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/ooo/ooocore.h"
@@ -48,27 +49,38 @@ OooCore::stageIssue(SimCycle now)
     bool mul_used = false, div_used = false;
 
     for (IssueQueue &iq : queues) {
+        if (iq.used == 0) {
+            iq.next_wake = CYCLE_NEVER;
+            continue;
+        }
+        // Queue-level skip: next_wake lower-bounds the earliest cycle
+        // any entry here can issue (broadcasts and inserts lower it),
+        // so while it lies in the future the whole scan is provably a
+        // no-op.
+        if (iq.next_wake > now) {
+            st_select_fast_skips++;
+            continue;
+        }
         int issued = 0;
         while (issued < cfg.issue_width_per_cluster) {
-            // Oldest-first (collapsing queue) selection.
+            // Oldest-first (collapsing queue) selection over entries
+            // whose ready mask filled and whose wake stamp arrived.
+            // Not-ready slots cost one 32-byte IqEntry read; the
+            // 168-byte RobEntry is only touched for candidates.
             int best = -1;
             U64 best_seq = ~0ULL;
             for (size_t i = 0; i < iq.slots.size(); i++) {
                 IqEntry &slot = iq.slots[i];
-                if (!slot.valid || slot.seq >= best_seq)
+                if (!slot.valid || slot.seq >= best_seq
+                    || slot.ready_mask != IQ_ALL_READY
+                    || slot.wake_cycle > now)
                     continue;
-                Thread &t = threads[slot.thread];
-                RobEntry &e = t.rob[slot.rob];
+                RobEntry &e = threads[slot.thread].rob[slot.rob];
                 if (e.retry_cycle > now)
                     continue;
-                UopClass cls = e.uop.cls();
+                UopClass cls = e.uop.schedCls();
                 if ((cls == UopClass::IntMul && mul_used)
                     || (cls == UopClass::IntDiv && div_used))
-                    continue;
-                bool ready = true;
-                for (int s = 0; s < 4; s++)
-                    ready &= physReadyFor(e.src[s], iq.cluster, now);
-                if (!ready)
                     continue;
                 best = (int)i;
                 best_seq = slot.seq;
@@ -77,7 +89,8 @@ OooCore::stageIssue(SimCycle now)
                 break;
             UopClass cls =
                 threads[iq.slots[best].thread].rob[iq.slots[best].rob]
-                    .uop.cls();
+                    .uop.schedCls();
+            cycle_activity = true;  // issue or replay both mutate state
             bool ok = issueOne(now, iq, best);
             if (cls == UopClass::IntMul)
                 mul_used = true;
@@ -86,6 +99,23 @@ OooCore::stageIssue(SimCycle now)
             issued++;  // the port is consumed even by a replayed op
             (void)ok;
         }
+        // Recompute the skip bound from the surviving candidates. An
+        // entry still issuable right now (width- or hazard-limited this
+        // cycle) clamps to now+1; partially-ready entries contribute
+        // nothing — the broadcast that completes their mask lowers
+        // next_wake at that moment.
+        SimCycle next = CYCLE_NEVER;
+        for (const IqEntry &slot : iq.slots) {
+            if (!slot.valid || slot.ready_mask != IQ_ALL_READY)
+                continue;
+            const RobEntry &e = threads[slot.thread].rob[slot.rob];
+            SimCycle at = std::max(slot.wake_cycle, e.retry_cycle);
+            if (at <= now)
+                at = now + cycles(1);
+            if (at < next)
+                next = at;
+        }
+        iq.next_wake = next;
     }
 }
 
@@ -130,8 +160,10 @@ OooCore::issueOne(SimCycle now, IssueQueue &iq, int slot_idx)
         reg.value = out.value;
         reg.flags = out.flags;
         reg.ready = true;
-        reg.ready_cycle = now + cycles((U64)classLatency(cfg, u.cls()));
-        reg.cluster = iq.cluster;
+        reg.ready_cycle =
+            now + cycles((U64)classLatency(cfg, u.schedCls()));
+        reg.cluster = (S8)iq.cluster;
+        broadcastReady(e.phys);
     }
     e.state = RobState::Done;
     slot.valid = false;
@@ -396,7 +428,7 @@ OooCore::commitUopState(Thread &t, RobEntry &e)
                 pending_smc.push_back(pageOf(b.paddr));
         }
     }
-    if (u.writesRd()) {
+    if (u.schedWritesRd()) {
         ctx.setReg(u.rd, prf[e.phys].value);
         int old = t.arch_rat[u.rd];
         t.arch_rat[u.rd] = (S16)e.phys;
@@ -433,6 +465,10 @@ bool
 OooCore::commitThread(SimCycle now, Thread &t, int &budget)
 {
     Context &ctx = *t.ctx;
+
+    // Every attempt re-derives why commit is blocked; stale stamps
+    // from earlier cycles must not linger into the sleep decision.
+    t.commit_wake = CYCLE_NEVER;
 
     // Event (virtual interrupt) delivery at instruction boundaries.
     bool at_boundary =
@@ -474,9 +510,19 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
         RobEntry &e = t.rob[group[n]];
         if (e.state != RobState::Done)
             return false;
-        if (e.phys >= 0 && prf[e.phys].ready
-            && prf[e.phys].ready_cycle > now)
-            return false;  // writeback not complete yet
+        if (e.phys >= 0 && prf[e.phys].ready) {
+            // Writeback completeness goes through the same readiness
+            // predicate issue uses (same-cluster view, so the bypass
+            // adjustment degenerates to the raw ready_cycle) instead
+            // of re-reading the stamp ad hoc.
+            const PhysReg &reg = prf[e.phys];
+            SimCycle wb = effectiveReadyCycle(reg, reg.cluster);
+            if (wb > now) {
+                if (wb < t.commit_wake)
+                    t.commit_wake = wb;
+                return false;  // writeback not complete yet
+            }
+        }
         if (e.uop.isStore() && e.lsq >= 0
             && e.fault == GuestFault::None) {
             // Interlocks are checked at issue, but the write lands at
@@ -484,8 +530,13 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
             // another thread's locked read-modify-write window.
             const LsqEntry &s = t.stq[e.lsq];
             if (!s.lock_acquired
-                && interlocks->heldByOther(s.paddr, ownerId(t)))
+                && interlocks->heldByOther(s.paddr, ownerId(t))) {
+                // The lock owner is another thread or core; its
+                // release is invisible to this core's activity
+                // tracking, so poll every cycle while asleep.
+                t.commit_wake = now + cycles(1);
                 return false;
+            }
         }
         if (e.hoist_violation) {
             hoist_violation = true;
@@ -657,6 +708,7 @@ OooCore::stageCommit(SimCycle now)
         while (budget > 0) {
             if (!commitThread(now, threads[tid], budget))
                 break;
+            cycle_activity = true;
         }
     }
     next_commit_thread++;

@@ -50,6 +50,7 @@ OooCore::stageFetch(SimCycle now)
                 fu.ready_at = now + cycles((U64)cfg.frontend_stages);
                 t.fetch_queue.push_back(fu);
                 t.fetch_faulted = true;
+                cycle_activity = true;
                 return;
             }
             t.fetch_bb = bb;
@@ -67,6 +68,7 @@ OooCore::stageFetch(SimCycle now)
             }
             if (extra > 0) {
                 t.fetch_stall_until = now + cycles((U64)extra);
+                cycle_activity = true;
                 return;
             }
         }
@@ -122,6 +124,7 @@ OooCore::stageFetch(SimCycle now)
             fu.ras_top = predictor->rasTop();
             t.fetch_idx++;
             t.fetch_queue.push_back(fu);
+            cycle_activity = true;
             continue;
         }
 
@@ -131,11 +134,13 @@ OooCore::stageFetch(SimCycle now)
             t.fetch_idx++;
             t.fetch_queue.push_back(fu);
             t.fetch_faulted = true;
+            cycle_activity = true;
             return;
         }
 
         t.fetch_idx++;
         t.fetch_queue.push_back(fu);
+        cycle_activity = true;
     }
 }
 
@@ -147,8 +152,12 @@ OooCore::renameOne(SimCycle now, Thread &t, int tid)
 
     if (t.rob_used >= (int)t.rob.size())
         return false;
-    bool needs_phys = u.writesRd() || u.setflags != 0;
-    bool fp = u.writesRd() && isFpReg(u.rd);
+    // schedWritesRd/schedCls/schedFlagGroups read the metadata cached
+    // at decode (Uop::precomputeSched) instead of re-deriving it from
+    // the uop table for every dynamic instance.
+    bool writes_rd = u.schedWritesRd();
+    bool needs_phys = writes_rd || u.setflags != 0;
+    bool fp = writes_rd && isFpReg(u.rd);
     if (needs_phys && (fp ? free_fp.empty() : free_int.empty()))
         return false;
 
@@ -157,7 +166,7 @@ OooCore::renameOne(SimCycle now, Thread &t, int tid)
         || fu.fetch_fault != GuestFault::None;
     int qidx = -1;
     if (!direct_done) {
-        UopClass cls = u.cls();
+        UopClass cls = u.schedCls();
         if (cls == UopClass::Fpu || cls == UopClass::FpDiv) {
             qidx = fp_queue_index;
         } else if (cls == UopClass::IntMul || cls == UopClass::IntDiv) {
@@ -231,7 +240,7 @@ OooCore::renameOne(SimCycle now, Thread &t, int tid)
         e.src[1] = u.rb_imm ? -1 : lookup(u.rb);
         e.src[2] = lookup(u.rc);
     }
-    U8 fgroups = uopFlagGroupsNeeded(u);
+    U8 fgroups = u.schedFlagGroups();
     if (fgroups) {
         int g = (fgroups & SETFLAG_ZAPS) ? 0 : (fgroups & SETFLAG_CF) ? 1 : 2;
         e.src[3] = t.spec_rat[FLAG_RAT_BASE + g];
@@ -241,8 +250,9 @@ OooCore::renameOne(SimCycle now, Thread &t, int tid)
     if (needs_phys) {
         e.phys = allocPhys(fp);
         ptl_assert(e.phys >= 0);
-        prf[e.phys].cluster = (qidx >= 0) ? queues[qidx].cluster : 0;
-        if (u.writesRd())
+        prf[e.phys].cluster =
+            (S8)((qidx >= 0) ? queues[qidx].cluster : 0);
+        if (writes_rd)
             t.spec_rat[u.rd] = (S16)e.phys;
         if (u.setflags & SETFLAG_ZAPS)
             t.spec_rat[FLAG_RAT_BASE + 0] = (S16)e.phys;
@@ -296,9 +306,48 @@ OooCore::renameOne(SimCycle now, Thread &t, int tid)
         for (IqEntry &slot : iq.slots) {
             if (!slot.valid) {
                 slot.valid = true;
-                slot.thread = tid;
-                slot.rob = idx;
+                slot.thread = (S16)tid;
+                slot.rob = (S16)idx;
                 slot.seq = seq;
+                // Seed the wakeup state: sources that already executed
+                // set their ready bits here (folding their
+                // bypass-adjusted ready times into wake_cycle); the
+                // rest are completed by broadcastReady when their
+                // producers finish. Rename runs after issue, so a
+                // producer completing this very cycle is visible in
+                // the PRF by now — no broadcast can be missed.
+                slot.wake_cycle = SimCycle(0);
+                int slot_idx = (int)(&slot - iq.slots.data());
+                U8 mask = 0;
+                for (int s = 0; s < 4; s++) {
+                    int p = e.src[s];
+                    slot.src[s] = (S16)p;
+                    if (p < 0) {
+                        mask |= (U8)(1 << s);
+                        continue;
+                    }
+                    const PhysReg &r = prf[p];
+                    if (r.ready) {
+                        mask |= (U8)(1 << s);
+                        SimCycle eff =
+                            effectiveReadyCycle(r, iq.cluster);
+                        if (eff > slot.wake_cycle)
+                            slot.wake_cycle = eff;
+                    } else {
+                        addWaiter(p, qidx, slot_idx, s);
+                    }
+                }
+                slot.ready_mask = mask;
+                // A fully-ready insert can issue next cycle at the
+                // earliest (select already ran this cycle).
+                if (mask == IQ_ALL_READY) {
+                    SimCycle at =
+                        std::max(slot.wake_cycle, now + cycles(1));
+                    if (at < iq.next_wake)
+                        iq.next_wake = at;
+                } else {
+                    iq.waiting++;
+                }
                 iq.used++;
                 if (qidx != fp_queue_index)
                     t.int_iq_inflight++;
@@ -326,6 +375,7 @@ OooCore::stageRename(SimCycle now)
             }
             t.fetch_queue.pop_front();
             budget--;
+            cycle_activity = true;
         }
     }
     next_rename_thread++;

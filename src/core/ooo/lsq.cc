@@ -55,6 +55,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         if (e.phys >= 0) {
             prf[e.phys].ready = true;
             prf[e.phys].ready_cycle = now + cycles(1);
+            broadcastReady(e.phys);
         }
         return true;
     }
@@ -155,6 +156,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
                 if (e.phys >= 0) {
                     prf[e.phys].ready = true;
                     prf[e.phys].ready_cycle = now + cycles(1);
+                    broadcastReady(e.phys);
                 }
                 return true;
             }
@@ -182,7 +184,8 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         reg.flags = 0;
         reg.ready = true;
         reg.ready_cycle = now + cycles((U64)std::max(latency, cfg.lat_ld));
-        reg.cluster = e.cluster;
+        reg.cluster = (S8)e.cluster;
+        broadcastReady(e.phys);
     }
     return true;
 }

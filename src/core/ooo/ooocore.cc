@@ -44,7 +44,13 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
       st_lockstep_commits(
           stats->counter(params.prefix + "checker/lockstep_commits")),
       st_lockstep_skips(
-          stats->counter(params.prefix + "checker/lockstep_skips"))
+          stats->counter(params.prefix + "checker/lockstep_skips")),
+      st_skipped_cycles(
+          stats->counter(params.prefix + "ooocore/skipped_cycles")),
+      st_wakeup_broadcasts(
+          stats->counter(params.prefix + "ooocore/wakeup_broadcasts")),
+      st_select_fast_skips(
+          stats->counter(params.prefix + "ooocore/select_fast_skips"))
 {
     core_id = params.core_id;
     trace_commits = std::getenv("PTLSIM_TRACE") != nullptr;
@@ -67,6 +73,7 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
     int int_total = cfg.int_prf_size + int_arch;
     int fp_total = cfg.fp_prf_size + fp_arch;
     prf.resize((size_t)int_total + (size_t)fp_total);
+    waiters.resize(prf.size());
     for (int i = 0; i < int_total; i++)
         free_int.push_back(i);
     for (int i = 0; i < fp_total; i++) {
@@ -165,6 +172,10 @@ OooCore::allocPhys(bool fp)
     reg.ready_cycle = CYCLE_NEVER;
     reg.refcount = 0;
     reg.in_free_list = false;
+    // Drop waiter entries left behind if the previous owner was
+    // squashed before it could broadcast.
+    waiters[(size_t)p].n = 0;
+    waiters[(size_t)p].overflow = false;
     return p;
 }
 
@@ -206,13 +217,77 @@ OooCore::physReadyFor(int phys, int consumer_cluster, SimCycle now) const
     const PhysReg &reg = prf[phys];
     if (!reg.ready)
         return false;
-    SimCycle effective = reg.ready_cycle;
     // Inter-cluster bypass delay (e.g. K8's FP cluster 2 cycles away).
-    bool prod_fp = (reg.cluster == cfg.int_iq_count);
-    bool cons_fp = (consumer_cluster == cfg.int_iq_count);
-    if (prod_fp != cons_fp)
-        effective += cycles((U64)cfg.fp_cluster_delay);
-    return effective <= now;
+    return effectiveReadyCycle(reg, consumer_cluster) <= now;
+}
+
+void
+OooCore::broadcastReady(int phys)
+{
+    const PhysReg &reg = prf[phys];
+    st_wakeup_broadcasts++;
+    PhysWaiters &w = waiters[(size_t)phys];
+    if (w.overflow) {
+        w.n = 0;
+        w.overflow = false;
+        broadcastScan(phys);
+        return;
+    }
+    for (int i = 0; i < (int)w.n; i++) {
+        U16 code = w.e[i];
+        IssueQueue &iq = queues[code >> 8];
+        IqEntry &slot = iq.slots[(code >> 2) & 0x3F];
+        int s = code & 3;
+        // Re-validate: the slot may have been squashed or reused since
+        // the entry was pushed; the ready-bit check also de-dups.
+        if (!slot.valid || (int)slot.src[s] != phys
+            || (slot.ready_mask & (U8)(1 << s)))
+            continue;
+        slot.ready_mask |= (U8)(1 << s);
+        SimCycle eff = effectiveReadyCycle(reg, iq.cluster);
+        if (eff > slot.wake_cycle)
+            slot.wake_cycle = eff;
+        if (slot.ready_mask == IQ_ALL_READY) {
+            iq.waiting--;
+            if (slot.wake_cycle < iq.next_wake)
+                iq.next_wake = slot.wake_cycle;
+        }
+    }
+    w.n = 0;
+}
+
+void
+OooCore::broadcastScan(int phys)
+{
+    const PhysReg &reg = prf[phys];
+    for (IssueQueue &iq : queues) {
+        if (iq.waiting == 0)
+            continue;
+        SimCycle eff = effectiveReadyCycle(reg, iq.cluster);
+        for (IqEntry &slot : iq.slots) {
+            if (!slot.valid || slot.ready_mask == IQ_ALL_READY)
+                continue;
+            U8 mask = slot.ready_mask;
+            for (int s = 0; s < 4; s++) {
+                if (!(mask & (1 << s)) && (int)slot.src[s] == phys)
+                    mask |= 1 << s;
+            }
+            if (mask == slot.ready_mask)
+                continue;
+            slot.ready_mask = mask;
+            if (eff > slot.wake_cycle)
+                slot.wake_cycle = eff;
+            // Last operand arrived: the entry is now a select
+            // candidate, so the queue's skip stamp must cover it.
+            // (retry_cycle is still zero here — replays require a
+            // prior issue attempt, which requires a full mask.)
+            if (mask == IQ_ALL_READY) {
+                iq.waiting--;
+                if (slot.wake_cycle < iq.next_wake)
+                    iq.next_wake = slot.wake_cycle;
+            }
+        }
+    }
 }
 
 int
@@ -242,15 +317,23 @@ OooCore::squashYounger(Thread &t, int rob_idx, SimCycle /*now*/)
         if (last == rob_idx)
             break;
         RobEntry &e = t.rob[last];
-        // Remove from any issue queue.
-        for (size_t q = 0; q < queues.size(); q++) {
-            for (IqEntry &slot : queues[q].slots) {
-                if (slot.valid && slot.thread == (int)(&t - threads.data())
-                    && slot.rob == last) {
+        // Remove from its issue queue. Only InQueue entries hold a
+        // slot (invariant-checked), and the dispatching queue's index
+        // equals the entry's cluster, so the search is one queue, not
+        // all of them.
+        if (e.state == RobState::InQueue) {
+            IssueQueue &iq = queues[e.cluster];
+            int tid = (int)(&t - threads.data());
+            for (IqEntry &slot : iq.slots) {
+                if (slot.valid && (int)slot.thread == tid
+                    && (int)slot.rob == last) {
+                    if (slot.ready_mask != IQ_ALL_READY)
+                        iq.waiting--;
                     slot.valid = false;
-                    queues[q].used--;
-                    if ((int)q != fp_queue_index)
+                    iq.used--;
+                    if (e.cluster != queues[fp_queue_index].cluster)
                         t.int_iq_inflight--;
+                    break;
                 }
             }
         }
@@ -297,6 +380,8 @@ OooCore::flushThread(Thread &t)
     for (IssueQueue &iq : queues) {
         for (IqEntry &slot : iq.slots) {
             if (slot.valid && slot.thread == tid) {
+                if (slot.ready_mask != IQ_ALL_READY)
+                    iq.waiting--;
                 slot.valid = false;
                 iq.used--;
             }
@@ -343,6 +428,9 @@ OooCore::flushPipeline()
         // switch); the lockstep shadow must restart from the new state.
         lockstepResync(t);
     }
+    // The flush itself is pipeline activity the sleep decision never
+    // saw; force a full evaluation next cycle.
+    idle_until = SimCycle(0);
 }
 
 void
@@ -371,6 +459,17 @@ OooCore::resetTimebase(SimCycle now)
     for (Thread &t : threads) {
         t.fetch_stall_until = SimCycle(0);
         t.last_commit_cycle = now;
+        t.commit_wake = CYCLE_NEVER;
+    }
+    // Skip-ahead bookkeeping also holds absolute stamps: a stale
+    // idle_until or queue wake bound from before the warp would point
+    // at cycles that now lie in the far future and park the core.
+    idle_until = SimCycle(0);
+    for (IssueQueue &iq : queues)
+        iq.next_wake = SimCycle(0);
+    for (PhysWaiters &w : waiters) {
+        w.n = 0;
+        w.overflow = false;
     }
     hierarchy->resetTimebase();
 }
@@ -420,8 +519,44 @@ OooCore::pickFetchThread(SimCycle now)
 void
 OooCore::cycle(SimCycle now)
 {
+    // Skip-ahead fast path: a previous cycle proved no pipeline state
+    // can change before idle_until, so only the externally-driven wake
+    // conditions need checking — a VCPU running-flag flip or an event
+    // becoming deliverable. Everything else (wakeups, replays, fetch
+    // stalls, the commit watchdog, the audit cadence) is already
+    // folded into idle_until by sleepCore().
+    if (now < idle_until) {
+        bool wake = false;
+        for (Thread &t : threads) {
+            const Context &c = *t.ctx;
+            if (c.running != t.slept_running
+                || (c.running && c.event_pending && !c.event_mask
+                    && c.event_callback != 0)) {
+                wake = true;
+                break;
+            }
+        }
+        if (!wake) {
+            now_cache = now;
+            st_cycles++;
+            st_skipped_cycles++;
+            // Keep the SMT arbitration rotors bit-identical with a
+            // cycle-by-cycle run: the fetch rotor only moves when an
+            // eligible thread exists (its queue is necessarily full
+            // during a quiesced cycle, so picking it fetches nothing),
+            // and the rename/commit rotors move unconditionally.
+            if (threads.size() > 1)
+                (void)pickFetchThread(now);
+            next_rename_thread++;
+            next_commit_thread++;
+            return;
+        }
+        idle_until = SimCycle(0);
+    }
+
     now_cache = now;
     st_cycles++;
+    cycle_activity = false;
     stageCommit(now);
     stageIssue(now);
     stageRename(now);
@@ -441,6 +576,7 @@ OooCore::cycle(SimCycle now)
             st_deadlock_rescues++;
             flushThread(t);
             t.last_commit_cycle = now;
+            cycle_activity = true;
         }
     }
 
@@ -451,6 +587,68 @@ OooCore::cycle(SimCycle now)
         && now.raw() % (U64)cfg.verify_interval == 0)
         verifyNow(now);
 #endif
+
+    if (cfg.skip_ahead && !cycle_activity)
+        sleepCore(now);
+    else
+        idle_until = SimCycle(0);
+}
+
+/**
+ * The pipeline just completed a cycle with zero activity: no commit,
+ * no issue attempt, no rename, no fetch progress, no rescue. Compute
+ * the earliest future cycle at which any structure could change and
+ * arm idle_until. Soundness argument, per source:
+ *
+ *  - Issue: every select candidate (full ready mask) is bounded by its
+ *    queue's next_wake; entries still waiting on operands are woken by
+ *    a broadcast, and the producing entry's own issue is itself
+ *    bounded (transitively grounding every dependence chain).
+ *  - Commit: commitThread records why its last attempt this cycle
+ *    blocked (commit_wake); the remaining reasons (incomplete group,
+ *    un-issued entry) resolve only via rename/issue events that are
+ *    activity when they fire.
+ *  - Frontend: a thread whose fetch could proceed would have fetched
+ *    (= activity), so fetch is stalled (wake at fetch_stall_until),
+ *    faulted (waits on commit), or queue-full (waits on rename, which
+ *    waits on front().ready_at or on resources freed by activity).
+ *  - Watchdog: the rescue deadline for any thread with in-flight work.
+ *  - Audit: never skip past the next verifier cadence point.
+ */
+void
+OooCore::sleepCore(SimCycle now)
+{
+    SimCycle wake = CYCLE_NEVER;
+    auto fold = [&wake](SimCycle c) {
+        if (c < wake)
+            wake = c;
+    };
+    for (const IssueQueue &iq : queues) {
+        if (iq.used > 0)
+            fold(iq.next_wake);
+    }
+    for (Thread &t : threads) {
+        t.slept_running = t.ctx->running;
+        if (!t.ctx->running)
+            continue;
+        fold(t.commit_wake);
+        if (!t.fetch_faulted
+            && (int)t.fetch_queue.size() < cfg.fetch_queue_size)
+            fold(std::max(t.fetch_stall_until, now + cycles(1)));
+        if (!t.fetch_queue.empty()
+            && t.fetch_queue.front().ready_at > now)
+            fold(t.fetch_queue.front().ready_at);
+        if (t.rob_used > 0)
+            fold(t.last_commit_cycle
+                 + cycles((U64)cfg.smt_deadlock_timeout + 1));
+    }
+#if PTL_VERIFY
+    if (verifier && cfg.verify_interval > 0) {
+        U64 iv = (U64)cfg.verify_interval;
+        fold(SimCycle((now.raw() / iv + 1) * iv));
+    }
+#endif
+    idle_until = wake;
 }
 
 void

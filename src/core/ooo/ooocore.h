@@ -69,11 +69,30 @@ class OooCore : public CoreModel
     std::string name() const override { return smt ? "smt" : "ooo"; }
     std::string debugState() const override;
 
+    /**
+     * Skip-ahead hint for the machine's idle fast-forward: when the
+     * whole pipeline is quiesced, the earliest cycle any state here
+     * can change; `now` while busy. cycle() honors the same stamp
+     * internally, so callers that tick every cycle (the benchmark
+     * loop, the machine's busy loop) get the fast path even without
+     * consulting the hint.
+     */
+    SimCycle
+    sleepUntil(SimCycle now) const override
+    {
+        if (allIdle())
+            return CYCLE_NEVER;
+        return (cfg.skip_ahead && idle_until > now) ? idle_until : now;
+    }
+
     /** Accept (or detach, with nullptr) the per-cycle auditor. */
     void
     attachAuditor(std::unique_ptr<CoreAuditor> auditor) override
     {
         verifier = std::move(auditor);
+        // The auditor cadence bounds how far cycle() may skip ahead;
+        // drop any sleep armed under the old cadence.
+        idle_until = SimCycle(0);
     }
 
     /** Invariant check: every interlock owned by this core's threads
@@ -92,16 +111,19 @@ class OooCore : public CoreModel
     friend class InvariantChecker;   // src/verify: reads all pipeline state
     friend struct VerifyTestHook;    // src/verify: test-only corruption
     // ---- physical registers ----
+    // Packed by access pattern (hot value/stamp first, bookkeeping
+    // last): 24 bytes instead of the naive 40, and the issue/commit
+    // paths touch only the first 16.
     struct PhysReg
     {
         U64 value = 0;
-        U16 flags = 0;
         SimCycle ready_cycle;  ///< cycle the value becomes readable
+        U16 flags = 0;
         bool ready = false;
-        int cluster = 0;       ///< producing cluster (bypass delay)
-        int refcount = 0;      ///< references from architectural maps
         bool in_free_list = true;
         bool is_fp = false;
+        S8 cluster = 0;        ///< producing cluster (bypass delay)
+        S16 refcount = 0;      ///< references from architectural maps
     };
 
     static constexpr int NUM_FLAG_GROUPS = 3;  // ZAPS, CF, OF
@@ -158,19 +180,48 @@ class OooCore : public CoreModel
         U64 seq = 0;            ///< global program-order sequence
     };
 
+    /**
+     * One issue-queue slot. Select no longer re-derives operand
+     * readiness from the PRF every cycle: each slot caches its source
+     * physical-register tags at dispatch and keeps a 4-bit ready mask,
+     * with bits set either at dispatch (source already executed) or by
+     * tag broadcast when the producing PhysReg completes
+     * (broadcastReady). wake_cycle accumulates the latest effective
+     * (bypass-adjusted) ready cycle over the known-ready sources, so a
+     * fully-masked entry is issuable exactly when
+     * max(wake_cycle, rob.retry_cycle) <= now. 32 bytes; the select
+     * scan never touches the 168-byte RobEntry for not-ready slots.
+     */
     struct IqEntry
     {
-        bool valid = false;
-        int thread = 0;
-        int rob = -1;
         U64 seq = 0;
+        SimCycle wake_cycle;   ///< max effective ready cycle seen so far
+        S16 src[4] = {-1, -1, -1, -1};  ///< cached source phys tags
+        S16 rob = -1;
+        S16 thread = 0;
+        U8 ready_mask = 0;     ///< bit s set = src[s] value broadcast seen
+        bool valid = false;
     };
+    static constexpr U8 IQ_ALL_READY = 0xF;
 
     struct IssueQueue
     {
         std::vector<IqEntry> slots;
         int cluster = 0;
         int used = 0;
+        /** Valid slots whose ready mask is still incomplete. Broadcast
+         *  skips the whole queue when zero — entries that already have
+         *  every operand cannot match a new tag. */
+        int waiting = 0;
+        /**
+         * Lower bound on the earliest cycle any entry here can issue;
+         * select skips the whole queue while next_wake > now. Lowered
+         * by dispatch inserts and ready broadcasts, recomputed from
+         * scratch after every full select scan. Entry removal
+         * (issue/squash/flush) may leave it conservatively early,
+         * which only costs one extra scan — never a missed issue.
+         */
+        SimCycle next_wake;
     };
 
     /** All per-hardware-thread state (Section 2.2's SMT split). */
@@ -213,6 +264,17 @@ class OooCore : public CoreModel
         SimCycle last_commit_cycle;
         bool holds_locks = false;
         int int_iq_inflight = 0;  ///< integer IQ slots held (SMT cap)
+        /**
+         * Why the last commitThread attempt this cycle could not make
+         * progress, as a wake-up stamp: the blocking writeback's
+         * ready_cycle, now+1 while polling another owner's interlock,
+         * or CYCLE_NEVER when unblocking requires some other pipeline
+         * event (which is covered by the other sleep sources).
+         * Recomputed on every commit attempt, so it is always fresh
+         * when sleepCore() reads it at the end of the same cycle.
+         */
+        SimCycle commit_wake = CYCLE_NEVER;
+        bool slept_running = false;  ///< ctx->running snapshot at sleep
         // Commit checker.
         std::unique_ptr<Context> shadow_ctx;
         std::unique_ptr<FunctionalEngine> checker;
@@ -230,6 +292,59 @@ class OooCore : public CoreModel
     void addRefPhys(int phys);
     void dropRefPhys(int phys);
     bool physReadyFor(int phys, int consumer_cluster, SimCycle now) const;
+    /** Cycle `reg`'s value is usable from `consumer_cluster`, with the
+     *  inter-cluster bypass delay applied. The single readiness
+     *  predicate shared by dispatch seeding, wakeup broadcast and the
+     *  commit-time writeback check. */
+    SimCycle effectiveReadyCycle(const PhysReg &reg,
+                                 int consumer_cluster) const
+    {
+        SimCycle eff = reg.ready_cycle;
+        bool prod_fp = ((int)reg.cluster == cfg.int_iq_count);
+        bool cons_fp = (consumer_cluster == cfg.int_iq_count);
+        if (prod_fp != cons_fp)
+            eff += cycles((U64)cfg.fp_cluster_delay);
+        return eff;
+    }
+    /** Tag broadcast: `phys` just completed (its PhysReg ready bit and
+     *  ready_cycle are final); set the matching ready-mask bits in
+     *  every waiting issue-queue slot and lower queue wake stamps.
+     *  Walks the per-physreg waiter list (exact consumers) instead of
+     *  scanning every slot; falls back to broadcastScan on overflow. */
+    void broadcastReady(int phys);
+    /** Full-scan fallback for broadcastReady (waiter list overflowed). */
+    void broadcastScan(int phys);
+    /**
+     * Per-physreg wakeup subscription: IQ slots whose source `s` still
+     * waits on this tag, encoded (queue << 8) | (slot << 2) | s.
+     * Appended at dispatch, drained (and cleared) by the tag
+     * broadcast. Entries can go stale — squash/flush invalidates the
+     * slot, or the slot is reused — so the broadcast re-validates each
+     * one against slot.valid, the mirrored src tag, and the ready bit
+     * (the bit check also makes duplicate entries harmless). A list
+     * that outlives its producer (squashed before completing) is wiped
+     * when the physreg is reallocated.
+     */
+    struct PhysWaiters
+    {
+        static constexpr int CAP = 6;
+        U16 e[CAP];
+        U8 n = 0;
+        bool overflow = false;
+    };
+    void
+    addWaiter(int phys, int queue, int slot, int s)
+    {
+        PhysWaiters &w = waiters[(size_t)phys];
+        if (w.n < PhysWaiters::CAP)
+            w.e[w.n++] = (U16)((queue << 8) | (slot << 2) | s);
+        else
+            w.overflow = true;
+    }
+    /** Compute this core's next-interesting cycle after a cycle with
+     *  no pipeline activity, snapshot per-thread running state, and
+     *  arm idle_until. */
+    void sleepCore(SimCycle now);
     RobEntry &robAt(Thread &t, int idx) { return t.rob[idx]; }
     int robNext(const Thread &t, int idx) const
     {
@@ -277,6 +392,7 @@ class OooCore : public CoreModel
     std::unique_ptr<BranchPredictor> predictor;
     std::vector<Thread> threads;
     std::vector<PhysReg> prf;
+    std::vector<PhysWaiters> waiters;   ///< parallel to prf
     std::vector<int> free_int, free_fp;
     std::vector<IssueQueue> queues;   ///< int queues then FP queue
     int fp_queue_index = 0;
@@ -284,6 +400,19 @@ class OooCore : public CoreModel
     int next_rename_thread = 0;
     int next_commit_thread = 0;
     SimCycle now_cache;
+    /**
+     * Skip-ahead state: while now < idle_until, cycle() takes a fast
+     * path that only checks the externally-visible wake conditions
+     * (running-flag flips, deliverable events) — no pipeline state can
+     * change until then, by construction of sleepCore(). Cleared by
+     * everything that mutates core state from outside a cycle
+     * (flushPipeline, resetTimebase, attachAuditor).
+     */
+    SimCycle idle_until;
+    /** Did any stage make forward progress this cycle? Only a cycle
+     *  with zero activity may arm idle_until. Transient, reset at the
+     *  top of every evaluated cycle. */
+    bool cycle_activity = false;
     std::vector<U64> pending_smc;   ///< code MFNs hit by committed stores
     bool trace_commits = false;     ///< PTLSIM_TRACE=1 commit logging
     bool renameOne(SimCycle now, Thread &t, int tid);
@@ -312,6 +441,9 @@ class OooCore : public CoreModel
     Counter &st_checker_commits;
     Counter &st_lockstep_commits;
     Counter &st_lockstep_skips;
+    Counter &st_skipped_cycles;
+    Counter &st_wakeup_broadcasts;
+    Counter &st_select_fast_skips;
 };
 
 }  // namespace ptl

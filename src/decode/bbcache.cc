@@ -33,6 +33,12 @@ BasicBlockCache::get(const CodeSource &code, GuestFault *fault)
     std::unique_ptr<BasicBlock> bb = decode(code, fault);
     if (!bb)
         return nullptr;
+    // Precompute scheduling metadata (uop class, flag-group inputs,
+    // destination-write flag) once per block: every core that fetches
+    // these uops reads the cached fields instead of re-deriving them
+    // per dynamic instance.
+    for (Uop &u : bb->uops)
+        u.precomputeSched();
     BasicBlock *raw = bb.get();
     mfn_index[bb->mfn_lo].insert(raw);
     code_mfns.insert(bb->mfn_lo);

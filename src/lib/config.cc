@@ -175,6 +175,7 @@ SimConfig::applyOption(const std::string &option)
         {"mispredict_penalty", [&] { mispredict_penalty = as_int(); }},
         {"load_hoisting", [&] { load_hoisting = as_bool(); }},
         {"enforce_banking", [&] { enforce_banking = as_bool(); }},
+        {"skip_ahead", [&] { skip_ahead = as_bool(); }},
         {"lat_alu", [&] { lat_alu = as_int(); }},
         {"lat_mul", [&] { lat_mul = as_int(); }},
         {"lat_div", [&] { lat_div = as_int(); }},

@@ -76,6 +76,7 @@ struct SimConfig
     int mispredict_penalty = 10;          ///< redirect bubble on mispredict
     bool load_hoisting = false;           ///< speculative load-before-store
     bool enforce_banking = true;          ///< model L1D bank conflicts
+    bool skip_ahead = true;               ///< OoO core jumps quiesced cycles
 
     // ---- uop latencies ----
     int lat_alu = 1;

@@ -1,5 +1,7 @@
 #include "sys/machine.h"
 
+#include <cstdlib>
+
 #include "lib/logging.h"
 #include "verify/verify.h"
 
@@ -20,6 +22,11 @@ Machine::Machine(const SimConfig &config)
                                         cfg.shuffle_mfns);
     aspace = std::make_unique<AddressSpace>(*physmem);
     aspace->attachStats(stats_tree);
+    // Shadow-walk every translation-cache hit only when verification is
+    // requested (same gate as makeVerifyAuditor); the re-walk costs four
+    // physical reads per hit on the hottest guest-access path.
+    aspace->transCache().setShadowEnabled(
+        cfg.verify || std::getenv("PTLSIM_VERIFY") != nullptr);
     bbcache = std::make_unique<BasicBlockCache>(
         stats_tree.counter("bbcache/hits"),
         stats_tree.counter("bbcache/misses"),

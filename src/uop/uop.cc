@@ -75,6 +75,14 @@ uopFlagGroupsNeeded(const Uop &u)
     }
 }
 
+void
+Uop::precomputeSched()
+{
+    sched_cls = (U8)uopInfo(op).cls;
+    sched_fgroups = uopFlagGroupsNeeded(*this);
+    sched_wrd = writesRd() ? 1 : 0;
+}
+
 namespace {
 
 constexpr UopInfo kUopInfo[] = {

@@ -217,6 +217,15 @@ struct Uop
     bool hint_call = false;    ///< branch is a call (push RAS)
     bool hint_ret = false;     ///< branch is a return (pop RAS)
     U8 scale = 0;              ///< index shift for memory addressing
+    // Cached scheduling metadata, precomputed once per basic block at
+    // decode time (BasicBlockCache) so rename/issue never re-derive it
+    // per dynamic uop. The defaults must describe a default-constructed
+    // Nop (IntAlu class, no flag inputs, no destination) because the
+    // fetch stage builds fault pseudo-uops without going through the
+    // decoder. These fields live in what was struct padding.
+    U8 sched_cls = 0;          ///< cached uopInfo(op).cls
+    U8 sched_fgroups = 0;      ///< cached uopFlagGroupsNeeded(*this)
+    U8 sched_wrd = 0;          ///< cached writesRd()
     S64 imm = 0;               ///< immediate / displacement / branch target
     S64 imm2 = 0;              ///< sequential RIP for branches; aux imm
     U64 rip = 0;               ///< RIP of the owning x86 instruction
@@ -234,6 +243,15 @@ struct Uop
     AssistId assist() const { return (AssistId)(U16)imm; }
     UopClass cls() const { return uopInfo(op).cls; }
     bool writesRd() const { return uopInfo(op).writes_rd && rd != REG_none; }
+
+    /** Fill the sched_* cache; call after all other fields are final. */
+    void precomputeSched();
+
+    // Cached equivalents of cls()/writesRd()/uopFlagGroupsNeeded() for
+    // the scheduler hot paths; valid once precomputeSched() has run.
+    UopClass schedCls() const { return (UopClass)sched_cls; }
+    bool schedWritesRd() const { return sched_wrd != 0; }
+    U8 schedFlagGroups() const { return sched_fgroups; }
 
     /** Human-readable disassembly of this uop. */
     std::string toString() const;

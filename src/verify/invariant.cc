@@ -335,11 +335,14 @@ InvariantChecker::checkCore(const OooCore &core, SimCycle now)
     for (size_t qi = 0; qi < core.queues.size(); qi++) {
         const OooCore::IssueQueue &iq = core.queues[qi];
         int valid = 0;
+        int waiting = 0;
         for (size_t si = 0; si < iq.slots.size(); si++) {
             const OooCore::IqEntry &slot = iq.slots[si];
             if (!slot.valid)
                 continue;
             valid++;
+            if (slot.ready_mask != OooCore::IQ_ALL_READY)
+                waiting++;
             if (slot.thread < 0
                 || (size_t)slot.thread >= core.threads.size()) {
                 VERIFY_VIOLATION(vstats.iq_state,
@@ -370,6 +373,67 @@ InvariantChecker::checkCore(const OooCore &core, SimCycle now)
                                  "seq %llu", cyc, qi, si,
                                  (unsigned long long)slot.seq, slot.rob,
                                  (unsigned long long)e.seq);
+            // Wakeup bitmask coherence: each slot caches its source
+            // physical tags at dispatch and accumulates ready bits
+            // from broadcasts; the tags must mirror the ROB's renamed
+            // sources, an absent source must have its bit pre-set,
+            // and a set bit for a real source means the PRF agrees
+            // the producer completed.
+            for (int s = 0; s < 4; s++) {
+                if ((int)slot.src[s] != e.src[s])
+                    VERIFY_VIOLATION(vstats.iq_state,
+                                     "[cycle %llu] verify: iq[%zu] slot "
+                                     "%zu cached src%d tag %d disagrees "
+                                     "with ROB slot %d src %d", cyc, qi,
+                                     si, s, (int)slot.src[s], slot.rob,
+                                     e.src[s]);
+                bool bit = ((slot.ready_mask >> s) & 1) != 0;
+                if (e.src[s] < 0 && !bit)
+                    VERIFY_VIOLATION(vstats.iq_state,
+                                     "[cycle %llu] verify: iq[%zu] slot "
+                                     "%zu has no src%d but its ready "
+                                     "bit is clear", cyc, qi, si, s);
+                if (bit && e.src[s] >= 0 && (size_t)e.src[s] < nprf
+                    && !core.prf[e.src[s]].ready)
+                    VERIFY_VIOLATION(vstats.iq_state,
+                                     "[cycle %llu] verify: iq[%zu] slot "
+                                     "%zu src%d ready bit set but phys "
+                                     "%d has not completed", cyc, qi,
+                                     si, s, e.src[s]);
+                if (!bit && e.src[s] >= 0 && (size_t)e.src[s] < nprf) {
+                    // Missed-wakeup detector: every site that marks a
+                    // physreg ready broadcasts in the same statement,
+                    // so a completed source with a clear bit means a
+                    // broadcast was lost.
+                    if (core.prf[e.src[s]].ready)
+                        VERIFY_VIOLATION(vstats.iq_state,
+                                         "[cycle %llu] verify: iq[%zu] "
+                                         "slot %zu src%d phys %d "
+                                         "completed but its ready bit "
+                                         "was never set (missed "
+                                         "wakeup)", cyc, qi, si, s,
+                                         e.src[s]);
+                    // Subscription completeness: a still-waiting
+                    // operand must be reachable by the producer's
+                    // eventual broadcast — either on the waiter list
+                    // or covered by the overflow full-scan fallback.
+                    const OooCore::PhysWaiters &w =
+                        core.waiters[(size_t)e.src[s]];
+                    U16 code = (U16)(((int)qi << 8) | ((int)si << 2)
+                                     | s);
+                    bool subscribed = w.overflow;
+                    for (int wi = 0; wi < (int)w.n && !subscribed; wi++)
+                        if (w.e[wi] == code)
+                            subscribed = true;
+                    if (!subscribed)
+                        VERIFY_VIOLATION(vstats.iq_state,
+                                         "[cycle %llu] verify: iq[%zu] "
+                                         "slot %zu src%d waits on phys "
+                                         "%d but is not on its waiter "
+                                         "list", cyc, qi, si, s,
+                                         e.src[s]);
+                }
+            }
             // Scoreboard consistency: an entry still waiting in a
             // queue has not executed, so it must be InQueue and its
             // destination register must not be marked ready yet.
@@ -392,6 +456,12 @@ InvariantChecker::checkCore(const OooCore &core, SimCycle now)
                              "[cycle %llu] verify: iq[%zu] has %d valid "
                              "slots but the occupancy counter says %d",
                              cyc, qi, valid, iq.used);
+        if (waiting != iq.waiting)
+            VERIFY_VIOLATION(vstats.iq_state,
+                             "[cycle %llu] verify: iq[%zu] has %d "
+                             "operand-waiting slots but the broadcast "
+                             "skip counter says %d",
+                             cyc, qi, waiting, iq.waiting);
     }
     for (size_t ti = 0; ti < core.threads.size(); ti++) {
         const OooCore::Thread &t = core.threads[ti];

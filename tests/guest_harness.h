@@ -8,6 +8,7 @@
 #ifndef PTLSIM_TESTS_GUEST_HARNESS_H_
 #define PTLSIM_TESTS_GUEST_HARNESS_H_
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -156,6 +157,10 @@ class CoreRunner
           sys(bbcache), interlocks(stats)
     {
         aspace.attachStats(stats);
+        // Mirror the Machine ctor: translation shadow-walks only when
+        // verification is on.  GuestRunner keeps the always-on default.
+        aspace.transCache().setShadowEnabled(
+            cfg.verify || std::getenv("PTLSIM_VERIFY") != nullptr);
         cr3 = aspace.createRoot();
         aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE, Pte::RW | Pte::US);
         aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,

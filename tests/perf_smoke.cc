@@ -9,6 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include "guest_harness.h"
 
 namespace ptl {
@@ -58,6 +64,134 @@ TEST(PerfSmoke, BenchKernelShortRunUnderVerification)
     EXPECT_GT(r.stats.get("transcache/shadow_checks"), 0ULL);
     // The invariant checker actually audited the pipeline.
     EXPECT_GT(r.stats.get("core0/verify/checks"), 0ULL);
+#endif
+}
+
+/** The hot-path machinery must actually engage on a stall-heavy
+ *  run: skip-ahead absorbs quiesced cycles, select skips clean
+ *  queues, and completions broadcast to waiting consumers. */
+TEST(PerfSmoke, SchedulerFastPathsEngage)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.core = "ooo";
+    CoreRunner r(cfg);
+    Assembler a(CoreRunner::CODE_BASE);
+    // Serialized pointer-chase: each load depends on the previous one.
+    a.movImm64(R::rbx, CoreRunner::DATA_BASE);
+    a.mov(R::rcx, 64);
+    a.mov(R::rax, 0);
+    Label top = a.label();
+    a.mov(R::rdx, R::rcx);
+    a.shl(R::rdx, 13);
+    a.add(R::rdx, R::rbx);
+    a.add(R::rdx, R::rax);
+    a.mov(R::rsi, Mem::at(R::rdx));
+    a.add(R::rax, R::rsi);
+    a.dec(R::rcx);
+    a.jcc(COND_ne, top);
+    a.hlt();
+    r.load(a);
+    r.start();
+    r.run();
+    EXPECT_GT(r.stats.get("core0/ooocore/skipped_cycles"), 0ULL);
+    EXPECT_GT(r.stats.get("core0/ooocore/select_fast_skips"), 0ULL);
+    EXPECT_GT(r.stats.get("core0/ooocore/wakeup_broadcasts"), 0ULL);
+}
+
+/** BM_OooCore guest_insns_per_s from the highest-seq entry in
+ *  BENCH_simspeed.json, or -1. The file is machine-written by
+ *  scripts/bench.sh (json.dump, sorted keys), so within each label
+ *  block "seq" follows the "BM_OooCore" block. */
+double
+latestRecordedOooInsnsPerSec()
+{
+    std::ifstream f(std::string(PTLSIM_REPO_ROOT)
+                    + "/BENCH_simspeed.json");
+    if (!f)
+        return -1.0;
+    std::string s((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+    double best = -1.0;
+    long best_seq = -1;
+    size_t pos = 0;
+    while ((pos = s.find("\"BM_OooCore\"", pos)) != std::string::npos) {
+        size_t g = s.find("\"guest_insns_per_s\":", pos);
+        size_t q = s.find("\"seq\":", pos);
+        double v = (g == std::string::npos)
+                       ? -1.0
+                       : std::atof(s.c_str() + g + 20);
+        long seq = (q == std::string::npos) ? 0
+                                            : std::atol(s.c_str() + q + 6);
+        if (v > 0 && seq >= best_seq) {
+            best_seq = seq;
+            best = v;
+        }
+        pos += 12;
+    }
+    return best;
+}
+
+// Sanitizer instrumentation slows simulation ~5x; the wall-clock
+// bound below must only run in plain release builds. CMake defines
+// PTL_PERF_SANITIZED for any PTL_SANITIZE preset; the compiler-macro
+// checks catch sanitizers injected via raw flags.
+#if !defined(PTL_PERF_SANITIZED)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PTL_PERF_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) \
+    || __has_feature(undefined_behavior_sanitizer)
+#define PTL_PERF_SANITIZED 1
+#endif
+#endif
+#endif
+
+/** Regression bound: the OOO core must stay within 20% of the last
+ *  recorded benchmark entry. Wall-clock is only meaningful against
+ *  the release-recorded numbers, so debug/sanitizer builds skip. */
+TEST(PerfSmoke, OooThroughputWithin20PercentOfRecorded)
+{
+#if !defined(NDEBUG) || defined(PTL_PERF_SANITIZED)
+    GTEST_SKIP() << "wall-clock bound requires a plain release build";
+#else
+    double recorded = latestRecordedOooInsnsPerSec();
+    if (recorded <= 0)
+        GTEST_SKIP() << "no BM_OooCore entry in BENCH_simspeed.json";
+
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.core = "ooo";
+    CoreRunner r(cfg);
+    // The bench_simspeed hash-and-update kernel, bounded.
+    Assembler a(CoreRunner::CODE_BASE);
+    a.movImm64(R::rbx, CoreRunner::DATA_BASE);
+    a.mov(R::rcx, 100'000);
+    a.mov(R::rax, 12345);
+    Label top = a.label();
+    a.mov(R::rdx, R::rax);
+    a.and_(R::rdx, 0xFFF8);
+    a.mov(R::rsi, Mem::idx(R::rbx, R::rdx, 1));
+    a.add(R::rax, R::rsi);
+    a.imul(R::rax, R::rax, 0x9E3779B9);
+    a.mov(Mem::idx(R::rbx, R::rdx, 1), R::rax);
+    a.test(R::rax, 0x100);
+    Label skip = a.newLabel();
+    a.jcc(COND_e, skip);
+    a.add(R::rax, 7);
+    a.bind(skip);
+    a.dec(R::rcx);
+    a.jcc(COND_ne, top);
+    a.hlt();
+    r.load(a);
+    r.start();
+    auto t0 = std::chrono::steady_clock::now();
+    r.run(30'000'000);
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    ASSERT_GT(secs, 0.0);
+    double ips = (double)r.stats.get("core0/commit/insns") / secs;
+    EXPECT_GE(ips, 0.8 * recorded)
+        << "OOO simulation speed regressed >20% vs the last recorded "
+        << "benchmark entry (" << recorded << " insns/s)";
 #endif
 }
 

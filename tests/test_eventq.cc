@@ -417,6 +417,75 @@ TEST(EventMachine, CheckpointRoundTripWithInFlightEvents)
     EXPECT_TRUE(diff.equal) << diff.description;
 }
 
+/**
+ * Checkpoint mid-stall on the OOO core: the guest runs a serialized
+ * pointer-chase (each load address depends on the previous load), so
+ * the pipeline spends most of its time slept inside skip-ahead with
+ * the dependent uops parked in the issue queue on partial ready
+ * bitmasks and the miss outstanding in an MSHR. We step in small
+ * quanta until a quantum shows skipped cycles but zero commits after
+ * data misses began — i.e. we paused inside such a stall — capture
+ * there, and require the restored machine to replay to a cycle-exact,
+ * bit-identical end state. (Capture quiesces the pipeline via
+ * resetMicroarch on both the continuing and the restored machine, so
+ * the in-flight microarchitectural state is rebuilt identically from
+ * the architectural state on both paths.)
+ */
+TEST(EventMachine, CheckpointRoundTripMidStallOnOooCore)
+{
+    auto bm = std::make_unique<BootedMachine>(
+        testConfig("ooo"), [](Assembler &a, GuestLib &lib) {
+            a.movImm64(R::rbx, USER_DATA_VA);
+            a.mov(R::rcx, 64);
+            a.mov(R::rax, 0);
+            Label top = a.label();
+            a.mov(R::rdx, R::rcx);
+            a.shl(R::rdx, 13);           // 8 KB stride
+            a.add(R::rdx, R::rbx);
+            a.add(R::rdx, R::rax);       // serialize on previous load
+            a.mov(R::rsi, Mem::at(R::rdx));
+            a.add(R::rax, R::rsi);
+            a.dec(R::rcx);
+            a.jcc(COND_ne, top);
+            a.mov(R::rdi, 7);
+            lib.syscall(GSYS_exit);
+        });
+    Machine &m = bm->machine;
+
+    U64 prev_skip = 0, prev_insns = 0;
+    bool mid_stall = false;
+    for (int i = 0; i < 1'000'000 && !mid_stall; i++) {
+        Machine::RunResult r = m.run(100);
+        ASSERT_FALSE(r.shutdown)
+            << "guest finished before a stall was caught";
+        U64 skip = m.stats().get("core0/ooocore/skipped_cycles");
+        U64 insns = m.stats().get("core0/commit/insns");
+        U64 misses = m.stats().get("core0/dcache/misses");
+        mid_stall = skip > prev_skip && insns == prev_insns
+                    && insns > 0 && misses > 0;
+        prev_skip = skip;
+        prev_insns = insns;
+    }
+    ASSERT_TRUE(mid_stall) << "no quiesced memory-stall quantum found";
+
+    MachineCheckpoint ckpt = captureCheckpoint(m);
+    Machine::RunResult r1 = m.run(500'000'000);
+    ASSERT_TRUE(r1.shutdown);
+    const SimCycle end_cycle1 = m.timeKeeper().cycle();
+    U64 hash1 = hashGuestMemory(m.physMem());
+    Context end1 = m.vcpu(0);
+
+    restoreCheckpoint(m, ckpt);
+    EXPECT_EQ(m.timeKeeper().cycle(), ckpt.cycle);
+    Machine::RunResult r2 = m.run(500'000'000);
+    ASSERT_TRUE(r2.shutdown);
+    EXPECT_EQ(r2.exit_code, r1.exit_code);
+    EXPECT_EQ(m.timeKeeper().cycle(), end_cycle1);
+    EXPECT_EQ(hashGuestMemory(m.physMem()), hash1);
+    ContextDiff diff = compareContexts(end1, m.vcpu(0));
+    EXPECT_TRUE(diff.equal) << diff.description;
+}
+
 /** In-flight network packets (and already-delivered unread bytes) ride
  *  through a checkpoint and still arrive at their scheduled cycles. */
 TEST(EventMachine, CheckpointCarriesInFlightNetworkPackets)

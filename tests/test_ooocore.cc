@@ -521,5 +521,88 @@ TEST(OooCoreTest, DcacheMissesStallLoads)
     EXPECT_GT(cycles, 200ULL * 112 / 8);
 }
 
+// ---------------------------------------------------------------------
+// Skip-ahead scheduling
+// ---------------------------------------------------------------------
+
+// Serial pointer-chase: every load address depends on the previous
+// load's value, so each D-cache/TLB miss fully drains the pipeline and
+// leaves long stretches of quiesced cycles for skip-ahead to jump.
+void
+progSerialMissChain(Assembler &a)
+{
+    a.movImm64(R::rbx, CoreRunner::DATA_BASE);
+    a.mov(R::rcx, 64);
+    a.mov(R::rax, 0);
+    Label top = a.label();
+    a.mov(R::rdx, R::rcx);
+    a.shl(R::rdx, 13);               // 8 KB stride: unique lines+pages
+    a.add(R::rdx, R::rbx);
+    a.add(R::rdx, R::rax);           // serialize on the previous load
+    a.mov(R::rsi, Mem::at(R::rdx));
+    a.add(R::rax, R::rsi);           // memory is zero-filled: rax stays 0
+    a.dec(R::rcx);
+    a.jcc(COND_ne, top);
+    a.hlt();
+}
+
+TEST(OooCoreTest, SkipAheadCoversLongStalls)
+{
+    SimConfig cfg = oooConfig();     // commit checker stays on: every
+    ASSERT_TRUE(cfg.skip_ahead);     // committed uop is lockstep-checked
+    CoreRunner r(cfg);
+    Assembler a(CoreRunner::CODE_BASE);
+    progSerialMissChain(a);
+    r.load(a);
+    r.start();
+    r.run();
+    EXPECT_EQ(r.reg(R::rax), 0ULL);
+    EXPECT_EQ(r.reg(R::rcx), 0ULL);
+    EXPECT_GT(r.stats.get("core0/dcache/misses"), 50ULL);
+    // The serial chain stalls the whole core for ~memory latency per
+    // iteration; the fast path must absorb most of those cycles.
+    EXPECT_GT(r.stats.get("core0/ooocore/skipped_cycles"), 1000ULL);
+    EXPECT_GT(r.stats.get("core0/ooocore/select_fast_skips"), 0ULL);
+    EXPECT_GT(r.stats.get("core0/ooocore/wakeup_broadcasts"), 0ULL);
+    // Skipped cycles still count as simulated cycles.
+    EXPECT_GT(r.stats.get("core0/cycles"),
+              r.stats.get("core0/ooocore/skipped_cycles"));
+}
+
+TEST(OooCoreTest, SkipAheadIsDeterministic)
+{
+    // Identical guest program with skip-ahead on vs off must produce
+    // bit-identical architectural results AND identical timing: same
+    // final cycle count, same commit stream length. Only host work may
+    // differ. (Per-stage stall counters are excluded by design: they
+    // count evaluated cycles only, and skip-ahead evaluates fewer.)
+    U64 cycles[2], rax[2], rsp[2], insns[2], uops[2], branches[2],
+        skipped[2];
+    for (int skip = 0; skip < 2; skip++) {
+        SimConfig cfg = oooConfig();
+        cfg.skip_ahead = (skip == 1);
+        CoreRunner r(cfg);
+        Assembler a(CoreRunner::CODE_BASE);
+        progSerialMissChain(a);
+        r.load(a);
+        r.start();
+        cycles[skip] = r.run();
+        rax[skip] = r.reg(R::rax);
+        rsp[skip] = r.reg(R::rsp);
+        insns[skip] = r.stats.get("core0/commit/insns");
+        uops[skip] = r.stats.get("core0/commit/uops");
+        branches[skip] = r.stats.get("core0/branches/total");
+        skipped[skip] = r.stats.get("core0/ooocore/skipped_cycles");
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(rax[0], rax[1]);
+    EXPECT_EQ(rsp[0], rsp[1]);
+    EXPECT_EQ(insns[0], insns[1]);
+    EXPECT_EQ(uops[0], uops[1]);
+    EXPECT_EQ(branches[0], branches[1]);
+    EXPECT_EQ(skipped[0], 0ULL);
+    EXPECT_GT(skipped[1], 0ULL);
+}
+
 }  // namespace
 }  // namespace ptl
