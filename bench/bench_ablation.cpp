@@ -80,6 +80,9 @@ class Rig : public SystemInterface
             p.prefix = "core" + std::to_string(i) + "/";
             p.coherence = contexts.size() > 1 ? &coherence : nullptr;
             p.interlocks = &interlocks;
+            hierarchies.push_back(std::make_unique<MemoryHierarchy>(
+                cfg, aspace, stats, p.prefix, p.coherence));
+            p.hierarchy = hierarchies.back().get();
             cores.push_back(createCoreModel(cfg.core, p));
             cores.back()->attachAuditor(
                 makeVerifyAuditor(cfg, stats, p.prefix));
@@ -158,6 +161,7 @@ class Rig : public SystemInterface
     InterlockController interlocks;
     CoherenceController coherence;
     std::vector<std::unique_ptr<Context>> contexts;
+    std::vector<std::unique_ptr<MemoryHierarchy>> hierarchies;
     std::vector<std::unique_ptr<CoreModel>> cores;
     U64 cr3 = 0;
 };

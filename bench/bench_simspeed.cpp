@@ -16,6 +16,8 @@
 #include "core/seqcore.h"
 #include "kernel/guestkernel.h"
 #include "kernel/guestlib.h"
+#include "lib/rng.h"
+#include "mem/membackend.h"
 #include "sys/machine.h"
 #include "xasm/assembler.h"
 
@@ -125,6 +127,9 @@ runCore(benchmark::State &state, const char *core_name)
     p.stats = &rig.stats;
     p.prefix = "core0/";
     p.interlocks = &rig.interlocks;
+    auto hierarchy = std::make_unique<MemoryHierarchy>(
+        cfg, rig.aspace, rig.stats, p.prefix);
+    p.hierarchy = hierarchy.get();
     std::unique_ptr<CoreModel> core = createCoreModel(core_name, p);
     core->attachAuditor(makeVerifyAuditor(cfg, rig.stats, p.prefix));
 
@@ -177,6 +182,42 @@ BM_NativeFunctional(benchmark::State &state)
 }
 
 /**
+ * Raw memory-backend request throughput: how much the timing model at
+ * the bottom of the hierarchy costs per access, per model. The miss
+ * path calls request() once per line fill, so this bounds the
+ * hierarchy-side overhead of swapping the flat latency for the
+ * banked-DRAM or eDRAM+PCM models.
+ */
+void
+BM_MemBackend(benchmark::State &state, MemBackendKind kind)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.membackend.kind = kind;
+    StatsTree stats;
+    std::unique_ptr<MemBackend> backend =
+        makeMemBackend(cfg, stats, "core0/");
+    // Pre-generated mixed trace so the loop measures the backend, not
+    // the generator: 3/4 reads, line-granular, multi-bank.
+    Rng rng(11);
+    std::vector<std::pair<U64, bool>> trace;
+    trace.reserve(4096);
+    for (int i = 0; i < 4096; i++)
+        trace.emplace_back(rng.below(1 << 22) * 64, rng.chance(1, 4));
+    U64 now = 0, sink = 0;
+    for (auto _ : state) {
+        for (const auto &[addr, is_write] : trace) {
+            sink ^= backend->request(addr, is_write, SimCycle(now)).raw();
+            now += 7;
+        }
+        backend->drainTo(SimCycle(now));
+    }
+    benchmark::DoNotOptimize(sink);
+    state.counters["requests_per_s"] = benchmark::Counter(
+        (double)state.iterations() * (double)trace.size(),
+        benchmark::Counter::kIsRate);
+}
+
+/**
  * Idle-dominated full-system workload: the guest spends ~99% of its
  * virtual time blocked in sleep(1) waiting for the next timer tick.
  * The event kernel's idle fast-forward jumps straight to the queue
@@ -225,6 +266,12 @@ BENCHMARK(BM_OooCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SeqCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NativeFunctional)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IdleHeavyMachine)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MemBackend, fixed, MemBackendKind::Fixed)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MemBackend, banked, MemBackendKind::BankedDram)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MemBackend, hybrid, MemBackendKind::Hybrid)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace ptl

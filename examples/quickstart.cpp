@@ -99,6 +99,9 @@ main()
     params.stats = &stats;
     params.prefix = "core0/";
     params.interlocks = &interlocks;
+    auto hierarchy = std::make_unique<MemoryHierarchy>(cfg, aspace, stats,
+                                                       params.prefix);
+    params.hierarchy = hierarchy.get();
     auto core = createCoreModel("ooo", params);
     core->attachAuditor(makeVerifyAuditor(cfg, stats, params.prefix));
 

@@ -105,6 +105,9 @@ main()
     params.stats = &stats;
     params.prefix = "core0/";
     params.interlocks = &interlocks;
+    auto hierarchy = std::make_unique<MemoryHierarchy>(cfg, aspace, stats,
+                                                       params.prefix);
+    params.hierarchy = hierarchy.get();
     auto core = createCoreModel("smt", params);
     core->attachAuditor(makeVerifyAuditor(cfg, stats, params.prefix));
 

@@ -40,7 +40,8 @@ run = {"host": raw.get("context", {}).get("host_name", "unknown"),
        "benchmarks": {}}
 for b in raw["benchmarks"]:
     entry = {}
-    for key in ("sim_cycles_per_s", "guest_insns_per_s", "ipc"):
+    for key in ("sim_cycles_per_s", "guest_insns_per_s", "ipc",
+                "requests_per_s"):
         if key in b:
             entry[key] = round(float(b[key]), 3 if key == "ipc" else 1)
     run["benchmarks"][b["name"]] = entry

@@ -27,6 +27,8 @@
 
 namespace ptl {
 
+class MemoryHierarchy;
+
 /** Everything a core model needs to build itself. */
 struct CoreBuildParams
 {
@@ -39,6 +41,12 @@ struct CoreBuildParams
     std::string prefix;                ///< stats path prefix ("core0/")
     CoherenceController *coherence = nullptr;  ///< nullptr if single core
     InterlockController *interlocks = nullptr;
+    /** This core's memory hierarchy (TLBs + caches + backend),
+     *  assembled and owned by the machine builder — cores keep only
+     *  this narrow handle, so the cache/memory composition is decided
+     *  at machine-assembly level, not inside each core model.
+     *  Required: core constructors assert it is non-null. */
+    MemoryHierarchy *hierarchy = nullptr;
     /** Machine-assigned core index, unique within this Machine. It
      *  feeds the interlock owner encoding, so the assembler (Machine
      *  or test harness) must keep it distinct per core sharing an

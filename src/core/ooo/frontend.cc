@@ -60,14 +60,14 @@ OooCore::stageFetch(SimCycle now)
             // (hits are pipelined into the frontend depth).
             TranslateResult tr = hierarchy->translateFetch(
                 t.ctx->cr3, t.fetch_rip, !t.ctx->kernel_mode, now);
-            int extra = tr.latency;
+            CycleDelta extra = tr.latency;
             if (tr.fault == GuestFault::None) {
                 MemResult fa = hierarchy->fetchAccess(tr.paddr, now);
                 if (!fa.l1_hit)
                     extra += fa.latency;
             }
-            if (extra > 0) {
-                t.fetch_stall_until = now + cycles((U64)extra);
+            if (extra > cycles(0)) {
+                t.fetch_stall_until = now + extra;
                 cycle_activity = true;
                 return;
             }

@@ -59,7 +59,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         }
         return true;
     }
-    int latency = tr.latency;
+    CycleDelta latency = tr.latency;
     U64 paddr = tr.paddr;
     l.paddr = paddr;
     l.addr_known = true;
@@ -131,7 +131,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
     if (fwd) {
         st_load_forwards++;
         value = fwd->data & byteMask(u.size);
-        latency += cfg.lat_ld;
+        latency += cycles((U64)cfg.lat_ld);
     } else {
         // Data cache access (physical address).
         MemResult m = hierarchy->dataAccess(paddr, false, now);
@@ -145,7 +145,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         // may touch a second translation.
         U64 last_byte = va + u.size - 1;
         if ((va / 64) != (last_byte / 64))
-            latency += 1;
+            latency += cycles(1);
         if (pageOf(va) != pageOf(last_byte)) {
             TranslateResult tr2 = hierarchy->translateData(
                 ctx.cr3, last_byte, false, !ctx.kernel_mode, now);
@@ -183,7 +183,8 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         reg.value = value;
         reg.flags = 0;
         reg.ready = true;
-        reg.ready_cycle = now + cycles((U64)std::max(latency, cfg.lat_ld));
+        reg.ready_cycle =
+            now + std::max(latency, cycles((U64)cfg.lat_ld));
         reg.cluster = (S8)e.cluster;
         broadcastReady(e.phys);
     }

@@ -57,8 +57,8 @@ OooCore::OooCore(const CoreBuildParams &params, bool smt_mode)
     ptl_assert(!params.contexts.empty());
     ptl_assert((int)params.contexts.size() <= 16);  // paper's SMT limit
 
-    hierarchy = std::make_unique<MemoryHierarchy>(
-        cfg, *aspace, *stats, params.prefix, params.coherence);
+    hierarchy = params.hierarchy;
+    ptl_assert(hierarchy != nullptr);
     predictor = std::make_unique<BranchPredictor>(cfg, *stats,
                                                   params.prefix);
 
@@ -648,6 +648,15 @@ OooCore::sleepCore(SimCycle now)
         fold(SimCycle((now.raw() / iv + 1) * iv));
     }
 #endif
+    // Memory backend deferred work (e.g. the hybrid model's
+    // deferred-write queue): drain everything due by now, then never
+    // skip past the next due stamp. After drainTo(now) the head's
+    // bank is busy past `now`, so the fold is strictly in the future
+    // and the core cannot wedge re-arming the same cycle.
+    hierarchy->drainBackend(now);
+    SimCycle backend_due = hierarchy->backendNextDue();
+    if (!backend_due.never())
+        fold(std::max(backend_due, now + cycles(1)));
     idle_until = wake;
 }
 

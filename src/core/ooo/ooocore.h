@@ -388,7 +388,7 @@ class OooCore : public CoreModel
      *  still runs but full-context lockstep is skipped. */
     bool lockstep_enabled = false;
 
-    std::unique_ptr<MemoryHierarchy> hierarchy;
+    MemoryHierarchy *hierarchy;        ///< owned by the machine builder
     std::unique_ptr<BranchPredictor> predictor;
     std::vector<Thread> threads;
     std::vector<PhysReg> prf;

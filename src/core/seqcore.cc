@@ -179,7 +179,8 @@ FunctionalEngine::stepInsn(SimCycle now)
                         // OOO K8 overlaps misses); hits are covered by
                         // the pipelined base throughput.
                         res.mem_stall +=
-                            t.latency + (m.l1_hit ? 0 : m.latency / 2);
+                            t.latency
+                            + (m.l1_hit ? cycles(0) : m.latency / 2);
                     }
                 }
                 if (u.op == UopOp::Lds)
@@ -279,7 +280,7 @@ FunctionalEngine::stepInsn(SimCycle now)
                     if (p.taken != out.taken) {
                         st_mispredicts++;
                         // Analytic timing: redirect bubble.
-                        res.mem_stall += 10;
+                        res.mem_stall += cycles(10);
                     }
                     bp->resolve(u.rip, p, out.taken);
                 }
@@ -386,7 +387,7 @@ FunctionalEngine::stepInsn(SimCycle now)
         // structure models. Indicative only — see EXPERIMENTS.md.
         int ops = std::max(1, uops_done - mem_uops_this_insn);
         U64 base = (U64)std::max(1, (ops * 2 + 2) / 3);
-        st_modeled_cycles += base + (U64)res.mem_stall;
+        st_modeled_cycles += base + res.mem_stall.raw();
     }
     res.insns = 1;
     res.uops = uops_done;
@@ -412,11 +413,9 @@ FunctionalEngine::stepInsn(SimCycle now)
 // ---------------------------------------------------------------------
 
 SeqCore::SeqCore(const CoreBuildParams &params)
-    : contexts(params.contexts)
+    : contexts(params.contexts), hierarchy(params.hierarchy)
 {
-    hierarchy = std::make_unique<MemoryHierarchy>(
-        *params.config, *params.aspace, *params.stats, params.prefix,
-        params.coherence);
+    ptl_assert(hierarchy != nullptr);
     predictor = std::make_unique<BranchPredictor>(*params.config,
                                                   *params.stats,
                                                   params.prefix);
@@ -424,7 +423,7 @@ SeqCore::SeqCore(const CoreBuildParams &params)
         engines.push_back(std::make_unique<FunctionalEngine>(
             *ctx, *params.aspace, *params.bbcache, *params.sys,
             *params.stats, params.prefix));
-        engines.back()->attachProfiling(hierarchy.get(), predictor.get());
+        engines.back()->attachProfiling(hierarchy, predictor.get());
         stall_until.push_back(SimCycle(0));
     }
 }
@@ -440,7 +439,7 @@ SeqCore::cycle(SimCycle now)
             continue;
         FunctionalEngine::StepResult r = engines[t]->stepInsn(now);
         stall_until[t] = now + cycles((U64)std::max(1, r.uops))
-                         + cycles((U64)r.mem_stall);
+                         + r.mem_stall;
         next_thread = t + 1;
         return;
     }

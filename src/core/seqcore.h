@@ -48,7 +48,7 @@ class FunctionalEngine
     {
         int insns = 0;              ///< x86 instructions completed
         int uops = 0;
-        int mem_stall = 0;          ///< profiling-estimated stall cycles
+        CycleDelta mem_stall;       ///< profiling-estimated stall cycles
         bool idle = false;          ///< VCPU is blocked (hlt)
         bool blocked_now = false;   ///< this step executed hlt
         bool event_delivered = false;
@@ -146,7 +146,7 @@ class SeqCore : public CoreModel
   private:
     std::vector<Context *> contexts;
     std::vector<std::unique_ptr<FunctionalEngine>> engines;
-    std::unique_ptr<MemoryHierarchy> hierarchy;
+    MemoryHierarchy *hierarchy;        ///< owned by the machine builder
     std::unique_ptr<BranchPredictor> predictor;
     std::vector<SimCycle> stall_until;
     size_t next_thread = 0;

@@ -1,9 +1,12 @@
 #include "lib/config.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <functional>
 #include <map>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "lib/logging.h"
 
@@ -128,6 +131,24 @@ parseSmtPolicy(const std::string &v)
     fatal("unknown SMT policy '%s'", v.c_str());
 }
 
+ReplKind
+parseRepl(const std::string &v)
+{
+    if (v == "lru") return ReplKind::Lru;
+    if (v == "tree-plru" || v == "plru") return ReplKind::TreePlru;
+    if (v == "random") return ReplKind::Random;
+    fatal("unknown replacement policy '%s'", v.c_str());
+}
+
+MemBackendKind
+parseBackend(const std::string &v)
+{
+    if (v == "fixed") return MemBackendKind::Fixed;
+    if (v == "banked" || v == "banked-dram") return MemBackendKind::BankedDram;
+    if (v == "hybrid") return MemBackendKind::Hybrid;
+    fatal("unknown memory backend '%s'", v.c_str());
+}
+
 }  // namespace
 
 void
@@ -183,17 +204,34 @@ SimConfig::applyOption(const std::string &option)
         {"lat_ld", [&] { lat_ld = as_int(); }},
         {"l1i_size", [&] { l1i.size_bytes = as_u64(); }},
         {"l1i_ways", [&] { l1i.ways = as_int(); }},
+        {"l1i_repl", [&] { l1i.repl = parseRepl(value); }},
         {"l1d_size", [&] { l1d.size_bytes = as_u64(); }},
         {"l1d_ways", [&] { l1d.ways = as_int(); }},
         {"l1d_latency", [&] { l1d.latency = as_int(); }},
         {"l1d_banks", [&] { l1d.banks = as_int(); }},
+        {"l1d_repl", [&] { l1d.repl = parseRepl(value); }},
         {"l2_size", [&] { l2.size_bytes = as_u64(); }},
         {"l2_ways", [&] { l2.ways = as_int(); }},
         {"l2_latency", [&] { l2.latency = as_int(); }},
+        {"l2_repl", [&] { l2.repl = parseRepl(value); }},
         {"l3_size", [&] { l3.size_bytes = as_u64(); }},
         {"l3_ways", [&] { l3.ways = as_int(); }},
         {"l3_latency", [&] { l3.latency = as_int(); }},
+        {"l3_repl", [&] { l3.repl = parseRepl(value); }},
         {"mem_latency", [&] { mem_latency = as_int(); }},
+        {"mem_backend", [&] { membackend.kind = parseBackend(value); }},
+        {"dram_banks", [&] { membackend.dram_banks = as_int(); }},
+        {"dram_row_bytes", [&] { membackend.row_bytes = as_int(); }},
+        {"dram_t_cas", [&] { membackend.t_cas = as_int(); }},
+        {"dram_t_rcd", [&] { membackend.t_rcd = as_int(); }},
+        {"dram_t_rp", [&] { membackend.t_rp = as_int(); }},
+        {"edram_size", [&] { membackend.edram_size_bytes = as_u64(); }},
+        {"edram_ways", [&] { membackend.edram_ways = as_int(); }},
+        {"edram_line_bytes", [&] { membackend.edram_line_bytes = as_int(); }},
+        {"edram_latency", [&] { membackend.edram_latency = as_int(); }},
+        {"pcm_read_latency", [&] { membackend.pcm_read_latency = as_int(); }},
+        {"pcm_write_latency", [&] { membackend.pcm_write_latency = as_int(); }},
+        {"deferred_writes", [&] { membackend.deferred_writes = as_int(); }},
         {"dtlb_entries", [&] { dtlb_entries = as_int(); }},
         {"itlb_entries", [&] { itlb_entries = as_int(); }},
         {"tlb2_entries", [&] { tlb2_entries = as_int(); }},
@@ -236,6 +274,172 @@ SimConfig::applyOptions(const std::string &options)
         applyOption(tok);
 }
 
+namespace {
+
+/**
+ * Minimal JSON reader for the `memory` experiment block: one object,
+ * string/number/bool scalars, at most one level of nested objects.
+ * Emits (path, value) pairs with nested keys joined as "group.key".
+ * No external dependency — the toolchain image carries no JSON
+ * library and the schema is deliberately tiny.
+ */
+class MemoryJsonReader
+{
+  public:
+    explicit MemoryJsonReader(const std::string &text) : s(text) {}
+
+    std::vector<std::pair<std::string, std::string>>
+    parse()
+    {
+        std::vector<std::pair<std::string, std::string>> out;
+        skipWs();
+        expect('{');
+        parseObject("", out, /*depth=*/0);
+        skipWs();
+        if (pos != s.size())
+            fatal("memory JSON: trailing garbage at offset %zu", pos);
+        return out;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t'
+                                  || s[pos] == '\n' || s[pos] == '\r'))
+            pos++;
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= s.size() || s[pos] != c)
+            fatal("memory JSON: expected '%c' at offset %zu", c, pos);
+        pos++;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\')
+                fatal("memory JSON: escapes are not supported");
+            out += s[pos++];
+        }
+        expect('"');
+        return out;
+    }
+
+    std::string
+    parseScalar()
+    {
+        if (s[pos] == '"')
+            return parseString();
+        size_t start = pos;
+        while (pos < s.size() && (std::isalnum((unsigned char)s[pos])
+                                  || s[pos] == '-' || s[pos] == '+'
+                                  || s[pos] == '.' || s[pos] == '_'))
+            pos++;
+        if (pos == start)
+            fatal("memory JSON: expected a value at offset %zu", pos);
+        return s.substr(start, pos - start);
+    }
+
+    void
+    parseObject(const std::string &prefix,
+                std::vector<std::pair<std::string, std::string>> &out,
+                int depth)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            pos++;
+            return;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            std::string path = prefix.empty() ? key : prefix + "." + key;
+            if (pos < s.size() && s[pos] == '{') {
+                if (depth >= 1)
+                    fatal("memory JSON: object nesting too deep at '%s'",
+                          path.c_str());
+                pos++;
+                parseObject(path, out, depth + 1);
+            } else {
+                out.emplace_back(path, parseScalar());
+            }
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+/** Map a "group.key" JSON path onto a flat applyOption() name. */
+std::string
+memoryJsonOption(const std::string &path)
+{
+    if (path == "backend")
+        return "mem_backend";
+    if (path == "mem_latency")
+        return "mem_latency";
+    auto dot = path.find('.');
+    if (dot == std::string::npos)
+        fatal("memory JSON: unknown key '%s'", path.c_str());
+    std::string group = path.substr(0, dot);
+    std::string key = path.substr(dot + 1);
+    if (group == "l1i" || group == "l1d" || group == "l2" || group == "l3")
+        return group + "_" + key;
+    if (group == "dram")
+        return "dram_" + key;
+    if (group == "edram")
+        return "edram_" + key;
+    if (group == "pcm") {
+        if (key == "deferred_writes")
+            return "deferred_writes";
+        return "pcm_" + key;
+    }
+    fatal("memory JSON: unknown key '%s'", path.c_str());
+}
+
+}  // namespace
+
+void
+SimConfig::applyMemoryJson(const std::string &json)
+{
+    MemoryJsonReader reader(json);
+    auto pairs = reader.parse();
+    bool versioned = false;
+    for (const auto &[path, value] : pairs) {
+        if (path == "version") {
+            if (value != "1")
+                fatal("memory JSON: unsupported version '%s' "
+                      "(this build reads version 1)", value.c_str());
+            versioned = true;
+            continue;
+        }
+        // Normalize eDRAM size alias: "size" reads naturally in JSON.
+        std::string opt = memoryJsonOption(path);
+        if (opt == "edram_size_bytes")
+            opt = "edram_size";
+        applyOption(opt + "=" + value);
+    }
+    if (!versioned)
+        fatal("memory JSON: missing required \"version\" key");
+}
+
 void
 SimConfig::validate() const
 {
@@ -260,6 +464,30 @@ SimConfig::validate() const
     if (!isPow2((U64)btb_entries) || !isPow2((U64)gshare_entries)
         || !isPow2((U64)bimodal_entries) || !isPow2((U64)meta_entries))
         fatal("predictor table sizes must be powers of two");
+    if (membackend.version != 1)
+        fatal("membackend version %d unsupported", membackend.version);
+    if (membackend.dram_banks < 1 || !isPow2((U64)membackend.dram_banks))
+        fatal("dram_banks %d must be a power of two",
+              membackend.dram_banks);
+    if (membackend.row_bytes < l1d.line_bytes
+        || !isPow2((U64)membackend.row_bytes))
+        fatal("dram row_bytes %d must be a power of two >= the line size",
+              membackend.row_bytes);
+    if (membackend.t_cas < 1 || membackend.t_rcd < 0 || membackend.t_rp < 0)
+        fatal("DRAM timing parameters out of range");
+    if (membackend.kind == MemBackendKind::Hybrid) {
+        CacheParams edram;
+        edram.size_bytes = membackend.edram_size_bytes;
+        edram.ways = membackend.edram_ways;
+        edram.line_bytes = membackend.edram_line_bytes;
+        (void)edram.sets();  // force geometry checks
+        if (membackend.pcm_read_latency < 1
+            || membackend.pcm_write_latency < 1)
+            fatal("PCM latencies must be positive");
+        if (membackend.deferred_writes < 1)
+            fatal("deferred_writes %d must be positive",
+                  membackend.deferred_writes);
+    }
 }
 
 }  // namespace ptl

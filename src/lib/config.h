@@ -28,6 +28,12 @@ enum class CoherenceKind { InstantVisibility, Moesi };
 /** SMT fetch priority policy. */
 enum class SmtPolicy { RoundRobin, Icount };
 
+/** Cache replacement policy selector (per level). */
+enum class ReplKind { Lru, TreePlru, Random };
+
+/** Main-memory timing model selector (src/mem/membackend.h). */
+enum class MemBackendKind { Fixed, BankedDram, Hybrid };
+
 /** One cache level's geometry and timing. */
 struct CacheParams
 {
@@ -37,8 +43,40 @@ struct CacheParams
     int latency = 1;          ///< hit latency in cycles
     int mshr_count = 8;       ///< outstanding-miss buffers
     int banks = 1;            ///< pseudo-dual-port banking (1 = unbanked)
+    ReplKind repl = ReplKind::Lru;  ///< victim-selection policy
 
     int sets() const;         ///< derived set count (validates geometry)
+};
+
+/**
+ * Main-memory backend parameters (the versioned `memory` config
+ * block). `version` gates the JSON schema: applyMemoryJson() rejects
+ * blocks written for a different layout instead of misreading them.
+ *
+ * The banked-DRAM defaults are chosen so a row-buffer CONFLICT costs
+ * t_rp + t_rcd + t_cas = 112 cycles — exactly the flat mem_latency of
+ * the fixed backend — while an open-row hit pays only t_cas.
+ */
+struct MemBackendParams
+{
+    int version = 1;
+    MemBackendKind kind = MemBackendKind::Fixed;
+
+    // -- banked DRAM timing (also the hybrid model's bank substrate) --
+    int dram_banks = 8;          ///< independent banks (power of two)
+    int row_bytes = 2048;        ///< open-row (row buffer) granularity
+    int t_cas = 40;              ///< row-buffer hit: column access only
+    int t_rcd = 36;              ///< row activate (RAS-to-CAS)
+    int t_rp = 36;               ///< row precharge on a conflict
+
+    // -- hybrid eDRAM + PCM --
+    U64 edram_size_bytes = 4 << 20;  ///< eDRAM cache capacity
+    int edram_ways = 8;
+    int edram_line_bytes = 64;
+    int edram_latency = 24;      ///< eDRAM hit latency
+    int pcm_read_latency = 160;  ///< PCM array read
+    int pcm_write_latency = 480; ///< PCM cell write (asymmetric)
+    int deferred_writes = 16;    ///< deferred-write queue capacity
 };
 
 /** Complete simulator configuration. */
@@ -91,6 +129,7 @@ struct SimConfig
     CacheParams l2{1 << 20, 16, 64, 10, 16, 1};
     CacheParams l3{0, 16, 64, 25, 16, 1};  ///< disabled in the K8 preset
     int mem_latency = 112;                ///< DRAM access cycles
+    MemBackendParams membackend;          ///< main-memory timing model
     int dtlb_entries = 32;
     int itlb_entries = 32;
     int tlb2_entries = 0;                 ///< L2 TLB (0 = absent, as in PTLsim)
@@ -138,6 +177,20 @@ struct SimConfig
 
     /** Apply a whitespace-separated option list. */
     void applyOptions(const std::string &options);
+
+    /**
+     * Apply a versioned `memory` JSON block (the experiment-file
+     * reproducibility path). Accepts a flat object of scalars and
+     * one level of nesting; nested keys map to "group_key" option
+     * names, e.g.
+     *
+     *   {"version": 1, "backend": "banked",
+     *    "dram": {"banks": 8, "t_cas": 40},
+     *    "l1d": {"repl": "tree-plru"}}
+     *
+     * A missing or mismatched "version" is fatal().
+     */
+    void applyMemoryJson(const std::string &json);
 
     /** Sanity-check derived quantities; fatal() on invalid geometry. */
     void validate() const;

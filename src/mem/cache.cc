@@ -4,10 +4,16 @@
 
 namespace ptl {
 
-CacheArray::CacheArray(const CacheParams &params)
+CacheArray::CacheArray(const CacheParams &params, Counter *evictions,
+                       U64 seed)
     : sets(params.sets()), ways(params.ways),
-      line_bytes(params.line_bytes), latency_(params.latency),
+      line_bytes(params.line_bytes),
+      latency_(cycles((U64)params.latency)),
       mshr_count(params.mshr_count), banks_(params.banks),
+      repl(sets ? makeReplacementPolicy(params.repl, sets, params.ways,
+                                        seed)
+                : nullptr),
+      evictions_(evictions),
       lines((size_t)sets * (sets ? params.ways : 0))
 {
 }
@@ -23,7 +29,7 @@ CacheArray::lookup(U64 paddr, bool touch_lru)
     for (int w = 0; w < ways; w++) {
         if (base[w].valid() && base[w].tag == tag) {
             if (touch_lru)
-                base[w].lru = ++tick;
+                repl->touch((int)set, w);
             return &base[w];
         }
     }
@@ -40,15 +46,18 @@ CacheArray::insert(U64 paddr, LineState state, Eviction *evicted)
     }
     unsigned set = setOf(paddr);
     Line *base = &lines[(size_t)set * ways];
-    Line *victim = &base[0];
+    // An invalid way is always filled first (way order), exactly as
+    // the original scan did; the policy arbitrates only full sets.
+    int way = -1;
     for (int w = 0; w < ways; w++) {
         if (!base[w].valid()) {
-            victim = &base[w];
+            way = w;
             break;
         }
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
     }
+    if (way < 0)
+        way = repl->victim((int)set);
+    Line *victim = &base[way];
     if (evicted) {
         evicted->valid = victim->valid();
         if (evicted->valid) {
@@ -57,10 +66,12 @@ CacheArray::insert(U64 paddr, LineState state, Eviction *evicted)
             evicted->state = victim->state;
         }
     }
+    if (victim->valid() && evictions_)
+        (*evictions_)++;
     victim->tag = tagOf(paddr);
     victim->state = state;
-    victim->lru = ++tick;
     victim->prefetched = false;
+    repl->touch((int)set, way);
     return victim;
 }
 
@@ -76,6 +87,8 @@ CacheArray::invalidateAll()
 {
     for (Line &line : lines)
         line.state = LineState::Invalid;
+    if (repl)
+        repl->reset();
 }
 
 }  // namespace ptl

@@ -5,18 +5,27 @@
  * PTLsim's caches are physically tagged (Section 4.3) and are timing
  * models: line *data* always lives in PhysMem (the integrated simulator
  * keeps one architectural copy of memory), while these arrays track
- * presence, LRU, dirtiness/coherence state, and banking. The K8's
+ * presence, dirtiness/coherence state, and banking. The K8's
  * pseudo-dual-ported L1D (8 banks on 64-bit boundaries, 1-cycle replay
  * on conflict — Section 5) is modeled via bankOf().
+ *
+ * Victim selection is delegated to a pluggable ReplacementPolicy
+ * (mem/replacement.h) chosen per level from CacheParams::repl; the
+ * default LRU policy reproduces the original hardwired behavior
+ * stamp for stamp.
  */
 
 #ifndef PTLSIM_MEM_CACHE_H_
 #define PTLSIM_MEM_CACHE_H_
 
+#include <memory>
 #include <vector>
 
 #include "lib/config.h"
+#include "lib/counter.h"
+#include "lib/simtime.h"
 #include "mem/physmem.h"
+#include "mem/replacement.h"
 
 namespace ptl {
 
@@ -33,13 +42,18 @@ lineDirty(LineState s)
 class CacheArray
 {
   public:
-    explicit CacheArray(const CacheParams &params);
+    /**
+     * @param evictions optional counter bumped per valid-line
+     *        displacement (the per-level policy-eviction stat)
+     * @param seed determinism seed for stochastic policies
+     */
+    explicit CacheArray(const CacheParams &params,
+                        Counter *evictions = nullptr, U64 seed = 0);
 
     struct Line
     {
         U64 tag = 0;
         LineState state = LineState::Invalid;
-        U64 lru = 0;
         bool prefetched = false;  ///< brought in by the prefetcher,
                                   ///< not yet demanded (stream tagging)
         bool valid() const { return state != LineState::Invalid; }
@@ -57,8 +71,8 @@ class CacheArray
     Line *lookup(U64 paddr, bool touch_lru = true);
 
     /**
-     * Install the line containing paddr in `state`, evicting the LRU
-     * way if necessary (reported through `evicted`).
+     * Install the line containing paddr in `state`, evicting the
+     * policy's victim way if necessary (reported through `evicted`).
      */
     Line *insert(U64 paddr, LineState state, Eviction *evicted = nullptr);
 
@@ -74,9 +88,10 @@ class CacheArray
     U64 lineAddr(U64 paddr) const { return paddr & ~(U64)(line_bytes - 1); }
     int lineBytes() const { return line_bytes; }
     int banks() const { return banks_; }
-    int latency() const { return latency_; }
+    CycleDelta latency() const { return latency_; }
     int mshrCount() const { return mshr_count; }
     bool enabled() const { return sets > 0; }
+    const char *replName() const { return repl ? repl->name() : "none"; }
 
     /** Visit every valid line (coherence invariant checks in tests). */
     template <typename F>
@@ -102,10 +117,11 @@ class CacheArray
     int sets;
     int ways;
     int line_bytes;
-    int latency_;
+    CycleDelta latency_;
     int mshr_count;
     int banks_;
-    U64 tick = 0;
+    std::unique_ptr<ReplacementPolicy> repl;
+    Counter *evictions_;  // simlint: stats-ok (optional, owner-bound)
     std::vector<Line> lines;
 };
 

@@ -9,7 +9,17 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig &config,
                                  const std::string &prefix,
                                  CoherenceController *coherence_ctl)
     : cfg(config), aspace(&addrspace), coherence(coherence_ctl),
-      l1i(config.l1i), l1d(config.l1d), l2(config.l2), l3(config.l3),
+      l1i(config.l1i,
+          &stats.counter(prefix + "icache/policy_evictions"),
+          config.seed ^ 0x11),
+      l1d(config.l1d,
+          &stats.counter(prefix + "dcache/policy_evictions"),
+          config.seed ^ 0x1d),
+      l2(config.l2, &stats.counter(prefix + "l2/policy_evictions"),
+         config.seed ^ 0x22),
+      l3(config.l3, &stats.counter(prefix + "l3/policy_evictions"),
+         config.seed ^ 0x33),
+      backend(makeMemBackend(config, stats, prefix)),
       dtlb(config.dtlb_entries, config.dtlb_entries),   // fully associative
       itlb(config.itlb_entries, config.itlb_entries),
       tlb2(config.tlb2_entries ? config.tlb2_entries : config.tlb2_ways,
@@ -44,8 +54,9 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig &config,
         core_id = coherence->registerCore(this);
 }
 
-int
-MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
+CycleDelta
+MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch,
+                          SimCycle now)
 {
     // Ask the coherence fabric first: a peer cache may supply the line.
     CoherenceResult coh;
@@ -58,7 +69,9 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
         is_write ? LineState::Modified
                  : ((coherence && coh.peer_supplied) ? LineState::Shared
                                                      : LineState::Exclusive);
-    int latency = 0;
+    CycleDelta upstream = (l2.enabled() ? l2.latency() : cycles(0))
+                          + (l3.enabled() ? l3.latency() : cycles(0));
+    CycleDelta latency;
     st_l2_accesses++;
     if (l2.enabled() && l2.lookup(paddr)) {
         latency = l2.latency();
@@ -69,7 +82,7 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
         // prefetched line keeps the stream running one line ahead.
         if (cfg.hw_prefetch && l2line->prefetched && !is_fetch) {
             l2line->prefetched = false;
-            issuePrefetch(l2.lineAddr(paddr) + (U64)l2.lineBytes());
+            issuePrefetch(l2.lineAddr(paddr) + (U64)l2.lineBytes(), now);
         }
     } else {
         st_l2_misses++;
@@ -77,7 +90,8 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
         if (l3.enabled()) {
             st_l3_accesses++;
             if (l3.lookup(paddr)) {
-                latency = (l2.enabled() ? l2.latency() : 0) + l3.latency();
+                latency = (l2.enabled() ? l2.latency() : cycles(0))
+                          + l3.latency();
                 filled = true;
             } else {
                 st_l3_misses++;
@@ -85,13 +99,18 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
         }
         if (!filled) {
             if (coh.peer_supplied) {
-                latency = (l2.enabled() ? l2.latency() : 0)
-                          + coh.extra_latency;
+                latency = (l2.enabled() ? l2.latency() : cycles(0))
+                          + cycles((U64)coh.extra_latency);
             } else {
                 st_mem_accesses++;
-                latency = (l2.enabled() ? l2.latency() : 0)
-                          + (l3.enabled() ? l3.latency() : 0)
-                          + cfg.mem_latency + coh.extra_latency;
+                // The memory leg is the backend's call: the request is
+                // issued once the upstream levels have been traversed,
+                // and the fill completes at whatever absolute cycle
+                // the timing model reports (with FixedLatencyBackend
+                // this reduces exactly to the old scalar addition).
+                SimCycle done = backend->request(l1d.lineAddr(paddr),
+                                                 is_write, now + upstream);
+                latency = (done - now) + cycles((U64)coh.extra_latency);
             }
             if (l3.enabled()) {
                 CacheArray::Eviction ev;
@@ -103,12 +122,13 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch)
             l2.insert(paddr, fill_state, &ev);
             if (ev.valid) {
                 // Enforce inclusion and report the eviction upstream;
-                // dirty victims write back to memory.
+                // dirty victims write back through the backend.
                 l1d.invalidate(ev.line_addr);
                 l1i.invalidate(ev.line_addr);
                 if (lineDirty(ev.state)) {
                     st_writebacks++;
                     st_mem_accesses++;
+                    backend->request(ev.line_addr, true, now);
                 }
                 if (coherence)
                     coherence->onEvict(core_id, ev.line_addr, ev.state);
@@ -136,7 +156,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
         if (bank_mask & bit) {
             st_d_bank_conflicts++;
             out.bank_conflict = true;
-            out.latency = 1;
+            out.latency = cycles(1);
             return out;
         }
         bank_mask |= bit;
@@ -150,14 +170,13 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
         U64 line_addr = l1d.lineAddr(paddr);
         for (const Mshr &m : mshrs) {
             if (m.line == line_addr && m.ready > now)
-                out.latency =
-                    std::max(out.latency, (int)(m.ready - now).raw());
+                out.latency = std::max(out.latency, m.ready - now);
         }
         if (is_write) {
             if (coherence && line->state == LineState::Shared) {
                 CoherenceResult coh =
                     coherence->onUpgrade(core_id, l1d.lineAddr(paddr));
-                out.latency += coh.extra_latency;
+                out.latency += cycles((U64)coh.extra_latency);
             }
             line->state = LineState::Modified;
             if (CacheArray::Line *l2line = l2.lookup(paddr))
@@ -176,7 +195,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
         if (m.ready > now) {
             active++;
             if (m.line == line_addr) {
-                out.latency = (int)(m.ready - now).raw();
+                out.latency = m.ready - now;
                 return out;
             }
         }
@@ -184,12 +203,12 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
     if (active >= l1d.mshrCount()) {
         st_mshr_full++;
         out.mshr_full = true;
-        out.latency = 1;
+        out.latency = cycles(1);
         return out;
     }
 
-    out.latency = l1d.latency() + missPath(paddr, is_write, false);
-    mshrs.push_back({line_addr, now + cycles((U64)out.latency)});
+    out.latency = l1d.latency() + missPath(paddr, is_write, false, now);
+    mshrs.push_back({line_addr, now + out.latency});
     // Garbage-collect completed entries opportunistically.
     if (mshrs.size() > 4 * (size_t)l1d.mshrCount()) {
         std::erase_if(mshrs, [&](const Mshr &m) { return m.ready <= now; });
@@ -197,19 +216,22 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
 
     // K8-style next-line hardware prefetch (reference machine only).
     if (cfg.hw_prefetch && !is_write)
-        issuePrefetch(line_addr + (U64)l1d.lineBytes());
+        issuePrefetch(line_addr + (U64)l1d.lineBytes(), now);
     return out;
 }
 
 void
-MemoryHierarchy::issuePrefetch(U64 next_line)
+MemoryHierarchy::issuePrefetch(U64 next_line, SimCycle now)
 {
     // K8's hardware prefetcher streams into the L2: demand accesses
     // still record an L1 miss but fill from the fast L2 instead of
-    // paying a memory access.
+    // paying a memory access. The fill itself still occupies the
+    // backend (a banked model sees it as a row-hit bulk access that
+    // pipelines behind the demand miss that triggered it).
     if (!l2.enabled() || l2.lookup(next_line, false))
         return;
     st_prefetches++;
+    backend->request(next_line, false, now);
     CacheArray::Eviction ev;
     CacheArray::Line *line =
         l2.insert(next_line, LineState::Exclusive, &ev);
@@ -223,7 +245,7 @@ MemoryHierarchy::issuePrefetch(U64 next_line)
 }
 
 MemResult
-MemoryHierarchy::fetchAccess(U64 paddr, SimCycle /*now*/)
+MemoryHierarchy::fetchAccess(U64 paddr, SimCycle now)
 {
     MemResult out;
     st_i_accesses++;
@@ -233,13 +255,18 @@ MemoryHierarchy::fetchAccess(U64 paddr, SimCycle /*now*/)
         return out;
     }
     st_i_misses++;
-    out.latency = l1i.latency() + missPath(paddr, false, true);
+    out.latency = l1i.latency() + missPath(paddr, false, true, now);
     // Sequential code prefetch: real front ends (including the K8's)
-    // stream the next line; without this, cold straight-line code pays
-    // a full memory latency every cache line.
+    // stream the next line. The bulk fill goes through the backend —
+    // issued right behind the demand miss, so a banked model sees
+    // consecutive lines of straight-line code pipeline in the open
+    // row instead of each paying a full random-access latency.
     U64 next = l1i.lineAddr(paddr) + (U64)l1i.lineBytes();
     if (!l1i.lookup(next, false)) {
-        if (l2.enabled() && !l2.lookup(next, false)) {
+        bool from_memory = !(l2.enabled() && l2.lookup(next, false));
+        if (from_memory)
+            backend->request(next, false, now);
+        if (l2.enabled() && from_memory) {
             CacheArray::Eviction ev;
             l2.insert(next, LineState::Exclusive, &ev);
             if (ev.valid) {
@@ -254,7 +281,7 @@ MemoryHierarchy::fetchAccess(U64 paddr, SimCycle /*now*/)
     return out;
 }
 
-int
+CycleDelta
 MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
                             bool is_write, SimCycle now)
 {
@@ -269,18 +296,18 @@ MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
             pde_cache.insert(va, leaf_table);
         }
     }
-    int latency = 0;
+    CycleDelta latency;
     for (int level = first_level; level < walk.levels; level++) {
         st_walk_loads++;
-        MemResult r = dataAccess(walk.pte_addr[level], false,
-                                 now + cycles((U64)latency), true);
+        MemResult r =
+            dataAccess(walk.pte_addr[level], false, now + latency, true);
         latency += r.latency;
     }
     if (walk.present
         && aspace->setAccessedDirty(walk, is_write)) {
         // Microcode performs a locked RMW on the changed PTE.
-        MemResult r = dataAccess(walk.pte_addr[3], true,
-                                 now + cycles((U64)latency), true);
+        MemResult r =
+            dataAccess(walk.pte_addr[3], true, now + latency, true);
         latency += r.latency;
     }
     return latency;
@@ -333,7 +360,7 @@ MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
             if (dirty_ok) {
                 st_dtlb_l2_hits++;
                 out.tlb2_hit = true;
-                out.latency = 2;
+                out.latency = cycles(2);
                 GuestFault f = GuestFault::None;
                 if (is_write && !e2->writable)
                     f = GuestFault::PageFaultWrite;

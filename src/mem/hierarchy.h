@@ -9,11 +9,18 @@
  * loads through the data cache on a TLB miss (Section 4.3). All timing
  * decisions are made on machine-physical addresses; functional data
  * always lives in PhysMem.
+ *
+ * Below the last cache level the hierarchy bottoms out in a pluggable
+ * MemBackend (mem/membackend.h): demand fills, writebacks and bulk
+ * prefetch fills all go through backend->request(), so swapping the
+ * memory technology (fixed latency, banked DRAM, eDRAM+PCM hybrid) is
+ * a config change, not a cache-code fork.
  */
 
 #ifndef PTLSIM_MEM_HIERARCHY_H_
 #define PTLSIM_MEM_HIERARCHY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +28,7 @@
 #include "lib/simtime.h"
 #include "mem/cache.h"
 #include "mem/coherence.h"
+#include "mem/membackend.h"
 #include "mem/pagetable.h"
 #include "mem/tlb.h"
 #include "stats/stats.h"
@@ -30,7 +38,7 @@ namespace ptl {
 /** Timing outcome of a cache access. */
 struct MemResult
 {
-    int latency = 0;          ///< cycles until the data is available
+    CycleDelta latency;       ///< cycles until the data is available
     bool l1_hit = false;
     bool mshr_full = false;   ///< no miss buffer free: replay the op
     bool bank_conflict = false;///< L1D bank busy this cycle: 1-cycle replay
@@ -39,7 +47,7 @@ struct MemResult
 /** Timing + fault outcome of an address translation. */
 struct TranslateResult
 {
-    int latency = 0;          ///< extra cycles (0 on a TLB hit)
+    CycleDelta latency;       ///< extra cycles (0 on a TLB hit)
     bool tlb_hit = false;
     bool tlb2_hit = false;
     GuestFault fault = GuestFault::None;
@@ -89,9 +97,10 @@ class MemoryHierarchy
 
     /**
      * Virtual time warped (checkpoint restore): drop in-flight miss
-     * tracking and the per-cycle bank occupancy, whose absolute cycle
-     * stamps would otherwise charge phantom multi-thousand-cycle
-     * fill waits against the rolled-back clock.
+     * tracking, the per-cycle bank occupancy, and the backend's
+     * absolute bank/queue stamps, which would otherwise charge
+     * phantom multi-thousand-cycle fill waits against the rolled-back
+     * clock.
      */
     void
     resetTimebase()
@@ -99,7 +108,21 @@ class MemoryHierarchy
         mshrs.clear();
         bank_cycle = CYCLE_NEVER;
         bank_mask = 0;
+        backend->resetTimebase();
     }
+
+    /** The main-memory timing model this hierarchy bottoms out in. */
+    MemBackend &memBackend() { return *backend; }
+
+    /**
+     * Earliest cycle at which the backend has deferred work due, or
+     * CYCLE_NEVER. Cores fold this into their sleep hints so
+     * skip-ahead never overshoots a pending deferred-write drain.
+     */
+    SimCycle backendNextDue() const { return backend->nextDue(); }
+
+    /** Pump the backend's lazy maintenance up to `now`. */
+    void drainBackend(SimCycle now) { backend->drainTo(now); }
 
     /** Coherence downgrade from a peer core. */
     void invalidateLine(U64 line_addr);
@@ -112,15 +135,16 @@ class MemoryHierarchy
     AddressSpace &addressSpace() { return *aspace; }
 
   private:
-    /** Shared L1-miss path: L2 -> L3 -> memory/coherence. */
-    int missPath(U64 paddr, bool is_write, bool is_fetch);
+    /** Shared L1-miss path: L2 -> L3 -> backend/coherence. */
+    CycleDelta missPath(U64 paddr, bool is_write, bool is_fetch,
+                        SimCycle now);
     /** Bring `next_line` into L1D/L2 ahead of demand (stream prefetch). */
-    void issuePrefetch(U64 next_line);
+    void issuePrefetch(U64 next_line, SimCycle now);
     TranslateResult translateCommon(U64 cr3, U64 va, MemAccess kind,
                                     bool user_mode, SimCycle now, Tlb &tlb,
                                     Counter &hits, Counter &misses);
-    int walkTiming(U64 cr3, U64 va, const PageWalk &walk, bool is_write,
-                   SimCycle now);
+    CycleDelta walkTiming(U64 cr3, U64 va, const PageWalk &walk,
+                          bool is_write, SimCycle now);
 
     SimConfig cfg;
     AddressSpace *aspace;
@@ -131,6 +155,7 @@ class MemoryHierarchy
     CacheArray l1d;
     CacheArray l2;
     CacheArray l3;
+    std::unique_ptr<MemBackend> backend;
     Tlb dtlb;
     Tlb itlb;
     Tlb tlb2;              ///< 0-entry sentinel when disabled

@@ -1,0 +1,117 @@
+#include "mem/replacement.h"
+
+#include <algorithm>
+
+#include "lib/logging.h"
+
+namespace ptl {
+
+ReplacementPolicy::ReplacementPolicy(ReplKind kind, int sets, int ways,
+                                     U64 seed)
+    : kind_(kind), ways_(ways), rng_(seed)
+{
+    switch (kind_) {
+    case ReplKind::Lru:
+        // Exact LRU with a single global tick, replicating the original
+        // CacheArray behavior stamp for stamp: every touch gets the
+        // next tick value, and the victim is the way with the smallest
+        // stamp (way order breaks ties, which only arise among
+        // never-touched ways).
+        stamp_.assign((size_t)sets * ways, 0);
+        break;
+    case ReplKind::TreePlru:
+        // Tree pseudo-LRU: ways-1 direction bits per set arranged as a
+        // binary tree. A touch flips every node on the way's root path
+        // to point AWAY from it; the victim walk follows the bits down.
+        if (!isPow2((U64)ways))
+            fatal("tree-plru requires a power-of-two way count (got %d)",
+                  ways);
+        bits_.assign((size_t)sets * (ways > 1 ? ways - 1 : 1), 0);
+        break;
+    case ReplKind::Random:
+        // Seeded random: draws from the deterministic xoshiro rng, so
+        // two runs with the same seed produce identical victim
+        // sequences — random in distribution, not in reproducibility.
+        break;
+    }
+}
+
+void
+ReplacementPolicy::touchTree(int set, int way)
+{
+    if (ways_ < 2)
+        return;
+    U8 *tree = &bits_[(size_t)set * (ways_ - 1)];
+    int node = 0, lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+        int mid = (lo + hi) / 2;
+        bool right = way >= mid;
+        tree[node] = right ? 0 : 1;  // point away from the touched half
+        node = 2 * node + (right ? 2 : 1);
+        (right ? lo : hi) = mid;
+    }
+}
+
+int
+ReplacementPolicy::victim(int set)
+{
+    switch (kind_) {
+    case ReplKind::Lru: {
+        const U64 *base = &stamp_[(size_t)set * ways_];
+        int v = 0;
+        for (int w = 1; w < ways_; w++) {
+            if (base[w] < base[v])
+                v = w;
+        }
+        return v;
+    }
+    case ReplKind::TreePlru: {
+        if (ways_ < 2)
+            return 0;
+        const U8 *tree = &bits_[(size_t)set * (ways_ - 1)];
+        int node = 0, lo = 0, hi = ways_;
+        while (hi - lo > 1) {
+            bool right = tree[node] != 0;
+            node = 2 * node + (right ? 2 : 1);
+            (right ? lo : hi) = (lo + hi) / 2;
+        }
+        return lo;
+    }
+    case ReplKind::Random:
+        return (int)rng_.below((U64)ways_);
+    }
+    fatal("unknown replacement policy kind %d", (int)kind_);
+}
+
+void
+ReplacementPolicy::reset()
+{
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    std::fill(bits_.begin(), bits_.end(), 0);
+    tick_ = 0;
+    // The random rng stream deliberately continues across resets:
+    // reseeding on every cache flush would correlate victims across
+    // flush epochs.
+}
+
+const char *
+ReplacementPolicy::name() const
+{
+    switch (kind_) {
+    case ReplKind::Lru:
+        return "lru";
+    case ReplKind::TreePlru:
+        return "tree-plru";
+    case ReplKind::Random:
+        return "random";
+    }
+    return "?";
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplKind kind, int sets, int ways, U64 seed)
+{
+    return std::make_unique<ReplacementPolicy>(kind, sets, ways, seed);
+}
+
+}  // namespace ptl

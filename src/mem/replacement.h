@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pluggable cache replacement policies.
+ *
+ * PTLsim's original tag arrays hardwired global-tick LRU into the
+ * lookup/insert paths. This interface extracts victim selection so a
+ * level's policy is a config choice (CacheParams::repl): exact LRU
+ * (the bit-identical default), tree pseudo-LRU (one bit per tree node,
+ * the common hardware approximation), and seeded random (draws from
+ * the deterministic xoshiro rng so runs stay reproducible).
+ *
+ * The policy is a sealed tagged type rather than a class hierarchy:
+ * touch() sits on the per-access hot path (every cache hit in every
+ * level calls it), so dispatch is an inlined branch on the kind, not a
+ * vtable call. New policies are added here and selected through
+ * ReplKind — the interface stays three methods either way.
+ *
+ * Contract with CacheArray: the array itself handles invalid ways
+ * (an invalid way is always filled first, in way order, exactly as
+ * the original scan did); victim(set) is consulted only when every
+ * way of the set holds a valid line. touch(set, way) is called on
+ * every hit and on every fill.
+ */
+
+#ifndef PTLSIM_MEM_REPLACEMENT_H_
+#define PTLSIM_MEM_REPLACEMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "lib/config.h"
+#include "lib/rng.h"
+
+namespace ptl {
+
+/** Victim-selection policy for one set-associative array. */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(ReplKind kind, int sets, int ways, U64 seed);
+
+    /** Record a use of (set, way): a hit or a fill. */
+    void
+    touch(int set, int way)
+    {
+        if (kind_ == ReplKind::Lru)
+            stamp_[(size_t)set * ways_ + way] = ++tick_;
+        else if (kind_ == ReplKind::TreePlru)
+            touchTree(set, way);
+        // Random keeps no recency state.
+    }
+
+    /** Pick the victim way; called only when every way is valid. */
+    int victim(int set);
+
+    /** Drop all recency state (full-array invalidation). */
+    void reset();
+
+    const char *name() const;
+
+  private:
+    void touchTree(int set, int way);
+
+    ReplKind kind_;
+    int ways_;
+    U64 tick_ = 0;            ///< lru: global recency clock
+    std::vector<U64> stamp_;  ///< lru: last-touch tick per (set, way)
+    std::vector<U8> bits_;    ///< tree-plru: ways-1 tree nodes per set
+    Rng rng_;                 ///< random: seeded, deterministic
+};
+
+/** Build the policy selected by `kind` for a sets x ways array. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplKind kind, int sets, int ways, U64 seed);
+
+}  // namespace ptl
+
+#endif  // PTLSIM_MEM_REPLACEMENT_H_

@@ -120,6 +120,13 @@ Machine::finalizeCores()
         params.coherence = coherence.get();
         params.interlocks = interlock_ctrl.get();
         params.core_id = c;
+        // Memory-hierarchy assembly happens here, at machine level:
+        // the composition (cache geometry, replacement policies, the
+        // memory backend) is pure config, and the core receives only
+        // the narrow handle.
+        hierarchies.push_back(std::make_unique<MemoryHierarchy>(
+            cfg, *aspace, stats_tree, params.prefix, coherence.get()));
+        params.hierarchy = hierarchies.back().get();
         cores.push_back(createCoreModel(cfg.core, params));
         // Verification is opt-in wiring done here, at machine assembly,
         // so the core layer itself never depends on src/verify.

@@ -79,6 +79,10 @@ class Machine
      */
     void finalizeCores();
 
+    /** The memory hierarchy assembled for core i (finalizeCores). */
+    MemoryHierarchy &coreHierarchy(int i) { return *hierarchies[i]; }
+    int coreCount() const { return (int)cores.size(); }
+
     enum class Mode { Simulation, Native };
     Mode mode() const { return run_mode; }
     void setMode(Mode mode);
@@ -159,6 +163,10 @@ class Machine
     std::unique_ptr<Hypervisor> hv;
     std::unique_ptr<InterlockController> interlock_ctrl;
     std::unique_ptr<CoherenceController> coherence;
+    // Per-core memory hierarchies, assembled here (machine level) and
+    // handed to cores as narrow handles; declared before `cores` so
+    // cores are destroyed first.
+    std::vector<std::unique_ptr<MemoryHierarchy>> hierarchies;
     std::vector<std::unique_ptr<CoreModel>> cores;
     std::vector<std::unique_ptr<FunctionalEngine>> native_engines;
     TraceReplayer *replayer = nullptr;

@@ -18,6 +18,7 @@
 #include "core/ooo/ooocore.h"
 #include "lib/logging.h"
 #include "mem/coherence.h"
+#include "mem/hierarchy.h"
 
 namespace ptl {
 
@@ -32,7 +33,8 @@ VerifyStats::VerifyStats(StatsTree &stats, const std::string &prefix)
       prf_leak(stats.counter(prefix + "verify/prf/leak")),
       prf_double_free(stats.counter(prefix + "verify/prf/double_free")),
       iq_state(stats.counter(prefix + "verify/iq/state")),
-      mesi(stats.counter(prefix + "verify/mesi"))
+      mesi(stats.counter(prefix + "verify/mesi")),
+      membackend(stats.counter(prefix + "verify/membackend"))
 {
 }
 
@@ -508,6 +510,36 @@ InvariantChecker::checkCore(const OooCore &core, SimCycle now)
                              "disagrees with %d architectural map "
                              "references", cyc, p, reg.refcount,
                              arch_refs[p]);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-backend timing bookkeeping. The backend is a black box to
+    // the core, so the audit goes through the deliberately narrow
+    // AuditView rather than poking at model internals: whatever timing
+    // model is configured, its queue depths and busy stamps must stay
+    // self-consistent.
+    // ------------------------------------------------------------------
+    if (core.hierarchy != nullptr) {
+        const MemBackend &backend = core.hierarchy->memBackend();
+        MemBackend::AuditView view = backend.audit();
+        if (view.deferred_capacity > 0
+            && view.deferred_depth > view.deferred_capacity)
+            VERIFY_VIOLATION(vstats.membackend,
+                             "[cycle %llu] verify: %s deferred-write "
+                             "queue holds %zu entries, over its "
+                             "capacity of %zu", cyc, backend.name(),
+                             view.deferred_depth, view.deferred_capacity);
+        if (view.banked && view.max_bank_busy.never())
+            VERIFY_VIOLATION(vstats.membackend,
+                             "[cycle %llu] verify: %s bank busy stamp "
+                             "saturated to CYCLE_NEVER (a request on "
+                             "that bank would never complete)", cyc,
+                             backend.name());
+        if (!backend.nextDue().never() && view.deferred_depth == 0)
+            VERIFY_VIOLATION(vstats.membackend,
+                             "[cycle %llu] verify: %s reports pending "
+                             "work via nextDue() but its deferred queue "
+                             "is empty", cyc, backend.name());
     }
 
     return nviol;

@@ -22,7 +22,11 @@
  *    marked ready, occupancy counters match, and per-thread SMT
  *    occupancy caps are accounted correctly;
  *  - MESI/MOESI directory legality across coherence peers (at most one
- *    M/E holder, M/E exclude sharers, at most one owner).
+ *    M/E holder, M/E exclude sharers, at most one owner);
+ *  - memory-backend timing bookkeeping (deferred-write queue depth
+ *    within its configured capacity, bank busy stamps never saturated
+ *    to CYCLE_NEVER, and nextDue() only armed while deferred work is
+ *    actually pending).
  *
  * Every violation is reported through a structured VerifyStats counter
  * group; the checker either panic()s on the first violation (embedded
@@ -64,6 +68,7 @@ struct VerifyStats
     Counter &prf_double_free; ///< free-list duplicates / freed-but-live
     Counter &iq_state;        ///< issue-queue / scoreboard breaks
     Counter &mesi;            ///< coherence directory legality breaks
+    Counter &membackend;      ///< memory-backend bookkeeping breaks
 };
 
 /**

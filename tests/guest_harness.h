@@ -206,6 +206,11 @@ class CoreRunner
         p.stats = &stats;
         p.prefix = "core0/";
         p.interlocks = &interlocks;
+        // Machine-level assembly in miniature: the harness owns the
+        // hierarchy and hands the core the narrow handle.
+        hierarchy = std::make_unique<MemoryHierarchy>(cfg, aspace, stats,
+                                                      p.prefix);
+        p.hierarchy = hierarchy.get();
         core = createCoreModel(cfg.core, p);
         core->attachAuditor(makeVerifyAuditor(cfg, stats, p.prefix));
     }
@@ -243,6 +248,7 @@ class CoreRunner
     StubSystem sys;
     InterlockController interlocks;
     std::vector<std::unique_ptr<Context>> contexts;
+    std::unique_ptr<MemoryHierarchy> hierarchy;  ///< before core: destroyed after it
     std::unique_ptr<CoreModel> core;
     std::vector<U8> image;
     bool image_written = false;

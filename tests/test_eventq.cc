@@ -486,6 +486,69 @@ TEST(EventMachine, CheckpointRoundTripMidStallOnOooCore)
     EXPECT_TRUE(diff.equal) << diff.description;
 }
 
+/**
+ * The mid-stall checkpoint again, with the banked-DRAM backend
+ * selected purely from the memory config JSON: the per-bank busy
+ * stamps and open-row state are part of the timing model now, and the
+ * capture/restore protocol (resetTimebase on both sides) must keep
+ * resumes cycle-exact with that state in play too.
+ */
+TEST(EventMachine, CheckpointRoundTripMidStallOnBankedDram)
+{
+    SimConfig cfg = testConfig("ooo");
+    cfg.applyMemoryJson(R"({"version": "1", "backend": "banked"})");
+    auto bm = std::make_unique<BootedMachine>(
+        cfg, [](Assembler &a, GuestLib &lib) {
+            a.movImm64(R::rbx, USER_DATA_VA);
+            a.mov(R::rcx, 64);
+            a.mov(R::rax, 0);
+            Label top = a.label();
+            a.mov(R::rdx, R::rcx);
+            a.shl(R::rdx, 13);           // 8 KB stride
+            a.add(R::rdx, R::rbx);
+            a.add(R::rdx, R::rax);       // serialize on previous load
+            a.mov(R::rsi, Mem::at(R::rdx));
+            a.add(R::rax, R::rsi);
+            a.dec(R::rcx);
+            a.jcc(COND_ne, top);
+            a.mov(R::rdi, 7);
+            lib.syscall(GSYS_exit);
+        });
+    Machine &m = bm->machine;
+
+    U64 prev_insns = 0;
+    bool mid_stall = false;
+    for (int i = 0; i < 1'000'000 && !mid_stall; i++) {
+        Machine::RunResult r = m.run(100);
+        ASSERT_FALSE(r.shutdown)
+            << "guest finished before a stall was caught";
+        U64 insns = m.stats().get("core0/commit/insns");
+        U64 misses = m.stats().get("core0/dcache/misses");
+        mid_stall = insns == prev_insns && insns > 0 && misses > 0;
+        prev_insns = insns;
+    }
+    ASSERT_TRUE(mid_stall) << "no memory-stall quantum found";
+
+    MachineCheckpoint ckpt = captureCheckpoint(m);
+    Machine::RunResult r1 = m.run(500'000'000);
+    ASSERT_TRUE(r1.shutdown);
+    const SimCycle end_cycle1 = m.timeKeeper().cycle();
+    U64 hash1 = hashGuestMemory(m.physMem());
+    Context end1 = m.vcpu(0);
+    // The banked model was genuinely in the timing path.
+    EXPECT_GT(m.stats().get("core0/membackend/reads"), 0ULL);
+
+    restoreCheckpoint(m, ckpt);
+    EXPECT_EQ(m.timeKeeper().cycle(), ckpt.cycle);
+    Machine::RunResult r2 = m.run(500'000'000);
+    ASSERT_TRUE(r2.shutdown);
+    EXPECT_EQ(r2.exit_code, r1.exit_code);
+    EXPECT_EQ(m.timeKeeper().cycle(), end_cycle1);
+    EXPECT_EQ(hashGuestMemory(m.physMem()), hash1);
+    ContextDiff diff = compareContexts(end1, m.vcpu(0));
+    EXPECT_TRUE(diff.equal) << diff.description;
+}
+
 /** In-flight network packets (and already-delivered unread bytes) ride
  *  through a checkpoint and still arrive at their scheduled cycles. */
 TEST(EventMachine, CheckpointCarriesInFlightNetworkPackets)

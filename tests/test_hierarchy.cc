@@ -42,11 +42,11 @@ TEST_F(HierarchyTest, ColdMissThenHit)
     MemResult miss = hier->dataAccess(0x10000, false, SimCycle(100));
     EXPECT_FALSE(miss.l1_hit);
     // L1 latency + L2 latency + memory latency.
-    EXPECT_EQ(miss.latency, cfg.l1d.latency + cfg.l2.latency
-                                + cfg.mem_latency);
+    EXPECT_EQ(miss.latency, cycles((U64)(cfg.l1d.latency + cfg.l2.latency
+                                + cfg.mem_latency)));
     MemResult hit = hier->dataAccess(0x10000, false, SimCycle(400));
     EXPECT_TRUE(hit.l1_hit);
-    EXPECT_EQ(hit.latency, cfg.l1d.latency);
+    EXPECT_EQ(hit.latency, cycles((U64)cfg.l1d.latency));
     EXPECT_EQ(stats.get("c0/dcache/accesses"), 2ULL);
     EXPECT_EQ(stats.get("c0/dcache/misses"), 1ULL);
     EXPECT_EQ(stats.get("c0/mem/accesses"), 1ULL);
@@ -62,7 +62,7 @@ TEST_F(HierarchyTest, L2HitAfterL1Eviction)
     // First line was evicted from L1 but still sits in L2.
     MemResult r = hier->dataAccess(base, false, SimCycle(1000));
     EXPECT_FALSE(r.l1_hit);
-    EXPECT_EQ(r.latency, cfg.l1d.latency + cfg.l2.latency);
+    EXPECT_EQ(r.latency, cycles((U64)(cfg.l1d.latency + cfg.l2.latency)));
     EXPECT_EQ(stats.get("c0/mem/accesses"), 3ULL);
 }
 
@@ -72,7 +72,7 @@ TEST_F(HierarchyTest, MshrMergesSameLine)
     // Another access to the same line while the miss is in flight
     // merges into the MSHR instead of issuing a second memory access.
     MemResult second = hier->dataAccess(0x20008, false, SimCycle(52));
-    EXPECT_EQ(second.latency, first.latency - 2);
+    EXPECT_EQ(second.latency, first.latency - cycles(2));
     EXPECT_EQ(stats.get("c0/mem/accesses"), 1ULL);
 }
 
@@ -118,7 +118,7 @@ TEST_F(HierarchyTest, TranslateHitAfterWalk)
                                              true, SimCycle(10));
     EXPECT_FALSE(t1.tlb_hit);
     EXPECT_EQ(t1.fault, GuestFault::None);
-    EXPECT_GT(t1.latency, 0);
+    EXPECT_GT(t1.latency, cycles(0));
     EXPECT_EQ(stats.get("c0/walker/walks"), 1ULL);
     EXPECT_EQ(stats.get("c0/walker/loads"), 4ULL);
     // The machine-physical page comes from the page tables.
@@ -128,7 +128,7 @@ TEST_F(HierarchyTest, TranslateHitAfterWalk)
     TranslateResult t2 = hier->translateData(cr3, VA_BASE + 0x456, false,
                                              true, SimCycle(500));
     EXPECT_TRUE(t2.tlb_hit);
-    EXPECT_EQ(t2.latency, 0);
+    EXPECT_EQ(t2.latency, cycles(0));
 }
 
 TEST_F(HierarchyTest, StoreToCleanPageRewalksForDirtyBit)
@@ -201,7 +201,7 @@ TEST_F(HierarchyTest, WalkLoadsHitInDataCache)
     // Re-walk after the fills land: PTE lines are cached, walk is cheap.
     TranslateResult t = hier->translateData(cr3, VA_BASE, false, true, SimCycle(2000));
     EXPECT_EQ(stats.get("c0/dcache/misses"), misses_first);
-    EXPECT_LE(t.latency, 4 * cfg.l1d.latency);
+    EXPECT_LE(t.latency, cycles((U64)(4 * cfg.l1d.latency)));
 }
 
 TEST_F(HierarchyTest, DirtyEvictionWritesBack)
@@ -310,7 +310,7 @@ TEST_F(CoherenceTest, ReadSharingAndWriteInvalidation)
     MemResult r = cores[1]->dataAccess(0x1000, false, SimCycle(20));
     EXPECT_EQ(ctrl->directoryState(0, 0x1000), LineState::Shared);
     EXPECT_EQ(ctrl->directoryState(1, 0x1000), LineState::Shared);
-    EXPECT_GT(r.latency, 0);
+    EXPECT_GT(r.latency, cycles(0));
     // Core 0 writes: upgrade invalidates core 1.
     cores[0]->dataAccess(0x1000, true, SimCycle(30));
     EXPECT_EQ(ctrl->directoryState(0, 0x1000), LineState::Modified);
@@ -360,7 +360,7 @@ TEST_F(InstantCoherenceTest, ZeroLatencyLineMovement)
     // Instant model: peer supplies the line with no interconnect delay;
     // the requestor pays only its own L1+L2 fill path.
     MemResult r = cores[1]->dataAccess(0x1000, false, SimCycle(20));
-    EXPECT_EQ(r.latency, cfg.l1d.latency + cfg.l2.latency);
+    EXPECT_EQ(r.latency, cycles((U64)(cfg.l1d.latency + cfg.l2.latency)));
     EXPECT_EQ(ctrl->directoryState(0, 0x1000), LineState::Owned);
     ctrl->checkAllInvariants();
 }

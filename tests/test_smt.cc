@@ -219,6 +219,9 @@ class MultiCoreRig
             p.coherence = &coherence;
             p.interlocks = &interlocks;
             p.core_id = i;
+            hierarchies.push_back(std::make_unique<MemoryHierarchy>(
+                cfg, aspace, stats, p.prefix, &coherence));
+            p.hierarchy = hierarchies.back().get();
             cores.push_back(createCoreModel("ooo", p));
             cores.back()->attachAuditor(
                 makeVerifyAuditor(cfg, stats, p.prefix));
@@ -260,6 +263,7 @@ class MultiCoreRig
     InterlockController interlocks;
     CoherenceController coherence;
     std::vector<std::unique_ptr<Context>> contexts;
+    std::vector<std::unique_ptr<MemoryHierarchy>> hierarchies;
     std::vector<std::unique_ptr<CoreModel>> cores;
     U64 cr3 = 0;
 };

@@ -1,0 +1,11 @@
+// Golden NEGATIVE fixture for layering (sublayer form): the bottom of
+// the mem module reaching UP to the per-core assembly aggregate. At
+// module granularity the edge is intra-mem and legal; only the
+// [sublayers] mem order catches it (physmem is group 1, hierarchy is
+// group 6).
+#include "mem/hierarchy.h"
+
+struct PhysFrame
+{
+    int refs = 0;
+};

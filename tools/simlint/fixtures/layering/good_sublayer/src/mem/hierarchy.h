@@ -1,0 +1,15 @@
+// Golden POSITIVE fixture for layering (sublayer form): the top of
+// the mem module composing everything below it — strictly lower
+// groups (replacement, cache, membackend) plus its declared-mutual
+// peer coherence (same group) — and a stem outside the sublayer
+// order (scratch), which is exempt.
+#include "mem/cache.h"
+#include "mem/coherence.h"
+#include "mem/membackend.h"
+#include "mem/replacement.h"
+#include "mem/scratch.h"
+
+struct HierarchyView
+{
+    int levels = 3;
+};

@@ -1,0 +1,22 @@
+// Golden NEGATIVE fixture for stats-coverage, memory-backend flavour:
+// a timing model declares its counter block but never binds the
+// row-conflict counter to the StatsTree, so the stat silently reads
+// zero for every workload.
+#include "stats/stats.h"
+
+class BankedStats
+{
+  public:
+    explicit BankedStats(StatsTree &stats)
+        : reads(stats.counter("membackend/reads")),
+          writes(stats.counter("membackend/writes")),
+          row_hits(stats.counter("membackend/row_hits"))
+    {
+    }
+
+  private:
+    Counter &reads;
+    Counter &writes;
+    Counter &row_hits;
+    Counter &row_conflicts;   // never bound: the stat reads zero forever
+};

@@ -1,0 +1,26 @@
+// Golden POSITIVE fixture for stats-coverage, memory-backend flavour:
+// the full banked-DRAM counter block bound under the per-core prefix,
+// plus an optional owner-bound pointer counter carrying a waiver (the
+// CacheArray eviction-counter pattern).
+#include "stats/stats.h"
+
+class BankedStats
+{
+  public:
+    BankedStats(StatsTree &stats, const std::string &prefix,
+                Counter *evictions)
+        : reads(stats.counter(prefix + "membackend/reads")),
+          writes(stats.counter(prefix + "membackend/writes")),
+          row_hits(stats.counter(prefix + "membackend/row_hits")),
+          row_conflicts(stats.counter(prefix + "membackend/row_conflicts")),
+          evictions_(evictions)
+    {
+    }
+
+  private:
+    Counter &reads;
+    Counter &writes;
+    Counter &row_hits;
+    Counter &row_conflicts;
+    Counter *evictions_;  // simlint: stats-ok (optional, owner-bound)
+};

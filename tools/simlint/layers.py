@@ -5,6 +5,9 @@ Returns a dict the layering and cross-domain-access rules consume:
   rank    module -> layer index (0 = bottom)
   allow   set of (from_module, to_module) declared same-layer edges
   path    the config file path (for error reporting)
+  sublayers  module -> {file stem -> group index} from [sublayers]
+          (simlint v4): the intra-module ordering the layering rule
+          applies to includes that stay inside one module
   concurrency  dict with the [concurrency] section (simlint v3):
       domain_scoped       set of modules holding per-Domain state
       channel_types       type names carrying legal cross-domain
@@ -44,11 +47,7 @@ def _parse_toml(path):
         text = f.read()
     text = re.sub(r"#[^\n]*", "", text)
 
-    def grab(key):
-        m = re.search(key + r"\s*=\s*(\[)", text)
-        if not m:
-            return None
-        i = m.start(1)
+    def grab_at(i):
         depth, j = 0, i
         while j < len(text):
             if text[j] == "[":
@@ -60,6 +59,10 @@ def _parse_toml(path):
             j += 1
         return ast.literal_eval(text[i : j + 1])
 
+    def grab(key):
+        m = re.search(r"(?<!\w)" + key + r"\s*=\s*(\[)", text)
+        return grab_at(m.start(1)) if m else None
+
     layers, conc = {}, {}
     for key in ("order", "allow"):
         v = grab(key)
@@ -69,7 +72,18 @@ def _parse_toml(path):
         v = grab(key)
         if v is not None:
             conc[key] = v
-    return {"layers": layers, "concurrency": conc}
+    # [sublayers] keys are module names, so the section is scanned
+    # generically rather than by a fixed key list.
+    subl = {}
+    sect = re.search(r"^\[sublayers\]", text, re.M)
+    if sect:
+        body = text[sect.end():]
+        stop = re.search(r"^\[", body, re.M)
+        if stop:
+            body = body[: stop.start()]
+        for m in re.finditer(r"(?<!\w)(\w+)\s*=\s*(\[)", body):
+            subl[m.group(1)] = grab_at(sect.end() + m.start(2))
+    return {"layers": layers, "concurrency": conc, "sublayers": subl}
 
 
 def load(path):
@@ -106,6 +120,25 @@ def load(path):
                 "%s: allow edge %s -> %s is downward — already "
                 "implicitly legal, remove it" % (path, src, dst))
         allow.add((src, dst))
+    sublayers = {}
+    for mod, sub_order in (data.get("sublayers") or {}).items():
+        if mod not in rank:
+            raise LayerConfigError(
+                "%s: [sublayers] names undeclared module '%s'"
+                % (path, mod))
+        if not sub_order or not isinstance(sub_order, list):
+            raise LayerConfigError(
+                "%s: [sublayers] %s must be a non-empty list of "
+                "groups" % (path, mod))
+        subrank = {}
+        for i, group in enumerate(sub_order):
+            for stem in group:
+                if stem in subrank:
+                    raise LayerConfigError(
+                        "%s: [sublayers] %s assigns stem '%s' to two "
+                        "groups" % (path, mod, stem))
+                subrank[stem] = i
+        sublayers[mod] = subrank
     conc_raw = data.get("concurrency", {})
     domain_scoped = set(conc_raw.get("domain_scoped", []))
     for mod in domain_scoped:
@@ -120,4 +153,4 @@ def load(path):
             set(conc_raw.get("cross_domain_types", [])),
     }
     return {"rank": rank, "allow": allow, "path": path,
-            "concurrency": concurrency}
+            "sublayers": sublayers, "concurrency": concurrency}

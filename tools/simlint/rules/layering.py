@@ -6,6 +6,11 @@ same module, a strictly lower layer, or a declared same-layer edge in
 layers.toml. Anything else — an upward include, or an undeclared
 same-layer include — is a finding.
 
+Modules listed under [sublayers] additionally order their own files:
+an intra-module include may stay in its group or point down the
+group order, never up. File stems missing from the sublayer order
+are exempt, so only deliberately stratified modules pay the tax.
+
 The fix for a violation is structural, not a waiver: move the shared
 declaration down into src/lib/, forward-declare, or invert the
 dependency behind an interface owned by the lower module (see
@@ -36,6 +41,13 @@ def _module_of_include(inc, known):
     return None
 
 
+def _stem(path):
+    """File stem used by the sublayer order: basename, extension
+    stripped, so cache.h / cache.cc both rank as 'cache'."""
+    base = path.replace("\\", "/").rsplit("/", 1)[-1]
+    return base.rsplit(".", 1)[0]
+
+
 def run(ctx):
     from . import Finding
 
@@ -48,9 +60,31 @@ def run(ctx):
         src_mod = _module_of_rel(fi.rel, rank)
         if src_mod is None:
             continue
+        sub = layers.get("sublayers", {}).get(src_mod)
         for line, inc in fi.includes:
             dst_mod = _module_of_include(inc, rank)
-            if dst_mod is None or dst_mod == src_mod:
+            if dst_mod is None:
+                continue
+            if dst_mod == src_mod:
+                # Intra-module edge: legal unless the module declares
+                # a sublayer order and this include climbs it.
+                if sub is None:
+                    continue
+                src_stem, dst_stem = _stem(fi.rel), _stem(inc)
+                if src_stem not in sub or dst_stem not in sub:
+                    continue
+                if sub[dst_stem] <= sub[src_stem]:
+                    continue
+                if fi.waived(line, WAIVER):
+                    continue
+                findings.append(Finding(
+                    NAME, fi.path, line,
+                    "include \"%s\": intra-module edge %s -> %s goes "
+                    "UP the %s sublayer order (group %d vs group %d) "
+                    "— depend on the narrow interface below instead "
+                    "of the aggregate above"
+                    % (inc, src_stem, dst_stem, src_mod,
+                       sub[src_stem] + 1, sub[dst_stem] + 1)))
                 continue
             if rank[dst_mod] < rank[src_mod]:
                 continue
