@@ -15,11 +15,15 @@ cd "$repo_root" || exit 2
 fail=0
 
 # ---- simlint over the diff ------------------------------------------
-# Compare against origin/main when the clone has one (the PR base);
-# fall back to HEAD so detached or offline clones still get a gate
-# over their uncommitted work.
-base=origin/main
-git rev-parse --verify --quiet "$base" >/dev/null || base=HEAD
+# Compare against the merge-base with origin/main when the clone has
+# one (the PR base): on a multi-commit branch, diffing against the
+# branch tip itself would hide everything already committed, so the
+# gate must see the full branch delta. Fall back to HEAD so detached
+# or offline clones still get a gate over their uncommitted work.
+base=HEAD
+if git rev-parse --verify --quiet origin/main >/dev/null; then
+    base=$(git merge-base origin/main HEAD 2>/dev/null) || base=HEAD
+fi
 
 if command -v python3 >/dev/null 2>&1; then
     python3 scripts/simlint.py --diff "$base" src || fail=1

@@ -19,7 +19,10 @@ Options:
   --diff BASE      report findings only for files changed vs the git
                    ref BASE (the whole tree is still indexed — rules
                    are cross-file — but the warm cache makes that
-                   cheap); intended for pre-commit
+                   cheap); changed headers are closed over reverse
+                   includes, so a finding reported at an including
+                   .cc definition site still surfaces; intended for
+                   pre-commit
   --self-test      run every rule against its golden fixtures under
                    tools/simlint/fixtures/<rule>/: each bad* fixture
                    must trip exactly its own rule, each good* fixture
@@ -34,6 +37,11 @@ Options:
                    its step summary from
   --no-cache       bypass the semantic-index cache entirely
   --cache-dir DIR  cache location (default: build/simlint-cache)
+  --baseline FILE  ratchet: per-rule finding counts and per-waiver
+                   line counts must not exceed FILE (exit 1 if they
+                   do; tightening is reported as a suggestion)
+  --update-baseline  rewrite FILE from the current run instead of
+                   checking it
 
 Under CI=1 findings are emitted as GitHub workflow annotations
 (::error file=...,line=...::) so they surface inline on PRs; the
@@ -47,6 +55,12 @@ Rules and waivers (line-scoped `// simlint: <waiver>` comments):
   event-discipline     event-ok        EventQueue callback hygiene
   raw-cycle            raw-cycle-ok    SimCycle/CycleDelta discipline
   nondeterminism       nondet-ok       entropy / iteration order
+  lock-discipline      lock-ok(..)     guarded state lock-held on all
+                                       CFG paths (flow-sensitive)
+  checkpoint-symmetry  ckpt-sym-ok(..) serialize/restore ordered
+                                       stream parity (flow-sensitive)
+  simcycle-escape      raw-escape-ok(..) .raw() taint back into cycle
+                                       math (flow-sensitive)
 
 Exit status: 0 clean, 1 findings (or self-test failure), 2 usage or
 configuration error.
@@ -132,6 +146,37 @@ def changed_files(base):
     return {p.strip().replace(os.sep, "/") for p in out if p.strip()}
 
 
+def expand_changed(changed, ctx):
+    """Close the changed set over reverse includes: an edit to a
+    header can surface findings in any TU that (transitively)
+    includes it — rules report symmetry/coverage defects at the .cc
+    definition site — and the plain path filter would silently drop
+    those.  Include strings are resolved against the src/ include
+    root and against the including file's own directory."""
+    rels = {fi.rel for fi in ctx.files}
+    rev = {}  # target rel -> set of direct includer rels
+    for fi in ctx.files:
+        base_dir = fi.rel.rsplit("/", 1)[0] if "/" in fi.rel else ""
+        root = fi.rel.split("/", 1)[0] if "/" in fi.rel else ""
+        for _line, inc in fi.includes:
+            inc = inc.replace("\\", "/")
+            for cand in ((root + "/" + inc) if root else inc,
+                         (base_dir + "/" + inc) if base_dir else inc,
+                         inc):
+                if cand in rels:
+                    rev.setdefault(cand, set()).add(fi.rel)
+                    break
+    out = set(changed)
+    work = [p for p in changed if p in rev]
+    while work:
+        p = work.pop()
+        for includer in rev.get(p, ()):
+            if includer not in out:
+                out.add(includer)
+                work.append(includer)
+    return out
+
+
 def print_findings(findings, repo_root):
     ci = os.environ.get("CI") == "1"
     for f in findings:
@@ -203,6 +248,62 @@ def summary_payload(rule_mods, findings, timings, stats, ctx,
     }
 
 
+def check_baseline(path, rule_mods, findings, ctx, update):
+    """Ratchet: per-rule finding counts and per-waiver line counts may
+    only go down relative to the committed baseline.  Returns the
+    number of violations (0 when clean or when updating)."""
+    current = {
+        "rules": {mod.NAME: sum(1 for f in findings
+                                if f.rule == mod.NAME)
+                  for mod in rule_mods},
+        "waivers": waiver_counts(ctx),
+    }
+    if update:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("simlint: baseline updated: %s" % path)
+        return 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            base = json.load(f)
+    except (OSError, ValueError) as e:
+        print("simlint: cannot read baseline %s: %s" % (path, e),
+              file=sys.stderr)
+        return 1
+    errors = 0
+    improvable = []
+    for name, cur in sorted(current["rules"].items()):
+        allowed = base.get("rules", {}).get(name, 0)
+        if cur > allowed:
+            print("simlint: baseline ratchet: rule '%s' has %d "
+                  "finding(s), baseline allows %d" % (name, cur,
+                                                      allowed),
+                  file=sys.stderr)
+            errors += 1
+        elif cur < allowed:
+            improvable.append("%s %d->%d" % (name, allowed, cur))
+    for name, cur in sorted(current["waivers"].items()):
+        allowed = base.get("waivers", {}).get(name, 0)
+        if cur > allowed:
+            print("simlint: baseline ratchet: waiver '%s' is on %d "
+                  "line(s), baseline allows %d — new waivers need a "
+                  "conscious `--update-baseline`" % (name, cur,
+                                                     allowed),
+                  file=sys.stderr)
+            errors += 1
+        elif cur < allowed:
+            improvable.append("waiver %s %d->%d" % (name, allowed,
+                                                    cur))
+    for name, allowed in sorted(base.get("waivers", {}).items()):
+        if allowed and name not in current["waivers"]:
+            improvable.append("waiver %s %d->0" % (name, allowed))
+    if improvable:
+        print("simlint: baseline can tighten (--update-baseline): %s"
+              % ", ".join(improvable))
+    return errors
+
+
 def _fixture_sets(rule_dir):
     """Yield (kind, root, files) for bad*/good* fixtures: single .cc
     files or directory trees (used by layering, whose subject is the
@@ -260,6 +361,8 @@ def main():
     ap.add_argument("--summary-json", metavar="FILE", default=None)
     ap.add_argument("--no-cache", action="store_true")
     ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    ap.add_argument("--baseline", metavar="FILE", default=None)
+    ap.add_argument("--update-baseline", action="store_true")
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args()
 
@@ -298,7 +401,7 @@ def main():
     findings, timings = run_rules(rule_mods, ctx)
 
     if args.diff:
-        changed = changed_files(args.diff)
+        changed = expand_changed(changed_files(args.diff), ctx)
         findings = [
             f for f in findings
             if os.path.relpath(f.path, REPO_ROOT).replace(os.sep, "/")
@@ -318,12 +421,21 @@ def main():
                 json.dump(payload, f, indent=2)
                 f.write("\n")
 
+    ratchet_errors = 0
+    if args.baseline:
+        if args.diff:
+            print("simlint: --baseline ignores --diff filtering "
+                  "(ratchet is whole-tree)", file=sys.stderr)
+        ratchet_errors = check_baseline(
+            args.baseline, rule_mods, findings, ctx,
+            args.update_baseline)
+
     if findings:
         print("simlint: %d finding(s) in %d file(s)"
               % (len(findings), len({f.path for f in findings})),
               file=sys.stderr)
         return 1
-    return 0
+    return 1 if ratchet_errors else 0
 
 
 if __name__ == "__main__":

@@ -68,8 +68,20 @@ class StatsTree
     /** Record a snapshot of every counter, stamped with `cycle`. */
     void takeSnapshot(SimCycle cycle);
 
-    size_t snapshotCount() const { return snapshots.size(); }
-    const StatsSnapshot &snapshot(size_t i) const { return snapshots[i]; }
+    size_t snapshotCount() const
+    {
+        LockGuard g(registry_mu_);
+        return snapshots.size();
+    }
+    /** The lock covers the indexing; the returned reference is only
+     *  stable until the next takeSnapshot()/reset() (vector growth
+     *  relocates) — callers read snapshots between, not during,
+     *  snapshot operations. */
+    const StatsSnapshot &snapshot(size_t i) const
+    {
+        LockGuard g(registry_mu_);
+        return snapshots[i];
+    }
 
     /**
      * Per-interval deltas of one counter across consecutive snapshots

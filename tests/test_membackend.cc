@@ -343,6 +343,111 @@ TEST(MemoryConfig, JsonSelectsHybrid)
 }
 
 // ---------------------------------------------------------------------
+// Config error paths: malformed memory JSON and out-of-range
+// parameters must die with a message naming the offender, not load a
+// half-applied configuration.
+// ---------------------------------------------------------------------
+
+TEST(MemoryConfigErrors, UnknownTopLevelKeyIsRejected)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    EXPECT_DEATH(
+        cfg.applyMemoryJson(R"({"version": "1", "frobnicate": "3"})"),
+        "unknown key 'frobnicate'");
+}
+
+TEST(MemoryConfigErrors, UnknownGroupKeyIsRejected)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    EXPECT_DEATH(
+        cfg.applyMemoryJson(
+            R"({"version": "1", "dram2": {"banks": "4"}})"),
+        "unknown key 'dram2.banks'");
+}
+
+TEST(MemoryConfigErrors, UnsupportedVersionIsRejected)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    EXPECT_DEATH(cfg.applyMemoryJson(R"({"version": "2"})"),
+                 "unsupported version '2'");
+}
+
+TEST(MemoryConfigErrors, MissingVersionIsRejected)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    EXPECT_DEATH(cfg.applyMemoryJson(R"({"backend": "fixed"})"),
+                 "missing required \"version\" key");
+}
+
+TEST(MemoryConfigErrors, NonPowerOfTwoDramBanksFailValidate)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.applyMemoryJson(R"({
+        "version": "1",
+        "backend": "banked",
+        "dram": {"banks": "12"}
+    })");
+    EXPECT_DEATH(cfg.validate(), "dram_banks 12 must be a power of two");
+}
+
+TEST(MemoryConfigErrors, ZeroCasLatencyFailsValidate)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.applyMemoryJson(R"({
+        "version": "1",
+        "backend": "banked",
+        "dram": {"t_cas": "0"}
+    })");
+    EXPECT_DEATH(cfg.validate(), "DRAM timing parameters out of range");
+}
+
+TEST(MemoryConfigErrors, TinyRowBytesFailValidate)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.applyMemoryJson(R"({
+        "version": "1",
+        "backend": "banked",
+        "dram": {"row_bytes": "16"}
+    })");
+    EXPECT_DEATH(cfg.validate(), "row_bytes 16 must be a power of two");
+}
+
+TEST(MemoryConfigErrors, ZeroPcmLatencyFailsValidate)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.applyMemoryJson(R"({
+        "version": "1",
+        "backend": "hybrid",
+        "pcm": {"read_latency": "0"}
+    })");
+    EXPECT_DEATH(cfg.validate(), "PCM latencies must be positive");
+}
+
+TEST(MemoryConfigErrors, ZeroDeferredWritesFailsValidate)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    cfg.applyMemoryJson(R"({
+        "version": "1",
+        "backend": "hybrid",
+        "pcm": {"deferred_writes": "0"}
+    })");
+    EXPECT_DEATH(cfg.validate(), "deferred_writes 0 must be positive");
+}
+
+TEST(MemoryConfigErrors, BadEdramGeometryFailsValidate)
+{
+    SimConfig cfg = SimConfig::preset("k8");
+    // 3000 bytes is not ways * line_bytes * pow2 sets — the forced
+    // geometry check must reject it.
+    cfg.applyMemoryJson(R"({
+        "version": "1",
+        "backend": "hybrid",
+        "edram": {"size": "3000"}
+    })");
+    EXPECT_DEATH(cfg.validate(), "");
+}
+
+// ---------------------------------------------------------------------
 // Replacement policies.
 // ---------------------------------------------------------------------
 

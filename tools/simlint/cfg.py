@@ -1,0 +1,983 @@
+"""Per-function control-flow graphs over the lexed token stream.
+
+Builds a basic-block CFG for every function unit that model.py
+recognizes, with an *ordered event stream* per block.  The CFG is
+serialized into the semantic index (JSON-native lists/dicts only, so
+the content-hash cache round-trips it bit-for-bit), and the
+flow-sensitive rules (lock-discipline, checkpoint-symmetry,
+simcycle-escape) consume only the serialized form — they never touch
+tokens, which keeps the two-pass cache sound.
+
+Serialized shape (see DESIGN.md §14):
+
+    {
+      "params":   ["out", "words"],          # declared parameter names
+      "requires": ["registry_mu"],           # PTL_REQUIRES(...) locks
+      "blocks":   [{"s": [succ ids], "e": [events]}, ...],
+      "em":       [[line, loop_depth, stream, name_or_null], ...],
+      "cn":       [[line, loop_depth, stream, name_or_null,
+                    resolved_bool], ...],
+    }
+
+Block 0 is the entry, block 1 the synthetic exit.  Events, in source
+order within a block:
+
+    ["u",  line, name]                    identifier use
+    ["g",  line, lock]                    scoped guard acquired
+    ["ge", line, lock]                    scoped guard released
+    ["l",  line, lock] / ["ul", ...]      manual mu.lock()/unlock()
+    ["as", line, lhs, [rhs ids], raw_src] assignment to a simple local
+                                          (raw_src = stamp whose
+                                          .raw() feeds the RHS, else
+                                          null)
+    ["bo", line, a, op, b]                binary op (+ - += -= < >
+                                          <= >= == !=); operands are
+                                          nearest ids, "<stamp>.raw"
+                                          for a direct raw() call, or
+                                          "#" for literals/unknown
+    ["ca", line, callee, argidx, src]     call arg carrying
+                                          <src>.raw()
+    ["cl", line, callee]                  plain call site
+
+Lambda bodies are split out as sub-CFGs (qual suffixed with
+"::<lambda@LINE>") so a deferred body never inherits the enclosing
+scope's lock context.
+"""
+
+from . import model
+
+# Scoped RAII guard type names (src/lib/threadsafety.h plus the std
+# spellings).
+GUARD_TYPES = {"LockGuard", "lock_guard", "scoped_lock", "unique_lock"}
+
+# A call to one of these never returns: the block ends at the exit.
+_NORETURN = {"fatal", "panic", "abort", "exit", "_exit",
+             "__builtin_unreachable", "__builtin_trap"}
+
+# Identifiers that are exact cycle-stamp names or carry a stamp
+# suffix; mirrors rules/raw_cycle.py so the two rules agree on what a
+# "cycle-typed value" looks like.
+_STAMP_EXACT = {"now", "cycle", "due", "deadline"}
+_STAMP_SUFFIXES = ("_cycle", "_due", "_deadline", "_until", "_stamp")
+
+_BINOPS = {"+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="}
+# Tokens whose presence just before a '+'/'-' makes it unary.
+_UNARY_PREV = {"=", "(", ",", ";", "{", "[", ":", "?", "<", ">", "+",
+               "-", "*", "/", "%", "&", "|", "^", "!", "&&", "||",
+               "<<", ">>", "return", "case", "+=", "-=", "<=", ">=",
+               "==", "!=", None}
+
+# Identifiers dropped when normalizing an emitted/consumed expression
+# to a field name (casts and accessor chaff).
+_NORM_DROP = {"U8", "U16", "U32", "U64", "S64", "W64", "int", "long",
+              "short", "char", "unsigned", "signed", "size_t",
+              "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+              "int64_t", "bool", "size", "raw", "data", "c_str",
+              "std", "static_cast", "reinterpret_cast", "const",
+              "length", "count"}
+
+_USE_SKIP = {"if", "else", "for", "while", "do", "switch", "case",
+             "default", "return", "break", "continue", "const",
+             "auto", "static", "constexpr", "true", "false",
+             "nullptr", "sizeof", "new", "delete", "this", "void",
+             "goto", "struct", "class", "enum", "namespace", "using",
+             "typedef", "template", "typename", "operator", "public",
+             "private", "protected", "inline", "mutable", "volatile",
+             "unsigned", "signed", "static_assert", "decltype",
+             "noexcept", "alignof", "alignas", "friend", "union",
+             "try", "catch", "throw", "extern", "explicit",
+             "virtual", "override", "final"}
+
+
+def is_stamp_name(name):
+    return name in _STAMP_EXACT or name.endswith(_STAMP_SUFFIXES)
+
+
+def _match(toks, i, open_v, close_v):
+    """toks[i] opens a bracket pair; index of the matching closer."""
+    depth = 0
+    while i < len(toks):
+        v = toks[i].value
+        if v == open_v:
+            depth += 1
+        elif v == close_v:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks) - 1
+
+
+def _raw_receiver(toks, i):
+    """toks[i] is the id 'raw' in `<recv>.raw(` — resolve the
+    receiver: the id before the '.', walking back over one call's
+    parens for chained forms like `ev.cycle().raw()`."""
+    j = i - 1
+    if j < 0 or toks[j].value not in (".", "->"):
+        return None
+    j -= 1
+    if j >= 0 and toks[j].value == ")":
+        depth = 0
+        while j >= 0:
+            v = toks[j].value
+            if v == ")":
+                depth += 1
+            elif v == "(":
+                depth -= 1
+                if depth == 0:
+                    j -= 1
+                    break
+            j -= 1
+    if j >= 0 and toks[j].kind == "id":
+        return toks[j].value
+    return None
+
+
+def _norm_field(ids):
+    """Normalize the identifier list of an emitted/consumed expression
+    to a single field name (or None when nothing survives)."""
+    kept = [v for v in ids if v not in _NORM_DROP]
+    return kept[-1] if kept else None
+
+
+class _Builder:
+    def __init__(self, qual, role):
+        self.qual = qual
+        self.role = role  # None | "serialize" | "restore"
+        self.blocks = [{"s": [], "e": []}, {"s": [], "e": []}]
+        self.cur = 0
+        self.terminated = False
+        self.loop_depth = 0
+        self.break_stack = []     # join block ids (loops and switch)
+        self.continue_stack = []  # loop header / do-while cond ids
+        self.scopes = [[]]        # guard locks per lexical scope
+        self.em = []              # serialize emits
+        self.cn = []              # restore consumes
+        self.readers = {}         # reader-lambda name -> stream
+        self.subs = []            # (sub_qual, unit_tokens)
+        self.seen_uses = set()    # per-block use dedup
+
+    # -- block plumbing ------------------------------------------------
+    def _new_block(self):
+        self.blocks.append({"s": [], "e": []})
+        return len(self.blocks) - 1
+
+    def _edge(self, a, b):
+        if b not in self.blocks[a]["s"]:
+            self.blocks[a]["s"].append(b)
+
+    def _switch_to(self, b):
+        self.cur = b
+        self.terminated = False
+        self.seen_uses = set()
+
+    def _ev(self, ev):
+        self.blocks[self.cur]["e"].append(ev)
+
+    def _reachable_stmt(self):
+        """Ensure statements after a terminator land in a fresh,
+        unreachable block instead of mutating a dead one."""
+        if self.terminated:
+            self._switch_to(self._new_block())
+
+    # -- scopes and guards ---------------------------------------------
+    def _push_scope(self):
+        self.scopes.append([])
+
+    def _pop_scope(self, line):
+        for lock in reversed(self.scopes.pop()):
+            self._ev(["ge", line, lock])
+        self.seen_uses = set()
+
+    # -- statement-level event extraction ------------------------------
+    def _stmt_events(self, stmt):
+        """Extract the ordered event stream of one statement into the
+        current block.  `stmt` excludes the trailing ';'."""
+        requires = []
+        for i, t in enumerate(stmt):
+            if (t.kind == "id" and t.value == "PTL_REQUIRES"
+                    and i + 1 < len(stmt)
+                    and stmt[i + 1].value == "("):
+                j = _match(stmt, i + 1, "(", ")")
+                requires.extend(x.value for x in stmt[i + 1 : j]
+                                if x.kind == "id")
+        stmt = model.strip_annotations(stmt)
+        if not stmt:
+            return
+
+        # Reader-lambda (restore idiom):
+        #   auto next = [&](U64 &v) { ... v = words[i++]; ... };
+        # Register the reader and suppress all other extraction — the
+        # lambda's internal indexing is modelled at its call sites.
+        if self.role == "restore":
+            reader = self._try_reader_lambda(stmt)
+            if reader:
+                return
+
+        # Plain lambdas become sub-CFGs with an empty entry context.
+        stmt = self._split_lambdas(stmt)
+
+        n = len(stmt)
+        i = 0
+        consumed_call_parens = []  # spans already handled as guards
+        while i < n:
+            t = stmt[i]
+            v = t.value
+
+            # Scoped guard declaration:
+            #   LockGuard g(mu); std::lock_guard<std::mutex> g(mu);
+            if (t.kind == "id" and v in GUARD_TYPES):
+                j = i + 1
+                if j < n and stmt[j].value == "<":
+                    j = _match(stmt, j, "<", ">") + 1
+                if (j + 1 < n and stmt[j].kind == "id"
+                        and stmt[j + 1].value == "("):
+                    close = _match(stmt, j + 1, "(", ")")
+                    lock = None
+                    for x in stmt[j + 2 : close]:
+                        if x.kind == "id" and x.value != "this":
+                            lock = x.value
+                        elif x.value == ",":
+                            break
+                    if lock:
+                        self._ev(["g", t.line, lock])
+                        self.scopes[-1].append(lock)
+                        self.seen_uses = set()
+                        consumed_call_parens.append((j + 1, close))
+                        i = close + 1
+                        continue
+
+            # Manual mu.lock() / mu.unlock().
+            if (t.kind == "id" and v in ("lock", "unlock")
+                    and i >= 2 and stmt[i - 1].value in (".", "->")
+                    and stmt[i - 2].kind == "id"
+                    and i + 1 < n and stmt[i + 1].value == "("):
+                kind = "l" if v == "lock" else "ul"
+                self._ev([kind, t.line, stmt[i - 2].value])
+                self.seen_uses = set()
+                i += 2
+                continue
+
+            if t.kind == "id":
+                # Call site.
+                if (i + 1 < n and stmt[i + 1].value == "("
+                        and v not in model._NOT_FUNC_IDS
+                        and v not in _USE_SKIP):
+                    self._ev(["cl", t.line, v])
+                    self._call_raw_args(stmt, i)
+                    if self.role == "restore" and v in self.readers:
+                        self._reader_consume(stmt, i)
+                if v not in _USE_SKIP:
+                    if v not in self.seen_uses:
+                        self._ev(["u", t.line, v])
+                        self.seen_uses.add(v)
+                i += 1
+                continue
+
+            if v in _BINOPS:
+                self._binop_event(stmt, i)
+                i += 1
+                continue
+
+            i += 1
+
+        self._top_assign(stmt)
+
+        if self.role == "serialize":
+            self._emit_scan(stmt)
+        elif self.role == "restore":
+            self._consume_scan(stmt)
+
+        for r in requires:
+            # PTL_REQUIRES on a nested declaration — rare; surface as
+            # an acquired context for the rest of the function.
+            self._ev(["g", stmt[0].line if stmt else 0, r])
+
+    def _split_lambdas(self, stmt):
+        """Cut `[caps](params){ body }` bodies out of the statement,
+        registering each as a sub-CFG."""
+        out, i, n = [], 0, len(stmt)
+        while i < n:
+            t = stmt[i]
+            if t.value == "[" and self._lambda_intro(stmt, i):
+                close = _match(stmt, i, "[", "]")
+                j = close + 1
+                if j < n and stmt[j].value == "(":
+                    j = _match(stmt, j, "(", ")") + 1
+                while j < n and stmt[j].value not in ("{", ";", ","):
+                    j += 1
+                if j < n and stmt[j].value == "{":
+                    end = _match(stmt, j, "{", "}")
+                    sub_qual = "%s::<lambda@%d>" % (self.qual, t.line)
+                    self.subs.append((sub_qual, stmt[j : end + 1]))
+                    out.extend(stmt[i : j])
+                    i = end + 1
+                    continue
+            out.append(t)
+            i += 1
+        return out
+
+    @staticmethod
+    def _lambda_intro(stmt, i):
+        """Distinguish a lambda introducer '[' from array indexing:
+        indexing follows an id/')'/']'."""
+        if i == 0:
+            return True
+        return stmt[i - 1].value not in (")", "]") and \
+            stmt[i - 1].kind != "id"
+
+    def _try_reader_lambda(self, stmt):
+        """Detect `auto NAME = [..](..){ .. STREAM[i++] .. };` and
+        register NAME as a reader over STREAM."""
+        eq = None
+        for i, t in enumerate(stmt):
+            if t.value == "=":
+                eq = i
+                break
+            if t.value in ("(", "["):
+                return None
+        if eq is None or eq == 0 or stmt[eq - 1].kind != "id":
+            return None
+        if eq + 1 >= len(stmt) or stmt[eq + 1].value != "[":
+            return None
+        name = stmt[eq - 1].value
+        stream = None
+        for i in range(eq + 1, len(stmt) - 1):
+            if (stmt[i].kind == "id" and stmt[i + 1].value == "["
+                    and any(x.value == "++"
+                            for x in stmt[i + 1:
+                                          _match(stmt, i + 1, "[",
+                                                 "]") + 1])):
+                stream = stmt[i].value
+                break
+        if stream is None:
+            return None
+        self.readers[name] = stream
+        return name
+
+    # -- operand helpers -----------------------------------------------
+    def _operand_left(self, stmt, i):
+        j = i - 1
+        while j >= 0:
+            t = stmt[j]
+            if t.kind == "id":
+                if t.value == "raw":
+                    recv = _raw_receiver(stmt, j)
+                    if recv:
+                        return recv + ".raw"
+                    return "#"
+                if t.value in _NORM_DROP and t.value != "raw":
+                    j -= 1
+                    continue
+                return t.value
+            if t.kind == "num":
+                return "#"
+            j -= 1
+        return "#"
+
+    def _operand_right(self, stmt, i):
+        j, n = i + 1, len(stmt)
+        while j < n:
+            t = stmt[j]
+            if t.kind == "id":
+                if t.value in _NORM_DROP and t.value != "raw":
+                    j += 1
+                    continue
+                if (j + 2 < n and stmt[j + 1].value in (".", "->")
+                        and stmt[j + 2].value == "raw"):
+                    return t.value + ".raw"
+                return t.value
+            if t.kind == "num":
+                return "#"
+            j += 1
+        return "#"
+
+    def _binop_event(self, stmt, i):
+        op = stmt[i].value
+        if op in ("+", "-"):
+            prev = stmt[i - 1].value if i > 0 else None
+            if prev in _UNARY_PREV:
+                return
+        a = self._operand_left(stmt, i)
+        b = self._operand_right(stmt, i)
+        if a == "#" and b == "#":
+            return
+        self._ev(["bo", stmt[i].line, a, op, b])
+
+    def _top_assign(self, stmt):
+        """First top-level '=' → ["as", line, lhs, [rhs ids], raw_src]
+        when the LHS is a simple local identifier."""
+        depth = 0
+        for i, t in enumerate(stmt):
+            v = t.value
+            if v in ("(", "[", "{"):
+                depth += 1
+            elif v in (")", "]", "}"):
+                depth -= 1
+            elif v == "=" and depth == 0:
+                if i == 0 or stmt[i - 1].kind != "id":
+                    return
+                if i >= 2 and stmt[i - 2].value in (".", "->"):
+                    return
+                lhs = stmt[i - 1].value
+                rhs = stmt[i + 1:]
+                rhs_ids = [x.value for x in rhs if x.kind == "id"
+                           and x.value not in _NORM_DROP]
+                raw_src = None
+                for j, x in enumerate(rhs):
+                    if x.kind == "id" and x.value == "raw":
+                        recv = _raw_receiver(rhs, j)
+                        if recv:
+                            raw_src = recv
+                            break
+                self._ev(["as", t.line, lhs, rhs_ids, raw_src])
+                return
+
+    def _call_raw_args(self, stmt, i):
+        """stmt[i] is a callee id followed by '(' — record args that
+        carry a .raw() of a stamp-named receiver."""
+        close = _match(stmt, i + 1, "(", ")")
+        args, seg, depth = [], [], 0
+        for t in stmt[i + 2 : close]:
+            v = t.value
+            if v in ("(", "[", "{", "<"):
+                depth += 1
+            elif v in (")", "]", "}", ">"):
+                depth -= 1
+            if v == "," and depth == 0:
+                args.append(seg)
+                seg = []
+            else:
+                seg.append(t)
+        if seg:
+            args.append(seg)
+        for idx, arg in enumerate(args):
+            # Re-wrapping at the call site (`f(SimCycle(x.raw()))`)
+            # puts the value back in the strong domain — not an
+            # escape.
+            if any(x.kind == "id"
+                   and x.value in ("SimCycle", "CycleDelta")
+                   for x in arg):
+                continue
+            for j, x in enumerate(arg):
+                if x.kind == "id" and x.value == "raw":
+                    recv = _raw_receiver(arg, j)
+                    if recv:
+                        self._ev(["ca", stmt[i].line, stmt[i].value,
+                                  idx, recv])
+                        break
+
+    # -- serialize/restore stream extraction ---------------------------
+    def _emit_scan(self, stmt):
+        """`stream.push_back(expr)` → ["em", line, depth, stream,
+        field]."""
+        n = len(stmt)
+        for i in range(n - 3):
+            if (stmt[i].kind == "id"
+                    and stmt[i + 1].value in (".", "->")
+                    and stmt[i + 2].kind == "id"
+                    and stmt[i + 2].value in ("push_back",
+                                              "emplace_back")
+                    and i + 3 < n and stmt[i + 3].value == "("):
+                close = _match(stmt, i + 3, "(", ")")
+                ids = [x.value for x in stmt[i + 4 : close]
+                       if x.kind == "id"]
+                self.em.append([stmt[i].line, self.loop_depth,
+                                stmt[i].value, _norm_field(ids)])
+
+    def _consume_scan(self, stmt):
+        """Indexed reads `stream[...]` (with a num or ++ index) →
+        ["cn", line, depth, stream, name, resolved]."""
+        n = len(stmt)
+        i = 0
+        while i < n - 1:
+            t = stmt[i]
+            if (t.kind == "id" and stmt[i + 1].value == "["
+                    and not (i > 0
+                             and stmt[i - 1].value in (".", "->"))):
+                close = _match(stmt, i + 1, "[", "]")
+                inner = stmt[i + 2 : close]
+                # Only post-incremented cursors and literal indices
+                # count as stream reads — `edram[i] = ...` on an
+                # assignment LHS is container addressing, not a
+                # consume.
+                idx_ok = (any(x.value == "++" for x in inner)
+                          or (len(inner) == 1
+                              and inner[0].kind == "num"))
+                if idx_ok and inner:
+                    name, resolved = self._consume_target(
+                        stmt, i, close)
+                    self.cn.append([t.line, self.loop_depth, t.value,
+                                    name, resolved])
+                i = close + 1
+                continue
+            i += 1
+
+    def _reader_consume(self, stmt, i):
+        """stmt[i] is a registered reader call `next(expr)` — one
+        consume of the reader's stream."""
+        close = _match(stmt, i + 1, "(", ")")
+        arg = stmt[i + 2 : close]
+        stream = self.readers[stmt[i].value]
+        name, resolved = None, False
+        ids = [x for x in arg if x.kind == "id"]
+        if ids:
+            last = ids[-1]
+            pos = stmt.index(last, i)
+            if pos >= 2 and stmt[pos - 1].value in (".", "->"):
+                name, resolved = last.value, True
+            else:
+                name = last.value
+                resolved = False
+                partner = self._rename_partner(stmt, close, name)
+                if partner:
+                    name, resolved = partner, True
+        self.cn.append([stmt[i].line, self.loop_depth, stream, name,
+                        resolved])
+
+    def _consume_target(self, stmt, i, close):
+        """Name the value consumed by `stream[...]` at stmt[i]: an
+        assignment target (member form resolves immediately) or a
+        comparison partner in the same statement."""
+        # Assignment form: walk back for a top-level '=' earlier in
+        # the statement.
+        depth = 0
+        for j in range(i):
+            v = stmt[j].value
+            if v in ("(", "[", "{"):
+                depth += 1
+            elif v in (")", "]", "}"):
+                depth -= 1
+            elif v == "=" and depth == 0 and j > 0:
+                k = j - 1
+                if stmt[k].value == "]":
+                    # `arr[i] = stream[c++]` — name the array.
+                    d = 0
+                    while k >= 0:
+                        if stmt[k].value == "]":
+                            d += 1
+                        elif stmt[k].value == "[":
+                            d -= 1
+                            if d == 0:
+                                break
+                        k -= 1
+                    k -= 1
+                if k < 0 or stmt[k].kind != "id":
+                    return None, False
+                nm = stmt[k].value
+                member_form = k >= 1 and stmt[k - 1].value in (".",
+                                                               "->")
+                return nm, bool(member_form)
+        # Comparison form: `stream[k] ==|!= PARTNER` right after.
+        j = close + 1
+        while j < len(stmt) and stmt[j].value in (")",):
+            j += 1
+        if j < len(stmt) and stmt[j].value in ("==", "!="):
+            k = j + 1
+            while k < len(stmt):
+                if stmt[k].kind == "id" \
+                        and stmt[k].value not in _NORM_DROP:
+                    return stmt[k].value, True
+                if stmt[k].kind == "num" or stmt[k].value in (",",
+                                                              "||",
+                                                              "&&"):
+                    break
+                k += 1
+        return None, False
+
+    def _rename_partner(self, stmt, start, name):
+        """After a bare-local consume, look for `name ==|!= OTHER` (or
+        reversed) later in the same statement; OTHER names the
+        field."""
+        n = len(stmt)
+        for j in range(start, n):
+            if stmt[j].value in ("==", "!="):
+                left = stmt[j - 1] if j > 0 else None
+                if left is not None and left.kind == "id" \
+                        and left.value == name:
+                    k = j + 1
+                    while k < n:
+                        if stmt[k].kind == "id" \
+                                and stmt[k].value not in _NORM_DROP:
+                            return stmt[k].value
+                        if stmt[k].kind == "num":
+                            return None
+                        k += 1
+                if j + 1 < n and stmt[j + 1].kind == "id" \
+                        and stmt[j + 1].value == name \
+                        and j > 0 and stmt[j - 1].kind == "id":
+                    return stmt[j - 1].value
+        return None
+
+    # -- statement structure parsing -----------------------------------
+    def parse_body(self, toks, lo, hi):
+        """Parse the statements of toks[lo:hi] (a brace-less span)."""
+        i = lo
+        while i < hi:
+            i = self._parse_one(toks, i, hi)
+
+    def _parse_one(self, toks, i, hi):
+        """Parse exactly one statement starting at i; return the index
+        just past it."""
+        while i < hi and toks[i].value == ";":
+            i += 1
+        if i >= hi:
+            return hi
+        t = toks[i]
+        v = t.value
+
+        if v == "{":
+            end = _match(toks, i, "{", "}")
+            self._reachable_stmt()
+            self._push_scope()
+            self.parse_body(toks, i + 1, end)
+            self._pop_scope(toks[end].line)
+            return end + 1
+
+        if t.kind == "id":
+            if v == "if":
+                return self._parse_if(toks, i, hi)
+            if v in ("while",):
+                return self._parse_while(toks, i, hi)
+            if v == "for":
+                return self._parse_for(toks, i, hi)
+            if v == "do":
+                return self._parse_do(toks, i, hi)
+            if v == "switch":
+                return self._parse_switch(toks, i, hi)
+            if v == "return":
+                j = self._stmt_end(toks, i + 1, hi)
+                self._reachable_stmt()
+                self._stmt_events(toks[i + 1 : j])
+                self._edge(self.cur, 1)
+                self.terminated = True
+                return j + 1
+            if v in ("break", "continue"):
+                self._reachable_stmt()
+                stack = (self.break_stack if v == "break"
+                         else self.continue_stack)
+                if stack:
+                    self._edge(self.cur, stack[-1])
+                self.terminated = True
+                return self._stmt_end(toks, i, hi) + 1
+            if v == "goto":
+                # No gotos in this tree; treat as an exit so the
+                # following code is not falsely dominated.
+                self._reachable_stmt()
+                self._edge(self.cur, 1)
+                self.terminated = True
+                return self._stmt_end(toks, i, hi) + 1
+            if v in ("case", "default"):
+                # Stray label outside our switch segmentation: skip
+                # to ':'.
+                j = i
+                while j < hi and toks[j].value != ":":
+                    j += 1
+                return j + 1
+
+        # Simple statement.
+        j = self._stmt_end(toks, i, hi)
+        self._reachable_stmt()
+        stmt = toks[i:j]
+        self._stmt_events(stmt)
+        if stmt and stmt[0].kind == "id" \
+                and stmt[0].value in _NORETURN:
+            self._edge(self.cur, 1)
+            self.terminated = True
+        return j + 1
+
+    @staticmethod
+    def _stmt_end(toks, i, hi):
+        """Index of the ';' ending the simple statement at i (bracket
+        aware; braced initializers and inline lambda bodies are part
+        of the statement)."""
+        depth = 0
+        while i < hi:
+            v = toks[i].value
+            if v in ("(", "["):
+                depth += 1
+            elif v in (")", "]"):
+                depth -= 1
+            elif v == "{":
+                i = _match(toks, i, "{", "}")
+            elif v == ";" and depth <= 0:
+                return i
+            i += 1
+        return hi
+
+    def _cond_span(self, toks, i, hi):
+        """toks[i] is a keyword followed by '('; return (events_span,
+        after_close_index)."""
+        j = i + 1
+        while j < hi and toks[j].value != "(":
+            j += 1
+        if j >= hi:
+            return (i + 1, i + 1), i + 1
+        close = _match(toks, j, "(", ")")
+        return (j + 1, close), close + 1
+
+    def _parse_branch(self, toks, i, hi):
+        """One controlled statement (brace block or single statement)
+        in its own lexical scope."""
+        self._push_scope()
+        j = self._parse_one(toks, i, hi)
+        line = toks[min(j, hi) - 1].line if j > i else toks[i].line
+        self._pop_scope(line)
+        return j
+
+    def _parse_if(self, toks, i, hi):
+        (clo, chi), body = self._cond_span(toks, i, hi)
+        self._reachable_stmt()
+        self._stmt_events(toks[clo:chi])
+        head = self.cur
+
+        then_b = self._new_block()
+        self._edge(head, then_b)
+        self._switch_to(then_b)
+        j = self._parse_branch(toks, body, hi)
+        then_end, then_term = self.cur, self.terminated
+
+        else_term, else_end = None, None
+        if j < hi and toks[j].kind == "id" and toks[j].value == "else":
+            else_b = self._new_block()
+            self._edge(head, else_b)
+            self._switch_to(else_b)
+            j = self._parse_branch(toks, j + 1, hi)
+            else_end, else_term = self.cur, self.terminated
+
+        join = self._new_block()
+        if not then_term:
+            self._edge(then_end, join)
+        if else_end is not None:
+            if not else_term:
+                self._edge(else_end, join)
+        else:
+            self._edge(head, join)
+        self._switch_to(join)
+        return j
+
+    def _parse_while(self, toks, i, hi):
+        self._reachable_stmt()
+        header = self._new_block()
+        self._edge(self.cur, header)
+        self._switch_to(header)
+        (clo, chi), body = self._cond_span(toks, i, hi)
+        self._stmt_events(toks[clo:chi])
+        join = self._new_block()
+        self._edge(header, join)
+        body_b = self._new_block()
+        self._edge(header, body_b)
+        self._switch_to(body_b)
+        self.loop_depth += 1
+        self.break_stack.append(join)
+        self.continue_stack.append(header)
+        j = self._parse_branch(toks, body, hi)
+        if not self.terminated:
+            self._edge(self.cur, header)
+        self.continue_stack.pop()
+        self.break_stack.pop()
+        self.loop_depth -= 1
+        self._switch_to(join)
+        return j
+
+    def _parse_for(self, toks, i, hi):
+        self._reachable_stmt()
+        (clo, chi), body = self._cond_span(toks, i, hi)
+        inner = toks[clo:chi]
+        # Split classic for(init; cond; inc) at top-level ';'.
+        parts, seg, depth = [], [], 0
+        for t in inner:
+            v = t.value
+            if v in ("(", "[", "{"):
+                depth += 1
+            elif v in (")", "]", "}"):
+                depth -= 1
+            if v == ";" and depth == 0:
+                parts.append(seg)
+                seg = []
+            else:
+                seg.append(t)
+        parts.append(seg)
+        if len(parts) >= 2:
+            init, cond = parts[0], parts[1]
+            inc = parts[2] if len(parts) > 2 else []
+        else:
+            init, cond, inc = [], parts[0], []  # range-for
+
+        if init:
+            self._stmt_events(init)
+        header = self._new_block()
+        self._edge(self.cur, header)
+        self._switch_to(header)
+        if cond:
+            self._stmt_events(cond)
+        if inc:
+            self._stmt_events(inc)
+        join = self._new_block()
+        self._edge(header, join)
+        body_b = self._new_block()
+        self._edge(header, body_b)
+        self._switch_to(body_b)
+        self.loop_depth += 1
+        self.break_stack.append(join)
+        self.continue_stack.append(header)
+        j = self._parse_branch(toks, body, hi)
+        if not self.terminated:
+            self._edge(self.cur, header)
+        self.continue_stack.pop()
+        self.break_stack.pop()
+        self.loop_depth -= 1
+        self._switch_to(join)
+        return j
+
+    def _parse_do(self, toks, i, hi):
+        self._reachable_stmt()
+        body_b = self._new_block()
+        self._edge(self.cur, body_b)
+        cond_b = self._new_block()
+        join = self._new_block()
+        self._switch_to(body_b)
+        self.loop_depth += 1
+        self.break_stack.append(join)
+        self.continue_stack.append(cond_b)
+        j = self._parse_branch(toks, i + 1, hi)
+        if not self.terminated:
+            self._edge(self.cur, cond_b)
+        self.continue_stack.pop()
+        self.break_stack.pop()
+        self.loop_depth -= 1
+        # `while (cond);`
+        if j < hi and toks[j].kind == "id" and toks[j].value == "while":
+            (clo, chi), after = self._cond_span(toks, j, hi)
+            self._switch_to(cond_b)
+            self._stmt_events(toks[clo:chi])
+            self._edge(cond_b, body_b)
+            self._edge(cond_b, join)
+            j = after
+            if j < hi and toks[j].value == ";":
+                j += 1
+        else:
+            self._edge(cond_b, join)
+        self._switch_to(join)
+        return j
+
+    def _parse_switch(self, toks, i, hi):
+        self._reachable_stmt()
+        (clo, chi), body = self._cond_span(toks, i, hi)
+        self._stmt_events(toks[clo:chi])
+        head = self.cur
+        join = self._new_block()
+        if body >= hi or toks[body].value != "{":
+            self._edge(head, join)
+            self._switch_to(join)
+            return body
+        end = _match(toks, body, "{", "}")
+        # Segment the body at top-level case/default labels.
+        segments, labels = [], []
+        j = body + 1
+        depth = 0
+        seg_start = None
+        while j < end:
+            v = toks[j].value
+            if v in ("(", "[", "{"):
+                if v == "{":
+                    j = _match(toks, j, "{", "}")
+                else:
+                    depth += 1
+            elif v in (")", "]"):
+                depth -= 1
+            elif depth == 0 and toks[j].kind == "id" \
+                    and v in ("case", "default"):
+                k = j
+                while k < end and toks[k].value != ":":
+                    k += 1
+                if seg_start is not None:
+                    segments.append((seg_start, j))
+                labels.append(v)
+                seg_start = k + 1
+                j = k + 1
+                continue
+            j += 1
+        if seg_start is not None:
+            segments.append((seg_start, end))
+
+        has_default = "default" in labels
+        self.break_stack.append(join)
+        prev_end, prev_term = None, True
+        # Consecutive labels share a segment start, so segments and
+        # entry edges align per *distinct* segment.
+        for (lo, shi) in segments:
+            blk = self._new_block()
+            self._edge(head, blk)
+            if prev_end is not None and not prev_term:
+                self._edge(prev_end, blk)  # fallthrough
+            self._switch_to(blk)
+            self._push_scope()
+            self.parse_body(toks, lo, shi)
+            self._pop_scope(toks[min(shi, len(toks) - 1)].line)
+            prev_end, prev_term = self.cur, self.terminated
+        self.break_stack.pop()
+        if prev_end is not None and not prev_term:
+            self._edge(prev_end, join)
+        if not has_default or not segments:
+            self._edge(head, join)
+        self._switch_to(join)
+        return end + 1
+
+
+def _unit_body(unit):
+    """(requires, body_lo, body_hi) for a function unit: the body is
+    the outermost '{...}' span; tokens before it hold PTL_REQUIRES
+    annotations (out-of-line/free shapes) or the declaration head
+    (inline shape)."""
+    for i, t in enumerate(unit):
+        if t.value == "{":
+            end = _match(unit, i, "{", "}")
+            head = unit[:i]
+            requires = []
+            for j, h in enumerate(head):
+                if (h.kind == "id" and h.value == "PTL_REQUIRES"
+                        and j + 1 < len(head)
+                        and head[j + 1].value == "("):
+                    close = _match(head, j + 1, "(", ")")
+                    requires.extend(x.value
+                                    for x in head[j + 2 : close]
+                                    if x.kind == "id")
+            return requires, i + 1, end
+    return [], 0, 0
+
+
+def _role(qual):
+    leaf = qual.rsplit("::", 1)[-1]
+    if leaf == "serialize":
+        return "serialize"
+    if leaf == "restore":
+        return "restore"
+    return None
+
+
+def build_cfg(qual, unit, params):
+    """Build serialized CFGs for one function unit.  Returns a list of
+    (qual, cfg_dict) — the unit itself first, then any lambda
+    sub-CFGs found in its body."""
+    out = []
+    pending = [(qual, unit, list(params))]
+    while pending:
+        q, u, ps = pending.pop(0)
+        requires, lo, hi = _unit_body(u)
+        b = _Builder(q, _role(q))
+        b.parse_body(u, lo, hi)
+        b._pop_scope(u[hi].line if hi < len(u) else 0)
+        if not b.terminated:
+            b._edge(b.cur, 1)
+        cfg = {
+            "params": ps,
+            "requires": requires,
+            "blocks": b.blocks,
+            "em": b.em,
+            "cn": b.cn,
+        }
+        out.append((q, cfg))
+        for sub_qual, sub_unit in b.subs:
+            pending.append((sub_qual, sub_unit, []))
+    return out

@@ -1,0 +1,35 @@
+// checkpoint-symmetry bad fixture: serialize writes open_row then
+// busy, but restore consumes busy first — the set-membership
+// coverage check passes (both members appear in both bodies), only
+// the ordered-stream comparison sees the corruption.
+
+#include <vector>
+
+using U64 = unsigned long long;
+
+namespace ptl {
+
+class BankState {
+  public:
+    void serialize(std::vector<U64> &out) const
+    {
+        out.push_back(open_row);
+        out.push_back(busy);
+    }
+
+    bool restore(const std::vector<U64> &words)
+    {
+        if (words.size() != 2)
+            return false;
+        size_t i = 0;
+        busy = words[i++];  // BAD: swapped vs serialize order
+        open_row = words[i++];
+        return true;
+    }
+
+  private:
+    U64 open_row;
+    U64 busy;
+};
+
+}  // namespace ptl

@@ -1,0 +1,38 @@
+// checkpoint-symmetry good fixture: the tagged + size-checked word
+// stream shape from mem/membackend — a leading tag, an element
+// count cross-checked on restore, and a loop whose emit and consume
+// sit at the same loop depth.
+
+#include <vector>
+
+using U64 = unsigned long long;
+
+namespace ptl {
+
+class BankState {
+  public:
+    void serialize(std::vector<U64> &out) const
+    {
+        out.push_back(TAG_BANK);
+        out.push_back(rows.size());
+        for (U64 r : rows)
+            out.push_back(r);
+    }
+
+    bool restore(const std::vector<U64> &words)
+    {
+        if (words.size() < 2 || words[0] != TAG_BANK ||
+            words[1] != rows.size())
+            return false;
+        size_t i = 2;
+        for (U64 &r : rows)
+            r = words[i++];
+        return true;
+    }
+
+  private:
+    static constexpr U64 TAG_BANK = 7;
+    std::vector<U64> rows;
+};
+
+}  // namespace ptl

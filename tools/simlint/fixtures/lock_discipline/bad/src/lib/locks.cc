@@ -1,0 +1,37 @@
+// lock-discipline bad fixture: 'table' is guarded by mu_ but peek()
+// reads it on a path where no guard is in scope, and readAll() calls
+// a PTL_REQUIRES(mu_) function without holding the lock.
+
+namespace ptl {
+
+class Mutex { };
+
+class LockGuard {
+  public:
+    explicit LockGuard(Mutex &m);
+};
+
+class Registry {
+  public:
+    int peek(bool fast)
+    {
+        if (fast) {
+            LockGuard g(mu_);
+            return table;
+        }
+        return table;  // BAD: mu_ not held on this path
+    }
+
+    int peekLocked() PTL_REQUIRES(mu_);
+
+    int readAll()
+    {
+        return peekLocked();  // BAD: caller must hold mu_
+    }
+
+  private:
+    Mutex mu_;
+    int table PTL_GUARDED_BY(mu_);
+};
+
+}  // namespace ptl

@@ -1,0 +1,52 @@
+// lock-discipline good fixture: every access to the guarded member
+// is dominated by a LockGuard on all paths, a PTL_REQUIRES body
+// inherits the caller's lock, call-site context propagates one level
+// into an unannotated helper, and an intentionally racy read carries
+// an argumented waiver.
+
+namespace ptl {
+
+class Mutex { };
+
+class LockGuard {
+  public:
+    explicit LockGuard(Mutex &m);
+};
+
+class Registry {
+  public:
+    int peek(bool fast)
+    {
+        LockGuard g(mu_);
+        if (fast)
+            return table;
+        return table + 1;
+    }
+
+    int peekLocked() PTL_REQUIRES(mu_)
+    {
+        return table;  // OK: every caller holds mu_
+    }
+
+    int sumLocked()
+    {
+        return table;  // OK: entry context inferred from call sites
+    }
+
+    int readAll()
+    {
+        LockGuard g(mu_);
+        return peekLocked() + sumLocked();
+    }
+
+    int approx() const
+    {
+        return table;  // simlint: lock-ok(monitoring read tolerates staleness)
+    }
+
+  private:
+    mutable Mutex mu_;
+    int table PTL_GUARDED_BY(mu_);
+};
+
+}  // namespace ptl

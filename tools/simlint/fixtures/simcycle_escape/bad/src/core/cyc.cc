@@ -1,0 +1,35 @@
+// simcycle-escape bad fixture: stamps laundered through .raw() into
+// locals re-enter cycle arithmetic and ordering comparisons, and a
+// raw value passed unwrapped into a helper taints its parameter.
+
+struct SimCycle {
+    unsigned long long raw() const;
+};
+
+namespace ptl {
+
+void tick(SimCycle now, unsigned long long latency)
+{
+    unsigned long long t = now.raw();
+    unsigned long long fini = t + latency;  // BAD: raw cycle math
+    (void)fini;
+}
+
+bool overdue(SimCycle now, SimCycle op_due)
+{
+    unsigned long long t = now.raw();
+    return t < op_due.raw();  // BAD: raw ordering comparison
+}
+
+static void note(unsigned long long when, unsigned long long lat)
+{
+    unsigned long long fin = when + lat;  // BAD: tainted parameter
+    (void)fin;
+}
+
+void record(SimCycle now)
+{
+    note(now.raw(), 5);
+}
+
+}  // namespace ptl

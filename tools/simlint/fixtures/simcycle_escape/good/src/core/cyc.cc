@@ -1,0 +1,45 @@
+// simcycle-escape good fixture: the legitimate uses of .raw() —
+// serialization, identity comparison, bucketing through * / %, a
+// re-wrap into the strong type before the call, and an argumented
+// waiver for a stats delta.
+
+#include <vector>
+
+struct SimCycle {
+    unsigned long long raw() const;
+};
+
+namespace ptl {
+
+void fold(SimCycle target);
+
+void emit(std::vector<unsigned long long> &out, SimCycle now)
+{
+    out.push_back(now.raw());  // serialization of the raw word
+}
+
+bool same(SimCycle a_stamp, SimCycle b_stamp)
+{
+    return a_stamp.raw() == b_stamp.raw();  // identity is exempt
+}
+
+unsigned long long bucket(SimCycle now, unsigned long long width)
+{
+    unsigned long long t = now.raw();
+    t = t / width;                    // division is not a sink
+    unsigned long long idx = t % 8;   // neither is modulo
+    return idx;
+}
+
+void realign(SimCycle now, unsigned long long iv)
+{
+    fold(SimCycle((now.raw() / iv + 1) * iv));  // re-wrapped: clean
+}
+
+unsigned long long age(SimCycle now, SimCycle birth_cycle)
+{
+    unsigned long long t = now.raw();
+    return t - birth_cycle.raw();  // simlint: raw-escape-ok(stats delta rendered as raw words)
+}
+
+}  // namespace ptl

@@ -54,9 +54,10 @@ import hashlib
 import json
 import os
 
+from . import cfg as cfg_mod
 from . import lexer, model
 
-INDEX_VERSION = 2
+INDEX_VERSION = 3
 
 # Identifiers whose every occurrence is recorded with context.
 # nondeterminism (and any future rule keying on bare identifiers)
@@ -84,7 +85,7 @@ SCHEDULE_IDS = frozenset({"schedule", "sendAt"})
 _FIELDS = ("includes", "classes", "enums", "bodies", "binds",
            "switches", "int_decls", "never_stmts", "watch",
            "callbacks", "waivers", "ns_vars", "funcs",
-           "unordered_decls", "iter_sites")
+           "unordered_decls", "iter_sites", "requires_decls")
 
 _INCLUDE_PREFIX = "#include"
 
@@ -618,9 +619,11 @@ def _local_static(unit, i):
 
 
 def _func_facts(units):
-    """Call-graph nodes: one dict per function unit."""
+    """Call-graph nodes: one dict per function unit.  Each node also
+    carries its serialized CFG (and any lambda sub-CFGs, keyed by
+    their synthetic quals) for the flow-sensitive rules."""
     out = []
-    for qual, unit, line in units:
+    for qual, unit, line, params in units:
         calls, statics = [], []
         n = len(unit)
         lo = min((t.line for t in unit), default=line)
@@ -637,8 +640,12 @@ def _func_facts(units):
                 fact = _local_static(unit, i)
                 if fact:
                     statics.append([fact[0], fact[1], fact[2]])
-        out.append({"qual": qual, "line": min(line, lo), "lo": lo,
-                    "hi": hi, "calls": calls, "statics": statics})
+        cfgs = cfg_mod.build_cfg(qual, unit, params)
+        node = {"qual": qual, "line": min(line, lo), "lo": lo,
+                "hi": hi, "calls": calls, "statics": statics,
+                "cfg": cfgs[0][1],
+                "subcfgs": {q: c for q, c in cfgs[1:]}}
+        out.append(node)
     return out
 
 
@@ -777,6 +784,48 @@ def _assign_binds(stmt, names):
             names.add(stmt[i - 1].value)
 
 
+def _requires_decls(toks):
+    """PTL_REQUIRES annotations on class-body method *declarations*
+    (no body): [qual, [locks]].  Out-of-line definitions rarely repeat
+    the annotation, so the lock-discipline rule needs the decl-site
+    fact to seed a method's entry lock context."""
+    out = []
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "id" and t.value in ("struct", "class"):
+            j = i + 1
+            if j < len(toks) and toks[j].kind == "id":
+                cname = toks[j].value
+                k = j + 1
+                while k < len(toks) and toks[k].value not in ("{", ";"):
+                    k += 1
+                if k < len(toks) and toks[k].value == "{":
+                    end = model._match_brace(toks, k)
+                    body = toks[k + 1 : end - 1]
+                    for stmt in model._split_statements(body):
+                        names = model._method_names(stmt)
+                        if not names:
+                            continue
+                        for si, st in enumerate(stmt):
+                            if (st.kind == "id"
+                                    and st.value == "PTL_REQUIRES"
+                                    and si + 1 < len(stmt)
+                                    and stmt[si + 1].value == "("):
+                                close = _match_paren(stmt, si + 1)
+                                locks = [x.value for x in
+                                         stmt[si + 2 : close]
+                                         if x.kind == "id"]
+                                for nm in names:
+                                    out.append([cname + "::" + nm,
+                                                locks])
+                                break
+                    i = end
+                    continue
+        i += 1
+    return out
+
+
 def build(path, rel, sha=None, text=None):
     if text is None:
         with open(path, "rb") as f:
@@ -789,7 +838,7 @@ def build(path, rel, sha=None, text=None):
     lf = lexer.LexedFile(path, text)
     toks = lf.tokens
     units_ex = list(model.function_units_ex(lf))
-    units = [(qual, unit) for qual, unit, _line in units_ex]
+    units = [(qual, unit) for qual, unit, _line, _params in units_ex]
     bodies = {}
     for qual, unit in units:
         bodies.setdefault(qual, set()).update(
@@ -799,7 +848,8 @@ def build(path, rel, sha=None, text=None):
         "includes": _includes(toks),
         "classes": [
             {"name": c.name, "line": c.line,
-             "members": [(m.name, m.line, m.type) for m in c.members],
+             "members": [(m.name, m.line, m.type, m.guard)
+                         for m in c.members],
              "methods": c.methods}
             for c in model.classes(lf)],
         "enums": _enums(toks),
@@ -815,6 +865,7 @@ def build(path, rel, sha=None, text=None):
         "funcs": _func_facts(units_ex),
         "unordered_decls": _unordered_decls(toks),
         "iter_sites": _iter_sites(toks),
+        "requires_decls": _requires_decls(toks),
     }
     return FileIndex(path, rel, sha, data)
 

@@ -22,7 +22,9 @@ ClassDef = namedtuple("ClassDef", ["name", "line", "members", "methods"])
 # `Counter &st_hits;` and `Counter *c = nullptr;`, "std" for
 # `std::deque<Counter> q;`) — enough for rules that key on a concrete
 # class name without doing real type resolution.
-Member = namedtuple("Member", ["name", "line", "type"])
+# guard: the lock named by a PTL_GUARDED_BY(mu) annotation on the
+# declaration, or None — the input to the lock-discipline rule.
+Member = namedtuple("Member", ["name", "line", "type", "guard"])
 
 _TYPE_QUALIFIERS = {"const", "mutable", "volatile", "unsigned", "signed"}
 
@@ -136,8 +138,31 @@ def _stmt_is_function(stmt):
     return False
 
 
+def guard_arg(stmt):
+    """The lock named by a PTL_GUARDED_BY(...) annotation in the
+    statement (last identifier of its argument), or None."""
+    for i, t in enumerate(stmt):
+        if t.kind == "id" and t.value == "PTL_GUARDED_BY":
+            if i + 1 < len(stmt) and stmt[i + 1].value == "(":
+                depth, j, last = 0, i + 1, None
+                while j < len(stmt):
+                    v = stmt[j].value
+                    if v == "(":
+                        depth += 1
+                    elif v == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif stmt[j].kind == "id":
+                        last = stmt[j].value
+                    j += 1
+                return last
+    return None
+
+
 def _member_name(stmt):
     """The declared name of a member statement, or None."""
+    guard = guard_arg(stmt)
     stmt = strip_annotations(stmt)
     if not stmt or stmt[0].value in _KEYWORD_STMT:
         # `static` / `using` / access labels and friends are not
@@ -161,7 +186,7 @@ def _member_name(stmt):
             name = t
     if name is None or name.value in _KEYWORD_STMT:
         return None
-    return Member(name.value, name.line, mtype)
+    return Member(name.value, name.line, mtype, guard)
 
 
 def _method_names(stmt):
@@ -225,8 +250,48 @@ _NOT_FUNC_IDS = {
 }
 
 
+def _param_names(ptoks):
+    """Declared parameter names from a parameter-list token span
+    (the tokens between the definition's '(' and ')')."""
+    segs, seg, depth = [], [], 0
+    for t in ptoks:
+        v = t.value
+        if v in ("(", "<", "[", "{"):
+            depth += 1
+        elif v in (")", ">", "]", "}"):
+            depth -= 1
+        if v == "," and depth == 0:
+            segs.append(seg)
+            seg = []
+        else:
+            seg.append(t)
+    if seg:
+        segs.append(seg)
+    names = []
+    for seg in segs:
+        cut, d = [], 0
+        for t in seg:
+            v = t.value
+            if v in ("(", "<", "[", "{"):
+                d += 1
+            elif v in (")", ">", "]", "}"):
+                d -= 1
+            if v == "=" and d == 0:
+                break
+            cut.append(t)
+        last = None
+        for t in cut:
+            if t.kind == "id":
+                last = t.value
+        # A lone token is an unnamed parameter's type, not a name.
+        if last and last not in _TYPE_QUALIFIERS and len(cut) > 1:
+            names.append(last)
+    return names
+
+
 def function_units_ex(lexed):
-    """Yield (qual, tokens, def_line) for every function definition.
+    """Yield (qual, tokens, def_line, params) for every function
+    definition.
 
     Three shapes are recognized:
 
@@ -272,7 +337,8 @@ def function_units_ex(lexed):
                     k += 1
                 if k < len(toks) and toks[k].value == "{":
                     end = _match_brace(toks, k)
-                    yield qual, toks[j + 1 : end], line
+                    yield (qual, toks[j + 1 : end], line,
+                           _param_names(toks[i + 4 : j]))
                     claimed.append((i, end))
                     i = end
                     continue
@@ -297,9 +363,30 @@ def function_units_ex(lexed):
                     for stmt in _split_statements(body):
                         names = _method_names(stmt)
                         if names and any(x.value == "{" for x in stmt):
+                            params = []
+                            angle = 0
+                            for si, st in enumerate(stmt):
+                                v = st.value
+                                if v == "<":
+                                    angle += 1
+                                elif v == ">":
+                                    angle = max(0, angle - 1)
+                                elif v == "(" and angle == 0:
+                                    depth, sj = 0, si
+                                    while sj < len(stmt):
+                                        if stmt[sj].value == "(":
+                                            depth += 1
+                                        elif stmt[sj].value == ")":
+                                            depth -= 1
+                                            if depth == 0:
+                                                break
+                                        sj += 1
+                                    params = _param_names(
+                                        stmt[si + 1 : sj])
+                                    break
                             for n in names:
                                 yield (cname + "::" + n, stmt,
-                                       stmt[0].line)
+                                       stmt[0].line, params)
                     claimed.append((i, end))
                     i = end
                     continue
@@ -346,7 +433,8 @@ def function_units_ex(lexed):
                 # scan).
                 if not any(lo <= k < hi for lo, hi in claimed):
                     end = _match_brace(toks, k)
-                    yield t.value, toks[j + 1 : end], t.line
+                    yield (t.value, toks[j + 1 : end], t.line,
+                           _param_names(toks[i + 2 : j]))
                     i = end
                     continue
         i += 1
@@ -355,7 +443,7 @@ def function_units_ex(lexed):
 def function_units(lexed):
     """Yield (qual, tokens) for every function definition (see
     function_units_ex for the shapes recognized)."""
-    for qual, unit, _line in function_units_ex(lexed):
+    for qual, unit, _line, _params in function_units_ex(lexed):
         yield qual, unit
 
 

@@ -28,26 +28,32 @@ AnalysisContext = namedtuple(
 
 from . import (  # noqa: E402
     checkpoint_coverage,
+    checkpoint_symmetry,
     cross_domain_access,
     enum_exhaustiveness,
     event_discipline,
     layering,
+    lock_discipline,
     nondet_taint,
     nondeterminism,
     raw_cycle,
     shared_state,
+    simcycle_escape,
     stats_coverage,
 )
 
 ALL = [
     layering,
     checkpoint_coverage,
+    checkpoint_symmetry,
     stats_coverage,
     enum_exhaustiveness,
     event_discipline,
     raw_cycle,
+    simcycle_escape,
     nondeterminism,
     shared_state,
+    lock_discipline,
     nondet_taint,
     cross_domain_access,
 ]

@@ -1,0 +1,141 @@
+"""checkpoint-symmetry: serialize and restore must walk the same
+ordered stream.
+
+The checkpoint-coverage rule checks *membership* — every member named
+in serialize appears in restore — but a swapped pair of push_backs, a
+tag written but never checked, or a loop consuming one word fewer all
+pass a set check and corrupt every checkpoint silently.  This rule
+compares the *ordered operation streams* the CFG builder extracts:
+
+  serialize:  every `out.push_back(expr)` in a `*::serialize` body
+              becomes (loop_depth, field) where field is the
+              normalized last identifier of expr (casts and
+              .size()/.raw() accessors dropped);
+  restore:    every indexed stream read — `words[i++]`, `words[0]`,
+              or a call to a reader lambda over the stream — becomes
+              (loop_depth, field), named by its assignment target or
+              by the `==`/`!=` partner it is checked against.
+
+The two sequences must pair positionally: same length, same loop
+depth at each step, and, when both sides name a field, the same
+field.  Unnamed operations are wildcards — the rule prefers silence
+to guessing.
+
+Only word-stream pairs are checked: the serialize body must push onto
+one of its own (reference) parameters, which is the tagged+size-
+checked stream shape membackend established.  Structured checkpoint
+objects (e.g. MachineCheckpoint, which copies into member vectors)
+are out of scope.
+
+Waiver: `// simlint: ckpt-sym-ok(<why>)` on either function's
+definition line or on the mismatching operation's line.
+"""
+
+NAME = "checkpoint-symmetry"
+WAIVER = "ckpt-sym-ok"
+
+
+def _leaf(qual):
+    return qual.rsplit("::", 1)[-1]
+
+
+def _cls_of(qual):
+    return qual.rsplit("::", 1)[0] if "::" in qual else None
+
+
+def _pairs(ctx):
+    """(class, (fi_s, fn_s), (fi_r, fn_r)) for every class defining
+    both serialize and restore (possibly in different files)."""
+    sers, rsts = {}, {}
+    for fi in ctx.files:
+        if "src/" not in fi.rel:
+            continue
+        for fn in fi.funcs:
+            leaf = _leaf(fn["qual"])
+            cls = _cls_of(fn["qual"])
+            if cls is None:
+                continue
+            if leaf == "serialize":
+                sers.setdefault(cls, (fi, fn))
+            elif leaf == "restore":
+                rsts.setdefault(cls, (fi, fn))
+    for cls in sorted(set(sers) & set(rsts)):
+        yield cls, sers[cls], rsts[cls]
+
+
+def _member_names(ctx, cls):
+    for fi in ctx.files:
+        for c in fi.classes:
+            if c["name"] == cls:
+                return {m[0] for m in c["members"]}
+    return set()
+
+
+def _waived(fi, fn, line):
+    return (fi.waived(line, WAIVER)
+            or fi.waived(fn["line"], WAIVER))
+
+
+def run(ctx):
+    from . import Finding
+
+    findings = []
+    for cls, (fi_s, fn_s), (fi_r, fn_r) in _pairs(ctx):
+        cfg_s = fn_s.get("cfg") or {}
+        cfg_r = fn_r.get("cfg") or {}
+        em = cfg_s.get("em") or []
+        cn = cfg_r.get("cn") or []
+        params = set(cfg_s.get("params") or [])
+        if not em:
+            continue
+        # Word-stream shape: all emits target a serialize parameter.
+        if any(e[2] not in params for e in em):
+            continue
+        members = _member_names(ctx, cls)
+
+        if len(em) != len(cn):
+            line = fn_r["line"]
+            if not _waived(fi_r, fn_r, line) \
+                    and not _waived(fi_s, fn_s, fn_s["line"]):
+                findings.append(Finding(
+                    NAME, fi_r.path, line,
+                    "%s: serialize emits %d stream operations but "
+                    "restore consumes %d — the streams cannot be "
+                    "symmetric (waive with "
+                    "`// simlint: ckpt-sym-ok(<why>)`)"
+                    % (cls, len(em), len(cn))))
+            continue
+
+        for i, (e, c) in enumerate(zip(em, cn)):
+            e_line, e_depth, _e_stream, e_name = e
+            c_line, c_depth, _c_stream, c_name, c_resolved = c
+            if not c_resolved and c_name is not None:
+                # A bare local resolves if it shadows/names a member
+                # (`next(tick)` reading straight into the field);
+                # otherwise it is a wildcard.
+                if c_name not in members:
+                    c_name = None
+            if e_depth != c_depth:
+                if not (_waived(fi_s, fn_s, e_line)
+                        or _waived(fi_r, fn_r, c_line)):
+                    findings.append(Finding(
+                        NAME, fi_r.path, c_line,
+                        "%s: stream op %d is emitted at loop depth "
+                        "%d ('%s', %s:%d) but consumed at depth %d — "
+                        "serialize/restore disagree on repetition"
+                        % (cls, i + 1, e_depth, e_name or "?",
+                           fi_s.rel, e_line, c_depth)))
+                break
+            if e_name is not None and c_name is not None \
+                    and e_name != c_name:
+                if not (_waived(fi_s, fn_s, e_line)
+                        or _waived(fi_r, fn_r, c_line)):
+                    findings.append(Finding(
+                        NAME, fi_r.path, c_line,
+                        "%s: stream op %d writes '%s' (%s:%d) but "
+                        "restore consumes '%s' here — fields are "
+                        "reordered or mistagged"
+                        % (cls, i + 1, e_name, fi_s.rel, e_line,
+                           c_name)))
+                break
+    return findings

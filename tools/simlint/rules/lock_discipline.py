@@ -1,0 +1,275 @@
+"""lock-discipline: guarded state must be lock-held on all paths.
+
+The shared-state rule (PR 7) made every piece of process-wide mutable
+state carry either a `domain-local` proof or a `shared-guarded(mu)`
+waiver, and src/lib/threadsafety.h added PTL_GUARDED_BY annotations —
+but both were *trusted*, never verified.  This rule retro-validates
+them with the CFG/dataflow layer:
+
+  1. every use of a class member annotated `PTL_GUARDED_BY(mu)` must
+     sit at a program point where `mu` is held on ALL paths from the
+     function entry (a must-dataflow over LockGuard/lock()/unlock()
+     events);
+  2. likewise for namespace-scope variables and function-local
+     statics waived `// simlint: shared-guarded(mu)` when `mu` names
+     a mutex (atomic/call_once disciplines have no lock to check);
+  3. a call to a function annotated PTL_REQUIRES(mu) — at the
+     definition or at the class-body declaration — must itself happen
+     with `mu` held.
+
+Entry lock context comes from, in order: the function's own
+PTL_REQUIRES annotation, or (one level of interprocedural
+propagation, using the call-graph facts in index.py) the intersection
+of the lock sets held at every call site of the function.  Lambda
+bodies are analyzed as separate sub-CFGs with an *empty* entry
+context: a deferred body runs long after the enclosing guard died.
+
+Constructors and destructors are exempt — the object is not shared
+while it is being built or torn down.
+
+Waiver: `// simlint: lock-ok(<why>)` on the access line.  The
+argument is mandatory; an unexplained exemption is a finding itself.
+"""
+
+from .. import dataflow
+
+NAME = "lock-discipline"
+WAIVER = "lock-ok"
+
+_MUTEX_TYPES = {"Mutex", "mutex", "shared_mutex", "recursive_mutex"}
+_MUTEX_NAME_SUFFIXES = ("mu", "mu_", "mutex", "mutex_", "lock", "lock_")
+
+
+def _leaf(qual):
+    return qual.rsplit("::", 1)[-1]
+
+
+def _mutex_like(name, declared_mutexes):
+    if name in declared_mutexes:
+        return True
+    return name.endswith(_MUTEX_NAME_SUFFIXES) and name not in (
+        "unlock", "lock")
+
+
+def _transfer(facts, events):
+    for ev in events:
+        k = ev[0]
+        if k in ("g", "l"):
+            facts.add(ev[2])
+        elif k in ("ge", "ul"):
+            facts.discard(ev[2])
+    return facts
+
+
+def _declared_mutexes(ctx):
+    out = set()
+    for fi in ctx.files:
+        for _line, name, mtype, _is_static in fi.ns_vars:
+            if mtype in _MUTEX_TYPES:
+                out.add(name)
+        for cls in fi.classes:
+            for name, _line, mtype, _guard in cls["members"]:
+                if mtype in _MUTEX_TYPES:
+                    out.add(name)
+        for fn in fi.funcs:
+            for _line, name, mtype in fn["statics"]:
+                if mtype in _MUTEX_TYPES:
+                    out.add(name)
+    return out
+
+
+def _requires_map(ctx):
+    """Bare function name -> set of required locks (decl-site
+    PTL_REQUIRES plus definition-site annotations in the CFG)."""
+    out = {}
+    for fi in ctx.files:
+        for qual, locks in fi.requires_decls:
+            out.setdefault(_leaf(qual), set()).update(locks)
+        for fn in fi.funcs:
+            req = fn.get("cfg", {}).get("requires") or []
+            if req:
+                out.setdefault(_leaf(fn["qual"]), set()).update(req)
+    return out
+
+
+def _entry_requires(fi_requires_decls, fn, requires_map):
+    req = set(fn.get("cfg", {}).get("requires") or [])
+    req |= requires_map.get(_leaf(fn["qual"]), set()) \
+        if _leaf(fn["qual"]) in requires_map else set()
+    # requires_map is keyed on bare names, which can collide across
+    # classes; restrict the decl-site merge to this function's own
+    # qual when possible.
+    for qual, locks in fi_requires_decls:
+        if qual == fn["qual"]:
+            req.update(locks)
+    return req
+
+
+def _callsite_contexts(ctx, requires_map):
+    """Bare callee name -> intersection of lock sets held at every
+    call site (one level: callers' own entry context comes only from
+    PTL_REQUIRES, never from *their* call sites)."""
+    held_at = {}
+    for fi in ctx.files:
+        for fn in fi.funcs:
+            cfg = fn.get("cfg")
+            if not cfg:
+                continue
+            entry = _entry_requires(fi.requires_decls, fn,
+                                    requires_map)
+            inp = dataflow.solve(cfg["blocks"], entry, _transfer,
+                                 meet="must")
+            for bi, blk in enumerate(cfg["blocks"]):
+                if inp[bi] is None:
+                    continue
+                cur = set(inp[bi])
+                for ev in blk["e"]:
+                    _transfer(cur, [ev])
+                    if ev[0] == "cl":
+                        callee = ev[2]
+                        snap = frozenset(cur)
+                        if callee in held_at:
+                            held_at[callee] &= snap
+                        else:
+                            held_at[callee] = set(snap)
+    return held_at
+
+
+def _scoped_cfgs(fn):
+    """(qual, cfg, is_lambda) for a function node and its lambda
+    sub-CFGs."""
+    yield fn["qual"], fn.get("cfg"), False
+    for q, c in (fn.get("subcfgs") or {}).items():
+        yield q, c, True
+
+
+def run(ctx):
+    from . import Finding
+
+    findings = []
+    declared = _declared_mutexes(ctx)
+    requires_map = _requires_map(ctx)
+    callsites = _callsite_contexts(ctx, requires_map)
+
+    # Guarded entities, grouped by the function set that can see them.
+    # member_guards: class name -> {member: guard}
+    member_guards = {}
+    for fi in ctx.files:
+        if "src/" not in fi.rel:
+            continue
+        for cls in fi.classes:
+            for name, _line, _mtype, guard in cls["members"]:
+                if guard and _mutex_like(guard, declared):
+                    member_guards.setdefault(cls["name"],
+                                             {})[name] = guard
+    # file_guards: fi.rel -> {name: guard} (ns vars + local statics
+    # with a mutex-naming shared-guarded waiver)
+    file_guards = {}
+    for fi in ctx.files:
+        if "src/" not in fi.rel:
+            continue
+        g = {}
+        for line, name, _mtype, _is_static in fi.ns_vars:
+            arg = fi.waiver_arg(line, "shared-guarded")
+            if arg and _mutex_like(arg, declared) and arg != name:
+                g[name] = arg
+        for fn in fi.funcs:
+            for line, name, _mtype in fn["statics"]:
+                arg = fi.waiver_arg(line, "shared-guarded")
+                if arg and _mutex_like(arg, declared) and arg != name:
+                    g[name] = arg
+        if g:
+            file_guards[fi.rel] = g
+
+    for fi in ctx.files:
+        if "src/" not in fi.rel:
+            continue
+        for fn in fi.funcs:
+            leaf = _leaf(fn["qual"])
+            cls_name = (fn["qual"].rsplit("::", 2)[-2]
+                        if "::" in fn["qual"] else None)
+            if cls_name and (leaf == cls_name
+                             or leaf.startswith("~")):
+                continue  # ctor/dtor: object not yet shared
+            guards = {}
+            if cls_name and cls_name in member_guards:
+                guards.update(member_guards[cls_name])
+            guards.update(file_guards.get(fi.rel, {}))
+            watched_calls = {c for c in requires_map
+                            if any(_mutex_like(lk, declared)
+                                   for lk in requires_map[c])}
+            if not guards and not watched_calls:
+                continue
+
+            for qual, cfg, is_lambda in _scoped_cfgs(fn):
+                if not cfg:
+                    continue
+                if is_lambda:
+                    entry = set()
+                else:
+                    entry = _entry_requires(fi.requires_decls, fn,
+                                            requires_map)
+                    if not entry and leaf in callsites:
+                        entry = set(callsites[leaf])
+                inp = dataflow.solve(cfg["blocks"], entry, _transfer,
+                                     meet="must")
+                _walk(fi, qual, cfg, inp, guards, requires_map,
+                      declared, entry, findings)
+    return findings
+
+
+def _walk(fi, qual, cfg, inp, guards, requires_map, declared, entry,
+          findings):
+    from . import Finding
+
+    reported = set()
+    for bi, blk in enumerate(cfg["blocks"]):
+        if inp[bi] is None:
+            continue  # unreachable under must-analysis
+        cur = set(inp[bi])
+        for ev in blk["e"]:
+            k = ev[0]
+            if k == "u" and ev[2] in guards:
+                lock = guards[ev[2]]
+                if lock not in cur and (ev[1], ev[2]) not in reported:
+                    reported.add((ev[1], ev[2]))
+                    if fi.waived(ev[1], WAIVER):
+                        if not fi.waiver_arg(ev[1], WAIVER):
+                            findings.append(Finding(
+                                NAME, fi.path, ev[1],
+                                "lock-ok waiver on '%s' gives no "
+                                "reason — write lock-ok(<why>)"
+                                % ev[2]))
+                        continue
+                    findings.append(Finding(
+                        NAME, fi.path, ev[1],
+                        "'%s' is guarded by '%s' but the lock is not "
+                        "held on all paths here (in %s) — take "
+                        "LockGuard g(%s) or waive with "
+                        "`// simlint: lock-ok(<why>)`"
+                        % (ev[2], lock, qual, lock)))
+            elif k == "cl" and ev[2] in requires_map:
+                for lock in sorted(requires_map[ev[2]]):
+                    if not _mutex_like(lock, declared):
+                        continue
+                    if lock in cur:
+                        continue
+                    key = (ev[1], ev[2], lock)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    if fi.waived(ev[1], WAIVER):
+                        if not fi.waiver_arg(ev[1], WAIVER):
+                            findings.append(Finding(
+                                NAME, fi.path, ev[1],
+                                "lock-ok waiver on call to '%s' "
+                                "gives no reason — write "
+                                "lock-ok(<why>)" % ev[2]))
+                        continue
+                    findings.append(Finding(
+                        NAME, fi.path, ev[1],
+                        "call to '%s' (PTL_REQUIRES(%s)) without "
+                        "'%s' held on all paths (in %s)"
+                        % (ev[2], lock, lock, qual)))
+            _transfer(cur, [ev])
+    return findings
