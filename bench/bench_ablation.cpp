@@ -43,10 +43,10 @@ class Rig : public SystemInterface
     {
         aspace.transCache().setShadowEnabled(cfg.verify);
         cr3 = aspace.createRoot();
-        aspace.mapRange(cr3, CODE_BASE, 64 * PAGE_SIZE, Pte::RW | Pte::US);
-        aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(CODE_BASE), 64 * PAGE_SIZE, Pte::RW | Pte::US);
+        aspace.mapRange(cr3, GuestVirt(DATA_BASE), 256 * PAGE_SIZE,
                         Pte::RW | Pte::US | Pte::NX);
-        aspace.mapRange(cr3, STACK_TOP - 64 * PAGE_SIZE, 64 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(STACK_TOP - 64 * PAGE_SIZE), 64 * PAGE_SIZE,
                         Pte::RW | Pte::US | Pte::NX);
         for (int i = 0; i < ncores; i++) {
             contexts.push_back(std::make_unique<Context>());
@@ -64,12 +64,12 @@ class Rig : public SystemInterface
         std::vector<U8> image = assembler.finalize();
         for (size_t i = 0; i < image.size(); i++) {
             GuestAccess a = guestTranslate(aspace, *contexts[0],
-                                           assembler.baseVa() + i,
+                                           GuestVirt(assembler.baseVa() + i),
                                            MemAccess::Write);
             mem.writeBytes(a.paddr, &image[i], 1);
         }
         for (size_t i = 0; i < contexts.size(); i++) {
-            contexts[i]->rip = CODE_BASE;
+            contexts[i]->rip = GuestVirt(CODE_BASE);
             CoreBuildParams p;
             p.config = &cfg;
             p.contexts = {contexts[i].get()};
@@ -147,8 +147,8 @@ class Rig : public SystemInterface
     U64 readTsc(const Context &) override { return 0; }
     void vcpuBlock(Context &c) override { c.running = false; }
     U64 ptlcall(Context &, U64, U64, U64) override { return 0; }
-    void notifyCodeWrite(U64 mfn) override { bbcache.invalidateMfn(mfn); }
-    bool isCodeMfn(U64 mfn) const override
+    void notifyCodeWrite(Pfn mfn) override { bbcache.invalidateMfn(mfn); }
+    bool isCodeMfn(Pfn mfn) const override
     {
         return bbcache.isCodeMfn(mfn);
     }
@@ -163,7 +163,7 @@ class Rig : public SystemInterface
     std::vector<std::unique_ptr<Context>> contexts;
     std::vector<std::unique_ptr<MemoryHierarchy>> hierarchies;
     std::vector<std::unique_ptr<CoreModel>> cores;
-    U64 cr3 = 0;
+    Pfn cr3;
 };
 
 void

@@ -41,10 +41,10 @@ class BareRig : public SystemInterface
         aspace.attachStats(stats);
         aspace.transCache().setShadowEnabled(cfg.verify);
         cr3 = aspace.createRoot();
-        aspace.mapRange(cr3, CODE_BASE, 64 * PAGE_SIZE, Pte::RW | Pte::US);
-        aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(CODE_BASE), 64 * PAGE_SIZE, Pte::RW | Pte::US);
+        aspace.mapRange(cr3, GuestVirt(DATA_BASE), 256 * PAGE_SIZE,
                         Pte::RW | Pte::US | Pte::NX);
-        aspace.mapRange(cr3, STACK_TOP - 64 * PAGE_SIZE, 64 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(STACK_TOP - 64 * PAGE_SIZE), 64 * PAGE_SIZE,
                         Pte::RW | Pte::US | Pte::NX);
         ctx.cr3 = cr3;
         ctx.kernel_mode = true;
@@ -55,9 +55,9 @@ class BareRig : public SystemInterface
     load(Assembler &assembler)
     {
         std::vector<U8> image = assembler.finalize();
-        guestCopyOut(aspace, ctx, assembler.baseVa(), image.data(),
+        guestCopyOut(aspace, ctx, GuestVirt(assembler.baseVa()), image.data(),
                      image.size());
-        ctx.rip = CODE_BASE;
+        ctx.rip = GuestVirt(CODE_BASE);
     }
 
     // SystemInterface (minimal bare-metal behaviour).
@@ -65,8 +65,8 @@ class BareRig : public SystemInterface
     U64 readTsc(const Context &) override { return 0; }
     void vcpuBlock(Context &c) override { c.running = false; }
     U64 ptlcall(Context &, U64, U64, U64) override { return 0; }
-    void notifyCodeWrite(U64 mfn) override { bbcache.invalidateMfn(mfn); }
-    bool isCodeMfn(U64 mfn) const override
+    void notifyCodeWrite(Pfn mfn) override { bbcache.invalidateMfn(mfn); }
+    bool isCodeMfn(Pfn mfn) const override
     {
         return bbcache.isCodeMfn(mfn);
     }
@@ -78,7 +78,7 @@ class BareRig : public SystemInterface
     BasicBlockCache bbcache;
     InterlockController interlocks;
     Context ctx;
-    U64 cr3 = 0;
+    Pfn cr3;
 };
 
 /** The measured kernel: a hash-and-update loop with real memory
@@ -206,7 +206,7 @@ BM_MemBackend(benchmark::State &state, MemBackendKind kind)
     U64 now = 0, sink = 0;
     for (auto _ : state) {
         for (const auto &[addr, is_write] : trace) {
-            sink ^= backend->request(addr, is_write, SimCycle(now)).raw();
+            sink ^= backend->request(GuestPhys(addr), is_write, SimCycle(now)).raw();
             now += 7;
         }
         backend->drainTo(SimCycle(now));

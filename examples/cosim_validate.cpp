@@ -31,10 +31,13 @@ buildMachine(U8 patched_imm)
     cfg.guest_mem_bytes = 16 << 20;
     auto m = std::make_unique<Machine>(cfg);
     AddressSpace &as = m->addressSpace();
-    U64 cr3 = as.createRoot();
-    as.mapRange(cr3, 0x400000, 16 * PAGE_SIZE, Pte::RW | Pte::US);
-    as.mapRange(cr3, 0x600000, 64 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
-    as.mapRange(cr3, 0x7F0000, 16 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
+    Pfn cr3 = as.createRoot();
+    as.mapRange(cr3, GuestVirt(0x400000), 16 * PAGE_SIZE,
+                Pte::RW | Pte::US);
+    as.mapRange(cr3, GuestVirt(0x600000), 64 * PAGE_SIZE,
+                Pte::RW | Pte::US | Pte::NX);
+    as.mapRange(cr3, GuestVirt(0x7F0000), 16 * PAGE_SIZE,
+                Pte::RW | Pte::US | Pte::NX);
 
     Assembler a(0x400000);
     a.mov(R::rax, 1);            // <- the immediate we may patch
@@ -55,11 +58,12 @@ buildMachine(U8 patched_imm)
     Context &ctx = m->vcpu(0);
     ctx.cr3 = cr3;
     ctx.kernel_mode = true;
-    ctx.rip = 0x400000;
+    ctx.rip = GuestVirt(0x400000);
     ctx.regs[REG_rsp] = 0x7FF000;
     for (size_t i = 0; i < image.size(); i++) {
         GuestAccess acc =
-            guestTranslate(as, ctx, 0x400000 + i, MemAccess::Write);
+            guestTranslate(as, ctx, GuestVirt(0x400000 + i),
+                           MemAccess::Write);
         m->physMem().writeBytes(acc.paddr, &image[i], 1);
     }
     m->finalizeCores();

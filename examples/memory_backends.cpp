@@ -38,8 +38,8 @@ class BareSystem : public SystemInterface
     U64 readTsc(const Context &) override { return 0; }
     void vcpuBlock(Context &ctx) override { ctx.running = false; }
     U64 ptlcall(Context &, U64, U64, U64) override { return 0; }
-    void notifyCodeWrite(U64 mfn) override { bbcache->invalidateMfn(mfn); }
-    bool isCodeMfn(U64 mfn) const override
+    void notifyCodeWrite(Pfn mfn) override { bbcache->invalidateMfn(mfn); }
+    bool isCodeMfn(Pfn mfn) const override
     {
         return bbcache->isCodeMfn(mfn);
     }
@@ -68,11 +68,11 @@ runWorkload(const char *label, const char *memory_json)
     BareSystem sys(bbcache);
     InterlockController interlocks(stats);
 
-    U64 cr3 = aspace.createRoot();
-    aspace.mapRange(cr3, 0x400000, 16 * PAGE_SIZE, Pte::RW | Pte::US);
-    aspace.mapRange(cr3, BUF_BASE, BUF_BYTES + PAGE_SIZE,
+    Pfn cr3 = aspace.createRoot();
+    aspace.mapRange(cr3, GuestVirt(0x400000), 16 * PAGE_SIZE, Pte::RW | Pte::US);
+    aspace.mapRange(cr3, GuestVirt(BUF_BASE), BUF_BYTES + PAGE_SIZE,
                     Pte::RW | Pte::US | Pte::NX);
-    aspace.mapRange(cr3, 0x7F0000, 16 * PAGE_SIZE,
+    aspace.mapRange(cr3, GuestVirt(0x7F0000), 16 * PAGE_SIZE,
                     Pte::RW | Pte::US | Pte::NX);
 
     // Two passes over the buffer, one line per iteration; the next
@@ -102,11 +102,12 @@ runWorkload(const char *label, const char *memory_json)
     Context ctx;
     ctx.cr3 = cr3;
     ctx.kernel_mode = true;
-    ctx.rip = 0x400000;
+    ctx.rip = GuestVirt(0x400000);
     ctx.regs[REG_rsp] = 0x7FF000;
     for (size_t i = 0; i < image.size(); i++) {
         GuestAccess acc =
-            guestTranslate(aspace, ctx, 0x400000 + i, MemAccess::Write);
+            guestTranslate(aspace, ctx, GuestVirt(0x400000 + i),
+                           MemAccess::Write);
         mem.writeBytes(acc.paddr, &image[i], 1);
     }
 

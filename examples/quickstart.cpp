@@ -26,8 +26,8 @@ class BareSystem : public SystemInterface
     U64 readTsc(const Context &) override { return 0; }
     void vcpuBlock(Context &ctx) override { ctx.running = false; }
     U64 ptlcall(Context &, U64, U64, U64) override { return 0; }
-    void notifyCodeWrite(U64 mfn) override { bbcache->invalidateMfn(mfn); }
-    bool isCodeMfn(U64 mfn) const override
+    void notifyCodeWrite(Pfn mfn) override { bbcache->invalidateMfn(mfn); }
+    bool isCodeMfn(Pfn mfn) const override
     {
         return bbcache->isCodeMfn(mfn);
     }
@@ -54,11 +54,11 @@ main()
 
     // 2. Map code, data and a stack; 4-level x86-64 page tables are
     //    built for real in guest memory.
-    U64 cr3 = aspace.createRoot();
-    aspace.mapRange(cr3, 0x400000, 16 * PAGE_SIZE, Pte::RW | Pte::US);
-    aspace.mapRange(cr3, 0x600000, 16 * PAGE_SIZE,
+    Pfn cr3 = aspace.createRoot();
+    aspace.mapRange(cr3, GuestVirt(0x400000), 16 * PAGE_SIZE, Pte::RW | Pte::US);
+    aspace.mapRange(cr3, GuestVirt(0x600000), 16 * PAGE_SIZE,
                     Pte::RW | Pte::US | Pte::NX);
-    aspace.mapRange(cr3, 0x7F0000, 16 * PAGE_SIZE,
+    aspace.mapRange(cr3, GuestVirt(0x7F0000), 16 * PAGE_SIZE,
                     Pte::RW | Pte::US | Pte::NX);
 
     // 3. Assemble a program: sum of squares of 1..100, kept in memory.
@@ -79,11 +79,12 @@ main()
     Context ctx;
     ctx.cr3 = cr3;
     ctx.kernel_mode = true;              // bare metal: allow hlt
-    ctx.rip = 0x400000;
+    ctx.rip = GuestVirt(0x400000);
     ctx.regs[REG_rsp] = 0x7FF000;
     for (size_t i = 0; i < image.size(); i++) {
         GuestAccess acc =
-            guestTranslate(aspace, ctx, 0x400000 + i, MemAccess::Write);
+            guestTranslate(aspace, ctx, GuestVirt(0x400000 + i),
+                           MemAccess::Write);
         mem.writeBytes(acc.paddr, &image[i], 1);
     }
 
@@ -111,7 +112,7 @@ main()
 
     // 5. Results: architectural state + the PTLstats counter tree.
     U64 result = 0;
-    guestRead(aspace, ctx, 0x600000, 8, result);
+    guestRead(aspace, ctx, GuestVirt(0x600000), 8, result);
     std::printf("sum of squares 1..100 = %llu (expected 338350)\n",
                 (unsigned long long)result);
     std::printf("rax = %llu\n", (unsigned long long)ctx.regs[REG_rax]);

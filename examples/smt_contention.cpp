@@ -29,8 +29,8 @@ class BareSystem : public SystemInterface
     U64 readTsc(const Context &) override { return 0; }
     void vcpuBlock(Context &ctx) override { ctx.running = false; }
     U64 ptlcall(Context &, U64, U64, U64) override { return 0; }
-    void notifyCodeWrite(U64 mfn) override { bbcache->invalidateMfn(mfn); }
-    bool isCodeMfn(U64 mfn) const override
+    void notifyCodeWrite(Pfn mfn) override { bbcache->invalidateMfn(mfn); }
+    bool isCodeMfn(Pfn mfn) const override
     {
         return bbcache->isCodeMfn(mfn);
     }
@@ -55,11 +55,11 @@ main()
     BareSystem sys(bbcache);
     InterlockController interlocks(stats);
 
-    U64 cr3 = aspace.createRoot();
-    aspace.mapRange(cr3, 0x400000, 16 * PAGE_SIZE, Pte::RW | Pte::US);
-    aspace.mapRange(cr3, 0x600000, 16 * PAGE_SIZE,
+    Pfn cr3 = aspace.createRoot();
+    aspace.mapRange(cr3, GuestVirt(0x400000), 16 * PAGE_SIZE, Pte::RW | Pte::US);
+    aspace.mapRange(cr3, GuestVirt(0x600000), 16 * PAGE_SIZE,
                     Pte::RW | Pte::US | Pte::NX);
-    aspace.mapRange(cr3, 0x7E0000, 32 * PAGE_SIZE,
+    aspace.mapRange(cr3, GuestVirt(0x7E0000), 32 * PAGE_SIZE,
                     Pte::RW | Pte::US | Pte::NX);
 
     // Each thread adds (thread_id + 1) to the shared counter with
@@ -83,12 +83,13 @@ main()
         ctx[t].vcpu_id = t;
         ctx[t].cr3 = cr3;
         ctx[t].kernel_mode = true;
-        ctx[t].rip = 0x400000;
+        ctx[t].rip = GuestVirt(0x400000);
         ctx[t].regs[REG_rsp] = 0x7FF000 - (U64)t * 0x8000;
         ctx[t].regs[REG_rdi] = (U64)t;      // thread id
     }
     for (size_t i = 0; i < image.size(); i++) {
-        GuestAccess acc = guestTranslate(aspace, ctx[0], 0x400000 + i,
+        GuestAccess acc = guestTranslate(aspace, ctx[0],
+                                         GuestVirt(0x400000 + i),
                                          MemAccess::Write);
         mem.writeBytes(acc.paddr, &image[i], 1);
     }
@@ -116,9 +117,9 @@ main()
         core->cycle(SimCycle(cycle++));
 
     U64 shared = 0, p0 = 0, p1 = 0;
-    guestRead(aspace, ctx[0], 0x600000, 8, shared);
-    guestRead(aspace, ctx[0], 0x600040, 8, p0);
-    guestRead(aspace, ctx[0], 0x600048, 8, p1);
+    guestRead(aspace, ctx[0], GuestVirt(0x600000), 8, shared);
+    guestRead(aspace, ctx[0], GuestVirt(0x600040), 8, p0);
+    guestRead(aspace, ctx[0], GuestVirt(0x600048), 8, p1);
     U64 expected = (U64)ITERS * 3;  // 1 + 2 per round
 
     std::printf("two SMT threads x %d locked xadds\n", ITERS);

@@ -36,7 +36,35 @@ import sys
 raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
 raw = json.load(open(raw_path))
 
+def host_fingerprint():
+    """CPU model, core count and scaling governor: enough to tell
+    whether two entries in the label-keyed history are comparable —
+    a governor change alone moves the throughput numbers well past
+    the noise band."""
+    model = "unknown"
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    governor = "unknown"
+    try:
+        with open("/sys/devices/system/cpu/cpu0/cpufreq/"
+                  "scaling_governor") as f:
+            governor = f.read().strip()
+    except OSError:
+        pass
+    import os
+    return {"cpu_model": model,
+            "cores": os.cpu_count() or 0,
+            "scaling_governor": governor}
+
+
 run = {"host": raw.get("context", {}).get("host_name", "unknown"),
+       "fingerprint": host_fingerprint(),
        "benchmarks": {}}
 for b in raw["benchmarks"]:
     entry = {}

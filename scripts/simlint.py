@@ -27,6 +27,10 @@ Options:
                    tools/simlint/fixtures/<rule>/: each bad* fixture
                    must trip exactly its own rule, each good* fixture
                    must be clean under ALL rules
+  --explain RULE   print the named rule's documentation followed by a
+                   unified diff from its bad fixture to its good one
+                   — the minimal edit that takes code from flagged to
+                   clean; exits without analyzing anything
   --summary        print a per-rule findings/timing table, waiver
                    usage counts, and index cache statistics
                    (markdown; used for the CI job summary)
@@ -316,6 +320,48 @@ def _fixture_sets(rule_dir):
                 yield kind, os.path.dirname(p), [os.path.abspath(p)]
 
 
+def explain(name):
+    """Print a rule's module docstring and a bad->good fixture diff.
+
+    The docstring is the rule's reference documentation (every rule
+    module carries one); the diff shows the smallest edit that takes
+    the golden bad fixture to the golden good one, which is usually
+    the fastest way to see what the rule wants changed.
+    """
+    import difflib
+    import inspect
+
+    if name not in rules_pkg.BY_NAME:
+        print("simlint: unknown rule '%s' (have: %s)"
+              % (name, ", ".join(sorted(rules_pkg.BY_NAME))),
+              file=sys.stderr)
+        return 2
+    mod = rules_pkg.BY_NAME[name]
+    doc = inspect.getdoc(mod) or "(no documentation)"
+    print(doc.rstrip())
+
+    rule_dir = os.path.join(REPO_ROOT, "tools", "simlint", "fixtures",
+                            name.replace("-", "_"))
+    sets = list(_fixture_sets(rule_dir))
+    bad = next((files for k, _, files in sets if k == "bad"), None)
+    good = next((files for k, _, files in sets if k == "good"), None)
+    if not bad or not good:
+        print("\n(no golden fixtures under %s)" % rule_dir)
+        return 0
+    bad_f, good_f = bad[0], good[0]
+    with open(bad_f, encoding="utf-8") as f:
+        bad_lines = f.readlines()
+    with open(good_f, encoding="utf-8") as f:
+        good_lines = f.readlines()
+    rel = lambda p: os.path.relpath(p, REPO_ROOT).replace(os.sep, "/")
+    print("\n--- fixture diff: flagged -> clean "
+          + "-" * 28)
+    sys.stdout.writelines(difflib.unified_diff(
+        bad_lines, good_lines, fromfile=rel(bad_f),
+        tofile=rel(good_f)))
+    return 0
+
+
 def self_test(layers):
     fixtures = os.path.join(REPO_ROOT, "tools", "simlint", "fixtures")
     failed = 0
@@ -357,6 +403,7 @@ def main():
     ap.add_argument("--rules", default=None)
     ap.add_argument("--diff", metavar="BASE", default=None)
     ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--explain", metavar="RULE", default=None)
     ap.add_argument("--summary", action="store_true")
     ap.add_argument("--summary-json", metavar="FILE", default=None)
     ap.add_argument("--no-cache", action="store_true")
@@ -385,6 +432,9 @@ def main():
         rule_mods = [rules_pkg.BY_NAME[n] for n in names]
     else:
         rule_mods = rules_pkg.ALL
+
+    if args.explain:
+        return explain(args.explain)
 
     if args.self_test:
         failed = self_test(layers)

@@ -17,7 +17,7 @@ namespace {
 #if PTL_VERIFY
 /** Shadow mode: re-walk a cached hit and panic on any divergence. */
 inline void
-shadowCheck(AddressSpace &aspace, const Context &ctx, U64 va,
+shadowCheck(AddressSpace &aspace, const Context &ctx, GuestVirt va,
             MemAccess kind, const GuestAccess &out, bool entry_dirty)
 {
     TranslationCache &tc = aspace.transCache();
@@ -29,7 +29,7 @@ shadowCheck(AddressSpace &aspace, const Context &ctx, U64 va,
 }
 #else
 inline void
-shadowCheck(AddressSpace &, const Context &, U64, MemAccess,
+shadowCheck(AddressSpace &, const Context &, GuestVirt, MemAccess,
             const GuestAccess &, bool)
 {
 }
@@ -38,12 +38,12 @@ shadowCheck(AddressSpace &, const Context &, U64, MemAccess,
 }  // namespace
 
 GuestAccess
-guestTranslate(AddressSpace &aspace, const Context &ctx, U64 va,
+guestTranslate(AddressSpace &aspace, const Context &ctx, GuestVirt va,
                MemAccess kind)
 {
     GuestAccess out;
     TranslationCache &tc = aspace.transCache();
-    const U64 vpn = vpnOf(va);
+    const Vpn vpn = va.vpn();
     const bool user_mode = !ctx.kernel_mode;
     if (TranslationCache::Entry *e = tc.probe(ctx.cr3, vpn)) {
         // A write through an entry whose leaf D bit is not known set
@@ -59,7 +59,7 @@ guestTranslate(AddressSpace &aspace, const Context &ctx, U64 va,
         }
         if (kind != MemAccess::Write || e->dirty) {
             tc.countHit();
-            out.paddr = (e->mfn << PAGE_SHIFT) | pageOffset(va);
+            out.paddr = e->mfn.pageBase().withOffset(va.pageOffset());
             shadowCheck(aspace, ctx, va, kind, out, e->dirty);
             return out;
         }
@@ -77,8 +77,8 @@ guestTranslate(AddressSpace &aspace, const Context &ctx, U64 va,
 }
 
 GuestAccess
-guestRead(AddressSpace &aspace, const Context &ctx, U64 va, unsigned bytes,
-          U64 &value_out)
+guestRead(AddressSpace &aspace, const Context &ctx, GuestVirt va,
+          unsigned bytes, U64 &value_out)
 {
     value_out = 0;
     U8 buf[8];
@@ -88,13 +88,13 @@ guestRead(AddressSpace &aspace, const Context &ctx, U64 va, unsigned bytes,
         GuestAccess a =
             guestTranslate(aspace, ctx, va + done, MemAccess::Read);
         if (!a.ok()) {
-            a.paddr = 0;
+            a.paddr = GuestPhys(0);
             return a;
         }
         if (done == 0)
             first = a;
         unsigned chunk = (unsigned)std::min<U64>(
-            bytes - done, PAGE_SIZE - pageOffset(va + done));
+            bytes - done, PAGE_SIZE - (va + done).pageOffset());
         aspace.physMem().readBytes(a.paddr, buf + done, chunk);
         done += chunk;
     }
@@ -104,7 +104,7 @@ guestRead(AddressSpace &aspace, const Context &ctx, U64 va, unsigned bytes,
 }
 
 GuestAccess
-guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
+guestWrite(AddressSpace &aspace, const Context &ctx, GuestVirt va,
            unsigned bytes, U64 value)
 {
     // Pre-check both pages so a cross-page store is all-or-nothing
@@ -118,35 +118,35 @@ guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
     for (unsigned i = 0; i < bytes; i++)
         buf[i] = (U8)(value >> (i * 8));
     unsigned first_chunk = (unsigned)std::min<U64>(
-        bytes, PAGE_SIZE - pageOffset(va));
+        bytes, PAGE_SIZE - va.pageOffset());
     if (first_chunk < bytes) {
         GuestAccess second =
             guestTranslate(aspace, ctx, va + bytes - 1, MemAccess::Write);
         if (!second.ok())
             return second;
         aspace.physMem().writeBytes(first.paddr, buf, first_chunk);
-        aspace.physMem().writeBytes(second.paddr & ~PAGE_MASK,
+        aspace.physMem().writeBytes(second.paddr.pageBase(),
                                     buf + first_chunk,
                                     bytes - first_chunk);
-        aspace.notifyGuestStore(pageOf(first.paddr));
-        aspace.notifyGuestStore(pageOf(second.paddr));
+        aspace.notifyGuestStore(first.paddr.pfn());
+        aspace.notifyGuestStore(second.paddr.pfn());
     } else {
         aspace.physMem().writeBytes(first.paddr, buf, bytes);
-        aspace.notifyGuestStore(pageOf(first.paddr));
+        aspace.notifyGuestStore(first.paddr.pfn());
     }
     return first;
 }
 
 GuestCopy
-guestCopyIn(AddressSpace &aspace, const Context &ctx, void *dst, U64 va,
-            size_t len, MemAccess kind)
+guestCopyIn(AddressSpace &aspace, const Context &ctx, void *dst,
+            GuestVirt va, size_t len, MemAccess kind)
 {
     GuestCopy out;
     U8 *p = (U8 *)dst;
     while (out.copied < len) {
-        U64 cur = va + out.copied;
-        size_t chunk = (size_t)std::min<U64>(len - out.copied,
-                                             PAGE_SIZE - pageOffset(cur));
+        GuestVirt cur = va + out.copied;
+        size_t chunk = (size_t)std::min<U64>(
+            len - out.copied, PAGE_SIZE - cur.pageOffset());
         GuestAccess a = guestTranslate(aspace, ctx, cur, kind);
         if (!a.ok()) {
             out.fault = a.fault;
@@ -162,15 +162,15 @@ guestCopyIn(AddressSpace &aspace, const Context &ctx, void *dst, U64 va,
 }
 
 GuestCopy
-guestCopyOut(AddressSpace &aspace, const Context &ctx, U64 va,
+guestCopyOut(AddressSpace &aspace, const Context &ctx, GuestVirt va,
              const void *src, size_t len)
 {
     GuestCopy out;
     const U8 *p = (const U8 *)src;
     while (out.copied < len) {
-        U64 cur = va + out.copied;
-        size_t chunk = (size_t)std::min<U64>(len - out.copied,
-                                             PAGE_SIZE - pageOffset(cur));
+        GuestVirt cur = va + out.copied;
+        size_t chunk = (size_t)std::min<U64>(
+            len - out.copied, PAGE_SIZE - cur.pageOffset());
         GuestAccess a = guestTranslate(aspace, ctx, cur, MemAccess::Write);
         if (!a.ok()) {
             out.fault = a.fault;
@@ -180,23 +180,23 @@ guestCopyOut(AddressSpace &aspace, const Context &ctx, U64 va,
         if (out.copied == 0)
             out.first_paddr = a.paddr;
         aspace.physMem().writeBytes(a.paddr, p + out.copied, chunk);
-        aspace.notifyGuestStore(pageOf(a.paddr));
+        aspace.notifyGuestStore(a.paddr.pfn());
         out.copied += chunk;
     }
     return out;
 }
 
 GuestCopy
-guestFill(AddressSpace &aspace, const Context &ctx, U64 va, U8 value,
-          size_t len)
+guestFill(AddressSpace &aspace, const Context &ctx, GuestVirt va,
+          U8 value, size_t len)
 {
     GuestCopy out;
     U8 page[PAGE_SIZE];
     std::memset(page, value, sizeof(page));
     while (out.copied < len) {
-        U64 cur = va + out.copied;
-        size_t chunk = (size_t)std::min<U64>(len - out.copied,
-                                             PAGE_SIZE - pageOffset(cur));
+        GuestVirt cur = va + out.copied;
+        size_t chunk = (size_t)std::min<U64>(
+            len - out.copied, PAGE_SIZE - cur.pageOffset());
         GuestAccess a = guestTranslate(aspace, ctx, cur, MemAccess::Write);
         if (!a.ok()) {
             out.fault = a.fault;
@@ -206,7 +206,7 @@ guestFill(AddressSpace &aspace, const Context &ctx, U64 va, U8 value,
         if (out.copied == 0)
             out.first_paddr = a.paddr;
         aspace.physMem().writeBytes(a.paddr, page, chunk);
-        aspace.notifyGuestStore(pageOf(a.paddr));
+        aspace.notifyGuestStore(a.paddr.pfn());
         out.copied += chunk;
     }
     return out;
@@ -238,13 +238,15 @@ pushFrame(Context &ctx, AddressSpace &aspace, U64 fault_word, U64 &new_rsp)
     Context kctx = ctx;
     kctx.kernel_mode = true;
     GuestAccess a;
-    a = guestWrite(aspace, kctx, sp + 24, 8, ctx.regs[REG_rsp]);
+    a = guestWrite(aspace, kctx, GuestVirt(sp + 24), 8,
+                   ctx.regs[REG_rsp]);
     if (!a.ok()) return a;
-    a = guestWrite(aspace, kctx, sp + 16, 8, packFlagsWord(ctx));
+    a = guestWrite(aspace, kctx, GuestVirt(sp + 16), 8,
+                   packFlagsWord(ctx));
     if (!a.ok()) return a;
-    a = guestWrite(aspace, kctx, sp + 8, 8, ctx.rip);
+    a = guestWrite(aspace, kctx, GuestVirt(sp + 8), 8, ctx.rip.raw());
     if (!a.ok()) return a;
-    a = guestWrite(aspace, kctx, sp + 0, 8, fault_word);
+    a = guestWrite(aspace, kctx, GuestVirt(sp + 0), 8, fault_word);
     if (!a.ok()) return a;
     new_rsp = sp;
     return a;
@@ -268,14 +270,14 @@ deliverEvent(Context &ctx, AddressSpace &aspace)
     ctx.kernel_mode = true;
     ctx.event_mask = true;
     ctx.event_pending = false;
-    ctx.rip = ctx.event_callback;
+    ctx.rip = GuestVirt(ctx.event_callback);
     out.next_rip = ctx.rip;
     return out;
 }
 
 AssistResult
 deliverFault(Context &ctx, AddressSpace &aspace, GuestFault fault,
-             U64 fault_rip, U64 fault_addr)
+             GuestVirt fault_rip, GuestVirt fault_addr)
 {
     AssistResult out;
     if (ctx.event_callback == 0) {
@@ -284,23 +286,23 @@ deliverFault(Context &ctx, AddressSpace &aspace, GuestFault fault,
         // the simulator itself stays healthy.
         warn("guest fault %s at rip %llx (addr %llx) with no handler: "
              "halting VCPU %d",
-             guestFaultName(fault), (unsigned long long)fault_rip,
-             (unsigned long long)fault_addr, ctx.vcpu_id);
+             guestFaultName(fault), (unsigned long long)fault_rip.raw(),
+             (unsigned long long)fault_addr.raw(), ctx.vcpu_id);
         ctx.running = false;
         ctx.event_pending = false;
         out.fault = fault;
         out.next_rip = fault_rip;
         return out;
     }
-    U64 saved_rip = ctx.rip;
+    GuestVirt saved_rip = ctx.rip;
     ctx.rip = fault_rip;
-    U64 word = ((U64)fault << 48) | (fault_addr & lowMask(48));
+    U64 word = ((U64)fault << 48) | (fault_addr.raw() & lowMask(48));
     U64 new_rsp = 0;
     GuestAccess a = pushFrame(ctx, aspace, word, new_rsp);
     if (!a.ok()) {
         // Double fault: the kernel stack itself is bad; domain death.
         warn("double fault delivering %s at rip %llx: halting VCPU %d",
-             guestFaultName(fault), (unsigned long long)fault_rip,
+             guestFaultName(fault), (unsigned long long)fault_rip.raw(),
              ctx.vcpu_id);
         ctx.rip = saved_rip;
         ctx.running = false;
@@ -313,14 +315,14 @@ deliverFault(Context &ctx, AddressSpace &aspace, GuestFault fault,
     ctx.regs[REG_rsp] = new_rsp;
     ctx.kernel_mode = true;
     ctx.event_mask = true;
-    ctx.rip = ctx.event_callback;
+    ctx.rip = GuestVirt(ctx.event_callback);
     out.next_rip = ctx.rip;
     return out;
 }
 
 AssistResult
 executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
-              SystemInterface &sys, U64 ripseq)
+              SystemInterface &sys, GuestVirt ripseq)
 {
     AssistResult out;
     out.next_rip = ripseq;
@@ -334,14 +336,15 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
         // rcx <- return rip, r11 <- rflags (real x86-64 semantics);
         // microcode then switches to the kernel stack registered via
         // the stack_switch hypercall and pushes the user rsp.
-        ctx.regs[REG_rcx] = ripseq;
+        ctx.regs[REG_rcx] = ripseq.raw();
         ctx.regs[REG_r11] = ctx.flags;
         U64 user_rsp = ctx.regs[REG_rsp];
         ctx.saved_user_rsp = user_rsp;
         Context kctx = ctx;
         kctx.kernel_mode = true;
         GuestAccess a =
-            guestWrite(aspace, kctx, ctx.kernel_sp - 8, 8, user_rsp);
+            guestWrite(aspace, kctx, GuestVirt(ctx.kernel_sp - 8), 8,
+                       user_rsp);
         if (!a.ok()) {
             out.fault = a.fault;
             return out;
@@ -349,7 +352,7 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
         ctx.regs[REG_rsp] = ctx.kernel_sp - 8;
         ctx.kernel_mode = true;
         ctx.event_mask = true;
-        out.next_rip = ctx.lstar;
+        out.next_rip = GuestVirt(ctx.lstar);
         return out;
       }
       case AssistId::Sysret: {
@@ -361,7 +364,8 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
         // rflags <- r11, drop to user mode with events unmasked.
         U64 user_rsp = 0;
         GuestAccess a =
-            guestRead(aspace, ctx, ctx.regs[REG_rsp], 8, user_rsp);
+            guestRead(aspace, ctx, GuestVirt(ctx.regs[REG_rsp]), 8,
+                      user_rsp);
         if (!a.ok()) {
             out.fault = a.fault;
             return out;
@@ -371,7 +375,7 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
                           & (FLAG_ZAPS_MASK | FLAG_CF | FLAG_OF | FLAG_DF));
         ctx.kernel_mode = false;
         ctx.event_mask = false;
-        out.next_rip = ctx.regs[REG_rcx];
+        out.next_rip = GuestVirt(ctx.regs[REG_rcx]);
         return out;
       }
       case AssistId::Hypercall: {
@@ -390,7 +394,7 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
             return out;
         }
         U64 rip = 0, word = 0, rsp = 0;
-        U64 sp = ctx.regs[REG_rsp];
+        GuestVirt sp = GuestVirt(ctx.regs[REG_rsp]);
         GuestAccess a = guestRead(aspace, ctx, sp, 8, rip);
         if (a.ok()) a = guestRead(aspace, ctx, sp + 8, 8, word);
         if (a.ok()) a = guestRead(aspace, ctx, sp + 16, 8, rsp);
@@ -403,7 +407,7 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
                           & (FLAG_ZAPS_MASK | FLAG_CF | FLAG_OF | FLAG_DF));
         ctx.kernel_mode = bit(word, 16);
         ctx.event_mask = bit(word, 17);
-        out.next_rip = rip;
+        out.next_rip = GuestVirt(rip);
         return out;
       }
       case AssistId::Hlt: {
@@ -463,7 +467,8 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
         // ra carried the effective address in temp0 by convention.
         U64 value = 0;
         GuestAccess a =
-            guestRead(aspace, ctx, ctx.regs[REG_temp0], 8, value);
+            guestRead(aspace, ctx, GuestVirt(ctx.regs[REG_temp0]), 8,
+                      value);
         if (!a.ok()) {
             out.fault = a.fault;
             return out;
@@ -482,7 +487,8 @@ executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
         }
         U64 value = ctx.x87_stack[--ctx.x87_top];
         GuestAccess a =
-            guestWrite(aspace, ctx, ctx.regs[REG_temp0], 8, value);
+            guestWrite(aspace, ctx, GuestVirt(ctx.regs[REG_temp0]), 8,
+                       value);
         if (!a.ok()) {
             ctx.x87_top++;  // restore on fault
             out.fault = a.fault;

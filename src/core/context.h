@@ -30,11 +30,11 @@ struct Context
     /** Values for the uop register space: GPRs, XMM low halves,
      *  fs/gs bases. Temp slots are scratch (microcode-local). */
     U64 regs[NUM_UOP_REGS] = {};
-    U64 rip = 0;
+    GuestVirt rip;
     U16 flags = 0;             ///< ZAPS | CF | OF | DF image
 
     // ---- system state ----
-    U64 cr3 = 0;               ///< page table root MFN
+    Pfn cr3;                   ///< page table root MFN
     bool kernel_mode = false;
     bool running = true;       ///< false while blocked in hlt
 
@@ -89,7 +89,7 @@ struct Context
 struct GuestAccess
 {
     GuestFault fault = GuestFault::None;
-    U64 paddr = 0;
+    GuestPhys paddr;
     bool ok() const { return fault == GuestFault::None; }
 };
 
@@ -101,15 +101,15 @@ struct GuestAccess
  * runs the full 4-level walk and refills the cache.
  */
 GuestAccess guestTranslate(AddressSpace &aspace, const Context &ctx,
-                           U64 va, MemAccess kind);
+                           GuestVirt va, MemAccess kind);
 
 /** Read guest-virtual memory functionally (may cross pages). */
-GuestAccess guestRead(AddressSpace &aspace, const Context &ctx, U64 va,
-                      unsigned bytes, U64 &value_out);
+GuestAccess guestRead(AddressSpace &aspace, const Context &ctx,
+                      GuestVirt va, unsigned bytes, U64 &value_out);
 
 /** Write guest-virtual memory functionally (may cross pages). */
-GuestAccess guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
-                       unsigned bytes, U64 value);
+GuestAccess guestWrite(AddressSpace &aspace, const Context &ctx,
+                       GuestVirt va, unsigned bytes, U64 value);
 
 /**
  * Result of a bulk guest-memory transfer. A fault stops the transfer
@@ -120,8 +120,8 @@ GuestAccess guestWrite(AddressSpace &aspace, const Context &ctx, U64 va,
 struct GuestCopy
 {
     GuestFault fault = GuestFault::None;
-    U64 fault_va = 0;       ///< VA of the first untransferred byte
-    U64 first_paddr = 0;    ///< machine-physical address of byte 0
+    GuestVirt fault_va;     ///< VA of the first untransferred byte
+    GuestPhys first_paddr;  ///< machine-physical address of byte 0
     size_t copied = 0;
     bool ok() const { return fault == GuestFault::None; }
 };
@@ -132,15 +132,15 @@ struct GuestCopy
  * decoder fetch instruction bytes with Execute permission checks.
  */
 GuestCopy guestCopyIn(AddressSpace &aspace, const Context &ctx, void *dst,
-                      U64 va, size_t len,
+                      GuestVirt va, size_t len,
                       MemAccess kind = MemAccess::Read);
 
 /** Copy host memory into the guest (DMA, domain building). */
-GuestCopy guestCopyOut(AddressSpace &aspace, const Context &ctx, U64 va,
-                       const void *src, size_t len);
+GuestCopy guestCopyOut(AddressSpace &aspace, const Context &ctx,
+                       GuestVirt va, const void *src, size_t len);
 
 /** Fill a guest-virtual range with one byte value. */
-GuestCopy guestFill(AddressSpace &aspace, const Context &ctx, U64 va,
+GuestCopy guestFill(AddressSpace &aspace, const Context &ctx, GuestVirt va,
                     U8 value, size_t len);
 
 /**
@@ -159,27 +159,27 @@ class ContextCodeSource final : public CodeSource
     {
     }
 
-    U64 rip() const override { return ctx->rip; }
+    GuestVirt rip() const override { return ctx->rip; }
     bool kernelMode() const override { return ctx->kernel_mode; }
 
     GuestFault
-    translateExec(U64 va, U64 *mfn) const override
+    translateExec(GuestVirt va, Pfn *mfn) const override
     {
         GuestAccess a = guestTranslate(*aspace, *ctx, va,
                                        MemAccess::Execute);
         if (!a.ok())
             return a.fault;
-        *mfn = pageOf(a.paddr);
+        *mfn = a.paddr.pfn();
         return GuestFault::None;
     }
 
     size_t
-    fetchCode(U64 va, U8 *dst, size_t len, U64 *first_mfn,
+    fetchCode(GuestVirt va, U8 *dst, size_t len, Pfn *first_mfn,
               GuestFault *fault) const override
     {
         GuestCopy g = guestCopyIn(*aspace, *ctx, dst, va, len,
                                   MemAccess::Execute);
-        *first_mfn = pageOf(g.first_paddr);
+        *first_mfn = g.first_paddr.pfn();
         *fault = g.fault;
         return g.copied;
     }
@@ -211,16 +211,16 @@ class SystemInterface
     virtual U64 ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2) = 0;
 
     /** A store hit a code page: invalidate translated code (SMC). */
-    virtual void notifyCodeWrite(U64 mfn) = 0;
+    virtual void notifyCodeWrite(Pfn mfn) = 0;
 
     /** True if `mfn` currently backs decoded basic blocks. */
-    virtual bool isCodeMfn(U64 mfn) const = 0;
+    virtual bool isCodeMfn(Pfn mfn) const = 0;
 };
 
 /** Result of running an assist (microcode handler). */
 struct AssistResult
 {
-    U64 next_rip = 0;
+    GuestVirt next_rip;
     GuestFault fault = GuestFault::None;
     bool blocked = false;     ///< VCPU went to sleep (hlt)
     bool exit_requested = false;  ///< ptlcall asked to stop simulation
@@ -233,7 +233,7 @@ struct AssistResult
  * system interface.
  */
 AssistResult executeAssist(AssistId id, Context &ctx, AddressSpace &aspace,
-                           SystemInterface &sys, U64 ripseq);
+                           SystemInterface &sys, GuestVirt ripseq);
 
 /**
  * Deliver a pending event (virtual interrupt) to the guest: builds the
@@ -248,7 +248,8 @@ AssistResult deliverEvent(Context &ctx, AddressSpace &aspace);
  *  registered handler via the same frame format; the fault kind and
  *  faulting address are passed in the frame. */
 AssistResult deliverFault(Context &ctx, AddressSpace &aspace,
-                          GuestFault fault, U64 fault_rip, U64 fault_addr);
+                          GuestFault fault, GuestVirt fault_rip,
+                          GuestVirt fault_addr);
 
 }  // namespace ptl
 

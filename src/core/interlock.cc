@@ -9,7 +9,7 @@ InterlockController::InterlockController(StatsTree &stats)
 }
 
 bool
-InterlockController::acquire(U64 paddr, int owner)
+InterlockController::acquire(GuestPhys paddr, int owner)
 {
     auto [it, inserted] = locks.try_emplace(keyOf(paddr), owner);
     if (!inserted && it->second != owner) {
@@ -22,14 +22,14 @@ InterlockController::acquire(U64 paddr, int owner)
 }
 
 bool
-InterlockController::heldByOther(U64 paddr, int owner) const
+InterlockController::heldByOther(GuestPhys paddr, int owner) const
 {
     auto it = locks.find(keyOf(paddr));
     return it != locks.end() && it->second != owner;
 }
 
 void
-InterlockController::release(U64 paddr, int owner)
+InterlockController::release(GuestPhys paddr, int owner)
 {
     auto it = locks.find(keyOf(paddr));
     if (it != locks.end() && it->second == owner)

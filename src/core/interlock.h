@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "lib/bitops.h"
+#include "lib/guestaddr.h"
 #include "stats/stats.h"
 
 namespace ptl {
@@ -30,16 +31,16 @@ class InterlockController
 
     /** Try to acquire the lock covering `paddr` for `owner` (a unique
      *  thread/core id). Returns false if another owner holds it. */
-    bool acquire(U64 paddr, int owner);
+    bool acquire(GuestPhys paddr, int owner);
 
     /** True if a different owner holds the lock covering `paddr`. */
-    bool heldByOther(U64 paddr, int owner) const;
+    bool heldByOther(GuestPhys paddr, int owner) const;
 
     /** True if anyone (including `owner`) holds the lock. */
-    bool held(U64 paddr) const { return locks.count(keyOf(paddr)) != 0; }
+    bool held(GuestPhys paddr) const { return locks.count(keyOf(paddr)) != 0; }
 
     /** Release one lock held by `owner`. */
-    void release(U64 paddr, int owner);
+    void release(GuestPhys paddr, int owner);
 
     /** Release every lock held by `owner` (commit or flush). */
     void releaseAll(int owner);
@@ -60,7 +61,7 @@ class InterlockController
 
   private:
     /** Locks cover naturally aligned 8-byte regions. */
-    static U64 keyOf(U64 paddr) { return paddr >> 3; }
+    static U64 keyOf(GuestPhys paddr) { return paddr.raw() >> 3; }
 
     std::unordered_map<U64, int> locks;  ///< key -> owner
     Counter &st_acquires;

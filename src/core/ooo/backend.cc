@@ -153,7 +153,7 @@ OooCore::issueOne(SimCycle now, IssueQueue &iq, int slot_idx)
     e.outflags = out.flags;
     if (out.fault != GuestFault::None) {
         e.fault = out.fault;
-        e.fault_addr = u.rip;
+        e.fault_addr = GuestVirt(u.rip);
     }
     if (e.phys >= 0) {
         PhysReg &reg = prf[e.phys];
@@ -220,7 +220,7 @@ OooCore::resolveBranch(SimCycle now, Thread &t, int rob_idx, RobEntry &e)
               uopInfo(u.op).name, (unsigned long long)u.rip);
     }
     e.predicted_next = e.actual_next;  // now resolved correctly
-    redirectFetch(t, e.actual_next, now,
+    redirectFetch(t, GuestVirt(e.actual_next), now,
                   cycles((U64)cfg.mispredict_penalty));
 }
 
@@ -244,7 +244,7 @@ OooCore::resolveBranch(SimCycle now, Thread &t, int rob_idx, RobEntry &e)
  * after the pipeline finishes committing the group (lockstepCompare).
  */
 void
-OooCore::lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
+OooCore::lockstepStepReference(Thread &t, SimCycle now, GuestVirt insn_rip,
                                const Uop &first_uop)
 {
     Context &shadow = *t.shadow_ctx;
@@ -253,8 +253,9 @@ OooCore::lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
     if (shadow.rip != insn_rip)
         panic("[cycle %llu] lockstep divergence: pipeline committed rip "
               "%llx but the reference is at %llx (RIP stream desync)",
-              (unsigned long long)now.raw(), (unsigned long long)insn_rip,
-              (unsigned long long)shadow.rip);
+              (unsigned long long)now.raw(),
+              (unsigned long long)insn_rip.raw(),
+              (unsigned long long)shadow.rip.raw());
 
     // A mispredicted not-taken branch inside a multi-pseudo-op
     // translation (a rep string loop's exit check) redirects fetch to
@@ -280,7 +281,8 @@ OooCore::lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
     if (r.fault_delivered != GuestFault::None)
         panic("[cycle %llu] lockstep divergence at rip %llx: pipeline "
               "committed cleanly but the reference faulted (%s)",
-              (unsigned long long)now.raw(), (unsigned long long)insn_rip,
+              (unsigned long long)now.raw(),
+              (unsigned long long)insn_rip.raw(),
               guestFaultName(r.fault_delivered));
 }
 
@@ -288,7 +290,7 @@ OooCore::lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
  *  the pipeline is about to write the same locations from its STQ.
  *  Compare what the reference left there against the STQ data. */
 void
-OooCore::lockstepCheckStore(Thread &t, SimCycle now, U64 insn_rip,
+OooCore::lockstepCheckStore(Thread &t, SimCycle now, GuestVirt insn_rip,
                             const LsqEntry &s, int size)
 {
     U64 ref_value = 0;
@@ -298,14 +300,15 @@ OooCore::lockstepCheckStore(Thread &t, SimCycle now, U64 insn_rip,
     if (a.ok() && ((ref_value ^ s.data) & mask) != 0)
         panic("[cycle %llu] lockstep divergence after commit of rip "
               "%llx:\n  store [%llx]: pipeline %llx vs reference %llx\n",
-              (unsigned long long)now.raw(), (unsigned long long)insn_rip,
-              (unsigned long long)s.va,
+              (unsigned long long)now.raw(),
+              (unsigned long long)insn_rip.raw(),
+              (unsigned long long)s.va.raw(),
               (unsigned long long)(s.data & mask),
               (unsigned long long)(ref_value & mask));
 }
 
 void
-OooCore::lockstepCompare(Thread &t, SimCycle now, U64 insn_rip)
+OooCore::lockstepCompare(Thread &t, SimCycle now, GuestVirt insn_rip)
 {
     Context &shadow = *t.shadow_ctx;
     Context &arch = *t.ctx;
@@ -313,8 +316,8 @@ OooCore::lockstepCompare(Thread &t, SimCycle now, U64 insn_rip)
     std::string diff;
     if (shadow.rip != arch.rip)
         diff += strprintf("  rip: pipeline %llx vs reference %llx\n",
-                          (unsigned long long)arch.rip,
-                          (unsigned long long)shadow.rip);
+                          (unsigned long long)arch.rip.raw(),
+                          (unsigned long long)shadow.rip.raw());
     if (shadow.flags != arch.flags)
         diff += strprintf("  flags: pipeline %04x vs reference %04x\n",
                           arch.flags, shadow.flags);
@@ -328,7 +331,7 @@ OooCore::lockstepCompare(Thread &t, SimCycle now, U64 insn_rip)
     if (!diff.empty())
         panic("[cycle %llu] lockstep divergence after commit of rip "
               "%llx:\n%s", (unsigned long long)now.raw(),
-              (unsigned long long)insn_rip, diff.c_str());
+              (unsigned long long)insn_rip.raw(), diff.c_str());
 }
 
 /** Re-seed the lockstep shadow from the real context after microcode
@@ -354,13 +357,14 @@ OooCore::runChecker(Thread &t, const RobEntry &e)
     U64 rb = ctx.reg(u.rb);
     U64 rc = ctx.reg(u.rc);
     if (u.isMem()) {
-        U64 va = uopMemAddr(u, ra, rb);
+        GuestVirt va = GuestVirt(uopMemAddr(u, ra, rb));
         const LsqEntry &l = u.isLoad() ? t.ldq[e.lsq] : t.stq[e.lsq];
         if (va != l.va)
             panic("checker: %s at rip %llx address mismatch "
                   "(lsq %llx vs arch %llx)",
                   uopInfo(u.op).name, (unsigned long long)u.rip,
-                  (unsigned long long)l.va, (unsigned long long)va);
+                  (unsigned long long)l.va.raw(),
+                  (unsigned long long)va.raw());
         if (u.isStore() && threads.size() == 1
             && (l.data != (rc & byteMask(u.size))))
             panic("checker: store data mismatch at rip %llx",
@@ -417,15 +421,15 @@ OooCore::commitUopState(Thread &t, RobEntry &e)
         ptl_assert(a.ok());  // faults were resolved at issue
         hierarchy->dataAccess(s.paddr, true, now_cache, true);
         // Self-modifying code detection on the touched frame(s).
-        U64 first = pageOf(s.paddr);
+        Pfn first = s.paddr.pfn();
         if (sys->isCodeMfn(first))
             pending_smc.push_back(first);
-        if (pageOf(s.va) != pageOf(s.va + u.size - 1)) {
+        if (s.va.vpn() != (s.va + u.size - 1).vpn()) {
             GuestAccess b = guestTranslate(*aspace, ctx,
                                            s.va + u.size - 1,
                                            MemAccess::Write);
-            if (b.ok() && sys->isCodeMfn(pageOf(b.paddr)))
-                pending_smc.push_back(pageOf(b.paddr));
+            if (b.ok() && sys->isCodeMfn(b.paddr.pfn()))
+                pending_smc.push_back(b.paddr.pfn());
         }
     }
     if (u.schedWritesRd()) {
@@ -504,7 +508,7 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
 
     // Readiness / fault scan in program order.
     GuestFault fault = GuestFault::None;
-    U64 fault_addr = 0;
+    GuestVirt fault_addr;
     bool hoist_violation = false;
     for (int n = 0; n < count; n++) {
         RobEntry &e = t.rob[group[n]];
@@ -549,7 +553,7 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
         }
     }
 
-    U64 insn_rip = t.rob[t.rob_head].uop.rip;
+    GuestVirt insn_rip = GuestVirt(t.rob[t.rob_head].uop.rip);
 
     if (hoist_violation) {
         // Speculative load issued before a conflicting older store:
@@ -598,14 +602,14 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
             if (!e.uop.isStore() || e.lsq < 0)
                 continue;
             const LsqEntry &s = t.stq[e.lsq];
-            if (sys->isCodeMfn(pageOf(s.paddr)))
-                pending_smc.push_back(pageOf(s.paddr));
-            if (pageOf(s.va) != pageOf(s.va + e.uop.size - 1)) {
+            if (sys->isCodeMfn(s.paddr.pfn()))
+                pending_smc.push_back(s.paddr.pfn());
+            if (s.va.vpn() != (s.va + e.uop.size - 1).vpn()) {
                 GuestAccess b = guestTranslate(*aspace, *t.ctx,
                                                s.va + e.uop.size - 1,
                                                MemAccess::Write);
-                if (b.ok() && sys->isCodeMfn(pageOf(b.paddr)))
-                    pending_smc.push_back(pageOf(b.paddr));
+                if (b.ok() && sys->isCodeMfn(b.paddr.pfn()))
+                    pending_smc.push_back(b.paddr.pfn());
             }
         }
         lockstepStepReference(t, now, insn_rip, t.rob[group[0]].uop);
@@ -634,7 +638,7 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
         st_assists++;
         st_commit_uops++;
         AssistResult ar = executeAssist(e.uop.assist(), ctx, *aspace,
-                                        *sys, e.uop.ripseq);
+                                        *sys, GuestVirt(e.uop.ripseq));
         if (ar.fault != GuestFault::None) {
             st_faults++;
             deliverFault(ctx, *aspace, ar.fault, insn_rip, insn_rip);
@@ -660,13 +664,14 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
 
     // Pop the group and update RIP.
     RobEntry &last = t.rob[group[count - 1]];
-    ctx.rip = last.uop.isBranch() ? last.actual_next : last.uop.ripseq;
+    ctx.rip = GuestVirt(last.uop.isBranch() ? last.actual_next
+                                            : last.uop.ripseq);
     if (trace_commits) {
         std::fprintf(stderr, "[%llu] T%d commit rip=%llx next=%llx %s\n",
                      (unsigned long long)now.raw(),
                      (int)(&t - threads.data()),
-                     (unsigned long long)insn_rip,
-                     (unsigned long long)ctx.rip,
+                     (unsigned long long)insn_rip.raw(),
+                     (unsigned long long)ctx.rip.raw(),
                      uopInfo(last.uop.op).name);
     }
     for (int n = 0; n < count; n++) {
@@ -683,10 +688,10 @@ OooCore::commitThread(SimCycle now, Thread &t, int &budget)
     if (!pending_smc.empty()) {
         // Committed stores hit translated code: invalidate and restart
         // the front end (our own pipeline is flushed by the hook).
-        std::vector<U64> mfns = pending_smc;
+        std::vector<Pfn> mfns = pending_smc;
         pending_smc.clear();
-        U64 next = ctx.rip;
-        for (U64 mfn : mfns)
+        GuestVirt next = ctx.rip;
+        for (Pfn mfn : mfns)
             sys->notifyCodeWrite(mfn);
         // Everything younger in flight may be stale translated code.
         flushThread(t);

@@ -44,8 +44,8 @@ OooCore::stageFetch(SimCycle now)
                 fu.uop.op = UopOp::Nop;
                 fu.uop.som = true;
                 fu.uop.eom = true;
-                fu.uop.rip = t.fetch_rip;
-                fu.uop.ripseq = t.fetch_rip;
+                fu.uop.rip = t.fetch_rip.raw();
+                fu.uop.ripseq = t.fetch_rip.raw();
                 fu.fetch_fault = ff;
                 fu.ready_at = now + cycles((U64)cfg.frontend_stages);
                 t.fetch_queue.push_back(fu);
@@ -85,12 +85,12 @@ OooCore::stageFetch(SimCycle now)
                 fu.pred = predictor->predict(u.rip);
                 if (fu.pred.taken) {
                     fu.predicted_next = (U64)u.imm;
-                    t.fetch_rip = (U64)u.imm;
+                    t.fetch_rip = GuestVirt((U64)u.imm);
                     t.fetch_bb = nullptr;
                 } else {
                     fu.predicted_next = (U64)u.imm2;
                     if (last) {
-                        t.fetch_rip = (U64)u.imm2;
+                        t.fetch_rip = GuestVirt((U64)u.imm2);
                         t.fetch_bb = nullptr;
                     }
                 }
@@ -100,7 +100,7 @@ OooCore::stageFetch(SimCycle now)
                 if (u.hint_call)
                     predictor->pushReturn(u.ripseq);
                 fu.predicted_next = (U64)u.imm;
-                t.fetch_rip = (U64)u.imm;
+                t.fetch_rip = GuestVirt((U64)u.imm);
                 t.fetch_bb = nullptr;
                 break;
               case UopOp::Jmp: {
@@ -111,7 +111,7 @@ OooCore::stageFetch(SimCycle now)
                 if (!predicted)
                     predicted = u.ripseq;  // cold BTB: guess fallthrough
                 fu.predicted_next = predicted;
-                t.fetch_rip = predicted;
+                t.fetch_rip = GuestVirt(predicted);
                 t.fetch_bb = nullptr;
                 break;
               }
@@ -214,7 +214,7 @@ OooCore::renameOne(SimCycle now, Thread &t, int tid)
     e.pred = fu.pred;
     e.predicted_next = fu.predicted_next;
     e.fault = fu.fetch_fault;
-    e.fault_addr = u.rip;
+    e.fault_addr = GuestVirt(u.rip);
 
     // ---- rename sources ----
     auto lookup = [&](int reg) -> int {

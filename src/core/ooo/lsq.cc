@@ -25,9 +25,36 @@ namespace ptl {
 namespace {
 
 bool
-rangesOverlap(U64 a, unsigned alen, U64 b, unsigned blen)
+rangesOverlap(GuestVirt a, unsigned alen, GuestVirt b, unsigned blen)
 {
     return a < b + blen && b < a + alen;
+}
+
+bool
+rangesOverlap(GuestPhys a, unsigned alen, GuestPhys b, unsigned blen)
+{
+    return a < b + blen && b < a + alen;
+}
+
+/**
+ * Memory disambiguation predicate. Stores land in physical memory, so
+ * two accesses conflict when their *physical* ranges overlap — a
+ * virtual-only check misses stores and loads reaching one frame
+ * through different mappings (the kind of aliasing the guest kernel's
+ * per-task CR3 roots and the transcache tests' alias windows set up).
+ * The recorded paddr covers the first page's fragment only, so the
+ * virtual ranges are checked too: that catches the page-crossing tail
+ * the physical range cannot represent. (Tails aliased through two
+ * *different* mappings remain invisible to both checks; split accesses
+ * are rare enough that the conservative pre-commit replay below makes
+ * this a non-issue in practice.)
+ */
+bool
+accessesConflict(GuestVirt a_va, GuestPhys a_paddr, unsigned a_size,
+                 GuestVirt b_va, GuestPhys b_paddr, unsigned b_size)
+{
+    return rangesOverlap(a_paddr, a_size, b_paddr, b_size)
+           || rangesOverlap(a_va, a_size, b_va, b_size);
 }
 
 }  // namespace
@@ -41,7 +68,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
 
     U64 ra = (e.src[0] >= 0) ? prf[e.src[0]].value : 0;
     U64 rb = (u.rb_imm || e.src[1] < 0) ? 0 : prf[e.src[1]].value;
-    U64 va = uopMemAddr(u, ra, rb);
+    GuestVirt va = GuestVirt(uopMemAddr(u, ra, rb));
 
     TranslateResult tr = hierarchy->translateData(
         ctx.cr3, va, false, !ctx.kernel_mode, now);
@@ -60,7 +87,7 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         return true;
     }
     CycleDelta latency = tr.latency;
-    U64 paddr = tr.paddr;
+    GuestPhys paddr = tr.paddr;
     l.paddr = paddr;
     l.addr_known = true;
 
@@ -111,9 +138,9 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
                 must_wait = true;  // conservative: wait for addresses
             continue;
         }
-        if (!rangesOverlap(s.va, s.size, va, u.size))
+        if (!accessesConflict(s.va, s.paddr, s.size, va, paddr, u.size))
             continue;
-        if (s.va == va && s.size >= u.size) {
+        if (s.paddr == paddr && s.size >= u.size) {
             if (!fwd || s.seq > fwd->seq)
                 fwd = &s;
         } else {
@@ -143,10 +170,10 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
         latency += m.latency;
         // Unaligned accesses crossing a line (or page) cost extra and
         // may touch a second translation.
-        U64 last_byte = va + u.size - 1;
-        if ((va / 64) != (last_byte / 64))
+        GuestVirt last_byte = va + u.size - 1;
+        if (va.alignedDown(64) != last_byte.alignedDown(64))
             latency += cycles(1);
-        if (pageOf(va) != pageOf(last_byte)) {
+        if (va.vpn() != last_byte.vpn()) {
             TranslateResult tr2 = hierarchy->translateData(
                 ctx.cr3, last_byte, false, !ctx.kernel_mode, now);
             if (tr2.fault != GuestFault::None) {
@@ -164,10 +191,10 @@ OooCore::issueLoad(SimCycle now, Thread &t, RobEntry &e)
             // Read the two fragments from their physical frames: the
             // second fragment starts at the next page's origin.
             unsigned first_len =
-                (unsigned)(PAGE_SIZE - pageOffset(va));
+                (unsigned)(PAGE_SIZE - va.pageOffset());
             U64 lo = aspace->physMem().read(paddr, first_len);
             U64 hi = aspace->physMem().read(
-                alignDown(tr2.paddr, PAGE_SIZE), u.size - first_len);
+                tr2.paddr.pageBase(), u.size - first_len);
             value = lo | (hi << (first_len * 8));
         } else {
             value = aspace->physMem().read(paddr, u.size);
@@ -200,14 +227,14 @@ OooCore::issueStore(SimCycle now, Thread &t, RobEntry &e)
 
     U64 ra = (e.src[0] >= 0) ? prf[e.src[0]].value : 0;
     U64 rb = (u.rb_imm || e.src[1] < 0) ? 0 : prf[e.src[1]].value;
-    U64 va = uopMemAddr(u, ra, rb);
+    GuestVirt va = GuestVirt(uopMemAddr(u, ra, rb));
 
     TranslateResult tr = hierarchy->translateData(
         ctx.cr3, va, true, !ctx.kernel_mode, now);
     s.va = va;
     s.size = u.size;
     if (tr.fault == GuestFault::None
-        && pageOf(va) != pageOf(va + u.size - 1)) {
+        && va.vpn() != (va + u.size - 1).vpn()) {
         TranslateResult tr2 = hierarchy->translateData(
             ctx.cr3, va + u.size - 1, true, !ctx.kernel_mode, now);
         if (tr2.fault != GuestFault::None)
@@ -242,7 +269,8 @@ OooCore::issueStore(SimCycle now, Thread &t, RobEntry &e)
         for (const LsqEntry &l : t.ldq) {
             if (!l.valid || l.seq <= s.seq || !l.addr_known)
                 continue;
-            if (rangesOverlap(l.va, l.size, s.va, s.size)) {
+            if (accessesConflict(l.va, l.paddr, l.size,
+                                 s.va, s.paddr, s.size)) {
                 RobEntry &le = t.rob[l.rob];
                 if (le.state == RobState::Done
                     && le.fault == GuestFault::None)

@@ -297,7 +297,8 @@ OooCore::ownerId(const Thread &t) const
 }
 
 void
-OooCore::redirectFetch(Thread &t, U64 rip, SimCycle now, CycleDelta penalty)
+OooCore::redirectFetch(Thread &t, GuestVirt rip, SimCycle now,
+                       CycleDelta penalty)
 {
     t.fetch_rip = rip;
     t.fetch_bb = nullptr;
@@ -673,10 +674,10 @@ OooCore::validateInterlocks() const
         bool found = false;
         for (const LsqEntry &l : t.ldq)
             found |= (l.valid && l.lock_acquired
-                      && (l.paddr >> 3) == (paddr >> 3));
+                      && (l.paddr.raw() >> 3) == (paddr >> 3));
         for (const LsqEntry &l : t.stq)
             found |= (l.valid && l.lock_acquired
-                      && (l.paddr >> 3) == (paddr >> 3));
+                      && (l.paddr.raw() >> 3) == (paddr >> 3));
         if (!found)
             panic("orphaned interlock paddr=%llx owner=%d",
                   (unsigned long long)paddr, owner);
@@ -692,9 +693,10 @@ OooCore::debugState() const
         out += strprintf(
             "thread %zu: rip=%llx running=%d rob=%d fq=%zu "
             "fetch_rip=%llx stalled_until=%llu faulted=%d\n",
-            i, (unsigned long long)t.ctx->rip, (int)t.ctx->running,
+            i, (unsigned long long)t.ctx->rip.raw(),
+            (int)t.ctx->running,
             t.rob_used, t.fetch_queue.size(),
-            (unsigned long long)t.fetch_rip,
+            (unsigned long long)t.fetch_rip.raw(),
             (unsigned long long)t.fetch_stall_until.raw(),
             (int)t.fetch_faulted);
         int idx = t.rob_head;

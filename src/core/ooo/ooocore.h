@@ -148,7 +148,7 @@ class OooCore : public CoreModel
         Uop uop;
         U64 seq = 0;            ///< global program-order sequence
         SimCycle retry_cycle;   ///< earliest (re)issue attempt
-        U64 fault_addr = 0;
+        GuestVirt fault_addr;
         U64 predicted_next = 0;
         U64 actual_next = 0;
         U64 result = 0;
@@ -170,8 +170,8 @@ class OooCore : public CoreModel
     {
         bool valid = false;
         int rob = -1;
-        U64 va = 0;
-        U64 paddr = 0;
+        GuestVirt va;
+        GuestPhys paddr;
         U8 size = 0;
         bool addr_known = false;
         bool locked = false;
@@ -229,7 +229,7 @@ class OooCore : public CoreModel
     {
         Context *ctx = nullptr;
         // Fetch state.
-        U64 fetch_rip = 0;
+        GuestVirt fetch_rip;
         const BasicBlock *fetch_bb = nullptr;
         size_t fetch_idx = 0;
         U64 bb_generation = 0;
@@ -352,7 +352,8 @@ class OooCore : public CoreModel
     }
     void flushThread(Thread &t);
     void squashYounger(Thread &t, int rob_idx, SimCycle now);
-    void redirectFetch(Thread &t, U64 rip, SimCycle now, CycleDelta penalty);
+    void redirectFetch(Thread &t, GuestVirt rip, SimCycle now,
+                       CycleDelta penalty);
     bool issueOne(SimCycle now, IssueQueue &iq, int slot);
     bool issueLoad(SimCycle now, Thread &t, RobEntry &e);
     bool issueStore(SimCycle now, Thread &t, RobEntry &e);
@@ -360,11 +361,11 @@ class OooCore : public CoreModel
     bool commitThread(SimCycle now, Thread &t, int &budget);
     void commitUopState(Thread &t, RobEntry &e);
     void runChecker(Thread &t, const RobEntry &eom_entry);
-    void lockstepStepReference(Thread &t, SimCycle now, U64 insn_rip,
+    void lockstepStepReference(Thread &t, SimCycle now, GuestVirt insn_rip,
                                const Uop &first_uop);
-    void lockstepCheckStore(Thread &t, SimCycle now, U64 insn_rip,
+    void lockstepCheckStore(Thread &t, SimCycle now, GuestVirt insn_rip,
                             const LsqEntry &s, int size);
-    void lockstepCompare(Thread &t, SimCycle now, U64 insn_rip);
+    void lockstepCompare(Thread &t, SimCycle now, GuestVirt insn_rip);
     void lockstepResync(Thread &t);
     int pickFetchThread(SimCycle now);
     int ownerId(const Thread &t) const;
@@ -413,7 +414,7 @@ class OooCore : public CoreModel
      *  with zero activity may arm idle_until. Transient, reset at the
      *  top of every evaluated cycle. */
     bool cycle_activity = false;
-    std::vector<U64> pending_smc;   ///< code MFNs hit by committed stores
+    std::vector<Pfn> pending_smc;   ///< code MFNs hit by committed stores
     bool trace_commits = false;     ///< PTLSIM_TRACE=1 commit logging
     bool renameOne(SimCycle now, Thread &t, int tid);
 

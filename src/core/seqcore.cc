@@ -138,11 +138,11 @@ FunctionalEngine::stepInsn(SimCycle now)
     struct FlagUpdate { U16 flags; U8 setmask; };
     FlagUpdate flag_updates[MAX_BB_UOPS];
     int n_flag_updates = 0;
-    U64 insn_rip = ctx->rip;
-    U64 next_rip = 0;
+    GuestVirt insn_rip = ctx->rip;
+    GuestVirt next_rip;
     bool redirect = false;
     GuestFault fault = GuestFault::None;
-    U64 fault_addr = 0;
+    GuestVirt fault_addr;
     int uops_done = 0;
 
     size_t i = uop_idx;
@@ -151,7 +151,8 @@ FunctionalEngine::stepInsn(SimCycle now)
         uops_done++;
 
         if (u.isMem()) {
-            U64 va = uopMemAddr(u, readReg(u.ra), readReg(u.rb));
+            GuestVirt va =
+                GuestVirt(uopMemAddr(u, readReg(u.ra), readReg(u.rb)));
             if (u.isLoad()) {
                 mem_uops_this_insn++;
                 st_loads++;
@@ -200,7 +201,7 @@ FunctionalEngine::stepInsn(SimCycle now)
                     fault_addr = va;
                     break;
                 }
-                if (pageOf(va) != pageOf(va + u.size - 1)) {
+                if (va.vpn() != (va + u.size - 1).vpn()) {
                     GuestAccess b = guestTranslate(
                         *aspace, *ctx, va + u.size - 1, MemAccess::Write);
                     if (!b.ok()) {
@@ -242,7 +243,7 @@ FunctionalEngine::stepInsn(SimCycle now)
                            stores[s].value);
             st_assists++;
             AssistResult ar = executeAssist(u.assist(), *ctx, *aspace,
-                                            *sys, u.ripseq);
+                                            *sys, GuestVirt(u.ripseq));
             if (ar.fault != GuestFault::None) {
                 fault = ar.fault;
                 fault_addr = insn_rip;
@@ -298,10 +299,10 @@ FunctionalEngine::stepInsn(SimCycle now)
             if (bp && u.hint_call)
                 bp->pushReturn(u.ripseq);
             if (out.taken || u.op == UopOp::Jmp) {
-                next_rip = out.value;
+                next_rip = GuestVirt(out.value);
                 redirect = true;
             } else {
-                next_rip = (U64)u.imm2;
+                next_rip = GuestVirt((U64)u.imm2);
             }
             break;  // branches always end their instruction
         }
@@ -343,10 +344,11 @@ FunctionalEngine::stepInsn(SimCycle now)
     // Capture block-relative facts before store commit: an SMC store
     // below may invalidate cur_bb (repositioning this engine), and an
     // assist's hypercall hooks may already have done so.
-    U64 fall_rip = 0;
+    GuestVirt fall_rip;
     bool more_in_block = false;
     if (cur_bb != nullptr) {
-        fall_rip = cur_bb->uops[std::min(i, cur_bb->uops.size() - 1)].ripseq;
+        fall_rip = GuestVirt(
+            cur_bb->uops[std::min(i, cur_bb->uops.size() - 1)].ripseq);
         more_in_block = (i + 1 < cur_bb->uops.size());
     }
 
@@ -354,18 +356,19 @@ FunctionalEngine::stepInsn(SimCycle now)
     for (int s = 0; s < n_stores; s++) {
         const PendingWrite &w = stores[s];
         guestWrite(*aspace, *ctx, w.va, w.size, w.value);
-        GuestAccess a = guestTranslate(*aspace, *ctx, w.va, MemAccess::Write);
-        if (a.ok() && sys->isCodeMfn(pageOf(a.paddr))) {
-            sys->notifyCodeWrite(pageOf(a.paddr));
+        GuestAccess a = guestTranslate(*aspace, *ctx, w.va,
+                                       MemAccess::Write);
+        if (a.ok() && sys->isCodeMfn(a.paddr.pfn())) {
+            sys->notifyCodeWrite(a.paddr.pfn());
             smc = true;
         }
         if (w.size > 1) {
             GuestAccess b = guestTranslate(*aspace, *ctx,
                                            w.va + w.size - 1,
                                            MemAccess::Write);
-            if (b.ok() && pageOf(b.paddr) != pageOf(a.paddr)
-                && sys->isCodeMfn(pageOf(b.paddr))) {
-                sys->notifyCodeWrite(pageOf(b.paddr));
+            if (b.ok() && b.paddr.pfn() != a.paddr.pfn()
+                && sys->isCodeMfn(b.paddr.pfn())) {
+                sys->notifyCodeWrite(b.paddr.pfn());
                 smc = true;
             }
         }
@@ -392,7 +395,7 @@ FunctionalEngine::stepInsn(SimCycle now)
     res.insns = 1;
     res.uops = uops_done;
 
-    if (redirect || next_rip) {
+    if (redirect || next_rip != GuestVirt(0)) {
         ctx->rip = next_rip;
     } else {
         // Non-branch EOM: fall through sequentially.

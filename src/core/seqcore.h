@@ -78,7 +78,7 @@ class FunctionalEngine
   private:
     struct PendingWrite
     {
-        U64 va;
+        GuestVirt va;
         U64 value;
         U8 size;
         bool locked;

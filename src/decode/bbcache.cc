@@ -17,7 +17,7 @@ BasicBlockCache::get(const CodeSource &code, GuestFault *fault)
 {
     *fault = GuestFault::None;
     // The key needs the starting MFN: translate the first byte.
-    U64 mfn_first = 0;
+    Pfn mfn_first;
     GuestFault tf = code.translateExec(code.rip(), &mfn_first);
     if (tf != GuestFault::None) {
         *fault = tf;
@@ -40,11 +40,11 @@ BasicBlockCache::get(const CodeSource &code, GuestFault *fault)
     for (Uop &u : bb->uops)
         u.precomputeSched();
     BasicBlock *raw = bb.get();
-    mfn_index[bb->mfn_lo].insert(raw);
-    code_mfns.insert(bb->mfn_lo);
+    mfn_index[bb->mfn_lo.raw()].insert(raw);
+    code_mfns.insert(bb->mfn_lo.raw());
     if (bb->mfn_hi != bb->mfn_lo) {
-        mfn_index[bb->mfn_hi].insert(raw);
-        code_mfns.insert(bb->mfn_hi);
+        mfn_index[bb->mfn_hi.raw()].insert(raw);
+        code_mfns.insert(bb->mfn_hi.raw());
     }
     blocks.emplace(key, std::move(bb));
     count++;
@@ -59,11 +59,11 @@ BasicBlockCache::decode(const CodeSource &code, GuestFault *fault)
     bb->kernel = code.kernelMode();
 
     Translator translator(bb->uops);
-    U64 rip = code.rip();
+    GuestVirt rip = code.rip();
     for (int i = 0; i < MAX_BB_X86_INSNS; i++) {
         // Gather up to 15 bytes, stopping at an unmapped page.
         U8 bytes[MAX_X86_INSN_BYTES];
-        U64 first_mfn = 0;
+        Pfn first_mfn;
         GuestFault copy_fault = GuestFault::None;
         size_t avail = code.fetchCode(rip, bytes, MAX_X86_INSN_BYTES,
                                       &first_mfn, &copy_fault);
@@ -87,7 +87,7 @@ BasicBlockCache::decode(const CodeSource &code, GuestFault *fault)
         if (i == 0)
             bb->mfn_lo = first_mfn;
 
-        X86Insn insn = decodeX86(bytes, avail, rip);
+        X86Insn insn = decodeX86(bytes, avail, rip.raw());
         if (!insn.valid && insn.length == 0 && avail < MAX_X86_INSN_BYTES) {
             // Truncated by an unmapped page: the instruction straddles
             // into a fault. Raise #PF(fetch) at execution time via an
@@ -97,12 +97,13 @@ BasicBlockCache::decode(const CodeSource &code, GuestFault *fault)
         }
 
         BbEnd end = translator.translate(insn);
-        U64 end_byte_rip = rip + (insn.length ? insn.length - 1 : 0);
-        U64 end_mfn = 0;
+        GuestVirt end_byte_rip =
+            rip + (insn.length ? insn.length - 1 : 0);
+        Pfn end_mfn;
         if (code.translateExec(end_byte_rip, &end_mfn)
             == GuestFault::None)
             bb->mfn_hi = end_mfn;
-        rip = insn.nextRip();
+        rip = GuestVirt(insn.nextRip());
         bb->x86_count++;
 
         if (end != BbEnd::None) {
@@ -116,7 +117,7 @@ BasicBlockCache::decode(const CodeSource &code, GuestFault *fault)
             break;
         }
     }
-    if (bb->mfn_hi == 0)
+    if (bb->mfn_hi == Pfn(0))
         bb->mfn_hi = bb->mfn_lo;
     bb->bytes = (U32)(rip - bb->rip);
     ptl_assert(!bb->uops.empty());
@@ -125,9 +126,9 @@ BasicBlockCache::decode(const CodeSource &code, GuestFault *fault)
 }
 
 int
-BasicBlockCache::invalidateMfn(U64 mfn)
+BasicBlockCache::invalidateMfn(Pfn mfn)
 {
-    auto it = mfn_index.find(mfn);
+    auto it = mfn_index.find(mfn.raw());
     if (it == mfn_index.end())
         return 0;
     gen++;
@@ -135,7 +136,7 @@ BasicBlockCache::invalidateMfn(U64 mfn)
     // Collect the victim blocks, then erase them from the key map.
     std::unordered_set<const BasicBlock *> victims = std::move(it->second);
     mfn_index.erase(it);
-    code_mfns.erase(mfn);
+    code_mfns.erase(mfn.raw());
     // Erase-only sweep over the victim set: membership decides the
     // outcome, not visit order — every victim is removed and the
     // counters see only the total, so unordered iteration is safe.
@@ -144,9 +145,9 @@ BasicBlockCache::invalidateMfn(U64 mfn)
         if (victims.count(bit->second.get())) {
             // Also unhook from the other frame's index.
             const BasicBlock *bb = bit->second.get();
-            U64 other = (bb->mfn_lo == mfn) ? bb->mfn_hi : bb->mfn_lo;
+            Pfn other = (bb->mfn_lo == mfn) ? bb->mfn_hi : bb->mfn_lo;
             if (other != mfn) {
-                auto oit = mfn_index.find(other);
+                auto oit = mfn_index.find(other.raw());
                 if (oit != mfn_index.end())
                     oit->second.erase(bb);
             }

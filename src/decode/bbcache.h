@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "decode/translate.h"
+#include "lib/guestaddr.h"
 #include "lib/counter.h"
 #include "uop/uopexec.h"
 
@@ -45,7 +46,7 @@ class CodeSource
     virtual ~CodeSource() = default;
 
     /** Fetch virtual address of the block's first instruction. */
-    virtual U64 rip() const = 0;
+    virtual GuestVirt rip() const = 0;
 
     /** Privilege context bit baked into the cache key. */
     virtual bool kernelMode() const = 0;
@@ -55,7 +56,7 @@ class CodeSource
      * returns GuestFault::None and sets *mfn to the byte's machine
      * frame number; on failure returns the fault.
      */
-    virtual GuestFault translateExec(U64 va, U64 *mfn) const = 0;
+    virtual GuestFault translateExec(GuestVirt va, Pfn *mfn) const = 0;
 
     /**
      * Copy up to `len` code bytes starting at `va` into `dst`,
@@ -63,16 +64,16 @@ class CodeSource
      * copied; sets *first_mfn to the frame of the first byte (when
      * any byte copied) and *fault to the stopping fault (when short).
      */
-    virtual size_t fetchCode(U64 va, U8 *dst, size_t len,
-                             U64 *first_mfn, GuestFault *fault) const = 0;
+    virtual size_t fetchCode(GuestVirt va, U8 *dst, size_t len,
+                             Pfn *first_mfn, GuestFault *fault) const = 0;
 };
 
 /** A translated basic block. */
 struct BasicBlock
 {
-    U64 rip = 0;
-    U64 mfn_lo = 0;          ///< frame of the first instruction byte
-    U64 mfn_hi = 0;          ///< frame of the last byte (page crossing)
+    GuestVirt rip;
+    Pfn mfn_lo;              ///< frame of the first instruction byte
+    Pfn mfn_hi;              ///< frame of the last byte (page crossing)
     bool kernel = false;     ///< decoded-in-kernel-mode context bit
     std::vector<Uop> uops;
     BbEnd end = BbEnd::None;
@@ -97,10 +98,14 @@ class BasicBlockCache
 
     /** A store touched machine frame `mfn`: drop every block it backs
      *  (self-modifying code). Returns the number invalidated. */
-    int invalidateMfn(U64 mfn);
+    int invalidateMfn(Pfn mfn);
 
     /** True if decoded blocks currently live on `mfn`. */
-    bool isCodeMfn(U64 mfn) const { return code_mfns.count(mfn) != 0; }
+    bool
+    isCodeMfn(Pfn mfn) const
+    {
+        return code_mfns.count(mfn.raw()) != 0;
+    }
 
     /** Drop everything (native<->sim transitions, tests). */
     void invalidateAll();
@@ -114,8 +119,8 @@ class BasicBlockCache
   private:
     struct Key
     {
-        U64 rip;
-        U64 mfn_lo;
+        GuestVirt rip;
+        Pfn mfn_lo;
         bool kernel;
         bool operator==(const Key &o) const
         {
@@ -127,8 +132,8 @@ class BasicBlockCache
         size_t
         operator()(const Key &k) const
         {
-            return (size_t)(k.rip * 0x9e3779b97f4a7c15ULL
-                            ^ (k.mfn_lo << 17) ^ (U64)k.kernel);
+            return (size_t)(k.rip.raw() * 0x9e3779b97f4a7c15ULL
+                            ^ (k.mfn_lo.raw() << 17) ^ (U64)k.kernel);
         }
     };
 

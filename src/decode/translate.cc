@@ -1393,16 +1393,16 @@ Translator::translate(const X86Insn &d)
 }
 
 void
-Translator::sealWithJump(U64 rip, U64 next_rip)
+Translator::sealWithJump(GuestVirt rip, GuestVirt next_rip)
 {
     Uop j = makeUop(UopOp::Bru, 8);
-    j.imm = (S64)next_rip;
-    j.imm2 = (S64)next_rip;
+    j.imm = (S64)next_rip.raw();
+    j.imm2 = (S64)next_rip.raw();
     j.internal = true;
     j.som = true;
     j.eom = true;
-    j.rip = rip;
-    j.ripseq = next_rip;
+    j.rip = rip.raw();
+    j.ripseq = next_rip.raw();
     emit(j);
 }
 

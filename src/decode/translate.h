@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "decode/x86decode.h"
+#include "lib/guestaddr.h"
 #include "uop/uop.h"
 
 namespace ptl {
@@ -56,7 +57,7 @@ class Translator
     BbEnd translate(const X86Insn &insn);
 
     /** Close an open block with an internal jump to `next_rip`. */
-    void sealWithJump(U64 rip, U64 next_rip);
+    void sealWithJump(GuestVirt rip, GuestVirt next_rip);
 
     /** Uop count appended so far. */
     size_t uopCount() const { return out->size(); }

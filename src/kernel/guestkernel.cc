@@ -41,16 +41,20 @@ KernelBuilder::buildAddressSpace()
     AddressSpace &as = *aspace;
     base_cr3 = as.createRoot();
     // Kernel regions: supervisor-only.
-    as.mapRange(base_cr3, KERNEL_TEXT_VA, KERNEL_TEXT_BYTES, Pte::RW);
-    as.mapRange(base_cr3, KDATA_VA, KDATA_BYTES, Pte::RW | Pte::NX);
-    as.mapRange(base_cr3, KSTACKS_VA, (U64)MAX_TASKS * KSTACK_BYTES,
+    as.mapRange(base_cr3, GuestVirt(KERNEL_TEXT_VA), KERNEL_TEXT_BYTES,
+                Pte::RW);
+    as.mapRange(base_cr3, GuestVirt(KDATA_VA), KDATA_BYTES,
                 Pte::RW | Pte::NX);
+    as.mapRange(base_cr3, GuestVirt(KSTACKS_VA),
+                (U64)MAX_TASKS * KSTACK_BYTES, Pte::RW | Pte::NX);
     // User regions.
-    as.mapRange(base_cr3, USER_TEXT_VA, USER_TEXT_BYTES, Pte::RW | Pte::US);
-    as.mapRange(base_cr3, USER_DATA_VA, user_data_bytes,
+    as.mapRange(base_cr3, GuestVirt(USER_TEXT_VA), USER_TEXT_BYTES,
+                Pte::RW | Pte::US);
+    as.mapRange(base_cr3, GuestVirt(USER_DATA_VA), user_data_bytes,
                 Pte::RW | Pte::US | Pte::NX);
     for (int t = 0; t < MAX_TASKS; t++) {
-        as.mapRange(base_cr3, userStackTop(t) - USER_STACK_BYTES,
+        as.mapRange(base_cr3,
+                    GuestVirt(userStackTop(t) - USER_STACK_BYTES),
                     USER_STACK_BYTES, Pte::RW | Pte::US | Pte::NX);
     }
     // Each task gets its own CR3 (an aliasing root), so context
@@ -69,7 +73,7 @@ KernelBuilder::buildKernelData()
     kctx.kernel_mode = true;
     AddressSpace &as = *aspace;
     auto store = [&](U64 va, U64 value) {
-        GuestAccess a = guestWrite(as, kctx, va, 8, value);
+        GuestAccess a = guestWrite(as, kctx, GuestVirt(va), 8, value);
         ptl_assert(a.ok());
     };
 
@@ -82,7 +86,7 @@ KernelBuilder::buildKernelData()
         U64 base = KDATA_VA + KD_TASKS + (U64)t * TASK_ENTRY_BYTES;
         store(base + TASK_STATE, (t == 0) ? TASK_RUNNABLE : TASK_FREE);
         store(base + TASK_SAVED_RSP, 0);
-        store(base + TASK_CR3, task_cr3[t]);
+        store(base + TASK_CR3, task_cr3[t].raw());
         store(base + TASK_WAIT, 0);
         store(base + TASK_KSTACK_TOP, kernelStackTop(t));
         store(base + TASK_SLEEP_DEADLINE, 0);
@@ -777,7 +781,7 @@ KernelBuilder::build()
     kctx.kernel_mode = true;
     AddressSpace &as = *aspace;
     auto write_image = [&](U64 va, const std::vector<U8> &image) {
-        GuestCopy g = guestCopyOut(as, kctx, va, image.data(),
+        GuestCopy g = guestCopyOut(as, kctx, GuestVirt(va), image.data(),
                                    image.size());
         ptl_assert(g.ok());
     };
@@ -793,7 +797,7 @@ KernelBuilder::build()
     Context &ctx = *vcpu0;
     ctx.cr3 = task_cr3[0];
     ctx.kernel_mode = true;
-    ctx.rip = boot_entry_va;
+    ctx.rip = GuestVirt(boot_entry_va);
     ctx.regs[REG_rsp] = kernelStackTop(0);
     ctx.lstar = syscall_entry_va;
     ctx.kernel_sp = kernelStackTop(0);

@@ -68,7 +68,7 @@ class KernelBuilder
     void build();
 
     /** Per-task CR3 roots (available after build()). */
-    U64 taskCr3(int task) const { return task_cr3[task]; }
+    Pfn taskCr3(int task) const { return task_cr3[task]; }
 
   private:
     void buildAddressSpace();
@@ -82,8 +82,8 @@ class KernelBuilder
     U64 init_entry = 0;
     U64 init_arg = 0;
     U64 user_data_bytes = 4 << 20;
-    U64 base_cr3 = 0;
-    U64 task_cr3[MAX_TASKS] = {};
+    Pfn base_cr3;
+    Pfn task_cr3[MAX_TASKS];
     U64 boot_entry_va = 0;
     U64 syscall_entry_va = 0;
     bool built = false;

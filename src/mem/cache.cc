@@ -19,7 +19,7 @@ CacheArray::CacheArray(const CacheParams &params, Counter *evictions,
 }
 
 CacheArray::Line *
-CacheArray::lookup(U64 paddr, bool touch_lru)
+CacheArray::lookup(GuestPhys paddr, bool touch_lru)
 {
     if (!enabled())
         return nullptr;
@@ -37,7 +37,7 @@ CacheArray::lookup(U64 paddr, bool touch_lru)
 }
 
 CacheArray::Line *
-CacheArray::insert(U64 paddr, LineState state, Eviction *evicted)
+CacheArray::insert(GuestPhys paddr, LineState state, Eviction *evicted)
 {
     ptl_assert(enabled());
     if (Line *hit = lookup(paddr)) {
@@ -62,7 +62,7 @@ CacheArray::insert(U64 paddr, LineState state, Eviction *evicted)
         evicted->valid = victim->valid();
         if (evicted->valid) {
             evicted->line_addr =
-                (victim->tag * sets + set) * (U64)line_bytes;
+                GuestPhys((victim->tag * sets + set) * (U64)line_bytes);
             evicted->state = victim->state;
         }
     }
@@ -76,7 +76,7 @@ CacheArray::insert(U64 paddr, LineState state, Eviction *evicted)
 }
 
 void
-CacheArray::invalidate(U64 paddr)
+CacheArray::invalidate(GuestPhys paddr)
 {
     if (Line *line = lookup(paddr, false))
         line->state = LineState::Invalid;

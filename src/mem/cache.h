@@ -63,29 +63,38 @@ class CacheArray
     struct Eviction
     {
         bool valid = false;
-        U64 line_addr = 0;
+        GuestPhys line_addr;
         LineState state = LineState::Invalid;
     };
 
     /** Find the line containing paddr; nullptr on miss. */
-    Line *lookup(U64 paddr, bool touch_lru = true);
+    Line *lookup(GuestPhys paddr, bool touch_lru = true);
 
     /**
      * Install the line containing paddr in `state`, evicting the
      * policy's victim way if necessary (reported through `evicted`).
      */
-    Line *insert(U64 paddr, LineState state, Eviction *evicted = nullptr);
+    Line *insert(GuestPhys paddr, LineState state,
+                 Eviction *evicted = nullptr);
 
     /** Invalidate the line containing paddr if present. */
-    void invalidate(U64 paddr);
+    void invalidate(GuestPhys paddr);
 
     /** Invalidate every line (used by -perfctr style cache flushes). */
     void invalidateAll();
 
     /** L1D bank index of an access (64-bit interleaving). */
-    int bankOf(U64 paddr) const { return (int)((paddr >> 3) % banks_); }
+    int
+    bankOf(GuestPhys paddr) const
+    {
+        return (int)((paddr.raw() >> 3) % banks_);
+    }
 
-    U64 lineAddr(U64 paddr) const { return paddr & ~(U64)(line_bytes - 1); }
+    GuestPhys
+    lineAddr(GuestPhys paddr) const
+    {
+        return paddr.alignedDown((U64)line_bytes);
+    }
     int lineBytes() const { return line_bytes; }
     int banks() const { return banks_; }
     CycleDelta latency() const { return latency_; }
@@ -102,17 +111,21 @@ class CacheArray
             for (int w = 0; w < ways; w++) {
                 const Line &line = lines[(size_t)s * ways + w];
                 if (line.valid())
-                    fn((line.tag * sets + s) * (U64)line_bytes, line);
+                    fn(GuestPhys((line.tag * sets + s) * (U64)line_bytes),
+                       line);
             }
         }
     }
 
   private:
-    unsigned setOf(U64 paddr) const
+    unsigned setOf(GuestPhys paddr) const
     {
-        return (unsigned)((paddr / line_bytes) & (U64)(sets - 1));
+        return (unsigned)((paddr.raw() / line_bytes) & (U64)(sets - 1));
     }
-    U64 tagOf(U64 paddr) const { return (paddr / line_bytes) / sets; }
+    U64 tagOf(GuestPhys paddr) const
+    {
+        return (paddr.raw() / line_bytes) / sets;
+    }
 
     int sets;
     int ways;

@@ -25,18 +25,18 @@ CoherenceController::registerCore(MemoryHierarchy *hierarchy)
 }
 
 CoherenceController::DirEntry &
-CoherenceController::entry(U64 line_addr)
+CoherenceController::entry(GuestPhys line_addr)
 {
-    DirEntry &e = directory[line_addr];
+    DirEntry &e = directory[line_addr.raw()];
     if (e.per_core.size() < cores.size())
         e.per_core.resize(cores.size(), LineState::Invalid);
     return e;
 }
 
 LineState
-CoherenceController::directoryState(int core, U64 line_addr) const
+CoherenceController::directoryState(int core, GuestPhys line_addr) const
 {
-    auto it = directory.find(line_addr);
+    auto it = directory.find(line_addr.raw());
     if (it == directory.end()
         || (size_t)core >= it->second.per_core.size())
         return LineState::Invalid;
@@ -44,7 +44,7 @@ CoherenceController::directoryState(int core, U64 line_addr) const
 }
 
 CoherenceResult
-CoherenceController::onReadMiss(int core, U64 line_addr)
+CoherenceController::onReadMiss(int core, GuestPhys line_addr)
 {
     CoherenceResult out;
     DirEntry &e = entry(line_addr);
@@ -86,7 +86,7 @@ CoherenceController::onReadMiss(int core, U64 line_addr)
 }
 
 CoherenceResult
-CoherenceController::onWriteMiss(int core, U64 line_addr)
+CoherenceController::onWriteMiss(int core, GuestPhys line_addr)
 {
     CoherenceResult out;
     DirEntry &e = entry(line_addr);
@@ -111,7 +111,7 @@ CoherenceController::onWriteMiss(int core, U64 line_addr)
 }
 
 CoherenceResult
-CoherenceController::onUpgrade(int core, U64 line_addr)
+CoherenceController::onUpgrade(int core, GuestPhys line_addr)
 {
     CoherenceResult out;
     DirEntry &e = entry(line_addr);
@@ -135,7 +135,8 @@ CoherenceController::onUpgrade(int core, U64 line_addr)
 }
 
 void
-CoherenceController::onEvict(int core, U64 line_addr, LineState state)
+CoherenceController::onEvict(int core, GuestPhys line_addr,
+                             LineState state)
 {
     DirEntry &e = entry(line_addr);
     e.per_core[core] = LineState::Invalid;
@@ -145,9 +146,10 @@ CoherenceController::onEvict(int core, U64 line_addr, LineState state)
 }
 
 int
-CoherenceController::auditLine(U64 line_addr, std::string *why) const
+CoherenceController::auditLine(GuestPhys line_addr,
+                               std::string *why) const
 {
-    auto it = directory.find(line_addr);
+    auto it = directory.find(line_addr.raw());
     if (it == directory.end())
         return 0;
     int modified = 0, exclusive = 0, owned = 0, shared = 0;
@@ -168,17 +170,17 @@ CoherenceController::auditLine(U64 line_addr, std::string *why) const
     };
     if (modified > 1)
         flag(strprintf("%d Modified holders of line %llx", modified,
-                       (unsigned long long)line_addr));
+                       (unsigned long long)line_addr.raw()));
     if (exclusive > 1)
         flag(strprintf("%d Exclusive holders of line %llx", exclusive,
-                       (unsigned long long)line_addr));
+                       (unsigned long long)line_addr.raw()));
     if (owned > 1)
         flag(strprintf("%d Owned holders of line %llx", owned,
-                       (unsigned long long)line_addr));
+                       (unsigned long long)line_addr.raw()));
     if ((modified || exclusive)
         && (shared || owned || modified + exclusive > 1))
         flag(strprintf("M/E coexists with other holders of line %llx",
-                       (unsigned long long)line_addr));
+                       (unsigned long long)line_addr.raw()));
     return bad;
 }
 
@@ -202,12 +204,12 @@ CoherenceController::auditAll(std::string *why) const
 {
     int bad = 0;
     for (U64 line : sortedLines())
-        bad += auditLine(line, why);
+        bad += auditLine(GuestPhys(line), why);
     return bad;
 }
 
 void
-CoherenceController::corruptStateForTest(int core, U64 line_addr,
+CoherenceController::corruptStateForTest(int core, GuestPhys line_addr,
                                          LineState s)
 {
     DirEntry &e = entry(line_addr);
@@ -217,7 +219,7 @@ CoherenceController::corruptStateForTest(int core, U64 line_addr,
 }
 
 void
-CoherenceController::checkInvariants(U64 line_addr) const
+CoherenceController::checkInvariants(GuestPhys line_addr) const
 {
     std::string why;
     if (auditLine(line_addr, &why) > 0)
@@ -228,7 +230,7 @@ void
 CoherenceController::checkAllInvariants() const
 {
     for (U64 line : sortedLines())
-        checkInvariants(line);
+        checkInvariants(GuestPhys(line));
 }
 
 }  // namespace ptl

@@ -48,26 +48,26 @@ class CoherenceController
     int coreCount() const { return (int)cores.size(); }
 
     /** Core `core` suffered a read miss on `line_addr`. */
-    CoherenceResult onReadMiss(int core, U64 line_addr);
+    CoherenceResult onReadMiss(int core, GuestPhys line_addr);
 
     /** Core `core` suffered a write miss on `line_addr`. */
-    CoherenceResult onWriteMiss(int core, U64 line_addr);
+    CoherenceResult onWriteMiss(int core, GuestPhys line_addr);
 
     /** Core `core` writes a line it holds in Shared state. */
-    CoherenceResult onUpgrade(int core, U64 line_addr);
+    CoherenceResult onUpgrade(int core, GuestPhys line_addr);
 
     /** Core `core` evicted `line_addr` from its outermost level. */
-    void onEvict(int core, U64 line_addr, LineState state);
+    void onEvict(int core, GuestPhys line_addr, LineState state);
 
     /** The state the directory believes `core` holds `line_addr` in. */
-    LineState directoryState(int core, U64 line_addr) const;
+    LineState directoryState(int core, GuestPhys line_addr) const;
 
     /**
      * Verify the MOESI invariants for one line: at most one M or E
      * holder, M/E exclude all sharers, at most one O holder. panic()s
      * on violation (tests call this after randomized traffic).
      */
-    void checkInvariants(U64 line_addr) const;
+    void checkInvariants(GuestPhys line_addr) const;
 
     /** Run checkInvariants over every line the directory knows. */
     void checkAllInvariants() const;
@@ -78,14 +78,15 @@ class CoherenceController
      * appends a description of the first problem. Used by the
      * invariant checker (src/verify), which decides panic vs. count.
      */
-    int auditLine(U64 line_addr, std::string *why = nullptr) const;
+    int auditLine(GuestPhys line_addr,
+                  std::string *why = nullptr) const;
 
     /** Audit every directory line; returns total violations. */
     int auditAll(std::string *why = nullptr) const;
 
     /** Test-only: force the directory's view of one (core, line) pair
      *  so tests can prove illegal states are detected. */
-    void corruptStateForTest(int core, U64 line_addr, LineState s);
+    void corruptStateForTest(int core, GuestPhys line_addr, LineState s);
 
     CoherenceKind kind() const { return kind_; }
 
@@ -95,7 +96,7 @@ class CoherenceController
         std::vector<LineState> per_core;
     };
 
-    DirEntry &entry(U64 line_addr);
+    DirEntry &entry(GuestPhys line_addr);
     /** Directory keys in sorted order (deterministic audit walks). */
     std::vector<U64> sortedLines() const;
     int transferLatency() const

@@ -55,13 +55,13 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig &config,
 }
 
 CycleDelta
-MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch,
+MemoryHierarchy::missPath(GuestPhys paddr, bool is_write, bool is_fetch,
                           SimCycle now)
 {
     // Ask the coherence fabric first: a peer cache may supply the line.
     CoherenceResult coh;
     if (coherence) {
-        U64 line = l1d.lineAddr(paddr);
+        GuestPhys line = l1d.lineAddr(paddr);
         coh = is_write ? coherence->onWriteMiss(core_id, line)
                        : coherence->onReadMiss(core_id, line);
     }
@@ -140,7 +140,7 @@ MemoryHierarchy::missPath(U64 paddr, bool is_write, bool is_fetch,
 }
 
 MemResult
-MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
+MemoryHierarchy::dataAccess(GuestPhys paddr, bool is_write, SimCycle now,
                             bool no_banking)
 {
     MemResult out;
@@ -167,7 +167,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
         out.l1_hit = true;
         out.latency = l1d.latency();
         // A hit on a line whose fill is still in flight waits for it.
-        U64 line_addr = l1d.lineAddr(paddr);
+        GuestPhys line_addr = l1d.lineAddr(paddr);
         for (const Mshr &m : mshrs) {
             if (m.line == line_addr && m.ready > now)
                 out.latency = std::max(out.latency, m.ready - now);
@@ -186,7 +186,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
     }
 
     st_d_misses++;
-    U64 line_addr = l1d.lineAddr(paddr);
+    GuestPhys line_addr = l1d.lineAddr(paddr);
 
     // MSHR check: merge with an outstanding miss to the same line, or
     // fail the access if all miss buffers are busy.
@@ -221,7 +221,7 @@ MemoryHierarchy::dataAccess(U64 paddr, bool is_write, SimCycle now,
 }
 
 void
-MemoryHierarchy::issuePrefetch(U64 next_line, SimCycle now)
+MemoryHierarchy::issuePrefetch(GuestPhys next_line, SimCycle now)
 {
     // K8's hardware prefetcher streams into the L2: demand accesses
     // still record an L1 miss but fill from the fast L2 instead of
@@ -245,7 +245,7 @@ MemoryHierarchy::issuePrefetch(U64 next_line, SimCycle now)
 }
 
 MemResult
-MemoryHierarchy::fetchAccess(U64 paddr, SimCycle now)
+MemoryHierarchy::fetchAccess(GuestPhys paddr, SimCycle now)
 {
     MemResult out;
     st_i_accesses++;
@@ -261,7 +261,7 @@ MemoryHierarchy::fetchAccess(U64 paddr, SimCycle now)
     // issued right behind the demand miss, so a banked model sees
     // consecutive lines of straight-line code pipeline in the open
     // row instead of each paying a full random-access latency.
-    U64 next = l1i.lineAddr(paddr) + (U64)l1i.lineBytes();
+    GuestPhys next = l1i.lineAddr(paddr) + (U64)l1i.lineBytes();
     if (!l1i.lookup(next, false)) {
         bool from_memory = !(l2.enabled() && l2.lookup(next, false));
         if (from_memory)
@@ -282,17 +282,18 @@ MemoryHierarchy::fetchAccess(U64 paddr, SimCycle now)
 }
 
 CycleDelta
-MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
+MemoryHierarchy::walkTiming(Pfn /*cr3*/, GuestVirt va,
+                            const PageWalk &walk,
                             bool is_write, SimCycle now)
 {
     // The walk engine injects one dependent load per level; the PDE
     // cache (when configured) jumps straight to the leaf table.
     int first_level = 0;
     if (pde_enabled) {
-        if (pde_cache.lookup(va) != 0) {
+        if (pde_cache.lookup(va) != GuestPhys(0)) {
             first_level = 3;
         } else if (walk.levels == 4) {
-            U64 leaf_table = walk.pte_addr[3] & ~PAGE_MASK;
+            GuestPhys leaf_table = walk.pte_addr[3].pageBase();
             pde_cache.insert(va, leaf_table);
         }
     }
@@ -314,12 +315,12 @@ MemoryHierarchy::walkTiming(U64 /*cr3*/, U64 va, const PageWalk &walk,
 }
 
 TranslateResult
-MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
+MemoryHierarchy::translateCommon(Pfn cr3, GuestVirt va, MemAccess kind,
                                  bool user_mode, SimCycle now, Tlb &tlb,
                                  Counter &hits, Counter &misses)
 {
     TranslateResult out;
-    U64 vpn = vpnOf(va);
+    Vpn vpn = va.vpn();
     bool is_write = (kind == MemAccess::Write);
 
     if (const TlbEntry *e = tlb.lookup(vpn)) {
@@ -343,7 +344,7 @@ MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
                 out.fault = GuestFault::PageFaultFetch;
                 return out;
             }
-            out.paddr = (e->mfn << PAGE_SHIFT) | pageOffset(va);
+            out.paddr = e->mfn.pageBase().withOffset(va.pageOffset());
             return out;
         }
         // First store to a clean page: hardware re-walks to set D.
@@ -372,7 +373,7 @@ MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
                     return out;
                 }
                 tlb.insert(*e2);
-                out.paddr = (e2->mfn << PAGE_SHIFT) | pageOffset(va);
+                out.paddr = e2->mfn.pageBase().withOffset(va.pageOffset());
                 return out;
             }
             tlb2.flushVpn(vpn);
@@ -405,7 +406,7 @@ MemoryHierarchy::translateCommon(U64 cr3, U64 va, MemAccess kind,
 }
 
 TranslateResult
-MemoryHierarchy::translateData(U64 cr3, U64 va, bool is_write,
+MemoryHierarchy::translateData(Pfn cr3, GuestVirt va, bool is_write,
                                bool user_mode, SimCycle now)
 {
     st_dtlb_accesses++;
@@ -416,7 +417,7 @@ MemoryHierarchy::translateData(U64 cr3, U64 va, bool is_write,
 }
 
 TranslateResult
-MemoryHierarchy::translateFetch(U64 cr3, U64 va, bool user_mode,
+MemoryHierarchy::translateFetch(Pfn cr3, GuestVirt va, bool user_mode,
                                 SimCycle now)
 {
     st_itlb_accesses++;
@@ -436,7 +437,7 @@ MemoryHierarchy::flushTlbs()
 }
 
 void
-MemoryHierarchy::flushTlbVpn(U64 vpn)
+MemoryHierarchy::flushTlbVpn(Vpn vpn)
 {
     dtlb.flushVpn(vpn);
     itlb.flushVpn(vpn);
@@ -455,7 +456,7 @@ MemoryHierarchy::flushCaches()
 }
 
 void
-MemoryHierarchy::invalidateLine(U64 line_addr)
+MemoryHierarchy::invalidateLine(GuestPhys line_addr)
 {
     l1d.invalidate(line_addr);
     l1i.invalidate(line_addr);
@@ -468,7 +469,7 @@ MemoryHierarchy::invalidateLine(U64 line_addr)
 }
 
 void
-MemoryHierarchy::downgradeLine(U64 line_addr)
+MemoryHierarchy::downgradeLine(GuestPhys line_addr)
 {
     for (CacheArray *arr : {&l1d, &l2, &l3}) {
         if (!arr->enabled())

@@ -51,7 +51,7 @@ struct TranslateResult
     bool tlb_hit = false;
     bool tlb2_hit = false;
     GuestFault fault = GuestFault::None;
-    U64 paddr = 0;            ///< machine-physical address (if no fault)
+    GuestPhys paddr;          ///< machine-physical address (if no fault)
 };
 
 class MemoryHierarchy
@@ -69,28 +69,28 @@ class MemoryHierarchy
      * Data-side cache access at machine-physical `paddr`.
      * @param no_banking suppress bank-conflict modeling (walk engine)
      */
-    MemResult dataAccess(U64 paddr, bool is_write, SimCycle now,
+    MemResult dataAccess(GuestPhys paddr, bool is_write, SimCycle now,
                          bool no_banking = false);
 
     /** Instruction-side access (L1I -> L2 -> L3 -> memory). */
-    MemResult fetchAccess(U64 paddr, SimCycle now);
+    MemResult fetchAccess(GuestPhys paddr, SimCycle now);
 
     /**
      * Data translation: DTLB lookup, then (on miss) L2 TLB, then the
      * hardware walk engine. Performs the microcode A/D-bit updates.
      */
-    TranslateResult translateData(U64 cr3, U64 va, bool is_write,
+    TranslateResult translateData(Pfn cr3, GuestVirt va, bool is_write,
                                   bool user_mode, SimCycle now);
 
     /** Instruction translation via the ITLB. */
-    TranslateResult translateFetch(U64 cr3, U64 va, bool user_mode,
+    TranslateResult translateFetch(Pfn cr3, GuestVirt va, bool user_mode,
                                    SimCycle now);
 
     /** CR3 reload: drop all TLB state (x86 has no ASIDs here). */
     void flushTlbs();
 
     /** Flush one page's translations (invlpg; SMC handling). */
-    void flushTlbVpn(U64 vpn);
+    void flushTlbVpn(Vpn vpn);
 
     /** Flush all cache tags (the paper's -perfctr pre-run flush). */
     void flushCaches();
@@ -125,10 +125,10 @@ class MemoryHierarchy
     void drainBackend(SimCycle now) { backend->drainTo(now); }
 
     /** Coherence downgrade from a peer core. */
-    void invalidateLine(U64 line_addr);
+    void invalidateLine(GuestPhys line_addr);
 
     /** Make a peer's write visible: downgrade M/E/O to Shared. */
-    void downgradeLine(U64 line_addr);
+    void downgradeLine(GuestPhys line_addr);
 
     int coreId() const { return core_id; }
     const SimConfig &config() const { return cfg; }
@@ -136,14 +136,14 @@ class MemoryHierarchy
 
   private:
     /** Shared L1-miss path: L2 -> L3 -> backend/coherence. */
-    CycleDelta missPath(U64 paddr, bool is_write, bool is_fetch,
+    CycleDelta missPath(GuestPhys paddr, bool is_write, bool is_fetch,
                         SimCycle now);
     /** Bring `next_line` into L1D/L2 ahead of demand (stream prefetch). */
-    void issuePrefetch(U64 next_line, SimCycle now);
-    TranslateResult translateCommon(U64 cr3, U64 va, MemAccess kind,
+    void issuePrefetch(GuestPhys next_line, SimCycle now);
+    TranslateResult translateCommon(Pfn cr3, GuestVirt va, MemAccess kind,
                                     bool user_mode, SimCycle now, Tlb &tlb,
                                     Counter &hits, Counter &misses);
-    CycleDelta walkTiming(U64 cr3, U64 va, const PageWalk &walk,
+    CycleDelta walkTiming(Pfn cr3, GuestVirt va, const PageWalk &walk,
                           bool is_write, SimCycle now);
 
     SimConfig cfg;
@@ -163,7 +163,7 @@ class MemoryHierarchy
     PdeCache pde_cache;
     bool pde_enabled;
 
-    struct Mshr { U64 line = 0; SimCycle ready; };
+    struct Mshr { GuestPhys line; SimCycle ready; };
     std::vector<Mshr> mshrs;
 
     // L1D banking: per-cycle bank occupancy bitmap.

@@ -34,7 +34,7 @@ class FixedLatencyBackend final : public MemBackend
     }
 
     SimCycle
-    request(U64 /*line_addr*/, bool is_write, SimCycle now) override
+    request(GuestPhys /*line_addr*/, bool is_write, SimCycle now) override
     {
         (is_write ? st_writes : st_reads)++;
         return now + lat;
@@ -91,7 +91,7 @@ class BankedDramBackend final : public MemBackend
     }
 
     SimCycle
-    request(U64 line_addr, bool is_write, SimCycle now) override
+    request(GuestPhys line_addr, bool is_write, SimCycle now) override
     {
         (is_write ? st_writes : st_reads)++;
         Bank &b = banks[bankOf(line_addr)];
@@ -146,15 +146,15 @@ class BankedDramBackend final : public MemBackend
     };
 
     size_t
-    bankOf(U64 line_addr) const
+    bankOf(GuestPhys line_addr) const
     {
-        return (size_t)((line_addr / (U64)p.row_bytes)
+        return (size_t)((line_addr.raw() / (U64)p.row_bytes)
                         % (U64)p.dram_banks);
     }
     U64
-    rowOf(U64 line_addr) const
+    rowOf(GuestPhys line_addr) const
     {
-        return line_addr / ((U64)p.row_bytes * (U64)p.dram_banks);
+        return line_addr.raw() / ((U64)p.row_bytes * (U64)p.dram_banks);
     }
 
     MemBackendParams p;        // simlint: transient (config-derived)
@@ -231,10 +231,10 @@ class HybridBackend final : public MemBackend
     }
 
     SimCycle
-    request(U64 line_addr, bool is_write, SimCycle now) override
+    request(GuestPhys line_addr, bool is_write, SimCycle now) override
     {
         drainTo(now);
-        U64 line = line_addr & ~(U64)(line_bytes - 1);
+        GuestPhys line = line_addr.alignedDown((U64)line_bytes);
         int set = setOf(line);
         U64 tag = tagOf(line);
         EdramLine *base = &edram[(size_t)set * ways];
@@ -349,7 +349,7 @@ class HybridBackend final : public MemBackend
     };
     struct DeferredWrite
     {
-        U64 line = 0;
+        GuestPhys line;
         SimCycle enq;
     };
     struct PcmBank
@@ -367,25 +367,26 @@ class HybridBackend final : public MemBackend
         return geom.sets();
     }
 
-    int setOf(U64 line) const
+    int setOf(GuestPhys line) const
     {
-        return (int)((line / (U64)line_bytes) & (U64)(sets - 1));
+        return (int)((line.raw() / (U64)line_bytes) & (U64)(sets - 1));
     }
-    U64 tagOf(U64 line) const
+    U64 tagOf(GuestPhys line) const
     {
-        return (line / (U64)line_bytes) / (U64)sets;
+        return (line.raw() / (U64)line_bytes) / (U64)sets;
     }
-    U64 lineAddrOf(int set, U64 tag) const
+    GuestPhys lineAddrOf(int set, U64 tag) const
     {
-        return (tag * (U64)sets + (U64)set) * (U64)line_bytes;
+        return GuestPhys((tag * (U64)sets + (U64)set) * (U64)line_bytes);
     }
-    size_t bankOf(U64 line) const
+    size_t bankOf(GuestPhys line) const
     {
-        return (size_t)((line / (U64)p.row_bytes) % (U64)p.dram_banks);
+        return (size_t)((line.raw() / (U64)p.row_bytes)
+                        % (U64)p.dram_banks);
     }
 
     void
-    enqueueDeferred(U64 line, SimCycle now)
+    enqueueDeferred(GuestPhys line, SimCycle now)
     {
         if ((int)deferred.size() >= p.deferred_writes) {
             // Queue full: the oldest write drains synchronously,
@@ -435,7 +436,7 @@ HybridBackend::serialize(std::vector<U64> &out) const
         out.push_back(b.busy_until.raw());
     out.push_back((U64)deferred.size());
     for (const DeferredWrite &w : deferred) {
-        out.push_back(w.line);
+        out.push_back(w.line.raw());
         out.push_back(w.enq.raw());
     }
 }
@@ -476,7 +477,7 @@ HybridBackend::restore(const std::vector<U64> &words)
         U64 line = 0, enq = 0;
         if (!next(line) || !next(enq))
             return false;
-        deferred.push_back(DeferredWrite{line, SimCycle(enq)});
+        deferred.push_back(DeferredWrite{GuestPhys(line), SimCycle(enq)});
     }
     return i == words.size();
 }

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "lib/config.h"
+#include "lib/guestaddr.h"
 #include "lib/simtime.h"
 #include "stats/stats.h"
 
@@ -74,7 +75,7 @@ class MemBackend
      * Issue a line-granular access at `now`; returns the absolute
      * cycle at which the data is available (>= now).
      */
-    virtual SimCycle request(U64 line_addr, bool is_write,
+    virtual SimCycle request(GuestPhys line_addr, bool is_write,
                              SimCycle now) = 0;
 
     /**

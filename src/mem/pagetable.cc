@@ -35,63 +35,64 @@ checkWalkAccess(const PageWalk &walk, MemAccess kind, bool user_mode)
                            walk.noexec, kind, user_mode);
 }
 
-U64
+Pfn
 AddressSpace::allocTable()
 {
-    U64 mfn = mem->allocFrame();
+    Pfn mfn = mem->allocFrame();
     std::memset(mem->frameData(mfn), 0, PAGE_SIZE);
     return mfn;
 }
 
-U64
+Pfn
 AddressSpace::createRoot()
 {
     tcache.flushAll();
     return allocTable();
 }
 
-U64
-AddressSpace::cloneRoot(U64 src_cr3)
+Pfn
+AddressSpace::cloneRoot(Pfn src_cr3)
 {
-    U64 mfn = allocTable();
+    Pfn mfn = allocTable();
     std::memcpy(mem->frameData(mfn), mem->frameData(src_cr3), PAGE_SIZE);
     tcache.flushAll();
     return mfn;
 }
 
 void
-AddressSpace::map(U64 cr3, U64 va, U64 mfn, U64 flags)
+AddressSpace::map(Pfn cr3, GuestVirt va, Pfn mfn, U64 flags)
 {
-    ptl_assert(pageOffset(va) == 0);
-    U64 table = cr3;
+    ptl_assert(va.pageOffset() == 0);
+    Pfn table = cr3;
     for (int level = 0; level < 3; level++) {
-        U64 pte_addr = (table << PAGE_SHIFT)
-                       + pageTableIndex(va, level) * 8;
+        GuestPhys pte_addr =
+            table.pageBase().withOffset(pageTableIndex(va, level) * 8);
         U64 pte = mem->read(pte_addr, 8);
         if (!(pte & Pte::P)) {
-            U64 next = allocTable();
-            pte = (next << PAGE_SHIFT) | Pte::P | Pte::RW | Pte::US;
+            Pfn next = allocTable();
+            pte = next.pageBase().raw() | Pte::P | Pte::RW | Pte::US;
             mem->write(pte_addr, pte, 8);
         }
-        table = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
+        table = Pfn((pte & Pte::ADDR_MASK) >> PAGE_SHIFT);
     }
-    U64 leaf_addr = (table << PAGE_SHIFT) + pageTableIndex(va, 3) * 8;
-    U64 leaf = (mfn << PAGE_SHIFT) | Pte::P
+    GuestPhys leaf_addr =
+        table.pageBase().withOffset(pageTableIndex(va, 3) * 8);
+    U64 leaf = mfn.pageBase().raw() | Pte::P
                | (flags & (Pte::RW | Pte::US | Pte::NX));
     mem->write(leaf_addr, leaf, 8);
     tcache.flushAll();
 }
 
 void
-AddressSpace::mapRange(U64 cr3, U64 va, U64 bytes, U64 flags)
+AddressSpace::mapRange(Pfn cr3, GuestVirt va, U64 bytes, U64 flags)
 {
-    ptl_assert(pageOffset(va) == 0);
+    ptl_assert(va.pageOffset() == 0);
     for (U64 off = 0; off < alignUp(bytes, PAGE_SIZE); off += PAGE_SIZE)
         map(cr3, va + off, mem->allocFrame(), flags);
 }
 
 void
-AddressSpace::unmap(U64 cr3, U64 va)
+AddressSpace::unmap(Pfn cr3, GuestVirt va)
 {
     PageWalk w = walk(cr3, va);
     if (!w.present)
@@ -101,15 +102,15 @@ AddressSpace::unmap(U64 cr3, U64 va)
 }
 
 PageWalk
-AddressSpace::walk(U64 cr3, U64 va) const
+AddressSpace::walk(Pfn cr3, GuestVirt va) const
 {
     PageWalk out;
     // Effective permissions are the AND across levels on real x86;
     // our intermediate tables are always RW|US so the leaf governs.
-    U64 table = cr3;
+    Pfn table = cr3;
     for (int level = 0; level < 4; level++) {
-        U64 pte_addr = (table << PAGE_SHIFT)
-                       + pageTableIndex(va, level) * 8;
+        GuestPhys pte_addr =
+            table.pageBase().withOffset(pageTableIndex(va, level) * 8);
         out.pte_addr[level] = pte_addr;
         out.levels = level + 1;
         U64 pte = mem->read(pte_addr, 8);
@@ -121,9 +122,9 @@ AddressSpace::walk(U64 cr3, U64 va) const
             out.user = pte & Pte::US;
             out.noexec = pte & Pte::NX;
             out.dirty = pte & Pte::D;
-            out.mfn = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
+            out.mfn = Pfn((pte & Pte::ADDR_MASK) >> PAGE_SHIFT);
         }
-        table = (pte & Pte::ADDR_MASK) >> PAGE_SHIFT;
+        table = Pfn((pte & Pte::ADDR_MASK) >> PAGE_SHIFT);
     }
     return out;
 }
@@ -132,9 +133,9 @@ void
 AddressSpace::registerWalkFrames(const PageWalk &walk)
 {
     for (int level = 0; level < walk.levels; level++) {
-        U64 mfn = pageOf(walk.pte_addr[level]);
-        if (mfn < pt_frame.size())
-            pt_frame[mfn] = true;
+        Pfn mfn = walk.pte_addr[level].pfn();
+        if (mfn.raw() < pt_frame.size())
+            pt_frame[mfn.raw()] = true;
     }
 }
 

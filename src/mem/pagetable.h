@@ -47,12 +47,17 @@ struct PageWalk
     bool user = false;
     bool noexec = false;
     bool dirty = false;      ///< leaf D bit already set
-    U64 mfn = 0;             ///< leaf machine frame
-    U64 pte_addr[4] = {};    ///< machine-physical address of each level's PTE
+    Pfn mfn;                 ///< leaf machine frame
+    GuestPhys pte_addr[4];   ///< machine-physical address of each level's PTE
     int levels = 0;          ///< number of levels actually touched
 
-    /** Machine-physical address for `va` under this translation. */
-    U64 paddr(U64 va) const { return (mfn << PAGE_SHIFT) | pageOffset(va); }
+    /** Machine-physical address for `va` under this translation: the
+     *  one legal virt->phys bridge (walked leaf frame + page offset). */
+    GuestPhys
+    paddr(GuestVirt va) const
+    {
+        return mfn.pageBase().withOffset(va.pageOffset());
+    }
 };
 
 /** Permission/fault check for a completed walk. */
@@ -69,8 +74,8 @@ GuestFault checkPageAccess(bool present, bool writable, bool user,
 
 /**
  * Builder + functional walker over page tables living in PhysMem.
- * The "cr3" values handled here are root table MFNs, matching how the
- * real CR3 register holds the PML4 base address.
+ * The Pfn-typed "cr3" values handled here are root table MFNs,
+ * matching how the real CR3 register holds the PML4 base address.
  */
 class AddressSpace
 {
@@ -81,30 +86,30 @@ class AddressSpace
     }
 
     /** Allocate an empty PML4 root; returns its MFN (a CR3 value). */
-    U64 createRoot();
+    Pfn createRoot();
 
     /**
      * Allocate a new root whose PML4 entries alias `src_cr3`'s. Used to
      * give each guest task its own CR3 (so task switches reload CR3 and
      * flush TLBs, as on real hardware) while sharing one address space.
      */
-    U64 cloneRoot(U64 src_cr3);
+    Pfn cloneRoot(Pfn src_cr3);
 
     /**
      * Map one 4 KB page. `flags` is a combination of Pte::RW / Pte::US /
      * Pte::NX; P is implied. Intermediate tables are allocated on demand
      * (always with RW|US so leaf flags govern permissions).
      */
-    void map(U64 cr3, U64 va, U64 mfn, U64 flags);
+    void map(Pfn cr3, GuestVirt va, Pfn mfn, U64 flags);
 
     /** Map a contiguous virtual range, allocating fresh frames. */
-    void mapRange(U64 cr3, U64 va, U64 bytes, U64 flags);
+    void mapRange(Pfn cr3, GuestVirt va, U64 bytes, U64 flags);
 
     /** Remove a mapping (marks the leaf not-present). */
-    void unmap(U64 cr3, U64 va);
+    void unmap(Pfn cr3, GuestVirt va);
 
     /** Pure functional walk; does not modify A/D bits. */
-    PageWalk walk(U64 cr3, U64 va) const;
+    PageWalk walk(Pfn cr3, GuestVirt va) const;
 
     /**
      * Set the Accessed bit along the walk path and (for writes) the
@@ -134,15 +139,15 @@ class AddressSpace
      * notifyCodeWrite snoops self-modifying code.
      */
     bool
-    isPageTableFrame(U64 mfn) const
+    isPageTableFrame(Pfn mfn) const
     {
-        return mfn < pt_frame.size() && pt_frame[mfn];
+        return mfn.raw() < pt_frame.size() && pt_frame[mfn.raw()];
     }
 
     /** A guest store just landed on `mfn`: invalidate cached
      *  translations if it backs live page-table state. */
     void
-    notifyGuestStore(U64 mfn)
+    notifyGuestStore(Pfn mfn)
     {
         if (isPageTableFrame(mfn))
             tcache.flushAll();
@@ -153,21 +158,18 @@ class AddressSpace
     void registerWalkFrames(const PageWalk &walk);
 
   private:
-    U64 allocTable();
+    Pfn allocTable();
 
     PhysMem *mem;
     TranslationCache tcache;
     std::vector<bool> pt_frame;  ///< per-MFN "backs page tables" bit
 };
 
-/** Virtual page number helpers. */
-inline U64 vpnOf(U64 va) { return va >> PAGE_SHIFT; }
-
 /** Per-level index of a canonical 48-bit virtual address (0 = PML4). */
 inline unsigned
-pageTableIndex(U64 va, int level)
+pageTableIndex(GuestVirt va, int level)
 {
-    return (unsigned)bits(va, 39 - 9 * level, 9);
+    return (unsigned)bits(va.raw(), 39 - 9 * level, 9);
 }
 
 }  // namespace ptl

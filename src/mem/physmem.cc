@@ -33,39 +33,40 @@ PhysMem::restoreRawBytes(const std::vector<U8> &bytes)
     data = bytes;
 }
 
-U64
+Pfn
 PhysMem::allocFrame()
 {
     if (next_free >= free_list.size())
         fatal("guest physical memory exhausted (%llu frames)",
               (unsigned long long)frame_count);
-    return free_list[next_free++];
+    return Pfn(free_list[next_free++]);
 }
 
 void
-PhysMem::checkFrame(U64 mfn) const
+PhysMem::checkFrame(Pfn mfn) const
 {
-    if (mfn >= frame_count)
+    if (mfn.raw() >= frame_count)
         panic("machine frame %llu out of range (%llu frames)",
-              (unsigned long long)mfn, (unsigned long long)frame_count);
+              (unsigned long long)mfn.raw(),
+              (unsigned long long)frame_count);
 }
 
 U8 *
-PhysMem::frameData(U64 mfn)
+PhysMem::frameData(Pfn mfn)
 {
     checkFrame(mfn);
-    return data.data() + mfn * PAGE_SIZE;
+    return data.data() + mfn.raw() * PAGE_SIZE;
 }
 
 const U8 *
-PhysMem::frameData(U64 mfn) const
+PhysMem::frameData(Pfn mfn) const
 {
     checkFrame(mfn);
-    return data.data() + mfn * PAGE_SIZE;
+    return data.data() + mfn.raw() * PAGE_SIZE;
 }
 
 U64
-PhysMem::read(U64 paddr, unsigned bytes) const
+PhysMem::read(GuestPhys paddr, unsigned bytes) const
 {
     ptl_assert(bytes >= 1 && bytes <= 8);
     U64 v = 0;
@@ -74,19 +75,19 @@ PhysMem::read(U64 paddr, unsigned bytes) const
 }
 
 void
-PhysMem::write(U64 paddr, U64 value, unsigned bytes)
+PhysMem::write(GuestPhys paddr, U64 value, unsigned bytes)
 {
     ptl_assert(bytes >= 1 && bytes <= 8);
     writeBytes(paddr, &value, bytes);
 }
 
 void
-PhysMem::readBytes(U64 paddr, void *out, size_t n) const
+PhysMem::readBytes(GuestPhys paddr, void *out, size_t n) const
 {
     U8 *dst = (U8 *)out;
     while (n > 0) {
-        U64 mfn = pageOf(paddr);
-        U64 off = pageOffset(paddr);
+        Pfn mfn = paddr.pfn();
+        U64 off = paddr.pageOffset();
         size_t chunk = std::min<size_t>(n, PAGE_SIZE - off);
         std::memcpy(dst, frameData(mfn) + off, chunk);
         dst += chunk;
@@ -96,12 +97,12 @@ PhysMem::readBytes(U64 paddr, void *out, size_t n) const
 }
 
 void
-PhysMem::writeBytes(U64 paddr, const void *in, size_t n)
+PhysMem::writeBytes(GuestPhys paddr, const void *in, size_t n)
 {
     const U8 *src = (const U8 *)in;
     while (n > 0) {
-        U64 mfn = pageOf(paddr);
-        U64 off = pageOffset(paddr);
+        Pfn mfn = paddr.pfn();
+        U64 off = paddr.pageOffset();
         size_t chunk = std::min<size_t>(n, PAGE_SIZE - off);
         std::memcpy(frameData(mfn) + off, src, chunk);
         src += chunk;

@@ -22,15 +22,9 @@
 #include <vector>
 
 #include "lib/bitops.h"
+#include "lib/guestaddr.h"
 
 namespace ptl {
-
-constexpr unsigned PAGE_SHIFT = 12;
-constexpr U64 PAGE_SIZE = 1ULL << PAGE_SHIFT;
-constexpr U64 PAGE_MASK = PAGE_SIZE - 1;
-
-inline U64 pageOf(U64 addr) { return addr >> PAGE_SHIFT; }
-inline U64 pageOffset(U64 addr) { return addr & PAGE_MASK; }
 
 /** The machine's physical memory, organized as 4 KB frames. */
 class PhysMem
@@ -47,28 +41,28 @@ class PhysMem
     U64 freeFrames() const { return free_list.size() - next_free; }
 
     /** Allocate one machine frame; fatal() when exhausted. */
-    U64 allocFrame();
+    Pfn allocFrame();
 
     /** Raw pointer to a frame's 4 KB of data. */
-    U8 *frameData(U64 mfn);
-    const U8 *frameData(U64 mfn) const;
+    U8 *frameData(Pfn mfn);
+    const U8 *frameData(Pfn mfn) const;
 
     /**
      * Byte-addressed machine-physical accessors. Accesses may cross
      * frame boundaries (the simulator's unaligned-access support relies
      * on this). `bytes` must be 1..8 for the value forms.
      */
-    U64 read(U64 paddr, unsigned bytes) const;
-    void write(U64 paddr, U64 value, unsigned bytes);
-    void readBytes(U64 paddr, void *out, size_t n) const;
-    void writeBytes(U64 paddr, const void *in, size_t n);
+    U64 read(GuestPhys paddr, unsigned bytes) const;
+    void write(GuestPhys paddr, U64 value, unsigned bytes);
+    void readBytes(GuestPhys paddr, void *out, size_t n) const;
+    void writeBytes(GuestPhys paddr, const void *in, size_t n);
 
     /** Whole-memory access for checkpoint capture/restore. */
     const std::vector<U8> &rawBytes() const { return data; }
     void restoreRawBytes(const std::vector<U8> &bytes);
 
   private:
-    void checkFrame(U64 mfn) const;
+    void checkFrame(Pfn mfn) const;
 
     U64 frame_count;
     std::vector<U8> data;        ///< frame_count * PAGE_SIZE bytes

@@ -14,9 +14,9 @@ Tlb::Tlb(int entry_count, int way_count)
 }
 
 const TlbEntry *
-Tlb::lookup(U64 vpn)
+Tlb::lookup(Vpn vpn)
 {
-    unsigned set = (unsigned)(vpn & (U64)(sets - 1));
+    unsigned set = (unsigned)(vpn.raw() & (U64)(sets - 1));
     TlbEntry *base = &entries[(size_t)set * ways];
     for (int w = 0; w < ways; w++) {
         if (base[w].valid && base[w].vpn == vpn) {
@@ -30,7 +30,7 @@ Tlb::lookup(U64 vpn)
 void
 Tlb::insert(const TlbEntry &entry)
 {
-    unsigned set = (unsigned)(entry.vpn & (U64)(sets - 1));
+    unsigned set = (unsigned)(entry.vpn.raw() & (U64)(sets - 1));
     TlbEntry *base = &entries[(size_t)set * ways];
     int victim = 0;
     for (int w = 0; w < ways; w++) {
@@ -54,9 +54,9 @@ Tlb::flushAll()
 }
 
 void
-Tlb::flushVpn(U64 vpn)
+Tlb::flushVpn(Vpn vpn)
 {
-    unsigned set = (unsigned)(vpn & (U64)(sets - 1));
+    unsigned set = (unsigned)(vpn.raw() & (U64)(sets - 1));
     TlbEntry *base = &entries[(size_t)set * ways];
     for (int w = 0; w < ways; w++) {
         if (base[w].valid && base[w].vpn == vpn)
@@ -64,8 +64,8 @@ Tlb::flushVpn(U64 vpn)
     }
 }
 
-U64
-PdeCache::lookup(U64 va)
+GuestPhys
+PdeCache::lookup(GuestVirt va)
 {
     U64 key = keyOf(va);
     for (Node &n : nodes) {
@@ -74,11 +74,11 @@ PdeCache::lookup(U64 va)
             return n.table_paddr;
         }
     }
-    return 0;
+    return GuestPhys(0);
 }
 
 void
-PdeCache::insert(U64 va, U64 table_paddr)
+PdeCache::insert(GuestVirt va, GuestPhys table_paddr)
 {
     U64 key = keyOf(va);
     for (Node &n : nodes) {

@@ -23,8 +23,8 @@ namespace ptl {
 /** A cached translation. */
 struct TlbEntry
 {
-    U64 vpn = 0;
-    U64 mfn = 0;
+    Vpn vpn;
+    Pfn mfn;
     bool writable = false;
     bool user = false;
     bool noexec = false;
@@ -40,7 +40,7 @@ class Tlb
     Tlb(int entries, int ways);
 
     /** Look up a virtual page number; nullptr on miss. Updates LRU. */
-    const TlbEntry *lookup(U64 vpn);
+    const TlbEntry *lookup(Vpn vpn);
 
     /** Install a translation (evicts LRU within the set). */
     void insert(const TlbEntry &entry);
@@ -49,7 +49,7 @@ class Tlb
     void flushAll();
 
     /** Drop one page's translation (invlpg / SMC handling). */
-    void flushVpn(U64 vpn);
+    void flushVpn(Vpn vpn);
 
     int entryCount() const { return (int)entries.size(); }
 
@@ -71,13 +71,13 @@ class PdeCache
     explicit PdeCache(int entries = 24) : capacity(entries) {}
 
     /** Returns the level-3 table base paddr, or 0 on miss. */
-    U64 lookup(U64 va);
-    void insert(U64 va, U64 table_paddr);
+    GuestPhys lookup(GuestVirt va);
+    void insert(GuestVirt va, GuestPhys table_paddr);
     void flushAll();
 
   private:
-    struct Node { U64 key; U64 table_paddr; U64 lru; };
-    static U64 keyOf(U64 va) { return va >> 21; }
+    struct Node { U64 key; GuestPhys table_paddr; U64 lru; };
+    static U64 keyOf(GuestVirt va) { return va.raw() >> 21; }
 
     int capacity;
     U64 tick = 0;

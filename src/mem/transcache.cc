@@ -5,9 +5,9 @@
 namespace ptl {
 
 void
-TranslationCache::insert(U64 cr3, U64 vpn, const PageWalk &walk, bool wrote)
+TranslationCache::insert(Pfn cr3, Vpn vpn, const PageWalk &walk, bool wrote)
 {
-    Entry &e = slots[vpn & (ENTRIES - 1)];
+    Entry &e = slots[vpn.raw() & (ENTRIES - 1)];
     e.vpn = vpn;
     e.cr3 = cr3;
     e.mfn = walk.mfn;

@@ -47,9 +47,9 @@ class TranslationCache
 
     struct Entry
     {
-        U64 vpn = 0;
-        U64 cr3 = 0;
-        U64 mfn = 0;
+        Vpn vpn;
+        Pfn cr3;
+        Pfn mfn;
         U64 epoch = 0;           ///< valid iff epoch == cache epoch
         bool writable = false;
         bool user = false;
@@ -63,16 +63,16 @@ class TranslationCache
      * a match is usable (a write through a clean entry is a miss).
      */
     Entry *
-    probe(U64 cr3, U64 vpn)
+    probe(Pfn cr3, Vpn vpn)
     {
-        Entry &e = slots[vpn & (ENTRIES - 1)];
+        Entry &e = slots[vpn.raw() & (ENTRIES - 1)];
         if (e.epoch == epoch && e.vpn == vpn && e.cr3 == cr3)
             return &e;
         return nullptr;
     }
 
     /** Record a completed, access-checked walk (A/D bits already set). */
-    void insert(U64 cr3, U64 vpn, const PageWalk &walk, bool wrote);
+    void insert(Pfn cr3, Vpn vpn, const PageWalk &walk, bool wrote);
 
     /** Drop every entry (O(1) epoch bump). */
     void
@@ -146,10 +146,10 @@ enum class GuestFault : U8;
  * implementation lives in verify/invariant.cc. Runtime-gated by
  * setShadowEnabled() (default on), compiled out when PTL_VERIFY=OFF.
  */
-void verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
-                             MemAccess kind, bool user_mode,
-                             GuestFault cached_fault, U64 cached_paddr,
-                             bool entry_dirty);
+void verifyCachedTranslation(const AddressSpace &aspace, Pfn cr3,
+                             GuestVirt va, MemAccess kind, bool user_mode,
+                             GuestFault cached_fault,
+                             GuestPhys cached_paddr, bool entry_dirty);
 
 }  // namespace ptl
 

@@ -26,7 +26,7 @@ compareContexts(const Context &a, const Context &b)
         }
     }
     if (a.rip != b.rip) {
-        fail("rip", a.rip, b.rip);
+        fail("rip", a.rip.raw(), b.rip.raw());
         return out;
     }
     if (a.flags != b.flags) {
@@ -38,7 +38,7 @@ compareContexts(const Context &a, const Context &b)
         return out;
     }
     if (a.cr3 != b.cr3) {
-        fail("cr3", a.cr3, b.cr3);
+        fail("cr3", a.cr3.raw(), b.cr3.raw());
         return out;
     }
     if (a.event_mask != b.event_mask) {

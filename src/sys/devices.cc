@@ -28,7 +28,8 @@ VirtualDisk::armCompletion(SimCycle ready)
 }
 
 bool
-VirtualDisk::read(const Context &ctx, U64 sector, U64 count, U64 dest_va)
+VirtualDisk::read(const Context &ctx, U64 sector, U64 count,
+                  GuestVirt dest_va)
 {
     if (sector + count > sectorCount() || count == 0)
         return false;
@@ -66,9 +67,9 @@ VirtualDisk::processDue(SimCycle now)
                                    &image[offset], bytes);
         if (!g.ok())
             panic("disk DMA target unmapped at va %llx",
-                  (unsigned long long)g.fault_va);
+                  (unsigned long long)g.fault_va.raw());
         if (trace) {
-            trace->record(now, PORT_DISK, p.dest_va, p.cr3,
+            trace->record(now, PORT_DISK, p.dest_va.raw(), p.cr3.raw(),
                           std::vector<U8>(image.begin() + offset,
                                           image.begin() + offset + bytes));
         }

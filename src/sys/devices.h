@@ -64,8 +64,8 @@ class VirtualDisk
         SimCycle ready;
         U64 sector;
         U64 count;
-        U64 dest_va;
-        U64 cr3;
+        GuestVirt dest_va;
+        Pfn cr3;
     };
 
     VirtualDisk(EventChannels &events, EventQueue &queue,
@@ -81,7 +81,8 @@ class VirtualDisk
      * `dest_va` (translated under the requesting context's CR3 at
      * completion time). Returns false on out-of-range requests.
      */
-    bool read(const Context &ctx, U64 sector, U64 count, U64 dest_va);
+    bool read(const Context &ctx, U64 sector, U64 count,
+              GuestVirt dest_va);
 
     /** Complete any transfers due at `now` (DMA copy + event).
      *  Normally fired by the EventQueue; FIFO completion order. */

@@ -17,7 +17,7 @@ Hypervisor::Hypervisor(TimeKeeper &timekeeper, EventChannels &channels,
 }
 
 bool
-Hypervisor::copyFromGuest(Context &ctx, U64 va, size_t len,
+Hypervisor::copyFromGuest(Context &ctx, GuestVirt va, size_t len,
                           std::vector<U8> &out)
 {
     out.resize(len);
@@ -25,7 +25,8 @@ Hypervisor::copyFromGuest(Context &ctx, U64 va, size_t len,
 }
 
 bool
-Hypervisor::copyToGuest(Context &ctx, U64 va, const U8 *data, size_t len)
+Hypervisor::copyToGuest(Context &ctx, GuestVirt va, const U8 *data,
+                        size_t len)
 {
     return guestCopyOut(*aspace, ctx, va, data, len).ok();
 }
@@ -39,7 +40,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
         if (a2 > 65536)
             return HC_ERROR;
         std::vector<U8> buf;
-        if (!copyFromGuest(ctx, a1, (size_t)a2, buf))
+        if (!copyFromGuest(ctx, GuestVirt(a1), (size_t)a2, buf))
             return HC_ERROR;
         console->write(buf.data(), buf.size());
         return a2;
@@ -58,7 +59,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
       case HC_new_baseptr: {
         if (a1 >= aspace->physMem().frameCount())
             return HC_ERROR;
-        ctx.cr3 = a1;
+        ctx.cr3 = Pfn(a1);
         st_cr3_switches++;
         // The new root may alias frames cached under walks the
         // translation cache never snooped being built; start clean.
@@ -73,7 +74,7 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
         if ((int)a1 >= net->endpointCount() || a3 > 1 << 20)
             return HC_ERROR;
         std::vector<U8> buf;
-        if (!copyFromGuest(ctx, a2, (size_t)a3, buf))
+        if (!copyFromGuest(ctx, GuestVirt(a2), (size_t)a3, buf))
             return HC_ERROR;
         net->send((int)a1, buf.data(), buf.size());
         return a3;
@@ -83,12 +84,12 @@ Hypervisor::hypercall(Context &ctx, U64 nr, U64 a1, U64 a2, U64 a3)
             return HC_ERROR;
         std::vector<U8> buf((size_t)a3);
         size_t n = net->recv((int)a1, buf.data(), buf.size());
-        if (n && !copyToGuest(ctx, a2, buf.data(), n))
+        if (n && !copyToGuest(ctx, GuestVirt(a2), buf.data(), n))
             return HC_ERROR;
         return n;
       }
       case HC_disk_read:
-        return disk->read(ctx, a1, a2, a3) ? 0 : HC_ERROR;
+        return disk->read(ctx, a1, a2, GuestVirt(a3)) ? 0 : HC_ERROR;
       case HC_shutdown:
         shutdown = true;
         exit_code = a1;
@@ -154,7 +155,8 @@ Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
       case PTLCALL_COMMAND: {
         // Command list as a NUL-terminated guest string (Section 4.1).
         char buf[256];
-        GuestCopy g = guestCopyIn(*aspace, ctx, buf, arg1, sizeof(buf));
+        GuestCopy g = guestCopyIn(*aspace, ctx, buf, GuestVirt(arg1),
+                                  sizeof(buf));
         std::string cmd;
         for (size_t i = 0; i < g.copied && buf[i]; i++)
             cmd.push_back(buf[i]);
@@ -178,7 +180,7 @@ Hypervisor::ptlcall(Context &ctx, U64 op, U64 arg1, U64 /*arg2*/)
 }
 
 void
-Hypervisor::notifyCodeWrite(U64 mfn)
+Hypervisor::notifyCodeWrite(Pfn mfn)
 {
     bbcache->invalidateMfn(mfn);
     if (code_hook)
@@ -186,7 +188,7 @@ Hypervisor::notifyCodeWrite(U64 mfn)
 }
 
 bool
-Hypervisor::isCodeMfn(U64 mfn) const
+Hypervisor::isCodeMfn(Pfn mfn) const
 {
     return bbcache->isCodeMfn(mfn);
 }

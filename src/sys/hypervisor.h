@@ -44,8 +44,8 @@ class Hypervisor : public SystemInterface
     U64 readTsc(const Context &ctx) override;
     void vcpuBlock(Context &ctx) override;
     U64 ptlcall(Context &ctx, U64 op, U64 arg1, U64 arg2) override;
-    void notifyCodeWrite(U64 mfn) override;
-    bool isCodeMfn(U64 mfn) const override;
+    void notifyCodeWrite(Pfn mfn) override;
+    bool isCodeMfn(Pfn mfn) const override;
 
     // ---- machine-facing state ----
     bool shutdownRequested() const { return shutdown; }
@@ -74,7 +74,7 @@ class Hypervisor : public SystemInterface
     }
 
     /** Hook invoked on SMC invalidations (cores flush pipelines). */
-    void setCodeWriteHook(std::function<void(U64)> hook)
+    void setCodeWriteHook(std::function<void(Pfn)> hook)
     {
         code_hook = std::move(hook);
     }
@@ -99,9 +99,10 @@ class Hypervisor : public SystemInterface
     }
 
     /** Copy a guest buffer out (for console/net hypercalls). */
-    bool copyFromGuest(Context &ctx, U64 va, size_t len,
+    bool copyFromGuest(Context &ctx, GuestVirt va, size_t len,
                        std::vector<U8> &out);
-    bool copyToGuest(Context &ctx, U64 va, const U8 *data, size_t len);
+    bool copyToGuest(Context &ctx, GuestVirt va, const U8 *data,
+                     size_t len);
 
     TimeKeeper *time;
     EventChannels *events;
@@ -119,7 +120,7 @@ class Hypervisor : public SystemInterface
     std::vector<PtlMarker> marks;
     std::vector<std::string> command_log;
     std::function<void(Context &)> cr3_hook;
-    std::function<void(U64)> code_hook;
+    std::function<void(Pfn)> code_hook;
     std::function<void()> attention_hook;
 
     Counter &st_hypercalls;

@@ -69,7 +69,7 @@ Machine::Machine(const SimConfig &config)
         for (MemoryHierarchy *h : extra_tlb_flush)
             h->flushTlbs();
     });
-    hv->setCodeWriteHook([this](U64 /*mfn*/) {
+    hv->setCodeWriteHook([this](Pfn /*mfn*/) {
         for (auto &core : cores)
             core->flushPipeline();
     });
@@ -293,7 +293,7 @@ Machine::runNativeSlice(SimCycle limit)
                 native_parked[v] = 1;
                 continue;
             }
-            if (rip_trigger && ctx.rip == *rip_trigger) {
+            if (rip_trigger && ctx.rip == GuestVirt(*rip_trigger)) {
                 // Trigger point hit: seamlessly drop into simulation
                 // mode at this exact instruction boundary (Section
                 // 2.3).

@@ -21,9 +21,10 @@ TraceReplayer::processDue(SimCycle now)
         if (r.dma_va && !r.dma_data.empty()) {
             // DMA writes land via the recorded translation context.
             Context dma_ctx;
-            dma_ctx.cr3 = r.dma_cr3;
+            dma_ctx.cr3 = Pfn(r.dma_cr3);
             dma_ctx.kernel_mode = true;
-            GuestCopy g = guestCopyOut(*aspace, dma_ctx, r.dma_va,
+            GuestCopy g = guestCopyOut(*aspace, dma_ctx,
+                                       GuestVirt(r.dma_va),
                                        r.dma_data.data(),
                                        r.dma_data.size());
             if (!g.ok())

@@ -39,9 +39,9 @@ VerifyStats::VerifyStats(StatsTree &stats, const std::string &prefix)
 }
 
 void
-verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
+verifyCachedTranslation(const AddressSpace &aspace, Pfn cr3, GuestVirt va,
                         MemAccess kind, bool user_mode,
-                        GuestFault cached_fault, U64 cached_paddr,
+                        GuestFault cached_fault, GuestPhys cached_paddr,
                         bool entry_dirty)
 {
     PageWalk walk = aspace.walk(cr3, va);
@@ -49,20 +49,20 @@ verifyCachedTranslation(const AddressSpace &aspace, U64 cr3, U64 va,
     if (walked_fault != cached_fault)
         panic("transcache shadow walk mismatch at va %llx (cr3 %llx): "
               "cached fault %s vs walked %s",
-              (unsigned long long)va, (unsigned long long)cr3,
+              (unsigned long long)va.raw(), (unsigned long long)cr3.raw(),
               guestFaultName(cached_fault), guestFaultName(walked_fault));
     if (cached_fault != GuestFault::None)
         return;
     if (walk.paddr(va) != cached_paddr)
         panic("transcache shadow walk mismatch at va %llx (cr3 %llx): "
               "cached paddr %llx vs walked %llx",
-              (unsigned long long)va, (unsigned long long)cr3,
-              (unsigned long long)cached_paddr,
-              (unsigned long long)walk.paddr(va));
+              (unsigned long long)va.raw(), (unsigned long long)cr3.raw(),
+              (unsigned long long)cached_paddr.raw(),
+              (unsigned long long)walk.paddr(va).raw());
     if (entry_dirty && !walk.dirty)
         panic("transcache shadow walk mismatch at va %llx (cr3 %llx): "
               "entry claims leaf D set but the PTE is clean",
-              (unsigned long long)va, (unsigned long long)cr3);
+              (unsigned long long)va.raw(), (unsigned long long)cr3.raw());
 }
 
 InvariantChecker::InvariantChecker(StatsTree &stats,

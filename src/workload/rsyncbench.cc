@@ -1345,7 +1345,7 @@ RsyncBench::RsyncBench(const SimConfig &config, const FileSetParams &files)
     kctx.kernel_mode = true;
     AddressSpace &as = machine_->addressSpace();
     auto store = [&](U64 va, U64 v) {
-        GuestAccess acc = guestWrite(as, kctx, va, 8, v);
+        GuestAccess acc = guestWrite(as, kctx, GuestVirt(va), 8, v);
         ptl_assert(acc.ok());
     };
     store(V_KEY_C2S_TX, 0x5E55C0DE5EEDULL);

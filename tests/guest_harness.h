@@ -43,9 +43,9 @@ class StubSystem : public SystemInterface
         return 0;
     }
 
-    void notifyCodeWrite(U64 mfn) override { bbcache->invalidateMfn(mfn); }
+    void notifyCodeWrite(Pfn mfn) override { bbcache->invalidateMfn(mfn); }
 
-    bool isCodeMfn(U64 mfn) const override { return bbcache->isCodeMfn(mfn); }
+    bool isCodeMfn(Pfn mfn) const override { return bbcache->isCodeMfn(mfn); }
 
     struct Call { U64 nr, a1, a2, a3; };
     std::vector<Call> hypercalls;
@@ -74,12 +74,12 @@ class GuestRunner
     {
         aspace.attachStats(stats);
         cr3 = aspace.createRoot();
-        aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(CODE_BASE), 256 * PAGE_SIZE,
                         Pte::RW | Pte::US);
-        aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(DATA_BASE), 256 * PAGE_SIZE,
                         Pte::RW | Pte::US | Pte::NX);
-        aspace.mapRange(cr3, STACK_TOP - 64 * PAGE_SIZE, 64 * PAGE_SIZE,
-                        Pte::RW | Pte::US | Pte::NX);
+        aspace.mapRange(cr3, GuestVirt(STACK_TOP - 64 * PAGE_SIZE),
+                        64 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
         ctx.cr3 = cr3;
         ctx.kernel_mode = true;   // bare-metal style by default
         ctx.regs[REG_rsp] = STACK_TOP - 64;
@@ -93,13 +93,13 @@ class GuestRunner
     {
         std::vector<U8> image = assembler.finalize();
         writeGuest(assembler.baseVa(), image.data(), image.size());
-        ctx.rip = assembler.baseVa();
+        ctx.rip = GuestVirt(assembler.baseVa());
     }
 
     void
     writeGuest(U64 va, const void *data, size_t n)
     {
-        GuestCopy g = guestCopyOut(aspace, ctx, va, data, n);
+        GuestCopy g = guestCopyOut(aspace, ctx, GuestVirt(va), data, n);
         ptl_assert(g.ok());
     }
 
@@ -107,7 +107,7 @@ class GuestRunner
     readGuest(U64 va, unsigned bytes)
     {
         U64 v = 0;
-        GuestAccess a = guestRead(aspace, ctx, va, bytes, v);
+        GuestAccess a = guestRead(aspace, ctx, GuestVirt(va), bytes, v);
         ptl_assert(a.ok());
         return v;
     }
@@ -137,7 +137,7 @@ class GuestRunner
     StubSystem sys;
     Context ctx;
     std::unique_ptr<FunctionalEngine> engine;
-    U64 cr3 = 0;
+    Pfn cr3;
 };
 
 /** Bare-metal harness running programs on a registered core model
@@ -162,11 +162,12 @@ class CoreRunner
         aspace.transCache().setShadowEnabled(
             cfg.verify || std::getenv("PTLSIM_VERIFY") != nullptr);
         cr3 = aspace.createRoot();
-        aspace.mapRange(cr3, CODE_BASE, 256 * PAGE_SIZE, Pte::RW | Pte::US);
-        aspace.mapRange(cr3, DATA_BASE, 256 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(CODE_BASE), 256 * PAGE_SIZE,
+                        Pte::RW | Pte::US);
+        aspace.mapRange(cr3, GuestVirt(DATA_BASE), 256 * PAGE_SIZE,
                         Pte::RW | Pte::US | Pte::NX);
-        aspace.mapRange(cr3, STACK_TOP - 256 * PAGE_SIZE, 256 * PAGE_SIZE,
-                        Pte::RW | Pte::US | Pte::NX);
+        aspace.mapRange(cr3, GuestVirt(STACK_TOP - 256 * PAGE_SIZE),
+                        256 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
         for (int i = 0; i < vcpus; i++) {
             contexts.push_back(std::make_unique<Context>());
             Context &ctx = *contexts.back();
@@ -184,12 +185,12 @@ class CoreRunner
         if (!image_written) {
             image = assembler.finalize();
             GuestCopy g = guestCopyOut(aspace, *contexts[0],
-                                       assembler.baseVa(), image.data(),
-                                       image.size());
+                                       GuestVirt(assembler.baseVa()),
+                                       image.data(), image.size());
             ptl_assert(g.ok());
             image_written = true;
         }
-        contexts[vcpu]->rip = entry ? entry : CODE_BASE;
+        contexts[vcpu]->rip = GuestVirt(entry ? entry : CODE_BASE);
     }
 
     /** Instantiate the core model (after all load() calls). */
@@ -236,7 +237,7 @@ class CoreRunner
     readGuest(U64 va, unsigned bytes)
     {
         U64 v = 0;
-        guestRead(aspace, *contexts[0], va, bytes, v);
+        guestRead(aspace, *contexts[0], GuestVirt(va), bytes, v);
         return v;
     }
 
@@ -252,7 +253,7 @@ class CoreRunner
     std::unique_ptr<CoreModel> core;
     std::vector<U8> image;
     bool image_written = false;
-    U64 cr3 = 0;
+    Pfn cr3;
 };
 
 }  // namespace ptl

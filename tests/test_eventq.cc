@@ -558,14 +558,15 @@ TEST(EventMachine, CheckpointCarriesInFlightNetworkPackets)
     // Park the VCPU on a hlt spin (delivery wakes it) so the run loop
     // has something harmless to execute.
     AddressSpace &as = m.addressSpace();
-    U64 cr3 = as.createRoot();
-    as.mapRange(cr3, 0x400000, PAGE_SIZE, Pte::RW | Pte::US);
+    Pfn cr3 = as.createRoot();
+    as.mapRange(cr3, GuestVirt(0x400000), PAGE_SIZE, Pte::RW | Pte::US);
     Context &ctx = m.vcpu(0);
     ctx.cr3 = cr3;
     ctx.kernel_mode = true;
-    ctx.rip = 0x400000;
+    ctx.rip = GuestVirt(0x400000);
     static const U8 spin[] = {0xF4, 0xEB, 0xFD};  // hlt; jmp hlt
-    GuestAccess acc = guestTranslate(as, ctx, 0x400000, MemAccess::Write);
+    GuestAccess acc =
+        guestTranslate(as, ctx, GuestVirt(0x400000), MemAccess::Write);
     m.physMem().writeBytes(acc.paddr, spin, sizeof(spin));
     ctx.running = false;
     m.finalizeCores();
@@ -614,11 +615,11 @@ twoVcpuMachine()
     cfg.guest_mem_bytes = 16 << 20;
     auto m = std::make_unique<Machine>(cfg);
     AddressSpace &as = m->addressSpace();
-    U64 cr3 = as.createRoot();
-    as.mapRange(cr3, 0x400000, 64 * PAGE_SIZE, Pte::RW | Pte::US);
-    as.mapRange(cr3, 0x600000, 64 * PAGE_SIZE,
+    Pfn cr3 = as.createRoot();
+    as.mapRange(cr3, GuestVirt(0x400000), 64 * PAGE_SIZE, Pte::RW | Pte::US);
+    as.mapRange(cr3, GuestVirt(0x600000), 64 * PAGE_SIZE,
                 Pte::RW | Pte::US | Pte::NX);
-    as.mapRange(cr3, 0x7F0000, 16 * PAGE_SIZE,
+    as.mapRange(cr3, GuestVirt(0x7F0000), 16 * PAGE_SIZE,
                 Pte::RW | Pte::US | Pte::NX);
 
     Assembler a(0x400000);
@@ -639,14 +640,15 @@ twoVcpuMachine()
     c0.kernel_mode = true;
     for (size_t i = 0; i < image.size(); i++) {
         GuestAccess acc =
-            guestTranslate(as, c0, 0x400000 + i, MemAccess::Write);
+            guestTranslate(as, c0, GuestVirt(0x400000 + i),
+                           MemAccess::Write);
         m->physMem().writeBytes(acc.paddr, &image[i], 1);
     }
     for (int v = 0; v < 2; v++) {
         Context &ctx = m->vcpu(v);
         ctx.cr3 = cr3;
         ctx.kernel_mode = true;
-        ctx.rip = 0x400000;
+        ctx.rip = GuestVirt(0x400000);
         ctx.regs[REG_rsp] = 0x7FF000 - (U64)v * 0x1000;
         ctx.regs[REG_rdi] = 0x600000 + (U64)v * 8;
         ctx.running = true;
@@ -659,7 +661,8 @@ U64
 readPhys(Machine &m, U64 va)
 {
     GuestAccess acc =
-        guestTranslate(m.addressSpace(), m.vcpu(0), va, MemAccess::Read);
+        guestTranslate(m.addressSpace(), m.vcpu(0), GuestVirt(va),
+                       MemAccess::Read);
     U64 v = 0;
     m.physMem().readBytes(acc.paddr, &v, 8);
     return v;

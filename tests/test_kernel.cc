@@ -60,7 +60,8 @@ struct BootedMachine
         kctx.cr3 = builder.taskCr3(0);
         kctx.kernel_mode = true;
         U64 v = 0;
-        guestRead(machine.addressSpace(), kctx, KDATA_VA + offset, 8, v);
+        guestRead(machine.addressSpace(), kctx, GuestVirt(KDATA_VA + offset),
+                  8, v);
         return v;
     }
 

@@ -15,21 +15,21 @@ namespace {
 TEST(PhysMem, ReadWriteRoundTrip)
 {
     PhysMem mem(1 << 20, 1, false);
-    mem.write(0x1234, 0xdeadbeefcafebabeULL, 8);
-    EXPECT_EQ(mem.read(0x1234, 8), 0xdeadbeefcafebabeULL);
-    EXPECT_EQ(mem.read(0x1234, 4), 0xcafebabeULL);
-    EXPECT_EQ(mem.read(0x1234, 1), 0xbeULL);
-    mem.write(0x1238, 0x11, 1);
-    EXPECT_EQ(mem.read(0x1234, 8), 0xdeadbe11cafebabeULL);
+    mem.write(GuestPhys(0x1234), 0xdeadbeefcafebabeULL, 8);
+    EXPECT_EQ(mem.read(GuestPhys(0x1234), 8), 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(mem.read(GuestPhys(0x1234), 4), 0xcafebabeULL);
+    EXPECT_EQ(mem.read(GuestPhys(0x1234), 1), 0xbeULL);
+    mem.write(GuestPhys(0x1238), 0x11, 1);
+    EXPECT_EQ(mem.read(GuestPhys(0x1234), 8), 0xdeadbe11cafebabeULL);
 }
 
 TEST(PhysMem, CrossFrameAccess)
 {
     PhysMem mem(1 << 20, 1, false);
-    U64 addr = PAGE_SIZE - 3;  // spans frames 0 and 1
+    GuestPhys addr = GuestPhys(PAGE_SIZE - 3);  // spans frames 0 and 1
     mem.write(addr, 0x0102030405060708ULL, 8);
     EXPECT_EQ(mem.read(addr, 8), 0x0102030405060708ULL);
-    EXPECT_EQ(mem.read(PAGE_SIZE, 1), 0x05ULL);
+    EXPECT_EQ(mem.read(GuestPhys(PAGE_SIZE), 1), 0x05ULL);
 }
 
 TEST(PhysMem, ShuffledAllocatorIsNonContiguousAndComplete)
@@ -39,7 +39,7 @@ TEST(PhysMem, ShuffledAllocatorIsNonContiguousAndComplete)
     bool contiguous = true;
     U64 prev = ~0ULL;
     for (U64 i = 0; i < mem.frameCount(); i++) {
-        U64 mfn = mem.allocFrame();
+        U64 mfn = mem.allocFrame().raw();
         EXPECT_LT(mfn, mem.frameCount());
         EXPECT_TRUE(seen.insert(mfn).second) << "duplicate mfn";
         if (prev != ~0ULL && mfn != prev + 1)
@@ -67,47 +67,48 @@ class PageTableTest : public ::testing::Test
 
 TEST_F(PageTableTest, MapAndWalk)
 {
-    U64 cr3 = aspace.createRoot();
-    U64 mfn = mem.allocFrame();
-    aspace.map(cr3, 0x400000, mfn, Pte::RW | Pte::US);
-    PageWalk w = aspace.walk(cr3, 0x400123);
+    Pfn cr3 = aspace.createRoot();
+    Pfn mfn = mem.allocFrame();
+    aspace.map(cr3, GuestVirt(0x400000), mfn, Pte::RW | Pte::US);
+    PageWalk w = aspace.walk(cr3, GuestVirt(0x400123));
     EXPECT_TRUE(w.present);
     EXPECT_TRUE(w.writable);
     EXPECT_TRUE(w.user);
     EXPECT_EQ(w.mfn, mfn);
     EXPECT_EQ(w.levels, 4);
-    EXPECT_EQ(w.paddr(0x400123), (mfn << PAGE_SHIFT) | 0x123);
+    EXPECT_EQ(w.paddr(GuestVirt(0x400123)).raw(),
+              (mfn.raw() << PAGE_SHIFT) | 0x123);
 }
 
 TEST_F(PageTableTest, NotPresentStopsEarly)
 {
-    U64 cr3 = aspace.createRoot();
-    PageWalk w = aspace.walk(cr3, 0x400000);
+    Pfn cr3 = aspace.createRoot();
+    PageWalk w = aspace.walk(cr3, GuestVirt(0x400000));
     EXPECT_FALSE(w.present);
     EXPECT_EQ(w.levels, 1);  // PML4 entry itself absent
-    aspace.map(cr3, 0x400000, mem.allocFrame(), Pte::RW | Pte::US);
+    aspace.map(cr3, GuestVirt(0x400000), mem.allocFrame(), Pte::RW | Pte::US);
     // A nearby page in the same 2MB region: leaf absent, 4 levels read.
-    PageWalk w2 = aspace.walk(cr3, 0x401000);
+    PageWalk w2 = aspace.walk(cr3, GuestVirt(0x401000));
     EXPECT_FALSE(w2.present);
     EXPECT_EQ(w2.levels, 4);
 }
 
 TEST_F(PageTableTest, PermissionChecks)
 {
-    U64 cr3 = aspace.createRoot();
-    aspace.map(cr3, 0x10000, mem.allocFrame(), 0);           // kernel RO
-    aspace.map(cr3, 0x20000, mem.allocFrame(), Pte::RW);     // kernel RW
-    aspace.map(cr3, 0x30000, mem.allocFrame(),
+    Pfn cr3 = aspace.createRoot();
+    aspace.map(cr3, GuestVirt(0x10000), mem.allocFrame(), 0);           // kernel RO
+    aspace.map(cr3, GuestVirt(0x20000), mem.allocFrame(), Pte::RW);     // kernel RW
+    aspace.map(cr3, GuestVirt(0x30000), mem.allocFrame(),
                Pte::RW | Pte::US | Pte::NX);                 // user data
 
-    PageWalk ro = aspace.walk(cr3, 0x10000);
+    PageWalk ro = aspace.walk(cr3, GuestVirt(0x10000));
     EXPECT_EQ(checkWalkAccess(ro, MemAccess::Read, false), GuestFault::None);
     EXPECT_EQ(checkWalkAccess(ro, MemAccess::Write, false),
               GuestFault::PageFaultWrite);
     EXPECT_EQ(checkWalkAccess(ro, MemAccess::Read, true),
               GuestFault::PageFaultRead);
 
-    PageWalk ud = aspace.walk(cr3, 0x30000);
+    PageWalk ud = aspace.walk(cr3, GuestVirt(0x30000));
     EXPECT_EQ(checkWalkAccess(ud, MemAccess::Write, true), GuestFault::None);
     EXPECT_EQ(checkWalkAccess(ud, MemAccess::Execute, true),
               GuestFault::PageFaultFetch);
@@ -115,9 +116,9 @@ TEST_F(PageTableTest, PermissionChecks)
 
 TEST_F(PageTableTest, AccessedDirtyBits)
 {
-    U64 cr3 = aspace.createRoot();
-    aspace.map(cr3, 0x40000, mem.allocFrame(), Pte::RW | Pte::US);
-    PageWalk w = aspace.walk(cr3, 0x40000);
+    Pfn cr3 = aspace.createRoot();
+    aspace.map(cr3, GuestVirt(0x40000), mem.allocFrame(), Pte::RW | Pte::US);
+    PageWalk w = aspace.walk(cr3, GuestVirt(0x40000));
     // Fresh mapping: A/D clear; first touch sets A everywhere.
     EXPECT_TRUE(aspace.setAccessedDirty(w, false));
     U64 leaf = mem.read(w.pte_addr[3], 8);
@@ -134,12 +135,12 @@ TEST_F(PageTableTest, AccessedDirtyBits)
 
 TEST_F(PageTableTest, CloneRootSharesLowerLevels)
 {
-    U64 cr3a = aspace.createRoot();
-    aspace.map(cr3a, 0x400000, mem.allocFrame(), Pte::RW | Pte::US);
-    U64 cr3b = aspace.cloneRoot(cr3a);
+    Pfn cr3a = aspace.createRoot();
+    aspace.map(cr3a, GuestVirt(0x400000), mem.allocFrame(), Pte::RW | Pte::US);
+    Pfn cr3b = aspace.cloneRoot(cr3a);
     EXPECT_NE(cr3a, cr3b);
-    PageWalk wa = aspace.walk(cr3a, 0x400000);
-    PageWalk wb = aspace.walk(cr3b, 0x400000);
+    PageWalk wa = aspace.walk(cr3a, GuestVirt(0x400000));
+    PageWalk wb = aspace.walk(cr3b, GuestVirt(0x400000));
     EXPECT_TRUE(wb.present);
     EXPECT_EQ(wa.mfn, wb.mfn);
     // Lower-level PTEs are physically shared; only the roots differ.
@@ -147,19 +148,19 @@ TEST_F(PageTableTest, CloneRootSharesLowerLevels)
     EXPECT_NE(wa.pte_addr[0], wb.pte_addr[0]);
     // A mapping added through one root is visible through the clone
     // when it lands in a shared lower-level table.
-    aspace.map(cr3a, 0x401000, mem.allocFrame(), Pte::RW | Pte::US);
-    EXPECT_TRUE(aspace.walk(cr3b, 0x401000).present);
+    aspace.map(cr3a, GuestVirt(0x401000), mem.allocFrame(), Pte::RW | Pte::US);
+    EXPECT_TRUE(aspace.walk(cr3b, GuestVirt(0x401000)).present);
 }
 
 TEST_F(PageTableTest, MapRangeAndUnmap)
 {
-    U64 cr3 = aspace.createRoot();
-    aspace.mapRange(cr3, 0x100000, 5 * PAGE_SIZE, Pte::RW | Pte::US);
+    Pfn cr3 = aspace.createRoot();
+    aspace.mapRange(cr3, GuestVirt(0x100000), 5 * PAGE_SIZE, Pte::RW | Pte::US);
     for (int i = 0; i < 5; i++)
-        EXPECT_TRUE(aspace.walk(cr3, 0x100000 + i * PAGE_SIZE).present);
-    aspace.unmap(cr3, 0x102000);
-    EXPECT_FALSE(aspace.walk(cr3, 0x102000).present);
-    EXPECT_TRUE(aspace.walk(cr3, 0x103000).present);
+        EXPECT_TRUE(aspace.walk(cr3, GuestVirt(0x100000 + i * PAGE_SIZE)).present);
+    aspace.unmap(cr3, GuestVirt(0x102000));
+    EXPECT_FALSE(aspace.walk(cr3, GuestVirt(0x102000)).present);
+    EXPECT_TRUE(aspace.walk(cr3, GuestVirt(0x103000)).present);
 }
 
 TEST(TlbTest, HitMissAndLru)
@@ -168,103 +169,103 @@ TEST(TlbTest, HitMissAndLru)
     TlbEntry e;
     e.writable = true;
     for (U64 vpn = 0; vpn < 4; vpn++) {
-        e.vpn = vpn;
-        e.mfn = 100 + vpn;
+        e.vpn = Vpn(vpn);
+        e.mfn = Pfn(100 + vpn);
         tlb.insert(e);
     }
-    ASSERT_NE(tlb.lookup(0), nullptr);
-    EXPECT_EQ(tlb.lookup(2)->mfn, 102ULL);
+    ASSERT_NE(tlb.lookup(Vpn(0)), nullptr);
+    EXPECT_EQ(tlb.lookup(Vpn(2))->mfn, Pfn(102));
     // Touch 0..2 so 3 becomes LRU; inserting evicts vpn 3.
-    tlb.lookup(0);
-    tlb.lookup(1);
-    tlb.lookup(2);
-    e.vpn = 9;
-    e.mfn = 109;
+    tlb.lookup(Vpn(0));
+    tlb.lookup(Vpn(1));
+    tlb.lookup(Vpn(2));
+    e.vpn = Vpn(9);
+    e.mfn = Pfn(109);
     tlb.insert(e);
-    EXPECT_EQ(tlb.lookup(3), nullptr);
-    EXPECT_NE(tlb.lookup(9), nullptr);
+    EXPECT_EQ(tlb.lookup(Vpn(3)), nullptr);
+    EXPECT_NE(tlb.lookup(Vpn(9)), nullptr);
 }
 
 TEST(TlbTest, FlushSemantics)
 {
     Tlb tlb(8, 2);
     TlbEntry e;
-    e.vpn = 5;
+    e.vpn = Vpn(5);
     tlb.insert(e);
-    tlb.flushVpn(5);
-    EXPECT_EQ(tlb.lookup(5), nullptr);
-    e.vpn = 6;
+    tlb.flushVpn(Vpn(5));
+    EXPECT_EQ(tlb.lookup(Vpn(5)), nullptr);
+    e.vpn = Vpn(6);
     tlb.insert(e);
     tlb.flushAll();
-    EXPECT_EQ(tlb.lookup(6), nullptr);
+    EXPECT_EQ(tlb.lookup(Vpn(6)), nullptr);
 }
 
 TEST(PdeCacheTest, LookupInsertEvict)
 {
     PdeCache pde(2);
-    EXPECT_EQ(pde.lookup(0x200000), 0ULL);
-    pde.insert(0x200000, 0xAAAA000);
-    pde.insert(0x400000, 0xBBBB000);
-    EXPECT_EQ(pde.lookup(0x200123), 0xAAAA000ULL);  // same 2MB region
-    EXPECT_EQ(pde.lookup(0x400000), 0xBBBB000ULL);
-    pde.insert(0x600000, 0xCCCC000);                // evicts LRU (0x200000)
-    EXPECT_EQ(pde.lookup(0x200000), 0ULL);
-    EXPECT_EQ(pde.lookup(0x600000), 0xCCCC000ULL);
+    EXPECT_EQ(pde.lookup(GuestVirt(0x200000)), GuestPhys(0));
+    pde.insert(GuestVirt(0x200000), GuestPhys(0xAAAA000));
+    pde.insert(GuestVirt(0x400000), GuestPhys(0xBBBB000));
+    EXPECT_EQ(pde.lookup(GuestVirt(0x200123)), GuestPhys(0xAAAA000));  // same 2MB region
+    EXPECT_EQ(pde.lookup(GuestVirt(0x400000)), GuestPhys(0xBBBB000));
+    pde.insert(GuestVirt(0x600000), GuestPhys(0xCCCC000));                // evicts LRU (0x200000)
+    EXPECT_EQ(pde.lookup(GuestVirt(0x200000)), GuestPhys(0));
+    EXPECT_EQ(pde.lookup(GuestVirt(0x600000)), GuestPhys(0xCCCC000));
 }
 
 TEST(CacheArrayTest, HitMissEvictLru)
 {
     CacheParams p{4096, 2, 64, 3, 8, 1};  // 32 sets x 2 ways
     CacheArray c(p);
-    EXPECT_EQ(c.lookup(0x1000), nullptr);
-    c.insert(0x1000, LineState::Exclusive);
-    EXPECT_NE(c.lookup(0x1000), nullptr);
-    EXPECT_NE(c.lookup(0x103f), nullptr);   // same line
-    EXPECT_EQ(c.lookup(0x1040), nullptr);   // next line
+    EXPECT_EQ(c.lookup(GuestPhys(0x1000)), nullptr);
+    c.insert(GuestPhys(0x1000), LineState::Exclusive);
+    EXPECT_NE(c.lookup(GuestPhys(0x1000)), nullptr);
+    EXPECT_NE(c.lookup(GuestPhys(0x103f)), nullptr);   // same line
+    EXPECT_EQ(c.lookup(GuestPhys(0x1040)), nullptr);   // next line
     // Two more lines mapping to set of 0x1000 (stride = sets*64 = 2048).
-    c.insert(0x1000 + 2048, LineState::Exclusive);
-    c.lookup(0x1000);  // make the +2048 line LRU
+    c.insert(GuestPhys(0x1000 + 2048), LineState::Exclusive);
+    c.lookup(GuestPhys(0x1000));  // make the +2048 line LRU
     CacheArray::Eviction ev;
-    c.insert(0x1000 + 4096, LineState::Exclusive, &ev);
+    c.insert(GuestPhys(0x1000 + 4096), LineState::Exclusive, &ev);
     EXPECT_TRUE(ev.valid);
-    EXPECT_EQ(ev.line_addr, 0x1000ULL + 2048);
-    EXPECT_EQ(c.lookup(0x1000 + 2048), nullptr);
-    EXPECT_NE(c.lookup(0x1000), nullptr);
+    EXPECT_EQ(ev.line_addr, GuestPhys(0x1000 + 2048));
+    EXPECT_EQ(c.lookup(GuestPhys(0x1000 + 2048)), nullptr);
+    EXPECT_NE(c.lookup(GuestPhys(0x1000)), nullptr);
 }
 
 TEST(CacheArrayTest, BankMapping64BitInterleave)
 {
     CacheParams p{64 << 10, 2, 64, 3, 8, 8};
     CacheArray c(p);
-    EXPECT_EQ(c.bankOf(0x0), 0);
-    EXPECT_EQ(c.bankOf(0x8), 1);
-    EXPECT_EQ(c.bankOf(0x38), 7);
-    EXPECT_EQ(c.bankOf(0x40), 0);
-    EXPECT_EQ(c.bankOf(0x47), 0);  // same 8-byte bank word
+    EXPECT_EQ(c.bankOf(GuestPhys(0x0)), 0);
+    EXPECT_EQ(c.bankOf(GuestPhys(0x8)), 1);
+    EXPECT_EQ(c.bankOf(GuestPhys(0x38)), 7);
+    EXPECT_EQ(c.bankOf(GuestPhys(0x40)), 0);
+    EXPECT_EQ(c.bankOf(GuestPhys(0x47)), 0);  // same 8-byte bank word
 }
 
 TEST(CacheArrayTest, InvalidateAndStates)
 {
     CacheParams p{4096, 2, 64, 3, 8, 1};
     CacheArray c(p);
-    c.insert(0x2000, LineState::Modified);
-    EXPECT_TRUE(lineDirty(c.lookup(0x2000)->state));
-    c.invalidate(0x2000);
-    EXPECT_EQ(c.lookup(0x2000), nullptr);
-    c.insert(0x3000, LineState::Shared);
+    c.insert(GuestPhys(0x2000), LineState::Modified);
+    EXPECT_TRUE(lineDirty(c.lookup(GuestPhys(0x2000))->state));
+    c.invalidate(GuestPhys(0x2000));
+    EXPECT_EQ(c.lookup(GuestPhys(0x2000)), nullptr);
+    c.insert(GuestPhys(0x3000), LineState::Shared);
     c.invalidateAll();
-    EXPECT_EQ(c.lookup(0x3000), nullptr);
+    EXPECT_EQ(c.lookup(GuestPhys(0x3000)), nullptr);
 }
 
 TEST(CacheArrayTest, ForEachLineReconstructsAddresses)
 {
     CacheParams p{4096, 2, 64, 3, 8, 1};
     CacheArray c(p);
-    c.insert(0x12340, LineState::Exclusive);
-    c.insert(0x56780, LineState::Modified);
+    c.insert(GuestPhys(0x12340), LineState::Exclusive);
+    c.insert(GuestPhys(0x56780), LineState::Modified);
     std::set<U64> addrs;
-    c.forEachLine([&](U64 line_addr, const CacheArray::Line &) {
-        addrs.insert(line_addr);
+    c.forEachLine([&](GuestPhys line_addr, const CacheArray::Line &) {
+        addrs.insert(line_addr.raw());
     });
     EXPECT_TRUE(addrs.count(0x12340 & ~63ULL));
     EXPECT_TRUE(addrs.count(0x56780 & ~63ULL));

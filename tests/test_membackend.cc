@@ -43,10 +43,10 @@ TEST(FixedBackend, FlatLatencyAndCounters)
     SimConfig cfg = backendConfig(MemBackendKind::Fixed);
     auto be = makeMemBackend(cfg, stats, "c0/");
     EXPECT_STREQ(be->name(), "fixed");
-    EXPECT_EQ(be->request(0x10000, false, SimCycle(100)), SimCycle(212));
-    EXPECT_EQ(be->request(0x10000, true, SimCycle(100)), SimCycle(212));
+    EXPECT_EQ(be->request(GuestPhys(0x10000), false, SimCycle(100)), SimCycle(212));
+    EXPECT_EQ(be->request(GuestPhys(0x10000), true, SimCycle(100)), SimCycle(212));
     // Stateless: an immediately repeated access costs the same.
-    EXPECT_EQ(be->request(0x20000, false, SimCycle(100)), SimCycle(212));
+    EXPECT_EQ(be->request(GuestPhys(0x20000), false, SimCycle(100)), SimCycle(212));
     EXPECT_EQ(stats.get("c0/membackend/reads"), 2ULL);
     EXPECT_EQ(stats.get("c0/membackend/writes"), 1ULL);
     EXPECT_EQ(be->nextDue(), CYCLE_NEVER);
@@ -67,20 +67,20 @@ TEST(BankedBackend, RowHitConflictAndBusyTiming)
     EXPECT_STREQ(be->name(), "banked-dram");
 
     // Cold bank: t_rcd + t_cas = 76.
-    EXPECT_EQ(be->request(0x10000, false, SimCycle(100)), SimCycle(176));
+    EXPECT_EQ(be->request(GuestPhys(0x10000), false, SimCycle(100)), SimCycle(176));
     // Consecutive line, same open row: t_cas = 40.
-    EXPECT_EQ(be->request(0x10040, false, SimCycle(1000)), SimCycle(1040));
+    EXPECT_EQ(be->request(GuestPhys(0x10040), false, SimCycle(1000)), SimCycle(1040));
     EXPECT_EQ(stats.get("c0/membackend/row_hits"), 1ULL);
     // Same bank (stride row_bytes * banks), different row: conflict
     // pays t_rp + t_rcd + t_cas = 112.
-    EXPECT_EQ(be->request(0x10000 + 2048 * 8, false, SimCycle(2000)),
+    EXPECT_EQ(be->request(GuestPhys(0x10000 + 2048 * 8), false, SimCycle(2000)),
               SimCycle(2112));
     EXPECT_EQ(stats.get("c0/membackend/row_conflicts"), 1ULL);
     // Busy bank: the second same-cycle access queues behind the first
     // (row hit after the reopened row) instead of overlapping.
-    SimCycle first = be->request(0x10000 + 2048 * 8, false, SimCycle(3000));
+    SimCycle first = be->request(GuestPhys(0x10000 + 2048 * 8), false, SimCycle(3000));
     EXPECT_EQ(first, SimCycle(3040));
-    EXPECT_EQ(be->request(0x10040 + 2048 * 8, false, SimCycle(3000)),
+    EXPECT_EQ(be->request(GuestPhys(0x10040 + 2048 * 8), false, SimCycle(3000)),
               first + cycles(40));
     EXPECT_EQ(stats.get("c0/membackend/busy_waits"), 1ULL);
     // Banked model exposes its stamps to the invariant checker.
@@ -97,7 +97,7 @@ TEST(BankedBackend, SerializeRestoreMidFlightIsBitExact)
     // Leave several banks mid-flight: busy stamps in the future.
     Rng rng(42);
     for (int i = 0; i < 32; i++)
-        a->request(rng.below(1 << 20) * 64, rng.chance(1, 4),
+        a->request(GuestPhys(rng.below(1 << 20) * 64), rng.chance(1, 4),
                    SimCycle(5000 + (U64)i));
 
     std::vector<U64> words;
@@ -111,7 +111,7 @@ TEST(BankedBackend, SerializeRestoreMidFlightIsBitExact)
         U64 addr = follow.below(1 << 20) * 64;
         bool wr = follow.chance(1, 3);
         SimCycle now(5100 + (U64)i * 3);
-        EXPECT_EQ(a->request(addr, wr, now), b->request(addr, wr, now))
+        EXPECT_EQ(a->request(GuestPhys(addr), wr, now), b->request(GuestPhys(addr), wr, now))
             << "divergence at follow-up access " << i;
     }
     std::vector<U64> wa, wb;
@@ -137,20 +137,20 @@ TEST(HybridBackend, EdramHitMissAndDeferredWriteDrain)
     EXPECT_STREQ(be->name(), "hybrid");
 
     // Cold read: PCM array read (160) + eDRAM load-out (24).
-    EXPECT_EQ(be->request(0x0, false, SimCycle(100)), SimCycle(284));
+    EXPECT_EQ(be->request(GuestPhys(0x0), false, SimCycle(100)), SimCycle(284));
     EXPECT_EQ(stats.get("c0/membackend/pcm_reads"), 1ULL);
     // Warm read: eDRAM hit at 24.
-    EXPECT_EQ(be->request(0x0, false, SimCycle(500)), SimCycle(524));
+    EXPECT_EQ(be->request(GuestPhys(0x0), false, SimCycle(500)), SimCycle(524));
     EXPECT_EQ(stats.get("c0/membackend/edram_hits"), 1ULL);
 
     // Dirty the line, then stream 8 more tags through its 8-way set
     // (same-set stride = sets * line = 8192 * 64): the dirty victim
     // enters the deferred-write queue instead of paying PCM's 480-
     // cycle write synchronously.
-    be->request(0x0, true, SimCycle(600));
+    be->request(GuestPhys(0x0), true, SimCycle(600));
     constexpr U64 SET_STRIDE = 8192 * 64;
     for (int i = 1; i <= 8; i++)
-        be->request((U64)i * SET_STRIDE, false, SimCycle(700 + (U64)i * 400));
+        be->request(GuestPhys((U64)i * SET_STRIDE), false, SimCycle(700 + (U64)i * 400));
     EXPECT_EQ(stats.get("c0/membackend/deferred_enqueued"), 1ULL);
     EXPECT_EQ(be->audit().deferred_depth, 1u);
     ASSERT_FALSE(be->nextDue().never());
@@ -176,9 +176,9 @@ TEST(HybridBackend, FullDeferredQueueForcesSynchronousDrain)
     // write through synchronously.
     constexpr U64 SET_STRIDE = 8192 * 64;
     for (int i = 0; i < 8; i++)
-        be->request((U64)i * SET_STRIDE, true, SimCycle(100 + (U64)i));
+        be->request(GuestPhys((U64)i * SET_STRIDE), true, SimCycle(100 + (U64)i));
     for (int i = 8; i < 11; i++)
-        be->request((U64)i * SET_STRIDE, false, SimCycle(100 + (U64)i));
+        be->request(GuestPhys((U64)i * SET_STRIDE), false, SimCycle(100 + (U64)i));
     EXPECT_EQ(stats.get("c0/membackend/deferred_forced"), 1ULL);
     EXPECT_LE(be->audit().deferred_depth, be->audit().deferred_capacity);
 }
@@ -193,9 +193,9 @@ TEST(HybridBackend, SerializeRestoreWithNonEmptyDeferredQueue)
     // and a non-empty deferred-write queue.
     constexpr U64 SET_STRIDE = 8192 * 64;
     for (int i = 0; i < 8; i++)
-        a->request((U64)i * SET_STRIDE, true, SimCycle(100 + (U64)i));
+        a->request(GuestPhys((U64)i * SET_STRIDE), true, SimCycle(100 + (U64)i));
     for (int i = 8; i < 12; i++)
-        a->request((U64)i * SET_STRIDE, false, SimCycle(110 + (U64)i));
+        a->request(GuestPhys((U64)i * SET_STRIDE), false, SimCycle(110 + (U64)i));
     ASSERT_GT(a->audit().deferred_depth, 0u);
 
     std::vector<U64> words;
@@ -212,7 +212,7 @@ TEST(HybridBackend, SerializeRestoreWithNonEmptyDeferredQueue)
         U64 addr = follow.below(4096) * SET_STRIDE / 16;
         bool wr = follow.chance(1, 2);
         SimCycle now(200 + (U64)i * 37);
-        EXPECT_EQ(a->request(addr, wr, now), b->request(addr, wr, now))
+        EXPECT_EQ(a->request(GuestPhys(addr), wr, now), b->request(GuestPhys(addr), wr, now))
             << "divergence at follow-up access " << i;
     }
     std::vector<U64> wa, wb;
@@ -245,8 +245,8 @@ TEST(HybridBackend, DrainCadenceDoesNotChangeTiming)
         // The eager instance gets extra drain pumps at random times.
         if (pump.chance(1, 2))
             eager->drainTo(now - cycles(pump.below(200)));
-        EXPECT_EQ(lazy->request(addr, wr, now),
-                  eager->request(addr, wr, now))
+        EXPECT_EQ(lazy->request(GuestPhys(addr), wr, now),
+                  eager->request(GuestPhys(addr), wr, now))
             << "cadence-dependent completion at access " << i;
     }
     lazy->drainTo(SimCycle(1'000'000));
@@ -276,7 +276,7 @@ TEST_P(BackendDeterminism, TwoRunsBitIdentical)
         Rng rng(1234);
         MemBackend &be = run == 0 ? *a : *b;
         for (int i = 0; i < 2048; i++)
-            be.request(rng.below(1 << 22) * 64, rng.chance(1, 3),
+            be.request(GuestPhys(rng.below(1 << 22) * 64), rng.chance(1, 3),
                        SimCycle(100 + (U64)i * 17));
         be.drainTo(SimCycle(1'000'000));
     }
@@ -315,8 +315,8 @@ TEST(MemoryConfig, JsonSelectsBackendAndPolicies)
     // The configured t_cas shows up in the built backend's timing.
     StatsTree stats;
     auto be = makeMemBackend(cfg, stats, "c0/");
-    be->request(0x10000, false, SimCycle(100));
-    EXPECT_EQ(be->request(0x10040, false, SimCycle(1000)), SimCycle(1020));
+    be->request(GuestPhys(0x10000), false, SimCycle(100));
+    EXPECT_EQ(be->request(GuestPhys(0x10040), false, SimCycle(1000)), SimCycle(1020));
 }
 
 TEST(MemoryConfig, JsonSelectsHybrid)
@@ -338,7 +338,7 @@ TEST(MemoryConfig, JsonSelectsHybrid)
     StatsTree stats;
     auto be = makeMemBackend(cfg, stats, "c0/");
     // Cold read: PCM 200 + eDRAM 12.
-    EXPECT_EQ(be->request(0x0, false, SimCycle(100)), SimCycle(312));
+    EXPECT_EQ(be->request(GuestPhys(0x0), false, SimCycle(100)), SimCycle(312));
     EXPECT_EQ(be->audit().deferred_capacity, 4u);
 }
 
@@ -518,12 +518,12 @@ TEST(ReplacementPolicy, CacheArrayEvictionCounterAndPolicySwap)
     EXPECT_STREQ(arr.replName(), "random");
     U64 stride = 32 * 64;       // same-set stride
     for (int i = 0; i < 3; i++)
-        arr.insert((U64)i * stride, LineState::Shared);
+        arr.insert(GuestPhys((U64)i * stride), LineState::Shared);
     EXPECT_EQ(ev.value(), 1ULL);
     // Exactly one of the first two lines was displaced.
-    bool l0 = arr.lookup(0, false) != nullptr;
-    bool l1 = arr.lookup(stride, false) != nullptr;
-    EXPECT_TRUE(arr.lookup(2 * stride, false) != nullptr);
+    bool l0 = arr.lookup(GuestPhys(0), false) != nullptr;
+    bool l1 = arr.lookup(GuestPhys(stride), false) != nullptr;
+    EXPECT_TRUE(arr.lookup(GuestPhys(2 * stride), false) != nullptr);
     EXPECT_NE(l0, l1);
 }
 
@@ -564,9 +564,9 @@ TEST_F(BackendHierarchyTest, FixedKeepsPreRefactorCycleCounts)
     auto hier = makeHier(MemBackendKind::Fixed, stats);
     // The exact pre-refactor schedule: L1D(3) + L2(10) + 112 cold,
     // and a second distinct line costs the same (no row state).
-    MemResult a = hier->dataAccess(0x10000, false, SimCycle(100));
+    MemResult a = hier->dataAccess(GuestPhys(0x10000), false, SimCycle(100));
     EXPECT_EQ(a.latency, cycles(125));
-    MemResult b = hier->dataAccess(0x10040, false, SimCycle(1000));
+    MemResult b = hier->dataAccess(GuestPhys(0x10040), false, SimCycle(1000));
     EXPECT_EQ(b.latency, cycles(125));
     EXPECT_EQ(stats.get("c0/membackend/reads"), 2ULL);
 }
@@ -576,11 +576,11 @@ TEST_F(BackendHierarchyTest, BankedPipelinesConsecutiveLines)
     StatsTree stats;
     auto hier = makeHier(MemBackendKind::BankedDram, stats);
     // Cold bank: L1D(3) + L2(10) + (t_rcd + t_cas = 76) = 89.
-    MemResult a = hier->dataAccess(0x10000, false, SimCycle(100));
+    MemResult a = hier->dataAccess(GuestPhys(0x10000), false, SimCycle(100));
     EXPECT_EQ(a.latency, cycles(89));
     // Next line hits the open row: L1D(3) + L2(10) + t_cas(40) = 53 —
     // the bulk-fill pessimism the backend seam removes.
-    MemResult b = hier->dataAccess(0x10040, false, SimCycle(1000));
+    MemResult b = hier->dataAccess(GuestPhys(0x10040), false, SimCycle(1000));
     EXPECT_EQ(b.latency, cycles(53));
     EXPECT_EQ(stats.get("c0/membackend/row_hits"), 1ULL);
 }
@@ -591,7 +591,7 @@ TEST_F(BackendHierarchyTest, BulkCodeFillsGoThroughTheBackend)
     // be priced by the backend (open-row hits), not silently free.
     StatsTree stats;
     auto hier = makeHier(MemBackendKind::BankedDram, stats);
-    hier->fetchAccess(0x40000, SimCycle(100));
+    hier->fetchAccess(GuestPhys(0x40000), SimCycle(100));
     EXPECT_GE(stats.get("c0/membackend/reads"), 2ULL);
     EXPECT_GE(stats.get("c0/membackend/row_hits"), 1ULL);
 
@@ -599,7 +599,7 @@ TEST_F(BackendHierarchyTest, BulkCodeFillsGoThroughTheBackend)
     // keeping the default's timing bit-identical while still counting.
     StatsTree stats2;
     auto fixed = makeHier(MemBackendKind::Fixed, stats2);
-    fixed->fetchAccess(0x40000, SimCycle(100));
+    fixed->fetchAccess(GuestPhys(0x40000), SimCycle(100));
     EXPECT_GE(stats2.get("c0/membackend/reads"), 2ULL);
 }
 
@@ -614,7 +614,7 @@ TEST_F(BackendHierarchyTest, HierarchyRunsOnAllBackends)
         auto hier = makeHier(kind, stats);
         Rng rng(3);
         for (int i = 0; i < 512; i++) {
-            hier->dataAccess(rng.below(1 << 18) * 8, rng.chance(1, 3),
+            hier->dataAccess(GuestPhys(rng.below(1 << 18) * 8), rng.chance(1, 3),
                              SimCycle(100 + (U64)i * 7));
         }
         hier->drainBackend(SimCycle(1 << 20));

@@ -16,18 +16,18 @@ TEST(Interlock, AcquireReleaseSemantics)
 {
     StatsTree stats;
     InterlockController ic(stats);
-    EXPECT_TRUE(ic.acquire(0x1000, 1));
-    EXPECT_TRUE(ic.acquire(0x1000, 1));    // re-acquire by owner
-    EXPECT_FALSE(ic.acquire(0x1004, 2));   // same 8-byte region
-    EXPECT_TRUE(ic.heldByOther(0x1001, 2));
-    EXPECT_FALSE(ic.heldByOther(0x1001, 1));
-    EXPECT_TRUE(ic.held(0x1000));
-    EXPECT_TRUE(ic.acquire(0x1008, 2));    // neighbouring region is free
-    ic.release(0x1000, 2);                 // wrong owner: no effect
-    EXPECT_TRUE(ic.held(0x1000));
-    ic.release(0x1000, 1);
-    EXPECT_FALSE(ic.held(0x1000));
-    EXPECT_TRUE(ic.acquire(0x1000, 2));
+    EXPECT_TRUE(ic.acquire(GuestPhys(0x1000), 1));
+    EXPECT_TRUE(ic.acquire(GuestPhys(0x1000), 1));    // re-acquire by owner
+    EXPECT_FALSE(ic.acquire(GuestPhys(0x1004), 2));   // same 8-byte region
+    EXPECT_TRUE(ic.heldByOther(GuestPhys(0x1001), 2));
+    EXPECT_FALSE(ic.heldByOther(GuestPhys(0x1001), 1));
+    EXPECT_TRUE(ic.held(GuestPhys(0x1000)));
+    EXPECT_TRUE(ic.acquire(GuestPhys(0x1008), 2));    // neighbouring region is free
+    ic.release(GuestPhys(0x1000), 2);                 // wrong owner: no effect
+    EXPECT_TRUE(ic.held(GuestPhys(0x1000)));
+    ic.release(GuestPhys(0x1000), 1);
+    EXPECT_FALSE(ic.held(GuestPhys(0x1000)));
+    EXPECT_TRUE(ic.acquire(GuestPhys(0x1000), 2));
     ic.releaseAll(2);
     EXPECT_EQ(ic.heldCount(), 0u);
     EXPECT_GT(stats.get("interlock/contention"), 0ULL);
@@ -37,11 +37,11 @@ TEST(Interlock, ReleaseAllOnlyDropsOwner)
 {
     StatsTree stats;
     InterlockController ic(stats);
-    EXPECT_TRUE(ic.acquire(0x100, 1));
-    EXPECT_TRUE(ic.acquire(0x200, 2));
+    EXPECT_TRUE(ic.acquire(GuestPhys(0x100), 1));
+    EXPECT_TRUE(ic.acquire(GuestPhys(0x200), 2));
     ic.releaseAll(1);
-    EXPECT_FALSE(ic.held(0x100));
-    EXPECT_TRUE(ic.held(0x200));
+    EXPECT_FALSE(ic.held(GuestPhys(0x100)));
+    EXPECT_TRUE(ic.held(GuestPhys(0x200)));
 }
 
 TEST(UopDisasm, ToStringSmoke)
@@ -104,7 +104,7 @@ TEST(BbCache, PageCrossingInstructionTracksBothFrames)
     a.hlt();
     std::vector<U8> image = a.finalize();
     g.writeGuest(start, image.data(), image.size());
-    g.ctx.rip = start;
+    g.ctx.rip = GuestVirt(start);
     GuestFault f;
     ContextCodeSource code(g.aspace, g.ctx);
     const BasicBlock *bb = g.bbcache.get(code, &f);
@@ -135,12 +135,12 @@ TEST(GuestMemory, CrossPageWriteIsAtomicOnFault)
     U64 last_page = GuestRunner::DATA_BASE + 255 * PAGE_SIZE;
     U64 va = last_page + PAGE_SIZE - 4;   // next page is unmapped
     U64 before = 0;
-    guestRead(g.aspace, g.ctx, va, 4, before);
+    guestRead(g.aspace, g.ctx, GuestVirt(va), 4, before);
     GuestAccess acc =
-        guestWrite(g.aspace, g.ctx, va, 8, 0xAABBCCDDEEFF0011ULL);
+        guestWrite(g.aspace, g.ctx, GuestVirt(va), 8, 0xAABBCCDDEEFF0011ULL);
     EXPECT_NE(acc.fault, GuestFault::None);
     U64 after = 0;
-    guestRead(g.aspace, g.ctx, va, 4, after);
+    guestRead(g.aspace, g.ctx, GuestVirt(va), 4, after);
     EXPECT_EQ(before, after) << "partial write leaked through";
 }
 

@@ -26,10 +26,13 @@ bareMachine(void (*body)(Assembler &), U64 patch_va = 0, U8 patch_byte = 0)
     cfg.guest_mem_bytes = 16 << 20;
     auto m = std::make_unique<Machine>(cfg);
     AddressSpace &as = m->addressSpace();
-    U64 cr3 = as.createRoot();
-    as.mapRange(cr3, 0x400000, 64 * PAGE_SIZE, Pte::RW | Pte::US);
-    as.mapRange(cr3, 0x600000, 64 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
-    as.mapRange(cr3, 0x7F0000, 16 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
+    Pfn cr3 = as.createRoot();
+    as.mapRange(cr3, GuestVirt(0x400000), 64 * PAGE_SIZE,
+                Pte::RW | Pte::US);
+    as.mapRange(cr3, GuestVirt(0x600000), 64 * PAGE_SIZE,
+                Pte::RW | Pte::US | Pte::NX);
+    as.mapRange(cr3, GuestVirt(0x7F0000), 16 * PAGE_SIZE,
+                Pte::RW | Pte::US | Pte::NX);
 
     Assembler a(0x400000);
     body(a);
@@ -37,16 +40,17 @@ bareMachine(void (*body)(Assembler &), U64 patch_va = 0, U8 patch_byte = 0)
     Context &ctx = m->vcpu(0);
     ctx.cr3 = cr3;
     ctx.kernel_mode = true;
-    ctx.rip = 0x400000;
+    ctx.rip = GuestVirt(0x400000);
     ctx.regs[REG_rsp] = 0x7FF000;
     for (size_t i = 0; i < image.size(); i++) {
         GuestAccess acc =
-            guestTranslate(as, ctx, 0x400000 + i, MemAccess::Write);
+            guestTranslate(as, ctx, GuestVirt(0x400000 + i),
+                           MemAccess::Write);
         m->physMem().writeBytes(acc.paddr, &image[i], 1);
     }
     if (patch_va) {
         GuestAccess acc =
-            guestTranslate(as, ctx, patch_va, MemAccess::Write);
+            guestTranslate(as, ctx, GuestVirt(patch_va), MemAccess::Write);
         m->physMem().writeBytes(acc.paddr, &patch_byte, 1);
     }
     m->finalizeCores();
@@ -284,7 +288,8 @@ TEST(Native, DeviceTraceRecordsDiskDma)
     probe.cr3 = rb.taskCr3(0);
     probe.kernel_mode = true;
     U64 v = 0;
-    guestRead(replay_machine.addressSpace(), probe, USER_DATA_VA, 1, v);
+    guestRead(replay_machine.addressSpace(), probe, GuestVirt(USER_DATA_VA),
+              1, v);
     EXPECT_EQ(v, 0x3CULL);
 }
 

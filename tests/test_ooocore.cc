@@ -340,6 +340,47 @@ TEST(OooCoreTest, StoreToLoadForwardingCounted)
     EXPECT_GT(r.stats.get("core0/lsq/forwards"), 100ULL);
 }
 
+TEST(OooCoreTest, DisambiguationUsesPhysicalAddresses)
+{
+    // Two virtual windows onto one physical frame: a store through one
+    // mapping must be visible to an immediately following load through
+    // the other. The LSQ disambiguates by physical address (like the
+    // paper's LSQ), so the load either forwards from the store queue or
+    // replays until the store commits; matching on virtual addresses
+    // alone would let the load read the frame's stale contents.
+    constexpr U64 ALIAS = 0x5000000;
+    SimConfig cfg = oooConfig();
+    cfg.load_hoisting = true;
+    CoreRunner r(cfg);
+    Pfn mfn = r.aspace.walk(r.cr3, GuestVirt(CoreRunner::DATA_BASE)).mfn;
+    r.aspace.map(r.cr3, GuestVirt(ALIAS), mfn,
+                 Pte::RW | Pte::US | Pte::NX);
+
+    Assembler a(CoreRunner::CODE_BASE);
+    a.mov(R::rcx, 100);
+    a.mov(R::r8, 0);
+    Label top = a.label();
+    // Slow store address (dependency chain) through one mapping, fast
+    // load address through the other: the load hoists past the store
+    // and must be squashed when the store resolves onto the frame.
+    a.mov(R::rax, R::rdi);
+    a.imul(R::rax, R::rax, 1);
+    a.imul(R::rax, R::rax, 1);
+    a.imul(R::rax, R::rax, 1);
+    a.mov(Mem::at(R::rax), R::rcx);   // store through DATA_BASE
+    a.mov(R::rdx, Mem::at(R::rsi));   // aliasing load via ALIAS
+    a.add(R::r8, R::rdx);
+    a.dec(R::rcx);
+    a.jcc(COND_ne, top);
+    a.hlt();
+    r.load(a);
+    r.contexts[0]->regs[REG_rdi] = CoreRunner::DATA_BASE + 0x40;
+    r.contexts[0]->regs[REG_rsi] = ALIAS + 0x40;
+    r.start();
+    r.run();
+    EXPECT_EQ(r.reg(R::r8), 5050ULL);
+}
+
 TEST(OooCoreTest, ReturnAddressStackPredictsReturns)
 {
     CoreRunner r(oooConfig());

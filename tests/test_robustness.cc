@@ -67,7 +67,7 @@ TEST(Fuzz, RandomCodeExecutionIsContained)
         std::vector<U8> h = handler_asm.finalize();
         g.writeGuest(GuestRunner::CODE_BASE, junk.data(), junk.size());
         g.writeGuest(GuestRunner::CODE_BASE + 0x1000, h.data(), h.size());
-        g.ctx.rip = GuestRunner::CODE_BASE;
+        g.ctx.rip = GuestVirt(GuestRunner::CODE_BASE);
         g.ctx.event_callback = GuestRunner::CODE_BASE + 0x1000;
         g.ctx.kernel_sp = GuestRunner::STACK_TOP - 0x1000;
         int steps = 0;
@@ -145,10 +145,13 @@ TEST(MultiVcpu, TwoCoreMachineRunsBareMetal)
     cfg.guest_mem_bytes = 32 << 20;
     Machine m(cfg);
     AddressSpace &as = m.addressSpace();
-    U64 cr3 = as.createRoot();
-    as.mapRange(cr3, 0x400000, 16 * PAGE_SIZE, Pte::RW | Pte::US);
-    as.mapRange(cr3, 0x600000, 16 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
-    as.mapRange(cr3, 0x7E0000, 32 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
+    Pfn cr3 = as.createRoot();
+    as.mapRange(cr3, GuestVirt(0x400000), 16 * PAGE_SIZE,
+                Pte::RW | Pte::US);
+    as.mapRange(cr3, GuestVirt(0x600000), 16 * PAGE_SIZE,
+                Pte::RW | Pte::US | Pte::NX);
+    as.mapRange(cr3, GuestVirt(0x7E0000), 32 * PAGE_SIZE,
+                Pte::RW | Pte::US | Pte::NX);
 
     Assembler a(0x400000);
     a.movImm64(R::rbx, 0x600000);
@@ -163,11 +166,12 @@ TEST(MultiVcpu, TwoCoreMachineRunsBareMetal)
         Context &ctx = m.vcpu(v);
         ctx.cr3 = cr3;
         ctx.kernel_mode = true;
-        ctx.rip = 0x400000;
+        ctx.rip = GuestVirt(0x400000);
         ctx.regs[REG_rsp] = 0x7FF000 - (U64)v * 0x8000;
     }
     for (size_t i = 0; i < image.size(); i++) {
-        GuestAccess acc = guestTranslate(as, m.vcpu(0), 0x400000 + i,
+        GuestAccess acc = guestTranslate(as, m.vcpu(0),
+                                         GuestVirt(0x400000 + i),
                                          MemAccess::Write);
         m.physMem().writeBytes(acc.paddr, &image[i], 1);
     }
@@ -175,7 +179,7 @@ TEST(MultiVcpu, TwoCoreMachineRunsBareMetal)
     Machine::RunResult r = m.run(50'000'000);
     EXPECT_TRUE(r.stalled);  // both VCPUs halted
     U64 counter = 0;
-    guestRead(as, m.vcpu(0), 0x600000, 8, counter);
+    guestRead(as, m.vcpu(0), GuestVirt(0x600000), 8, counter);
     EXPECT_EQ(counter, 1000ULL);
     EXPECT_GT(m.stats().get("coherence/cache_to_cache_transfers"), 0ULL);
 }

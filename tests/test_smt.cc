@@ -178,11 +178,12 @@ class MultiCoreRig
         cfg.commit_checker = true;
         cfg.coherence = kind;
         cr3 = aspace.createRoot();
-        aspace.mapRange(cr3, CoreRunner::CODE_BASE, 256 * PAGE_SIZE,
-                        Pte::RW | Pte::US);
-        aspace.mapRange(cr3, CoreRunner::DATA_BASE, 256 * PAGE_SIZE,
-                        Pte::RW | Pte::US | Pte::NX);
-        aspace.mapRange(cr3, CoreRunner::STACK_TOP - 256 * PAGE_SIZE,
+        aspace.mapRange(cr3, GuestVirt(CoreRunner::CODE_BASE),
+                        256 * PAGE_SIZE, Pte::RW | Pte::US);
+        aspace.mapRange(cr3, GuestVirt(CoreRunner::DATA_BASE),
+                        256 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
+        aspace.mapRange(cr3,
+                        GuestVirt(CoreRunner::STACK_TOP - 256 * PAGE_SIZE),
                         256 * PAGE_SIZE, Pte::RW | Pte::US | Pte::NX);
         for (int i = 0; i < ncores; i++) {
             contexts.push_back(std::make_unique<Context>());
@@ -201,13 +202,13 @@ class MultiCoreRig
         std::vector<U8> image = assembler.finalize();
         for (size_t i = 0; i < image.size(); i++) {
             GuestAccess a = guestTranslate(aspace, *contexts[0],
-                                           assembler.baseVa() + i,
+                                           GuestVirt(assembler.baseVa() + i),
                                            MemAccess::Write);
             ptl_assert(a.ok());
             mem.writeBytes(a.paddr, &image[i], 1);
         }
         for (size_t i = 0; i < contexts.size(); i++) {
-            contexts[i]->rip = assembler.baseVa();
+            contexts[i]->rip = GuestVirt(assembler.baseVa());
             CoreBuildParams p;
             p.config = &cfg;
             p.contexts = {contexts[i].get()};
@@ -250,7 +251,7 @@ class MultiCoreRig
     readGuest(U64 va, unsigned bytes)
     {
         U64 v = 0;
-        guestRead(aspace, *contexts[0], va, bytes, v);
+        guestRead(aspace, *contexts[0], GuestVirt(va), bytes, v);
         return v;
     }
 
@@ -265,7 +266,7 @@ class MultiCoreRig
     std::vector<std::unique_ptr<Context>> contexts;
     std::vector<std::unique_ptr<MemoryHierarchy>> hierarchies;
     std::vector<std::unique_ptr<CoreModel>> cores;
-    U64 cr3 = 0;
+    Pfn cr3;
 };
 
 class MultiCoreCoherence

@@ -27,14 +27,14 @@ TEST(TransCache, HitMissAndFlushCounting)
     U64 h0 = tc.hits(), m0 = tc.misses();
 
     // Cold translate: a miss that fills the cache.
-    GuestAccess a = guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    GuestAccess a = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                    MemAccess::Read);
     ASSERT_TRUE(a.ok());
     EXPECT_EQ(tc.misses(), m0 + 1);
     EXPECT_EQ(tc.hits(), h0);
 
     // Warm translate: a hit returning the identical paddr.
-    GuestAccess b = guestTranslate(r.aspace, r.ctx, DATA_BASE + 17,
+    GuestAccess b = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE + 17),
                                    MemAccess::Read);
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(b.paddr, a.paddr + 17);
@@ -52,23 +52,23 @@ TEST(TransCache, MapAndUnmapFlush)
     GuestRunner r;
     TranslationCache &tc = r.aspace.transCache();
 
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                MemAccess::Read).ok());
     U64 f0 = tc.flushes();
-    U64 fresh = r.mem.allocFrame();
-    r.aspace.map(r.cr3, 0xA00000, fresh, Pte::RW | Pte::US);
+    Pfn fresh = r.mem.allocFrame();
+    r.aspace.map(r.cr3, GuestVirt(0xA00000), fresh, Pte::RW | Pte::US);
     EXPECT_GT(tc.flushes(), f0);
 
     // After the flush the old line must re-walk (miss), not hit stale.
     U64 m0 = tc.misses();
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                MemAccess::Read).ok());
     EXPECT_EQ(tc.misses(), m0 + 1);
 
     U64 f1 = tc.flushes();
-    r.aspace.unmap(r.cr3, 0xA00000);
+    r.aspace.unmap(r.cr3, GuestVirt(0xA00000));
     EXPECT_GT(tc.flushes(), f1);
-    GuestAccess gone = guestTranslate(r.aspace, r.ctx, 0xA00000,
+    GuestAccess gone = guestTranslate(r.aspace, r.ctx, GuestVirt(0xA00000),
                                       MemAccess::Read);
     EXPECT_EQ(gone.fault, GuestFault::PageFaultRead);
 }
@@ -77,21 +77,21 @@ TEST(TransCache, Cr3TagsKeepRootsDistinct)
 {
     GuestRunner r;
     // A second root mapping the same VA to a different frame.
-    U64 cr3b = r.aspace.createRoot();
-    U64 other = r.mem.allocFrame();
-    r.aspace.map(cr3b, DATA_BASE, other, Pte::RW | Pte::US);
+    Pfn cr3b = r.aspace.createRoot();
+    Pfn other = r.mem.allocFrame();
+    r.aspace.map(cr3b, GuestVirt(DATA_BASE), other, Pte::RW | Pte::US);
 
-    GuestAccess a = guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    GuestAccess a = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                    MemAccess::Read);
     ASSERT_TRUE(a.ok());
 
     Context ctx2 = r.ctx;
     ctx2.cr3 = cr3b;
-    GuestAccess b = guestTranslate(r.aspace, ctx2, DATA_BASE,
+    GuestAccess b = guestTranslate(r.aspace, ctx2, GuestVirt(DATA_BASE),
                                    MemAccess::Read);
     ASSERT_TRUE(b.ok());
-    EXPECT_EQ(pageOf(b.paddr), other);
-    EXPECT_NE(pageOf(a.paddr), pageOf(b.paddr));
+    EXPECT_EQ(b.paddr.pfn(), other);
+    EXPECT_NE(a.paddr.pfn(), b.paddr.pfn());
 }
 
 TEST(TransCache, Cr3SwitchHypercallFlushes)
@@ -100,11 +100,11 @@ TEST(TransCache, Cr3SwitchHypercallFlushes)
     cfg.core = "seq";
     Machine machine(cfg);
     AddressSpace &as = machine.addressSpace();
-    U64 root = as.createRoot();
+    Pfn root = as.createRoot();
 
     U64 f0 = as.transCache().flushes();
     U64 rc = machine.hypervisor().hypercall(machine.vcpu(0),
-                                            HC_new_baseptr, root, 0, 0);
+                                            HC_new_baseptr, root.raw(), 0, 0);
     EXPECT_EQ(rc, 0ULL);
     EXPECT_EQ(machine.vcpu(0).cr3, root);
     EXPECT_GT(as.transCache().flushes(), f0);
@@ -120,37 +120,37 @@ TEST(TransCache, StoreToPageTableFrameInvalidates)
     GuestRunner r;
     // Warm the cache through the victim mapping so its walk frames are
     // registered for snooping.
-    GuestAccess before = guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    GuestAccess before = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                         MemAccess::Read);
     ASSERT_TRUE(before.ok());
 
-    PageWalk w = r.aspace.walk(r.cr3, DATA_BASE);
+    PageWalk w = r.aspace.walk(r.cr3, GuestVirt(DATA_BASE));
     ASSERT_TRUE(w.present);
-    U64 leaf_frame = pageOf(w.pte_addr[3]);
+    Pfn leaf_frame = w.pte_addr[3].pfn();
     EXPECT_TRUE(r.aspace.isPageTableFrame(leaf_frame));
 
     // Alias-map the leaf table frame at a scratch VA (PD slot 5 is
     // untouched by the harness mappings), then re-warm the victim.
     constexpr U64 ALIAS = 5ULL << 21;
-    r.aspace.map(r.cr3, ALIAS, leaf_frame, Pte::RW | Pte::US);
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    r.aspace.map(r.cr3, GuestVirt(ALIAS), leaf_frame, Pte::RW | Pte::US);
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                MemAccess::Read).ok());
 
     // Point the victim PTE at a fresh frame via a plain guest store.
-    U64 fresh = r.mem.allocFrame();
-    U64 new_pte = (fresh << PAGE_SHIFT) | Pte::P | Pte::RW | Pte::US;
+    Pfn fresh = r.mem.allocFrame();
+    U64 new_pte = (fresh.raw() << PAGE_SHIFT) | Pte::P | Pte::RW | Pte::US;
     U64 f0 = r.aspace.transCache().flushes();
     GuestAccess st = guestWrite(r.aspace, r.ctx,
-                                ALIAS + pageOffset(w.pte_addr[3]), 8,
-                                new_pte);
+                                GuestVirt(ALIAS) + w.pte_addr[3].pageOffset(),
+                                8, new_pte);
     ASSERT_TRUE(st.ok());
     EXPECT_GT(r.aspace.transCache().flushes(), f0);
 
-    GuestAccess after = guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    GuestAccess after = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                        MemAccess::Read);
     ASSERT_TRUE(after.ok());
-    EXPECT_EQ(pageOf(after.paddr), fresh);
-    EXPECT_NE(pageOf(after.paddr), pageOf(before.paddr));
+    EXPECT_EQ(after.paddr.pfn(), fresh);
+    EXPECT_NE(after.paddr.pfn(), before.paddr.pfn());
 }
 
 /**
@@ -165,12 +165,12 @@ TEST(TransCache, SmcStoreInvalidatesBbcacheAndTransCache)
     // The leaf table for the harness code region: 256 PTEs occupy
     // bytes [0, 2048); the rest of the frame is dead space where a
     // test program can live.
-    PageWalk w = r.aspace.walk(r.cr3, GuestRunner::CODE_BASE);
+    PageWalk w = r.aspace.walk(r.cr3, GuestVirt(GuestRunner::CODE_BASE));
     ASSERT_TRUE(w.present);
-    U64 leaf_frame = pageOf(w.pte_addr[3]);
+    Pfn leaf_frame = w.pte_addr[3].pfn();
 
     constexpr U64 ALIAS = 5ULL << 21;
-    r.aspace.map(r.cr3, ALIAS, leaf_frame, Pte::RW | Pte::US);
+    r.aspace.map(r.cr3, GuestVirt(ALIAS), leaf_frame, Pte::RW | Pte::US);
 
     // Program at ALIAS+0x900: store to ALIAS+0xE00 (same frame), hlt.
     Assembler a(ALIAS + 0x900);
@@ -182,7 +182,7 @@ TEST(TransCache, SmcStoreInvalidatesBbcacheAndTransCache)
 
     // Register the leaf table frame for snooping: a cached walk of any
     // code-region VA traverses it.
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestRunner::CODE_BASE,
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(GuestRunner::CODE_BASE),
                                MemAccess::Read).ok());
     ASSERT_TRUE(r.aspace.isPageTableFrame(leaf_frame));
 
@@ -199,10 +199,10 @@ TEST(TransCache, CrossPageStoreAtomicityUnchanged)
     GuestRunner r;
     // Last mapped data page; the next page (0x700000) is unmapped.
     U64 va = DATA_BASE + 256 * PAGE_SIZE - 4;
-    ASSERT_TRUE(guestWrite(r.aspace, r.ctx, va - 8, 8,
+    ASSERT_TRUE(guestWrite(r.aspace, r.ctx, GuestVirt(va - 8), 8,
                            0x1111222233334444ULL).ok());
 
-    GuestAccess st = guestWrite(r.aspace, r.ctx, va, 8,
+    GuestAccess st = guestWrite(r.aspace, r.ctx, GuestVirt(va), 8,
                                 0xdeadbeefcafef00dULL);
     EXPECT_EQ(st.fault, GuestFault::PageFaultWrite);
     // The mapped first half must be untouched (all-or-nothing).
@@ -210,7 +210,7 @@ TEST(TransCache, CrossPageStoreAtomicityUnchanged)
 
     // Same store twice: the second attempt takes the cached-fault path
     // and must fault identically.
-    GuestAccess st2 = guestWrite(r.aspace, r.ctx, va, 8, 1);
+    GuestAccess st2 = guestWrite(r.aspace, r.ctx, GuestVirt(va), 8, 1);
     EXPECT_EQ(st2.fault, GuestFault::PageFaultWrite);
 }
 
@@ -226,8 +226,8 @@ TEST(TransCache, AccessedDirtyBitsMatchUncachedWalk)
     TranslationCache &tc = r.aspace.transCache();
     U64 va = DATA_BASE + 37 * PAGE_SIZE;
 
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, va, MemAccess::Read).ok());
-    PageWalk w = r.aspace.walk(r.cr3, va);
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(va), MemAccess::Read).ok());
+    PageWalk w = r.aspace.walk(r.cr3, GuestVirt(va));
     for (int level = 0; level < 4; level++)
         EXPECT_TRUE(r.mem.read(w.pte_addr[level], 8) & Pte::A)
             << "level " << level;
@@ -236,13 +236,13 @@ TEST(TransCache, AccessedDirtyBitsMatchUncachedWalk)
     // First write through the (clean) cached entry: counted as a miss,
     // walks, and sets D.
     U64 m0 = tc.misses(), h0 = tc.hits();
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, va, MemAccess::Write).ok());
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(va), MemAccess::Write).ok());
     EXPECT_EQ(tc.misses(), m0 + 1);
     EXPECT_EQ(tc.hits(), h0);
     EXPECT_TRUE(r.mem.read(w.pte_addr[3], 8) & Pte::D);
 
     // Now the Dirty state is cached: further writes are hits.
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, va, MemAccess::Write).ok());
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(va), MemAccess::Write).ok());
     EXPECT_EQ(tc.hits(), h0 + 1);
     EXPECT_EQ(tc.misses(), m0 + 1);
 }
@@ -251,23 +251,23 @@ TEST(TransCache, PermissionFaultsMatchUncachedWalk)
 {
     GuestRunner r;
     // The data region is mapped NX: execute must fault, cached or not.
-    GuestAccess cold = guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    GuestAccess cold = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                       MemAccess::Execute);
     EXPECT_EQ(cold.fault, GuestFault::PageFaultFetch);
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                MemAccess::Read).ok());
-    GuestAccess warm = guestTranslate(r.aspace, r.ctx, DATA_BASE,
+    GuestAccess warm = guestTranslate(r.aspace, r.ctx, GuestVirt(DATA_BASE),
                                       MemAccess::Execute);
     EXPECT_EQ(warm.fault, GuestFault::PageFaultFetch);
 
     // User-mode access to a kernel-only page faults from the cache too.
-    U64 kframe = r.mem.allocFrame();
-    r.aspace.map(r.cr3, 0xB00000, kframe, Pte::RW);  // no US
-    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, 0xB00000,
+    Pfn kframe = r.mem.allocFrame();
+    r.aspace.map(r.cr3, GuestVirt(0xB00000), kframe, Pte::RW);  // no US
+    ASSERT_TRUE(guestTranslate(r.aspace, r.ctx, GuestVirt(0xB00000),
                                MemAccess::Read).ok());  // kernel: fine
     Context user = r.ctx;
     user.kernel_mode = false;
-    GuestAccess ua = guestTranslate(r.aspace, user, 0xB00000,
+    GuestAccess ua = guestTranslate(r.aspace, user, GuestVirt(0xB00000),
                                     MemAccess::Read);
     EXPECT_EQ(ua.fault, GuestFault::PageFaultRead);
 }
@@ -280,19 +280,19 @@ TEST(TransCache, BulkCopyRoundTripsAcrossPages)
         src[i] = (U8)(i * 7 + 3);
 
     U64 va = DATA_BASE + PAGE_SIZE - 100;  // deliberately misaligned
-    GuestCopy out = guestCopyOut(r.aspace, r.ctx, va, src.data(),
+    GuestCopy out = guestCopyOut(r.aspace, r.ctx, GuestVirt(va), src.data(),
                                  src.size());
     ASSERT_TRUE(out.ok());
     EXPECT_EQ(out.copied, src.size());
 
     std::vector<U8> back(src.size(), 0);
-    GuestCopy in = guestCopyIn(r.aspace, r.ctx, back.data(), va,
+    GuestCopy in = guestCopyIn(r.aspace, r.ctx, back.data(), GuestVirt(va),
                                back.size());
     ASSERT_TRUE(in.ok());
     EXPECT_EQ(in.copied, back.size());
     EXPECT_EQ(std::memcmp(src.data(), back.data(), src.size()), 0);
     EXPECT_EQ(in.first_paddr,
-              guestTranslate(r.aspace, r.ctx, va, MemAccess::Read).paddr);
+              guestTranslate(r.aspace, r.ctx, GuestVirt(va), MemAccess::Read).paddr);
 }
 
 TEST(TransCache, BulkCopyPartialFaultSemantics)
@@ -302,17 +302,17 @@ TEST(TransCache, BulkCopyPartialFaultSemantics)
     U64 va = DATA_BASE + 254 * PAGE_SIZE;
     std::vector<U8> buf(3 * PAGE_SIZE, 0xAB);
 
-    GuestCopy out = guestCopyOut(r.aspace, r.ctx, va, buf.data(),
+    GuestCopy out = guestCopyOut(r.aspace, r.ctx, GuestVirt(va), buf.data(),
                                  buf.size());
     EXPECT_FALSE(out.ok());
     EXPECT_EQ(out.fault, GuestFault::PageFaultWrite);
     EXPECT_EQ(out.copied, 2 * PAGE_SIZE);
-    EXPECT_EQ(out.fault_va, DATA_BASE + 256 * PAGE_SIZE);
+    EXPECT_EQ(out.fault_va, GuestVirt(DATA_BASE + 256 * PAGE_SIZE));
     // Everything before the fault was really written.
     EXPECT_EQ(r.readGuest(va + 2 * PAGE_SIZE - 8, 8),
               0xABABABABABABABABULL);
 
-    GuestCopy in = guestCopyIn(r.aspace, r.ctx, buf.data(), va,
+    GuestCopy in = guestCopyIn(r.aspace, r.ctx, buf.data(), GuestVirt(va),
                                buf.size());
     EXPECT_FALSE(in.ok());
     EXPECT_EQ(in.copied, 2 * PAGE_SIZE);
@@ -323,7 +323,7 @@ TEST(TransCache, GuestFillWritesAndFaultsLikeCopy)
 {
     GuestRunner r;
     U64 va = DATA_BASE + 5 * PAGE_SIZE - 20;
-    GuestCopy g = guestFill(r.aspace, r.ctx, va, 0xCD, PAGE_SIZE + 40);
+    GuestCopy g = guestFill(r.aspace, r.ctx, GuestVirt(va), 0xCD, PAGE_SIZE + 40);
     ASSERT_TRUE(g.ok());
     EXPECT_EQ(g.copied, (size_t)PAGE_SIZE + 40);
     EXPECT_EQ(r.readGuest(va, 1), 0xCDULL);
@@ -331,7 +331,7 @@ TEST(TransCache, GuestFillWritesAndFaultsLikeCopy)
     EXPECT_EQ(r.readGuest(va + PAGE_SIZE + 40, 1), 0ULL);
 
     GuestCopy bad = guestFill(r.aspace, r.ctx,
-                              DATA_BASE + 255 * PAGE_SIZE, 0xEE,
+                              GuestVirt(DATA_BASE + 255 * PAGE_SIZE), 0xEE,
                               2 * PAGE_SIZE);
     EXPECT_FALSE(bad.ok());
     EXPECT_EQ(bad.copied, (size_t)PAGE_SIZE);

@@ -185,18 +185,18 @@ TEST(VerifyTest, DetectsIllegalMesiDirectoryState)
 
     // A legal directory audits clean.
     InvariantChecker chk(stats, "verify/", InvariantChecker::Action::Count);
-    coherence.corruptStateForTest(0, 0x1000, LineState::Modified);
+    coherence.corruptStateForTest(0, GuestPhys(0x1000), LineState::Modified);
     EXPECT_EQ(chk.checkCoherence(coherence, SimCycle(0)), 0);
 
     // Two Modified holders of one line is never legal.
-    coherence.corruptStateForTest(1, 0x1000, LineState::Modified);
+    coherence.corruptStateForTest(1, GuestPhys(0x1000), LineState::Modified);
     EXPECT_GT(chk.checkCoherence(coherence, SimCycle(0)), 0);
     EXPECT_GT(chk.counters().mesi.value(), 0u);
 
     // Exclusive coexisting with a sharer is never legal either.
     CoherenceController c2(CoherenceKind::Moesi, 10, stats);
-    c2.corruptStateForTest(0, 0x2000, LineState::Exclusive);
-    c2.corruptStateForTest(1, 0x2000, LineState::Shared);
+    c2.corruptStateForTest(0, GuestPhys(0x2000), LineState::Exclusive);
+    c2.corruptStateForTest(1, GuestPhys(0x2000), LineState::Shared);
     EXPECT_GT(chk.checkCoherence(c2, SimCycle(0)), 0);
 }
 

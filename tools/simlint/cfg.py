@@ -60,6 +60,21 @@ _NORETURN = {"fatal", "panic", "abort", "exit", "_exit",
 _STAMP_EXACT = {"now", "cycle", "due", "deadline"}
 _STAMP_SUFFIXES = ("_cycle", "_due", "_deadline", "_until", "_stamp")
 
+# Address-kind vocabulary (lib/guestaddr.h domains); mirrors
+# rules/address_kind.py the way _STAMP_* mirrors raw_cycle.  A name
+# classifies as guest-virtual, guest-physical, or neither — the taint
+# rule uses the kind to detect raw values crossing the translation
+# boundary without going through AddressSpace::walk().
+_ADDR_VIRT_EXACT = {"va", "vaddr", "vpn"}
+_ADDR_VIRT_SUBSTR = ("vaddr", "vpn")
+_ADDR_PHYS_EXACT = {"pa", "paddr", "pfn", "mfn"}
+_ADDR_PHYS_SUBSTR = ("paddr", "pfn", "mfn")
+
+# Strong-type constructor names whose presence in a call argument
+# puts a .raw() value back into its typed domain — not an escape.
+_REWRAP_TYPES = ("SimCycle", "CycleDelta",
+                 "GuestVirt", "GuestPhys", "Pfn", "Vpn")
+
 _BINOPS = {"+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="}
 # Tokens whose presence just before a '+'/'-' makes it unary.
 _UNARY_PREV = {"=", "(", ",", ";", "{", "[", ":", "?", "<", ">", "+",
@@ -91,6 +106,24 @@ _USE_SKIP = {"if", "else", "for", "while", "do", "switch", "case",
 
 def is_stamp_name(name):
     return name in _STAMP_EXACT or name.endswith(_STAMP_SUFFIXES)
+
+
+def addr_kind(name):
+    """"virt" / "phys" for address-kind-named identifiers, else None.
+
+    Exact names catch the idiomatic locals (`va`, `paddr`, `mfn`);
+    substrings catch compounds (`fault_vaddr`, `last_pfn`); the `_va`/
+    `_pa` suffixes catch hungarian-style fields without the substring
+    false positives a bare "va" scan would produce ("invalid"...).
+    """
+    n = name.lower()
+    if (n in _ADDR_VIRT_EXACT or n.endswith("_va")
+            or any(s in n for s in _ADDR_VIRT_SUBSTR)):
+        return "virt"
+    if (n in _ADDR_PHYS_EXACT or n.endswith("_pa")
+            or any(s in n for s in _ADDR_PHYS_SUBSTR)):
+        return "phys"
+    return None
 
 
 def _match(toks, i, open_v, close_v):
@@ -452,19 +485,24 @@ class _Builder:
         if seg:
             args.append(seg)
         for idx, arg in enumerate(args):
-            # Re-wrapping at the call site (`f(SimCycle(x.raw()))`)
-            # puts the value back in the strong domain — not an
-            # escape.
-            if any(x.kind == "id"
-                   and x.value in ("SimCycle", "CycleDelta")
-                   for x in arg):
-                continue
+            # Re-wrapping at the call site (`f(SimCycle(x.raw()))`,
+            # `f(GuestPhys(p.raw()))`) puts the value back in a strong
+            # domain — not an escape for the rules keyed on the real
+            # callee.  The event is still recorded, with the wrapping
+            # constructor as the callee, so address-kind can flag a
+            # raw value re-wrapped into the *opposite* kind
+            # (`GuestPhys(va.raw())`).
+            rewrap = next((x.value for x in arg
+                           if x.kind == "id"
+                           and x.value in _REWRAP_TYPES), None)
             for j, x in enumerate(arg):
                 if x.kind == "id" and x.value == "raw":
                     recv = _raw_receiver(arg, j)
                     if recv:
-                        self._ev(["ca", stmt[i].line, stmt[i].value,
-                                  idx, recv])
+                        callee = rewrap or stmt[i].value
+                        argpos = 0 if rewrap else idx
+                        self._ev(["ca", stmt[i].line, callee,
+                                  argpos, recv])
                         break
 
     # -- serialize/restore stream extraction ---------------------------

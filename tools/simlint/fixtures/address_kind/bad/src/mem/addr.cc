@@ -1,0 +1,55 @@
+// address-kind bad fixture: raw-integer declarations of address-named
+// variables, virt/phys values laundered through .raw() into mixed
+// arithmetic and comparisons, a raw virtual word re-wrapped as a
+// physical address, and a raw escape passed into a parameter of the
+// opposite kind.
+
+using U64 = unsigned long long;
+
+struct GuestVirt {
+    U64 raw() const;
+};
+struct GuestPhys {
+    U64 raw() const;
+};
+
+namespace ptl {
+
+struct Tlb {
+    U64 fault_vaddr = 0;  // BAD: raw declaration of a virtual address
+};
+
+U64 lookup(U64 goal_paddr);   // BAD: raw phys-address parameter
+
+bool hit(GuestVirt va, GuestPhys paddr)
+{
+    U64 p = va.raw();
+    return p == paddr.raw();  // BAD: virt/phys identity comparison
+}
+
+U64 offset(GuestVirt va, GuestPhys frame_pa)
+{
+    U64 base = frame_pa.raw();
+    U64 dist = base - va.raw();  // BAD: cross-kind subtraction
+    return dist;
+}
+
+GuestPhys translate(GuestVirt va);
+
+GuestPhys shortcut(GuestVirt va)
+{
+    return GuestPhys(va.raw());  // BAD: re-wrap across the boundary
+}
+
+static void probe(U64 pfn, U64 len)   // BAD: raw pfn declaration
+{
+    (void)pfn;
+    (void)len;
+}
+
+void scan(GuestVirt va)
+{
+    probe(va.raw(), 64);  // BAD: virt raw into a phys-kind parameter
+}
+
+}  // namespace ptl

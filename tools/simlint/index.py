@@ -19,6 +19,9 @@ consume:
                body contains a guard (ptl_assert/ptl_warn_once/...)
   int_decls    raw-integer declarations of cycle-stamp-named
                variables, with an in-template flag
+  addr_decls   raw-integer declarations of address-kind-named
+               variables (*vaddr*/*paddr*/*pfn*/*vpn*), with an
+               in-template flag — same shape as int_decls
   never_stmts  ~0ULL-style sentinels and the stamp id (if any) in the
                enclosing statement
   watch        occurrences of WATCHLIST identifiers with one token of
@@ -57,7 +60,7 @@ import os
 from . import cfg as cfg_mod
 from . import lexer, model
 
-INDEX_VERSION = 3
+INDEX_VERSION = 4
 
 # Identifiers whose every occurrence is recorded with context.
 # nondeterminism (and any future rule keying on bare identifiers)
@@ -85,7 +88,8 @@ SCHEDULE_IDS = frozenset({"schedule", "sendAt"})
 _FIELDS = ("includes", "classes", "enums", "bodies", "binds",
            "switches", "int_decls", "never_stmts", "watch",
            "callbacks", "waivers", "ns_vars", "funcs",
-           "unordered_decls", "iter_sites", "requires_decls")
+           "unordered_decls", "iter_sites", "requires_decls",
+           "addr_decls")
 
 _INCLUDE_PREFIX = "#include"
 
@@ -135,6 +139,7 @@ class FileIndex:
                            for ln, v in data["waivers"].items()}
         data["includes"] = [tuple(x) for x in data["includes"]]
         data["int_decls"] = [tuple(x) for x in data["int_decls"]]
+        data["addr_decls"] = [tuple(x) for x in data["addr_decls"]]
         data["never_stmts"] = [tuple(x) for x in data["never_stmts"]]
         data["watch"] = [tuple(x) for x in data["watch"]]
         data["ns_vars"] = [tuple(x) for x in data["ns_vars"]]
@@ -318,25 +323,51 @@ def is_stamp_name(name):
     return name in _STAMP_EXACT or name.endswith(_STAMP_SUFFIXES)
 
 
+# Address-kind declaration vocabulary: the deliberately narrow
+# substring set from DESIGN.md §15 — names this specific are always
+# guest addresses, so a raw-integer declaration is always a defect.
+# (The taint analysis in rules/address_kind.py uses the broader
+# cfg.addr_kind() vocabulary; bare `va`/`pa` locals are too ambiguous
+# to flag at declaration.)
+_ADDR_DECL_SUFFIX_TYPE = (("vaddr", "GuestVirt"), ("paddr", "GuestPhys"),
+                          ("pfn", "Pfn"), ("vpn", "Vpn"))
+
+
+def addr_decl_type(name):
+    """Suggested strong type for an address-named declaration, or
+    None when the name is not address-kind-specific."""
+    n = name.lower()
+    for sub, strong in _ADDR_DECL_SUFFIX_TYPE:
+        if sub in n:
+            return strong
+    return None
+
+
 def _scan_stream(toks):
-    """One pass for int_decls, never_stmts and watch occurrences."""
+    """One pass for int_decls, addr_decls, never_stmts and watch
+    occurrences."""
     spans = _template_spans(toks)
 
     def in_template(i):
         return any(lo <= i <= hi for lo, hi in spans)
 
     int_decls, never_stmts, watch = [], [], []
+    addr_decls = []
     n = len(toks)
     for i, t in enumerate(toks):
         if t.kind == "id":
             if (t.value in _INT_TYPES and i + 1 < n
                     and toks[i + 1].kind == "id"
-                    and is_stamp_name(toks[i + 1].value)
                     and (i + 2 >= n
                          or toks[i + 2].value in _DECL_FOLLOWERS)):
-                int_decls.append((toks[i + 1].line, t.value,
-                                  toks[i + 1].value,
-                                  bool(in_template(i + 1))))
+                if is_stamp_name(toks[i + 1].value):
+                    int_decls.append((toks[i + 1].line, t.value,
+                                      toks[i + 1].value,
+                                      bool(in_template(i + 1))))
+                elif addr_decl_type(toks[i + 1].value):
+                    addr_decls.append((toks[i + 1].line, t.value,
+                                       toks[i + 1].value,
+                                       bool(in_template(i + 1))))
             if t.value in WATCHLIST:
                 prev = toks[i - 1].value if i > 0 else None
                 nxt = toks[i + 1].value if i + 1 < n else None
@@ -354,7 +385,7 @@ def _scan_stream(toks):
                           if x.kind == "id" and is_stamp_name(x.value)),
                          None)
             never_stmts.append((t.line, stamp))
-    return int_decls, never_stmts, watch
+    return int_decls, addr_decls, never_stmts, watch
 
 
 def _callback_facts(line, body):
@@ -843,7 +874,7 @@ def build(path, rel, sha=None, text=None):
     for qual, unit in units:
         bodies.setdefault(qual, set()).update(
             t.value for t in unit if t.kind == "id")
-    int_decls, never_stmts, watch = _scan_stream(toks)
+    int_decls, addr_decls, never_stmts, watch = _scan_stream(toks)
     data = {
         "includes": _includes(toks),
         "classes": [
@@ -857,6 +888,7 @@ def build(path, rel, sha=None, text=None):
         "binds": _binds(units),
         "switches": _switches(toks),
         "int_decls": int_decls,
+        "addr_decls": addr_decls,
         "never_stmts": never_stmts,
         "watch": watch,
         "callbacks": _callbacks(toks),

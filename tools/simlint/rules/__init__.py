@@ -27,6 +27,7 @@ AnalysisContext = namedtuple(
     "AnalysisContext", ["files", "repo_root", "layers"])
 
 from . import (  # noqa: E402
+    address_kind,
     checkpoint_coverage,
     checkpoint_symmetry,
     cross_domain_access,
@@ -51,6 +52,7 @@ ALL = [
     event_discipline,
     raw_cycle,
     simcycle_escape,
+    address_kind,
     nondeterminism,
     shared_state,
     lock_discipline,
